@@ -1,0 +1,189 @@
+//! Analytical energy model with the paper's Table I component energies.
+//!
+//! Energy per inference = MACs × (multiplier + adder) + ReLU ops × ReLU
+//! energy + pool ops × pool energy + SRAM accesses × SRAM energy + DRAM
+//! accesses × DRAM energy. The component numbers are taken verbatim from
+//! Table I of the paper (which sources them from Han et al. [4] and Nazemi
+//! et al. [10]).
+
+use crate::systolic::{AccessCounts, SystolicModel};
+use crate::workload::NetworkWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Per-component energies, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// 16-bit adder energy (pJ).
+    pub adder_pj: f64,
+    /// 16-bit multiplier energy (pJ).
+    pub multiplier_pj: f64,
+    /// Max-pool comparator energy per window element (pJ).
+    pub max_pool_pj: f64,
+    /// ReLU energy per activation (pJ).
+    pub relu_pj: f64,
+    /// SRAM access energy per word (pJ).
+    pub sram_pj: f64,
+    /// DRAM access energy per word (pJ).
+    pub dram_pj: f64,
+}
+
+impl EnergyModel {
+    /// The component energies of the paper's Table I.
+    pub fn paper_table1() -> Self {
+        Self {
+            adder_pj: 0.4,
+            multiplier_pj: 1.0,
+            max_pool_pj: 1.2,
+            relu_pj: 0.9,
+            sram_pj: 5.0,
+            dram_pj: 640.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_table1()
+    }
+}
+
+/// Energy breakdown of one inference, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// MAC (multiply + accumulate) energy.
+    pub mac_pj: f64,
+    /// ReLU energy.
+    pub relu_pj: f64,
+    /// Max-pool energy.
+    pub pool_pj: f64,
+    /// On-chip SRAM energy.
+    pub sram_pj: f64,
+    /// Off-chip DRAM energy.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.mac_pj + self.relu_pj + self.pool_pj + self.sram_pj + self.dram_pj
+    }
+
+    /// This breakdown's total relative to another's (the paper's
+    /// "relative energy"). Returns 1.0 when `baseline` is zero.
+    pub fn relative_to(&self, baseline: &EnergyBreakdown) -> f64 {
+        let b = baseline.total_pj();
+        if b == 0.0 {
+            1.0
+        } else {
+            self.total_pj() / b
+        }
+    }
+}
+
+/// Computes the energy of one inference given its workload and access
+/// counts.
+pub fn inference_energy(
+    model: &EnergyModel,
+    workload: &NetworkWorkload,
+    accesses: &AccessCounts,
+) -> EnergyBreakdown {
+    let total = workload.total();
+    EnergyBreakdown {
+        mac_pj: total.macs as f64 * (model.adder_pj + model.multiplier_pj),
+        relu_pj: total.relu_ops as f64 * model.relu_pj,
+        pool_pj: total.pool_ops as f64 * model.max_pool_pj,
+        sram_pj: accesses.sram_accesses as f64 * model.sram_pj,
+        dram_pj: accesses.dram_accesses as f64 * model.dram_pj,
+    }
+}
+
+/// Convenience: workload → systolic accesses → energy in one call.
+pub fn network_energy(
+    model: &EnergyModel,
+    systolic: &SystolicModel,
+    workload: &NetworkWorkload,
+) -> EnergyBreakdown {
+    let accesses = systolic.network_accesses(workload);
+    inference_energy(model, workload, &accesses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systolic::AcceleratorConfig;
+    use crate::workload::network_workload;
+    use capnn_nn::{NetworkBuilder, PruneMask};
+
+    #[test]
+    fn table1_constants() {
+        let m = EnergyModel::paper_table1();
+        assert_eq!(m.adder_pj, 0.4);
+        assert_eq!(m.multiplier_pj, 1.0);
+        assert_eq!(m.max_pool_pj, 1.2);
+        assert_eq!(m.relu_pj, 0.9);
+        assert_eq!(m.sram_pj, 5.0);
+        assert_eq!(m.dram_pj, 640.0);
+        assert_eq!(m, EnergyModel::default());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let b = EnergyBreakdown {
+            mac_pj: 1.0,
+            relu_pj: 2.0,
+            pool_pj: 3.0,
+            sram_pj: 4.0,
+            dram_pj: 5.0,
+        };
+        assert_eq!(b.total_pj(), 15.0);
+    }
+
+    #[test]
+    fn relative_energy_of_identity_is_one() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10], 3, 1)
+            .build()
+            .unwrap();
+        let wl = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        let sys = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        let e = network_energy(&EnergyModel::paper_table1(), &sys, &wl);
+        assert!((e.relative_to(&e) - 1.0).abs() < 1e-12);
+        assert!(e.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn pruned_energy_never_exceeds_original() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[12, 8], 3, 1)
+            .build()
+            .unwrap();
+        let sys = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        let model = EnergyModel::paper_table1();
+        let full_wl = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        let full = network_energy(&model, &sys, &full_wl);
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(0, 0).unwrap();
+        mask.prune(4, 1).unwrap();
+        mask.prune(4, 2).unwrap();
+        let pruned_wl = network_workload(&net, &mask).unwrap();
+        let pruned = network_energy(&model, &sys, &pruned_wl);
+        assert!(pruned.total_pj() <= full.total_pj());
+        assert!(pruned.relative_to(&full) <= 1.0);
+    }
+
+    #[test]
+    fn dram_dominates_when_buffers_tiny() {
+        let net = NetworkBuilder::mlp(&[64, 128, 10], 1).build().unwrap();
+        let wl = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        let mut cfg = AcceleratorConfig::tpu_like();
+        cfg.weight_sram_words = 32;
+        cfg.act_sram_words = 32;
+        let sys = SystolicModel::new(cfg).unwrap();
+        let e = network_energy(&EnergyModel::paper_table1(), &sys, &wl);
+        assert!(e.dram_pj > e.mac_pj, "DRAM {} vs MAC {}", e.dram_pj, e.mac_pj);
+    }
+
+    #[test]
+    fn zero_baseline_relative_is_one() {
+        let z = EnergyBreakdown::default();
+        assert_eq!(z.relative_to(&z), 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! TPU-like accelerator analytical model for the CAP'NN reproduction.
+//!
+//! The paper evaluates energy savings with an analytical model (Zhang et
+//! al. \[14\]) over a TPU-style local-device accelerator (its Fig. 2), using
+//! the component energies of its Table I. This crate implements that stack:
+//!
+//! 1. [`network_workload`] — per-layer MAC / weight / activation counts of a
+//!    (masked) network;
+//! 2. [`SystolicModel`] — a weight-stationary systolic-array access model
+//!    producing SRAM/DRAM access and cycle counts;
+//! 3. [`EnergyModel`] — Table I picojoule constants turning operation and
+//!    access counts into an [`EnergyBreakdown`].
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_accel::{network_energy, network_workload, AcceleratorConfig,
+//!                   EnergyModel, SystolicModel};
+//! use capnn_nn::{NetworkBuilder, PruneMask};
+//!
+//! let net = NetworkBuilder::mlp(&[8, 16, 4], 1).build().unwrap();
+//! let wl = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+//! let sys = SystolicModel::new(AcceleratorConfig::tpu_like())?;
+//! let energy = network_energy(&EnergyModel::paper_table1(), &sys, &wl);
+//! assert!(energy.total_pj() > 0.0);
+//! # Ok::<(), String>(())
+//! ```
+
+mod energy;
+mod report;
+mod systolic;
+mod workload;
+
+pub use energy::{inference_energy, network_energy, EnergyBreakdown, EnergyModel};
+pub use report::{profile_network, LayerProfile, NetworkProfile};
+pub use systolic::{AccessCounts, AcceleratorConfig, Dataflow, SystolicModel};
+pub use workload::{network_workload, LayerWork, NetworkWorkload};

@@ -1,0 +1,176 @@
+//! Per-layer accelerator reporting: workload, access and energy breakdowns
+//! in one table-friendly structure.
+//!
+//! The experiment binaries aggregate whole-network numbers; this module
+//! exposes the layer-resolved view a hardware engineer would actually read
+//! when deciding where pruning pays (spoiler at substrate scale: DRAM
+//! traffic for the dense layers, MACs for the conv stack).
+
+use crate::energy::{inference_energy, EnergyBreakdown, EnergyModel};
+use crate::systolic::SystolicModel;
+use crate::workload::{LayerWork, NetworkWorkload};
+use serde::{Deserialize, Serialize};
+
+/// One layer's complete accelerator profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer index in the network.
+    pub layer: usize,
+    /// Layer kind tag (`"conv"`, `"dense"`, …).
+    pub kind: String,
+    /// Operation counts.
+    pub work: LayerWork,
+    /// SRAM/DRAM accesses and cycles on the modeled accelerator.
+    pub sram_accesses: u64,
+    /// DRAM accesses (words).
+    pub dram_accesses: u64,
+    /// Estimated cycles.
+    pub cycles: u64,
+    /// Energy of this layer alone (pJ).
+    pub energy_pj: f64,
+}
+
+/// Layer-resolved accelerator profile of a network under a mask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// Per-layer profiles, in execution order.
+    pub layers: Vec<LayerProfile>,
+    /// Whole-network energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Total cycles.
+    pub total_cycles: u64,
+}
+
+impl NetworkProfile {
+    /// The index of the layer consuming the most energy.
+    pub fn hottest_layer(&self) -> Option<usize> {
+        self.layers
+            .iter()
+            .max_by(|a, b| {
+                a.energy_pj
+                    .partial_cmp(&b.energy_pj)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|l| l.layer)
+    }
+
+    /// Energy of layer `layer` as a fraction of the total (0 if unknown).
+    pub fn energy_share(&self, layer: usize) -> f64 {
+        let total = self.energy.total_pj();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.layers
+            .iter()
+            .find(|l| l.layer == layer)
+            .map_or(0.0, |l| l.energy_pj / total)
+    }
+}
+
+/// Builds the layer-resolved profile from a workload and layer kinds.
+///
+/// `kinds` must align with `workload.layers` (one tag per layer, as
+/// produced by walking `Network::layers()` and calling `Layer::kind`).
+///
+/// # Panics
+///
+/// Panics if `kinds.len() != workload.layers.len()`.
+pub fn profile_network(
+    model: &EnergyModel,
+    systolic: &SystolicModel,
+    workload: &NetworkWorkload,
+    kinds: &[&str],
+) -> NetworkProfile {
+    assert_eq!(
+        kinds.len(),
+        workload.layers.len(),
+        "one kind tag per workload layer"
+    );
+    let mut layers = Vec::with_capacity(workload.layers.len());
+    let mut total_cycles = 0u64;
+    for (i, (work, kind)) in workload.layers.iter().zip(kinds).enumerate() {
+        let acc = systolic.layer_accesses(work);
+        let single = NetworkWorkload {
+            layers: vec![*work],
+        };
+        let e = inference_energy(model, &single, &acc);
+        total_cycles += acc.cycles;
+        layers.push(LayerProfile {
+            layer: i,
+            kind: (*kind).to_string(),
+            work: *work,
+            sram_accesses: acc.sram_accesses,
+            dram_accesses: acc.dram_accesses,
+            cycles: acc.cycles,
+            energy_pj: e.total_pj(),
+        });
+    }
+    let total_acc = systolic.network_accesses(workload);
+    let energy = inference_energy(model, workload, &total_acc);
+    NetworkProfile {
+        layers,
+        energy,
+        total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systolic::AcceleratorConfig;
+    use crate::workload::network_workload;
+    use capnn_nn::{NetworkBuilder, PruneMask};
+
+    fn profile() -> NetworkProfile {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[12], 3, 1)
+            .build()
+            .unwrap();
+        let wl = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        let kinds: Vec<&str> = net.layers().iter().map(|l| l.kind()).collect();
+        let systolic = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        profile_network(&EnergyModel::paper_table1(), &systolic, &wl, &kinds)
+    }
+
+    #[test]
+    fn per_layer_energies_sum_to_total() {
+        let p = profile();
+        let layer_sum: f64 = p.layers.iter().map(|l| l.energy_pj).sum();
+        assert!(
+            (layer_sum - p.energy.total_pj()).abs() < 1e-6 * p.energy.total_pj().max(1.0),
+            "{layer_sum} vs {}",
+            p.energy.total_pj()
+        );
+    }
+
+    #[test]
+    fn cycles_sum_matches() {
+        let p = profile();
+        let sum: u64 = p.layers.iter().map(|l| l.cycles).sum();
+        assert_eq!(sum, p.total_cycles);
+    }
+
+    #[test]
+    fn hottest_layer_is_a_compute_layer() {
+        let p = profile();
+        let hot = p.hottest_layer().unwrap();
+        let kind = &p.layers[hot].kind;
+        assert!(kind == "conv" || kind == "dense", "hottest was {kind}");
+        let share = p.energy_share(hot);
+        assert!(share > 0.0 && share <= 1.0);
+    }
+
+    #[test]
+    fn energy_share_of_unknown_layer_is_zero() {
+        let p = profile();
+        assert_eq!(p.energy_share(999), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one kind tag per workload layer")]
+    fn mismatched_kinds_panic() {
+        let net = NetworkBuilder::mlp(&[4, 8, 2], 1).build().unwrap();
+        let wl = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        let systolic = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        profile_network(&EnergyModel::paper_table1(), &systolic, &wl, &["dense"]);
+    }
+}

@@ -1,0 +1,357 @@
+//! Weight-stationary systolic-array access model (the local-device hardware
+//! of the paper's Fig. 2, modeled after a TPU-style accelerator).
+//!
+//! The model maps each compute layer onto an `rows × cols` MAC array with
+//! on-chip weight/activation SRAM and off-chip DRAM, and counts memory
+//! accesses analytically:
+//!
+//! * weights stream DRAM → SRAM once per layer if they fit, otherwise once
+//!   per tiling pass;
+//! * each MAC reads its activation operand from SRAM once per reuse window
+//!   (activations are broadcast down array rows, so an activation word is
+//!   fetched once per *column tile* it feeds);
+//! * partial sums stay in the array; finished outputs are written to SRAM
+//!   and spilled to DRAM if the activation buffer cannot hold the layer's
+//!   output.
+//!
+//! This is deliberately an *analytical* model — the paper evaluates energy
+//! the same way (via Zhang et al.'s model [14]) rather than on silicon.
+
+use crate::workload::{LayerWork, NetworkWorkload};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and buffering of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// MAC array rows (input-channel direction).
+    pub pe_rows: usize,
+    /// MAC array columns (output-channel direction).
+    pub pe_cols: usize,
+    /// On-chip weight SRAM capacity, in words.
+    pub weight_sram_words: usize,
+    /// On-chip activation SRAM capacity, in words.
+    pub act_sram_words: usize,
+    /// Bytes per word (the paper uses 16-bit weights → 2 bytes).
+    pub bytes_per_word: usize,
+}
+
+impl AcceleratorConfig {
+    /// A small TPU-like configuration: 16×16 MACs, 32 K-word weight buffer,
+    /// 16 K-word activation buffer, 16-bit words.
+    pub fn tpu_like() -> Self {
+        Self {
+            pe_rows: 16,
+            pe_cols: 16,
+            weight_sram_words: 32 * 1024,
+            act_sram_words: 16 * 1024,
+            bytes_per_word: 2,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first zero-valued field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err("PE array dimensions must be positive".into());
+        }
+        if self.weight_sram_words == 0 || self.act_sram_words == 0 {
+            return Err("SRAM capacities must be positive".into());
+        }
+        if self.bytes_per_word == 0 {
+            return Err("bytes_per_word must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::tpu_like()
+    }
+}
+
+/// Memory-access and timing counts for one inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// SRAM read + write accesses.
+    pub sram_accesses: u64,
+    /// DRAM read + write accesses (in words).
+    pub dram_accesses: u64,
+    /// Estimated MAC-array cycles.
+    pub cycles: u64,
+}
+
+impl AccessCounts {
+    /// Elementwise sum.
+    pub fn merge(&self, other: &AccessCounts) -> AccessCounts {
+        AccessCounts {
+            sram_accesses: self.sram_accesses + other.sram_accesses,
+            dram_accesses: self.dram_accesses + other.dram_accesses,
+            cycles: self.cycles + other.cycles,
+        }
+    }
+}
+
+/// Which operand stays resident in the PE array.
+///
+/// * [`Dataflow::WeightStationary`] — TPU-style: weights are pinned in PE
+///   registers; activations stream through. Minimizes weight SRAM traffic,
+///   pays one activation read per row-group of MACs.
+/// * [`Dataflow::OutputStationary`] — partial sums are pinned; both weights
+///   and activations stream. Minimizes partial-sum movement, pays more
+///   operand reads per MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weights pinned in the array (the paper's TPU-like device, Fig. 2).
+    #[default]
+    WeightStationary,
+    /// Partial sums pinned in the array.
+    OutputStationary,
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Dataflow::WeightStationary => "weight-stationary",
+            Dataflow::OutputStationary => "output-stationary",
+        })
+    }
+}
+
+/// The analytical systolic-array model.
+#[derive(Debug, Clone, Copy)]
+pub struct SystolicModel {
+    config: AcceleratorConfig,
+    dataflow: Dataflow,
+}
+
+impl SystolicModel {
+    /// Creates a weight-stationary model (the paper's device).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the configuration is invalid.
+    pub fn new(config: AcceleratorConfig) -> Result<Self, String> {
+        Self::with_dataflow(config, Dataflow::WeightStationary)
+    }
+
+    /// Creates a model with an explicit dataflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the configuration is invalid.
+    pub fn with_dataflow(config: AcceleratorConfig, dataflow: Dataflow) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config, dataflow })
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The model's dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// Access counts for one layer's workload.
+    pub fn layer_accesses(&self, w: &LayerWork) -> AccessCounts {
+        if w.macs == 0 {
+            // Non-matrix layers (ReLU/pool) stream activations through SRAM.
+            let streamed = w.relu_ops + w.pool_ops;
+            return AccessCounts {
+                sram_accesses: 2 * streamed,
+                dram_accesses: 0,
+                cycles: streamed / (self.config.pe_rows as u64 * self.config.pe_cols as u64).max(1)
+                    + u64::from(!streamed.is_multiple_of((self.config.pe_rows as u64
+                        * self.config.pe_cols as u64).max(1))),
+            };
+        }
+        let cfg = &self.config;
+        // Number of full weight-buffer refills needed for this layer.
+        let weight_passes = w.weight_words.div_ceil(cfg.weight_sram_words as u64).max(1);
+        // Column tiles: outputs mapped across pe_cols.
+        let col_tiles = w.output_words.div_ceil(cfg.pe_cols as u64).max(1);
+        let sram_accesses = match self.dataflow {
+            Dataflow::WeightStationary => {
+                // Each activation word is read from SRAM once per column
+                // tile it feeds; reuse across pe_rows keeps a single read
+                // per MAC row group (vertical broadcast). Weights read into
+                // the array once per pass; outputs written once; inputs
+                // written once when loaded from DRAM.
+                let act_reads = w.macs / cfg.pe_rows as u64;
+                let weight_reads = w.weight_words * weight_passes;
+                act_reads + weight_reads + w.output_words + w.input_words
+            }
+            Dataflow::OutputStationary => {
+                // Partial sums never move; both operands stream. Horizontal
+                // activation reuse across pe_cols and vertical weight reuse
+                // across pe_rows each save one dimension of reads, but both
+                // operands stream per tile pass instead of only one.
+                let act_reads = w.macs / cfg.pe_cols as u64;
+                let weight_reads = w.macs / cfg.pe_rows as u64;
+                act_reads + weight_reads + w.output_words + w.input_words
+            }
+        };
+        // DRAM: weights fetched once per pass; activations fetched once;
+        // outputs spilled if they do not fit in the activation buffer.
+        let output_spill = if w.output_words > cfg.act_sram_words as u64 {
+            2 * w.output_words // write + later read back
+        } else {
+            0
+        };
+        let input_refetch = if w.input_words > cfg.act_sram_words as u64 {
+            // inputs do not fit: refetched once per weight pass
+            w.input_words * weight_passes
+        } else {
+            w.input_words
+        };
+        let dram_accesses = w.weight_words * weight_passes + input_refetch + output_spill;
+        // Cycles: perfect utilization bound plus one array-fill latency per
+        // column tile.
+        let array = (cfg.pe_rows * cfg.pe_cols) as u64;
+        let cycles = w.macs.div_ceil(array) + col_tiles * (cfg.pe_rows as u64);
+        AccessCounts {
+            sram_accesses,
+            dram_accesses,
+            cycles,
+        }
+    }
+
+    /// Access counts for a whole network workload.
+    pub fn network_accesses(&self, workload: &NetworkWorkload) -> AccessCounts {
+        workload
+            .layers
+            .iter()
+            .map(|l| self.layer_accesses(l))
+            .fold(AccessCounts::default(), |acc, a| acc.merge(&a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(macs: u64, weights: u64, inputs: u64, outputs: u64) -> LayerWork {
+        LayerWork {
+            macs,
+            weight_words: weights,
+            input_words: inputs,
+            output_words: outputs,
+            relu_ops: 0,
+            pool_ops: 0,
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(AcceleratorConfig::tpu_like().validate().is_ok());
+        let mut c = AcceleratorConfig::tpu_like();
+        c.pe_rows = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::tpu_like();
+        c.weight_sram_words = 0;
+        assert!(c.validate().is_err());
+        let mut c = AcceleratorConfig::tpu_like();
+        c.bytes_per_word = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_layer_single_pass() {
+        let model = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        let w = work(1000, 100, 50, 20);
+        let a = model.layer_accesses(&w);
+        // one weight pass → dram = weights + inputs (fit) + no spill
+        assert_eq!(a.dram_accesses, 100 + 50);
+        assert!(a.sram_accesses > 0);
+        assert!(a.cycles > 0);
+    }
+
+    #[test]
+    fn oversized_weights_force_multiple_passes() {
+        let mut cfg = AcceleratorConfig::tpu_like();
+        cfg.weight_sram_words = 64;
+        let model = SystolicModel::new(cfg).unwrap();
+        let w = work(10_000, 200, 50, 20);
+        let a = model.layer_accesses(&w);
+        // 200 weights / 64-word buffer → 4 passes → 800 weight DRAM words
+        assert!(a.dram_accesses >= 800);
+    }
+
+    #[test]
+    fn output_spill_costs_dram() {
+        let mut cfg = AcceleratorConfig::tpu_like();
+        cfg.act_sram_words = 8;
+        let model = SystolicModel::new(cfg).unwrap();
+        let small = model.layer_accesses(&work(100, 10, 4, 4));
+        let big = model.layer_accesses(&work(100, 10, 4, 100));
+        assert!(big.dram_accesses > small.dram_accesses);
+    }
+
+    #[test]
+    fn relu_layers_stream_without_dram() {
+        let model = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        let w = LayerWork {
+            relu_ops: 500,
+            ..LayerWork::default()
+        };
+        let a = model.layer_accesses(&w);
+        assert_eq!(a.dram_accesses, 0);
+        assert_eq!(a.sram_accesses, 1000);
+    }
+
+    #[test]
+    fn monotone_in_workload() {
+        let model = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        let small = model.layer_accesses(&work(1000, 100, 50, 20));
+        let large = model.layer_accesses(&work(2000, 200, 100, 40));
+        assert!(large.sram_accesses >= small.sram_accesses);
+        assert!(large.dram_accesses >= small.dram_accesses);
+        assert!(large.cycles >= small.cycles);
+    }
+
+    #[test]
+    fn output_stationary_trades_operand_reads() {
+        let ws = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
+        let os = SystolicModel::with_dataflow(
+            AcceleratorConfig::tpu_like(),
+            Dataflow::OutputStationary,
+        )
+        .unwrap();
+        assert_eq!(ws.dataflow(), Dataflow::WeightStationary);
+        assert_eq!(os.dataflow(), Dataflow::OutputStationary);
+        // high-reuse layer (many MACs per weight): weight-stationary should
+        // need fewer SRAM accesses than output-stationary
+        let w = work(100_000, 100, 500, 500);
+        let a_ws = ws.layer_accesses(&w);
+        let a_os = os.layer_accesses(&w);
+        assert!(a_ws.sram_accesses < a_os.sram_accesses);
+        // DRAM traffic is dataflow-independent in this model
+        assert_eq!(a_ws.dram_accesses, a_os.dram_accesses);
+    }
+
+    #[test]
+    fn dataflow_display() {
+        assert_eq!(Dataflow::WeightStationary.to_string(), "weight-stationary");
+        assert_eq!(Dataflow::OutputStationary.to_string(), "output-stationary");
+        assert_eq!(Dataflow::default(), Dataflow::WeightStationary);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = AccessCounts {
+            sram_accesses: 1,
+            dram_accesses: 2,
+            cycles: 3,
+        };
+        let s = a.merge(&a);
+        assert_eq!(s.sram_accesses, 2);
+        assert_eq!(s.dram_accesses, 4);
+        assert_eq!(s.cycles, 6);
+    }
+}

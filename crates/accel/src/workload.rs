@@ -1,0 +1,252 @@
+//! Per-layer workload extraction from a (masked) network.
+//!
+//! The energy model (§V-B of the paper, following Zhang et al. [14]) is
+//! expressed in MAC operations, SRAM accesses and DRAM accesses per
+//! inference. This module derives the operation counts; the systolic model
+//! derives the access counts.
+
+use capnn_nn::{Layer, Network, NnError, PruneMask};
+use serde::{Deserialize, Serialize};
+
+/// Operation counts of one layer for a single inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LayerWork {
+    /// Multiply–accumulate operations.
+    pub macs: u64,
+    /// Weight parameters that must be resident (including biases).
+    pub weight_words: u64,
+    /// Input activation words read by the layer.
+    pub input_words: u64,
+    /// Output activation words produced by the layer.
+    pub output_words: u64,
+    /// ReLU evaluations.
+    pub relu_ops: u64,
+    /// Max-pool comparisons (window elements per output).
+    pub pool_ops: u64,
+}
+
+impl LayerWork {
+    /// Elementwise sum of two workloads.
+    pub fn merge(&self, other: &LayerWork) -> LayerWork {
+        LayerWork {
+            macs: self.macs + other.macs,
+            weight_words: self.weight_words + other.weight_words,
+            input_words: self.input_words + other.input_words,
+            output_words: self.output_words + other.output_words,
+            relu_ops: self.relu_ops + other.relu_ops,
+            pool_ops: self.pool_ops + other.pool_ops,
+        }
+    }
+}
+
+/// Whole-network workload: per-layer counts plus the total.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkWorkload {
+    /// One entry per network layer (non-compute layers contribute zeros for
+    /// MACs but may contribute ReLU/pool ops).
+    pub layers: Vec<LayerWork>,
+}
+
+impl NetworkWorkload {
+    /// Sum over all layers.
+    pub fn total(&self) -> LayerWork {
+        self.layers
+            .iter()
+            .fold(LayerWork::default(), |acc, l| acc.merge(l))
+    }
+}
+
+/// Derives the per-inference workload of `net` under `mask`.
+///
+/// Pruned units contribute no MACs, no weights and no activation traffic —
+/// exactly what shipping the compacted model to the device achieves.
+///
+/// # Errors
+///
+/// Returns an error if the mask does not match the network.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_accel::network_workload;
+/// use capnn_nn::{NetworkBuilder, PruneMask};
+///
+/// let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+/// let w = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+/// assert_eq!(w.total().macs, (4 * 8 + 8 * 3) as u64);
+/// ```
+pub fn network_workload(net: &Network, mask: &PruneMask) -> Result<NetworkWorkload, NnError> {
+    if mask.len() != net.len() {
+        return Err(NnError::Config(format!(
+            "mask spans {} layers, network has {}",
+            mask.len(),
+            net.len()
+        )));
+    }
+    let shapes = net.layer_shapes()?;
+    let mut layers = Vec::with_capacity(net.len());
+    // kept units feeding the current layer
+    let mut kept_inputs: u64 = match net.input_dims().len() {
+        3 => net.input_dims()[0] as u64,
+        _ => net.input_dims().iter().product::<usize>() as u64,
+    };
+    // spatial multiplicity of one kept input unit (H*W for CHW, 1 for flat)
+    let mut input_mult: u64 = match net.input_dims().len() {
+        3 => (net.input_dims()[1] * net.input_dims()[2]) as u64,
+        _ => 1,
+    };
+    for (i, layer) in net.layers().iter().enumerate() {
+        let out_shape = &shapes[i + 1];
+        let work = match layer {
+            Layer::Conv2d(c) => {
+                let kept_out = mask.kept_in_layer(i) as u64;
+                let (oh, ow) = (out_shape[1] as u64, out_shape[2] as u64);
+                let k2 = (c.spec().kernel * c.spec().kernel) as u64;
+                let macs = kept_out * oh * ow * kept_inputs * k2;
+                let w = LayerWork {
+                    macs,
+                    weight_words: kept_out * kept_inputs * k2 + kept_out,
+                    input_words: kept_inputs * input_mult,
+                    output_words: kept_out * oh * ow,
+                    relu_ops: 0,
+                    pool_ops: 0,
+                };
+                kept_inputs = kept_out;
+                input_mult = oh * ow;
+                w
+            }
+            Layer::Dense(_) => {
+                let kept_out = mask.kept_in_layer(i) as u64;
+                let in_words = kept_inputs * input_mult;
+                let w = LayerWork {
+                    macs: kept_out * in_words,
+                    weight_words: kept_out * in_words + kept_out,
+                    input_words: in_words,
+                    output_words: kept_out,
+                    relu_ops: 0,
+                    pool_ops: 0,
+                };
+                kept_inputs = kept_out;
+                input_mult = 1;
+                w
+            }
+            Layer::Relu => LayerWork {
+                relu_ops: kept_inputs * input_mult,
+                ..LayerWork::default()
+            },
+            Layer::MaxPool2d(spec) | Layer::AvgPool2d(spec) => {
+                let (oh, ow) = (out_shape[1] as u64, out_shape[2] as u64);
+                let window2 = (spec.window * spec.window) as u64;
+                let w = LayerWork {
+                    pool_ops: kept_inputs * oh * ow * window2,
+                    ..LayerWork::default()
+                };
+                input_mult = oh * ow;
+                w
+            }
+            Layer::Flatten => {
+                input_mult = {
+                    let in_shape = &shapes[i];
+                    if in_shape.len() == 3 {
+                        input_mult
+                    } else {
+                        1
+                    }
+                };
+                // flatten: kept inputs stay channel-wise; expand into words
+                let w = LayerWork::default();
+                kept_inputs *= input_mult;
+                input_mult = 1;
+                w
+            }
+        };
+        layers.push(work);
+    }
+    Ok(NetworkWorkload { layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_nn::NetworkBuilder;
+
+    #[test]
+    fn mlp_mac_count_exact() {
+        let net = NetworkBuilder::mlp(&[10, 20, 5], 1).build().unwrap();
+        let w = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        assert_eq!(w.total().macs, (10 * 20 + 20 * 5) as u64);
+        assert_eq!(w.total().relu_ops, 20);
+        assert_eq!(
+            w.total().weight_words,
+            (10 * 20 + 20 + 20 * 5 + 5) as u64
+        );
+    }
+
+    #[test]
+    fn cnn_mac_count_matches_spec_formula() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10], 3, 1)
+            .build()
+            .unwrap();
+        let w = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        // conv: 4 out × 8×8 × 1 in × 9; dense1: 10 × (4×4×4); out: 3 × 10
+        let conv = 4 * 64 * 9;
+        let dense1 = 10 * 64;
+        let out = 3 * 10;
+        assert_eq!(w.total().macs, (conv + dense1 + out) as u64);
+        // pooling: 4 channels × 4×4 outputs × 4 window elements
+        assert_eq!(w.total().pool_ops, (4 * 16 * 4) as u64);
+    }
+
+    #[test]
+    fn pruning_reduces_every_counter() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10], 3, 1)
+            .build()
+            .unwrap();
+        let full = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(0, 0).unwrap();
+        mask.prune(4, 3).unwrap();
+        let pruned = network_workload(&net, &mask).unwrap();
+        let f = full.total();
+        let p = pruned.total();
+        assert!(p.macs < f.macs);
+        assert!(p.weight_words < f.weight_words);
+        assert!(p.relu_ops < f.relu_ops);
+        assert!(p.output_words < f.output_words);
+    }
+
+    #[test]
+    fn pruned_conv_channel_removes_downstream_macs() {
+        // conv channel pruned → dense consumes fewer inputs
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10], 3, 1)
+            .build()
+            .unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(0, 1).unwrap();
+        let w = network_workload(&net, &mask).unwrap();
+        // dense layer (index 4) now sees 3 channels × 16 = 48 inputs
+        assert_eq!(w.layers[4].macs, (10 * 48) as u64);
+    }
+
+    #[test]
+    fn workload_merge_adds() {
+        let a = LayerWork {
+            macs: 1,
+            weight_words: 2,
+            input_words: 3,
+            output_words: 4,
+            relu_ops: 5,
+            pool_ops: 6,
+        };
+        let s = a.merge(&a);
+        assert_eq!(s.macs, 2);
+        assert_eq!(s.pool_ops, 12);
+    }
+
+    #[test]
+    fn mismatched_mask_rejected() {
+        let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+        let other = NetworkBuilder::mlp(&[4, 8, 8, 3], 1).build().unwrap();
+        assert!(network_workload(&net, &PruneMask::all_kept(&other)).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! CAPTOR-style class-adaptive filter pruning (the paper's reference [11],
+//! Qin et al., ASP-DAC 2019), re-implemented so Table III compares both
+//! systems on the same substrate.
+//!
+//! CAPTOR clusters filters by their class-conditional activation statistics
+//! and prunes at *cluster* granularity: a cluster is kept when it is
+//! relevant to any class in the predefined subset. Our implementation
+//! captures its three distinguishing properties relative to CAP'NN:
+//!
+//! * **cluster granularity** — units with similar class-activation profiles
+//!   are grouped (greedy cosine-similarity clustering of firing-rate rows)
+//!   and kept or pruned together, so one needed unit protects its whole
+//!   cluster;
+//! * **relevance is unweighted** — a cluster is kept if it matters to *any*
+//!   class in the subset (`max_k max_{n∈cluster} F(n, k)`), with no usage
+//!   distribution; and
+//! * **no miseffectual analysis** — only low-relevance clusters are removed.
+//!
+//! The same per-class ε accuracy check as CAP'NN gates the threshold search,
+//! so both systems are tuned to the same quality bar and the measured gap is
+//! due to mechanism, not tolerance.
+
+use capnn_core::{CapnnError, PruningConfig, TailEvaluator};
+use capnn_nn::{Network, PruneMask};
+use capnn_profile::{FiringRates, LayerRates};
+
+/// CAPTOR-style class-adaptive pruner.
+#[derive(Debug, Clone, Copy)]
+pub struct CaptorPruner {
+    config: PruningConfig,
+    /// Minimum cosine similarity for a unit to join a cluster.
+    cluster_similarity: f32,
+}
+
+impl CaptorPruner {
+    /// Creates a pruner; reuses [`PruningConfig`]'s threshold-search fields
+    /// (`t_start`, `step`, `tail_layers`, `epsilon`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if the configuration is invalid.
+    pub fn new(config: PruningConfig) -> Result<Self, CapnnError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            cluster_similarity: 0.75,
+        })
+    }
+
+    /// Overrides the clustering similarity threshold (higher → finer
+    /// clusters → more aggressive pruning).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if `similarity` is outside `(0, 1]`.
+    pub fn with_cluster_similarity(mut self, similarity: f32) -> Result<Self, CapnnError> {
+        if !(similarity > 0.0 && similarity <= 1.0) {
+            return Err(CapnnError::Config(format!(
+                "cluster similarity must be in (0, 1], got {similarity}"
+            )));
+        }
+        self.cluster_similarity = similarity;
+        Ok(self)
+    }
+
+    /// Groups a layer's units into activation-profile clusters (greedy: a
+    /// unit joins the first cluster whose centroid it matches by cosine
+    /// similarity, else founds a new one).
+    pub fn cluster_units(&self, rates: &LayerRates) -> Vec<Vec<usize>> {
+        let units = rates.units();
+        let classes = rates.classes();
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut centroids: Vec<Vec<f32>> = Vec::new();
+        for n in 0..units {
+            let row: Vec<f32> = (0..classes).map(|c| rates.rate(n, c)).collect();
+            let mut joined = false;
+            for (ci, centroid) in centroids.iter_mut().enumerate() {
+                if cosine(&row, centroid) >= self.cluster_similarity {
+                    clusters[ci].push(n);
+                    // running centroid update
+                    let m = clusters[ci].len() as f32;
+                    for (cv, &rv) in centroid.iter_mut().zip(&row) {
+                        *cv += (rv - *cv) / m;
+                    }
+                    joined = true;
+                    break;
+                }
+            }
+            if !joined {
+                clusters.push(vec![n]);
+                centroids.push(row);
+            }
+        }
+        clusters
+    }
+
+    /// Prunes for the class subset `classes` at cluster granularity: a
+    /// cluster whose maximal firing rate over the subset (over all member
+    /// units) falls below the searched threshold is removed wholesale, as
+    /// long as no subset class degrades by more than ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `classes` is empty/out of range or rates are
+    /// missing for a tail layer.
+    pub fn prune(
+        &self,
+        net: &Network,
+        rates: &FiringRates,
+        eval: &TailEvaluator,
+        classes: &[usize],
+    ) -> Result<PruneMask, CapnnError> {
+        if classes.is_empty() {
+            return Err(CapnnError::Profile("no classes requested".into()));
+        }
+        if let Some(&bad) = classes.iter().find(|&&c| c >= rates.num_classes()) {
+            return Err(CapnnError::Profile(format!(
+                "class {bad} out of range for {} classes",
+                rates.num_classes()
+            )));
+        }
+        let prunable = net.prunable_layers();
+        let tail: Vec<usize> = {
+            let mut t = net.prunable_tail(self.config.tail_layers);
+            if t.last() == prunable.last() {
+                t.pop();
+            }
+            t
+        };
+        let mut mask = PruneMask::all_kept(net);
+        for &li in &tail {
+            let lr = rates.for_layer(li).ok_or_else(|| {
+                CapnnError::Mismatch(format!("no firing rates for layer {li}"))
+            })?;
+            let units = lr.units();
+            let clusters = self.cluster_units(lr);
+            let relevance: Vec<f32> = clusters
+                .iter()
+                .map(|members| {
+                    members
+                        .iter()
+                        .flat_map(|&n| classes.iter().map(move |&k| lr.rate(n, k)))
+                        .fold(f32::NEG_INFINITY, f32::max)
+                })
+                .collect();
+            let mut t = self.config.t_start;
+            loop {
+                let mut flags = vec![true; units];
+                for (cluster, &rel) in clusters.iter().zip(&relevance) {
+                    if rel < t {
+                        for &n in cluster {
+                            flags[n] = false;
+                        }
+                    }
+                }
+                let mut candidate = mask.clone();
+                candidate.set_layer(li, flags)?;
+                let degradation = eval.max_degradation(&candidate, Some(classes))?;
+                if degradation <= self.config.epsilon {
+                    mask = candidate;
+                    break;
+                }
+                t -= self.config.step;
+                if t <= 0.0 {
+                    break;
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: f32 = a.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|&x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        // two silent units are maximally similar
+        return if na == nb { 1.0 } else { 0.0 };
+    }
+    dot / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{model_size, NetworkBuilder, Trainer, TrainerConfig};
+    use capnn_profile::FiringRateProfiler;
+    use capnn_tensor::Tensor;
+
+    fn rig() -> (Network, FiringRates, TailEvaluator) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let rates = FiringRateProfiler::new(3)
+            .profile(&net, &gen.generate(20, 2))
+            .unwrap();
+        let eval = TailEvaluator::new(&net, &gen.generate(15, 3), 3).unwrap();
+        (net, rates, eval)
+    }
+
+    #[test]
+    fn clusters_partition_units() {
+        let (_, rates, _) = rig();
+        let pruner = CaptorPruner::new(PruningConfig::fast()).unwrap();
+        for lr in rates.layers() {
+            let clusters = pruner.cluster_units(lr);
+            let mut seen = vec![false; lr.units()];
+            for cluster in &clusters {
+                assert!(!cluster.is_empty());
+                for &n in cluster {
+                    assert!(!seen[n], "unit {n} in two clusters");
+                    seen[n] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every unit clustered");
+        }
+    }
+
+    #[test]
+    fn identical_profiles_share_a_cluster() {
+        let lr = LayerRates {
+            layer: 0,
+            rates: Tensor::from_vec(
+                vec![
+                    0.9, 0.1, 0.0, //
+                    0.9, 0.1, 0.0, // same profile as unit 0
+                    0.0, 0.0, 0.8, // different
+                ],
+                &[3, 3],
+            )
+            .unwrap(),
+        };
+        let pruner = CaptorPruner::new(PruningConfig::fast()).unwrap();
+        let clusters = pruner.cluster_units(&lr);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1]);
+        assert_eq!(clusters[1], vec![2]);
+    }
+
+    #[test]
+    fn epsilon_guarantee_holds() {
+        let (net, rates, eval) = rig();
+        let pruner = CaptorPruner::new(PruningConfig::fast()).unwrap();
+        for classes in [vec![0], vec![0, 1], vec![0, 1, 2, 3]] {
+            let mask = pruner.prune(&net, &rates, &eval, &classes).unwrap();
+            let d = eval.max_degradation(&mask, Some(&classes)).unwrap();
+            assert!(
+                d <= PruningConfig::fast().epsilon + 1e-6,
+                "{classes:?}: degradation {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn smaller_subsets_prune_more() {
+        let (net, rates, eval) = rig();
+        let pruner = CaptorPruner::new(PruningConfig::fast()).unwrap();
+        let small = pruner.prune(&net, &rates, &eval, &[0]).unwrap();
+        let large = pruner.prune(&net, &rates, &eval, &[0, 1, 2, 3]).unwrap();
+        let s_small = model_size(&net, &small).unwrap().total();
+        let s_large = model_size(&net, &large).unwrap().total();
+        assert!(s_small <= s_large, "1 class {s_small} vs 4 classes {s_large}");
+    }
+
+    #[test]
+    fn coarser_clusters_prune_no_more_than_finer() {
+        let (net, rates, eval) = rig();
+        let coarse = CaptorPruner::new(PruningConfig::fast())
+            .unwrap()
+            .with_cluster_similarity(0.5)
+            .unwrap();
+        let fine = CaptorPruner::new(PruningConfig::fast())
+            .unwrap()
+            .with_cluster_similarity(0.999)
+            .unwrap();
+        let m_coarse = coarse.prune(&net, &rates, &eval, &[0]).unwrap();
+        let m_fine = fine.prune(&net, &rates, &eval, &[0]).unwrap();
+        // coarse clusters keep whole groups → at least as many units kept
+        assert!(m_coarse.pruned_count() <= m_fine.pruned_count() + 2);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let (net, rates, eval) = rig();
+        let pruner = CaptorPruner::new(PruningConfig::fast()).unwrap();
+        assert!(pruner.prune(&net, &rates, &eval, &[]).is_err());
+        assert!(pruner.prune(&net, &rates, &eval, &[42]).is_err());
+        assert!(CaptorPruner::new(PruningConfig::fast())
+            .unwrap()
+            .with_cluster_similarity(0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn output_layer_untouched() {
+        let (net, rates, eval) = rig();
+        let pruner = CaptorPruner::new(PruningConfig::fast()).unwrap();
+        let mask = pruner.prune(&net, &rates, &eval, &[0, 1]).unwrap();
+        let out = *net.prunable_layers().last().unwrap();
+        assert_eq!(mask.kept_in_layer(out), 4);
+    }
+
+    #[test]
+    fn cosine_edge_cases() {
+        assert_eq!(super::cosine(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert_eq!(super::cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        assert!((super::cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+    }
+}

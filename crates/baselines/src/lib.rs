@@ -1,0 +1,41 @@
+//! Pruning baselines for the CAP'NN reproduction.
+//!
+//! Two families, matching the paper's comparisons:
+//!
+//! * **Class-unaware** structured/unstructured pruning — [`magnitude_prune`]
+//!   (Han-style weight pruning, reference \[4\]), [`StructuredPruner`] with
+//!   [`ChannelMethod::Activation`] (He-style channel pruning proxy,
+//!   reference \[5\]) and [`ChannelMethod::Reconstruction`] (ThiNet-style
+//!   greedy selection, reference \[9\]). These produce the pruned + fine-tuned
+//!   checkpoints CAP'NN-M is stacked on in Table II.
+//! * **Class-aware prior work** — [`CaptorPruner`], a CAPTOR-style
+//!   class-adaptive filter pruner (reference \[11\]), the comparison system
+//!   of Table III.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_baselines::{ChannelMethod, StructuredPruner};
+//! use capnn_data::{VectorClusters, VectorClustersConfig};
+//! use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+//!
+//! let gen = VectorClusters::new(VectorClustersConfig::easy(3, 5))?;
+//! let mut net = NetworkBuilder::mlp(&[5, 16, 3], 2).build().unwrap();
+//! let cfg = TrainerConfig { epochs: 5, ..TrainerConfig::default() };
+//! Trainer::new(cfg, 1).fit(&mut net, gen.generate(15, 1).samples()).unwrap();
+//!
+//! let pruner = StructuredPruner::new(ChannelMethod::Activation, 0.25).unwrap();
+//! let mask = pruner.prune_mask(&net, &gen.generate(5, 2)).unwrap();
+//! assert!(mask.pruned_count() > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod captor;
+mod lowrank;
+mod channel;
+mod magnitude;
+
+pub use captor::CaptorPruner;
+pub use lowrank::{low_rank_compress, truncated_svd, TruncatedSvd};
+pub use channel::{ChannelMethod, StructuredPruner};
+pub use magnitude::{magnitude_prune, nonzero_weights, SparsityReport};

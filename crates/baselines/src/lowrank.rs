@@ -1,0 +1,371 @@
+//! Low-rank approximation baseline (the paper's related-work category:
+//! SVD/Tucker-style structure simplification, reference [8]).
+//!
+//! Hidden dense layers `W ∈ R^{out×in}` are factorized through a truncated
+//! SVD `W ≈ (U_r Σ_r) · V_rᵀ` and replaced by two stacked dense layers of
+//! inner width `r`, shrinking parameters whenever `r·(in+out) < in·out`.
+//! Like the channel/magnitude baselines this is *class-unaware*; it is
+//! included so the repo covers all three families the paper positions
+//! against, and because CAP'NN composes with it the same way it composes
+//! with channel pruning.
+//!
+//! The SVD is computed exactly (no randomized sketching) via a symmetric
+//! Jacobi eigensolver on `WᵀW` — robust and amply fast at substrate scale.
+
+use capnn_nn::{Dense, Layer, Network, NnError};
+use capnn_tensor::Tensor;
+
+/// Result of a truncated SVD: `a ≈ u * diag(s) * vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `[m × r]`.
+    pub u: Tensor,
+    /// Singular values, descending, length `r`.
+    pub s: Vec<f32>,
+    /// Right singular vectors, `[n × r]`.
+    pub v: Tensor,
+}
+
+impl TruncatedSvd {
+    /// Reconstructs the rank-`r` approximation `u * diag(s) * vᵀ` as an
+    /// `[m × n]` tensor.
+    pub fn reconstruct(&self) -> Tensor {
+        let m = self.u.dims()[0];
+        let n = self.v.dims()[0];
+        let r = self.s.len();
+        let mut out = Tensor::zeros(&[m, n]);
+        let uv = self.u.as_slice();
+        let vv = self.v.as_slice();
+        let ov = out.as_mut_slice();
+        for (k, &sk) in self.s.iter().enumerate() {
+            for i in 0..m {
+                let uik = uv[i * r + k] * sk;
+                if uik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    ov[i * n + j] += uik * vv[j * r + k];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Computes the rank-`r` truncated SVD of a rank-2 tensor via Jacobi
+/// eigen-decomposition of `AᵀA`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if `a` is not rank 2 or `rank` is zero or
+/// exceeds `min(m, n)`.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_baselines::truncated_svd;
+/// use capnn_tensor::Tensor;
+///
+/// // a rank-1 matrix is reproduced exactly by a rank-1 SVD
+/// let a = Tensor::from_vec(vec![2.0, 4.0, 1.0, 2.0], &[2, 2]).unwrap();
+/// let svd = truncated_svd(&a, 1).unwrap();
+/// let back = svd.reconstruct();
+/// for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+///     assert!((x - y).abs() < 1e-4);
+/// }
+/// ```
+pub fn truncated_svd(a: &Tensor, rank: usize) -> Result<TruncatedSvd, NnError> {
+    if a.shape().rank() != 2 {
+        return Err(NnError::Config(format!(
+            "svd input must be rank 2, got {}",
+            a.shape()
+        )));
+    }
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    if rank == 0 || rank > m.min(n) {
+        return Err(NnError::Config(format!(
+            "rank must be in 1..={}, got {rank}",
+            m.min(n)
+        )));
+    }
+    // Gram matrix G = AᵀA (n×n, symmetric PSD).
+    let av = a.as_slice();
+    let mut g = vec![0.0f64; n * n];
+    for row in 0..m {
+        let ar = &av[row * n..(row + 1) * n];
+        for i in 0..n {
+            let x = ar[i] as f64;
+            if x == 0.0 {
+                continue;
+            }
+            for j in i..n {
+                g[i * n + j] += x * ar[j] as f64;
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            g[i * n + j] = g[j * n + i];
+        }
+    }
+    let (eigvals, eigvecs) = jacobi_eigen_symmetric(&mut g, n);
+    // sort descending by eigenvalue
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| {
+        eigvals[y]
+            .partial_cmp(&eigvals[x])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut s = Vec::with_capacity(rank);
+    let mut v = Tensor::zeros(&[n, rank]);
+    {
+        let vv = v.as_mut_slice();
+        for (k, &col) in order.iter().take(rank).enumerate() {
+            s.push(eigvals[col].max(0.0).sqrt() as f32);
+            for i in 0..n {
+                vv[i * rank + k] = eigvecs[i * n + col] as f32;
+            }
+        }
+    }
+    // U = A V Σ⁻¹ (columns with σ ≈ 0 are left zero).
+    let mut u = Tensor::zeros(&[m, rank]);
+    {
+        let uv = u.as_mut_slice();
+        let vv = v.as_slice();
+        for i in 0..m {
+            let ar = &av[i * n..(i + 1) * n];
+            for (k, &sk) in s.iter().enumerate() {
+                if sk <= 1e-12 {
+                    continue;
+                }
+                let mut acc = 0.0f32;
+                for j in 0..n {
+                    acc += ar[j] * vv[j * rank + k];
+                }
+                uv[i * rank + k] = acc / sk;
+            }
+        }
+    }
+    Ok(TruncatedSvd { u, s, v })
+}
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix stored row-major
+/// in `g` (destroyed). Returns `(eigenvalues, eigenvectors)` with
+/// eigenvectors in columns.
+fn jacobi_eigen_symmetric(g: &mut [f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _sweep in 0..60 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += g[i * n + j] * g[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-10 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = g[p * n + q];
+                if apq.abs() < 1e-14 {
+                    continue;
+                }
+                let app = g[p * n + p];
+                let aqq = g[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let gkp = g[k * n + p];
+                    let gkq = g[k * n + q];
+                    g[k * n + p] = c * gkp - s * gkq;
+                    g[k * n + q] = s * gkp + c * gkq;
+                }
+                for k in 0..n {
+                    let gpk = g[p * n + k];
+                    let gqk = g[q * n + k];
+                    g[p * n + k] = c * gpk - s * gqk;
+                    g[q * n + k] = s * gpk + c * gqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eigvals: Vec<f64> = (0..n).map(|i| g[i * n + i]).collect();
+    (eigvals, v)
+}
+
+/// Replaces each hidden dense layer of `net` with a rank-`⌈fraction·full⌉`
+/// factorization when that saves parameters. The output layer is left
+/// intact (its rows are class logits). Returns the compressed network and
+/// the number of layers factorized.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if `fraction` is outside `(0, 1]`.
+pub fn low_rank_compress(net: &Network, fraction: f64) -> Result<(Network, usize), NnError> {
+    if !(fraction > 0.0 && fraction <= 1.0) {
+        return Err(NnError::Config(format!(
+            "rank fraction must be in (0, 1], got {fraction}"
+        )));
+    }
+    let prunable = net.prunable_layers();
+    let output_layer = prunable.last().copied();
+    let mut layers = Vec::with_capacity(net.len() + 2);
+    let mut factorized = 0usize;
+    for (i, layer) in net.layers().iter().enumerate() {
+        match layer {
+            Layer::Dense(d) if Some(i) != output_layer => {
+                let (out_f, in_f) = (d.out_features(), d.in_features());
+                let full_rank = out_f.min(in_f);
+                let r = ((full_rank as f64 * fraction).ceil() as usize).clamp(1, full_rank);
+                // parameters: r*(in+out) + r + out  vs  in*out + out
+                if r * (in_f + out_f) + r < in_f * out_f {
+                    let svd = truncated_svd(d.weights(), r)?;
+                    // first factor: x ↦ Vᵀ x (r × in), no bias
+                    let first = Dense::new(svd.v.transpose()?, Tensor::zeros(&[r]))?;
+                    // second factor: (U Σ) (out × r), original bias
+                    let mut us = Tensor::zeros(&[out_f, r]);
+                    {
+                        let usv = us.as_mut_slice();
+                        let uv = svd.u.as_slice();
+                        for row in 0..out_f {
+                            for (k, &sk) in svd.s.iter().enumerate() {
+                                usv[row * r + k] = uv[row * r + k] * sk;
+                            }
+                        }
+                    }
+                    let second = Dense::new(us, d.bias().clone())?;
+                    layers.push(Layer::Dense(first));
+                    layers.push(Layer::Dense(second));
+                    factorized += 1;
+                } else {
+                    layers.push(layer.clone());
+                }
+            }
+            other => layers.push(other.clone()),
+        }
+    }
+    Ok((Network::new(layers, net.input_dims())?, factorized))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_nn::NetworkBuilder;
+    use capnn_tensor::XorShiftRng;
+
+    #[test]
+    fn svd_reconstructs_full_rank_exactly() {
+        let mut rng = XorShiftRng::new(3);
+        let a = Tensor::uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let svd = truncated_svd(&a, 4).unwrap();
+        let back = svd.reconstruct();
+        for (x, y) in a.as_slice().iter().zip(back.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn singular_values_descend_and_are_nonnegative() {
+        let mut rng = XorShiftRng::new(4);
+        let a = Tensor::uniform(&[8, 6], -1.0, 1.0, &mut rng);
+        let svd = truncated_svd(&a, 6).unwrap();
+        assert!(svd.s.windows(2).all(|w| w[0] >= w[1] - 1e-6));
+        assert!(svd.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_rank() {
+        let mut rng = XorShiftRng::new(5);
+        let a = Tensor::uniform(&[10, 8], -1.0, 1.0, &mut rng);
+        let err = |r| {
+            let svd = truncated_svd(&a, r).unwrap();
+            a.sub(&svd.reconstruct()).unwrap().norm_sq()
+        };
+        let e2 = err(2);
+        let e4 = err(4);
+        let e8 = err(8);
+        assert!(e2 >= e4 && e4 >= e8 - 1e-4, "{e2} {e4} {e8}");
+        assert!(e8 < 1e-3);
+    }
+
+    #[test]
+    fn svd_orthonormal_right_vectors() {
+        let mut rng = XorShiftRng::new(6);
+        let a = Tensor::uniform(&[7, 5], -1.0, 1.0, &mut rng);
+        let svd = truncated_svd(&a, 3).unwrap();
+        let v = svd.v.as_slice();
+        for k1 in 0..3 {
+            for k2 in 0..3 {
+                let dot: f32 = (0..5).map(|i| v[i * 3 + k1] * v[i * 3 + k2]).sum();
+                let expected = if k1 == k2 { 1.0 } else { 0.0 };
+                assert!((dot - expected).abs() < 1e-3, "v{k1}·v{k2} = {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn svd_rejects_bad_args() {
+        let a = Tensor::zeros(&[4, 4]);
+        assert!(truncated_svd(&a, 0).is_err());
+        assert!(truncated_svd(&a, 5).is_err());
+        assert!(truncated_svd(&Tensor::zeros(&[4]), 1).is_err());
+    }
+
+    #[test]
+    fn compression_shrinks_and_stays_close() {
+        let net = NetworkBuilder::mlp(&[32, 48, 40, 5], 7).build().unwrap();
+        let (compressed, factorized) = low_rank_compress(&net, 0.3).unwrap();
+        assert_eq!(factorized, 2);
+        assert!(compressed.param_count() < net.param_count());
+        // same input/output contract
+        assert_eq!(compressed.num_classes(), 5);
+        let mut rng = XorShiftRng::new(9);
+        let x = Tensor::uniform(&[32], -1.0, 1.0, &mut rng);
+        let a = net.forward(&x).unwrap();
+        let b = compressed.forward(&x).unwrap();
+        assert_eq!(a.len(), b.len());
+        // rank-30% of a random matrix is lossy but not wild
+        let rel = a.sub(&b).unwrap().norm_sq().sqrt() / a.norm_sq().sqrt().max(1e-6);
+        assert!(rel < 1.0, "relative output distortion {rel}");
+    }
+
+    #[test]
+    fn full_fraction_preserves_function_when_beneficial() {
+        // rank = min dim: factorization only applied if it saves params;
+        // for a square-ish layer it won't be, so the net is unchanged.
+        let net = NetworkBuilder::mlp(&[16, 16, 4], 3).build().unwrap();
+        let (compressed, factorized) = low_rank_compress(&net, 1.0).unwrap();
+        assert_eq!(factorized, 0);
+        assert_eq!(compressed.param_count(), net.param_count());
+    }
+
+    #[test]
+    fn output_layer_never_factorized() {
+        let net = NetworkBuilder::mlp(&[64, 8, 32], 5).build().unwrap();
+        // the 8→32 output layer is wide but must stay intact
+        let (compressed, _) = low_rank_compress(&net, 0.1).unwrap();
+        let last = compressed.layers().last().unwrap();
+        match last {
+            Layer::Dense(d) => assert_eq!(d.out_features(), 32),
+            other => panic!("expected dense output, got {}", other.kind()),
+        }
+    }
+
+    #[test]
+    fn compress_rejects_bad_fraction() {
+        let net = NetworkBuilder::mlp(&[4, 8, 2], 1).build().unwrap();
+        assert!(low_rank_compress(&net, 0.0).is_err());
+        assert!(low_rank_compress(&net, 1.5).is_err());
+    }
+}

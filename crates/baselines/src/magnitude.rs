@@ -1,0 +1,165 @@
+//! Unstructured magnitude pruning (Han-style, the paper's reference [4]).
+//!
+//! Zeroes the globally smallest-magnitude weights. Unstructured pruning does
+//! not shrink the dense tensor storage, so its "model size" is the count of
+//! *non-zero* parameters — reported separately from the structured
+//! accounting in `capnn_nn::model_size`.
+
+use capnn_nn::{Layer, Network, NnError};
+
+/// Outcome of a magnitude-pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityReport {
+    /// Weights zeroed by this pass.
+    pub zeroed: usize,
+    /// Total weight parameters considered.
+    pub total: usize,
+}
+
+impl SparsityReport {
+    /// Fraction of weights zeroed.
+    pub fn sparsity(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.zeroed as f64 / self.total as f64
+        }
+    }
+}
+
+/// Zeroes the `fraction` smallest-magnitude weights across all dense and
+/// conv layers of `net` (biases are kept). Returns the achieved sparsity.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if `fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_baselines::magnitude_prune;
+/// use capnn_nn::NetworkBuilder;
+///
+/// let mut net = NetworkBuilder::mlp(&[4, 16, 3], 1).build().unwrap();
+/// let report = magnitude_prune(&mut net, 0.5).unwrap();
+/// assert!((report.sparsity() - 0.5).abs() < 0.05);
+/// ```
+pub fn magnitude_prune(net: &mut Network, fraction: f64) -> Result<SparsityReport, NnError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(NnError::Config(format!(
+            "prune fraction must be in [0, 1], got {fraction}"
+        )));
+    }
+    // Collect all weight magnitudes to find the global threshold.
+    let mut magnitudes: Vec<f32> = Vec::new();
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => magnitudes.extend(d.weights().as_slice().iter().map(|w| w.abs())),
+            Layer::Conv2d(c) => magnitudes.extend(c.weights().as_slice().iter().map(|w| w.abs())),
+            _ => {}
+        }
+    }
+    let total = magnitudes.len();
+    let cut = ((total as f64) * fraction).round() as usize;
+    if cut == 0 {
+        return Ok(SparsityReport { zeroed: 0, total });
+    }
+    magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let threshold = magnitudes[(cut - 1).min(total.saturating_sub(1))];
+    let mut zeroed = 0usize;
+    for layer in net.layers_mut() {
+        let weights = match layer {
+            Layer::Dense(d) => d.weights_mut(),
+            Layer::Conv2d(c) => c.weights_mut(),
+            _ => continue,
+        };
+        for w in weights.as_mut_slice() {
+            if w.abs() <= threshold && *w != 0.0 && zeroed < cut {
+                *w = 0.0;
+                zeroed += 1;
+            }
+        }
+    }
+    Ok(SparsityReport { zeroed, total })
+}
+
+/// Counts the non-zero weight parameters of `net` (the effective model size
+/// after unstructured pruning).
+pub fn nonzero_weights(net: &Network) -> usize {
+    net.layers()
+        .iter()
+        .map(|layer| match layer {
+            Layer::Dense(d) => d.weights().as_slice().iter().filter(|&&w| w != 0.0).count(),
+            Layer::Conv2d(c) => c.weights().as_slice().iter().filter(|&&w| w != 0.0).count(),
+            _ => 0,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_nn::NetworkBuilder;
+
+    #[test]
+    fn prunes_requested_fraction() {
+        let mut net = NetworkBuilder::mlp(&[8, 32, 4], 3).build().unwrap();
+        let before = nonzero_weights(&net);
+        let report = magnitude_prune(&mut net, 0.25).unwrap();
+        let after = nonzero_weights(&net);
+        assert_eq!(before - after, report.zeroed);
+        assert!((report.sparsity() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_fraction_is_noop() {
+        let mut net = NetworkBuilder::mlp(&[4, 8, 2], 1).build().unwrap();
+        let before = net.clone();
+        let report = magnitude_prune(&mut net, 0.0).unwrap();
+        assert_eq!(report.zeroed, 0);
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    fn full_fraction_zeroes_everything() {
+        let mut net = NetworkBuilder::mlp(&[4, 8, 2], 1).build().unwrap();
+        magnitude_prune(&mut net, 1.0).unwrap();
+        assert_eq!(nonzero_weights(&net), 0);
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let mut net = NetworkBuilder::mlp(&[4, 8, 2], 1).build().unwrap();
+        assert!(magnitude_prune(&mut net, -0.1).is_err());
+        assert!(magnitude_prune(&mut net, 1.1).is_err());
+    }
+
+    #[test]
+    fn small_weights_go_first() {
+        let mut net = NetworkBuilder::mlp(&[4, 8, 2], 5).build().unwrap();
+        // find the largest |w| before pruning
+        let max_before = net
+            .layers()
+            .iter()
+            .filter_map(|l| match l {
+                capnn_nn::Layer::Dense(d) => {
+                    d.weights().as_slice().iter().map(|w| w.abs()).fold(None, |m: Option<f32>, x| {
+                        Some(m.map_or(x, |m| m.max(x)))
+                    })
+                }
+                _ => None,
+            })
+            .fold(0.0f32, f32::max);
+        magnitude_prune(&mut net, 0.5).unwrap();
+        // the largest weight must survive
+        let survives = net.layers().iter().any(|l| match l {
+            capnn_nn::Layer::Dense(d) => d
+                .weights()
+                .as_slice()
+                .iter()
+                .any(|w| (w.abs() - max_before).abs() < 1e-7),
+            _ => false,
+        });
+        assert!(survives);
+    }
+}

@@ -1,0 +1,30 @@
+//! Throughput of the analytical accelerator model: workload extraction and
+//! energy evaluation must be cheap enough to sweep thousands of masks.
+
+use capnn_accel::{
+    network_energy, network_workload, AcceleratorConfig, EnergyModel, SystolicModel,
+};
+use capnn_nn::{NetworkBuilder, PruneMask, VggConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_accel(c: &mut Criterion) {
+    let net = NetworkBuilder::vgg(&VggConfig::vgg_mini(12), 7)
+        .build()
+        .expect("builds");
+    let mask = PruneMask::all_kept(&net);
+    let systolic = SystolicModel::new(AcceleratorConfig::tpu_like()).expect("config");
+    let model = EnergyModel::paper_table1();
+
+    let mut group = c.benchmark_group("accelerator_model");
+    group.bench_function("workload_extraction", |b| {
+        b.iter(|| network_workload(&net, &mask).expect("workload"))
+    });
+    let wl = network_workload(&net, &mask).expect("workload");
+    group.bench_function("energy_evaluation", |b| {
+        b.iter(|| network_energy(&model, &systolic, &wl))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accel);
+criterion_main!(benches);

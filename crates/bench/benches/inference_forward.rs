@@ -1,0 +1,42 @@
+//! Device-side inference throughput: masked execution of the full model vs
+//! the compacted (physically smaller) model the cloud actually ships — the
+//! latter is the paper's model-size payoff in compute form.
+
+use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_nn::{NetworkBuilder, PruneMask, VggConfig};
+use capnn_tensor::XorShiftRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_forward(c: &mut Criterion) {
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(8)).expect("config");
+    let net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(8), 7)
+        .build()
+        .expect("builds");
+    let mut rng = XorShiftRng::new(3);
+    let x = images.sample(0, &mut rng);
+
+    // prune half the units of every hidden prunable layer
+    let mut mask = PruneMask::all_kept(&net);
+    let prunable = net.prunable_layers();
+    for &li in &prunable[..prunable.len() - 1] {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        let flags: Vec<bool> = (0..units).map(|u| u % 2 == 0).collect();
+        mask.set_layer(li, flags).expect("mask fits");
+    }
+    let compacted = net.compact(&mask).expect("compacts");
+
+    let mut group = c.benchmark_group("device_inference");
+    group.bench_function("full_model", |b| {
+        b.iter(|| net.forward(&x).expect("forward"))
+    });
+    group.bench_function("masked_model", |b| {
+        b.iter(|| net.forward_masked(&x, &mask).expect("forward"))
+    });
+    group.bench_function("compacted_model", |b| {
+        b.iter(|| compacted.forward(&x).expect("forward"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Throughput of the offline preprocessing stage: firing-rate profiling and
+//! confusion-matrix measurement over a balanced dataset.
+
+use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_nn::{NetworkBuilder, VggConfig};
+use capnn_profile::{ConfusionMatrix, FiringRateProfiler};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_profiler(c: &mut Criterion) {
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(8)).expect("config");
+    let net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(8), 7)
+        .build()
+        .expect("builds");
+    let ds = images.generate(8, 1);
+
+    let mut group = c.benchmark_group("offline_preprocessing");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(ds.len() as u64));
+    group.bench_function("firing_rate_profile", |b| {
+        b.iter(|| {
+            FiringRateProfiler::new(4)
+                .profile(&net, &ds)
+                .expect("profiles")
+        })
+    });
+    group.bench_function("confusion_matrix", |b| {
+        b.iter(|| ConfusionMatrix::measure(&net, &ds).expect("measures"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Online pruning latency: the paper's claim that CAP'NN-B's online step
+//! (bit-column intersection) is near-free, while CAP'NN-W/M pay for their
+//! online threshold search.
+
+use capnn_bench::experiments::VariantRunner;
+use capnn_bench::{PaperRig, Scale};
+use capnn_core::{CapnnB, UserProfile, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_pruning(c: &mut Criterion) {
+    let rig = PaperRig::build(Scale::small());
+    let runner = VariantRunner::new(&rig);
+    let profile = UserProfile::new(vec![0, 1], vec![0.8, 0.2]).expect("profile");
+
+    let mut group = c.benchmark_group("online_pruning");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("capnn_b_intersection", 2), |b| {
+        b.iter(|| {
+            CapnnB::online(&rig.net, runner.matrices(), profile.classes()).expect("online")
+        })
+    });
+    group.bench_function(BenchmarkId::new("capnn_w_threshold_search", 2), |b| {
+        b.iter(|| runner.mask_for(&profile, Variant::Weighted))
+    });
+    group.bench_function(BenchmarkId::new("capnn_m_full", 2), |b| {
+        b.iter(|| runner.mask_for(&profile, Variant::Miseffectual))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation: how many trailing layers to prune (`l_start`, footnote 3 of
+//! the paper). Early layers extract generic features, so pruning deeper into
+//! the network risks accuracy for less class-specific gain; pruning too few
+//! layers leaves model-size savings on the table.
+
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::{CapnnW, PruningConfig, UserProfile};
+use capnn_nn::{model_size, PruneMask};
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct LayersRow {
+    tail_layers: usize,
+    prunable_units_in_scope: usize,
+    relative_size: f64,
+    max_degradation: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ablation_layers] building rigs (one per tail depth)…");
+    let mut table = Table::new(vec![
+        "tail layers".into(),
+        "units in scope".into(),
+        "rel. size".into(),
+        "max degr.".into(),
+    ]);
+    let mut rows = Vec::new();
+    for tail in [2usize, 4, 6, 8] {
+        let mut config = PruningConfig::paper();
+        config.tail_layers = tail;
+        // each tail depth needs its own profiler/evaluator scope
+        let rig = PaperRig::build_with_config(scale, config);
+        let original = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+            .expect("size")
+            .total();
+        let mut rng = XorShiftRng::new(0xAB1A7E);
+        let classes = rng.sample_combination(rig.scale.classes, 3);
+        let profile = UserProfile::new(classes, vec![0.6, 0.3, 0.1]).expect("profile");
+        let w = CapnnW::new(config).expect("valid");
+        let mask = w
+            .prune(&rig.net, &rig.rates, &rig.eval, &profile)
+            .expect("prune");
+        let units_in_scope: usize = {
+            let mut t = rig.net.prunable_tail(tail);
+            if t.last() == rig.net.prunable_layers().last() {
+                t.pop();
+            }
+            t.iter()
+                .map(|&li| rig.net.layers()[li].unit_count().unwrap_or(0))
+                .sum()
+        };
+        let row = LayersRow {
+            tail_layers: tail,
+            prunable_units_in_scope: units_in_scope,
+            relative_size: model_size(&rig.net, &mask).expect("size").total() as f64
+                / original as f64,
+            max_degradation: rig
+                .eval
+                .max_degradation(&mask, Some(profile.classes()))
+                .expect("degradation"),
+        };
+        table.row(vec![
+            tail.to_string(),
+            row.prunable_units_in_scope.to_string(),
+            format!("{:.3}", row.relative_size),
+            format!("{:.1}%", row.max_degradation * 100.0),
+        ]);
+        eprintln!("[ablation_layers] tail = {tail} done");
+        rows.push(row);
+    }
+    println!("\nAblation — prunable tail depth (CAP'NN-W, fixed profile)");
+    println!("{table}");
+
+    if let Some(path) = write_results_json("ablation_layers", &rows) {
+        eprintln!("[ablation_layers] results written to {}", path.display());
+    }
+}

@@ -1,0 +1,96 @@
+//! Ablation: profiling-set size. The paper computes firing rates from 200
+//! ImageNet images per class (§V); this sweep measures how the number of
+//! profiling samples per class changes the firing-rate estimates and the
+//! pruning decisions built on them — the ε guarantee holds regardless, since
+//! the accuracy check runs on the evaluation set, not the profile.
+
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::{CapnnW, UserProfile};
+use capnn_nn::{model_size, PruneMask};
+use capnn_profile::FiringRateProfiler;
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ProfileSamplesRow {
+    samples_per_class: usize,
+    rate_rmse_vs_reference: f64,
+    relative_size: f64,
+    max_degradation: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ablation_profile] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let original = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+        .expect("size")
+        .total();
+    let mut rng = XorShiftRng::new(0xAB1A7E);
+    let classes = rng.sample_combination(rig.scale.classes, 3);
+    let profile = UserProfile::new(classes, vec![0.6, 0.3, 0.1]).expect("profile");
+    let w = CapnnW::new(rig.config).expect("valid");
+
+    // Reference rates: the largest profiling set in the sweep.
+    let sweep = [2usize, 4, 8, 16, 32];
+    let reference_ds = rig.images.generate(*sweep.last().unwrap(), 0xFEED);
+    let reference = FiringRateProfiler::new(rig.config.tail_layers)
+        .profile(&rig.net, &reference_ds)
+        .expect("reference profile");
+
+    let mut table = Table::new(vec![
+        "samples/class".into(),
+        "rate RMSE vs ref".into(),
+        "rel. size".into(),
+        "max degr.".into(),
+    ]);
+    let mut rows = Vec::new();
+    for &n in &sweep {
+        let ds = rig.images.generate(n, 0xFEED);
+        let rates = FiringRateProfiler::new(rig.config.tail_layers)
+            .profile(&rig.net, &ds)
+            .expect("profile");
+        // RMSE between this profile's rates and the reference
+        let mut se = 0.0f64;
+        let mut count = 0usize;
+        for (a, b) in rates.layers().iter().zip(reference.layers()) {
+            for (&x, &y) in a.rates.as_slice().iter().zip(b.rates.as_slice()) {
+                se += f64::from(x - y) * f64::from(x - y);
+                count += 1;
+            }
+        }
+        let rmse = (se / count.max(1) as f64).sqrt();
+        let mask = w
+            .prune(&rig.net, &rates, &rig.eval, &profile)
+            .expect("prune");
+        let degr = rig
+            .eval
+            .max_degradation(&mask, Some(profile.classes()))
+            .expect("degradation");
+        assert!(
+            degr <= rig.config.epsilon + 1e-4,
+            "ε violated with {n} profiling samples"
+        );
+        let row = ProfileSamplesRow {
+            samples_per_class: n,
+            rate_rmse_vs_reference: rmse,
+            relative_size: model_size(&rig.net, &mask).expect("size").total() as f64
+                / original as f64,
+            max_degradation: degr,
+        };
+        table.row(vec![
+            n.to_string(),
+            format!("{:.4}", row.rate_rmse_vs_reference),
+            format!("{:.3}", row.relative_size),
+            format!("{:.1}%", row.max_degradation * 100.0),
+        ]);
+        rows.push(row);
+    }
+    println!("\nAblation — profiling-set size (CAP'NN-W, fixed 3-class profile)");
+    println!("{table}");
+    println!("ε guarantee held at every profiling size (accuracy is checked on the eval set).");
+
+    if let Some(path) = write_results_json("ablation_profile_samples", &rows) {
+        eprintln!("[ablation_profile] results written to {}", path.display());
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation: firing-rate quantization width (§V-C). The paper stores 3-bit
+//! rates; this sweep measures how the bit width changes (a) storage, (b)
+//! the pruning decisions CAP'NN-W makes with quantized rates vs exact ones,
+//! and (c) the resulting model size — while the ε guarantee holds at every
+//! width (the accuracy check always runs on the real network).
+
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::{CapnnW, UserProfile};
+use capnn_nn::{model_size, PruneMask};
+use capnn_profile::quantize_rates;
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct QuantRow {
+    bits: u32,
+    storage_bytes: u64,
+    mask_agreement: f64,
+    relative_size: f64,
+    max_degradation: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ablation_quant] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let original = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+        .expect("size")
+        .total();
+    let mut rng = XorShiftRng::new(0xAB1A7E);
+    let classes = rng.sample_combination(rig.scale.classes, 3);
+    let profile = UserProfile::new(classes, vec![0.6, 0.3, 0.1]).expect("profile");
+    let w = CapnnW::new(rig.config).expect("valid");
+    let exact_mask = w
+        .prune(&rig.net, &rig.rates, &rig.eval, &profile)
+        .expect("exact prune");
+
+    let mut table = Table::new(vec![
+        "bits".into(),
+        "storage".into(),
+        "mask agreement".into(),
+        "rel. size".into(),
+        "max degr.".into(),
+    ]);
+    let mut rows = Vec::new();
+    for bits in [1u32, 2, 3, 4, 6, 8] {
+        let q = quantize_rates(&rig.rates, bits);
+        let mask = w
+            .prune(&rig.net, &q.rates, &rig.eval, &profile)
+            .expect("quantized prune");
+        let agreement = mask_agreement(&exact_mask, &mask, &rig);
+        let degr = rig
+            .eval
+            .max_degradation(&mask, Some(profile.classes()))
+            .expect("degradation");
+        assert!(degr <= rig.config.epsilon + 1e-4, "ε violated at {bits} bits");
+        let row = QuantRow {
+            bits,
+            storage_bytes: q.memory_bytes(),
+            mask_agreement: agreement,
+            relative_size: model_size(&rig.net, &mask).expect("size").total() as f64
+                / original as f64,
+            max_degradation: degr,
+        };
+        table.row(vec![
+            bits.to_string(),
+            row.storage_bytes.to_string(),
+            format!("{:.1}%", row.mask_agreement * 100.0),
+            format!("{:.3}", row.relative_size),
+            format!("{:.1}%", row.max_degradation * 100.0),
+        ]);
+        rows.push(row);
+    }
+    println!("\nAblation — firing-rate quantization width (CAP'NN-W, fixed profile)");
+    println!("{table}");
+    println!("ε guarantee held at every width (the accuracy check is quantization-independent).");
+
+    if let Some(path) = write_results_json("ablation_quant", &rows) {
+        eprintln!("[ablation_quant] results written to {}", path.display());
+    }
+}
+
+/// Fraction of prunable units on which two masks agree.
+fn mask_agreement(a: &capnn_nn::PruneMask, b: &capnn_nn::PruneMask, rig: &PaperRig) -> f64 {
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for li in rig.net.prunable_layers() {
+        let units = rig.net.layers()[li].unit_count().unwrap_or(0);
+        for u in 0..units {
+            total += 1;
+            if a.is_kept(li, u) == b.is_kept(li, u) {
+                same += 1;
+            }
+        }
+    }
+    same as f64 / total.max(1) as f64
+}

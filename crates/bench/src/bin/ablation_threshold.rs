@@ -1,0 +1,85 @@
+//! Ablation: the threshold-search hyper-parameters `T_start` and `step`
+//! (§III-A). Larger `T_start` lets the search begin more aggressively;
+//! smaller `step` finds tighter thresholds at the cost of more evaluation
+//! passes. The ε guarantee must hold at every setting.
+
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::{CapnnW, PruningConfig, UserProfile};
+use capnn_nn::{model_size, PruneMask};
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ThresholdRow {
+    t_start: f32,
+    step: f32,
+    relative_size: f64,
+    max_degradation: f32,
+    runtime_ms: u128,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ablation_threshold] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let original = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+        .expect("size")
+        .total();
+    let mut rng = XorShiftRng::new(0xAB1A7E);
+    let classes = rng.sample_combination(rig.scale.classes, 3);
+    let profile = UserProfile::new(classes, vec![0.6, 0.3, 0.1]).expect("profile");
+
+    let mut table = Table::new(vec![
+        "T_start".into(),
+        "step".into(),
+        "rel. size".into(),
+        "max degr.".into(),
+        "runtime".into(),
+    ]);
+    let mut rows = Vec::new();
+    for t_start in [0.2f32, 0.4, 0.6, 0.8] {
+        for step in [0.1f32, 0.05, 0.025] {
+            let mut config = PruningConfig::paper();
+            config.t_start = t_start;
+            config.step = step;
+            let w = CapnnW::new(config).expect("valid");
+            let start = Instant::now();
+            let mask = w
+                .prune(&rig.net, &rig.rates, &rig.eval, &profile)
+                .expect("prune");
+            let runtime_ms = start.elapsed().as_millis();
+            let degr = rig
+                .eval
+                .max_degradation(&mask, Some(profile.classes()))
+                .expect("degradation");
+            let row = ThresholdRow {
+                t_start,
+                step,
+                relative_size: model_size(&rig.net, &mask).expect("size").total() as f64
+                    / original as f64,
+                max_degradation: degr,
+                runtime_ms,
+            };
+            assert!(
+                row.max_degradation <= config.epsilon + 1e-4,
+                "ε guarantee violated at T_start={t_start}, step={step}"
+            );
+            table.row(vec![
+                format!("{t_start}"),
+                format!("{step}"),
+                format!("{:.3}", row.relative_size),
+                format!("{:.1}%", row.max_degradation * 100.0),
+                format!("{} ms", row.runtime_ms),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("\nAblation — threshold search (CAP'NN-W, fixed profile, ε = 3%)");
+    println!("{table}");
+    println!("ε guarantee held at every setting.");
+
+    if let Some(path) = write_results_json("ablation_threshold", &rows) {
+        eprintln!("[ablation_threshold] results written to {}", path.display());
+    }
+}

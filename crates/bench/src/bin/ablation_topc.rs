@@ -1,0 +1,80 @@
+//! Ablation: how many confusing classes CAP'NN-M considers per user class
+//! (footnote 4 of the paper ties the choice of 5 to top-5 accuracy).
+//! More confusers → more units classified miseffectual → more pruning, but
+//! past a point the "confusers" are noise classes and the ε check starts
+//! rejecting candidates.
+
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::{CapnnM, PruningConfig, UserProfile};
+use capnn_nn::{model_size, PruneMask};
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct TopcRow {
+    top_confusing: usize,
+    miseffectual_total: usize,
+    relative_size: f64,
+    top1: f32,
+    baseline_top1: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[ablation_topc] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let original = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+        .expect("size")
+        .total();
+    let mut rng = XorShiftRng::new(0xAB1A7E);
+    let classes = rng.sample_combination(rig.scale.classes, 2);
+    let profile = UserProfile::new(classes, vec![0.8, 0.2]).expect("profile");
+    let baseline_top1 = rig
+        .eval
+        .topk_accuracy(&PruneMask::all_kept(&rig.net), 1, Some(profile.classes()))
+        .expect("baseline");
+
+    let mut table = Table::new(vec![
+        "top confusing".into(),
+        "miseffectual units".into(),
+        "rel. size".into(),
+        "top-1".into(),
+    ]);
+    let mut rows = Vec::new();
+    for topc in [1usize, 3, 5, 8] {
+        let mut config = PruningConfig::paper();
+        config.top_confusing = topc;
+        let m = CapnnM::new(config).expect("valid");
+        let sets = m
+            .miseffectual_sets(&rig.net, &rig.confusion)
+            .expect("sets");
+        let mask = m
+            .prune(&rig.net, &rig.rates, &rig.confusion, &rig.eval, &profile)
+            .expect("prune");
+        let row = TopcRow {
+            top_confusing: topc,
+            miseffectual_total: sets.iter().map(Vec::len).sum(),
+            relative_size: model_size(&rig.net, &mask).expect("size").total() as f64
+                / original as f64,
+            top1: rig
+                .eval
+                .topk_accuracy(&mask, 1, Some(profile.classes()))
+                .expect("top1"),
+            baseline_top1,
+        };
+        table.row(vec![
+            topc.to_string(),
+            row.miseffectual_total.to_string(),
+            format!("{:.3}", row.relative_size),
+            format!("{:.1}%", row.top1 * 100.0),
+        ]);
+        rows.push(row);
+    }
+    println!("\nAblation — confusing-class count in CAP'NN-M (fixed 2-class profile)");
+    println!("baseline top-1 over user classes: {:.1}%", baseline_top1 * 100.0);
+    println!("{table}");
+
+    if let Some(path) = write_results_json("ablation_topc", &rows) {
+        eprintln!("[ablation_topc] results written to {}", path.display());
+    }
+}

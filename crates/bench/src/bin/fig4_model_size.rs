@@ -1,0 +1,73 @@
+//! Figure 4: average post-pruning relative model size for the 24
+//! `(K, usage)` configurations, for all three CAP'NN variants.
+//!
+//! Run with `cargo run --release -p capnn-bench --bin fig4_model_size`;
+//! set `CAPNN_SCALE=full` for paper-closer scale.
+
+use capnn_bench::experiments::VariantRunner;
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_data::paper_fig4_scenarios;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig4] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    eprintln!("[fig4] running CAP'NN-B offline pass (Algorithm 1)…");
+    let runner = VariantRunner::new(&rig);
+
+    let mut table = Table::new(vec![
+        "K".into(),
+        "usage".into(),
+        "CAP'NN-B".into(),
+        "CAP'NN-W".into(),
+        "CAP'NN-M".into(),
+    ]);
+    let mut rows = Vec::new();
+    for (i, scenario) in paper_fig4_scenarios().iter().enumerate() {
+        let row = runner.run_scenario(scenario, scale.combos_per_k, 0xF160 + i as u64);
+        table.row(vec![
+            row.k.to_string(),
+            row.distribution.clone(),
+            format!("{:.3}", row.basic.relative_size),
+            format!("{:.3}", row.weighted.relative_size),
+            format!("{:.3}", row.miseffectual.relative_size),
+        ]);
+        eprintln!(
+            "[fig4] {} done (B {:.3} / W {:.3} / M {:.3})",
+            scenario,
+            row.basic.relative_size,
+            row.weighted.relative_size,
+            row.miseffectual.relative_size
+        );
+        rows.push(row);
+    }
+    println!("\nFigure 4 — relative model size (1.0 = original), avg over {} random class combinations per cell", scale.combos_per_k);
+    println!("{table}");
+
+    // Per-K summary like the paper's prose ("for K = 5: B 66%, W 30%, M 29%")
+    let mut summary = Table::new(vec![
+        "K".into(),
+        "B avg".into(),
+        "W avg".into(),
+        "M avg".into(),
+    ]);
+    for k in [2usize, 3, 4, 5] {
+        let sel: Vec<_> = rows.iter().filter(|r| r.k == k).collect();
+        let n = sel.len().max(1) as f64;
+        let avg = |f: &dyn Fn(&capnn_bench::experiments::ScenarioRow) -> f64| {
+            sel.iter().map(|r| f(r)).sum::<f64>() / n
+        };
+        summary.row(vec![
+            k.to_string(),
+            format!("{:.3}", avg(&|r| r.basic.relative_size)),
+            format!("{:.3}", avg(&|r| r.weighted.relative_size)),
+            format!("{:.3}", avg(&|r| r.miseffectual.relative_size)),
+        ]);
+    }
+    println!("Per-K averages:");
+    println!("{summary}");
+
+    if let Some(path) = write_results_json("fig4_model_size", &rows) {
+        eprintln!("[fig4] results written to {}", path.display());
+    }
+}

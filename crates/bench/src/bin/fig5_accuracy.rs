@@ -1,0 +1,58 @@
+//! Figure 5: top-1 accuracy of the three CAP'NN variants across the 24
+//! `(K, usage)` configurations (top-5 is reported alongside, as in the
+//! paper's prose), plus the K = 10 summary quoted in the abstract.
+
+use capnn_bench::experiments::VariantRunner;
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_data::{paper_fig4_scenarios, UsageDistribution, UsageScenario};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig5] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    eprintln!("[fig5] running CAP'NN-B offline pass (Algorithm 1)…");
+    let runner = VariantRunner::new(&rig);
+
+    let mut table = Table::new(vec![
+        "K".into(),
+        "usage".into(),
+        "baseline".into(),
+        "CAP'NN-B".into(),
+        "CAP'NN-W".into(),
+        "CAP'NN-M".into(),
+        "M gain".into(),
+    ]);
+    let mut rows = Vec::new();
+    for (i, scenario) in paper_fig4_scenarios().iter().enumerate() {
+        let row = runner.run_scenario(scenario, scale.combos_per_k, 0xF160 + i as u64);
+        table.row(vec![
+            row.k.to_string(),
+            row.distribution.clone(),
+            format!("{:.1}%", row.baseline_top1 * 100.0),
+            format!("{:.1}%", row.basic.top1 * 100.0),
+            format!("{:.1}%", row.weighted.top1 * 100.0),
+            format!("{:.1}%", row.miseffectual.top1 * 100.0),
+            format!("{:+.1}%", (row.miseffectual.top1 - row.baseline_top1) * 100.0),
+        ]);
+        eprintln!("[fig5] {scenario} done");
+        rows.push(row);
+    }
+    println!("\nFigure 5 — top-1 accuracy over user classes, avg over {} combos per cell", scale.combos_per_k);
+    println!("{table}");
+
+    // K = 10 summary (paper: +2.3% top-1, +3.2% top-5, relative size 0.48)
+    let k10 = 10.min(rig.scale.classes.saturating_sub(1)).max(2);
+    let scenario = UsageScenario::new(k10, UsageDistribution::uniform(k10)).expect("uniform fits");
+    let row = runner.run_scenario(&scenario, scale.combos_per_k, 0xCAFE);
+    println!(
+        "K = {k10} summary (CAP'NN-M): top-1 {:+.1}% | top-5 {:+.1}% | relative size {:.2}",
+        (row.miseffectual.top1 - row.baseline_top1) * 100.0,
+        (row.miseffectual.top5 - row.baseline_top5) * 100.0,
+        row.miseffectual.relative_size
+    );
+    rows.push(row);
+
+    if let Some(path) = write_results_json("fig5_accuracy", &rows) {
+        eprintln!("[fig5] results written to {}", path.display());
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 6: CAP'NN-M model-size vs accuracy trade-off as the number of
+//! user-specified classes `K` grows toward the full class count.
+//!
+//! The paper sweeps K up to 100 on a 1000-class model (10 % of the label
+//! space, where the relative size approaches 0.9 and further pruning stops
+//! paying). Our substrate model has `CAPNN_SCALE`-many classes, so the sweep
+//! covers the same *fractions* of the label space and the same two takeaways
+//! are checked: size grows with K, and accuracy degradation stays within ε
+//! regardless of K.
+
+use capnn_bench::experiments::{distributions_for_k, VariantRunner};
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::UserProfile;
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    k: usize,
+    fraction_of_classes: f64,
+    relative_size: f64,
+    top1: f32,
+    baseline_top1: f32,
+    max_class_degradation: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[fig6] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let runner = VariantRunner::new(&rig);
+    let total = rig.scale.classes;
+    let ks: Vec<usize> = (1..=6)
+        .map(|i| (total * i / 6).max(2))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let mut table = Table::new(vec![
+        "K".into(),
+        "K/|C|".into(),
+        "rel. size".into(),
+        "top-1".into(),
+        "baseline".into(),
+        "max class degr.".into(),
+    ]);
+    let mut rows = Vec::new();
+    let mut rng = XorShiftRng::new(0xF16);
+    for &k in &ks {
+        let mut size_sum = 0.0f64;
+        let mut top1_sum = 0.0f32;
+        let mut base_sum = 0.0f32;
+        let mut degr_max = 0.0f32;
+        let combos = scale.combos_per_k.max(1);
+        let dists = distributions_for_k(k);
+        let mut cells = 0usize;
+        for _ in 0..combos {
+            let classes = rng.sample_combination(total, k);
+            for dist in &dists {
+                let profile =
+                    UserProfile::with_distribution(classes.clone(), dist).expect("profile");
+                let mask = runner.mask_for(&profile, capnn_core::Variant::Miseffectual);
+                let cell = runner.evaluate(&mask, &profile);
+                let (b1, _) = runner.baseline(&profile);
+                let degr = rig
+                    .eval
+                    .max_degradation(&mask, Some(profile.classes()))
+                    .expect("degradation");
+                size_sum += cell.relative_size;
+                top1_sum += cell.top1;
+                base_sum += b1;
+                degr_max = degr_max.max(degr);
+                cells += 1;
+            }
+        }
+        let n = cells.max(1);
+        let row = SweepRow {
+            k,
+            fraction_of_classes: k as f64 / total as f64,
+            relative_size: size_sum / n as f64,
+            top1: top1_sum / n as f32,
+            baseline_top1: base_sum / n as f32,
+            max_class_degradation: degr_max,
+        };
+        table.row(vec![
+            k.to_string(),
+            format!("{:.0}%", row.fraction_of_classes * 100.0),
+            format!("{:.3}", row.relative_size),
+            format!("{:.1}%", row.top1 * 100.0),
+            format!("{:.1}%", row.baseline_top1 * 100.0),
+            format!("{:.1}%", row.max_class_degradation * 100.0),
+        ]);
+        eprintln!("[fig6] K = {k} done");
+        rows.push(row);
+    }
+    println!("\nFigure 6 — CAP'NN-M size/accuracy trade-off vs K (ε = {:.0}%)", rig.config.epsilon * 100.0);
+    println!("{table}");
+
+    // Key takeaways from the paper
+    let monotone = rows.windows(2).all(|w| w[1].relative_size >= w[0].relative_size - 0.02);
+    let bounded = rows
+        .iter()
+        .all(|r| r.max_class_degradation <= rig.config.epsilon + 1e-4);
+    println!("size grows with K: {monotone}; degradation ≤ ε everywhere: {bounded}");
+
+    if let Some(path) = write_results_json("fig6_tradeoff", &rows) {
+        eprintln!("[fig6] results written to {}", path.display());
+    }
+}

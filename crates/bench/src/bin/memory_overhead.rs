@@ -1,0 +1,71 @@
+//! §V-C memory-overhead accounting: the cost of storing CAP'NN-W/M's
+//! per-class firing rates (3-bit quantized) relative to the 16-bit model,
+//! and CAP'NN-B's binary pruning matrices for comparison.
+//!
+//! The paper reports 3.6 MB of firing rates vs 276 MB of VGG-16 weights
+//! (≈1.3 %); the same ratio-level accounting is reproduced on the substrate
+//! model.
+
+use capnn_bench::experiments::VariantRunner;
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_profile::quantize_rates;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct OverheadReport {
+    model_bytes_16bit: u64,
+    rates_bytes_3bit: u64,
+    rates_bytes_32bit: u64,
+    basic_matrix_bytes: u64,
+    overhead_pct_3bit: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[memory] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let runner = VariantRunner::new(&rig);
+
+    let model_bytes = rig.net.param_count() as u64 * 2; // 16-bit weights
+    let q3 = quantize_rates(&rig.rates, 3);
+    let report = OverheadReport {
+        model_bytes_16bit: model_bytes,
+        rates_bytes_3bit: q3.memory_bytes(),
+        rates_bytes_32bit: rig.rates.memory_bytes(32),
+        basic_matrix_bytes: runner.matrices().memory_bytes(),
+        overhead_pct_3bit: 100.0 * q3.memory_bytes() as f64 / model_bytes as f64,
+    };
+
+    let mut table = Table::new(vec!["Artifact".into(), "Bytes".into(), "% of model".into()]);
+    let pct = |b: u64| format!("{:.2}%", 100.0 * b as f64 / model_bytes as f64);
+    table.row(vec![
+        "model (16-bit weights)".into(),
+        report.model_bytes_16bit.to_string(),
+        "100%".into(),
+    ]);
+    table.row(vec![
+        "firing rates (3-bit, CAP'NN-W/M)".into(),
+        report.rates_bytes_3bit.to_string(),
+        pct(report.rates_bytes_3bit),
+    ]);
+    table.row(vec![
+        "firing rates (f32, unquantized)".into(),
+        report.rates_bytes_32bit.to_string(),
+        pct(report.rates_bytes_32bit),
+    ]);
+    table.row(vec![
+        "pruning matrices (1-bit, CAP'NN-B)".into(),
+        report.basic_matrix_bytes.to_string(),
+        pct(report.basic_matrix_bytes),
+    ]);
+    println!("\n§V-C — cloud-side storage overhead of class-aware pruning state");
+    println!("{table}");
+    println!(
+        "3-bit quantization keeps the overhead at {:.2}% of the model (paper: ≈1.3% on VGG-16).",
+        report.overhead_pct_3bit
+    );
+
+    if let Some(path) = write_results_json("memory_overhead", &report) {
+        eprintln!("[memory] results written to {}", path.display());
+    }
+}

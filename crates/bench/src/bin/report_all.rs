@@ -1,0 +1,144 @@
+//! Digest: reads every JSON result in `results/` (as produced by the
+//! experiment binaries / `scripts/run_all_experiments.sh`) and prints a
+//! one-page summary with the paper-shape checks, suitable for pasting into
+//! a lab notebook.
+
+use capnn_bench::Table;
+use serde_json::Value;
+use std::path::Path;
+
+fn load(name: &str) -> Option<Value> {
+    let path = Path::new("results").join(format!("{name}.json"));
+    let bytes = std::fs::read(path).ok()?;
+    serde_json::from_slice(&bytes).ok()
+}
+
+fn f(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn main() {
+    println!("CAP'NN reproduction — result digest (from results/*.json)\n");
+    let mut checks = Table::new(vec![
+        "check".into(),
+        "status".into(),
+        "evidence".into(),
+    ]);
+    let mut missing = Vec::new();
+
+    if let Some(rows) = load("fig4_model_size").and_then(|v| v.as_array().cloned()) {
+        let ordered = rows.iter().all(|r| {
+            let b = f(&r["basic"], "relative_size");
+            let w = f(&r["weighted"], "relative_size");
+            let m = f(&r["miseffectual"], "relative_size");
+            w <= b + 0.03 && m <= w + 0.03
+        });
+        checks.row(vec![
+            "Fig.4 size ordering B ≥ W ≥ M".into(),
+            if ordered { "PASS" } else { "FAIL" }.into(),
+            format!("{} scenarios", rows.len()),
+        ]);
+    } else {
+        missing.push("fig4_model_size");
+    }
+
+    if let Some(rows) = load("fig5_accuracy").and_then(|v| v.as_array().cloned()) {
+        let gains = rows
+            .iter()
+            .filter(|r| {
+                f(&r["miseffectual"], "top1") > f(r, "baseline_top1")
+            })
+            .count();
+        checks.row(vec![
+            "Fig.5 CAP'NN-M improves top-1 somewhere".into(),
+            if gains > 0 { "PASS" } else { "FAIL" }.into(),
+            format!("{gains}/{} scenarios improved", rows.len()),
+        ]);
+    } else {
+        missing.push("fig5_accuracy");
+    }
+
+    if let Some(rows) = load("fig6_tradeoff").and_then(|v| v.as_array().cloned()) {
+        let monotone = rows.windows(2).all(|w| {
+            f(&w[1], "relative_size") >= f(&w[0], "relative_size") - 0.05
+        });
+        let bounded = rows
+            .iter()
+            .all(|r| f(r, "max_class_degradation") <= 0.031);
+        checks.row(vec![
+            "Fig.6 size grows with K, degradation ≤ ε".into(),
+            if monotone && bounded { "PASS" } else { "FAIL" }.into(),
+            format!("K sweep of {}", rows.len()),
+        ]);
+    } else {
+        missing.push("fig6_tradeoff");
+    }
+
+    if let Some(rows) = load("table1_energy").and_then(|v| v.as_array().cloned()) {
+        let monotone = rows
+            .windows(2)
+            .all(|w| f(&w[1], "relative_energy") >= f(&w[0], "relative_energy") - 0.05);
+        let first = rows.first().map(|r| f(r, "relative_energy")).unwrap_or(1.0);
+        checks.row(vec![
+            "Table I energy rises with K, big savings at K=2".into(),
+            if monotone && first < 0.6 { "PASS" } else { "FAIL" }.into(),
+            format!("K=2 relative energy {first:.2}"),
+        ]);
+    } else {
+        missing.push("table1_energy");
+    }
+
+    if let Some(rows) = load("table2_stacking").and_then(|v| v.as_array().cloned()) {
+        let shrinks = rows
+            .iter()
+            .all(|r| f(r, "size_with") < f(r, "size_without"));
+        checks.row(vec![
+            "Table II stacking shrinks class-unaware pruned models".into(),
+            if shrinks { "PASS" } else { "FAIL" }.into(),
+            format!("{} method×K cells", rows.len()),
+        ]);
+    } else {
+        missing.push("table2_stacking");
+    }
+
+    if let Some(rows) = load("table3_captor").and_then(|v| v.as_array().cloned()) {
+        let small_win = rows
+            .first()
+            .map(|r| f(r, "capnn_energy") < f(r, "captor_energy"))
+            .unwrap_or(false);
+        checks.row(vec![
+            "Table III CAP'NN beats CAPTOR-style at 10% of classes".into(),
+            if small_win { "PASS" } else { "FAIL" }.into(),
+            rows.first()
+                .map(|r| {
+                    format!(
+                        "{:.2} vs {:.2}",
+                        f(r, "capnn_energy"),
+                        f(r, "captor_energy")
+                    )
+                })
+                .unwrap_or_default(),
+        ]);
+    } else {
+        missing.push("table3_captor");
+    }
+
+    if let Some(v) = load("memory_overhead") {
+        let pct = f(&v, "overhead_pct_3bit");
+        checks.row(vec![
+            "§V-C firing-rate overhead ≈ 1.3% of model".into(),
+            if (pct - 1.3).abs() < 0.5 { "PASS" } else { "FAIL" }.into(),
+            format!("{pct:.2}%"),
+        ]);
+    } else {
+        missing.push("memory_overhead");
+    }
+
+    println!("{checks}");
+    if !missing.is_empty() {
+        println!(
+            "missing results (run scripts/run_all_experiments.sh): {}",
+            missing.join(", ")
+        );
+    }
+}

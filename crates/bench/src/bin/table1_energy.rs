@@ -1,0 +1,98 @@
+//! Table I: component energies of the accelerator model and the relative
+//! energy consumption of the CAP'NN-M-pruned network for K ∈ {2, 3, 4, 5,
+//! 10} user classes, averaged over usage distributions and random class
+//! combinations.
+
+use capnn_bench::experiments::{distributions_for_k, EnergyRig, VariantRunner};
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::UserProfile;
+use capnn_nn::PruneMask;
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct EnergyRow {
+    k: usize,
+    relative_energy: f64,
+    relative_dram: f64,
+    relative_macs: f64,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[table1] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let runner = VariantRunner::new(&rig);
+    let energy_rig = EnergyRig::new();
+    let baseline = energy_rig.energy(&rig.net, &PruneMask::all_kept(&rig.net));
+
+    // Left half of Table I: the component energies in force.
+    let m = &energy_rig.model;
+    let mut components = Table::new(vec!["Component".into(), "Energy (pJ)".into()]);
+    components.row(vec!["16-bit adder".into(), format!("{}", m.adder_pj)]);
+    components.row(vec!["16-bit multiplier".into(), format!("{}", m.multiplier_pj)]);
+    components.row(vec![
+        "Max Pool / ReLU".into(),
+        format!("{} / {}", m.max_pool_pj, m.relu_pj),
+    ]);
+    components.row(vec!["SRAM".into(), format!("{}", m.sram_pj)]);
+    components.row(vec!["DRAM".into(), format!("{}", m.dram_pj)]);
+    println!("\nTable I (left) — component energies:");
+    println!("{components}");
+
+    let mut table = Table::new(vec![
+        "Number of classes".into(),
+        "Relative energy".into(),
+    ]);
+    let mut rows = Vec::new();
+    let mut rng = XorShiftRng::new(0x7AB1E1);
+    let ks: Vec<usize> = [2usize, 3, 4, 5, 10]
+        .into_iter()
+        .filter(|&k| k < rig.scale.classes)
+        .collect();
+    for &k in &ks {
+        let mut rel_sum = 0.0f64;
+        let mut dram_sum = 0.0f64;
+        let mut mac_sum = 0.0f64;
+        let mut cells = 0usize;
+        for _ in 0..scale.combos_per_k.max(1) {
+            let classes = rng.sample_combination(rig.scale.classes, k);
+            for dist in distributions_for_k(k) {
+                let profile =
+                    UserProfile::with_distribution(classes.clone(), &dist).expect("profile");
+                let mask = runner.mask_for(&profile, capnn_core::Variant::Miseffectual);
+                let e = energy_rig.energy(&rig.net, &mask);
+                rel_sum += e.relative_to(&baseline);
+                dram_sum += e.dram_pj / baseline.dram_pj.max(1e-12);
+                mac_sum += e.mac_pj / baseline.mac_pj.max(1e-12);
+                cells += 1;
+            }
+        }
+        let n = cells.max(1) as f64;
+        let row = EnergyRow {
+            k,
+            relative_energy: rel_sum / n,
+            relative_dram: dram_sum / n,
+            relative_macs: mac_sum / n,
+        };
+        table.row(vec![k.to_string(), format!("{:.2}", row.relative_energy)]);
+        eprintln!(
+            "[table1] K = {k}: relative energy {:.2} (DRAM {:.2}, MAC {:.2})",
+            row.relative_energy, row.relative_dram, row.relative_macs
+        );
+        rows.push(row);
+    }
+    println!("Table I (right) — relative energy of VGG-mini pruned with CAP'NN-M:");
+    println!("{table}");
+    println!(
+        "original inference energy: {:.1} µJ (MAC {:.1}%, SRAM {:.1}%, DRAM {:.1}%)",
+        baseline.total_pj() / 1e6,
+        100.0 * baseline.mac_pj / baseline.total_pj(),
+        100.0 * baseline.sram_pj / baseline.total_pj(),
+        100.0 * baseline.dram_pj / baseline.total_pj(),
+    );
+
+    if let Some(path) = write_results_json("table1_energy", &rows) {
+        eprintln!("[table1] results written to {}", path.display());
+    }
+}

@@ -1,0 +1,143 @@
+//! Table II: CAP'NN-M applied *on top of* class-unaware pruned (and
+//! fine-tuned) models — the He-style channel-pruning and ThiNet-style
+//! baselines — for K ∈ {2..5}. Reports relative model size (relative to the
+//! ORIGINAL unpruned network) and top-1/top-5 accuracies over the user
+//! classes, without and with CAP'NN.
+
+use capnn_baselines::{ChannelMethod, StructuredPruner};
+use capnn_bench::{write_results_json, PaperRig, Scale, Table};
+use capnn_core::{CapnnM, TailEvaluator, UserProfile};
+use capnn_nn::{model_size, Network, PruneMask};
+use capnn_profile::{ConfusionMatrix, FiringRateProfiler};
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct StackRow {
+    method: String,
+    k: usize,
+    size_without: f64,
+    size_with: f64,
+    top1_without: f32,
+    top1_with: f32,
+    top5_without: f32,
+    top5_with: f32,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("[table2] building rig ({:?})…", scale);
+    let rig = PaperRig::build(scale);
+    let original_size = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+        .expect("size")
+        .total();
+    let calibration = rig.images.generate(4, 0xCA11B);
+    let train = rig.images.generate(rig.scale.train_per_class, 0x7EA1);
+
+    let mut rows = Vec::new();
+    for (method, fraction) in [
+        (ChannelMethod::Reconstruction, 0.04), // ThiNet-style, ≈0.94 rel.
+        (ChannelMethod::Activation, 0.06),     // He-style channel pruning, ≈0.90
+    ] {
+        eprintln!("[table2] preparing {method} baseline (prune + fine-tune)…");
+        let pruner = StructuredPruner::new(method, fraction).expect("valid fraction");
+        let pruned = pruner
+            .prune_and_finetune(&rig.net, &calibration, &train, 3, 0xF17E)
+            .expect("baseline pipeline");
+        let base_size = pruned.param_count() as f64 / original_size as f64;
+        eprintln!("[table2] {method}: relative size without CAP'NN = {base_size:.3}");
+
+        // Cloud-style preprocessing on the pruned+retrained model.
+        let profiling = rig.images.generate(rig.scale.profile_per_class, 0xF1E1D);
+        let eval_ds = rig.images.generate(rig.scale.eval_per_class, 0xE7A1);
+        let rates = FiringRateProfiler::new(rig.config.tail_layers)
+            .profile(&pruned, &profiling)
+            .expect("profiling");
+        let confusion = ConfusionMatrix::measure(&pruned, &profiling).expect("confusion");
+        let eval =
+            TailEvaluator::new(&pruned, &eval_ds, rig.config.tail_layers).expect("evaluator");
+        let m = CapnnM::new(rig.config).expect("config");
+
+        let mut rng = XorShiftRng::new(0x7AB1E2);
+        for k in 2usize..=5 {
+            let mut acc = StackRow {
+                method: method.to_string(),
+                k,
+                size_without: base_size,
+                size_with: 0.0,
+                top1_without: 0.0,
+                top1_with: 0.0,
+                top5_without: 0.0,
+                top5_with: 0.0,
+            };
+            let combos = scale.combos_per_k.max(1);
+            for _ in 0..combos {
+                let classes = rng.sample_combination(rig.scale.classes, k);
+                let profile = UserProfile::uniform(classes).expect("profile");
+                let unmasked = PruneMask::all_kept(&pruned);
+                acc.top1_without += eval
+                    .topk_accuracy(&unmasked, 1, Some(profile.classes()))
+                    .expect("top1");
+                acc.top5_without += eval
+                    .topk_accuracy(&unmasked, 5, Some(profile.classes()))
+                    .expect("top5");
+                let mask = m
+                    .prune(&pruned, &rates, &confusion, &eval, &profile)
+                    .expect("CAP'NN-M on pruned model");
+                let size = model_size(&pruned, &mask).expect("size");
+                acc.size_with += size.total() as f64 / original_size as f64;
+                acc.top1_with += eval
+                    .topk_accuracy(&mask, 1, Some(profile.classes()))
+                    .expect("top1");
+                acc.top5_with += eval
+                    .topk_accuracy(&mask, 5, Some(profile.classes()))
+                    .expect("top5");
+            }
+            let n = combos as f32;
+            acc.size_with /= combos as f64;
+            acc.top1_without /= n;
+            acc.top1_with /= n;
+            acc.top5_without /= n;
+            acc.top5_with /= n;
+            eprintln!("[table2] {method} K = {k} done");
+            rows.push(acc);
+        }
+        let _ = &pruned as &Network;
+    }
+
+    let mut size_table = Table::new(vec![
+        "method".into(),
+        "K".into(),
+        "size w/o CAP'NN".into(),
+        "size w/ CAP'NN".into(),
+    ]);
+    let mut acc_table = Table::new(vec![
+        "method".into(),
+        "K".into(),
+        "top1/top5 w/o".into(),
+        "top1/top5 w/".into(),
+    ]);
+    for r in &rows {
+        size_table.row(vec![
+            r.method.clone(),
+            r.k.to_string(),
+            format!("{:.2}", r.size_without),
+            format!("{:.2}", r.size_with),
+        ]);
+        acc_table.row(vec![
+            r.method.clone(),
+            r.k.to_string(),
+            format!("{:.1}% / {:.1}%", r.top1_without * 100.0, r.top5_without * 100.0),
+            format!("{:.1}% / {:.1}%", r.top1_with * 100.0, r.top5_with * 100.0),
+        ]);
+    }
+    println!("\nTable II — CAP'NN-M stacked on class-unaware pruned models");
+    println!("Relative model size (vs original unpruned network):");
+    println!("{size_table}");
+    println!("Top-1 / Top-5 accuracy over user classes:");
+    println!("{acc_table}");
+
+    if let Some(path) = write_results_json("table2_stacking", &rows) {
+        eprintln!("[table2] results written to {}", path.display());
+    }
+}

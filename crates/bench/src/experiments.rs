@@ -1,0 +1,307 @@
+//! Shared experiment logic used by the per-figure/table binaries.
+
+use crate::rig::PaperRig;
+use capnn_accel::{
+    network_energy, network_workload, AcceleratorConfig, EnergyBreakdown, EnergyModel,
+    SystolicModel,
+};
+use capnn_core::{CapnnB, CapnnM, CapnnW, PruningMatrices, UserProfile, Variant};
+use capnn_data::{UsageDistribution, UsageScenario};
+use capnn_nn::{model_size, PruneMask};
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+
+/// Result of pruning one `(scenario, class-combination)` cell with one
+/// variant.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Remaining parameters relative to the original model.
+    pub relative_size: f64,
+    /// Top-1 accuracy over the user's classes.
+    pub top1: f32,
+    /// Top-5 accuracy over the user's classes.
+    pub top5: f32,
+}
+
+/// Averaged results of one usage scenario for all three variants.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioRow {
+    /// Number of user classes.
+    pub k: usize,
+    /// Usage split, e.g. `"10%-90%"`.
+    pub distribution: String,
+    /// Unpruned top-1 accuracy over the user classes (averaged over combos).
+    pub baseline_top1: f32,
+    /// Unpruned top-5 accuracy over the user classes.
+    pub baseline_top5: f32,
+    /// CAP'NN-B averages.
+    pub basic: CellResult,
+    /// CAP'NN-W averages.
+    pub weighted: CellResult,
+    /// CAP'NN-M averages.
+    pub miseffectual: CellResult,
+}
+
+/// Shared pruning state reused across scenarios (the expensive CAP'NN-B
+/// offline matrices are computed once).
+pub struct VariantRunner<'a> {
+    rig: &'a PaperRig,
+    matrices: PruningMatrices,
+    w: CapnnW,
+    m: CapnnM,
+    original_size: usize,
+}
+
+impl<'a> VariantRunner<'a> {
+    /// Prepares the runner; runs Algorithm 1 once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rig's pieces disagree structurally (a bug, not a user
+    /// error).
+    pub fn new(rig: &'a PaperRig) -> Self {
+        let b = CapnnB::new(rig.config).expect("validated config");
+        let matrices = b
+            .offline(&rig.net, &rig.rates, &rig.eval)
+            .expect("offline matrices");
+        let original_size = model_size(&rig.net, &PruneMask::all_kept(&rig.net))
+            .expect("original size")
+            .total();
+        Self {
+            rig,
+            matrices,
+            w: CapnnW::new(rig.config).expect("validated config"),
+            m: CapnnM::new(rig.config).expect("validated config"),
+            original_size,
+        }
+    }
+
+    /// The cached CAP'NN-B matrices.
+    pub fn matrices(&self) -> &PruningMatrices {
+        &self.matrices
+    }
+
+    /// Original (unpruned) parameter count.
+    pub fn original_size(&self) -> usize {
+        self.original_size
+    }
+
+    /// Prunes with one variant for one profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structural errors (bug).
+    pub fn mask_for(&self, profile: &UserProfile, variant: Variant) -> PruneMask {
+        match variant {
+            Variant::Basic => CapnnB::online(&self.rig.net, &self.matrices, profile.classes())
+                .expect("online intersection"),
+            Variant::Weighted => self
+                .w
+                .prune(&self.rig.net, &self.rig.rates, &self.rig.eval, profile)
+                .expect("CAP'NN-W"),
+            Variant::Miseffectual => self
+                .m
+                .prune(
+                    &self.rig.net,
+                    &self.rig.rates,
+                    &self.rig.confusion,
+                    &self.rig.eval,
+                    profile,
+                )
+                .expect("CAP'NN-M"),
+        }
+    }
+
+    /// Evaluates one mask: relative size + top-1/top-5 over the profile's
+    /// classes.
+    pub fn evaluate(&self, mask: &PruneMask, profile: &UserProfile) -> CellResult {
+        let size = model_size(&self.rig.net, mask).expect("size accounting");
+        let top1 = self
+            .rig
+            .eval
+            .topk_accuracy(mask, 1, Some(profile.classes()))
+            .expect("top-1");
+        let top5 = self
+            .rig
+            .eval
+            .topk_accuracy(mask, 5, Some(profile.classes()))
+            .expect("top-5");
+        CellResult {
+            relative_size: size.total() as f64 / self.original_size as f64,
+            top1,
+            top5,
+        }
+    }
+
+    /// Baseline (unpruned) accuracies over a profile's classes.
+    pub fn baseline(&self, profile: &UserProfile) -> (f32, f32) {
+        let mask = PruneMask::all_kept(&self.rig.net);
+        let top1 = self
+            .rig
+            .eval
+            .topk_accuracy(&mask, 1, Some(profile.classes()))
+            .expect("top-1");
+        let top5 = self
+            .rig
+            .eval
+            .topk_accuracy(&mask, 5, Some(profile.classes()))
+            .expect("top-5");
+        (top1, top5)
+    }
+
+    /// Runs one scenario averaged over `combos` random class combinations.
+    pub fn run_scenario(&self, scenario: &UsageScenario, combos: usize, seed: u64) -> ScenarioRow {
+        let mut rng = XorShiftRng::new(seed);
+        let mut acc = ScenarioAccumulator::default();
+        for _ in 0..combos {
+            let classes = rng.sample_combination(self.rig.scale.classes, scenario.k);
+            let profile =
+                UserProfile::with_distribution(classes, &scenario.distribution).expect("profile");
+            let (b1, b5) = self.baseline(&profile);
+            acc.baseline_top1 += b1;
+            acc.baseline_top5 += b5;
+            for (variant, slot) in [
+                (Variant::Basic, 0usize),
+                (Variant::Weighted, 1),
+                (Variant::Miseffectual, 2),
+            ] {
+                let mask = self.mask_for(&profile, variant);
+                let cell = self.evaluate(&mask, &profile);
+                acc.add(slot, &cell);
+            }
+        }
+        acc.finish(scenario, combos)
+    }
+}
+
+#[derive(Default)]
+struct ScenarioAccumulator {
+    baseline_top1: f32,
+    baseline_top5: f32,
+    sums: [(f64, f32, f32); 3],
+}
+
+impl ScenarioAccumulator {
+    fn add(&mut self, slot: usize, cell: &CellResult) {
+        self.sums[slot].0 += cell.relative_size;
+        self.sums[slot].1 += cell.top1;
+        self.sums[slot].2 += cell.top5;
+    }
+
+    fn finish(self, scenario: &UsageScenario, combos: usize) -> ScenarioRow {
+        let n = combos.max(1) as f64;
+        let nf = combos.max(1) as f32;
+        let cell = |i: usize| CellResult {
+            relative_size: self.sums[i].0 / n,
+            top1: self.sums[i].1 / nf,
+            top5: self.sums[i].2 / nf,
+        };
+        ScenarioRow {
+            k: scenario.k,
+            distribution: scenario.distribution.to_string(),
+            baseline_top1: self.baseline_top1 / nf,
+            baseline_top5: self.baseline_top5 / nf,
+            basic: cell(0),
+            weighted: cell(1),
+            miseffectual: cell(2),
+        }
+    }
+}
+
+/// Usage distributions averaged over for a given `K` in the energy and
+/// large-`K` experiments: the paper grid's entries for `K ≤ 5`, otherwise a
+/// uniform split plus a heavily skewed (head-heavy) split.
+pub fn distributions_for_k(k: usize) -> Vec<UsageDistribution> {
+    let presets: Vec<UsageDistribution> = capnn_data::paper_fig4_scenarios()
+        .into_iter()
+        .filter(|s| s.k == k)
+        .map(|s| s.distribution)
+        .collect();
+    if !presets.is_empty() {
+        return presets;
+    }
+    let uniform = UsageDistribution::uniform(k);
+    // head-heavy: first class takes half, the rest share the remainder
+    let mut w = vec![0.5f32];
+    w.extend(std::iter::repeat_n(0.5 / (k - 1) as f32, k - 1));
+    let skewed = UsageDistribution::new(w).expect("sums to 1");
+    vec![uniform, skewed]
+}
+
+/// The accelerator + energy stack used by the energy experiments.
+pub struct EnergyRig {
+    /// Systolic access model.
+    pub systolic: SystolicModel,
+    /// Table I component energies.
+    pub model: EnergyModel,
+}
+
+impl EnergyRig {
+    /// Builds the default TPU-like stack.
+    ///
+    /// # Panics
+    ///
+    /// Never: the default configuration is valid.
+    pub fn new() -> Self {
+        Self {
+            systolic: SystolicModel::new(AcceleratorConfig::tpu_like())
+                .expect("default config is valid"),
+            model: EnergyModel::paper_table1(),
+        }
+    }
+
+    /// Energy of one inference of `net` under `mask`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask does not match the network (bug).
+    pub fn energy(&self, net: &capnn_nn::Network, mask: &PruneMask) -> EnergyBreakdown {
+        let wl = network_workload(net, mask).expect("workload");
+        network_energy(&self.model, &self.systolic, &wl)
+    }
+}
+
+impl Default for EnergyRig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_nn::NetworkBuilder;
+
+    #[test]
+    fn distributions_for_small_k_use_paper_grid() {
+        assert_eq!(distributions_for_k(2).len(), 5);
+        assert_eq!(distributions_for_k(3).len(), 6);
+        assert_eq!(distributions_for_k(5).len(), 7);
+        for k in 2..=5 {
+            for d in distributions_for_k(k) {
+                assert_eq!(d.k(), k);
+                assert!(d.is_normalized());
+            }
+        }
+    }
+
+    #[test]
+    fn distributions_for_large_k_synthesized() {
+        let ds = distributions_for_k(10);
+        assert_eq!(ds.len(), 2);
+        for d in &ds {
+            assert_eq!(d.k(), 10);
+            assert!(d.is_normalized());
+        }
+        // first is uniform, second head-heavy
+        assert!(ds[0].entropy_bits() > ds[1].entropy_bits());
+    }
+
+    #[test]
+    fn energy_rig_produces_positive_energy() {
+        let rig = EnergyRig::default();
+        let net = NetworkBuilder::mlp(&[8, 16, 4], 1).build().unwrap();
+        let e = rig.energy(&net, &PruneMask::all_kept(&net));
+        assert!(e.total_pj() > 0.0);
+    }
+}

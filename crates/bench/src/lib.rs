@@ -1,0 +1,20 @@
+//! Experiment harness for the CAP'NN reproduction.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it (see DESIGN.md's experiment index). This library holds the
+//! shared rig — a VGG-style network trained on the synthetic class-family
+//! corpus, with firing rates, confusion matrix and evaluator prepared the
+//! way the paper's cloud does — plus table-printing and result-recording
+//! helpers.
+//!
+//! Scale is controlled by the `CAPNN_SCALE` environment variable:
+//! `small` (default, minutes) or `full` (closer to paper scale, much
+//! longer). Trained networks are cached under `target/capnn-cache/` so
+//! repeated experiment runs skip training.
+
+pub mod experiments;
+pub mod report;
+pub mod rig;
+
+pub use report::{write_results_json, Table};
+pub use rig::{PaperRig, Scale};

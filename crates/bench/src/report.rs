@@ -1,0 +1,118 @@
+//! Console tables and JSON result recording for the experiment binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A simple fixed-width console table matching the paper's row/column
+/// layout.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_bench::Table;
+///
+/// let mut t = Table::new(vec!["K".into(), "relative size".into()]);
+/// t.row(vec!["2".into(), "0.33".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("relative size"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row(&mut self, mut cells: Vec<String>) {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<w$}")?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writes a serializable result set to `results/<name>.json` (created on
+/// demand), returning the path. Failures are reported but non-fatal — the
+/// console table is the primary output.
+pub fn write_results_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_vec_pretty(value) {
+        Ok(bytes) => std::fs::write(&path, bytes).ok().map(|()| path),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a".into(), "long header".into()]);
+        t.row(vec!["wide cell".into(), "x".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // all lines equal width for the first column
+        assert!(lines[0].contains("a         | long header"));
+        assert!(lines[2].starts_with("wide cell | x"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let s = t.to_string();
+        assert!(s.lines().count() == 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! The shared experiment rig: trained network + cloud-side profiles.
+
+use capnn_core::{CloudServer, PruningConfig, TailEvaluator};
+use capnn_data::{Dataset, SyntheticImages, SyntheticImagesConfig};
+use capnn_nn::{Network, NetworkBuilder, Trainer, TrainerConfig, VggConfig};
+use capnn_profile::{ConfusionMatrix, FiringRateProfiler, FiringRates};
+use std::path::PathBuf;
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Total output classes in the trained model.
+    pub classes: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Profiling samples per class (the paper uses 200 on ImageNet).
+    pub profile_per_class: usize,
+    /// Evaluation samples per class for the ε checks and accuracy reports.
+    pub eval_per_class: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Random class combinations averaged per `K` (the paper uses 200).
+    pub combos_per_k: usize,
+}
+
+impl Scale {
+    /// Fast default: small class count, a handful of combinations.
+    pub fn small() -> Self {
+        Self {
+            classes: 12,
+            train_per_class: 48,
+            profile_per_class: 16,
+            eval_per_class: 10,
+            epochs: 14,
+            combos_per_k: 3,
+        }
+    }
+
+    /// Closer to the paper's scale (still laptop-feasible).
+    pub fn full() -> Self {
+        Self {
+            classes: 24,
+            train_per_class: 64,
+            profile_per_class: 32,
+            eval_per_class: 12,
+            epochs: 16,
+            combos_per_k: 20,
+        }
+    }
+
+    /// Reads `CAPNN_SCALE` (`small`/`full`); unknown values fall back to
+    /// `small`.
+    pub fn from_env() -> Self {
+        match std::env::var("CAPNN_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::small(),
+        }
+    }
+
+    fn cache_key(&self) -> String {
+        format!(
+            "vggmini-c{}-t{}-e{}",
+            self.classes, self.train_per_class, self.epochs
+        )
+    }
+}
+
+/// The full experiment rig.
+#[derive(Debug)]
+pub struct PaperRig {
+    /// The synthetic "ImageNet" stand-in.
+    pub images: SyntheticImages,
+    /// The trained commodity model.
+    pub net: Network,
+    /// Cloud-side firing rates over the prunable tail.
+    pub rates: FiringRates,
+    /// Cloud-side confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// ε-checking evaluator (owns cached boundary activations).
+    pub eval: TailEvaluator,
+    /// The pruning configuration in force.
+    pub config: PruningConfig,
+    /// The scale the rig was built at.
+    pub scale: Scale,
+}
+
+impl PaperRig {
+    /// Builds (or loads from cache) the rig at the given scale with the
+    /// paper's pruning configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substrate fails to assemble — experiment binaries have
+    /// no meaningful recovery path.
+    pub fn build(scale: Scale) -> Self {
+        Self::build_with_config(scale, PruningConfig::paper())
+    }
+
+    /// Builds the rig with a custom pruning configuration (for ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substrate fails to assemble.
+    pub fn build_with_config(scale: Scale, config: PruningConfig) -> Self {
+        let mut img_cfg = SyntheticImagesConfig::small(scale.classes);
+        img_cfg.image_size = 32;
+        img_cfg.class_contrast = 0.4;
+        img_cfg.noise = 0.6;
+        let images = SyntheticImages::new(img_cfg).expect("valid image config");
+        let net = load_or_train(&images, scale);
+        {
+            // one-line health check so experiment logs show substrate quality
+            let holdout = images.generate(scale.eval_per_class, 0x0D0E);
+            let acc = capnn_nn::evaluate_accuracy(&net, holdout.samples())
+                .expect("holdout eval");
+            eprintln!(
+                "[rig] substrate holdout top-1: {:.1}% over {} classes",
+                acc * 100.0,
+                scale.classes
+            );
+        }
+        let profiling = images.generate(scale.profile_per_class, 0xF1E1D);
+        let eval_ds = images.generate(scale.eval_per_class, 0xE7A1);
+        let rates = FiringRateProfiler::new(config.tail_layers)
+            .profile(&net, &profiling)
+            .expect("profiling matches network");
+        let confusion = ConfusionMatrix::measure(&net, &profiling).expect("confusion");
+        let eval =
+            TailEvaluator::new(&net, &eval_ds, config.tail_layers).expect("evaluator");
+        Self {
+            images,
+            net,
+            rates,
+            confusion,
+            eval,
+            config,
+            scale,
+        }
+    }
+
+    /// A cloud server wrapping this rig's network (re-profiles internally).
+    pub fn cloud(&self) -> CloudServer {
+        let profiling = self.images.generate(self.scale.profile_per_class, 0xF1E1D);
+        let eval_ds = self.images.generate(self.scale.eval_per_class, 0xE7A1);
+        CloudServer::new(self.net.clone(), &profiling, &eval_ds, self.config)
+            .expect("cloud assembles from the same pieces")
+    }
+
+    /// A fresh evaluation dataset (distinct seed from the ε-check set) for
+    /// reporting final accuracies.
+    pub fn holdout(&self) -> Dataset {
+        self.images.generate(self.scale.eval_per_class, 0x0D0E)
+    }
+}
+
+fn cache_path(key: &str) -> PathBuf {
+    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(target).join("capnn-cache").join(format!("{key}.json"))
+}
+
+fn load_or_train(images: &SyntheticImages, scale: Scale) -> Network {
+    let path = cache_path(&scale.cache_key());
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(net) = serde_json::from_slice::<Network>(&bytes) {
+            return net;
+        }
+    }
+    let net = train_network(images, scale);
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_vec(&net) {
+        let _ = std::fs::write(&path, json);
+    }
+    net
+}
+
+fn train_network(images: &SyntheticImages, scale: Scale) -> Network {
+    let cfg = VggConfig::vgg_mini(scale.classes);
+    let mut net = NetworkBuilder::vgg(&cfg, 0x5EED).build().expect("vgg-mini builds");
+    let train = images.generate(scale.train_per_class, 0x7EA1);
+    let tcfg = TrainerConfig {
+        epochs: scale.epochs,
+        learning_rate: 0.03,
+        lr_decay: 0.92,
+        dropout: 0.1,
+        ..TrainerConfig::default()
+    };
+    let report = Trainer::new(tcfg, 0xACC)
+        .fit(&mut net, train.samples())
+        .expect("training runs");
+    eprintln!(
+        "[rig] trained vgg-mini: {} classes, final train accuracy {:.1}%",
+        scale.classes,
+        report.final_accuracy() * 100.0
+    );
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_fallback() {
+        // no env set in tests → small
+        assert_eq!(Scale::from_env(), Scale::small());
+    }
+
+    #[test]
+    fn cache_key_distinguishes_scales() {
+        assert_ne!(Scale::small().cache_key(), Scale::full().cache_key());
+    }
+}

@@ -1,0 +1,225 @@
+//! Cloud-side model cache: users with equivalent profiles share a pruned
+//! model.
+//!
+//! The paper's cloud prunes per user, but many users are *not* unique —
+//! prior mobile-usage studies (its motivation cites [11]) show heavy overlap
+//! in the classes people actually use. CAP'NN-B is trivially shareable (the
+//! mask depends only on the class set); CAP'NN-W/M masks also depend on the
+//! usage weights, so the cache key quantizes weights to a small grid and
+//! shares a model between users whose usage differs by less than one grid
+//! step. The ε guarantee is unaffected: a cached mask was accepted by the
+//! same accuracy check, over the same class set.
+
+use crate::cloud::{CloudServer, PersonalizedModel, Variant};
+use crate::error::CapnnError;
+use crate::user::UserProfile;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cache key: variant + class set + usage weights quantized to a grid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProfileKey {
+    variant: Variant,
+    classes: Vec<usize>,
+    /// Weights in units of the quantization step, aligned with `classes`
+    /// sorted ascending. Empty for [`Variant::Basic`] (weights unused).
+    quantized_weights: Vec<u16>,
+}
+
+impl ProfileKey {
+    /// Builds the key for a profile at `steps` quantization levels.
+    ///
+    /// Classes are sorted (two profiles listing the same classes in
+    /// different orders share a key); Basic keys ignore weights entirely.
+    pub fn new(profile: &UserProfile, variant: Variant, steps: u16) -> Self {
+        let mut pairs: Vec<(usize, f32)> = profile
+            .classes()
+            .iter()
+            .copied()
+            .zip(profile.weights().iter().copied())
+            .collect();
+        pairs.sort_by_key(|&(c, _)| c);
+        let classes: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
+        let quantized_weights = if variant == Variant::Basic {
+            Vec::new()
+        } else {
+            pairs
+                .iter()
+                .map(|&(_, w)| (w * steps as f32).round() as u16)
+                .collect()
+        };
+        Self {
+            variant,
+            classes,
+            quantized_weights,
+        }
+    }
+}
+
+/// Statistics of a [`ModelCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran the pruning pipeline.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A personalization front-end that deduplicates equivalent requests.
+///
+/// # Examples
+///
+/// See the `model_cache_dedups_equivalent_users` integration test.
+#[derive(Debug)]
+pub struct ModelCache {
+    entries: HashMap<ProfileKey, PersonalizedModel>,
+    weight_steps: u16,
+    stats: CacheStats,
+}
+
+impl ModelCache {
+    /// Creates a cache quantizing usage weights to `weight_steps` levels
+    /// (8–32 is reasonable; more steps → fewer shares, closer fidelity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if `weight_steps` is zero.
+    pub fn new(weight_steps: u16) -> Result<Self, CapnnError> {
+        if weight_steps == 0 {
+            return Err(CapnnError::Config("weight_steps must be positive".into()));
+        }
+        Ok(Self {
+            entries: HashMap::new(),
+            weight_steps,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Number of distinct cached models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Personalizes through the cache: an equivalent earlier request's model
+    /// is cloned instead of re-running the pruning pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning errors on cache misses.
+    pub fn personalize(
+        &mut self,
+        cloud: &mut CloudServer,
+        profile: &UserProfile,
+        variant: Variant,
+    ) -> Result<PersonalizedModel, CapnnError> {
+        let key = ProfileKey::new(profile, variant, self.weight_steps);
+        if let Some(model) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return Ok(model.clone());
+        }
+        let model = cloud.personalize(profile, variant)?;
+        self.stats.misses += 1;
+        self.entries.insert(key, model.clone());
+        Ok(model)
+    }
+
+    /// Drops all cached models (e.g. after the cloud retrains or re-profiles
+    /// the base network).
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(classes: Vec<usize>, weights: Vec<f32>) -> UserProfile {
+        UserProfile::new(classes, weights).unwrap()
+    }
+
+    #[test]
+    fn key_ignores_class_order() {
+        let a = profile(vec![3, 7], vec![0.4, 0.6]);
+        let b = profile(vec![7, 3], vec![0.6, 0.4]);
+        assert_eq!(
+            ProfileKey::new(&a, Variant::Weighted, 16),
+            ProfileKey::new(&b, Variant::Weighted, 16)
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_weights_for_weighted_only() {
+        let a = profile(vec![1, 2], vec![0.9, 0.1]);
+        let b = profile(vec![1, 2], vec![0.1, 0.9]);
+        assert_ne!(
+            ProfileKey::new(&a, Variant::Weighted, 16),
+            ProfileKey::new(&b, Variant::Weighted, 16)
+        );
+        assert_eq!(
+            ProfileKey::new(&a, Variant::Basic, 16),
+            ProfileKey::new(&b, Variant::Basic, 16)
+        );
+    }
+
+    #[test]
+    fn near_identical_weights_share_a_key() {
+        let a = profile(vec![1, 2], vec![0.500, 0.500]);
+        let b = profile(vec![1, 2], vec![0.505, 0.495]);
+        assert_eq!(
+            ProfileKey::new(&a, Variant::Miseffectual, 8),
+            ProfileKey::new(&b, Variant::Miseffectual, 8)
+        );
+        // with a fine grid they differ… if the delta exceeds half a step
+        let c = profile(vec![1, 2], vec![0.53, 0.47]);
+        assert_ne!(
+            ProfileKey::new(&a, Variant::Miseffectual, 64),
+            ProfileKey::new(&c, Variant::Miseffectual, 64)
+        );
+    }
+
+    #[test]
+    fn key_distinguishes_variants() {
+        let a = profile(vec![1, 2], vec![0.5, 0.5]);
+        assert_ne!(
+            ProfileKey::new(&a, Variant::Weighted, 16),
+            ProfileKey::new(&a, Variant::Miseffectual, 16)
+        );
+    }
+
+    #[test]
+    fn cache_construction_validates() {
+        assert!(ModelCache::new(0).is_err());
+        let c = ModelCache::new(16).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

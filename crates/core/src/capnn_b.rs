@@ -1,0 +1,371 @@
+//! CAP'NN-B: basic class-aware pruning (Algorithm 1 + online intersection).
+//!
+//! Offline, per layer and per class, a threshold search finds the largest
+//! set of low-firing-rate units whose simultaneous removal (together with
+//! the sets accepted in earlier tail layers) keeps *every* class's accuracy
+//! degradation below ε. The result is a binary pruning matrix `P_ℓ` per
+//! layer. Online, for a user's class subset `K`, the pruned set is the
+//! intersection `∩_{c∈K} P_ℓ(:, c)` — a cheap bit-wise AND, which is why
+//! CAP'NN-B has near-zero online cost.
+
+use crate::config::PruningConfig;
+use crate::error::CapnnError;
+use crate::eval::TailEvaluator;
+use capnn_nn::{Network, PruneMask};
+use capnn_profile::FiringRates;
+use serde::{Deserialize, Serialize};
+
+/// Per-class pruning matrices produced by Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruningMatrices {
+    /// One entry per prunable tail layer.
+    layers: Vec<LayerMatrix>,
+    num_classes: usize,
+}
+
+/// The binary pruning matrix of one layer: `matrix[n * classes + c]` is true
+/// if unit `n` may be pruned for class `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerMatrix {
+    /// Layer index within the network.
+    pub layer: usize,
+    /// Number of prunable units.
+    pub units: usize,
+    /// Row-major `[units × classes]` prune flags.
+    pub matrix: Vec<bool>,
+}
+
+impl LayerMatrix {
+    /// Whether unit `n` may be pruned for class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn may_prune(&self, n: usize, c: usize, num_classes: usize) -> bool {
+        self.matrix[n * num_classes + c]
+    }
+}
+
+impl PruningMatrices {
+    /// Per-layer matrices, in tail order.
+    pub fn layers(&self) -> &[LayerMatrix] {
+        &self.layers
+    }
+
+    /// Number of classes covered.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Storage footprint in bytes at one bit per entry (what the cloud
+    /// stores for CAP'NN-B).
+    pub fn memory_bytes(&self) -> u64 {
+        let bits: u64 = self.layers.iter().map(|l| l.matrix.len() as u64).sum();
+        bits.div_ceil(8)
+    }
+
+    /// The per-class prune mask for a single class (column `c` of every
+    /// matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `c` is out of range or `net` does not match.
+    pub fn class_mask(&self, net: &Network, c: usize) -> Result<PruneMask, CapnnError> {
+        if c >= self.num_classes {
+            return Err(CapnnError::Mismatch(format!(
+                "class {c} out of range for {} classes",
+                self.num_classes
+            )));
+        }
+        let mut mask = PruneMask::all_kept(net);
+        for lm in &self.layers {
+            let flags: Vec<bool> = (0..lm.units)
+                .map(|n| !lm.matrix[n * self.num_classes + c])
+                .collect();
+            mask.set_layer(lm.layer, flags)?;
+        }
+        Ok(mask)
+    }
+}
+
+/// The CAP'NN-B pruner.
+///
+/// # Examples
+///
+/// See the `capnn_b_end_to_end` integration test and
+/// `examples/quickstart.rs` for full offline + online usage.
+#[derive(Debug, Clone, Copy)]
+pub struct CapnnB {
+    config: PruningConfig,
+}
+
+impl CapnnB {
+    /// Creates a pruner with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if the configuration is invalid.
+    pub fn new(config: PruningConfig) -> Result<Self, CapnnError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The pruner's configuration.
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Algorithm 1: computes the per-class pruning matrices offline.
+    ///
+    /// Visits the prunable tail layers in order; for each layer and class,
+    /// lowers the firing-rate threshold from `T_start` in `step` decrements
+    /// until the temporarily-pruned network (including classes' accepted
+    /// sets from earlier layers) degrades no class by more than ε.
+    ///
+    /// The output layer (last prunable layer) is exempt: its units are the
+    /// class logits themselves (§V-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rates` does not cover the tail layers or the
+    /// evaluator's network disagrees with `net`.
+    pub fn offline(
+        &self,
+        net: &Network,
+        rates: &FiringRates,
+        eval: &TailEvaluator,
+    ) -> Result<PruningMatrices, CapnnError> {
+        let tail = prunable_tail_without_output(net, self.config.tail_layers);
+        let num_classes = rates.num_classes();
+        let mut out_layers: Vec<LayerMatrix> = Vec::with_capacity(tail.len());
+        for &li in &tail {
+            let lr = rates.for_layer(li).ok_or_else(|| {
+                CapnnError::Mismatch(format!("no firing rates for layer {li}"))
+            })?;
+            let units = lr.units();
+            let mut matrix = vec![false; units * num_classes];
+            for c in 0..num_classes {
+                // Threshold search for this (layer, class).
+                let mut t = self.config.t_start;
+                loop {
+                    let flagged: Vec<usize> =
+                        (0..units).filter(|&n| lr.rate(n, c) < t).collect();
+                    let mut mask = PruneMask::all_kept(net);
+                    // earlier tail layers: this class's accepted prune sets
+                    for prev in &out_layers {
+                        let flags: Vec<bool> = (0..prev.units)
+                            .map(|n| !prev.matrix[n * num_classes + c])
+                            .collect();
+                        mask.set_layer(prev.layer, flags)?;
+                    }
+                    let mut flags = vec![true; units];
+                    for &n in &flagged {
+                        flags[n] = false;
+                    }
+                    mask.set_layer(li, flags)?;
+                    let degradation =
+                        eval.max_degradation_metric(&mask, None, self.config.metric)?;
+                    if degradation <= self.config.epsilon {
+                        for &n in &flagged {
+                            matrix[n * num_classes + c] = true;
+                        }
+                        break;
+                    }
+                    t -= self.config.step;
+                    if t <= 0.0 {
+                        // empty candidate set is always safe (earlier layers
+                        // were accepted with zero extra pruning here)
+                        break;
+                    }
+                }
+            }
+            out_layers.push(LayerMatrix {
+                layer: li,
+                units,
+                matrix,
+            });
+        }
+        Ok(PruningMatrices {
+            layers: out_layers,
+            num_classes,
+        })
+    }
+
+    /// Online pruning: the prune set for `classes` is the intersection of
+    /// the per-class prune columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a class id is out of range or `net` does not
+    /// match the matrices.
+    pub fn online(
+        net: &Network,
+        matrices: &PruningMatrices,
+        classes: &[usize],
+    ) -> Result<PruneMask, CapnnError> {
+        if classes.is_empty() {
+            return Err(CapnnError::Profile("no classes requested".into()));
+        }
+        if let Some(&bad) = classes.iter().find(|&&c| c >= matrices.num_classes) {
+            return Err(CapnnError::Mismatch(format!(
+                "class {bad} out of range for {} classes",
+                matrices.num_classes
+            )));
+        }
+        let mut mask = PruneMask::all_kept(net);
+        let nc = matrices.num_classes;
+        for lm in &matrices.layers {
+            let flags: Vec<bool> = (0..lm.units)
+                .map(|n| {
+                    let prune_for_all = classes
+                        .iter()
+                        .all(|&c| lm.matrix[n * nc + c]);
+                    !prune_for_all
+                })
+                .collect();
+            mask.set_layer(lm.layer, flags)?;
+        }
+        Ok(mask)
+    }
+}
+
+/// The prunable tail of `net`, excluding the final (output) layer.
+pub(crate) fn prunable_tail_without_output(net: &Network, tail_layers: usize) -> Vec<usize> {
+    let mut tail = net.prunable_tail(tail_layers);
+    let all = net.prunable_layers();
+    if let (Some(&last_tail), Some(&last_all)) = (tail.last(), all.last()) {
+        if last_tail == last_all {
+            tail.pop();
+        }
+    }
+    tail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+    use capnn_profile::FiringRateProfiler;
+
+    pub(crate) fn trained_rig() -> (Network, FiringRates, TailEvaluator) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let profile_ds = gen.generate(20, 2);
+        let rates = FiringRateProfiler::new(3).profile(&net, &profile_ds).unwrap();
+        let eval = TailEvaluator::new(&net, &gen.generate(15, 3), 3).unwrap();
+        (net, rates, eval)
+    }
+
+    #[test]
+    fn tail_without_output_drops_last_layer() {
+        let net = NetworkBuilder::mlp(&[4, 8, 6, 3], 1).build().unwrap();
+        let tail = prunable_tail_without_output(&net, 3);
+        let all = net.prunable_layers();
+        assert_eq!(tail, all[..2].to_vec());
+        // tail smaller than total layers
+        let tail1 = prunable_tail_without_output(&net, 2);
+        assert_eq!(tail1, vec![all[1]]);
+    }
+
+    #[test]
+    fn offline_respects_epsilon_for_every_class_column() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        assert_eq!(matrices.num_classes(), 4);
+        for c in 0..4 {
+            let mask = matrices.class_mask(&net, c).unwrap();
+            let d = eval.max_degradation(&mask, None).unwrap();
+            assert!(
+                d <= PruningConfig::fast().epsilon + 1e-6,
+                "class {c} degradation {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_mask_is_intersection() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        let m0 = matrices.class_mask(&net, 0).unwrap();
+        let m1 = matrices.class_mask(&net, 1).unwrap();
+        let online = CapnnB::online(&net, &matrices, &[0, 1]).unwrap();
+        let expected = m0.intersect_pruned(&m1).unwrap();
+        assert_eq!(online, expected);
+    }
+
+    #[test]
+    fn online_more_classes_prunes_no_more() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        let two = CapnnB::online(&net, &matrices, &[0, 1]).unwrap();
+        let three = CapnnB::online(&net, &matrices, &[0, 1, 2]).unwrap();
+        assert!(three.pruned_count() <= two.pruned_count());
+        assert!(three.is_subset_of(&two));
+    }
+
+    #[test]
+    fn online_single_class_equals_class_mask() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        let online = CapnnB::online(&net, &matrices, &[2]).unwrap();
+        assert_eq!(online, matrices.class_mask(&net, 2).unwrap());
+    }
+
+    #[test]
+    fn online_guarantees_epsilon_for_any_subset() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        for classes in [vec![0], vec![1, 3], vec![0, 1, 2, 3]] {
+            let mask = CapnnB::online(&net, &matrices, &classes).unwrap();
+            let d = eval.max_degradation(&mask, None).unwrap();
+            assert!(
+                d <= PruningConfig::fast().epsilon + 1e-6,
+                "classes {classes:?}: degradation {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn online_rejects_bad_requests() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        assert!(CapnnB::online(&net, &matrices, &[]).is_err());
+        assert!(CapnnB::online(&net, &matrices, &[99]).is_err());
+        assert!(matrices.class_mask(&net, 99).is_err());
+    }
+
+    #[test]
+    fn memory_accounting_counts_bits() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnB::new(PruningConfig::fast()).unwrap();
+        let matrices = pruner.offline(&net, &rates, &eval).unwrap();
+        let entries: u64 = matrices
+            .layers()
+            .iter()
+            .map(|l| l.matrix.len() as u64)
+            .sum();
+        assert_eq!(matrices.memory_bytes(), entries.div_ceil(8));
+        let _ = net;
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = PruningConfig::paper();
+        cfg.step = -1.0;
+        assert!(CapnnB::new(cfg).is_err());
+    }
+}

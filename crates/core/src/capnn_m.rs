@@ -1,0 +1,302 @@
+//! CAP'NN-M: class-aware pruning of miseffectual neurons.
+//!
+//! A unit in the last hidden layer is *miseffectual* for a class `k` when it
+//! pushes the classifier toward one of `k`'s top confusing classes more than
+//! toward `k` itself. Such units are useless-and-harmful once the user's
+//! class subset removes the classes they were really serving — pruning them
+//! can *raise* accuracy above the unpruned baseline.
+//!
+//! Mechanically (§III-C of the paper): (1) from the confusion matrix, find
+//! each class's top confusing classes; (2) in the last hidden layer, compare
+//! each unit's output-weight contribution `w_{c,i}` toward the class vs
+//! toward the confusers; (3) zero the miseffectual entries of the last
+//! layer's firing-rate matrix and hand the result to CAP'NN-W, which then
+//! treats them as prunable ineffectual units.
+
+use crate::capnn_b::prunable_tail_without_output;
+use crate::capnn_w::CapnnW;
+use crate::config::PruningConfig;
+use crate::error::CapnnError;
+use crate::eval::TailEvaluator;
+use crate::user::UserProfile;
+use capnn_nn::{Layer, Network, PruneMask};
+use capnn_profile::{ConfusionMatrix, FiringRates};
+
+/// The CAP'NN-M pruner.
+#[derive(Debug, Clone, Copy)]
+pub struct CapnnM {
+    config: PruningConfig,
+}
+
+impl CapnnM {
+    /// Creates a pruner with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if the configuration is invalid.
+    pub fn new(config: PruningConfig) -> Result<Self, CapnnError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The pruner's configuration.
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Identifies, per class, the miseffectual units of the last hidden
+    /// layer: unit `i ∈ M_c` iff its largest output weight toward one of
+    /// `c`'s top confusing classes exceeds its weight toward `c`.
+    ///
+    /// This is the paper's offline one-time step; it is independent of the
+    /// user profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the network's final layer is not dense or the
+    /// confusion matrix does not match the class count.
+    pub fn miseffectual_sets(
+        &self,
+        net: &Network,
+        confusion: &ConfusionMatrix,
+    ) -> Result<Vec<Vec<usize>>, CapnnError> {
+        let num_classes = net.num_classes();
+        if confusion.num_classes() != num_classes {
+            return Err(CapnnError::Mismatch(format!(
+                "confusion matrix covers {} classes, network has {num_classes}",
+                confusion.num_classes()
+            )));
+        }
+        let output_layer_idx = *net
+            .prunable_layers()
+            .last()
+            .ok_or_else(|| CapnnError::Mismatch("network has no prunable layers".into()))?;
+        let Layer::Dense(output) = &net.layers()[output_layer_idx] else {
+            return Err(CapnnError::Mismatch(
+                "the output layer must be dense to measure contributions".into(),
+            ));
+        };
+        let n_last = output.in_features();
+        let w = output.weights().as_slice(); // [classes × n_last]
+        let mut sets = Vec::with_capacity(num_classes);
+        for c in 0..num_classes {
+            let confusers = confusion.top_confusing(c, self.config.top_confusing);
+            let mut set = Vec::new();
+            for i in 0..n_last {
+                let toward_c = w[c * n_last + i];
+                let toward_confuser = confusers
+                    .iter()
+                    .map(|&j| w[j * n_last + i])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                if toward_confuser > toward_c {
+                    set.push(i);
+                }
+            }
+            sets.push(set);
+        }
+        Ok(sets)
+    }
+
+    /// Returns a copy of `rates` with `F_last(i, c) = 0` for every
+    /// miseffectual unit `i` of class `c` — the firing-rate surgery that
+    /// makes CAP'NN-W prune them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rates` does not cover the last hidden layer.
+    pub fn zero_miseffectual_rates(
+        &self,
+        net: &Network,
+        rates: &FiringRates,
+        sets: &[Vec<usize>],
+    ) -> Result<FiringRates, CapnnError> {
+        let tail = prunable_tail_without_output(net, self.config.tail_layers);
+        let &last_hidden = tail.last().ok_or_else(|| {
+            CapnnError::Mismatch("no prunable hidden layer in the tail".into())
+        })?;
+        let mut updated = rates.clone();
+        let num_classes = rates.num_classes();
+        let lr = updated
+            .layers_mut()
+            .iter_mut()
+            .find(|l| l.layer == last_hidden)
+            .ok_or_else(|| {
+                CapnnError::Mismatch(format!("no firing rates for layer {last_hidden}"))
+            })?;
+        for (c, set) in sets.iter().enumerate().take(num_classes) {
+            for &i in set {
+                if i < lr.units() {
+                    let cols = lr.rates.dims()[1];
+                    lr.rates.as_mut_slice()[i * cols + c] = 0.0;
+                }
+            }
+        }
+        Ok(updated)
+    }
+
+    /// Full CAP'NN-M pruning: identify miseffectual units, zero their
+    /// firing-rate entries, then run CAP'NN-W with the updated rates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the identification step and from CAP'NN-W.
+    pub fn prune(
+        &self,
+        net: &Network,
+        rates: &FiringRates,
+        confusion: &ConfusionMatrix,
+        eval: &TailEvaluator,
+        profile: &UserProfile,
+    ) -> Result<PruneMask, CapnnError> {
+        let sets = self.miseffectual_sets(net, confusion)?;
+        let updated = self.zero_miseffectual_rates(net, rates, &sets)?;
+        CapnnW::new(self.config)?.prune(net, &updated, eval, profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{model_size, Dense, NetworkBuilder, Trainer, TrainerConfig};
+    use capnn_profile::FiringRateProfiler;
+    use capnn_tensor::Tensor;
+
+    fn trained_rig() -> (Network, FiringRates, ConfusionMatrix, TailEvaluator) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let profile_ds = gen.generate(20, 2);
+        let rates = FiringRateProfiler::new(3).profile(&net, &profile_ds).unwrap();
+        let confusion = ConfusionMatrix::measure(&net, &profile_ds).unwrap();
+        let eval = TailEvaluator::new(&net, &gen.generate(15, 3), 3).unwrap();
+        (net, rates, confusion, eval)
+    }
+
+    #[test]
+    fn miseffectual_sets_identified_from_output_weights() {
+        // Hand-built: last hidden layer of 3 units feeding 3 classes.
+        // Unit 0 points at class 0, unit 1 at class 1, unit 2 at class 2.
+        let hidden = Dense::new(
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0], &[3, 2]).unwrap(),
+            Tensor::zeros(&[3]),
+        )
+        .unwrap();
+        let output = Dense::new(
+            Tensor::from_vec(
+                vec![
+                    2.0, -1.0, 0.0, // class 0 weights over units
+                    -1.0, 2.0, 0.0, // class 1
+                    0.0, 0.0, 2.0, // class 2
+                ],
+                &[3, 3],
+            )
+            .unwrap(),
+            Tensor::zeros(&[3]),
+        )
+        .unwrap();
+        let net = Network::new(
+            vec![
+                Layer::Dense(hidden),
+                Layer::Relu,
+                Layer::Dense(output),
+            ],
+            &[2],
+        )
+        .unwrap();
+        // confusion: class 0 confused with 1, class 1 with 0, class 2 clean
+        let cm = ConfusionMatrix::from_fractions(
+            Tensor::from_vec(
+                vec![0.7, 0.3, 0.0, 0.3, 0.7, 0.0, 0.0, 0.0, 1.0],
+                &[3, 3],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut cfg = PruningConfig::fast();
+        cfg.top_confusing = 1;
+        let m = CapnnM::new(cfg).unwrap();
+        let sets = m.miseffectual_sets(&net, &cm).unwrap();
+        // For class 0 (confuser = 1): unit 1 has w[1] = 2 > w[0] = -1 → miseffectual.
+        assert!(sets[0].contains(&1));
+        assert!(!sets[0].contains(&0));
+        // Symmetric for class 1.
+        assert!(sets[1].contains(&0));
+        assert!(!sets[1].contains(&1));
+        // Class 2's confuser is whichever of 0/1 ties at 0.0 — unit 2 points
+        // squarely at class 2 and must never be miseffectual for it.
+        assert!(!sets[2].contains(&2));
+    }
+
+    #[test]
+    fn zeroing_only_touches_last_hidden_layer() {
+        let (net, rates, confusion, _) = trained_rig();
+        let m = CapnnM::new(PruningConfig::fast()).unwrap();
+        let sets = m.miseffectual_sets(&net, &confusion).unwrap();
+        let updated = m.zero_miseffectual_rates(&net, &rates, &sets).unwrap();
+        let tail = prunable_tail_without_output(&net, 3);
+        let last_hidden = *tail.last().unwrap();
+        for (orig, upd) in rates.layers().iter().zip(updated.layers()) {
+            if orig.layer == last_hidden {
+                // zeroed entries must be exactly the miseffectual ones
+                for (c, set) in sets.iter().enumerate() {
+                    for &i in set {
+                        assert_eq!(upd.rate(i, c), 0.0);
+                    }
+                }
+            } else {
+                assert_eq!(orig.rates, upd.rates, "layer {} changed", orig.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_guarantee_holds_for_m() {
+        let (net, rates, confusion, eval) = trained_rig();
+        let m = CapnnM::new(PruningConfig::fast()).unwrap();
+        for classes in [vec![0, 1], vec![2, 3]] {
+            let profile = UserProfile::uniform(classes.clone()).unwrap();
+            let mask = m
+                .prune(&net, &rates, &confusion, &eval, &profile)
+                .unwrap();
+            let d = eval.max_degradation(&mask, Some(&classes)).unwrap();
+            assert!(
+                d <= PruningConfig::fast().epsilon + 1e-6,
+                "classes {classes:?}: degradation {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn m_prunes_at_least_as_much_as_w() {
+        let (net, rates, confusion, eval) = trained_rig();
+        let cfg = PruningConfig::fast();
+        let w = CapnnW::new(cfg).unwrap();
+        let m = CapnnM::new(cfg).unwrap();
+        let profile = UserProfile::new(vec![0, 1], vec![0.8, 0.2]).unwrap();
+        let mask_w = w.prune(&net, &rates, &eval, &profile).unwrap();
+        let mask_m = m
+            .prune(&net, &rates, &confusion, &eval, &profile)
+            .unwrap();
+        let size_w = model_size(&net, &mask_w).unwrap().total();
+        let size_m = model_size(&net, &mask_m).unwrap().total();
+        assert!(
+            size_m <= size_w,
+            "M should prune at least as much: W → {size_w}, M → {size_m}"
+        );
+    }
+
+    #[test]
+    fn mismatched_confusion_rejected() {
+        let (net, _, _, _) = trained_rig();
+        let m = CapnnM::new(PruningConfig::fast()).unwrap();
+        let wrong = ConfusionMatrix::from_fractions(Tensor::zeros(&[7, 7])).unwrap();
+        assert!(m.miseffectual_sets(&net, &wrong).is_err());
+    }
+}

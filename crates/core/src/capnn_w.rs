@@ -1,0 +1,226 @@
+//! CAP'NN-W: weighted class-aware pruning (Algorithm 2).
+//!
+//! Instead of per-class binary matrices, CAP'NN-W thresholds each unit's
+//! *effective firing rate* `Σ_{k∈K} w_k · F(n, k)` — how often the unit
+//! fires weighted by how often the user actually encounters each class. A
+//! unit that fires only for a rarely-used class can now be pruned (Fig. 3 of
+//! the paper), so CAP'NN-W prunes strictly more aggressively than CAP'NN-B.
+//! The cost: the search runs online (the weights are only known then) and
+//! the cloud must store real-valued firing rates (quantized; see
+//! `capnn_profile::quantize_rates`).
+
+use crate::capnn_b::prunable_tail_without_output;
+use crate::config::PruningConfig;
+use crate::error::CapnnError;
+use crate::eval::TailEvaluator;
+use crate::user::UserProfile;
+use capnn_nn::{Network, PruneMask};
+use capnn_profile::FiringRates;
+
+/// The CAP'NN-W pruner.
+///
+/// # Examples
+///
+/// See `examples/personalize.rs` for end-to-end usage; unit tests below
+/// exercise the ε guarantee and the Fig. 3 aggressiveness property.
+#[derive(Debug, Clone, Copy)]
+pub struct CapnnW {
+    config: PruningConfig,
+}
+
+impl CapnnW {
+    /// Creates a pruner with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if the configuration is invalid.
+    pub fn new(config: PruningConfig) -> Result<Self, CapnnError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The pruner's configuration.
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Algorithm 2, applied layer by layer over the prunable tail: flags
+    /// units whose effective firing rate is at most the threshold, accepts
+    /// the flagged set if no *user* class degrades by more than ε
+    /// (accounting for the sets already accepted in earlier layers), and
+    /// otherwise lowers the threshold and retries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the profile does not fit the model or the rates
+    /// do not cover the tail.
+    pub fn prune(
+        &self,
+        net: &Network,
+        rates: &FiringRates,
+        eval: &TailEvaluator,
+        profile: &UserProfile,
+    ) -> Result<PruneMask, CapnnError> {
+        if !profile.fits_model(rates.num_classes()) {
+            return Err(CapnnError::Profile(format!(
+                "profile classes {:?} exceed model's {} classes",
+                profile.classes(),
+                rates.num_classes()
+            )));
+        }
+        let tail = prunable_tail_without_output(net, self.config.tail_layers);
+        let mut mask = PruneMask::all_kept(net);
+        let user_classes = profile.classes();
+        for &li in &tail {
+            let lr = rates.for_layer(li).ok_or_else(|| {
+                CapnnError::Mismatch(format!("no firing rates for layer {li}"))
+            })?;
+            let units = lr.units();
+            let eff: Vec<f32> = (0..units)
+                .map(|n| lr.effective_rate(n, user_classes, profile.weights()))
+                .collect();
+            let mut t = self.config.t_start;
+            loop {
+                let flags: Vec<bool> = eff.iter().map(|&e| e > t).collect();
+                let mut candidate = mask.clone();
+                candidate.set_layer(li, flags.clone())?;
+                let degradation =
+                    eval.max_degradation_metric(&candidate, Some(user_classes), self.config.metric)?;
+                if degradation <= self.config.epsilon {
+                    mask = candidate;
+                    break;
+                }
+                t -= self.config.step;
+                if t <= 0.0 {
+                    // keep every unit of this layer; earlier acceptances stand
+                    break;
+                }
+            }
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capnn_b::{CapnnB, PruningMatrices};
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{model_size, NetworkBuilder, Trainer, TrainerConfig};
+    use capnn_profile::{FiringRateProfiler, FiringRates, LayerRates};
+    use capnn_tensor::Tensor;
+
+    fn trained_rig() -> (Network, FiringRates, TailEvaluator) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let rates = FiringRateProfiler::new(3)
+            .profile(&net, &gen.generate(20, 2))
+            .unwrap();
+        let eval = TailEvaluator::new(&net, &gen.generate(15, 3), 3).unwrap();
+        (net, rates, eval)
+    }
+
+    #[test]
+    fn epsilon_guarantee_on_user_classes() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnW::new(PruningConfig::fast()).unwrap();
+        for classes in [vec![0, 1], vec![2, 3], vec![0, 1, 2, 3]] {
+            let profile = UserProfile::uniform(classes.clone()).unwrap();
+            let mask = pruner.prune(&net, &rates, &eval, &profile).unwrap();
+            let d = eval.max_degradation(&mask, Some(&classes)).unwrap();
+            assert!(
+                d <= PruningConfig::fast().epsilon + 1e-6,
+                "classes {classes:?}: degradation {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_prunes_at_least_as_much_as_basic() {
+        let (net, rates, eval) = trained_rig();
+        let cfg = PruningConfig::fast();
+        let b = CapnnB::new(cfg).unwrap();
+        let matrices: PruningMatrices = b.offline(&net, &rates, &eval).unwrap();
+        let w = CapnnW::new(cfg).unwrap();
+        // a heavily skewed profile should expose extra pruning opportunities
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let mask_b = CapnnB::online(&net, &matrices, profile.classes()).unwrap();
+        let mask_w = w.prune(&net, &rates, &eval, &profile).unwrap();
+        let size_b = model_size(&net, &mask_b).unwrap().total();
+        let size_w = model_size(&net, &mask_w).unwrap().total();
+        assert!(
+            size_w <= size_b,
+            "W should prune at least as much: B → {size_b}, W → {size_w}"
+        );
+    }
+
+    #[test]
+    fn fig3_worked_example() {
+        // Paper Fig. 3: three neurons, three classes, T = 0.1,
+        // weights (0.8, 0.1, 0.1). Neuron n1 fires 0.05/0.3/0.02 — B keeps it
+        // (0.3 ≥ T for class c2) but W prunes it (effective rate
+        // 0.8·0.05 + 0.1·0.3 + 0.1·0.02 = 0.072 < 0.1).
+        let lr = LayerRates {
+            layer: 0,
+            rates: Tensor::from_vec(
+                vec![
+                    0.05, 0.30, 0.02, // n1
+                    0.50, 0.40, 0.60, // n2: fires a lot, never pruned
+                    0.02, 0.03, 0.01, // n3: ineffectual everywhere
+                ],
+                &[3, 3],
+            )
+            .unwrap(),
+        };
+        let t = 0.1;
+        let weights = [0.8f32, 0.1, 0.1];
+        let classes = [0usize, 1, 2];
+        // B's rule at threshold t: prunable for subset iff rate < t for ALL
+        let b_prunes_n1 = (0..3).all(|c| lr.rate(0, c) < t);
+        assert!(!b_prunes_n1, "B must keep n1 (c2 rate 0.3 ≥ 0.1)");
+        let w_eff_n1 = lr.effective_rate(0, &classes, &weights);
+        assert!(
+            w_eff_n1 < t,
+            "W must prune n1 (effective rate {w_eff_n1} < 0.1)"
+        );
+        // n3 pruned by both; n2 pruned by neither
+        assert!((0..3).all(|c| lr.rate(2, c) < t));
+        assert!(lr.effective_rate(1, &classes, &weights) >= t);
+    }
+
+    #[test]
+    fn one_hot_profile_reduces_to_single_class_rates() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnW::new(PruningConfig::fast()).unwrap();
+        // weight 1 on class 0 — effective rate equals F(n, 0)
+        let profile = UserProfile::new(vec![0], vec![1.0]).unwrap();
+        let mask = pruner.prune(&net, &rates, &eval, &profile).unwrap();
+        let d = eval.max_degradation(&mask, Some(&[0])).unwrap();
+        assert!(d <= PruningConfig::fast().epsilon + 1e-6);
+    }
+
+    #[test]
+    fn rejects_profile_out_of_range() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnW::new(PruningConfig::fast()).unwrap();
+        let profile = UserProfile::uniform(vec![0, 99]).unwrap();
+        assert!(pruner.prune(&net, &rates, &eval, &profile).is_err());
+    }
+
+    #[test]
+    fn never_prunes_output_layer() {
+        let (net, rates, eval) = trained_rig();
+        let pruner = CapnnW::new(PruningConfig::fast()).unwrap();
+        let profile = UserProfile::uniform(vec![0]).unwrap();
+        let mask = pruner.prune(&net, &rates, &eval, &profile).unwrap();
+        let output_layer = *net.prunable_layers().last().unwrap();
+        assert_eq!(mask.kept_in_layer(output_layer), net.num_classes());
+    }
+}

@@ -1,0 +1,222 @@
+//! ε-guarantee certificates.
+//!
+//! Every CAP'NN variant promises that per-class accuracy on the evaluation
+//! set degrades by at most ε. A [`PruningCertificate`] materializes the
+//! evidence for one accepted mask — per-class baseline vs pruned accuracy,
+//! the metric and tolerance used, and the evaluation-set size — so the
+//! cloud can attach an auditable record to every model it ships and a
+//! device (or a test) can re-verify the claim without re-running the
+//! search.
+
+use crate::error::CapnnError;
+use crate::eval::{DegradationMetric, TailEvaluator};
+use capnn_nn::PruneMask;
+use serde::{Deserialize, Serialize};
+
+/// Per-class entry of a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassEvidence {
+    /// Class id.
+    pub class: usize,
+    /// Accuracy of the unpruned model on this class.
+    pub baseline: f32,
+    /// Accuracy of the pruned model on this class.
+    pub pruned: f32,
+}
+
+impl ClassEvidence {
+    /// Degradation (positive = worse than baseline, clamped at 0 from
+    /// below when the pruned model improved).
+    pub fn degradation(&self) -> f32 {
+        self.baseline - self.pruned
+    }
+}
+
+/// Evidence that a mask satisfies the ε bound on a specific evaluation set.
+///
+/// # Examples
+///
+/// See `TailEvaluator::certify` and the `certificates_are_auditable`
+/// integration test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PruningCertificate {
+    /// The tolerance the mask was accepted under.
+    pub epsilon: f32,
+    /// The accuracy metric used by the bound.
+    pub metric: DegradationMetric,
+    /// Number of evaluation samples backing the measurement.
+    pub eval_samples: usize,
+    /// Per-class evidence over the certified classes.
+    pub classes: Vec<ClassEvidence>,
+}
+
+impl PruningCertificate {
+    /// Whether every certified class is within ε.
+    pub fn holds(&self) -> bool {
+        self.classes
+            .iter()
+            .all(|e| e.degradation() <= self.epsilon + 1e-6)
+    }
+
+    /// The worst per-class degradation (0 if every class improved).
+    pub fn max_degradation(&self) -> f32 {
+        self.classes
+            .iter()
+            .map(ClassEvidence::degradation)
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Classes whose accuracy *improved* under pruning (the miseffectual
+    /// effect the paper highlights).
+    pub fn improved_classes(&self) -> Vec<usize> {
+        self.classes
+            .iter()
+            .filter(|e| e.pruned > e.baseline)
+            .map(|e| e.class)
+            .collect()
+    }
+}
+
+impl TailEvaluator {
+    /// Produces the ε certificate of `mask` over `classes` at tolerance
+    /// `epsilon` under `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask does not fit the evaluator's network or
+    /// a class id is out of range.
+    pub fn certify(
+        &self,
+        mask: &PruneMask,
+        classes: &[usize],
+        epsilon: f32,
+        metric: DegradationMetric,
+    ) -> Result<PruningCertificate, CapnnError> {
+        if classes.is_empty() {
+            return Err(CapnnError::Profile(
+                "cannot certify an empty class set".into(),
+            ));
+        }
+        let k = match metric {
+            DegradationMetric::Top1 => 1,
+            DegradationMetric::TopK(k) => k.max(1),
+        };
+        let unmasked = PruneMask::all_kept(self.network());
+        let mut evidence = Vec::with_capacity(classes.len());
+        for &class in classes {
+            let baseline = self.topk_accuracy(&unmasked, k, Some(&[class]))?;
+            let pruned = self.topk_accuracy(mask, k, Some(&[class]))?;
+            evidence.push(ClassEvidence {
+                class,
+                baseline,
+                pruned,
+            });
+        }
+        Ok(PruningCertificate {
+            epsilon,
+            metric,
+            eval_samples: self.sample_count(),
+            classes: evidence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capnn_w::CapnnW;
+    use crate::config::PruningConfig;
+    use crate::user::UserProfile;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+    use capnn_profile::FiringRateProfiler;
+
+    fn rig() -> (capnn_nn::Network, capnn_profile::FiringRates, TailEvaluator) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 10,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(25, 1).samples())
+            .unwrap();
+        let rates = FiringRateProfiler::new(3)
+            .profile(&net, &gen.generate(15, 2))
+            .unwrap();
+        let eval = TailEvaluator::new(&net, &gen.generate(12, 3), 3).unwrap();
+        (net, rates, eval)
+    }
+
+    #[test]
+    fn accepted_masks_certify() {
+        let (net, rates, eval) = rig();
+        let config = PruningConfig::fast();
+        let profile = UserProfile::new(vec![0, 2], vec![0.7, 0.3]).unwrap();
+        let mask = CapnnW::new(config)
+            .unwrap()
+            .prune(&net, &rates, &eval, &profile)
+            .unwrap();
+        let cert = eval
+            .certify(&mask, profile.classes(), config.epsilon, config.metric)
+            .unwrap();
+        assert!(cert.holds(), "max degradation {}", cert.max_degradation());
+        assert_eq!(cert.classes.len(), 2);
+        assert_eq!(cert.eval_samples, eval.sample_count());
+    }
+
+    #[test]
+    fn gutted_mask_fails_certification() {
+        let (net, _, eval) = rig();
+        let mut mask = PruneMask::all_kept(&net);
+        let prunable = net.prunable_layers();
+        for &li in &prunable[..prunable.len() - 1] {
+            let units = net.layers()[li].unit_count().unwrap();
+            mask.set_layer(li, vec![false; units]).unwrap();
+        }
+        let cert = eval
+            .certify(&mask, &[0, 1, 2, 3], 0.03, DegradationMetric::Top1)
+            .unwrap();
+        assert!(!cert.holds());
+        assert!(cert.max_degradation() > 0.1);
+    }
+
+    #[test]
+    fn identity_mask_certifies_with_zero_degradation() {
+        let (net, _, eval) = rig();
+        let mask = PruneMask::all_kept(&net);
+        let cert = eval
+            .certify(&mask, &[0, 1], 0.0, DegradationMetric::Top1)
+            .unwrap();
+        assert!(cert.holds());
+        assert_eq!(cert.max_degradation(), 0.0);
+        assert!(cert.improved_classes().is_empty());
+    }
+
+    #[test]
+    fn empty_class_set_rejected() {
+        let (net, _, eval) = rig();
+        let mask = PruneMask::all_kept(&net);
+        assert!(eval
+            .certify(&mask, &[], 0.03, DegradationMetric::Top1)
+            .is_err());
+    }
+
+    #[test]
+    fn certificate_serializes() {
+        let cert = PruningCertificate {
+            epsilon: 0.03,
+            metric: DegradationMetric::Top1,
+            eval_samples: 48,
+            classes: vec![ClassEvidence {
+                class: 3,
+                baseline: 0.9,
+                pruned: 0.95,
+            }],
+        };
+        let json = serde_json::to_string(&cert).unwrap();
+        let back: PruningCertificate = serde_json::from_str(&json).unwrap();
+        assert_eq!(cert, back);
+        assert_eq!(back.improved_classes(), vec![3]);
+    }
+}

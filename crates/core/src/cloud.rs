@@ -1,0 +1,413 @@
+//! The cloud/device split of CAP'NN (§II, Fig. 1a).
+//!
+//! The cloud holds the original trained model, the precomputed firing rates,
+//! confusion matrix and CAP'NN-B pruning matrices. On a user request it runs
+//! the selected variant, compacts the masked network, and ships the smaller
+//! model to the device. The device runs local inference, optionally
+//! monitoring which classes it actually sees so it can request re-pruning
+//! when the user's behaviour drifts.
+
+use crate::capnn_b::{CapnnB, PruningMatrices};
+use crate::capnn_m::CapnnM;
+use crate::capnn_w::CapnnW;
+use crate::config::PruningConfig;
+use crate::error::CapnnError;
+use crate::eval::TailEvaluator;
+use crate::user::UserProfile;
+use capnn_data::Dataset;
+use capnn_nn::{model_size, Network, ParamCount, PruneMask};
+use capnn_profile::{ConfusionMatrix, FiringRateProfiler, FiringRates};
+use serde::{Deserialize, Serialize};
+
+/// Which CAP'NN variant to run for a personalization request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// CAP'NN-B: offline per-class matrices + online intersection.
+    Basic,
+    /// CAP'NN-W: weighted effective-firing-rate threshold search.
+    Weighted,
+    /// CAP'NN-M: miseffectual pruning on top of CAP'NN-W.
+    Miseffectual,
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Variant::Basic => "CAP'NN-B",
+            Variant::Weighted => "CAP'NN-W",
+            Variant::Miseffectual => "CAP'NN-M",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The model package the cloud ships to a device.
+#[derive(Debug, Clone)]
+pub struct PersonalizedModel {
+    /// The compacted (physically smaller) network.
+    pub network: Network,
+    /// The mask that produced it (against the cloud's full model).
+    pub mask: PruneMask,
+    /// Remaining parameters.
+    pub size: ParamCount,
+    /// Remaining parameters relative to the original model.
+    pub relative_size: f64,
+    /// The variant that produced the model.
+    pub variant: Variant,
+    /// The profile the model was personalized for.
+    pub profile: UserProfile,
+}
+
+/// The cloud side: owns the trained model and all offline pre-computation.
+#[derive(Debug)]
+pub struct CloudServer {
+    net: Network,
+    rates: FiringRates,
+    confusion: ConfusionMatrix,
+    eval: TailEvaluator,
+    config: PruningConfig,
+    matrices: Option<PruningMatrices>,
+    original_size: ParamCount,
+}
+
+impl CloudServer {
+    /// Stands up a cloud server: profiles firing rates and the confusion
+    /// matrix on `profiling_data`, and prepares the ε-checking evaluator on
+    /// `eval_data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or the datasets do
+    /// not match the network.
+    pub fn new(
+        net: Network,
+        profiling_data: &Dataset,
+        eval_data: &Dataset,
+        config: PruningConfig,
+    ) -> Result<Self, CapnnError> {
+        config.validate()?;
+        let rates = FiringRateProfiler::new(config.tail_layers).profile(&net, profiling_data)?;
+        let confusion = ConfusionMatrix::measure(&net, profiling_data)?;
+        let eval = TailEvaluator::new(&net, eval_data, config.tail_layers)?;
+        let original_size = model_size(&net, &PruneMask::all_kept(&net))?;
+        Ok(Self {
+            net,
+            rates,
+            confusion,
+            eval,
+            config,
+            matrices: None,
+            original_size,
+        })
+    }
+
+    /// The full (unpruned) model held in the cloud.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The measured firing rates.
+    pub fn rates(&self) -> &FiringRates {
+        &self.rates
+    }
+
+    /// The measured confusion matrix.
+    pub fn confusion(&self) -> &ConfusionMatrix {
+        &self.confusion
+    }
+
+    /// The ε-checking evaluator.
+    pub fn evaluator(&self) -> &TailEvaluator {
+        &self.eval
+    }
+
+    /// The pruning configuration.
+    pub fn config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Runs CAP'NN-B's Algorithm 1 and caches the per-class matrices so
+    /// subsequent [`Variant::Basic`] requests are a pure intersection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Algorithm 1 errors.
+    pub fn precompute_basic_matrices(&mut self) -> Result<&PruningMatrices, CapnnError> {
+        if self.matrices.is_none() {
+            let b = CapnnB::new(self.config)?;
+            self.matrices = Some(b.offline(&self.net, &self.rates, &self.eval)?);
+        }
+        Ok(self.matrices.as_ref().expect("just set"))
+    }
+
+    /// Computes the prune mask for a request without compacting (useful for
+    /// analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the profile is invalid for this model or pruning
+    /// fails.
+    pub fn prune_mask(
+        &mut self,
+        profile: &UserProfile,
+        variant: Variant,
+    ) -> Result<PruneMask, CapnnError> {
+        if !profile.fits_model(self.net.num_classes()) {
+            return Err(CapnnError::Profile(format!(
+                "profile {profile} does not fit a {}-class model",
+                self.net.num_classes()
+            )));
+        }
+        match variant {
+            Variant::Basic => {
+                self.precompute_basic_matrices()?;
+                let matrices = self.matrices.as_ref().expect("precomputed above");
+                CapnnB::online(&self.net, matrices, profile.classes())
+            }
+            Variant::Weighted => {
+                CapnnW::new(self.config)?.prune(&self.net, &self.rates, &self.eval, profile)
+            }
+            Variant::Miseffectual => CapnnM::new(self.config)?.prune(
+                &self.net,
+                &self.rates,
+                &self.confusion,
+                &self.eval,
+                profile,
+            ),
+        }
+    }
+
+    /// Full personalization: prune, compact, and package the model for the
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if pruning fails or compaction would empty a layer.
+    pub fn personalize(
+        &mut self,
+        profile: &UserProfile,
+        variant: Variant,
+    ) -> Result<PersonalizedModel, CapnnError> {
+        let mask = self.prune_mask(profile, variant)?;
+        let size = model_size(&self.net, &mask)?;
+        let network = self.net.compact(&mask)?;
+        Ok(PersonalizedModel {
+            network,
+            relative_size: size.relative_to(&self.original_size),
+            size,
+            mask,
+            variant,
+            profile: profile.clone(),
+        })
+    }
+
+    /// Like [`CloudServer::personalize`], additionally producing the
+    /// auditable ε certificate of the shipped mask over the user's classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if pruning, compaction or certification fails.
+    pub fn personalize_certified(
+        &mut self,
+        profile: &UserProfile,
+        variant: Variant,
+    ) -> Result<(PersonalizedModel, crate::PruningCertificate), CapnnError> {
+        let model = self.personalize(profile, variant)?;
+        let certificate = self.eval.certify(
+            &model.mask,
+            profile.classes(),
+            self.config.epsilon,
+            self.config.metric,
+        )?;
+        Ok((model, certificate))
+    }
+}
+
+/// The device side: runs local inference and monitors class usage.
+#[derive(Debug, Clone)]
+pub struct LocalDevice {
+    model: Network,
+    /// How many times each class has been predicted since the last reset.
+    usage_counts: Vec<u64>,
+}
+
+impl LocalDevice {
+    /// Deploys a personalized (or original) model on the device.
+    pub fn deploy(model: Network) -> Self {
+        let classes = model.num_classes();
+        Self {
+            model,
+            usage_counts: vec![0; classes],
+        }
+    }
+
+    /// The currently deployed model.
+    pub fn model(&self) -> &Network {
+        &self.model
+    }
+
+    /// Runs inference, recording the predicted class in the usage monitor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape does not match the model.
+    pub fn infer(&mut self, input: &capnn_tensor::Tensor) -> Result<usize, CapnnError> {
+        let pred = self.model.predict(input)?;
+        if pred < self.usage_counts.len() {
+            self.usage_counts[pred] += 1;
+        }
+        Ok(pred)
+    }
+
+    /// Total inferences since the last reset.
+    pub fn observed_total(&self) -> u64 {
+        self.usage_counts.iter().sum()
+    }
+
+    /// Builds a [`UserProfile`] from the monitoring period: the `k` most
+    /// frequently predicted classes, weighted by observed frequency
+    /// (normalized over those `k`). This is the paper's "dedicated
+    /// monitoring period" path for obtaining user preferences.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no inferences have been observed or `k == 0`.
+    pub fn observed_profile(&self, k: usize) -> Result<UserProfile, CapnnError> {
+        if k == 0 {
+            return Err(CapnnError::Profile("k must be positive".into()));
+        }
+        let total: u64 = self.usage_counts.iter().sum();
+        if total == 0 {
+            return Err(CapnnError::Profile(
+                "no inferences observed during monitoring".into(),
+            ));
+        }
+        let mut by_count: Vec<(usize, u64)> = self
+            .usage_counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        by_count.truncate(k);
+        let subtotal: u64 = by_count.iter().map(|&(_, n)| n).sum();
+        let classes: Vec<usize> = by_count.iter().map(|&(c, _)| c).collect();
+        let weights: Vec<f32> = by_count
+            .iter()
+            .map(|&(_, n)| n as f32 / subtotal as f32)
+            .collect();
+        UserProfile::new(classes, weights)
+    }
+
+    /// Clears the usage monitor (e.g. after re-personalizing).
+    pub fn reset_monitor(&mut self) {
+        self.usage_counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+
+    fn cloud_rig() -> (CloudServer, VectorClusters) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let cloud = CloudServer::new(
+            net,
+            &gen.generate(20, 2),
+            &gen.generate(15, 3),
+            PruningConfig::fast(),
+        )
+        .unwrap();
+        (cloud, gen)
+    }
+
+    #[test]
+    fn personalize_all_variants_shrink_model() {
+        let (mut cloud, _) = cloud_rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        for variant in [Variant::Basic, Variant::Weighted, Variant::Miseffectual] {
+            let m = cloud.personalize(&profile, variant).unwrap();
+            assert!(
+                m.relative_size <= 1.0,
+                "{variant}: relative size {}",
+                m.relative_size
+            );
+            assert_eq!(m.network.num_classes(), 4);
+            assert_eq!(m.variant, variant);
+        }
+    }
+
+    #[test]
+    fn weighted_not_larger_than_basic() {
+        let (mut cloud, _) = cloud_rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let b = cloud.personalize(&profile, Variant::Basic).unwrap();
+        let w = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        assert!(w.relative_size <= b.relative_size + 1e-9);
+    }
+
+    #[test]
+    fn basic_matrices_cached() {
+        let (mut cloud, _) = cloud_rig();
+        cloud.precompute_basic_matrices().unwrap();
+        let p1 = cloud.matrices.clone().unwrap();
+        cloud.precompute_basic_matrices().unwrap();
+        assert_eq!(p1, cloud.matrices.clone().unwrap());
+    }
+
+    #[test]
+    fn rejects_out_of_range_profile() {
+        let (mut cloud, _) = cloud_rig();
+        let profile = UserProfile::uniform(vec![0, 42]).unwrap();
+        assert!(cloud.personalize(&profile, Variant::Weighted).is_err());
+    }
+
+    #[test]
+    fn device_monitoring_recovers_usage() {
+        let (mut cloud, gen) = cloud_rig();
+        let profile = UserProfile::uniform(vec![0, 1, 2, 3]).unwrap();
+        let m = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        let mut device = LocalDevice::deploy(m.network);
+        let mut rng = capnn_tensor::XorShiftRng::new(9);
+        // user only ever sees classes 0 and 1, 3:1 ratio
+        for i in 0..80 {
+            let class = if i % 4 == 0 { 1 } else { 0 };
+            let x = gen.sample(class, &mut rng);
+            device.infer(&x).unwrap();
+        }
+        assert_eq!(device.observed_total(), 80);
+        let observed = device.observed_profile(2).unwrap();
+        assert_eq!(observed.k(), 2);
+        // dominant observed class should be 0 with roughly 75% weight
+        assert_eq!(observed.classes()[0], 0);
+        assert!(observed.weights()[0] > 0.6);
+        device.reset_monitor();
+        assert_eq!(device.observed_total(), 0);
+        assert!(device.observed_profile(2).is_err());
+    }
+
+    #[test]
+    fn observed_profile_requires_k_positive() {
+        let net = NetworkBuilder::mlp(&[2, 4, 2], 1).build().unwrap();
+        let device = LocalDevice::deploy(net);
+        assert!(device.observed_profile(0).is_err());
+    }
+
+    #[test]
+    fn variant_display_names() {
+        assert_eq!(Variant::Basic.to_string(), "CAP'NN-B");
+        assert_eq!(Variant::Weighted.to_string(), "CAP'NN-W");
+        assert_eq!(Variant::Miseffectual.to_string(), "CAP'NN-M");
+    }
+}

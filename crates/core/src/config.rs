@@ -1,0 +1,148 @@
+//! Pruning hyper-parameters shared by all CAP'NN variants.
+
+use crate::error::CapnnError;
+use crate::eval::DegradationMetric;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the threshold-search pruning loop (Algorithms 1/2).
+///
+/// The defaults match the paper's evaluation: ε = 3 %, `T_start = 0.4`,
+/// `step = 0.025`, pruning the last 6 layers (with the output layer itself
+/// exempt from pruning, per §V-C).
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::PruningConfig;
+///
+/// let cfg = PruningConfig::paper();
+/// assert!((cfg.epsilon - 0.03).abs() < 1e-6);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PruningConfig {
+    /// Maximum allowed per-class accuracy degradation (fraction, e.g. 0.03).
+    pub epsilon: f32,
+    /// Initial firing-rate threshold `T_start`.
+    pub t_start: f32,
+    /// Threshold reduction per rejected candidate set.
+    pub step: f32,
+    /// Number of trailing prunable layers considered (`|L| - l_start`);
+    /// the final output layer inside this tail is never pruned.
+    pub tail_layers: usize,
+    /// How many confusing classes CAP'NN-M considers per user class
+    /// (paper: 5, tied to top-5 accuracy).
+    pub top_confusing: usize,
+    /// The accuracy notion the ε bound uses (paper: per-class top-1; a
+    /// top-k bound is looser and admits more pruning).
+    pub metric: DegradationMetric,
+}
+
+impl PruningConfig {
+    /// The paper's configuration (§V).
+    pub fn paper() -> Self {
+        Self {
+            epsilon: 0.03,
+            t_start: 0.4,
+            step: 0.025,
+            tail_layers: 6,
+            top_confusing: 5,
+            metric: DegradationMetric::Top1,
+        }
+    }
+
+    /// A faster configuration for tests: coarser threshold steps, smaller
+    /// tail.
+    pub fn fast() -> Self {
+        Self {
+            epsilon: 0.03,
+            t_start: 0.4,
+            step: 0.1,
+            tail_layers: 3,
+            top_confusing: 3,
+            metric: DegradationMetric::Top1,
+        }
+    }
+
+    /// Checks that all fields are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CapnnError> {
+        if !(0.0..=1.0).contains(&self.epsilon) || !self.epsilon.is_finite() {
+            return Err(CapnnError::Config(format!(
+                "epsilon must be in [0, 1], got {}",
+                self.epsilon
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.t_start) {
+            return Err(CapnnError::Config(format!(
+                "t_start must be in [0, 1], got {}",
+                self.t_start
+            )));
+        }
+        if self.step <= 0.0 || !self.step.is_finite() {
+            return Err(CapnnError::Config(format!(
+                "step must be positive, got {}",
+                self.step
+            )));
+        }
+        if self.tail_layers == 0 {
+            return Err(CapnnError::Config("tail_layers must be positive".into()));
+        }
+        if self.top_confusing == 0 {
+            return Err(CapnnError::Config("top_confusing must be positive".into()));
+        }
+        if let DegradationMetric::TopK(k) = self.metric {
+            if k == 0 {
+                return Err(CapnnError::Config("top-k metric needs k ≥ 1".into()));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PruningConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = PruningConfig::paper();
+        assert_eq!(c, PruningConfig::default());
+        assert!((c.t_start - 0.4).abs() < 1e-6);
+        assert!((c.step - 0.025).abs() < 1e-6);
+        assert_eq!(c.tail_layers, 6);
+        assert_eq!(c.top_confusing, 5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut c = PruningConfig::paper();
+        c.epsilon = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = PruningConfig::paper();
+        c.epsilon = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = PruningConfig::paper();
+        c.t_start = 2.0;
+        assert!(c.validate().is_err());
+        let mut c = PruningConfig::paper();
+        c.step = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = PruningConfig::paper();
+        c.tail_layers = 0;
+        assert!(c.validate().is_err());
+        let mut c = PruningConfig::paper();
+        c.top_confusing = 0;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for the CAP'NN pruning framework.
+
+use capnn_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by CAP'NN pruning, evaluation or the cloud/device
+/// framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CapnnError {
+    /// A user profile was inconsistent (duplicate classes, bad weights,
+    /// out-of-range class ids).
+    Profile(String),
+    /// A pruning configuration was invalid.
+    Config(String),
+    /// Inputs (network / firing rates / evaluator) disagree about structure.
+    Mismatch(String),
+    /// The underlying network substrate failed.
+    Network(NnError),
+}
+
+impl fmt::Display for CapnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapnnError::Profile(m) => write!(f, "invalid user profile: {m}"),
+            CapnnError::Config(m) => write!(f, "invalid pruning configuration: {m}"),
+            CapnnError::Mismatch(m) => write!(f, "structural mismatch: {m}"),
+            CapnnError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for CapnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CapnnError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CapnnError {
+    fn from(e: NnError) -> Self {
+        CapnnError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CapnnError::Profile("dup".into()).to_string().contains("dup"));
+        assert!(CapnnError::Config("eps".into()).to_string().contains("eps"));
+        assert!(CapnnError::Mismatch("layers".into())
+            .to_string()
+            .contains("layers"));
+    }
+
+    #[test]
+    fn wraps_nn_error() {
+        let e: CapnnError = NnError::Config("x".into()).into();
+        assert!(matches!(e, CapnnError::Network(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapnnError>();
+    }
+}

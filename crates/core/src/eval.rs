@@ -1,0 +1,422 @@
+//! Masked-network evaluation with cached tail replay.
+//!
+//! Algorithms 1 and 2 re-measure per-class accuracy for every candidate
+//! threshold. Since pruning only touches the last few layers, the expensive
+//! convolutional prefix is identical for every candidate — so the evaluator
+//! runs it once per evaluation sample, caches the activation at the tail
+//! boundary, and replays only the tail for each mask. This is exact (see the
+//! `tail_replay_matches_full_masked_forward` test in `capnn-nn`), and turns
+//! the threshold search from hours into seconds at our scale.
+
+use crate::error::CapnnError;
+use capnn_data::Dataset;
+use capnn_nn::{Network, PruneMask};
+use capnn_tensor::Tensor;
+
+/// Per-class accuracy snapshot of a (possibly masked) network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassAccuracy {
+    /// Top-1 accuracy per class id (`NaN`-free: classes without samples get
+    /// 0).
+    pub top1: Vec<f32>,
+}
+
+impl ClassAccuracy {
+    /// Mean top-1 accuracy over `classes` (or over all classes if `None`).
+    pub fn mean(&self, classes: Option<&[usize]>) -> f32 {
+        match classes {
+            Some(cs) if !cs.is_empty() => {
+                cs.iter().map(|&c| self.top1[c]).sum::<f32>() / cs.len() as f32
+            }
+            Some(_) => 0.0,
+            None => {
+                if self.top1.is_empty() {
+                    0.0
+                } else {
+                    self.top1.iter().sum::<f32>() / self.top1.len() as f32
+                }
+            }
+        }
+    }
+}
+
+/// Evaluator with cached activations at the tail boundary.
+///
+/// The evaluator owns a clone of the network, guaranteeing that cached
+/// activations and tail weights stay consistent.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::TailEvaluator;
+/// use capnn_data::{VectorClusters, VectorClustersConfig};
+/// use capnn_nn::{NetworkBuilder, PruneMask};
+///
+/// let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4))?;
+/// let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+/// let eval = TailEvaluator::new(&net, &gen.generate(5, 1), 2).unwrap();
+/// let acc = eval.per_class_accuracy(&PruneMask::all_kept(eval.network()), None).unwrap();
+/// assert_eq!(acc.top1.len(), 3);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TailEvaluator {
+    net: Network,
+    /// First layer index of the replayed tail.
+    start: usize,
+    /// `(boundary activation, label)` per evaluation sample.
+    cached: Vec<(Tensor, usize)>,
+    num_classes: usize,
+    /// Per-class accuracy of the *unmasked* network — the baseline that
+    /// degradation is measured against.
+    baseline: ClassAccuracy,
+}
+
+impl TailEvaluator {
+    /// Builds the evaluator: computes the boundary activation of every
+    /// sample in `dataset` and the unmasked baseline accuracy.
+    ///
+    /// `tail_prunable` is the number of trailing prunable layers that masks
+    /// will touch; the boundary is placed just before the first of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the dataset is empty or shapes mismatch.
+    pub fn new(
+        net: &Network,
+        dataset: &Dataset,
+        tail_prunable: usize,
+    ) -> Result<Self, CapnnError> {
+        if dataset.is_empty() {
+            return Err(CapnnError::Config("evaluation dataset is empty".into()));
+        }
+        let tail = net.prunable_tail(tail_prunable);
+        let start = tail.first().copied().unwrap_or(net.len());
+        let mut cached = Vec::with_capacity(dataset.len());
+        for (x, label) in dataset.samples() {
+            let trace = net.forward_trace(x)?;
+            cached.push((trace[start].clone(), *label));
+        }
+        let mut eval = Self {
+            net: net.clone(),
+            start,
+            cached,
+            num_classes: dataset.num_classes(),
+            baseline: ClassAccuracy { top1: vec![] },
+        };
+        let mask = PruneMask::all_kept(&eval.net);
+        eval.baseline = eval.per_class_accuracy(&mask, None)?;
+        Ok(eval)
+    }
+
+    /// The evaluator's network clone (masks must be built against this
+    /// structure).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// First layer index of the replayed tail.
+    pub fn tail_start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of cached evaluation samples.
+    pub fn sample_count(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Per-class baseline (unmasked) top-1 accuracy.
+    pub fn baseline(&self) -> &ClassAccuracy {
+        &self.baseline
+    }
+
+    /// Per-class top-1 accuracy under `mask`. When `restrict` is given, only
+    /// samples of those classes are evaluated (other classes report 0);
+    /// predictions are still taken over the full output vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch between mask and network.
+    pub fn per_class_accuracy(
+        &self,
+        mask: &PruneMask,
+        restrict: Option<&[usize]>,
+    ) -> Result<ClassAccuracy, CapnnError> {
+        let mut correct = vec![0u32; self.num_classes];
+        let mut total = vec![0u32; self.num_classes];
+        for (act, label) in &self.cached {
+            if let Some(cs) = restrict {
+                if !cs.contains(label) {
+                    continue;
+                }
+            }
+            let out = self.net.forward_masked_from(self.start, act, mask)?;
+            total[*label] += 1;
+            if out.argmax() == Some(*label) {
+                correct[*label] += 1;
+            }
+        }
+        let top1 = correct
+            .iter()
+            .zip(&total)
+            .map(|(&c, &t)| if t > 0 { c as f32 / t as f32 } else { 0.0 })
+            .collect();
+        Ok(ClassAccuracy { top1 })
+    }
+
+    /// Top-k accuracy over samples of `classes` (or all samples if `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn topk_accuracy(
+        &self,
+        mask: &PruneMask,
+        k: usize,
+        classes: Option<&[usize]>,
+    ) -> Result<f32, CapnnError> {
+        let mut correct = 0u32;
+        let mut total = 0u32;
+        for (act, label) in &self.cached {
+            if let Some(cs) = classes {
+                if !cs.contains(label) {
+                    continue;
+                }
+            }
+            let out = self.net.forward_masked_from(self.start, act, mask)?;
+            total += 1;
+            if out.top_k(k).contains(label) {
+                correct += 1;
+            }
+        }
+        Ok(if total > 0 {
+            correct as f32 / total as f32
+        } else {
+            0.0
+        })
+    }
+
+    /// Maximum per-class accuracy degradation of `mask` relative to the
+    /// unmasked baseline, over `classes` (or all classes if `None`).
+    ///
+    /// This is the quantity both algorithms compare against ε, using the
+    /// default top-1 metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn max_degradation(
+        &self,
+        mask: &PruneMask,
+        classes: Option<&[usize]>,
+    ) -> Result<f32, CapnnError> {
+        self.max_degradation_metric(mask, classes, DegradationMetric::Top1)
+    }
+
+    /// Like [`TailEvaluator::max_degradation`] but with an explicit accuracy
+    /// metric: the per-class degradation is measured in top-1 or top-k
+    /// accuracy. A top-k bound is looser (top-k accuracy dominates top-1),
+    /// so it admits more pruning at the same ε.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn max_degradation_metric(
+        &self,
+        mask: &PruneMask,
+        classes: Option<&[usize]>,
+        metric: DegradationMetric,
+    ) -> Result<f32, CapnnError> {
+        let k = match metric {
+            DegradationMetric::Top1 => 1,
+            DegradationMetric::TopK(k) => k.max(1),
+        };
+        let ids: Vec<usize> = match classes {
+            Some(cs) => cs.to_vec(),
+            None => (0..self.num_classes).collect(),
+        };
+        if k == 1 {
+            let acc = self.per_class_accuracy(mask, classes)?;
+            return Ok(ids
+                .iter()
+                .map(|&c| self.baseline.top1[c] - acc.top1[c])
+                .fold(f32::MIN, f32::max)
+                .max(0.0));
+        }
+        // top-k path: measure per class individually
+        let unmasked = PruneMask::all_kept(&self.net);
+        let mut worst = 0.0f32;
+        for &c in &ids {
+            let base = self.topk_accuracy(&unmasked, k, Some(&[c]))?;
+            let now = self.topk_accuracy(mask, k, Some(&[c]))?;
+            worst = worst.max(base - now);
+        }
+        Ok(worst)
+    }
+}
+
+/// Which accuracy notion the ε degradation bound uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Default)]
+pub enum DegradationMetric {
+    /// Per-class top-1 accuracy (the paper's check).
+    #[default]
+    Top1,
+    /// Per-class top-k accuracy — looser, admits more pruning at equal ε.
+    TopK(usize),
+}
+
+
+impl std::fmt::Display for DegradationMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationMetric::Top1 => write!(f, "top-1"),
+            DegradationMetric::TopK(k) => write!(f, "top-{k}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+
+    fn trained_setup() -> (Network, Dataset) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[4, 12, 8, 3], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 10,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(25, 1).samples())
+            .unwrap();
+        (net, gen.generate(15, 2))
+    }
+
+    #[test]
+    fn baseline_matches_unmasked_accuracy() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mask = PruneMask::all_kept(eval.network());
+        let acc = eval.per_class_accuracy(&mask, None).unwrap();
+        assert_eq!(acc, *eval.baseline());
+        assert!(acc.mean(None) > 0.8, "trained accuracy {}", acc.mean(None));
+    }
+
+    #[test]
+    fn replay_equals_full_forward() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mask = PruneMask::all_kept(eval.network());
+        let acc_replay = eval.per_class_accuracy(&mask, None).unwrap();
+        // compute per-class accuracy the slow way
+        let mut correct = [0u32; 3];
+        let mut total = [0u32; 3];
+        for (x, l) in eval_ds.samples() {
+            total[*l] += 1;
+            if net.predict(x).unwrap() == *l {
+                correct[*l] += 1;
+            }
+        }
+        for c in 0..3 {
+            let slow = correct[c] as f32 / total[c] as f32;
+            assert!((acc_replay.top1[c] - slow).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn restrict_skips_other_classes() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mask = PruneMask::all_kept(eval.network());
+        let acc = eval.per_class_accuracy(&mask, Some(&[1])).unwrap();
+        assert_eq!(acc.top1[0], 0.0);
+        assert_eq!(acc.top1[2], 0.0);
+        assert!(acc.top1[1] > 0.0);
+    }
+
+    #[test]
+    fn degradation_zero_for_identity_mask() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mask = PruneMask::all_kept(eval.network());
+        assert_eq!(eval.max_degradation(&mask, None).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn degradation_positive_when_gutted() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mut mask = PruneMask::all_kept(eval.network());
+        let prunable = eval.network().prunable_layers();
+        // gut the second hidden layer entirely
+        let units = eval.network().layers()[prunable[1]].unit_count().unwrap();
+        mask.set_layer(prunable[1], vec![false; units]).unwrap();
+        let d = eval.max_degradation(&mask, None).unwrap();
+        assert!(d > 0.1, "expected big degradation, got {d}");
+    }
+
+    #[test]
+    fn topk_at_least_top1() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mask = PruneMask::all_kept(eval.network());
+        let top1 = eval.topk_accuracy(&mask, 1, None).unwrap();
+        let top2 = eval.topk_accuracy(&mask, 2, None).unwrap();
+        let top3 = eval.topk_accuracy(&mask, 3, None).unwrap();
+        assert!(top1 <= top2 && top2 <= top3);
+        assert_eq!(top3, 1.0); // 3 classes → top-3 is always right
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let (net, _) = trained_setup();
+        let empty = Dataset::new(vec![], 3).unwrap();
+        assert!(TailEvaluator::new(&net, &empty, 2).is_err());
+    }
+
+    #[test]
+    fn topk_metric_is_looser_than_top1() {
+        let (net, eval_ds) = trained_setup();
+        let eval = TailEvaluator::new(&net, &eval_ds, 2).unwrap();
+        let mut mask = PruneMask::all_kept(eval.network());
+        let prunable = eval.network().prunable_layers();
+        // prune a few units to induce some degradation
+        for u in [0usize, 3, 5, 7] {
+            let _ = mask.prune(prunable[0], u);
+        }
+        let d1 = eval
+            .max_degradation_metric(&mask, None, DegradationMetric::Top1)
+            .unwrap();
+        let d2 = eval
+            .max_degradation_metric(&mask, None, DegradationMetric::TopK(2))
+            .unwrap();
+        let d3 = eval
+            .max_degradation_metric(&mask, None, DegradationMetric::TopK(3))
+            .unwrap();
+        assert!(d2 <= d1 + 1e-6, "top-2 degr {d2} vs top-1 {d1}");
+        // 3 classes → top-3 degradation is identically zero
+        assert_eq!(d3, 0.0);
+        // Top1 metric equals the default path
+        assert_eq!(d1, eval.max_degradation(&mask, None).unwrap());
+    }
+
+    #[test]
+    fn metric_display_and_default() {
+        assert_eq!(DegradationMetric::default(), DegradationMetric::Top1);
+        assert_eq!(DegradationMetric::Top1.to_string(), "top-1");
+        assert_eq!(DegradationMetric::TopK(5).to_string(), "top-5");
+    }
+
+    #[test]
+    fn class_accuracy_mean_variants() {
+        let acc = ClassAccuracy {
+            top1: vec![1.0, 0.5, 0.0],
+        };
+        assert!((acc.mean(None) - 0.5).abs() < 1e-6);
+        assert!((acc.mean(Some(&[0, 1])) - 0.75).abs() < 1e-6);
+        assert_eq!(acc.mean(Some(&[])), 0.0);
+    }
+}

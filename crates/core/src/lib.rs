@@ -1,0 +1,71 @@
+//! CAP'NN: Class-Aware Personalized Neural Network Inference.
+//!
+//! This crate implements the DAC 2020 paper's contribution: pruning an
+//! *already-trained* CNN, without retraining, for the subset of output
+//! classes a specific user actually encounters. Three variants are provided:
+//!
+//! * [`CapnnB`] — per-class pruning matrices computed offline (Algorithm 1);
+//!   online personalization is a near-free intersection of bit columns.
+//! * [`CapnnW`] — thresholds *effective* firing rates `Σ w_k·F(n,k)` online
+//!   (Algorithm 2), exploiting the user's usage distribution for more
+//!   aggressive pruning.
+//! * [`CapnnM`] — identifies *miseffectual* neurons (units pushing the
+//!   classifier toward a class's top confusers) and prunes them too, which
+//!   can *improve* accuracy over the unpruned model.
+//!
+//! All variants guarantee that per-class accuracy on the evaluation set
+//! degrades by at most ε (default 3 %). The [`CloudServer`]/[`LocalDevice`]
+//! pair models the paper's deployment: the cloud owns the full model and the
+//! offline profiles; devices receive compacted networks and can request
+//! re-personalization when monitored usage drifts.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_core::{CloudServer, PruningConfig, UserProfile, Variant};
+//! use capnn_data::{VectorClusters, VectorClustersConfig};
+//! use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+//!
+//! // 1. A commodity trained model (the substrate stands in for VGG-16).
+//! let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6))?;
+//! let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+//! let cfg = TrainerConfig { epochs: 8, ..TrainerConfig::default() };
+//! Trainer::new(cfg, 1).fit(&mut net, gen.generate(20, 1).samples()).unwrap();
+//!
+//! // 2. Cloud-side offline profiling.
+//! let mut cloud = CloudServer::new(
+//!     net, &gen.generate(15, 2), &gen.generate(10, 3), PruningConfig::fast(),
+//! ).unwrap();
+//!
+//! // 3. Personalize for a user who mostly sees class 0.
+//! let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+//! let model = cloud.personalize(&profile, Variant::Miseffectual).unwrap();
+//! assert!(model.relative_size <= 1.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod cache;
+mod capnn_b;
+mod certificate;
+mod capnn_m;
+mod capnn_w;
+mod cloud;
+mod config;
+mod protocol;
+mod session;
+mod error;
+mod eval;
+mod user;
+
+pub use cache::{CacheStats, ModelCache, ProfileKey};
+pub use capnn_b::{CapnnB, LayerMatrix, PruningMatrices};
+pub use certificate::{ClassEvidence, PruningCertificate};
+pub use capnn_m::CapnnM;
+pub use capnn_w::CapnnW;
+pub use cloud::{CloudServer, LocalDevice, PersonalizedModel, Variant};
+pub use config::PruningConfig;
+pub use protocol::{transfer_cost, TransferCost};
+pub use session::{DriftDecision, DriftPolicy, PersonalizationSession};
+pub use error::CapnnError;
+pub use eval::{ClassAccuracy, DegradationMetric, TailEvaluator};
+pub use user::UserProfile;

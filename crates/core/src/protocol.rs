@@ -1,0 +1,163 @@
+//! Transfer-cost accounting for the cloud ⇄ device protocol.
+//!
+//! The paper's motivation is that storing (or shipping) full models for all
+//! possible classes is overprovisioned for each user. This module puts
+//! numbers on the protocol: how many bytes one personalization round-trip
+//! actually moves, and how that compares to shipping the original model —
+//! so the `CloudServer`'s value shows up in transport terms too, not just
+//! on-device storage.
+
+use crate::cloud::PersonalizedModel;
+use capnn_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// Byte costs of one personalization round trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferCost {
+    /// Upstream: the user profile (class ids + weights).
+    pub request_bytes: u64,
+    /// Downstream: the compacted model's parameters.
+    pub model_bytes: u64,
+    /// Downstream bytes had the cloud shipped the *original* model instead.
+    pub full_model_bytes: u64,
+}
+
+impl TransferCost {
+    /// Downstream saving relative to shipping the full model, in `[0, 1]`.
+    pub fn downstream_saving(&self) -> f64 {
+        if self.full_model_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.model_bytes as f64 / self.full_model_bytes as f64
+    }
+
+    /// Total bytes moved in the round trip.
+    pub fn total_bytes(&self) -> u64 {
+        self.request_bytes + self.model_bytes
+    }
+}
+
+/// Computes the transfer cost of shipping `model` (produced against
+/// `original`) at `bits_per_weight` parameter precision (the paper assumes
+/// 16-bit weights).
+///
+/// The request is costed at 4 bytes per class id plus 1 byte per quantized
+/// usage weight — negligible next to the model, which is the point.
+///
+/// # Panics
+///
+/// Panics if `bits_per_weight` is 0.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::transfer_cost;
+/// # use capnn_core::{CloudServer, PruningConfig, UserProfile, Variant};
+/// # use capnn_data::{VectorClusters, VectorClustersConfig};
+/// # use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+/// # let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+/// # let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+/// # let cfg = TrainerConfig { epochs: 6, ..TrainerConfig::default() };
+/// # Trainer::new(cfg, 1).fit(&mut net, gen.generate(15, 1).samples()).unwrap();
+/// # let original = net.clone();
+/// # let mut cloud = CloudServer::new(
+/// #     net, &gen.generate(10, 2), &gen.generate(8, 3), PruningConfig::fast()).unwrap();
+/// # let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+/// # let model = cloud.personalize(&profile, Variant::Weighted).unwrap();
+/// let cost = transfer_cost(&model, &original, 16);
+/// assert!(cost.downstream_saving() >= 0.0);
+/// ```
+pub fn transfer_cost(
+    model: &PersonalizedModel,
+    original: &Network,
+    bits_per_weight: u32,
+) -> TransferCost {
+    assert!(bits_per_weight > 0, "bits_per_weight must be positive");
+    let to_bytes = |params: u64| (params * bits_per_weight as u64).div_ceil(8);
+    TransferCost {
+        request_bytes: 4 * model.profile.k() as u64 + model.profile.k() as u64,
+        model_bytes: to_bytes(model.size.total() as u64),
+        full_model_bytes: to_bytes(original.param_count() as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::{CloudServer, Variant};
+    use crate::config::PruningConfig;
+    use crate::user::UserProfile;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+
+    fn rig() -> (Network, CloudServer) {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 10,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(25, 1).samples())
+            .unwrap();
+        let original = net.clone();
+        let cloud = CloudServer::new(
+            net,
+            &gen.generate(15, 2),
+            &gen.generate(10, 3),
+            PruningConfig::fast(),
+        )
+        .unwrap();
+        (original, cloud)
+    }
+
+    #[test]
+    fn pruned_model_ships_fewer_bytes() {
+        let (original, mut cloud) = rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let model = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        let cost = transfer_cost(&model, &original, 16);
+        assert!(cost.model_bytes <= cost.full_model_bytes);
+        assert!(cost.downstream_saving() >= 0.0);
+        assert_eq!(
+            cost.full_model_bytes,
+            (original.param_count() as u64 * 16).div_ceil(8)
+        );
+        assert!(cost.request_bytes < 100, "profile is tiny on the wire");
+        assert_eq!(cost.total_bytes(), cost.request_bytes + cost.model_bytes);
+    }
+
+    #[test]
+    fn saving_tracks_relative_size() {
+        let (original, mut cloud) = rig();
+        let profile = UserProfile::new(vec![2], vec![1.0]).unwrap();
+        let model = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        let cost = transfer_cost(&model, &original, 16);
+        let expected = 1.0 - model.relative_size;
+        assert!(
+            (cost.downstream_saving() - expected).abs() < 0.02,
+            "saving {} vs 1 - relative size {}",
+            cost.downstream_saving(),
+            expected
+        );
+    }
+
+    #[test]
+    fn bits_scale_linearly() {
+        let (original, mut cloud) = rig();
+        let profile = UserProfile::new(vec![0, 3], vec![0.5, 0.5]).unwrap();
+        let model = cloud.personalize(&profile, Variant::Basic).unwrap();
+        let c16 = transfer_cost(&model, &original, 16);
+        let c8 = transfer_cost(&model, &original, 8);
+        assert_eq!(c16.model_bytes, 2 * c8.model_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits_per_weight must be positive")]
+    fn zero_bits_panics() {
+        let (original, mut cloud) = rig();
+        let profile = UserProfile::new(vec![0], vec![1.0]).unwrap();
+        let model = cloud.personalize(&profile, Variant::Basic).unwrap();
+        let _ = transfer_cost(&model, &original, 0);
+    }
+}

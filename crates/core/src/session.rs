@@ -1,0 +1,360 @@
+//! Drift-aware personalization sessions.
+//!
+//! The paper notes that "the network can be pruned again if the user's
+//! preferences change" (§II). This module makes that loop concrete: a
+//! [`PersonalizationSession`] wraps a device's usage monitor and decides
+//! *when* re-personalization is worth a round-trip to the cloud, by
+//! comparing the observed class-usage distribution against the profile the
+//! current model was pruned for.
+//!
+//! The divergence measure is the Jensen–Shannon divergence (symmetric,
+//! bounded by 1 bit), computed over the union of the two profiles' class
+//! supports — so both "the user's mix shifted" and "the user started seeing
+//! a class the model was never pruned for" register.
+
+use crate::error::CapnnError;
+use crate::user::UserProfile;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Policy knobs for re-personalization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftPolicy {
+    /// Jensen–Shannon divergence (bits) above which re-personalization is
+    /// recommended.
+    pub divergence_threshold: f64,
+    /// Minimum number of observed inferences before any decision is made
+    /// (avoids reacting to noise right after deployment).
+    pub min_observations: u64,
+    /// Number of classes the new profile should cover.
+    pub profile_k: usize,
+}
+
+impl DriftPolicy {
+    /// A conservative default: act on ≥ 0.15 bit of divergence after 50
+    /// observations, keeping a 3-class profile.
+    pub fn conservative() -> Self {
+        Self {
+            divergence_threshold: 0.15,
+            min_observations: 50,
+            profile_k: 3,
+        }
+    }
+
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] describing the first violation.
+    pub fn validate(&self) -> Result<(), CapnnError> {
+        if !(0.0..=1.0).contains(&self.divergence_threshold) {
+            return Err(CapnnError::Config(format!(
+                "divergence threshold must be in [0, 1] bits, got {}",
+                self.divergence_threshold
+            )));
+        }
+        if self.profile_k == 0 {
+            return Err(CapnnError::Config("profile_k must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DriftPolicy {
+    fn default() -> Self {
+        Self::conservative()
+    }
+}
+
+/// The decision produced by a drift check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftDecision {
+    /// Not enough observations yet.
+    InsufficientData {
+        /// Observations so far.
+        observed: u64,
+        /// Observations required.
+        required: u64,
+    },
+    /// Usage matches the deployed profile closely enough.
+    KeepModel {
+        /// Measured divergence in bits.
+        divergence: f64,
+    },
+    /// Usage drifted: request this new profile from the cloud.
+    Repersonalize {
+        /// Measured divergence in bits.
+        divergence: f64,
+        /// The profile to request.
+        profile: UserProfile,
+    },
+}
+
+/// Tracks one device's deployed profile and observed usage, and decides when
+/// to re-personalize.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::{DriftPolicy, PersonalizationSession, UserProfile};
+///
+/// let deployed = UserProfile::new(vec![0, 1], vec![0.9, 0.1])?;
+/// let mut session = PersonalizationSession::new(deployed, DriftPolicy::conservative())?;
+/// for _ in 0..60 { session.record(5); } // the user moved to class 5 entirely
+/// assert!(matches!(
+///     session.check_drift(),
+///     capnn_core::DriftDecision::Repersonalize { .. }
+/// ));
+/// # Ok::<(), capnn_core::CapnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersonalizationSession {
+    deployed: UserProfile,
+    policy: DriftPolicy,
+    counts: BTreeMap<usize, u64>,
+}
+
+impl PersonalizationSession {
+    /// Starts a session for a device running a model pruned for `deployed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if the policy is invalid.
+    pub fn new(deployed: UserProfile, policy: DriftPolicy) -> Result<Self, CapnnError> {
+        policy.validate()?;
+        Ok(Self {
+            deployed,
+            policy,
+            counts: BTreeMap::new(),
+        })
+    }
+
+    /// The profile the current model was pruned for.
+    pub fn deployed_profile(&self) -> &UserProfile {
+        &self.deployed
+    }
+
+    /// Total recorded observations.
+    pub fn observations(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Records one observed (predicted) class.
+    pub fn record(&mut self, class: usize) {
+        *self.counts.entry(class).or_insert(0) += 1;
+    }
+
+    /// The observed usage distribution so far, over observed classes.
+    pub fn observed_distribution(&self) -> Vec<(usize, f64)> {
+        let total = self.observations().max(1) as f64;
+        self.counts
+            .iter()
+            .map(|(&c, &n)| (c, n as f64 / total))
+            .collect()
+    }
+
+    /// Checks drift between deployed profile and observed usage.
+    pub fn check_drift(&self) -> DriftDecision {
+        let observed = self.observations();
+        if observed < self.policy.min_observations {
+            return DriftDecision::InsufficientData {
+                observed,
+                required: self.policy.min_observations,
+            };
+        }
+        let divergence = self.divergence_bits();
+        if divergence < self.policy.divergence_threshold {
+            return DriftDecision::KeepModel { divergence };
+        }
+        // Build the replacement profile: top-k observed classes, weighted by
+        // observed frequency.
+        let mut by_count: Vec<(usize, u64)> =
+            self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        by_count.truncate(self.policy.profile_k);
+        let subtotal: u64 = by_count.iter().map(|&(_, n)| n).sum();
+        let classes: Vec<usize> = by_count.iter().map(|&(c, _)| c).collect();
+        let weights: Vec<f32> = by_count
+            .iter()
+            .map(|&(_, n)| n as f32 / subtotal as f32)
+            .collect();
+        match UserProfile::new(classes, weights) {
+            Ok(profile) => DriftDecision::Repersonalize {
+                divergence,
+                profile,
+            },
+            // fewer distinct classes observed than profile_k is fine; an
+            // empty observation set cannot reach here (min_observations > 0
+            // implies at least one count)
+            Err(_) => DriftDecision::KeepModel { divergence },
+        }
+    }
+
+    /// Adopts a newly deployed profile and clears the monitor.
+    pub fn adopt(&mut self, profile: UserProfile) {
+        self.deployed = profile;
+        self.counts.clear();
+    }
+
+    /// Jensen–Shannon divergence (bits) between the deployed weights and the
+    /// observed frequencies, over the union of their supports.
+    pub fn divergence_bits(&self) -> f64 {
+        let total = self.observations().max(1) as f64;
+        let mut support: Vec<usize> = self.counts.keys().copied().collect();
+        for &c in self.deployed.classes() {
+            if !support.contains(&c) {
+                support.push(c);
+            }
+        }
+        let p = |c: usize| -> f64 {
+            self.deployed.weight_of(c).map_or(0.0, |w| w as f64)
+        };
+        let q = |c: usize| -> f64 {
+            self.counts.get(&c).map_or(0.0, |&n| n as f64 / total)
+        };
+        let mut js = 0.0;
+        for &c in &support {
+            let (pi, qi) = (p(c), q(c));
+            let mi = 0.5 * (pi + qi);
+            if pi > 0.0 && mi > 0.0 {
+                js += 0.5 * pi * (pi / mi).log2();
+            }
+            if qi > 0.0 && mi > 0.0 {
+                js += 0.5 * qi * (qi / mi).log2();
+            }
+        }
+        js.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(classes: Vec<usize>, weights: Vec<f32>) -> PersonalizationSession {
+        PersonalizationSession::new(
+            UserProfile::new(classes, weights).unwrap(),
+            DriftPolicy {
+                divergence_threshold: 0.1,
+                min_observations: 20,
+                profile_k: 2,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(DriftPolicy::conservative().validate().is_ok());
+        let mut p = DriftPolicy::conservative();
+        p.divergence_threshold = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = DriftPolicy::conservative();
+        p.profile_k = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn insufficient_data_before_min_observations() {
+        let mut s = session(vec![0, 1], vec![0.5, 0.5]);
+        for _ in 0..10 {
+            s.record(0);
+        }
+        assert!(matches!(
+            s.check_drift(),
+            DriftDecision::InsufficientData {
+                observed: 10,
+                required: 20
+            }
+        ));
+    }
+
+    #[test]
+    fn matching_usage_keeps_model() {
+        let mut s = session(vec![0, 1], vec![0.75, 0.25]);
+        for i in 0..40 {
+            s.record(if i % 4 == 0 { 1 } else { 0 });
+        }
+        match s.check_drift() {
+            DriftDecision::KeepModel { divergence } => assert!(divergence < 0.05),
+            other => panic!("expected KeepModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_shift_triggers_repersonalization() {
+        let mut s = session(vec![0, 1], vec![0.9, 0.1]);
+        for _ in 0..40 {
+            s.record(7);
+        }
+        match s.check_drift() {
+            DriftDecision::Repersonalize {
+                divergence,
+                profile,
+            } => {
+                assert!(divergence > 0.5, "divergence {divergence}");
+                assert_eq!(profile.classes(), &[7]);
+            }
+            other => panic!("expected Repersonalize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_shift_builds_weighted_profile() {
+        let mut s = session(vec![0, 1], vec![0.9, 0.1]);
+        // user now sees class 3 75% and class 0 25%
+        for i in 0..80 {
+            s.record(if i % 4 == 0 { 0 } else { 3 });
+        }
+        match s.check_drift() {
+            DriftDecision::Repersonalize { profile, .. } => {
+                assert_eq!(profile.classes(), &[3, 0]);
+                assert!((profile.weights()[0] - 0.75).abs() < 0.05);
+            }
+            other => panic!("expected Repersonalize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adopt_resets_monitor() {
+        let mut s = session(vec![0, 1], vec![0.5, 0.5]);
+        for _ in 0..30 {
+            s.record(5);
+        }
+        let new_profile = UserProfile::new(vec![5], vec![1.0]).unwrap();
+        s.adopt(new_profile.clone());
+        assert_eq!(s.observations(), 0);
+        assert_eq!(s.deployed_profile(), &new_profile);
+    }
+
+    #[test]
+    fn divergence_is_zero_for_identical_distributions() {
+        let mut s = session(vec![0, 1], vec![0.5, 0.5]);
+        for i in 0..100 {
+            s.record(i % 2);
+        }
+        assert!(s.divergence_bits() < 1e-3);
+    }
+
+    #[test]
+    fn divergence_bounded_by_one_bit() {
+        let mut s = session(vec![0], vec![1.0]);
+        for _ in 0..50 {
+            s.record(9);
+        }
+        let d = s.divergence_bits();
+        assert!(d <= 1.0 + 1e-9, "JS divergence {d} exceeds 1 bit");
+        assert!(d > 0.99, "disjoint supports should max out, got {d}");
+    }
+
+    #[test]
+    fn observed_distribution_normalizes() {
+        let mut s = session(vec![0, 1], vec![0.5, 0.5]);
+        for i in 0..10 {
+            s.record(i % 5);
+        }
+        let dist = s.observed_distribution();
+        let sum: f64 = dist.iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

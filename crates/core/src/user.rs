@@ -1,0 +1,185 @@
+//! User profiles: the class subset and usage weights that drive
+//! personalization.
+
+use crate::error::CapnnError;
+use capnn_data::UsageDistribution;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The preferences of one user: the output classes they expect to encounter
+/// and how often (weights sum to 1).
+///
+/// CAP'NN-B uses only the class set; CAP'NN-W/M also use the weights.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::UserProfile;
+///
+/// let p = UserProfile::new(vec![3, 7], vec![0.1, 0.9])?;
+/// assert_eq!(p.k(), 2);
+/// assert_eq!(p.weight_of(7), Some(0.9));
+/// # Ok::<(), capnn_core::CapnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    classes: Vec<usize>,
+    weights: Vec<f32>,
+}
+
+impl UserProfile {
+    /// Creates a profile from classes and matching usage weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Profile`] if the lists are empty, differ in
+    /// length, contain duplicate classes, or the weights are not a
+    /// probability distribution.
+    pub fn new(classes: Vec<usize>, weights: Vec<f32>) -> Result<Self, CapnnError> {
+        if classes.is_empty() {
+            return Err(CapnnError::Profile("profile must name at least one class".into()));
+        }
+        if classes.len() != weights.len() {
+            return Err(CapnnError::Profile(format!(
+                "{} classes but {} weights",
+                classes.len(),
+                weights.len()
+            )));
+        }
+        let unique: HashSet<_> = classes.iter().collect();
+        if unique.len() != classes.len() {
+            return Err(CapnnError::Profile("duplicate classes in profile".into()));
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err(CapnnError::Profile(
+                "weights must be finite and non-negative".into(),
+            ));
+        }
+        let sum: f32 = weights.iter().sum();
+        if (sum - 1.0).abs() > 1e-3 {
+            return Err(CapnnError::Profile(format!(
+                "weights must sum to 1, got {sum}"
+            )));
+        }
+        Ok(Self { classes, weights })
+    }
+
+    /// Creates a profile with uniform usage over `classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Profile`] if `classes` is empty or contains
+    /// duplicates.
+    pub fn uniform(classes: Vec<usize>) -> Result<Self, CapnnError> {
+        let k = classes.len();
+        Self::new(classes, vec![1.0 / k.max(1) as f32; k])
+    }
+
+    /// Creates a profile pairing `classes` with a [`UsageDistribution`] of
+    /// the same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Profile`] on length mismatch or duplicate
+    /// classes.
+    pub fn with_distribution(
+        classes: Vec<usize>,
+        distribution: &UsageDistribution,
+    ) -> Result<Self, CapnnError> {
+        Self::new(classes, distribution.weights().to_vec())
+    }
+
+    /// Number of user classes (`K` in the paper).
+    pub fn k(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The user's classes.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// The usage weights, aligned with [`UserProfile::classes`].
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The usage weight of `class`, or `None` if the user never encounters
+    /// it.
+    pub fn weight_of(&self, class: usize) -> Option<f32> {
+        self.classes
+            .iter()
+            .position(|&c| c == class)
+            .map(|i| self.weights[i])
+    }
+
+    /// Whether every class id is below `num_classes`.
+    pub fn fits_model(&self, num_classes: usize) -> bool {
+        self.classes.iter().all(|&c| c < num_classes)
+    }
+}
+
+impl fmt::Display for UserProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UserProfile{{")?;
+        for (i, (c, w)) in self.classes.iter().zip(&self.weights).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}:{:.0}%", w * 100.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(UserProfile::new(vec![], vec![]).is_err());
+        assert!(UserProfile::new(vec![1], vec![0.5, 0.5]).is_err());
+        assert!(UserProfile::new(vec![1, 1], vec![0.5, 0.5]).is_err());
+        assert!(UserProfile::new(vec![1, 2], vec![0.5, 0.6]).is_err());
+        assert!(UserProfile::new(vec![1, 2], vec![-0.5, 1.5]).is_err());
+        assert!(UserProfile::new(vec![1, 2], vec![0.5, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let p = UserProfile::uniform(vec![4, 9, 2]).unwrap();
+        for &w in p.weights() {
+            assert!((w - 1.0 / 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weight_lookup() {
+        let p = UserProfile::new(vec![3, 7], vec![0.2, 0.8]).unwrap();
+        assert_eq!(p.weight_of(3), Some(0.2));
+        assert_eq!(p.weight_of(5), None);
+    }
+
+    #[test]
+    fn from_distribution() {
+        let d = UsageDistribution::from_percentages(&[10, 90]).unwrap();
+        let p = UserProfile::with_distribution(vec![0, 1], &d).unwrap();
+        assert_eq!(p.weights(), &[0.1, 0.9]);
+        assert!(UserProfile::with_distribution(vec![0], &d).is_err());
+    }
+
+    #[test]
+    fn fits_model_checks_range() {
+        let p = UserProfile::uniform(vec![0, 9]).unwrap();
+        assert!(p.fits_model(10));
+        assert!(!p.fits_model(9));
+    }
+
+    #[test]
+    fn display_shows_percentages() {
+        let p = UserProfile::new(vec![3, 7], vec![0.1, 0.9]).unwrap();
+        assert_eq!(p.to_string(), "UserProfile{3:10%, 7:90%}");
+    }
+}

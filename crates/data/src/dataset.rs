@@ -1,0 +1,262 @@
+//! Labelled dataset container with per-class views and splits.
+
+use capnn_tensor::{Tensor, XorShiftRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A labelled dataset: samples, labels and the total class count.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_data::Dataset;
+/// use capnn_tensor::Tensor;
+///
+/// let ds = Dataset::new(vec![(Tensor::zeros(&[2]), 0), (Tensor::ones(&[2]), 1)], 2).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.of_class(1).count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    samples: Vec<(Tensor, usize)>,
+    num_classes: usize,
+}
+
+/// Error produced when constructing an inconsistent dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetError {
+    message: String,
+}
+
+impl DatasetError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid dataset: {}", self.message)
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Creates a dataset, validating that every label is below
+    /// `num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a label is out of range or `num_classes` is 0.
+    pub fn new(samples: Vec<(Tensor, usize)>, num_classes: usize) -> Result<Self, DatasetError> {
+        if num_classes == 0 {
+            return Err(DatasetError::new("num_classes must be positive"));
+        }
+        if let Some((_, bad)) = samples.iter().find(|(_, l)| *l >= num_classes) {
+            return Err(DatasetError::new(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Self {
+            samples,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total number of classes in the label space.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// All `(input, label)` pairs.
+    pub fn samples(&self) -> &[(Tensor, usize)] {
+        &self.samples
+    }
+
+    /// Iterator over samples of one class.
+    pub fn of_class(&self, class: usize) -> impl Iterator<Item = &(Tensor, usize)> {
+        self.samples.iter().filter(move |(_, l)| *l == class)
+    }
+
+    /// Number of samples per class, indexed by class id.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for (_, l) in &self.samples {
+            counts[*l] += 1;
+        }
+        counts
+    }
+
+    /// Returns a new dataset containing only samples whose label is in
+    /// `classes` (labels are preserved, not remapped).
+    pub fn restrict_to(&self, classes: &[usize]) -> Dataset {
+        let samples = self
+            .samples
+            .iter()
+            .filter(|(_, l)| classes.contains(l))
+            .cloned()
+            .collect();
+        Dataset {
+            samples,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(first, second)` with `fraction` of *each class* going to
+    /// the first part (deterministic, preserves order within class).
+    pub fn split_per_class(&self, fraction: f32) -> (Dataset, Dataset) {
+        let mut taken = vec![0usize; self.num_classes];
+        let counts = self.class_counts();
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for (x, l) in &self.samples {
+            let quota = (counts[*l] as f32 * fraction).round() as usize;
+            if taken[*l] < quota {
+                first.push((x.clone(), *l));
+                taken[*l] += 1;
+            } else {
+                second.push((x.clone(), *l));
+            }
+        }
+        (
+            Dataset {
+                samples: first,
+                num_classes: self.num_classes,
+            },
+            Dataset {
+                samples: second,
+                num_classes: self.num_classes,
+            },
+        )
+    }
+
+    /// Shuffles the samples in place.
+    pub fn shuffle(&mut self, rng: &mut XorShiftRng) {
+        rng.shuffle(&mut self.samples);
+    }
+
+    /// Takes up to `n` samples of each class, preserving order.
+    pub fn take_per_class(&self, n: usize) -> Dataset {
+        let mut taken = vec![0usize; self.num_classes];
+        let samples = self
+            .samples
+            .iter()
+            .filter(|(_, l)| {
+                if taken[*l] < n {
+                    taken[*l] += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .cloned()
+            .collect();
+        Dataset {
+            samples,
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dataset({} samples, {} classes)",
+            self.samples.len(),
+            self.num_classes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let samples = (0..12)
+            .map(|i| (Tensor::full(&[2], i as f32), i % 3))
+            .collect();
+        Dataset::new(samples, 3).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_labels() {
+        assert!(Dataset::new(vec![(Tensor::zeros(&[1]), 5)], 3).is_err());
+        assert!(Dataset::new(vec![], 0).is_err());
+        assert!(Dataset::new(vec![], 1).is_ok());
+    }
+
+    #[test]
+    fn class_counts_and_views() {
+        let ds = tiny();
+        assert_eq!(ds.class_counts(), vec![4, 4, 4]);
+        assert_eq!(ds.of_class(2).count(), 4);
+        assert!(ds.of_class(2).all(|(_, l)| *l == 2));
+    }
+
+    #[test]
+    fn restrict_keeps_labels() {
+        let ds = tiny();
+        let r = ds.restrict_to(&[0, 2]);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.num_classes(), 3);
+        assert!(r.samples().iter().all(|(_, l)| *l == 0 || *l == 2));
+    }
+
+    #[test]
+    fn split_per_class_is_stratified() {
+        let ds = tiny();
+        let (a, b) = ds.split_per_class(0.5);
+        assert_eq!(a.class_counts(), vec![2, 2, 2]);
+        assert_eq!(b.class_counts(), vec![2, 2, 2]);
+        assert_eq!(a.len() + b.len(), ds.len());
+    }
+
+    #[test]
+    fn split_extreme_fractions() {
+        let ds = tiny();
+        let (a, b) = ds.split_per_class(0.0);
+        assert!(a.is_empty());
+        assert_eq!(b.len(), 12);
+        let (a, b) = ds.split_per_class(1.0);
+        assert_eq!(a.len(), 12);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn take_per_class_caps_counts() {
+        let ds = tiny();
+        let t = ds.take_per_class(1);
+        assert_eq!(t.class_counts(), vec![1, 1, 1]);
+        let t_all = ds.take_per_class(99);
+        assert_eq!(t_all.len(), 12);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut ds = tiny();
+        let mut rng = XorShiftRng::new(1);
+        ds.shuffle(&mut rng);
+        assert_eq!(ds.class_counts(), vec![4, 4, 4]);
+        assert_eq!(ds.len(), 12);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        assert!(tiny().to_string().contains("12 samples"));
+    }
+}

@@ -1,0 +1,395 @@
+//! Synthetic class-clustered image generator.
+//!
+//! CAP'NN's algorithms require a trained CNN whose hidden units have *class
+//! structure*: some units fire mostly for one class, some for a family of
+//! related classes, some for everything. This generator produces exactly
+//! that kind of data without any external dataset:
+//!
+//! * classes are grouped into **families**; each family has a smooth random
+//!   base pattern,
+//! * each class adds its own perturbation pattern on top of the family base,
+//! * samples add Gaussian pixel noise and a random global gain.
+//!
+//! Classes within a family are visually similar and therefore *confusable* —
+//! which is what gives CAP'NN-M's miseffectual-neuron mechanism something to
+//! find (the paper's confusing classes on ImageNet: dog breeds, etc.).
+
+use crate::dataset::Dataset;
+use capnn_tensor::{Tensor, XorShiftRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`SyntheticImages`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImagesConfig {
+    /// Total number of classes.
+    pub classes: usize,
+    /// Number of class families (≤ classes); classes in a family confuse.
+    pub families: usize,
+    /// Square image side length.
+    pub image_size: usize,
+    /// Number of channels (1 = grayscale).
+    pub channels: usize,
+    /// Std-dev of additive pixel noise.
+    pub noise: f32,
+    /// Strength of the class-specific perturbation relative to the family
+    /// base (0 = classes in a family are indistinguishable).
+    pub class_contrast: f32,
+    /// RNG seed for prototype generation.
+    pub seed: u64,
+}
+
+impl SyntheticImagesConfig {
+    /// A sensible default: classes in families of 4, 16×16 grayscale.
+    pub fn small(classes: usize) -> Self {
+        Self {
+            classes,
+            families: (classes / 4).max(1),
+            image_size: 16,
+            channels: 1,
+            noise: 0.25,
+            class_contrast: 0.55,
+            seed: 0xC1A55,
+        }
+    }
+
+    /// A CIFAR-10-like preset: 10 classes in 5 families, 32×32 RGB — the
+    /// substrate for the paper's Table III comparison (which retrains VGG-16
+    /// on CIFAR-10).
+    pub fn cifar_like() -> Self {
+        Self {
+            classes: 10,
+            families: 5,
+            image_size: 32,
+            channels: 3,
+            noise: 0.35,
+            class_contrast: 0.5,
+            seed: 0xC1FA2,
+        }
+    }
+}
+
+/// Deterministic generator of class-clustered images.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+///
+/// let gen = SyntheticImages::new(SyntheticImagesConfig::small(8)).unwrap();
+/// let ds = gen.generate(10, 42);
+/// assert_eq!(ds.len(), 80);
+/// assert_eq!(ds.num_classes(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticImages {
+    config: SyntheticImagesConfig,
+    /// Per-class prototype images (CHW).
+    prototypes: Vec<Tensor>,
+    /// Family id per class.
+    family_of: Vec<usize>,
+}
+
+impl SyntheticImages {
+    /// Builds the per-class prototypes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the configuration is degenerate
+    /// (`classes == 0`, `families == 0`, `families > classes`, zero-sized
+    /// images).
+    pub fn new(config: SyntheticImagesConfig) -> Result<Self, String> {
+        if config.classes == 0 {
+            return Err("classes must be positive".into());
+        }
+        if config.families == 0 || config.families > config.classes {
+            return Err(format!(
+                "families must be in 1..={}, got {}",
+                config.classes, config.families
+            ));
+        }
+        if config.image_size == 0 || config.channels == 0 {
+            return Err("image dimensions must be positive".into());
+        }
+        let mut rng = XorShiftRng::new(config.seed);
+        let dims = [config.channels, config.image_size, config.image_size];
+        // Family bases: smooth low-frequency patterns.
+        let bases: Vec<Tensor> = (0..config.families)
+            .map(|_| smooth_pattern(&dims, &mut rng))
+            .collect();
+        let mut prototypes = Vec::with_capacity(config.classes);
+        let mut family_of = Vec::with_capacity(config.classes);
+        for class in 0..config.classes {
+            let family = class % config.families;
+            family_of.push(family);
+            let perturbation = smooth_pattern(&dims, &mut rng);
+            let proto = bases[family]
+                .add(&perturbation.scale(config.class_contrast))
+                .expect("same dims");
+            prototypes.push(proto);
+        }
+        Ok(Self {
+            config,
+            prototypes,
+            family_of,
+        })
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &SyntheticImagesConfig {
+        &self.config
+    }
+
+    /// The family id of each class.
+    pub fn family_of(&self) -> &[usize] {
+        &self.family_of
+    }
+
+    /// Classes sharing a family with `class` (excluding `class` itself) —
+    /// the ground-truth confusable set, useful for validating confusion
+    /// matrices in tests.
+    pub fn confusable_with(&self, class: usize) -> Vec<usize> {
+        let fam = self.family_of[class];
+        (0..self.config.classes)
+            .filter(|&c| c != class && self.family_of[c] == fam)
+            .collect()
+    }
+
+    /// Input shape of generated samples.
+    pub fn input_dims(&self) -> [usize; 3] {
+        [
+            self.config.channels,
+            self.config.image_size,
+            self.config.image_size,
+        ]
+    }
+
+    /// Draws one sample of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn sample(&self, class: usize, rng: &mut XorShiftRng) -> Tensor {
+        let proto = &self.prototypes[class];
+        let gain = 1.0 + 0.15 * rng.next_gaussian();
+        let mut out = proto.scale(gain);
+        for v in out.as_mut_slice() {
+            *v += self.config.noise * rng.next_gaussian();
+        }
+        out
+    }
+
+    /// Generates a balanced dataset with `per_class` samples per class.
+    pub fn generate(&self, per_class: usize, seed: u64) -> Dataset {
+        let mut rng = XorShiftRng::new(seed);
+        let mut samples = Vec::with_capacity(per_class * self.config.classes);
+        for class in 0..self.config.classes {
+            for _ in 0..per_class {
+                samples.push((self.sample(class, &mut rng), class));
+            }
+        }
+        Dataset::new(samples, self.config.classes).expect("labels in range by construction")
+    }
+
+    /// Generates a class-imbalanced dataset: `counts[c]` samples of class
+    /// `c` — the shape of a user's *observed* stream (heavy head classes,
+    /// long tail), used to exercise monitoring-period logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != classes`.
+    pub fn generate_imbalanced(&self, counts: &[usize], seed: u64) -> Dataset {
+        assert_eq!(
+            counts.len(),
+            self.config.classes,
+            "one count per class required"
+        );
+        let mut rng = XorShiftRng::new(seed);
+        let mut samples = Vec::with_capacity(counts.iter().sum());
+        for (class, &n) in counts.iter().enumerate() {
+            for _ in 0..n {
+                samples.push((self.sample(class, &mut rng), class));
+            }
+        }
+        Dataset::new(samples, self.config.classes).expect("labels in range by construction")
+    }
+
+    /// Draws a stream of samples following a usage distribution over
+    /// `classes` — what the device actually sees during its monitoring
+    /// period. Returns `(input, true class)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` and `weights` differ in length, weights are not
+    /// positive, or a class id is out of range.
+    pub fn usage_stream(
+        &self,
+        classes: &[usize],
+        weights: &[f32],
+        n: usize,
+        rng: &mut XorShiftRng,
+    ) -> Vec<(Tensor, usize)> {
+        assert_eq!(classes.len(), weights.len(), "classes/weights mismatch");
+        assert!(
+            weights.iter().all(|&w| w > 0.0),
+            "weights must be positive"
+        );
+        let total: f32 = weights.iter().sum();
+        (0..n)
+            .map(|_| {
+                let mut pick = rng.next_uniform() * total;
+                let mut chosen = classes[classes.len() - 1];
+                for (&c, &w) in classes.iter().zip(weights) {
+                    if pick < w {
+                        chosen = c;
+                        break;
+                    }
+                    pick -= w;
+                }
+                (self.sample(chosen, rng), chosen)
+            })
+            .collect()
+    }
+}
+
+/// A smooth random pattern: a few random Gaussian bumps superimposed.
+fn smooth_pattern(dims: &[usize; 3], rng: &mut XorShiftRng) -> Tensor {
+    let (c, h, w) = (dims[0], dims[1], dims[2]);
+    let mut t = Tensor::zeros(dims);
+    let n_bumps = 4 + rng.next_below(4);
+    let tv = t.as_mut_slice();
+    for _ in 0..n_bumps {
+        let cy = rng.next_uniform() * h as f32;
+        let cx = rng.next_uniform() * w as f32;
+        let sigma = 1.5 + rng.next_uniform() * (h as f32 / 3.0);
+        let amp = if rng.next_uniform() < 0.5 { 1.0 } else { -1.0 }
+            * (0.5 + rng.next_uniform());
+        let ch = rng.next_below(c);
+        for y in 0..h {
+            for x in 0..w {
+                let d2 = (y as f32 - cy).powi(2) + (x as f32 - cx).powi(2);
+                tv[(ch * h + y) * w + x] += amp * (-d2 / (2.0 * sigma * sigma)).exp();
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = SyntheticImagesConfig::small(8);
+        cfg.classes = 0;
+        assert!(SyntheticImages::new(cfg).is_err());
+        let mut cfg = SyntheticImagesConfig::small(8);
+        cfg.families = 9;
+        assert!(SyntheticImages::new(cfg).is_err());
+        let mut cfg = SyntheticImagesConfig::small(8);
+        cfg.image_size = 0;
+        assert!(SyntheticImages::new(cfg).is_err());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(4)).unwrap();
+        let a = gen.generate(3, 7);
+        let b = gen.generate(3, 7);
+        assert_eq!(a, b);
+        let c = gen.generate(3, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn dataset_is_balanced_with_correct_dims() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(6)).unwrap();
+        let ds = gen.generate(5, 1);
+        assert_eq!(ds.class_counts(), vec![5; 6]);
+        let dims = gen.input_dims();
+        assert!(ds.samples().iter().all(|(x, _)| x.dims() == dims));
+    }
+
+    #[test]
+    fn same_family_prototypes_are_closer() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(8)).unwrap();
+        // classes 0 and families (0 % f) share a family with 0 + families
+        let fam = gen.family_of().to_vec();
+        let d = |a: usize, b: usize| {
+            gen.prototypes[a]
+                .sub(&gen.prototypes[b])
+                .unwrap()
+                .norm_sq()
+        };
+        let mut same_fam = Vec::new();
+        let mut diff_fam = Vec::new();
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                if fam[a] == fam[b] {
+                    same_fam.push(d(a, b));
+                } else {
+                    diff_fam.push(d(a, b));
+                }
+            }
+        }
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+        assert!(
+            mean(&same_fam) < mean(&diff_fam),
+            "same-family {} vs diff-family {}",
+            mean(&same_fam),
+            mean(&diff_fam)
+        );
+    }
+
+    #[test]
+    fn confusable_with_excludes_self_and_matches_family() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(8)).unwrap();
+        let conf = gen.confusable_with(0);
+        assert!(!conf.contains(&0));
+        let fam0 = gen.family_of()[0];
+        assert!(conf.iter().all(|&c| gen.family_of()[c] == fam0));
+    }
+
+    #[test]
+    fn cifar_like_preset_shape() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::cifar_like()).unwrap();
+        assert_eq!(gen.input_dims(), [3, 32, 32]);
+        let ds = gen.generate(2, 1);
+        assert_eq!(ds.num_classes(), 10);
+        assert_eq!(ds.len(), 20);
+    }
+
+    #[test]
+    fn imbalanced_generation_honours_counts() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(4)).unwrap();
+        let ds = gen.generate_imbalanced(&[5, 0, 2, 1], 3);
+        assert_eq!(ds.class_counts(), vec![5, 0, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per class")]
+    fn imbalanced_wrong_len_panics() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(4)).unwrap();
+        gen.generate_imbalanced(&[1, 2], 3);
+    }
+
+    #[test]
+    fn usage_stream_follows_distribution() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(4)).unwrap();
+        let mut rng = XorShiftRng::new(5);
+        let stream = gen.usage_stream(&[0, 2], &[0.75, 0.25], 400, &mut rng);
+        assert_eq!(stream.len(), 400);
+        let zero = stream.iter().filter(|(_, c)| *c == 0).count() as f32 / 400.0;
+        assert!((zero - 0.75).abs() < 0.08, "class-0 fraction {zero}");
+        assert!(stream.iter().all(|(_, c)| *c == 0 || *c == 2));
+    }
+
+    #[test]
+    fn noise_makes_samples_differ() {
+        let gen = SyntheticImages::new(SyntheticImagesConfig::small(4)).unwrap();
+        let mut rng = XorShiftRng::new(1);
+        let a = gen.sample(0, &mut rng);
+        let b = gen.sample(0, &mut rng);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic class-structured datasets and user-profile material for the
+//! CAP'NN reproduction.
+//!
+//! The paper's experiments run on ImageNet-trained VGG-16; this crate is the
+//! offline substitute (see DESIGN.md): a deterministic, family-structured
+//! image generator whose classes confuse each other the way related ImageNet
+//! classes do, a fast Gaussian-cluster generator for MLP tests, a labelled
+//! [`Dataset`] container, and the usage-distribution grid of the paper's
+//! Figures 4/5.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+//!
+//! let gen = SyntheticImages::new(SyntheticImagesConfig::small(8))?;
+//! let train = gen.generate(20, 1);
+//! let eval = gen.generate(8, 2);
+//! assert_eq!(train.num_classes(), eval.num_classes());
+//! # Ok::<(), String>(())
+//! ```
+
+mod dataset;
+mod images;
+mod usage;
+mod vectors;
+
+pub use dataset::{Dataset, DatasetError};
+pub use images::{SyntheticImages, SyntheticImagesConfig};
+pub use usage::{paper_fig4_scenarios, UsageDistribution, UsageScenario};
+pub use vectors::{VectorClusters, VectorClustersConfig};

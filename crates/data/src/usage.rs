@@ -1,0 +1,263 @@
+//! Usage-distribution presets: the per-class weights of the paper's
+//! Figures 4 and 5.
+//!
+//! CAP'NN-W/M weigh pruning by how often the user encounters each class.
+//! Figure 4 evaluates 24 configurations: for each `K ∈ {2, 3, 4, 5}`, a
+//! handful of usage splits (e.g. `10%–90%` for K = 2). These presets
+//! reproduce that grid; arbitrary distributions can be built with
+//! [`UsageDistribution::new`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A normalized distribution of class-usage weights for `K` classes.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_data::UsageDistribution;
+///
+/// let d = UsageDistribution::new(vec![0.1, 0.9]).unwrap();
+/// assert_eq!(d.k(), 2);
+/// assert!(d.is_normalized());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageDistribution {
+    weights: Vec<f32>,
+}
+
+impl UsageDistribution {
+    /// Creates a distribution, validating that weights are non-negative and
+    /// sum to 1 (±1e-4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string describing the violation.
+    pub fn new(weights: Vec<f32>) -> Result<Self, String> {
+        if weights.is_empty() {
+            return Err("distribution must have at least one weight".into());
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return Err("weights must be finite and non-negative".into());
+        }
+        let sum: f32 = weights.iter().sum();
+        if (sum - 1.0).abs() > 1e-4 {
+            return Err(format!("weights must sum to 1, got {sum}"));
+        }
+        Ok(Self { weights })
+    }
+
+    /// Creates the uniform distribution over `k` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn uniform(k: usize) -> Self {
+        assert!(k > 0, "uniform distribution needs k > 0");
+        Self {
+            weights: vec![1.0 / k as f32; k],
+        }
+    }
+
+    /// Creates a distribution from integer percentages (they must sum
+    /// to 100).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the percentages do not sum to 100.
+    pub fn from_percentages(pcts: &[u32]) -> Result<Self, String> {
+        let sum: u32 = pcts.iter().sum();
+        if sum != 100 {
+            return Err(format!("percentages must sum to 100, got {sum}"));
+        }
+        Self::new(pcts.iter().map(|&p| p as f32 / 100.0).collect())
+    }
+
+    /// Number of classes the distribution covers.
+    pub fn k(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Whether the weights sum to 1 (±1e-4). Always true for constructed
+    /// values; useful as a test invariant.
+    pub fn is_normalized(&self) -> bool {
+        (self.weights.iter().sum::<f32>() - 1.0).abs() <= 1e-4
+    }
+
+    /// Shannon entropy in bits; uniform distributions maximize this.
+    pub fn entropy_bits(&self) -> f32 {
+        self.weights
+            .iter()
+            .filter(|&&w| w > 0.0)
+            .map(|&w| -w * w.log2())
+            .sum()
+    }
+}
+
+impl fmt::Display for UsageDistribution {
+    /// Formats as `"10%-90%"`-style percentage strings.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, w) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-")?;
+            }
+            write!(f, "{:.0}%", w * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// One experiment cell of the paper's Figures 4/5: a class-count `K` and a
+/// usage distribution over those classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageScenario {
+    /// Number of user-specified classes.
+    pub k: usize,
+    /// Usage distribution (length `k`).
+    pub distribution: UsageDistribution,
+}
+
+impl UsageScenario {
+    /// Creates a scenario, validating the distribution length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `distribution.k() != k`.
+    pub fn new(k: usize, distribution: UsageDistribution) -> Result<Self, String> {
+        if distribution.k() != k {
+            return Err(format!(
+                "distribution covers {} classes, expected {k}",
+                distribution.k()
+            ));
+        }
+        Ok(Self { k, distribution })
+    }
+}
+
+impl fmt::Display for UsageScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "K={} ({})", self.k, self.distribution)
+    }
+}
+
+/// The 24 `(K, usage)` configurations of the paper's Figures 4 and 5:
+/// `K ∈ {2, 3, 4, 5}` each with several usage splits.
+pub fn paper_fig4_scenarios() -> Vec<UsageScenario> {
+    let grid: Vec<Vec<u32>> = vec![
+        // K = 2 (5 splits)
+        vec![10, 90],
+        vec![20, 80],
+        vec![30, 70],
+        vec![40, 60],
+        vec![50, 50],
+        // K = 3 (6 splits)
+        vec![10, 10, 80],
+        vec![10, 20, 70],
+        vec![10, 30, 60],
+        vec![20, 20, 60],
+        vec![20, 30, 50],
+        vec![34, 33, 33],
+        // K = 4 (6 splits)
+        vec![10, 10, 10, 70],
+        vec![10, 10, 20, 60],
+        vec![10, 20, 30, 40],
+        vec![10, 10, 40, 40],
+        vec![20, 20, 30, 30],
+        vec![25, 25, 25, 25],
+        // K = 5 (7 splits)
+        vec![10, 10, 10, 10, 60],
+        vec![10, 10, 10, 20, 50],
+        vec![10, 10, 20, 20, 40],
+        vec![10, 20, 20, 20, 30],
+        vec![10, 10, 20, 30, 30],
+        vec![20, 20, 20, 20, 20],
+        vec![5, 5, 10, 30, 50],
+    ];
+    grid.into_iter()
+        .map(|pcts| {
+            let k = pcts.len();
+            UsageScenario::new(
+                k,
+                UsageDistribution::from_percentages(&pcts).expect("preset sums to 100"),
+            )
+            .expect("preset lengths are consistent")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_bad_weights() {
+        assert!(UsageDistribution::new(vec![]).is_err());
+        assert!(UsageDistribution::new(vec![0.5, 0.6]).is_err());
+        assert!(UsageDistribution::new(vec![-0.1, 1.1]).is_err());
+        assert!(UsageDistribution::new(vec![f32::NAN, 1.0]).is_err());
+        assert!(UsageDistribution::new(vec![0.25; 4]).is_ok());
+    }
+
+    #[test]
+    fn uniform_properties() {
+        let u = UsageDistribution::uniform(4);
+        assert!(u.is_normalized());
+        assert_eq!(u.k(), 4);
+        assert!((u.entropy_bits() - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn skewed_has_lower_entropy_than_uniform() {
+        let skew = UsageDistribution::from_percentages(&[10, 90]).unwrap();
+        let uni = UsageDistribution::uniform(2);
+        assert!(skew.entropy_bits() < uni.entropy_bits());
+    }
+
+    #[test]
+    fn from_percentages_requires_sum_100() {
+        assert!(UsageDistribution::from_percentages(&[50, 49]).is_err());
+        let d = UsageDistribution::from_percentages(&[10, 90]).unwrap();
+        assert_eq!(d.weights(), &[0.1, 0.9]);
+    }
+
+    #[test]
+    fn scenario_length_validated() {
+        let d = UsageDistribution::uniform(3);
+        assert!(UsageScenario::new(2, d.clone()).is_err());
+        assert!(UsageScenario::new(3, d).is_ok());
+    }
+
+    #[test]
+    fn paper_grid_has_24_valid_scenarios() {
+        let all = paper_fig4_scenarios();
+        assert_eq!(all.len(), 24);
+        for s in &all {
+            assert!(s.distribution.is_normalized(), "{s}");
+            assert_eq!(s.distribution.k(), s.k);
+            assert!((2..=5).contains(&s.k));
+        }
+        // counts per K
+        for (k, expected) in [(2usize, 5usize), (3, 6), (4, 6), (5, 7)] {
+            assert_eq!(all.iter().filter(|s| s.k == k).count(), expected);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = UsageDistribution::from_percentages(&[10, 90]).unwrap();
+        assert_eq!(d.to_string(), "10%-90%");
+        let s = UsageScenario::new(2, d).unwrap();
+        assert_eq!(s.to_string(), "K=2 (10%-90%)");
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn uniform_zero_panics() {
+        UsageDistribution::uniform(0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Gaussian-cluster vector datasets for fast MLP-based tests.
+
+use crate::dataset::Dataset;
+use capnn_tensor::{Tensor, XorShiftRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`VectorClusters`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VectorClustersConfig {
+    /// Number of classes (cluster centres).
+    pub classes: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Distance of each centre from the origin.
+    pub separation: f32,
+    /// Std-dev of within-cluster noise.
+    pub noise: f32,
+    /// Seed for centre placement.
+    pub seed: u64,
+}
+
+impl VectorClustersConfig {
+    /// Well-separated default clusters.
+    pub fn easy(classes: usize, dim: usize) -> Self {
+        Self {
+            classes,
+            dim,
+            separation: 3.0,
+            noise: 0.5,
+            seed: 0xB10B5,
+        }
+    }
+}
+
+/// Deterministic generator of Gaussian clusters in `R^dim`, one per class.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_data::{VectorClusters, VectorClustersConfig};
+///
+/// let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+/// let ds = gen.generate(5, 1);
+/// assert_eq!(ds.len(), 15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VectorClusters {
+    config: VectorClustersConfig,
+    centres: Vec<Tensor>,
+}
+
+impl VectorClusters {
+    /// Places the cluster centres.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `classes == 0` or `dim == 0`.
+    pub fn new(config: VectorClustersConfig) -> Result<Self, String> {
+        if config.classes == 0 || config.dim == 0 {
+            return Err("classes and dim must be positive".into());
+        }
+        let mut rng = XorShiftRng::new(config.seed);
+        let centres = (0..config.classes)
+            .map(|_| {
+                let dir = Tensor::randn(&[config.dim], 1.0, &mut rng);
+                let norm = dir.norm_sq().sqrt().max(1e-6);
+                dir.scale(config.separation / norm)
+            })
+            .collect();
+        Ok(Self { config, centres })
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &VectorClustersConfig {
+        &self.config
+    }
+
+    /// Draws one sample of `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn sample(&self, class: usize, rng: &mut XorShiftRng) -> Tensor {
+        let noise = Tensor::randn(&[self.config.dim], self.config.noise, rng);
+        self.centres[class].add(&noise).expect("same dims")
+    }
+
+    /// Generates a balanced dataset with `per_class` samples per class.
+    pub fn generate(&self, per_class: usize, seed: u64) -> Dataset {
+        let mut rng = XorShiftRng::new(seed);
+        let mut samples = Vec::with_capacity(per_class * self.config.classes);
+        for class in 0..self.config.classes {
+            for _ in 0..per_class {
+                samples.push((self.sample(class, &mut rng), class));
+            }
+        }
+        Dataset::new(samples, self.config.classes).expect("labels in range by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(VectorClusters::new(VectorClustersConfig::easy(0, 4)).is_err());
+        assert!(VectorClusters::new(VectorClustersConfig::easy(3, 0)).is_err());
+    }
+
+    #[test]
+    fn centres_have_requested_separation() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(5, 8)).unwrap();
+        for c in &gen.centres {
+            assert!((c.norm_sq().sqrt() - 3.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn balanced_and_deterministic() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let a = gen.generate(7, 3);
+        assert_eq!(a.class_counts(), vec![7; 4]);
+        assert_eq!(a, gen.generate(7, 3));
+    }
+
+    #[test]
+    fn samples_cluster_around_centres() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let mut rng = XorShiftRng::new(5);
+        for class in 0..3 {
+            let mut mean = Tensor::zeros(&[4]);
+            let n = 200;
+            for _ in 0..n {
+                mean.axpy_in_place(1.0 / n as f32, &gen.sample(class, &mut rng))
+                    .unwrap();
+            }
+            let err = mean.sub(&gen.centres[class]).unwrap().norm_sq().sqrt();
+            assert!(err < 0.3, "class {class} mean error {err}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the data crate: generators must be deterministic,
+//! balanced, and class-structured for arbitrary small configurations.
+
+use capnn_data::{
+    Dataset, SyntheticImages, SyntheticImagesConfig, UsageDistribution, VectorClusters,
+    VectorClustersConfig,
+};
+use capnn_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn image_generation_balanced_and_deterministic(
+        classes in 2usize..8, per_class in 1usize..5, seed in any::<u64>()
+    ) {
+        let mut cfg = SyntheticImagesConfig::small(classes);
+        cfg.image_size = 8;
+        let gen = SyntheticImages::new(cfg).expect("config");
+        let a = gen.generate(per_class, seed);
+        let b = gen.generate(per_class, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.class_counts(), vec![per_class; classes]);
+        prop_assert!(a.samples().iter().all(|(x, _)| x.dims() == gen.input_dims()));
+    }
+
+    #[test]
+    fn families_partition_classes(classes in 2usize..10) {
+        let cfg = SyntheticImagesConfig::small(classes);
+        let gen = SyntheticImages::new(cfg).expect("config");
+        for class in 0..classes {
+            let confusable = gen.confusable_with(class);
+            prop_assert!(!confusable.contains(&class));
+            // symmetric: if a confuses with b, b confuses with a
+            for &other in &confusable {
+                prop_assert!(gen.confusable_with(other).contains(&class));
+            }
+        }
+    }
+
+    #[test]
+    fn vector_clusters_respect_configuration(
+        classes in 2usize..6, dim in 2usize..8, seed in any::<u64>()
+    ) {
+        let gen = VectorClusters::new(VectorClustersConfig {
+            classes,
+            dim,
+            separation: 3.0,
+            noise: 0.2,
+            seed,
+        })
+        .expect("gen");
+        let ds = gen.generate(3, seed ^ 1);
+        prop_assert_eq!(ds.num_classes(), classes);
+        prop_assert!(ds.samples().iter().all(|(x, _)| x.len() == dim));
+    }
+
+    #[test]
+    fn split_per_class_partitions(fraction in 0.0f32..1.0, per_class in 1usize..8) {
+        let samples = (0..per_class * 3)
+            .map(|i| (Tensor::full(&[2], i as f32), i % 3))
+            .collect();
+        let ds = Dataset::new(samples, 3).expect("dataset");
+        let (a, b) = ds.split_per_class(fraction);
+        prop_assert_eq!(a.len() + b.len(), ds.len());
+        // per-class counts are preserved across the split
+        let ca = a.class_counts();
+        let cb = b.class_counts();
+        let co = ds.class_counts();
+        for cls in 0..3 {
+            prop_assert_eq!(ca[cls] + cb[cls], co[cls]);
+        }
+    }
+
+    #[test]
+    fn usage_distribution_normalization_invariant(k in 1usize..8) {
+        let u = UsageDistribution::uniform(k);
+        prop_assert!(u.is_normalized());
+        prop_assert!(u.entropy_bits() <= (k as f32).log2() + 1e-5);
+        // entropy of uniform is exactly log2(k)
+        prop_assert!((u.entropy_bits() - (k as f32).log2()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn restrict_then_counts_consistent(keep in prop::collection::btree_set(0usize..4, 1..4)) {
+        let samples = (0..20).map(|i| (Tensor::zeros(&[1]), i % 4)).collect();
+        let ds = Dataset::new(samples, 4).expect("dataset");
+        let keep: Vec<usize> = keep.into_iter().collect();
+        let r = ds.restrict_to(&keep);
+        let counts = r.class_counts();
+        for (c, &count) in counts.iter().enumerate() {
+            if keep.contains(&c) {
+                prop_assert_eq!(count, 5);
+            } else {
+                prop_assert_eq!(count, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! Topology builders: plain MLPs and VGG-style CNNs.
+//!
+//! The paper evaluates on VGG-16 (13 conv + 3 FC layers, ReLU after each,
+//! max-pool between blocks). [`VggConfig`] builds that topology *shape* at a
+//! configurable scale — the reproduction's substitute for the ImageNet-scale
+//! original (see DESIGN.md).
+
+use crate::error::NnError;
+use crate::layer::{Conv2dLayer, Dense, Layer};
+use crate::network::Network;
+use capnn_tensor::{Conv2dSpec, PoolSpec, XorShiftRng};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a VGG-style network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VggConfig {
+    /// Input shape `[channels, height, width]`.
+    pub input: [usize; 3],
+    /// Conv blocks: `(out_channels, conv_layers_in_block)`; each block ends
+    /// with a 2×2 max pool.
+    pub blocks: Vec<(usize, usize)>,
+    /// Hidden fully-connected widths (the classifier head before the output
+    /// layer).
+    pub dense: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl VggConfig {
+    /// A scaled-down VGG-16 analog: five conv blocks and two hidden FC
+    /// layers, for 32×32 inputs. The prunable tail (last 3 conv + 2 FC +
+    /// output) mirrors the paper's "last 6 layers of VGG-16".
+    pub fn vgg_mini(classes: usize) -> Self {
+        Self {
+            input: [1, 32, 32],
+            blocks: vec![(8, 1), (16, 1), (24, 2), (32, 2)],
+            dense: vec![96, 64],
+            classes,
+        }
+    }
+
+    /// An even smaller config for fast tests.
+    pub fn vgg_tiny(classes: usize) -> Self {
+        Self {
+            input: [1, 16, 16],
+            blocks: vec![(6, 1), (12, 1)],
+            dense: vec![32, 24],
+            classes,
+        }
+    }
+
+    /// The true VGG-16 topology (13 conv layers in five blocks of
+    /// 2/2/3/3/3, two 4096-wide FC layers) with every width divided by
+    /// `width_divisor` — the closest runnable analog of the paper's exact
+    /// network. `width_divisor = 1` reproduces VGG-16's layer widths for
+    /// 224×224 RGB inputs (enormous on CPU); 8–16 is practical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_divisor == 0`.
+    pub fn vgg16_scaled(classes: usize, width_divisor: usize) -> Self {
+        assert!(width_divisor > 0, "width_divisor must be positive");
+        let d = |w: usize| (w / width_divisor).max(1);
+        // Five pool layers need the input to survive five halvings, so the
+        // spatial divisor saturates at 7 (224 / 7 = 32 → 1×1 after pooling).
+        let side = 224 / width_divisor.clamp(1, 7);
+        Self {
+            input: [3, side, side],
+            blocks: vec![
+                (d(64), 2),
+                (d(128), 2),
+                (d(256), 3),
+                (d(512), 3),
+                (d(512), 3),
+            ],
+            dense: vec![d(4096), d(4096)],
+            classes,
+        }
+    }
+}
+
+/// Builder producing validated [`Network`]s.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::{NetworkBuilder, VggConfig};
+///
+/// let net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(4), 7).build().unwrap();
+/// assert_eq!(net.num_classes(), 4);
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    layers: Vec<Layer>,
+    input_dims: Vec<usize>,
+    error: Option<NnError>,
+}
+
+impl NetworkBuilder {
+    /// Starts an empty builder for inputs of shape `input_dims`.
+    pub fn new(input_dims: &[usize]) -> Self {
+        Self {
+            layers: Vec::new(),
+            input_dims: input_dims.to_vec(),
+            error: None,
+        }
+    }
+
+    /// Builds an MLP with ReLU between layers: `widths[0]` is the input
+    /// size, the last element the class count.
+    ///
+    /// The returned builder carries an error (surfaced by `build`) if
+    /// `widths` has fewer than two entries.
+    pub fn mlp(widths: &[usize], seed: u64) -> Self {
+        let mut rng = XorShiftRng::new(seed);
+        if widths.len() < 2 {
+            let mut b = Self::new(&[0]);
+            b.error = Some(NnError::Config(
+                "mlp needs at least input and output widths".into(),
+            ));
+            return b;
+        }
+        let mut b = Self::new(&[widths[0]]);
+        for w in widths.windows(2) {
+            b = b.dense(w[0], w[1], &mut rng);
+            b = b.relu();
+        }
+        // the final relu is dropped: logits must be signed
+        b.layers.pop();
+        b
+    }
+
+    /// Builds a CNN: conv blocks (each `(channels, layer_count)` followed by
+    /// a 2×2 pool), then flatten, then dense hidden layers, then the output
+    /// layer.
+    pub fn cnn(
+        input: &[usize],
+        blocks: &[(usize, usize)],
+        dense_widths: &[usize],
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        let mut rng = XorShiftRng::new(seed);
+        let mut b = Self::new(input);
+        if input.len() != 3 {
+            b.error = Some(NnError::Config(format!(
+                "cnn input must be [c, h, w], got {input:?}"
+            )));
+            return b;
+        }
+        let mut channels = input[0];
+        let (mut h, mut w) = (input[1], input[2]);
+        for &(out_c, n_layers) in blocks {
+            for _ in 0..n_layers {
+                b = b.conv(channels, out_c, 3, 1, 1, &mut rng).relu();
+                channels = out_c;
+            }
+            if h >= 2 && w >= 2 {
+                b = b.max_pool(2, 2);
+                h /= 2;
+                w /= 2;
+            }
+        }
+        b = b.flatten();
+        let mut in_features = channels * h * w;
+        for &width in dense_widths {
+            b = b.dense(in_features, width, &mut rng).relu();
+            in_features = width;
+        }
+        b.dense(in_features, classes, &mut rng)
+    }
+
+    /// Builds the VGG-style topology described by `config`.
+    pub fn vgg(config: &VggConfig, seed: u64) -> Self {
+        Self::cnn(
+            &config.input,
+            &config.blocks,
+            &config.dense,
+            config.classes,
+            seed,
+        )
+    }
+
+    /// Appends a randomly initialized dense layer.
+    pub fn dense(mut self, in_features: usize, out_features: usize, rng: &mut XorShiftRng) -> Self {
+        self.layers
+            .push(Layer::Dense(Dense::new_random(in_features, out_features, rng)));
+        self
+    }
+
+    /// Appends a randomly initialized 3×3-style conv layer with explicit
+    /// geometry.
+    pub fn conv(
+        mut self,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut XorShiftRng,
+    ) -> Self {
+        let spec = Conv2dSpec::new(in_channels, out_channels, kernel, stride, padding);
+        self.layers
+            .push(Layer::Conv2d(Conv2dLayer::new_random(spec, rng)));
+        self
+    }
+
+    /// Appends a ReLU.
+    pub fn relu(mut self) -> Self {
+        self.layers.push(Layer::Relu);
+        self
+    }
+
+    /// Appends a max-pool layer.
+    pub fn max_pool(mut self, window: usize, stride: usize) -> Self {
+        self.layers.push(Layer::MaxPool2d(PoolSpec::new(window, stride)));
+        self
+    }
+
+    /// Appends an average-pool layer.
+    pub fn avg_pool(mut self, window: usize, stride: usize) -> Self {
+        self.layers.push(Layer::AvgPool2d(PoolSpec::new(window, stride)));
+        self
+    }
+
+    /// Appends a flatten layer.
+    pub fn flatten(mut self) -> Self {
+        self.layers.push(Layer::Flatten);
+        self
+    }
+
+    /// Finalizes the network, validating shape propagation end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if the builder recorded an error or the
+    /// layer stack is shape-inconsistent.
+    pub fn build(self) -> Result<Network, NnError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Network::new(self.layers, &self.input_dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_topology() {
+        let net = NetworkBuilder::mlp(&[4, 8, 6, 3], 1).build().unwrap();
+        // dense relu dense relu dense
+        assert_eq!(net.len(), 5);
+        assert_eq!(net.num_classes(), 3);
+        assert_eq!(net.prunable_layers().len(), 3);
+    }
+
+    #[test]
+    fn mlp_requires_two_widths() {
+        assert!(NetworkBuilder::mlp(&[4], 1).build().is_err());
+    }
+
+    #[test]
+    fn cnn_shapes_propagate() {
+        let net = NetworkBuilder::cnn(&[3, 16, 16], &[(8, 2), (16, 1)], &[32], 10, 1)
+            .build()
+            .unwrap();
+        let shapes = net.layer_shapes().unwrap();
+        assert_eq!(*shapes.last().unwrap(), vec![10]);
+        // two blocks of pooling: 16 → 8 → 4
+        assert!(shapes.iter().any(|s| s == &vec![16, 4, 4]));
+    }
+
+    #[test]
+    fn cnn_rejects_non_chw_input() {
+        assert!(NetworkBuilder::cnn(&[16, 16], &[(8, 1)], &[32], 10, 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn vgg_mini_structure_matches_paper_shape() {
+        let cfg = VggConfig::vgg_mini(10);
+        let net = NetworkBuilder::vgg(&cfg, 42).build().unwrap();
+        assert_eq!(net.num_classes(), 10);
+        // conv layers = sum of block layer counts; dense = 2 hidden + output
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_)))
+            .count();
+        let denses = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Dense(_)))
+            .count();
+        assert_eq!(convs, 6);
+        assert_eq!(denses, 3);
+        // the "last 6 layers" tail: 3 conv + 2 fc + output
+        assert_eq!(net.prunable_tail(6).len(), 6);
+    }
+
+    #[test]
+    fn vgg16_scaled_matches_paper_topology() {
+        let cfg = VggConfig::vgg16_scaled(10, 16);
+        let net = NetworkBuilder::vgg(&cfg, 1).build().unwrap();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Conv2d(_)))
+            .count();
+        let denses = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Dense(_)))
+            .count();
+        // the paper: 13 convolutional + 3 fully-connected layers
+        assert_eq!(convs, 13);
+        assert_eq!(denses, 3);
+        assert_eq!(net.num_classes(), 10);
+        // "last 6 layers" = 3 conv + 2 FC + output, as in §V
+        let tail = net.prunable_tail(6);
+        assert_eq!(tail.len(), 6);
+        let kinds: Vec<&str> = tail
+            .iter()
+            .map(|&i| net.layers()[i].kind())
+            .collect();
+        assert_eq!(kinds, ["conv", "conv", "conv", "dense", "dense", "dense"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width_divisor must be positive")]
+    fn vgg16_zero_divisor_panics() {
+        VggConfig::vgg16_scaled(10, 0);
+    }
+
+    #[test]
+    fn vgg_tiny_forward_runs() {
+        let cfg = VggConfig::vgg_tiny(5);
+        let net = NetworkBuilder::vgg(&cfg, 3).build().unwrap();
+        let out = net
+            .forward(&capnn_tensor::Tensor::ones(&[1, 16, 16]))
+            .unwrap();
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn mlp_output_layer_has_no_relu() {
+        let net = NetworkBuilder::mlp(&[2, 4, 2], 1).build().unwrap();
+        assert_eq!(net.layers().last().unwrap().kind(), "dense");
+    }
+
+    #[test]
+    fn manual_builder_chain() {
+        let mut rng = XorShiftRng::new(8);
+        let net = NetworkBuilder::new(&[1, 8, 8])
+            .conv(1, 4, 3, 1, 1, &mut rng)
+            .relu()
+            .max_pool(2, 2)
+            .flatten()
+            .dense(4 * 4 * 4, 3, &mut rng)
+            .build()
+            .unwrap();
+        assert_eq!(net.num_classes(), 3);
+    }
+
+    #[test]
+    fn inconsistent_stack_rejected() {
+        let mut rng = XorShiftRng::new(8);
+        let result = NetworkBuilder::new(&[1, 8, 8])
+            .conv(1, 4, 3, 1, 1, &mut rng)
+            .dense(99, 3, &mut rng) // wrong: conv output is CHW, and wrong size
+            .build();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for network construction and execution.
+
+use capnn_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by network construction, execution or training.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (almost always a shape mismatch
+    /// between a layer's parameters and its input).
+    Tensor(TensorError),
+    /// The network or a layer was configured inconsistently.
+    Config(String),
+    /// A layer index was out of range for the network.
+    LayerOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of layers in the network.
+        len: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::Config(msg) => write!(f, "invalid network configuration: {msg}"),
+            NnError::LayerOutOfRange { index, len } => {
+                write!(f, "layer index {index} out of range for network of {len} layers")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_tensor::ShapeError;
+
+    #[test]
+    fn display_variants() {
+        let e = NnError::Config("bad".into());
+        assert!(e.to_string().contains("bad"));
+        let e = NnError::LayerOutOfRange { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        let e: NnError = TensorError::from(ShapeError::new("x")).into();
+        assert!(e.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! Versioned (de)serialization of networks and prune masks.
+//!
+//! The cloud/device split moves models around: the cloud stores the trained
+//! network, ships compacted personalized models to devices, and may persist
+//! prune masks for re-use. This module wraps the serde representation in a
+//! small versioned envelope so stored artifacts fail loudly (rather than
+//! garbling) when the format evolves.
+
+use crate::error::NnError;
+use crate::mask::PruneMask;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope<T> {
+    format: String,
+    version: u32,
+    payload: T,
+}
+
+fn to_envelope<T>(kind: &str, payload: T) -> Envelope<T> {
+    Envelope {
+        format: format!("capnn-{kind}"),
+        version: FORMAT_VERSION,
+        payload,
+    }
+}
+
+fn check_envelope<T>(kind: &str, e: Envelope<T>) -> Result<T, NnError> {
+    let expected = format!("capnn-{kind}");
+    if e.format != expected {
+        return Err(NnError::Config(format!(
+            "expected a {expected} artifact, found {}",
+            e.format
+        )));
+    }
+    if e.version != FORMAT_VERSION {
+        return Err(NnError::Config(format!(
+            "unsupported {expected} version {} (this build reads {FORMAT_VERSION})",
+            e.version
+        )));
+    }
+    Ok(e.payload)
+}
+
+/// Serializes a network to a versioned JSON string.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if serialization fails (practically
+/// impossible for in-memory networks).
+pub fn network_to_json(net: &Network) -> Result<String, NnError> {
+    serde_json::to_string(&to_envelope("network", net))
+        .map_err(|e| NnError::Config(format!("serialize network: {e}")))
+}
+
+/// Parses a network from [`network_to_json`] output.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
+/// version mismatch.
+pub fn network_from_json(json: &str) -> Result<Network, NnError> {
+    let envelope: Envelope<Network> = serde_json::from_str(json)
+        .map_err(|e| NnError::Config(format!("parse network: {e}")))?;
+    check_envelope("network", envelope)
+}
+
+/// Writes a network to a file (creating parent directories).
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] on serialization or I/O failure.
+pub fn save_network(net: &Network, path: impl AsRef<Path>) -> Result<(), NnError> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| NnError::Config(format!("create {}: {e}", dir.display())))?;
+    }
+    std::fs::write(path, network_to_json(net)?)
+        .map_err(|e| NnError::Config(format!("write {}: {e}", path.display())))
+}
+
+/// Reads a network written by [`save_network`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] on I/O or format failure.
+pub fn load_network(path: impl AsRef<Path>) -> Result<Network, NnError> {
+    let path = path.as_ref();
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| NnError::Config(format!("read {}: {e}", path.display())))?;
+    network_from_json(&json)
+}
+
+/// Serializes a prune mask to a versioned JSON string.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if serialization fails.
+pub fn mask_to_json(mask: &PruneMask) -> Result<String, NnError> {
+    serde_json::to_string(&to_envelope("mask", mask))
+        .map_err(|e| NnError::Config(format!("serialize mask: {e}")))
+}
+
+/// Parses a prune mask from [`mask_to_json`] output.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
+/// version mismatch.
+pub fn mask_from_json(json: &str) -> Result<PruneMask, NnError> {
+    let envelope: Envelope<PruneMask> = serde_json::from_str(json)
+        .map_err(|e| NnError::Config(format!("parse mask: {e}")))?;
+    check_envelope("mask", envelope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use capnn_tensor::Tensor;
+
+    fn net() -> Network {
+        NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10], 3, 5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn network_roundtrip_preserves_function() {
+        let n = net();
+        let json = network_to_json(&n).unwrap();
+        let back = network_from_json(&json).unwrap();
+        assert_eq!(n, back);
+        let x = Tensor::ones(&[1, 8, 8]);
+        assert_eq!(
+            n.forward(&x).unwrap().as_slice(),
+            back.forward(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        let n = net();
+        let mut mask = PruneMask::all_kept(&n);
+        mask.prune(0, 1).unwrap();
+        let back = mask_from_json(&mask_to_json(&mask).unwrap()).unwrap();
+        assert_eq!(mask, back);
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        let n = net();
+        let mask_json = mask_to_json(&PruneMask::all_kept(&n)).unwrap();
+        assert!(network_from_json(&mask_json).is_err());
+        let net_json = network_to_json(&n).unwrap();
+        assert!(mask_from_json(&net_json).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let n = net();
+        let json = network_to_json(&n).unwrap().replace("\"version\":1", "\"version\":99");
+        let err = network_from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(network_from_json("{not json").is_err());
+        assert!(mask_from_json("42").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let n = net();
+        let dir = std::env::temp_dir().join("capnn-io-test");
+        let path = dir.join("model.json");
+        save_network(&n, &path).unwrap();
+        let back = load_network(&path).unwrap();
+        assert_eq!(n, back);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_network(dir.join("missing.json")).is_err());
+    }
+}

@@ -1,0 +1,725 @@
+//! Layer zoo: dense, 2-D convolution, ReLU, max-pool and flatten.
+//!
+//! Layers operate on a single sample at a time (dense inputs are rank 1,
+//! convolutional inputs are CHW). Batching is a loop in the trainer — the
+//! networks in this reproduction are small and per-sample execution keeps the
+//! masking and activation-tap logic simple and obviously correct.
+
+use crate::error::NnError;
+use capnn_tensor::{conv2d_im2col, max_pool2d, Conv2dSpec, PoolSpec, Tensor, XorShiftRng};
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer with weights stored `[out_features, in_features]`.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::Dense;
+/// use capnn_tensor::{Tensor, XorShiftRng};
+///
+/// let mut rng = XorShiftRng::new(1);
+/// let layer = Dense::new_random(4, 2, &mut rng);
+/// assert_eq!(layer.out_features(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Tensor,
+    bias: Tensor,
+}
+
+impl Dense {
+    /// Creates a dense layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if `weights` is not rank 2 or `bias` does
+    /// not match the output dimension.
+    pub fn new(weights: Tensor, bias: Tensor) -> Result<Self, NnError> {
+        if weights.shape().rank() != 2 {
+            return Err(NnError::Config(format!(
+                "dense weights must be rank 2, got {}",
+                weights.shape()
+            )));
+        }
+        if bias.len() != weights.dims()[0] {
+            return Err(NnError::Config(format!(
+                "dense bias length {} does not match {} output features",
+                bias.len(),
+                weights.dims()[0]
+            )));
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// Creates a dense layer with He-initialized weights and zero biases.
+    pub fn new_random(in_features: usize, out_features: usize, rng: &mut XorShiftRng) -> Self {
+        let std = (2.0 / in_features.max(1) as f32).sqrt();
+        Self {
+            weights: Tensor::randn(&[out_features, in_features], std, rng),
+            bias: Tensor::zeros(&[out_features]),
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.weights.dims()[1]
+    }
+
+    /// Number of output features (prunable units).
+    pub fn out_features(&self) -> usize {
+        self.weights.dims()[0]
+    }
+
+    /// The `[out, in]` weight matrix.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrix (used by the trainer and by
+    /// weight-editing baselines).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Simultaneous mutable access to `(weights, bias)` — needed by
+    /// optimizers that update both in one pass.
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.weights, &mut self.bias)
+    }
+
+    /// Forward pass: `y = W x + b` for a rank-1 input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` does not have `in_features` elements.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.len() != self.in_features() {
+            return Err(NnError::Config(format!(
+                "dense input has {} elements, expected {}",
+                x.len(),
+                self.in_features()
+            )));
+        }
+        let n_in = self.in_features();
+        let mut out = self.bias.clone();
+        let w = self.weights.as_slice();
+        let xs = x.as_slice();
+        let ov = out.as_mut_slice();
+        for (j, o) in ov.iter_mut().enumerate() {
+            let row = &w[j * n_in..(j + 1) * n_in];
+            let mut acc = *o;
+            for (&wi, &xi) in row.iter().zip(xs) {
+                acc += wi * xi;
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Backward pass: given the cached input and `dL/dy`, returns
+    /// (`dL/dx`, parameter gradients).
+    fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, LayerGrads) {
+        let n_in = self.in_features();
+        let n_out = self.out_features();
+        let mut dx = Tensor::zeros(&[n_in]);
+        let mut dw = Tensor::zeros(&[n_out, n_in]);
+        let w = self.weights.as_slice();
+        let xs = x.as_slice();
+        let dys = dy.as_slice();
+        {
+            let dxv = dx.as_mut_slice();
+            let dwv = dw.as_mut_slice();
+            for j in 0..n_out {
+                let g = dys[j];
+                if g == 0.0 {
+                    continue;
+                }
+                let row = &w[j * n_in..(j + 1) * n_in];
+                let drow = &mut dwv[j * n_in..(j + 1) * n_in];
+                for i in 0..n_in {
+                    dxv[i] += row[i] * g;
+                    drow[i] = xs[i] * g;
+                }
+            }
+        }
+        (
+            dx,
+            LayerGrads {
+                dw,
+                db: dy.clone(),
+            },
+        )
+    }
+}
+
+/// A 2-D convolutional layer (square kernels, CHW activations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2dLayer {
+    spec: Conv2dSpec,
+    weights: Tensor,
+    bias: Tensor,
+}
+
+impl Conv2dLayer {
+    /// Creates a convolutional layer from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if the weight or bias shape does not match
+    /// `spec`.
+    pub fn new(spec: Conv2dSpec, weights: Tensor, bias: Tensor) -> Result<Self, NnError> {
+        let expected = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        if weights.dims() != expected {
+            return Err(NnError::Config(format!(
+                "conv weights {} do not match spec {:?}",
+                weights.shape(),
+                spec
+            )));
+        }
+        if bias.len() != spec.out_channels {
+            return Err(NnError::Config(format!(
+                "conv bias length {} does not match {} output channels",
+                bias.len(),
+                spec.out_channels
+            )));
+        }
+        Ok(Self {
+            spec,
+            weights,
+            bias,
+        })
+    }
+
+    /// Creates a convolutional layer with He-initialized weights.
+    pub fn new_random(spec: Conv2dSpec, rng: &mut XorShiftRng) -> Self {
+        let fan_in = (spec.in_channels * spec.kernel * spec.kernel).max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        Self {
+            weights: Tensor::randn(
+                &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                std,
+                rng,
+            ),
+            bias: Tensor::zeros(&[spec.out_channels]),
+            spec,
+        }
+    }
+
+    /// The convolution spec.
+    pub fn spec(&self) -> &Conv2dSpec {
+        &self.spec
+    }
+
+    /// The `[out_c, in_c, k, k]` weight tensor.
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Mutable access to the weights.
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Simultaneous mutable access to `(weights, bias)` — needed by
+    /// optimizers that update both in one pass.
+    pub fn params_mut(&mut self) -> (&mut Tensor, &mut Tensor) {
+        (&mut self.weights, &mut self.bias)
+    }
+
+    /// Forward pass on a CHW input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape does not match the spec.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        Ok(conv2d_im2col(x, &self.weights, Some(&self.bias), &self.spec)?)
+    }
+
+    /// Backward pass: given the cached input and `dL/dy` (CHW), returns
+    /// (`dL/dx`, parameter gradients). Direct loops — exactness over speed.
+    fn backward(&self, x: &Tensor, dy: &Tensor) -> (Tensor, LayerGrads) {
+        let s = &self.spec;
+        let (h, w) = (x.dims()[1], x.dims()[2]);
+        let (oh, ow) = s.output_hw(h, w);
+        let k = s.kernel;
+        let mut dx = Tensor::zeros(&[s.in_channels, h, w]);
+        let mut dw = Tensor::zeros(&[s.out_channels, s.in_channels, k, k]);
+        let mut db = Tensor::zeros(&[s.out_channels]);
+        let xv = x.as_slice();
+        let wv = self.weights.as_slice();
+        let dyv = dy.as_slice();
+        let dxv = dx.as_mut_slice();
+        let dwv = dw.as_mut_slice();
+        let dbv = db.as_mut_slice();
+        for oc in 0..s.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = dyv[(oc * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    dbv[oc] += g;
+                    for ic in 0..s.in_channels {
+                        for ky in 0..k {
+                            let iy = (oy * s.stride + ky) as isize - s.padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * s.stride + kx) as isize - s.padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let wi = ((oc * s.in_channels + ic) * k + ky) * k + kx;
+                                let ii = (ic * h + iy as usize) * w + ix as usize;
+                                dwv[wi] += xv[ii] * g;
+                                dxv[ii] += wv[wi] * g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (dx, LayerGrads { dw, db })
+    }
+}
+
+/// Parameter gradients of a dense or convolutional layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerGrads {
+    /// Gradient of the weight tensor (same shape as the weights).
+    pub dw: Tensor,
+    /// Gradient of the bias vector.
+    pub db: Tensor,
+}
+
+/// One layer of a [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected layer; its output features are prunable *neurons*.
+    Dense(Dense),
+    /// Convolutional layer; its output channels are prunable *channels*.
+    Conv2d(Conv2dLayer),
+    /// Rectified linear unit, elementwise.
+    Relu,
+    /// Max pooling over CHW activations.
+    MaxPool2d(PoolSpec),
+    /// Average pooling over CHW activations.
+    AvgPool2d(PoolSpec),
+    /// Reshape CHW activations to a rank-1 vector.
+    Flatten,
+}
+
+impl Layer {
+    /// Forward pass for a single sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible with the layer.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor, NnError> {
+        match self {
+            Layer::Dense(d) => d.forward(x),
+            Layer::Conv2d(c) => c.forward(x),
+            Layer::Relu => Ok(x.map(|v| v.max(0.0))),
+            Layer::MaxPool2d(spec) => Ok(max_pool2d(x, spec)?.0),
+            Layer::AvgPool2d(spec) => avg_pool2d(x, spec),
+            Layer::Flatten => Ok(x.reshape(&[x.len()])?),
+        }
+    }
+
+    /// Backward pass: given the cached *input* to this layer and the gradient
+    /// of the loss with respect to this layer's *output*, returns the
+    /// gradient with respect to the input and, for parameterized layers, the
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cached input is inconsistent with the layer.
+    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> Result<(Tensor, Option<LayerGrads>), NnError> {
+        match self {
+            Layer::Dense(d) => {
+                let (dx, g) = d.backward(x, dy);
+                Ok((dx, Some(g)))
+            }
+            Layer::Conv2d(c) => {
+                let (dx, g) = c.backward(x, dy);
+                Ok((dx, Some(g)))
+            }
+            Layer::Relu => {
+                let dx = x.zip_map(dy, |xi, gi| if xi > 0.0 { gi } else { 0.0 })?;
+                Ok((dx, None))
+            }
+            Layer::MaxPool2d(spec) => {
+                let (_, argmax) = max_pool2d(x, spec)?;
+                let mut dx = Tensor::zeros(x.dims());
+                let dxv = dx.as_mut_slice();
+                for (o, &src) in argmax.iter().enumerate() {
+                    dxv[src] += dy.as_slice()[o];
+                }
+                Ok((dx, None))
+            }
+            Layer::AvgPool2d(spec) => {
+                let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+                let (oh, ow) = spec.output_hw(h, w);
+                let inv = 1.0 / (spec.window * spec.window) as f32;
+                let mut dx = Tensor::zeros(x.dims());
+                let dxv = dx.as_mut_slice();
+                let dyv = dy.as_slice();
+                for ch in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let g = dyv[(ch * oh + oy) * ow + ox] * inv;
+                            for ky in 0..spec.window {
+                                for kx in 0..spec.window {
+                                    let iy = oy * spec.stride + ky;
+                                    let ix = ox * spec.stride + kx;
+                                    dxv[(ch * h + iy) * w + ix] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok((dx, None))
+            }
+            Layer::Flatten => Ok((dy.reshape(x.dims())?, None)),
+        }
+    }
+
+    /// Output shape for an input of shape `in_dims`, without running the
+    /// layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `in_dims` is incompatible with the layer.
+    pub fn output_shape(&self, in_dims: &[usize]) -> Result<Vec<usize>, NnError> {
+        match self {
+            Layer::Dense(d) => {
+                let volume: usize = in_dims.iter().product();
+                if in_dims.len() != 1 || volume != d.in_features() {
+                    return Err(NnError::Config(format!(
+                        "dense layer expects [{}], got {in_dims:?}",
+                        d.in_features()
+                    )));
+                }
+                Ok(vec![d.out_features()])
+            }
+            Layer::Conv2d(c) => {
+                if in_dims.len() != 3 || in_dims[0] != c.spec().in_channels {
+                    return Err(NnError::Config(format!(
+                        "conv layer expects [{}, h, w], got {in_dims:?}",
+                        c.spec().in_channels
+                    )));
+                }
+                let (oh, ow) = c.spec().output_hw(in_dims[1], in_dims[2]);
+                Ok(vec![c.spec().out_channels, oh, ow])
+            }
+            Layer::Relu => Ok(in_dims.to_vec()),
+            Layer::MaxPool2d(spec) | Layer::AvgPool2d(spec) => {
+                if in_dims.len() != 3 {
+                    return Err(NnError::Config(format!(
+                        "pool expects CHW input, got {in_dims:?}"
+                    )));
+                }
+                let (oh, ow) = spec.output_hw(in_dims[1], in_dims[2]);
+                Ok(vec![in_dims[0], oh, ow])
+            }
+            Layer::Flatten => Ok(vec![in_dims.iter().product()]),
+        }
+    }
+
+    /// Number of prunable output units: dense features or conv channels.
+    /// `None` for layers without parameters.
+    pub fn unit_count(&self) -> Option<usize> {
+        match self {
+            Layer::Dense(d) => Some(d.out_features()),
+            Layer::Conv2d(c) => Some(c.spec().out_channels),
+            _ => None,
+        }
+    }
+
+    /// Number of trainable parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.weights().len() + d.bias().len(),
+            Layer::Conv2d(c) => c.weights().len() + c.bias().len(),
+            _ => 0,
+        }
+    }
+
+    /// A short human-readable kind tag, e.g. `"dense"`, `"conv"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Dense(_) => "dense",
+            Layer::Conv2d(_) => "conv",
+            Layer::Relu => "relu",
+            Layer::MaxPool2d(_) => "maxpool",
+            Layer::AvgPool2d(_) => "avgpool",
+            Layer::Flatten => "flatten",
+        }
+    }
+}
+
+/// Average pooling over a CHW tensor (no indices needed for backprop —
+/// gradients spread evenly over the window).
+fn avg_pool2d(x: &Tensor, spec: &PoolSpec) -> Result<Tensor, NnError> {
+    if x.shape().rank() != 3 {
+        return Err(NnError::Config(format!(
+            "avg-pool expects CHW input, got {}",
+            x.shape()
+        )));
+    }
+    let (c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    if h < spec.window || w < spec.window {
+        return Err(NnError::Config(format!(
+            "avg-pool window {} larger than input {h}x{w}",
+            spec.window
+        )));
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let inv = 1.0 / (spec.window * spec.window) as f32;
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        acc += xv[(ch * h + iy) * w + ix];
+                    }
+                }
+                ov[(ch * oh + oy) * ow + ox] = acc * inv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        layer: &Layer,
+        x: &Tensor,
+        param_probe: Option<(usize, bool)>, // (flat index, probe bias instead of weight)
+    ) {
+        // Loss = sum of outputs; analytic gradient vs central difference.
+        let y = layer.forward(x).unwrap();
+        let dy = Tensor::ones(y.dims());
+        let (dx, grads) = layer.backward(x, &dy).unwrap();
+
+        let eps = 1e-3;
+        // check input gradient at a few positions
+        for probe in 0..x.len().min(5) {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[probe] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[probe] -= eps;
+            let fp = layer.forward(&xp).unwrap().sum();
+            let fm = layer.forward(&xm).unwrap().sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = dx.as_slice()[probe];
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "input grad mismatch at {probe}: numeric {num} vs analytic {ana}"
+            );
+        }
+
+        if let (Some((idx, probe_bias)), Some(g)) = (param_probe, grads) {
+            let perturbed = |delta: f32| -> f32 {
+                let mut l2 = layer.clone();
+                match &mut l2 {
+                    Layer::Dense(d) => {
+                        if probe_bias {
+                            d.bias_mut().as_mut_slice()[idx] += delta;
+                        } else {
+                            d.weights_mut().as_mut_slice()[idx] += delta;
+                        }
+                    }
+                    Layer::Conv2d(c) => {
+                        if probe_bias {
+                            c.bias_mut().as_mut_slice()[idx] += delta;
+                        } else {
+                            c.weights_mut().as_mut_slice()[idx] += delta;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                l2.forward(x).unwrap().sum()
+            };
+            let num = (perturbed(eps) - perturbed(-eps)) / (2.0 * eps);
+            let ana = if probe_bias {
+                g.db.as_slice()[idx]
+            } else {
+                g.dw.as_slice()[idx]
+            };
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "param grad mismatch: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_forward_known() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let d = Dense::new(w, b).unwrap();
+        let y = d.forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap()).unwrap();
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn dense_rejects_bad_params() {
+        assert!(Dense::new(Tensor::zeros(&[4]), Tensor::zeros(&[4])).is_err());
+        assert!(Dense::new(Tensor::zeros(&[2, 3]), Tensor::zeros(&[3])).is_err());
+        let d = Dense::new(Tensor::zeros(&[2, 3]), Tensor::zeros(&[2])).unwrap();
+        assert!(d.forward(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_difference() {
+        let mut rng = XorShiftRng::new(7);
+        let d = Dense::new_random(5, 3, &mut rng);
+        let x = Tensor::uniform(&[5], -1.0, 1.0, &mut rng);
+        finite_diff_check(&Layer::Dense(d.clone()), &x, Some((4, false)));
+        finite_diff_check(&Layer::Dense(d), &x, Some((1, true)));
+    }
+
+    #[test]
+    fn conv_gradients_match_finite_difference() {
+        let mut rng = XorShiftRng::new(8);
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let c = Conv2dLayer::new_random(spec, &mut rng);
+        let x = Tensor::uniform(&[2, 5, 5], -1.0, 1.0, &mut rng);
+        finite_diff_check(&Layer::Conv2d(c.clone()), &x, Some((7, false)));
+        finite_diff_check(&Layer::Conv2d(c), &x, Some((2, true)));
+    }
+
+    #[test]
+    fn relu_forward_and_backward() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = Layer::Relu.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+        let dy = Tensor::ones(&[3]);
+        let (dx, g) = Layer::Relu.backward(&x, &dy).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0]);
+        assert!(g.is_none());
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 4.0, 3.0, 2.0], &[1, 2, 2]).unwrap();
+        let layer = Layer::MaxPool2d(PoolSpec::new(2, 2));
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let (dx, _) = layer.backward(&x, &Tensor::ones(&[1, 1, 1])).unwrap();
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let layer = Layer::Flatten;
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[24]);
+        let (dx, _) = layer.backward(&x, &Tensor::ones(&[24])).unwrap();
+        assert_eq!(dx.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn output_shape_propagation() {
+        let mut rng = XorShiftRng::new(1);
+        let conv = Layer::Conv2d(Conv2dLayer::new_random(Conv2dSpec::new(3, 8, 3, 1, 1), &mut rng));
+        assert_eq!(conv.output_shape(&[3, 16, 16]).unwrap(), vec![8, 16, 16]);
+        assert!(conv.output_shape(&[2, 16, 16]).is_err());
+
+        let pool = Layer::MaxPool2d(PoolSpec::new(2, 2));
+        assert_eq!(pool.output_shape(&[8, 16, 16]).unwrap(), vec![8, 8, 8]);
+        assert!(pool.output_shape(&[16, 16]).is_err());
+
+        let dense = Layer::Dense(Dense::new_random(10, 4, &mut rng));
+        assert_eq!(dense.output_shape(&[10]).unwrap(), vec![4]);
+        assert!(dense.output_shape(&[11]).is_err());
+
+        assert_eq!(Layer::Flatten.output_shape(&[2, 2, 2]).unwrap(), vec![8]);
+        assert_eq!(Layer::Relu.output_shape(&[5]).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn unit_and_param_counts() {
+        let mut rng = XorShiftRng::new(1);
+        let d = Layer::Dense(Dense::new_random(3, 4, &mut rng));
+        assert_eq!(d.unit_count(), Some(4));
+        assert_eq!(d.param_count(), 3 * 4 + 4);
+        let c = Layer::Conv2d(Conv2dLayer::new_random(Conv2dSpec::new(2, 5, 3, 1, 1), &mut rng));
+        assert_eq!(c.unit_count(), Some(5));
+        assert_eq!(c.param_count(), 5 * 2 * 9 + 5);
+        assert_eq!(Layer::Relu.unit_count(), None);
+        assert_eq!(Layer::Flatten.param_count(), 0);
+    }
+
+    #[test]
+    fn layer_kinds() {
+        assert_eq!(Layer::Relu.kind(), "relu");
+        assert_eq!(Layer::Flatten.kind(), "flatten");
+        assert_eq!(Layer::MaxPool2d(PoolSpec::new(2, 2)).kind(), "maxpool");
+        assert_eq!(Layer::AvgPool2d(PoolSpec::new(2, 2)).kind(), "avgpool");
+    }
+
+    #[test]
+    fn avgpool_forward_known() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 2, 2]).unwrap();
+        let layer = Layer::AvgPool2d(PoolSpec::new(2, 2));
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        assert_eq!(layer.output_shape(&[1, 2, 2]).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_evenly() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 2, 2]).unwrap();
+        let layer = Layer::AvgPool2d(PoolSpec::new(2, 2));
+        let (dx, g) = layer.backward(&x, &Tensor::ones(&[1, 1, 1])).unwrap();
+        assert!(g.is_none());
+        assert_eq!(dx.as_slice(), &[0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn avgpool_gradient_matches_finite_difference() {
+        let mut rng = XorShiftRng::new(13);
+        let x = Tensor::uniform(&[2, 4, 4], -1.0, 1.0, &mut rng);
+        finite_diff_check(&Layer::AvgPool2d(PoolSpec::new(2, 2)), &x, None);
+    }
+
+    #[test]
+    fn avgpool_rejects_bad_input() {
+        let layer = Layer::AvgPool2d(PoolSpec::new(3, 1));
+        assert!(layer.forward(&Tensor::zeros(&[4, 4])).is_err());
+        assert!(layer.forward(&Tensor::zeros(&[1, 2, 2])).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! From-scratch CNN substrate for the CAP'NN reproduction.
+//!
+//! The paper prunes an *already-trained* VGG-16. Because this reproduction is
+//! offline and dependency-free, the trained network is produced by this
+//! crate: a small layer zoo ([`Dense`], [`Conv2dLayer`], ReLU, max-pool,
+//! flatten), a [`Network`] container with activation taps, a backprop
+//! [`Trainer`], and — the part CAP'NN actually needs — structured
+//! [`PruneMask`]s that zero out neurons (dense units) or channels (conv
+//! feature maps) *without retraining*, plus exact remaining-parameter
+//! accounting ([`model_size`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_nn::NetworkBuilder;
+//!
+//! let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+//! let out = net.forward(&capnn_tensor::Tensor::ones(&[4])).unwrap();
+//! assert_eq!(out.len(), 3);
+//! ```
+
+mod builder;
+mod error;
+mod io;
+mod layer;
+mod loss;
+mod mask;
+mod network;
+mod size;
+mod train;
+
+pub use builder::{NetworkBuilder, VggConfig};
+pub use error::NnError;
+pub use io::{load_network, mask_from_json, mask_to_json, network_from_json, network_to_json, save_network, FORMAT_VERSION};
+pub use layer::{Conv2dLayer, Dense, Layer, LayerGrads};
+pub use loss::{cross_entropy_loss, softmax};
+pub use mask::PruneMask;
+pub use network::{Network, PrunableUnit};
+pub use size::{model_size, ParamCount};
+pub use train::{evaluate_accuracy, TrainReport, Trainer, TrainerConfig};

@@ -1,0 +1,119 @@
+//! Softmax and cross-entropy loss for training the substrate networks.
+
+use capnn_tensor::Tensor;
+
+/// Numerically stable softmax of a logit vector.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::softmax;
+/// use capnn_tensor::Tensor;
+///
+/// let p = softmax(&Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap());
+/// assert!((p.as_slice()[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let m = logits.max().unwrap_or(0.0);
+    let exp = logits.map(|x| (x - m).exp());
+    let z = exp.sum();
+    if z == 0.0 {
+        return Tensor::full(logits.dims(), 1.0 / logits.len().max(1) as f32);
+    }
+    exp.scale(1.0 / z)
+}
+
+/// Cross-entropy loss of a logit vector against a target class, together
+/// with the gradient of the loss with respect to the logits
+/// (`softmax(logits) - onehot(target)`).
+///
+/// # Panics
+///
+/// Panics if `target >= logits.len()`.
+pub fn cross_entropy_loss(logits: &Tensor, target: usize) -> (f32, Tensor) {
+    assert!(
+        target < logits.len(),
+        "target class {target} out of range for {} logits",
+        logits.len()
+    );
+    let probs = softmax(logits);
+    let p_target = probs.as_slice()[target].max(1e-12);
+    let loss = -p_target.ln();
+    let mut grad = probs;
+    grad.as_mut_slice()[target] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let b = softmax(&Tensor::from_vec(vec![101.0, 102.0], &[2]).unwrap());
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let p = softmax(&Tensor::from_vec(vec![1000.0, 0.0], &[2]).unwrap());
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        assert!((p.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let (loss, _) = cross_entropy_loss(
+            &Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap(),
+            0,
+        );
+        assert!(loss < 1e-3);
+        let (loss_wrong, _) = cross_entropy_loss(
+            &Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap(),
+            1,
+        );
+        assert!(loss_wrong > 5.0);
+    }
+
+    #[test]
+    fn gradient_is_probs_minus_onehot() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0, 0.0], &[3]).unwrap();
+        let (_, g) = cross_entropy_loss(&logits, 1);
+        let third = 1.0 / 3.0;
+        assert!((g.as_slice()[0] - third).abs() < 1e-6);
+        assert!((g.as_slice()[1] - (third - 1.0)).abs() < 1e-6);
+        // gradient sums to zero
+        assert!(g.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1], &[3]).unwrap();
+        let (_, g) = cross_entropy_loss(&logits, 2);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let num = (cross_entropy_loss(&lp, 2).0 - cross_entropy_loss(&lm, 2).0) / (2.0 * eps);
+            assert!((num - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_target_panics() {
+        cross_entropy_loss(&Tensor::zeros(&[2]), 5);
+    }
+}

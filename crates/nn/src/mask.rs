@@ -1,0 +1,362 @@
+//! Structured prune masks over a network's prunable units.
+//!
+//! A [`PruneMask`] records, for each layer of a network, which output units
+//! (dense neurons / conv channels) are *kept*. Masks are applied at forward
+//! time by zeroing pruned units' outputs — semantically identical to removing
+//! the unit (its following ReLU emits 0 and its outgoing weights never
+//! contribute) while leaving the stored model untouched. This is exactly the
+//! "temporarily prune" operation Algorithms 1 and 2 of the paper iterate on.
+
+use crate::error::NnError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-layer keep/prune flags over a network's prunable units.
+///
+/// Index `i` corresponds to layer `i` of the associated
+/// [`Network`](crate::Network); only prunable layers (dense/conv) have an
+/// entry.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::{NetworkBuilder, PruneMask};
+///
+/// let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+/// let mut mask = PruneMask::all_kept(&net);
+/// mask.prune(0, 3).unwrap(); // prune neuron 3 of the first dense layer
+/// assert_eq!(mask.pruned_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneMask {
+    /// `keep[layer]` is `Some(flags)` for prunable layers.
+    keep: Vec<Option<Vec<bool>>>,
+}
+
+impl PruneMask {
+    /// Creates a mask that keeps every unit of `net`.
+    pub fn all_kept(net: &crate::Network) -> Self {
+        let keep = net
+            .layers()
+            .iter()
+            .map(|l| l.unit_count().map(|n| vec![true; n]))
+            .collect();
+        Self { keep }
+    }
+
+    /// Creates a mask from raw per-layer flags. Intended for (de)serialized
+    /// masks; prefer [`PruneMask::all_kept`] plus edits.
+    pub fn from_flags(keep: Vec<Option<Vec<bool>>>) -> Self {
+        Self { keep }
+    }
+
+    /// Number of layers the mask spans.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Whether the mask spans zero layers.
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Keep-flags of layer `layer`, or `None` if that layer has no units.
+    pub fn layer_flags(&self, layer: usize) -> Option<&[bool]> {
+        self.keep.get(layer).and_then(|o| o.as_deref())
+    }
+
+    /// Marks unit `unit` of layer `layer` as pruned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layer is out of range, not prunable, or the
+    /// unit index is out of bounds.
+    pub fn prune(&mut self, layer: usize, unit: usize) -> Result<(), NnError> {
+        self.set_kept(layer, unit, false)
+    }
+
+    /// Marks unit `unit` of layer `layer` as kept (undo a prune).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PruneMask::prune`].
+    pub fn restore(&mut self, layer: usize, unit: usize) -> Result<(), NnError> {
+        self.set_kept(layer, unit, true)
+    }
+
+    fn set_kept(&mut self, layer: usize, unit: usize, kept: bool) -> Result<(), NnError> {
+        let len = self.keep.len();
+        let flags = self
+            .keep
+            .get_mut(layer)
+            .ok_or(NnError::LayerOutOfRange { index: layer, len })?
+            .as_mut()
+            .ok_or_else(|| NnError::Config(format!("layer {layer} has no prunable units")))?;
+        let slot = flags.get_mut(unit).ok_or(NnError::Config(format!(
+            "unit {unit} out of range for layer {layer}"
+        )))?;
+        *slot = kept;
+        Ok(())
+    }
+
+    /// Replaces the flags of one layer wholesale.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the layer is out of range, not prunable, or
+    /// `flags` has the wrong length.
+    pub fn set_layer(&mut self, layer: usize, flags: Vec<bool>) -> Result<(), NnError> {
+        let len = self.keep.len();
+        let slot = self
+            .keep
+            .get_mut(layer)
+            .ok_or(NnError::LayerOutOfRange { index: layer, len })?
+            .as_mut()
+            .ok_or_else(|| NnError::Config(format!("layer {layer} has no prunable units")))?;
+        if slot.len() != flags.len() {
+            return Err(NnError::Config(format!(
+                "layer {layer} has {} units, got {} flags",
+                slot.len(),
+                flags.len()
+            )));
+        }
+        *slot = flags;
+        Ok(())
+    }
+
+    /// Whether unit `unit` of layer `layer` is kept. Units of non-prunable or
+    /// out-of-range layers report `true` (they are never pruned).
+    pub fn is_kept(&self, layer: usize, unit: usize) -> bool {
+        match self.keep.get(layer).and_then(|o| o.as_ref()) {
+            Some(flags) => flags.get(unit).copied().unwrap_or(true),
+            None => true,
+        }
+    }
+
+    /// Total number of pruned units across all layers.
+    pub fn pruned_count(&self) -> usize {
+        self.keep
+            .iter()
+            .flatten()
+            .map(|flags| flags.iter().filter(|&&k| !k).count())
+            .sum()
+    }
+
+    /// Number of kept units in layer `layer` (0 for non-prunable layers).
+    pub fn kept_in_layer(&self, layer: usize) -> usize {
+        self.keep
+            .get(layer)
+            .and_then(|o| o.as_ref())
+            .map_or(0, |f| f.iter().filter(|&&k| k).count())
+    }
+
+    /// Intersection of prune decisions: a unit is pruned in the result only
+    /// if it is pruned in *both* masks (i.e. kept if kept in either).
+    ///
+    /// This is the online CAP'NN-B combination rule: the prunable set for a
+    /// class subset is the intersection of per-class prunable sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the masks span different layer structures.
+    pub fn intersect_pruned(&self, other: &Self) -> Result<Self, NnError> {
+        if self.keep.len() != other.keep.len() {
+            return Err(NnError::Config(format!(
+                "mask length mismatch: {} vs {}",
+                self.keep.len(),
+                other.keep.len()
+            )));
+        }
+        let keep = self
+            .keep
+            .iter()
+            .zip(&other.keep)
+            .map(|(a, b)| match (a, b) {
+                (Some(fa), Some(fb)) if fa.len() == fb.len() => Ok(Some(
+                    fa.iter().zip(fb).map(|(&ka, &kb)| ka || kb).collect(),
+                )),
+                (None, None) => Ok(None),
+                _ => Err(NnError::Config("mask layer structure mismatch".into())),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { keep })
+    }
+
+    /// Union of prune decisions: a unit is pruned if pruned in *either* mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the masks span different layer structures.
+    pub fn union_pruned(&self, other: &Self) -> Result<Self, NnError> {
+        if self.keep.len() != other.keep.len() {
+            return Err(NnError::Config(format!(
+                "mask length mismatch: {} vs {}",
+                self.keep.len(),
+                other.keep.len()
+            )));
+        }
+        let keep = self
+            .keep
+            .iter()
+            .zip(&other.keep)
+            .map(|(a, b)| match (a, b) {
+                (Some(fa), Some(fb)) if fa.len() == fb.len() => Ok(Some(
+                    fa.iter().zip(fb).map(|(&ka, &kb)| ka && kb).collect(),
+                )),
+                (None, None) => Ok(None),
+                _ => Err(NnError::Config("mask layer structure mismatch".into())),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { keep })
+    }
+
+    /// Whether this mask prunes a subset (not necessarily proper) of the
+    /// units pruned by `other`.
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        if self.keep.len() != other.keep.len() {
+            return false;
+        }
+        self.keep.iter().zip(&other.keep).all(|(a, b)| match (a, b) {
+            (Some(fa), Some(fb)) if fa.len() == fb.len() => {
+                // every unit we prune (ka == false) must be pruned by other
+                fa.iter().zip(fb).all(|(&ka, &kb)| ka || !kb)
+            }
+            (None, None) => true,
+            _ => false,
+        })
+    }
+}
+
+impl fmt::Display for PruneMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PruneMask(pruned={}", self.pruned_count())?;
+        for (i, flags) in self.keep.iter().enumerate() {
+            if let Some(flags) = flags {
+                let pruned = flags.iter().filter(|&&k| !k).count();
+                if pruned > 0 {
+                    write!(f, ", L{i}:{pruned}/{}", flags.len())?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn mask3() -> PruneMask {
+        // Layers: Dense(8) Relu Dense(3) → entries at 0 and 2
+        let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+        PruneMask::all_kept(&net)
+    }
+
+    #[test]
+    fn all_kept_has_no_pruned() {
+        let m = mask3();
+        assert_eq!(m.pruned_count(), 0);
+        assert!(m.layer_flags(0).unwrap().iter().all(|&k| k));
+        assert!(m.layer_flags(1).is_none()); // relu
+    }
+
+    #[test]
+    fn prune_and_restore() {
+        let mut m = mask3();
+        m.prune(0, 2).unwrap();
+        assert!(!m.is_kept(0, 2));
+        assert_eq!(m.pruned_count(), 1);
+        assert_eq!(m.kept_in_layer(0), 7);
+        m.restore(0, 2).unwrap();
+        assert_eq!(m.pruned_count(), 0);
+    }
+
+    #[test]
+    fn prune_rejects_bad_targets() {
+        let mut m = mask3();
+        assert!(m.prune(1, 0).is_err()); // relu layer
+        assert!(m.prune(9, 0).is_err()); // out of range
+        assert!(m.prune(0, 100).is_err()); // unit out of range
+    }
+
+    #[test]
+    fn set_layer_validates_length() {
+        let mut m = mask3();
+        assert!(m.set_layer(0, vec![false; 8]).is_ok());
+        assert_eq!(m.kept_in_layer(0), 0);
+        assert!(m.set_layer(0, vec![true; 7]).is_err());
+        assert!(m.set_layer(1, vec![true; 8]).is_err());
+    }
+
+    #[test]
+    fn intersect_keeps_if_either_keeps() {
+        let mut a = mask3();
+        let mut b = mask3();
+        a.prune(0, 1).unwrap();
+        a.prune(0, 2).unwrap();
+        b.prune(0, 2).unwrap();
+        b.prune(0, 3).unwrap();
+        let i = a.intersect_pruned(&b).unwrap();
+        assert!(i.is_kept(0, 1)); // only pruned by a
+        assert!(!i.is_kept(0, 2)); // pruned by both
+        assert!(i.is_kept(0, 3)); // only pruned by b
+        assert_eq!(i.pruned_count(), 1);
+    }
+
+    #[test]
+    fn union_prunes_if_either_prunes() {
+        let mut a = mask3();
+        let mut b = mask3();
+        a.prune(0, 1).unwrap();
+        b.prune(0, 3).unwrap();
+        let u = a.union_pruned(&b).unwrap();
+        assert!(!u.is_kept(0, 1));
+        assert!(!u.is_kept(0, 3));
+        assert_eq!(u.pruned_count(), 2);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let mut small = mask3();
+        let mut big = mask3();
+        small.prune(0, 1).unwrap();
+        big.prune(0, 1).unwrap();
+        big.prune(2, 0).unwrap();
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+
+    #[test]
+    fn intersection_is_subset_of_both() {
+        let mut a = mask3();
+        let mut b = mask3();
+        a.prune(0, 0).unwrap();
+        a.prune(0, 5).unwrap();
+        b.prune(0, 5).unwrap();
+        b.prune(2, 1).unwrap();
+        let i = a.intersect_pruned(&b).unwrap();
+        assert!(i.is_subset_of(&a));
+        assert!(i.is_subset_of(&b));
+    }
+
+    #[test]
+    fn display_summarizes_pruned_layers() {
+        let mut m = mask3();
+        m.prune(0, 1).unwrap();
+        let s = m.to_string();
+        assert!(s.contains("pruned=1"));
+        assert!(s.contains("L0:1/8"));
+    }
+
+    #[test]
+    fn mismatched_masks_error() {
+        let net2 = NetworkBuilder::mlp(&[4, 8, 8, 3], 1).build().unwrap();
+        let other = PruneMask::all_kept(&net2);
+        let m = mask3();
+        assert!(m.intersect_pruned(&other).is_err());
+        assert!(m.union_pruned(&other).is_err());
+        assert!(!m.is_subset_of(&other));
+    }
+}

@@ -1,0 +1,610 @@
+//! The [`Network`] container: an ordered stack of layers with masked
+//! execution, activation taps and tail replay.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::mask::PruneMask;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one prunable unit: `(layer index, unit index)`.
+///
+/// Dense layers expose their output neurons as units; convolutional layers
+/// expose their output channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrunableUnit {
+    /// Layer index within the network.
+    pub layer: usize,
+    /// Unit index within the layer.
+    pub unit: usize,
+}
+
+/// A feed-forward stack of layers operating on one sample at a time.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::NetworkBuilder;
+/// use capnn_tensor::Tensor;
+///
+/// let net = NetworkBuilder::mlp(&[4, 6, 2], 7).build().unwrap();
+/// let logits = net.forward(&Tensor::ones(&[4])).unwrap();
+/// assert_eq!(logits.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+    input_dims: Vec<usize>,
+}
+
+impl Network {
+    /// Creates a network from layers and the expected input shape, verifying
+    /// that shapes propagate end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if any adjacent pair of layers is shape
+    /// incompatible or `layers` is empty.
+    pub fn new(layers: Vec<Layer>, input_dims: &[usize]) -> Result<Self, NnError> {
+        if layers.is_empty() {
+            return Err(NnError::Config("network must have at least one layer".into()));
+        }
+        let net = Self {
+            layers,
+            input_dims: input_dims.to_vec(),
+        };
+        net.layer_shapes()?; // validate propagation
+        Ok(net)
+    }
+
+    /// The layers, in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the trainer and baselines).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// The expected input shape.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has zero layers (never true for a constructed
+    /// network).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Number of output classes (size of the final layer's output).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for a successfully constructed network.
+    pub fn num_classes(&self) -> usize {
+        self.layer_shapes()
+            .expect("validated at construction")
+            .last()
+            .map(|s| s.iter().product())
+            .unwrap_or(0)
+    }
+
+    /// Activation shapes at each layer boundary: element 0 is the input
+    /// shape, element `i + 1` the output shape of layer `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if shapes fail to propagate (impossible for a
+    /// constructed network).
+    pub fn layer_shapes(&self) -> Result<Vec<Vec<usize>>, NnError> {
+        let mut shapes = Vec::with_capacity(self.layers.len() + 1);
+        shapes.push(self.input_dims.clone());
+        let mut cur = self.input_dims.clone();
+        for layer in &self.layers {
+            cur = layer.output_shape(&cur)?;
+            shapes.push(cur.clone());
+        }
+        Ok(shapes)
+    }
+
+    /// Indices of prunable layers (dense/conv), in execution order.
+    pub fn prunable_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.unit_count().map(|_| i))
+            .collect()
+    }
+
+    /// Indices of the last `n` prunable layers — the paper's `l_start …
+    /// |L|` tail (footnote 3: early layers extract generic features and are
+    /// left alone).
+    pub fn prunable_tail(&self, n: usize) -> Vec<usize> {
+        let all = self.prunable_layers();
+        let skip = all.len().saturating_sub(n);
+        all[skip..].to_vec()
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Layer::param_count).sum()
+    }
+
+    /// Plain forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `input` does not match the network's input shape.
+    pub fn forward(&self, input: &capnn_tensor::Tensor) -> Result<capnn_tensor::Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward pass with a [`PruneMask`]: after each prunable layer, pruned
+    /// units' outputs are zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward_masked(
+        &self,
+        input: &capnn_tensor::Tensor,
+        mask: &PruneMask,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
+        self.forward_masked_from(0, input, mask)
+    }
+
+    /// Tail replay: runs layers `start..` on `activation` (which must be the
+    /// activation at the *input* of layer `start`), applying `mask`.
+    ///
+    /// Pruning only ever touches the last few layers, so evaluating a prune
+    /// candidate does not require recomputing the expensive convolutional
+    /// prefix — callers cache the boundary activation once and replay the
+    /// tail. This is exact: masks at layers before `start` would be ignored,
+    /// so callers must choose `start` at or before the first masked layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `start` is out of range or shapes mismatch.
+    pub fn forward_masked_from(
+        &self,
+        start: usize,
+        activation: &capnn_tensor::Tensor,
+        mask: &PruneMask,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
+        if start > self.layers.len() {
+            return Err(NnError::LayerOutOfRange {
+                index: start,
+                len: self.layers.len(),
+            });
+        }
+        let mut x = activation.clone();
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
+            x = layer.forward(&x)?;
+            if let Some(flags) = mask.layer_flags(i) {
+                zero_pruned_units(&mut x, flags)?;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Forward pass that records the activation at every layer boundary.
+    /// `result[0]` is the input; `result[i + 1]` is layer `i`'s output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward_trace(
+        &self,
+        input: &capnn_tensor::Tensor,
+    ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.clone());
+        for layer in &self.layers {
+            let next = layer.forward(acts.last().expect("non-empty"))?;
+            acts.push(next);
+        }
+        Ok(acts)
+    }
+
+    /// Top-1 predicted class for an input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn predict(&self, input: &capnn_tensor::Tensor) -> Result<usize, NnError> {
+        Ok(self.forward(input)?.argmax().unwrap_or(0))
+    }
+
+    /// Renders a human-readable architecture summary: one line per layer
+    /// with kind, output shape and parameter count, ending with the total.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use capnn_nn::NetworkBuilder;
+    ///
+    /// let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+    /// let s = net.summary();
+    /// assert!(s.contains("dense"));
+    /// assert!(s.contains("total params"));
+    /// ```
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let shapes = self.layer_shapes().expect("validated at construction");
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<3} {:<8} {:<14} {:>10}", "#", "kind", "output", "params");
+        for (i, layer) in self.layers.iter().enumerate() {
+            let shape = shapes[i + 1]
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x");
+            let _ = writeln!(
+                out,
+                "{:<3} {:<8} {:<14} {:>10}",
+                i,
+                layer.kind(),
+                shape,
+                layer.param_count()
+            );
+        }
+        let _ = writeln!(out, "total params: {}", self.param_count());
+        out
+    }
+
+    /// Builds a physically smaller network with pruned units removed, and
+    /// dependent incoming weights of downstream layers dropped.
+    ///
+    /// The compacted network computes the same function as
+    /// [`Network::forward_masked`] for the given mask (pruned units
+    /// contribute nothing either way); this is what the cloud actually ships
+    /// to the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask does not match the network, or if a
+    /// layer would be left with zero units (a degenerate model).
+    pub fn compact(&self, mask: &PruneMask) -> Result<Network, NnError> {
+        if mask.len() != self.layers.len() {
+            return Err(NnError::Config(format!(
+                "mask spans {} layers, network has {}",
+                mask.len(),
+                self.layers.len()
+            )));
+        }
+        let shapes = self.layer_shapes()?;
+        let mut new_layers = Vec::with_capacity(self.layers.len());
+        // Kept indices of the *unit-bearing* view of the current activation:
+        // for CHW it's the kept channels, for flat vectors the kept elements.
+        let mut kept_in: Vec<usize> = match self.input_dims.len() {
+            3 => (0..self.input_dims[0]).collect(),
+            _ => (0..self.input_dims.iter().product()).collect(),
+        };
+        for (i, layer) in self.layers.iter().enumerate() {
+            match layer {
+                Layer::Conv2d(c) => {
+                    let flags = mask
+                        .layer_flags(i)
+                        .ok_or_else(|| NnError::Config("missing mask entry for conv".into()))?;
+                    let kept_out: Vec<usize> =
+                        (0..c.spec().out_channels).filter(|&u| flags[u]).collect();
+                    if kept_out.is_empty() {
+                        return Err(NnError::Config(format!(
+                            "compaction would leave conv layer {i} with zero channels"
+                        )));
+                    }
+                    let k = c.spec().kernel;
+                    let mut spec = *c.spec();
+                    spec.in_channels = kept_in.len();
+                    spec.out_channels = kept_out.len();
+                    let mut w = capnn_tensor::Tensor::zeros(&[
+                        kept_out.len(),
+                        kept_in.len(),
+                        k,
+                        k,
+                    ]);
+                    let mut b = capnn_tensor::Tensor::zeros(&[kept_out.len()]);
+                    let src_w = c.weights().as_slice();
+                    let src_b = c.bias().as_slice();
+                    let in_c_old = c.spec().in_channels;
+                    {
+                        let wv = w.as_mut_slice();
+                        let bv = b.as_mut_slice();
+                        for (no, &oc) in kept_out.iter().enumerate() {
+                            bv[no] = src_b[oc];
+                            for (ni, &ic) in kept_in.iter().enumerate() {
+                                let dst = ((no * kept_in.len() + ni) * k * k)..((no * kept_in.len() + ni + 1) * k * k);
+                                let src = ((oc * in_c_old + ic) * k * k)..((oc * in_c_old + ic + 1) * k * k);
+                                wv[dst].copy_from_slice(&src_w[src]);
+                            }
+                        }
+                    }
+                    new_layers.push(Layer::Conv2d(crate::layer::Conv2dLayer::new(spec, w, b)?));
+                    kept_in = kept_out;
+                }
+                Layer::Dense(d) => {
+                    let flags = mask
+                        .layer_flags(i)
+                        .ok_or_else(|| NnError::Config("missing mask entry for dense".into()))?;
+                    let kept_out: Vec<usize> =
+                        (0..d.out_features()).filter(|&u| flags[u]).collect();
+                    if kept_out.is_empty() {
+                        return Err(NnError::Config(format!(
+                            "compaction would leave dense layer {i} with zero neurons"
+                        )));
+                    }
+                    let mut w =
+                        capnn_tensor::Tensor::zeros(&[kept_out.len(), kept_in.len()]);
+                    let mut b = capnn_tensor::Tensor::zeros(&[kept_out.len()]);
+                    let src_w = d.weights().as_slice();
+                    let src_b = d.bias().as_slice();
+                    let in_old = d.in_features();
+                    {
+                        let wv = w.as_mut_slice();
+                        let bv = b.as_mut_slice();
+                        for (no, &o) in kept_out.iter().enumerate() {
+                            bv[no] = src_b[o];
+                            for (ni, &iidx) in kept_in.iter().enumerate() {
+                                wv[no * kept_in.len() + ni] = src_w[o * in_old + iidx];
+                            }
+                        }
+                    }
+                    new_layers.push(Layer::Dense(crate::layer::Dense::new(w, b)?));
+                    kept_in = kept_out;
+                }
+                Layer::Relu => new_layers.push(Layer::Relu),
+                Layer::MaxPool2d(spec) => new_layers.push(Layer::MaxPool2d(*spec)),
+                Layer::AvgPool2d(spec) => new_layers.push(Layer::AvgPool2d(*spec)),
+                Layer::Flatten => {
+                    // Expand kept channel indices into kept flat indices.
+                    let in_shape = &shapes[i];
+                    if in_shape.len() == 3 {
+                        let plane = in_shape[1] * in_shape[2];
+                        kept_in = kept_in
+                            .iter()
+                            .flat_map(|&c| c * plane..(c + 1) * plane)
+                            .collect();
+                    }
+                    new_layers.push(Layer::Flatten);
+                }
+            }
+        }
+        // New input dims: channels shrink only if the first layer's input was
+        // masked, which never happens (input isn't a layer) — keep original.
+        Network::new(new_layers, &self.input_dims)
+    }
+}
+
+/// Zeroes the units flagged `false`. For rank-1 activations a unit is one
+/// element; for CHW activations it is a channel plane.
+fn zero_pruned_units(x: &mut capnn_tensor::Tensor, flags: &[bool]) -> Result<(), NnError> {
+    let dims = x.dims().to_vec();
+    match dims.len() {
+        1 => {
+            if dims[0] != flags.len() {
+                return Err(NnError::Config(format!(
+                    "mask has {} flags for activation of {} units",
+                    flags.len(),
+                    dims[0]
+                )));
+            }
+            let xs = x.as_mut_slice();
+            for (v, &keep) in xs.iter_mut().zip(flags) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+        }
+        3 => {
+            if dims[0] != flags.len() {
+                return Err(NnError::Config(format!(
+                    "mask has {} flags for activation of {} channels",
+                    flags.len(),
+                    dims[0]
+                )));
+            }
+            let plane = dims[1] * dims[2];
+            let xs = x.as_mut_slice();
+            for (c, &keep) in flags.iter().enumerate() {
+                if !keep {
+                    for v in &mut xs[c * plane..(c + 1) * plane] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        _ => {
+            return Err(NnError::Config(format!(
+                "cannot mask activation of rank {}",
+                dims.len()
+            )))
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Network[{} layers:", self.layers.len())?;
+        for l in &self.layers {
+            write!(f, " {}", l.kind())?;
+        }
+        write!(f, "] params={}", self.param_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use capnn_tensor::{Tensor, XorShiftRng};
+
+    fn small_cnn() -> Network {
+        NetworkBuilder::cnn(&[1, 4, 4], &[(4, 1), (6, 1)], &[10], 3, 99)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = small_cnn();
+        let out = net.forward(&Tensor::ones(&[1, 4, 4])).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn forward_rejects_bad_input() {
+        let net = small_cnn();
+        assert!(net.forward(&Tensor::ones(&[2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn layer_shapes_cover_all_boundaries() {
+        let net = small_cnn();
+        let shapes = net.layer_shapes().unwrap();
+        assert_eq!(shapes.len(), net.len() + 1);
+        assert_eq!(shapes[0], vec![1, 4, 4]);
+        assert_eq!(*shapes.last().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn prunable_layers_and_tail() {
+        let net = small_cnn();
+        let prunable = net.prunable_layers();
+        // conv, conv, dense, dense(out)
+        assert_eq!(prunable.len(), 4);
+        assert_eq!(net.prunable_tail(2), prunable[2..].to_vec());
+        assert_eq!(net.prunable_tail(99), prunable);
+        assert!(net.prunable_tail(0).is_empty());
+    }
+
+    #[test]
+    fn masked_forward_zeroes_dense_unit_exactly() {
+        let net = NetworkBuilder::mlp(&[3, 5, 2], 11).build().unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9], &[3]).unwrap();
+        let full = net.forward_masked(&x, &mask).unwrap();
+        let plain = net.forward(&x).unwrap();
+        assert_eq!(full.as_slice(), plain.as_slice());
+
+        // prune every hidden unit → output is the last layer's bias
+        mask.set_layer(0, vec![false; 5]).unwrap();
+        let out = net.forward_masked(&x, &mask).unwrap();
+        let last_bias = match &net.layers()[2] {
+            crate::Layer::Dense(d) => d.bias().clone(),
+            _ => unreachable!(),
+        };
+        assert_eq!(out.as_slice(), last_bias.as_slice());
+    }
+
+    #[test]
+    fn masked_forward_zeroes_conv_channel_plane() {
+        let net = small_cnn();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(0, 1).unwrap();
+        let x = Tensor::ones(&[1, 4, 4]);
+        // trace the masked activation after layer 0
+        let mut a = net.layers()[0].forward(&x).unwrap();
+        super::zero_pruned_units(&mut a, mask.layer_flags(0).unwrap()).unwrap();
+        let plane = a.dims()[1] * a.dims()[2];
+        assert!(a.as_slice()[plane..2 * plane].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn tail_replay_matches_full_masked_forward() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(5);
+        let mut mask = PruneMask::all_kept(&net);
+        // mask only tail layers
+        let tail = net.prunable_tail(2);
+        mask.prune(tail[0], 3).unwrap();
+        mask.prune(tail[0], 7).unwrap();
+        for _ in 0..5 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let full = net.forward_masked(&x, &mask).unwrap();
+            let trace = net.forward_trace(&x).unwrap();
+            let start = tail[0];
+            let replay = net
+                .forward_masked_from(start, &trace[start], &mask)
+                .unwrap();
+            for (&a, &b) in full.as_slice().iter().zip(replay.as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_trace_boundaries() {
+        let net = small_cnn();
+        let x = Tensor::ones(&[1, 4, 4]);
+        let trace = net.forward_trace(&x).unwrap();
+        assert_eq!(trace.len(), net.len() + 1);
+        let direct = net.forward(&x).unwrap();
+        assert_eq!(trace.last().unwrap().as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn compact_matches_masked_forward() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(17);
+        let mut mask = PruneMask::all_kept(&net);
+        // prune one conv channel and two dense neurons (not in output layer)
+        let prunable = net.prunable_layers();
+        mask.prune(prunable[1], 0).unwrap();
+        mask.prune(prunable[2], 2).unwrap();
+        mask.prune(prunable[2], 5).unwrap();
+        let compacted = net.compact(&mask).unwrap();
+        assert!(compacted.param_count() < net.param_count());
+        for _ in 0..8 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let a = net.forward_masked(&x, &mask).unwrap();
+            let b = compacted.forward(&x).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn compact_rejects_empty_layer() {
+        let net = NetworkBuilder::mlp(&[3, 4, 2], 1).build().unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.set_layer(0, vec![false; 4]).unwrap();
+        assert!(net.compact(&mask).is_err());
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(Network::new(vec![], &[3]).is_err());
+    }
+
+    #[test]
+    fn summary_lists_every_layer_and_total() {
+        let net = small_cnn();
+        let s = net.summary();
+        assert_eq!(s.lines().count(), net.len() + 2); // header + layers + total
+        assert!(s.contains("conv"));
+        assert!(s.contains("flatten"));
+        assert!(s.contains(&format!("total params: {}", net.param_count())));
+    }
+
+    #[test]
+    fn display_lists_layer_kinds() {
+        let net = NetworkBuilder::mlp(&[3, 4, 2], 1).build().unwrap();
+        let s = net.to_string();
+        assert!(s.contains("dense"));
+        assert!(s.contains("relu"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Remaining-parameter accounting for masked networks.
+//!
+//! The paper measures model size as "the number of (unique) parameters in the
+//! network including the number of weights and biases" after pruning. Removing
+//! a unit removes its incoming weights and bias *and* the downstream weights
+//! that consumed it; across a flatten boundary one conv channel feeds
+//! `h*w` dense inputs, which this walker accounts for exactly.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::mask::PruneMask;
+use crate::network::Network;
+use serde::{Deserialize, Serialize};
+
+/// Unique remaining parameter counts of a (masked) network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ParamCount {
+    /// Remaining weight parameters.
+    pub weights: usize,
+    /// Remaining bias parameters.
+    pub biases: usize,
+}
+
+impl ParamCount {
+    /// Total remaining parameters.
+    pub fn total(&self) -> usize {
+        self.weights + self.biases
+    }
+
+    /// This count as a fraction of `original` (the paper's "relative model
+    /// size"). Returns 1.0 when `original` is empty.
+    pub fn relative_to(&self, original: &ParamCount) -> f64 {
+        if original.total() == 0 {
+            1.0
+        } else {
+            self.total() as f64 / original.total() as f64
+        }
+    }
+}
+
+/// Computes the unique remaining parameters of `net` under `mask`.
+///
+/// Pass [`PruneMask::all_kept`] to obtain the original model size.
+///
+/// # Errors
+///
+/// Returns an error if the mask does not match the network's layer
+/// structure.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::{model_size, NetworkBuilder, PruneMask};
+///
+/// let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+/// let full = model_size(&net, &PruneMask::all_kept(&net)).unwrap();
+/// assert_eq!(full.total(), net.param_count());
+/// ```
+pub fn model_size(net: &Network, mask: &PruneMask) -> Result<ParamCount, NnError> {
+    if mask.len() != net.len() {
+        return Err(NnError::Config(format!(
+            "mask spans {} layers, network has {}",
+            mask.len(),
+            net.len()
+        )));
+    }
+    let shapes = net.layer_shapes()?;
+    let mut count = ParamCount::default();
+    // Number of kept inputs feeding the next parameterized layer.
+    let mut kept_inputs: usize = match net.input_dims().len() {
+        3 => net.input_dims()[0],
+        _ => net.input_dims().iter().product(),
+    };
+    for (i, layer) in net.layers().iter().enumerate() {
+        match layer {
+            Layer::Conv2d(c) => {
+                let kept_out = mask.kept_in_layer(i);
+                let k = c.spec().kernel;
+                count.weights += kept_out * kept_inputs * k * k;
+                count.biases += kept_out;
+                kept_inputs = kept_out;
+            }
+            Layer::Dense(d) => {
+                let _ = d;
+                let kept_out = mask.kept_in_layer(i);
+                count.weights += kept_out * kept_inputs;
+                count.biases += kept_out;
+                kept_inputs = kept_out;
+            }
+            Layer::Flatten => {
+                let in_shape = &shapes[i];
+                if in_shape.len() == 3 {
+                    kept_inputs *= in_shape[1] * in_shape[2];
+                }
+            }
+            Layer::Relu | Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => {}
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    #[test]
+    fn unmasked_size_equals_param_count() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1), (8, 1)], &[16, 8], 3, 1)
+            .build()
+            .unwrap();
+        let full = model_size(&net, &PruneMask::all_kept(&net)).unwrap();
+        assert_eq!(full.total(), net.param_count());
+    }
+
+    #[test]
+    fn pruning_dense_neuron_removes_in_and_out_weights() {
+        // mlp 4 → 8 → 3: pruning one hidden neuron removes 4 incoming
+        // weights + 1 bias + 3 outgoing weights.
+        let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+        let full = model_size(&net, &PruneMask::all_kept(&net)).unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(0, 2).unwrap();
+        let pruned = model_size(&net, &mask).unwrap();
+        assert_eq!(full.total() - pruned.total(), 4 + 1 + 3);
+    }
+
+    #[test]
+    fn pruning_conv_channel_accounts_for_flatten_multiplicity() {
+        // conv (1→4ch, 3x3, 8x8 image, pool to 4x4) → flatten → dense 10.
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10], 3, 1)
+            .build()
+            .unwrap();
+        let full = model_size(&net, &PruneMask::all_kept(&net)).unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(0, 1).unwrap();
+        let pruned = model_size(&net, &mask).unwrap();
+        // Removed: 1*3*3 incoming conv weights + 1 bias + 4*4 plane × 10
+        // dense outgoing weights.
+        assert_eq!(full.total() - pruned.total(), 9 + 1 + 16 * 10);
+    }
+
+    #[test]
+    fn compacted_network_matches_size_accounting() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1), (6, 1)], &[12, 8], 3, 5)
+            .build()
+            .unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        let prunable = net.prunable_layers();
+        mask.prune(prunable[0], 0).unwrap();
+        mask.prune(prunable[1], 2).unwrap();
+        mask.prune(prunable[1], 3).unwrap();
+        mask.prune(prunable[2], 7).unwrap();
+        let predicted = model_size(&net, &mask).unwrap();
+        let compacted = net.compact(&mask).unwrap();
+        assert_eq!(predicted.total(), compacted.param_count());
+    }
+
+    #[test]
+    fn relative_size_bounds() {
+        let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+        let full = model_size(&net, &PruneMask::all_kept(&net)).unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.set_layer(0, vec![false; 8]).unwrap();
+        let pruned = model_size(&net, &mask).unwrap();
+        let rel = pruned.relative_to(&full);
+        assert!(rel > 0.0 && rel < 1.0);
+        assert_eq!(full.relative_to(&full), 1.0);
+        assert_eq!(ParamCount::default().relative_to(&ParamCount::default()), 1.0);
+    }
+
+    #[test]
+    fn mismatched_mask_rejected() {
+        let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+        let other = NetworkBuilder::mlp(&[4, 8, 8, 3], 1).build().unwrap();
+        let mask = PruneMask::all_kept(&other);
+        assert!(model_size(&net, &mask).is_err());
+    }
+
+    #[test]
+    fn monotonicity_more_pruning_never_grows() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[10, 6], 3, 2)
+            .build()
+            .unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        let mut prev = model_size(&net, &mask).unwrap().total();
+        for (layer, unit) in [(0usize, 0usize), (0, 3), (4, 1), (4, 8), (6, 0)] {
+            if mask.prune(layer, unit).is_ok() {
+                let now = model_size(&net, &mask).unwrap().total();
+                assert!(now <= prev);
+                prev = now;
+            }
+        }
+    }
+}

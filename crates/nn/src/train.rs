@@ -1,0 +1,443 @@
+//! Mini-batch SGD trainer with momentum and weight decay.
+//!
+//! This is the substrate that produces the "commodity trained model" the
+//! paper's cloud holds; CAP'NN itself never retrains.
+
+use crate::error::NnError;
+use crate::layer::{Layer, LayerGrads};
+use crate::loss::cross_entropy_loss;
+use crate::network::Network;
+use capnn_tensor::{Tensor, XorShiftRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`Trainer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight decay applied to weights (not biases).
+    pub weight_decay: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Multiplicative learning-rate decay applied after each epoch.
+    pub lr_decay: f32,
+    /// Train-time dropout probability applied to the ReLU outputs of hidden
+    /// dense layers (VGG-style classifier-head regularization). 0 disables
+    /// dropout; inference is never affected.
+    pub dropout: f32,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            batch_size: 16,
+            epochs: 5,
+            lr_decay: 0.85,
+            dropout: 0.0,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean cross-entropy loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training top-1 accuracy per epoch.
+    pub epoch_accuracies: Vec<f32>,
+}
+
+impl TrainReport {
+    /// Final (last-epoch) training accuracy, or 0 if no epochs ran.
+    pub fn final_accuracy(&self) -> f32 {
+        self.epoch_accuracies.last().copied().unwrap_or(0.0)
+    }
+
+    /// Final (last-epoch) mean loss, or +inf if no epochs ran.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::INFINITY)
+    }
+}
+
+/// Mini-batch SGD trainer with momentum.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+/// use capnn_tensor::Tensor;
+///
+/// let mut net = NetworkBuilder::mlp(&[2, 8, 2], 3).build().unwrap();
+/// let samples = vec![
+///     (Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap(), 0),
+///     (Tensor::from_vec(vec![0.0, 1.0], &[2]).unwrap(), 1),
+/// ];
+/// let cfg = TrainerConfig { epochs: 20, ..TrainerConfig::default() };
+/// let mut trainer = Trainer::new(cfg, 42);
+/// let report = trainer.fit(&mut net, &samples).unwrap();
+/// assert!(report.final_accuracy() > 0.9);
+/// ```
+#[derive(Debug)]
+pub struct Trainer {
+    config: TrainerConfig,
+    rng: XorShiftRng,
+    /// Momentum buffers per layer (dw, db), lazily sized to the network.
+    velocity: Vec<Option<LayerGrads>>,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters and shuffle seed.
+    pub fn new(config: TrainerConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: XorShiftRng::new(seed),
+            velocity: Vec::new(),
+        }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains `net` on `(input, label)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any sample's shape does not match the network or
+    /// a label is out of range.
+    pub fn fit(
+        &mut self,
+        net: &mut Network,
+        samples: &[(Tensor, usize)],
+    ) -> Result<TrainReport, NnError> {
+        if samples.is_empty() {
+            return Err(NnError::Config("cannot train on an empty dataset".into()));
+        }
+        if !(0.0..1.0).contains(&self.config.dropout) {
+            return Err(NnError::Config(format!(
+                "dropout must be in [0, 1), got {}",
+                self.config.dropout
+            )));
+        }
+        let num_classes = net.num_classes();
+        if let Some((_, bad)) = samples.iter().find(|(_, l)| *l >= num_classes) {
+            return Err(NnError::Config(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        self.ensure_velocity(net);
+        let mut lr = self.config.learning_rate;
+        let mut report = TrainReport {
+            epoch_losses: Vec::with_capacity(self.config.epochs),
+            epoch_accuracies: Vec::with_capacity(self.config.epochs),
+        };
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _epoch in 0..self.config.epochs {
+            self.rng.shuffle(&mut order);
+            let mut total_loss = 0.0;
+            let mut correct = 0usize;
+            for batch in order.chunks(self.config.batch_size.max(1)) {
+                let mut acc: Vec<Option<LayerGrads>> = vec![None; net.len()];
+                for &si in batch {
+                    let (x, label) = &samples[si];
+                    let (trace, drop_masks) = self.forward_with_dropout(net, x)?;
+                    let logits = trace.last().expect("trace non-empty");
+                    if logits.argmax() == Some(*label) {
+                        correct += 1;
+                    }
+                    let (loss, mut grad) = cross_entropy_loss(logits, *label);
+                    total_loss += loss;
+                    for li in (0..net.len()).rev() {
+                        if let Some(mask) = &drop_masks[li] {
+                            for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask) {
+                                *g *= m;
+                            }
+                        }
+                        let (dx, g) = net.layers()[li].backward(&trace[li], &grad)?;
+                        if let Some(g) = g {
+                            match &mut acc[li] {
+                                Some(a) => {
+                                    a.dw.axpy_in_place(1.0, &g.dw)?;
+                                    a.db.axpy_in_place(1.0, &g.db)?;
+                                }
+                                slot @ None => *slot = Some(g),
+                            }
+                        }
+                        grad = dx;
+                    }
+                }
+                self.apply_update(net, &acc, batch.len(), lr)?;
+            }
+            report.epoch_losses.push(total_loss / samples.len() as f32);
+            report
+                .epoch_accuracies
+                .push(correct as f32 / samples.len() as f32);
+            lr *= self.config.lr_decay;
+        }
+        Ok(report)
+    }
+
+    /// Forward pass that applies inverted dropout to the ReLU outputs of
+    /// hidden dense layers. Returns the layer-boundary trace (with dropped
+    /// activations, as downstream layers saw them) and the per-layer scale
+    /// masks needed to route gradients identically in the backward pass.
+    fn forward_with_dropout(
+        &mut self,
+        net: &Network,
+        x: &Tensor,
+    ) -> Result<(Vec<Tensor>, DropoutMasks), NnError> {
+        let p = self.config.dropout;
+        let mut acts = Vec::with_capacity(net.len() + 1);
+        acts.push(x.clone());
+        let mut masks: Vec<Option<Vec<f32>>> = vec![None; net.len()];
+        for (i, layer) in net.layers().iter().enumerate() {
+            let mut out = layer.forward(acts.last().expect("non-empty"))?;
+            let follows_dense =
+                i > 0 && matches!(net.layers()[i - 1], Layer::Dense(_));
+            // never drop the logits: only hidden relu-after-dense outputs
+            if p > 0.0 && matches!(layer, Layer::Relu) && follows_dense && i + 1 < net.len() {
+                let scale = 1.0 / (1.0 - p);
+                let mask: Vec<f32> = (0..out.len())
+                    .map(|_| if self.rng.next_uniform() < p { 0.0 } else { scale })
+                    .collect();
+                for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
+                    *v *= m;
+                }
+                masks[i] = Some(mask);
+            }
+            acts.push(out);
+        }
+        Ok((acts, masks))
+    }
+
+    fn ensure_velocity(&mut self, net: &Network) {
+        if self.velocity.len() == net.len() {
+            return;
+        }
+        self.velocity = net
+            .layers()
+            .iter()
+            .map(|l| match l {
+                Layer::Dense(d) => Some(LayerGrads {
+                    dw: Tensor::zeros(d.weights().dims()),
+                    db: Tensor::zeros(d.bias().dims()),
+                }),
+                Layer::Conv2d(c) => Some(LayerGrads {
+                    dw: Tensor::zeros(c.weights().dims()),
+                    db: Tensor::zeros(c.bias().dims()),
+                }),
+                _ => None,
+            })
+            .collect();
+    }
+
+    fn apply_update(
+        &mut self,
+        net: &mut Network,
+        grads: &[Option<LayerGrads>],
+        batch_len: usize,
+        lr: f32,
+    ) -> Result<(), NnError> {
+        let scale = 1.0 / batch_len.max(1) as f32;
+        let momentum = self.config.momentum;
+        let wd = self.config.weight_decay;
+        for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+            let (Some(g), Some(v)) = (grads[li].as_ref(), self.velocity[li].as_mut()) else {
+                continue;
+            };
+            let (w, b) = match layer {
+                Layer::Dense(d) => d.params_mut(),
+                Layer::Conv2d(c) => c.params_mut(),
+                _ => continue,
+            };
+            // v = momentum * v + grad/batch + wd * w; w -= lr * v
+            v.dw.map_in_place(|x| x * momentum);
+            v.dw.axpy_in_place(scale, &g.dw)?;
+            v.dw.axpy_in_place(wd, w)?;
+            w.axpy_in_place(-lr, &v.dw)?;
+            v.db.map_in_place(|x| x * momentum);
+            v.db.axpy_in_place(scale, &g.db)?;
+            b.axpy_in_place(-lr, &v.db)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-layer dropout scale masks: `Some(scales)` only for layers whose
+/// output was dropped during the current training forward pass.
+type DropoutMasks = Vec<Option<Vec<f32>>>;
+
+/// Top-1 accuracy of `net` on labelled samples.
+///
+/// # Errors
+///
+/// Returns an error if a sample's shape does not match the network.
+pub fn evaluate_accuracy(net: &Network, samples: &[(Tensor, usize)]) -> Result<f32, NnError> {
+    if samples.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (x, label) in samples {
+        if net.predict(x)? == *label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / samples.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    fn two_blob_dataset(n_per: usize, seed: u64) -> Vec<(Tensor, usize)> {
+        let mut rng = XorShiftRng::new(seed);
+        let mut samples = Vec::new();
+        for i in 0..n_per {
+            let _ = i;
+            let x0 = Tensor::from_vec(
+                vec![1.0 + 0.3 * rng.next_gaussian(), -1.0 + 0.3 * rng.next_gaussian()],
+                &[2],
+            )
+            .unwrap();
+            samples.push((x0, 0));
+            let x1 = Tensor::from_vec(
+                vec![-1.0 + 0.3 * rng.next_gaussian(), 1.0 + 0.3 * rng.next_gaussian()],
+                &[2],
+            )
+            .unwrap();
+            samples.push((x1, 1));
+        }
+        samples
+    }
+
+    #[test]
+    fn mlp_learns_two_blobs() {
+        let mut net = NetworkBuilder::mlp(&[2, 8, 2], 5).build().unwrap();
+        let samples = two_blob_dataset(30, 9);
+        let cfg = TrainerConfig {
+            epochs: 15,
+            ..TrainerConfig::default()
+        };
+        let report = Trainer::new(cfg, 1).fit(&mut net, &samples).unwrap();
+        assert!(
+            report.final_accuracy() > 0.95,
+            "accuracy {}",
+            report.final_accuracy()
+        );
+        assert!(report.final_loss() < report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn cnn_learns_simple_patterns() {
+        // class 0: bright top-left quadrant; class 1: bright bottom-right
+        let mut rng = XorShiftRng::new(3);
+        let mut samples = Vec::new();
+        for _ in 0..25 {
+            let mut a = Tensor::zeros(&[1, 6, 6]);
+            let mut b = Tensor::zeros(&[1, 6, 6]);
+            for y in 0..3 {
+                for x in 0..3 {
+                    a.set(&[0, y, x], 1.0 + 0.2 * rng.next_gaussian()).unwrap();
+                    b.set(&[0, y + 3, x + 3], 1.0 + 0.2 * rng.next_gaussian())
+                        .unwrap();
+                }
+            }
+            samples.push((a, 0));
+            samples.push((b, 1));
+        }
+        let mut net = NetworkBuilder::cnn(&[1, 6, 6], &[(4, 1)], &[8], 2, 7)
+            .build()
+            .unwrap();
+        let cfg = TrainerConfig {
+            epochs: 8,
+            learning_rate: 0.03,
+            ..TrainerConfig::default()
+        };
+        let report = Trainer::new(cfg, 2).fit(&mut net, &samples).unwrap();
+        assert!(
+            report.final_accuracy() > 0.9,
+            "accuracy {}",
+            report.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn training_rejects_bad_inputs() {
+        let mut net = NetworkBuilder::mlp(&[2, 4, 2], 5).build().unwrap();
+        let mut t = Trainer::new(TrainerConfig::default(), 1);
+        assert!(t.fit(&mut net, &[]).is_err());
+        let bad_label = vec![(Tensor::zeros(&[2]), 7usize)];
+        assert!(t.fit(&mut net, &bad_label).is_err());
+        let bad_shape = vec![(Tensor::zeros(&[3]), 0usize)];
+        assert!(t.fit(&mut net, &bad_shape).is_err());
+    }
+
+    #[test]
+    fn evaluate_accuracy_counts_correct() {
+        let net = NetworkBuilder::mlp(&[2, 4, 2], 5).build().unwrap();
+        let samples = two_blob_dataset(5, 1);
+        let acc = evaluate_accuracy(&net, &samples).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert_eq!(evaluate_accuracy(&net, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dropout_still_learns_and_validates() {
+        let mut net = NetworkBuilder::mlp(&[2, 12, 2], 5).build().unwrap();
+        let samples = two_blob_dataset(30, 9);
+        let cfg = TrainerConfig {
+            epochs: 15,
+            dropout: 0.3,
+            ..TrainerConfig::default()
+        };
+        let report = Trainer::new(cfg, 1).fit(&mut net, &samples).unwrap();
+        // evaluate WITHOUT dropout: inference path is unaffected
+        let acc = evaluate_accuracy(&net, &samples).unwrap();
+        assert!(acc > 0.9, "post-dropout accuracy {acc}");
+        assert!(report.final_loss().is_finite());
+
+        let bad = TrainerConfig {
+            dropout: 1.0,
+            ..TrainerConfig::default()
+        };
+        assert!(Trainer::new(bad, 1).fit(&mut net, &samples).is_err());
+    }
+
+    #[test]
+    fn zero_dropout_matches_plain_training() {
+        // dropout = 0.0 must not consume RNG or alter the computation
+        let samples = two_blob_dataset(10, 3);
+        let cfg = TrainerConfig {
+            epochs: 3,
+            ..TrainerConfig::default()
+        };
+        let mut a = NetworkBuilder::mlp(&[2, 6, 2], 4).build().unwrap();
+        let mut b = a.clone();
+        Trainer::new(cfg, 2).fit(&mut a, &samples).unwrap();
+        Trainer::new(cfg, 2).fit(&mut b, &samples).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let mut net = NetworkBuilder::mlp(&[2, 6, 2], 8).build().unwrap();
+        let samples = two_blob_dataset(20, 4);
+        let cfg = TrainerConfig {
+            epochs: 10,
+            ..TrainerConfig::default()
+        };
+        let report = Trainer::new(cfg, 3).fit(&mut net, &samples).unwrap();
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} → {last}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over randomized network topologies: masking,
+//! compaction, size accounting and serialization must agree for *any*
+//! well-formed CNN/MLP, not just the shapes the unit tests pick.
+
+use capnn_nn::{
+    model_size, network_from_json, network_to_json, Network, NetworkBuilder, PruneMask,
+};
+use capnn_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+/// A small random-topology description proptest can shrink.
+#[derive(Debug, Clone)]
+struct Topology {
+    conv_channels: Vec<usize>,
+    dense_widths: Vec<usize>,
+    classes: usize,
+    image: usize,
+    seed: u64,
+}
+
+fn topology() -> impl Strategy<Value = Topology> {
+    (
+        prop::collection::vec(2usize..6, 0..3),
+        prop::collection::vec(4usize..12, 1..3),
+        2usize..5,
+        prop::sample::select(vec![8usize, 16]),
+        any::<u64>(),
+    )
+        .prop_map(|(conv_channels, dense_widths, classes, image, seed)| Topology {
+            conv_channels,
+            dense_widths,
+            classes,
+            image,
+            seed,
+        })
+}
+
+fn build(t: &Topology) -> Network {
+    if t.conv_channels.is_empty() {
+        let mut widths = vec![t.image]; // treat image as a flat input width
+        widths.extend(&t.dense_widths);
+        widths.push(t.classes);
+        NetworkBuilder::mlp(&widths, t.seed).build().expect("mlp builds")
+    } else {
+        let blocks: Vec<(usize, usize)> = t.conv_channels.iter().map(|&c| (c, 1)).collect();
+        NetworkBuilder::cnn(
+            &[1, t.image, t.image],
+            &blocks,
+            &t.dense_widths,
+            t.classes,
+            t.seed,
+        )
+        .build()
+        .expect("cnn builds")
+    }
+}
+
+fn input_for(net: &Network, rng: &mut XorShiftRng) -> Tensor {
+    Tensor::uniform(net.input_dims(), -1.0, 1.0, rng)
+}
+
+/// A random mask that never empties a layer and never touches the output
+/// layer.
+fn random_mask(net: &Network, rng: &mut XorShiftRng) -> PruneMask {
+    let mut mask = PruneMask::all_kept(net);
+    let prunable = net.prunable_layers();
+    for &li in &prunable[..prunable.len().saturating_sub(1)] {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        for u in 0..units {
+            if rng.next_uniform() < 0.35 && mask.kept_in_layer(li) > 1 {
+                mask.prune(li, u).expect("in range");
+            }
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_is_deterministic(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xF00D);
+        let x = input_for(&net, &mut rng);
+        let a = net.forward(&x).expect("forward");
+        let b = net.forward(&x).expect("forward");
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+        prop_assert_eq!(a.len(), t.classes);
+    }
+
+    #[test]
+    fn masked_forward_matches_compacted(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xBEEF);
+        let mask = random_mask(&net, &mut rng);
+        let compacted = net.compact(&mask).expect("compacts");
+        let x = input_for(&net, &mut rng);
+        let a = net.forward_masked(&x, &mask).expect("masked");
+        let b = compacted.forward(&x).expect("compacted");
+        for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-3, "{} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn size_accounting_matches_compaction(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xCAFE);
+        let mask = random_mask(&net, &mut rng);
+        let predicted = model_size(&net, &mask).expect("size").total();
+        let compacted = net.compact(&mask).expect("compacts");
+        prop_assert_eq!(predicted, compacted.param_count());
+    }
+
+    #[test]
+    fn serialization_roundtrip_any_topology(t in topology()) {
+        let net = build(&t);
+        let json = network_to_json(&net).expect("serialize");
+        let back = network_from_json(&json).expect("deserialize");
+        prop_assert_eq!(&net, &back);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xD00D);
+        let x = input_for(&net, &mut rng);
+        let out_orig = net.forward(&x).expect("forward");
+        let out_back = back.forward(&x).expect("forward");
+        prop_assert_eq!(out_orig.as_slice(), out_back.as_slice());
+    }
+
+    #[test]
+    fn tail_replay_exact_for_any_tail(t in topology(), tail in 1usize..4) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xACE);
+        // mask only within the chosen tail so replay covers all masked layers
+        let tail_layers = net.prunable_tail(tail);
+        let mut mask = PruneMask::all_kept(&net);
+        for &li in &tail_layers[..tail_layers.len().saturating_sub(1)] {
+            let units = net.layers()[li].unit_count().unwrap_or(0);
+            for u in 0..units {
+                if rng.next_uniform() < 0.3 && mask.kept_in_layer(li) > 1 {
+                    mask.prune(li, u).expect("in range");
+                }
+            }
+        }
+        let start = tail_layers.first().copied().unwrap_or(0);
+        let x = input_for(&net, &mut rng);
+        let trace = net.forward_trace(&x).expect("trace");
+        let full = net.forward_masked(&x, &mask).expect("masked");
+        let replay = net
+            .forward_masked_from(start, &trace[start], &mask)
+            .expect("replay");
+        for (&u, &v) in full.as_slice().iter().zip(replay.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn prunable_tail_is_suffix(t in topology(), n in 0usize..8) {
+        let net = build(&t);
+        let all = net.prunable_layers();
+        let tail = net.prunable_tail(n);
+        prop_assert!(tail.len() <= all.len().min(n));
+        // tail is exactly the last `tail.len()` entries of `all`
+        prop_assert_eq!(&tail[..], &all[all.len() - tail.len()..]);
+    }
+}

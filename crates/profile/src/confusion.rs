@@ -1,0 +1,213 @@
+//! Confusion-matrix computation (step 1 of CAP'NN-M).
+
+use capnn_data::Dataset;
+use capnn_nn::{Network, NnError, PruneMask};
+use capnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A row-normalized confusion matrix: entry `(k, c)` is the fraction of
+/// inputs of true class `k` that the network predicted as class `c`.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_profile::ConfusionMatrix;
+/// use capnn_data::{VectorClusters, VectorClustersConfig};
+/// use capnn_nn::NetworkBuilder;
+///
+/// let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4))?;
+/// let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+/// let cm = ConfusionMatrix::measure(&net, &gen.generate(5, 1)).unwrap();
+/// assert_eq!(cm.num_classes(), 3);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// `[classes × classes]` fractions, rows sum to 1 for classes with
+    /// samples.
+    fractions: Tensor,
+}
+
+impl ConfusionMatrix {
+    /// Runs `net` over `dataset` and tallies top-1 predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sample's shape does not match the network.
+    pub fn measure(net: &Network, dataset: &Dataset) -> Result<Self, NnError> {
+        Self::measure_masked(net, dataset, &PruneMask::all_kept(net))
+    }
+
+    /// Like [`ConfusionMatrix::measure`] but under a prune mask.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sample's shape does not match the network.
+    pub fn measure_masked(
+        net: &Network,
+        dataset: &Dataset,
+        mask: &PruneMask,
+    ) -> Result<Self, NnError> {
+        let c = dataset.num_classes();
+        let mut counts = vec![0u32; c * c];
+        let mut totals = vec![0u32; c];
+        for (x, label) in dataset.samples() {
+            let pred = net.forward_masked(x, mask)?.argmax().unwrap_or(0);
+            counts[label * c + pred] += 1;
+            totals[*label] += 1;
+        }
+        let mut fractions = Tensor::zeros(&[c, c]);
+        let fv = fractions.as_mut_slice();
+        for k in 0..c {
+            if totals[k] > 0 {
+                for j in 0..c {
+                    fv[k * c + j] = counts[k * c + j] as f32 / totals[k] as f32;
+                }
+            }
+        }
+        Ok(Self { fractions })
+    }
+
+    /// Creates a matrix from raw fractions (used by tests and synthetic
+    /// setups).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `fractions` is not square.
+    pub fn from_fractions(fractions: Tensor) -> Result<Self, String> {
+        if fractions.shape().rank() != 2 || fractions.dims()[0] != fractions.dims()[1] {
+            return Err(format!(
+                "confusion matrix must be square, got {}",
+                fractions.shape()
+            ));
+        }
+        Ok(Self { fractions })
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.fractions.dims()[0]
+    }
+
+    /// Fraction of class-`k` inputs predicted as class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `c` is out of range.
+    pub fn fraction(&self, k: usize, c: usize) -> f32 {
+        self.fractions.get(&[k, c]).expect("indices in range")
+    }
+
+    /// Top-1 accuracy of class `k` (the diagonal entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn class_accuracy(&self, k: usize) -> f32 {
+        self.fraction(k, k)
+    }
+
+    /// The `n` classes most confused with `k` — the off-diagonal entries of
+    /// row `k` with the largest trigger fractions, in descending order.
+    /// This is step 1 of CAP'NN-M (the paper uses `n = 5`, matching top-5
+    /// accuracy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn top_confusing(&self, k: usize, n: usize) -> Vec<usize> {
+        let c = self.num_classes();
+        let row = self.fractions.row(k);
+        let mut idx: Vec<usize> = (0..c).filter(|&j| j != k).collect();
+        idx.sort_by(|&a, &b| {
+            row.as_slice()[b]
+                .partial_cmp(&row.as_slice()[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(n);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+
+    #[test]
+    fn rows_sum_to_one() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
+        let cm = ConfusionMatrix::measure(&net, &gen.generate(6, 1)).unwrap();
+        for k in 0..3 {
+            let sum: f32 = (0..3).map(|c| cm.fraction(k, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn trained_network_is_diagonal_dominant() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[4, 12, 3], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 10,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let cm = ConfusionMatrix::measure(&net, &gen.generate(20, 2)).unwrap();
+        for k in 0..3 {
+            assert!(cm.class_accuracy(k) > 0.7, "class {k}: {}", cm.class_accuracy(k));
+        }
+    }
+
+    #[test]
+    fn top_confusing_excludes_self_and_orders() {
+        let f = Tensor::from_vec(
+            vec![
+                0.6, 0.3, 0.1, 0.0, //
+                0.1, 0.9, 0.0, 0.0, //
+                0.0, 0.2, 0.5, 0.3, //
+                0.0, 0.0, 0.0, 1.0,
+            ],
+            &[4, 4],
+        )
+        .unwrap();
+        let cm = ConfusionMatrix::from_fractions(f).unwrap();
+        assert_eq!(cm.top_confusing(0, 2), vec![1, 2]);
+        assert_eq!(cm.top_confusing(2, 2), vec![3, 1]);
+        assert!(!cm.top_confusing(3, 3).contains(&3));
+        assert_eq!(cm.top_confusing(0, 99).len(), 3);
+    }
+
+    #[test]
+    fn from_fractions_requires_square() {
+        assert!(ConfusionMatrix::from_fractions(Tensor::zeros(&[2, 3])).is_err());
+        assert!(ConfusionMatrix::from_fractions(Tensor::zeros(&[4])).is_err());
+        assert!(ConfusionMatrix::from_fractions(Tensor::zeros(&[3, 3])).is_ok());
+    }
+
+    #[test]
+    fn masked_measure_differs_when_units_pruned() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[4, 10, 3], 3).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 8,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(20, 1).samples())
+            .unwrap();
+        let eval = gen.generate(15, 2);
+        let full = ConfusionMatrix::measure(&net, &eval).unwrap();
+        let mut mask = capnn_nn::PruneMask::all_kept(&net);
+        mask.set_layer(0, vec![false; 10]).unwrap();
+        let gutted = ConfusionMatrix::measure_masked(&net, &eval, &mask).unwrap();
+        let full_acc: f32 = (0..3).map(|k| full.class_accuracy(k)).sum();
+        let gutted_acc: f32 = (0..3).map(|k| gutted.class_accuracy(k)).sum();
+        assert!(gutted_acc < full_acc);
+    }
+}

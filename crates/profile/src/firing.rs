@@ -1,0 +1,352 @@
+//! Class-specific firing-rate measurement.
+
+use capnn_data::Dataset;
+use capnn_nn::{Network, NnError};
+use capnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Firing rates of one prunable layer: a `[units × classes]` matrix `F`
+/// where `F(n, c)` is how often unit `n` fires for inputs of class `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRates {
+    /// Index of the layer within the profiled network.
+    pub layer: usize,
+    /// `[units × classes]` firing-rate matrix, entries in `[0, 1]`.
+    pub rates: Tensor,
+}
+
+impl LayerRates {
+    /// Number of prunable units in this layer.
+    pub fn units(&self) -> usize {
+        self.rates.dims()[0]
+    }
+
+    /// Number of classes profiled.
+    pub fn classes(&self) -> usize {
+        self.rates.dims()[1]
+    }
+
+    /// Firing rate of unit `n` for class `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `c` is out of range.
+    pub fn rate(&self, n: usize, c: usize) -> f32 {
+        self.rates.get(&[n, c]).expect("index validated by caller")
+    }
+
+    /// Effective firing rate of unit `n` under user classes and weights:
+    /// `Σ_k w_k · F(n, k)` (the quantity thresholded by CAP'NN-W).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` and `weights` have different lengths or contain
+    /// out-of-range class ids.
+    pub fn effective_rate(&self, n: usize, classes: &[usize], weights: &[f32]) -> f32 {
+        assert_eq!(classes.len(), weights.len(), "classes/weights mismatch");
+        classes
+            .iter()
+            .zip(weights)
+            .map(|(&k, &w)| w * self.rate(n, k))
+            .sum()
+    }
+}
+
+/// Firing rates for every profiled layer of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiringRates {
+    layers: Vec<LayerRates>,
+    num_classes: usize,
+}
+
+impl FiringRates {
+    /// Creates the container from per-layer matrices. Intended for
+    /// deserialized or synthetic rates; normally produced by
+    /// [`FiringRateProfiler::profile`].
+    pub fn from_layers(layers: Vec<LayerRates>, num_classes: usize) -> Self {
+        Self {
+            layers,
+            num_classes,
+        }
+    }
+
+    /// Per-layer rate matrices, ordered by layer index.
+    pub fn layers(&self) -> &[LayerRates] {
+        &self.layers
+    }
+
+    /// Mutable per-layer rate matrices (CAP'NN-M zeroes miseffectual
+    /// entries).
+    pub fn layers_mut(&mut self) -> &mut [LayerRates] {
+        &mut self.layers
+    }
+
+    /// Number of classes profiled.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The rates of the network layer with index `layer`, if profiled.
+    pub fn for_layer(&self, layer: usize) -> Option<&LayerRates> {
+        self.layers.iter().find(|l| l.layer == layer)
+    }
+
+    /// Raw storage footprint of the rate matrices at `bits_per_rate` bits
+    /// per entry, in bytes (the paper's §V-C memory-overhead accounting).
+    pub fn memory_bytes(&self, bits_per_rate: u32) -> u64 {
+        let entries: u64 = self.layers.iter().map(|l| l.rates.len() as u64).sum();
+        (entries * bits_per_rate as u64).div_ceil(8)
+    }
+}
+
+/// Measures class-specific firing rates over a balanced profiling dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct FiringRateProfiler {
+    /// Number of trailing prunable layers to profile (the paper profiles the
+    /// prunable tail; earlier layers are never pruned).
+    tail: usize,
+}
+
+impl FiringRateProfiler {
+    /// Creates a profiler covering the last `tail` prunable layers.
+    pub fn new(tail: usize) -> Self {
+        Self { tail }
+    }
+
+    /// Runs `net` over `dataset` and measures firing rates.
+    ///
+    /// A unit "fires" when its pre-ReLU output is strictly positive (our
+    /// networks apply ReLU right after every prunable layer, so this equals
+    /// post-ReLU non-zero-ness). Dense units contribute 0/1 per sample;
+    /// conv channels contribute the fraction of positive elements in their
+    /// feature map.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a sample's shape does not match the network.
+    pub fn profile(&self, net: &Network, dataset: &Dataset) -> Result<FiringRates, NnError> {
+        let tail_layers = net.prunable_tail(self.tail);
+        let num_classes = dataset.num_classes();
+        let shapes = net.layer_shapes()?;
+        let mut sums: Vec<Tensor> = tail_layers
+            .iter()
+            .map(|&li| {
+                let units = net.layers()[li].unit_count().unwrap_or(0);
+                Tensor::zeros(&[units, num_classes])
+            })
+            .collect();
+        let mut counts = vec![0usize; num_classes];
+        for (x, label) in dataset.samples() {
+            counts[*label] += 1;
+            let trace = net.forward_trace(x)?;
+            for (t, &li) in tail_layers.iter().enumerate() {
+                let act = &trace[li + 1];
+                accumulate_firing(&mut sums[t], act, *label, &shapes[li + 1]);
+            }
+        }
+        let layers = tail_layers
+            .iter()
+            .zip(sums)
+            .map(|(&li, mut sum)| {
+                // normalize per class by sample count
+                let dims = sum.dims().to_vec();
+                let sv = sum.as_mut_slice();
+                for n in 0..dims[0] {
+                    for (c, &cnt) in counts.iter().enumerate() {
+                        if cnt > 0 {
+                            sv[n * dims[1] + c] /= cnt as f32;
+                        }
+                    }
+                }
+                LayerRates {
+                    layer: li,
+                    rates: sum,
+                }
+            })
+            .collect();
+        Ok(FiringRates {
+            layers,
+            num_classes,
+        })
+    }
+}
+
+/// Adds one sample's firing indicator for each unit of a layer activation.
+fn accumulate_firing(sum: &mut Tensor, act: &Tensor, class: usize, shape: &[usize]) {
+    let classes = sum.dims()[1];
+    let sv = sum.as_mut_slice();
+    match shape.len() {
+        1 => {
+            for (n, &v) in act.as_slice().iter().enumerate() {
+                if v > 0.0 {
+                    sv[n * classes + class] += 1.0;
+                }
+            }
+        }
+        3 => {
+            let plane = shape[1] * shape[2];
+            let av = act.as_slice();
+            for n in 0..shape[0] {
+                let fired = av[n * plane..(n + 1) * plane]
+                    .iter()
+                    .filter(|&&v| v > 0.0)
+                    .count();
+                sv[n * classes + class] += fired as f32 / plane as f32;
+            }
+        }
+        _ => unreachable!("prunable layers produce rank-1 or rank-3 activations"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{Dense, Layer, NetworkBuilder, Trainer, TrainerConfig};
+    use capnn_tensor::XorShiftRng;
+
+    #[test]
+    fn rates_are_probabilities() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let ds = gen.generate(10, 1);
+        let net = NetworkBuilder::mlp(&[4, 8, 6, 3], 2).build().unwrap();
+        let rates = FiringRateProfiler::new(3).profile(&net, &ds).unwrap();
+        assert_eq!(rates.num_classes(), 3);
+        for lr in rates.layers() {
+            assert!(lr
+                .rates
+                .as_slice()
+                .iter()
+                .all(|&r| (0.0..=1.0).contains(&r)));
+        }
+    }
+
+    #[test]
+    fn tail_selection_counts_layers() {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(3, 4)).unwrap();
+        let ds = gen.generate(2, 1);
+        let net = NetworkBuilder::mlp(&[4, 8, 6, 3], 2).build().unwrap();
+        let rates = FiringRateProfiler::new(2).profile(&net, &ds).unwrap();
+        assert_eq!(rates.layers().len(), 2);
+        // the covered layers are the LAST prunable ones
+        let prunable = net.prunable_layers();
+        assert_eq!(rates.layers()[0].layer, prunable[1]);
+        assert_eq!(rates.layers()[1].layer, prunable[2]);
+        assert!(rates.for_layer(prunable[0]).is_none());
+        assert!(rates.for_layer(prunable[2]).is_some());
+    }
+
+    #[test]
+    fn hand_built_neuron_has_expected_rates() {
+        // 2-class "network": one dense layer, 2 units. Unit 0 fires only on
+        // positive first input, unit 1 always fires (large bias).
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 10.0], &[2]).unwrap();
+        let l0 = Layer::Dense(Dense::new(w, b).unwrap());
+        let out = Layer::Dense(Dense::new(
+            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+            Tensor::zeros(&[2]),
+        )
+        .unwrap());
+        let net = Network::new(vec![l0, Layer::Relu, out], &[2]).unwrap();
+        // class 0 inputs: x = (+1, 0); class 1: x = (-1, 0)
+        let ds = Dataset::new(
+            vec![
+                (Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap(), 0),
+                (Tensor::from_vec(vec![1.0, 0.0], &[2]).unwrap(), 0),
+                (Tensor::from_vec(vec![-1.0, 0.0], &[2]).unwrap(), 1),
+                (Tensor::from_vec(vec![-1.0, 0.0], &[2]).unwrap(), 1),
+            ],
+            2,
+        )
+        .unwrap();
+        let rates = FiringRateProfiler::new(2).profile(&net, &ds).unwrap();
+        let lr = &rates.layers()[0];
+        assert_eq!(lr.rate(0, 0), 1.0); // unit 0 fires for class 0
+        assert_eq!(lr.rate(0, 1), 0.0); // never for class 1
+        assert_eq!(lr.rate(1, 0), 1.0); // unit 1 always fires
+        assert_eq!(lr.rate(1, 1), 1.0);
+    }
+
+    #[test]
+    fn effective_rate_weights_classes() {
+        let lr = LayerRates {
+            layer: 0,
+            rates: Tensor::from_vec(vec![0.8, 0.2], &[1, 2]).unwrap(),
+        };
+        let eff = lr.effective_rate(0, &[0, 1], &[0.5, 0.5]);
+        assert!((eff - 0.5).abs() < 1e-6);
+        // one-hot weight recovers the class rate
+        let eff0 = lr.effective_rate(0, &[0, 1], &[1.0, 0.0]);
+        assert!((eff0 - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trained_network_rates_show_class_selectivity() {
+        // After training on separable clusters, at least some hidden units
+        // should have visibly different rates across classes.
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let train = gen.generate(30, 1);
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 3).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 10,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, train.samples())
+            .unwrap();
+        let profile_ds = gen.generate(25, 2);
+        let rates = FiringRateProfiler::new(2)
+            .profile(&net, &profile_ds)
+            .unwrap();
+        let lr = &rates.layers()[0];
+        let mut max_spread = 0.0f32;
+        for n in 0..lr.units() {
+            let row: Vec<f32> = (0..4).map(|c| lr.rate(n, c)).collect();
+            let spread = row.iter().cloned().fold(f32::MIN, f32::max)
+                - row.iter().cloned().fold(f32::MAX, f32::min);
+            max_spread = max_spread.max(spread);
+        }
+        assert!(
+            max_spread > 0.3,
+            "expected class-selective units, max spread {max_spread}"
+        );
+    }
+
+    #[test]
+    fn conv_channel_rates_are_fractional() {
+        let mut rng = XorShiftRng::new(4);
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1)], &[8], 2, 3)
+            .build()
+            .unwrap();
+        let samples = (0..6)
+            .map(|i| {
+                (
+                    Tensor::uniform(&[1, 8, 8], -1.0, 1.0, &mut rng),
+                    i % 2,
+                )
+            })
+            .collect();
+        let ds = Dataset::new(samples, 2).unwrap();
+        let rates = FiringRateProfiler::new(3).profile(&net, &ds).unwrap();
+        let conv_rates = &rates.layers()[0];
+        // conv rates are averages of plane fractions → rarely exactly 0/1
+        assert!(conv_rates
+            .rates
+            .as_slice()
+            .iter()
+            .all(|&r| (0.0..=1.0).contains(&r)));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        let lr = LayerRates {
+            layer: 0,
+            rates: Tensor::zeros(&[100, 10]),
+        };
+        let fr = FiringRates::from_layers(vec![lr], 10);
+        assert_eq!(fr.memory_bytes(3), (1000u64 * 3).div_ceil(8));
+        assert_eq!(fr.memory_bytes(8), 1000);
+        assert_eq!(fr.memory_bytes(32), 4000);
+    }
+}

@@ -1,0 +1,35 @@
+//! Class-specific firing-rate profiling, confusion matrices and firing-rate
+//! quantization — the offline preprocessing stage of CAP'NN (§II/III of the
+//! paper).
+//!
+//! The class-specific firing rate of a neuron is the fraction of inputs of a
+//! given class for which the neuron's (post-ReLU) activation is non-zero;
+//! for convolutional layers the rate of a *channel* is the mean fraction of
+//! non-zero elements in its feature map (following Hu et al.'s network
+//! trimming measure, the paper's reference \[6\]). These rates are computed
+//! once in the cloud and drive all three pruning variants.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+//! use capnn_nn::{NetworkBuilder, VggConfig};
+//! use capnn_profile::FiringRateProfiler;
+//!
+//! let gen = SyntheticImages::new(SyntheticImagesConfig::small(4))?;
+//! let net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(4), 7).build().unwrap();
+//! let ds = gen.generate(4, 1);
+//! let rates = FiringRateProfiler::new(4).profile(&net, &ds).unwrap();
+//! assert_eq!(rates.layers().len(), 4);
+//! # Ok::<(), String>(())
+//! ```
+
+mod confusion;
+mod firing;
+mod quant;
+mod selectivity;
+
+pub use confusion::ConfusionMatrix;
+pub use firing::{FiringRateProfiler, FiringRates, LayerRates};
+pub use quant::{quantize_rates, QuantizedRates};
+pub use selectivity::{layer_selectivity, unit_selectivity, LayerSelectivity, UnitSelectivity};

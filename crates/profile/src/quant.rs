@@ -1,0 +1,150 @@
+//! Linear quantization of firing rates (§V-C of the paper).
+//!
+//! CAP'NN-W must store per-class firing rates for the prunable tail; the
+//! paper quantizes them to 3 bits, shrinking the overhead to ~1.3 % of the
+//! model. This module implements the quantizer and its storage accounting so
+//! the `memory_overhead` experiment and the `ablation_quant` sweep can
+//! measure fidelity vs footprint.
+
+use crate::firing::{FiringRates, LayerRates};
+use serde::{Deserialize, Serialize};
+
+/// Firing rates quantized to `bits` bits per entry, with the dequantized
+/// matrices materialized for downstream use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedRates {
+    /// Dequantized rates (entries snapped to the quantization grid).
+    pub rates: FiringRates,
+    /// Bits per stored entry.
+    pub bits: u32,
+}
+
+impl QuantizedRates {
+    /// Storage footprint in bytes at the configured bit width.
+    pub fn memory_bytes(&self) -> u64 {
+        self.rates.memory_bytes(self.bits)
+    }
+
+    /// Worst-case absolute quantization error of the grid (half a step).
+    pub fn max_error(&self) -> f32 {
+        let levels = (1u32 << self.bits) - 1;
+        0.5 / levels as f32
+    }
+}
+
+/// Linearly quantizes every rate to `bits` bits (`2^bits` levels spanning
+/// `[0, 1]`), returning the snapped rates.
+///
+/// # Panics
+///
+/// Panics if `bits` is 0 or greater than 16.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_profile::{quantize_rates, FiringRates, LayerRates};
+/// use capnn_tensor::Tensor;
+///
+/// let lr = LayerRates { layer: 0, rates: Tensor::from_vec(vec![0.31], &[1, 1]).unwrap() };
+/// let q = quantize_rates(&FiringRates::from_layers(vec![lr], 1), 3);
+/// // 3 bits → levels k/7; 0.31 snaps to 2/7
+/// assert!((q.rates.layers()[0].rate(0, 0) - 2.0 / 7.0).abs() < 1e-6);
+/// ```
+pub fn quantize_rates(rates: &FiringRates, bits: u32) -> QuantizedRates {
+    assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+    let levels = ((1u32 << bits) - 1) as f32;
+    let layers = rates
+        .layers()
+        .iter()
+        .map(|lr| LayerRates {
+            layer: lr.layer,
+            rates: lr
+                .rates
+                .map(|r| (r.clamp(0.0, 1.0) * levels).round() / levels),
+        })
+        .collect();
+    QuantizedRates {
+        rates: FiringRates::from_layers(layers, rates.num_classes()),
+        bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_tensor::Tensor;
+
+    fn sample_rates() -> FiringRates {
+        let lr = LayerRates {
+            layer: 2,
+            rates: Tensor::from_vec(vec![0.0, 0.13, 0.49, 0.5, 0.87, 1.0], &[3, 2]).unwrap(),
+        };
+        FiringRates::from_layers(vec![lr], 2)
+    }
+
+    #[test]
+    fn quantized_values_on_grid() {
+        let q = quantize_rates(&sample_rates(), 3);
+        for &v in q.rates.layers()[0].rates.as_slice() {
+            let scaled = v * 7.0;
+            assert!((scaled - scaled.round()).abs() < 1e-5, "{v} not on grid");
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let original = sample_rates();
+        for bits in [1u32, 2, 3, 4, 8] {
+            let q = quantize_rates(&original, bits);
+            let bound = q.max_error() + 1e-6;
+            for (o, n) in original.layers()[0]
+                .rates
+                .as_slice()
+                .iter()
+                .zip(q.rates.layers()[0].rates.as_slice())
+            {
+                assert!((o - n).abs() <= bound, "bits={bits}: {o} vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_are_exact() {
+        let q = quantize_rates(&sample_rates(), 1);
+        let vals = q.rates.layers()[0].rates.as_slice();
+        assert_eq!(vals[0], 0.0);
+        assert_eq!(vals[5], 1.0);
+    }
+
+    #[test]
+    fn more_bits_never_worse() {
+        let original = sample_rates();
+        let err = |bits| {
+            let q = quantize_rates(&original, bits);
+            original.layers()[0]
+                .rates
+                .as_slice()
+                .iter()
+                .zip(q.rates.layers()[0].rates.as_slice())
+                .map(|(o, n)| (o - n).abs())
+                .fold(0.0f32, f32::max)
+        };
+        assert!(err(8) <= err(3));
+        assert!(err(3) <= err(1));
+    }
+
+    #[test]
+    fn memory_scales_with_bits() {
+        let original = sample_rates();
+        let q3 = quantize_rates(&original, 3);
+        let q8 = quantize_rates(&original, 8);
+        assert!(q3.memory_bytes() < q8.memory_bytes());
+        assert_eq!(q8.memory_bytes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=16")]
+    fn zero_bits_panics() {
+        quantize_rates(&sample_rates(), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Class-selectivity analysis of firing-rate profiles.
+//!
+//! The paper prunes only the *last* layers because "earlier layers are
+//! typically not class-specific and extract more general features"
+//! (footnote 3). This module quantifies that claim on a profiled network:
+//! per-unit selectivity indices and per-layer summaries that the
+//! `analysis_selectivity` binary turns into evidence for the `l_start`
+//! choice.
+
+use crate::firing::{FiringRates, LayerRates};
+use serde::{Deserialize, Serialize};
+
+/// Per-unit selectivity measures derived from one row of a firing-rate
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitSelectivity {
+    /// `(max − mean) / (max + mean)` over classes; 0 = uniform, → 1 =
+    /// responds to a single class. 0 for silent units.
+    pub index: f32,
+    /// Shannon entropy (bits) of the normalized rate profile; log2(C) =
+    /// uniform, 0 = single class.
+    pub entropy_bits: f32,
+    /// Highest per-class rate.
+    pub max_rate: f32,
+    /// Mean rate over classes.
+    pub mean_rate: f32,
+}
+
+/// Computes the selectivity of unit `n` in a layer's rate matrix.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range.
+pub fn unit_selectivity(rates: &LayerRates, n: usize) -> UnitSelectivity {
+    let c = rates.classes();
+    let row: Vec<f32> = (0..c).map(|k| rates.rate(n, k)).collect();
+    let max = row.iter().cloned().fold(0.0f32, f32::max);
+    let sum: f32 = row.iter().sum();
+    let mean = sum / c.max(1) as f32;
+    let index = if max + mean > 0.0 {
+        (max - mean) / (max + mean)
+    } else {
+        0.0
+    };
+    let entropy_bits = if sum > 0.0 {
+        row.iter()
+            .filter(|&&r| r > 0.0)
+            .map(|&r| {
+                let p = r / sum;
+                -p * p.log2()
+            })
+            .sum()
+    } else {
+        0.0
+    };
+    UnitSelectivity {
+        index,
+        entropy_bits,
+        max_rate: max,
+        mean_rate: mean,
+    }
+}
+
+/// Per-layer selectivity summary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerSelectivity {
+    /// Layer index in the network.
+    pub layer: usize,
+    /// Number of units summarized.
+    pub units: usize,
+    /// Mean selectivity index over units.
+    pub mean_index: f32,
+    /// Mean profile entropy (bits) over units.
+    pub mean_entropy_bits: f32,
+    /// Fraction of units that are almost silent (max rate < 0.05) — the
+    /// "ineffectual for everything" pool class-unaware pruning also finds.
+    pub silent_fraction: f32,
+}
+
+/// Summarizes every profiled layer.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_profile::{layer_selectivity, FiringRates, LayerRates};
+/// use capnn_tensor::Tensor;
+///
+/// let lr = LayerRates {
+///     layer: 0,
+///     rates: Tensor::from_vec(vec![0.9, 0.0, 0.45, 0.45], &[2, 2]).unwrap(),
+/// };
+/// let summary = layer_selectivity(&FiringRates::from_layers(vec![lr], 2));
+/// assert_eq!(summary.len(), 1);
+/// assert!(summary[0].mean_index > 0.0);
+/// ```
+pub fn layer_selectivity(rates: &FiringRates) -> Vec<LayerSelectivity> {
+    rates
+        .layers()
+        .iter()
+        .map(|lr| {
+            let units = lr.units();
+            let mut sum_index = 0.0f32;
+            let mut sum_entropy = 0.0f32;
+            let mut silent = 0usize;
+            for n in 0..units {
+                let s = unit_selectivity(lr, n);
+                sum_index += s.index;
+                sum_entropy += s.entropy_bits;
+                if s.max_rate < 0.05 {
+                    silent += 1;
+                }
+            }
+            let denom = units.max(1) as f32;
+            LayerSelectivity {
+                layer: lr.layer,
+                units,
+                mean_index: sum_index / denom,
+                mean_entropy_bits: sum_entropy / denom,
+                silent_fraction: silent as f32 / denom,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capnn_tensor::Tensor;
+
+    fn layer(rates: Vec<f32>, units: usize, classes: usize) -> LayerRates {
+        LayerRates {
+            layer: 0,
+            rates: Tensor::from_vec(rates, &[units, classes]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn one_hot_unit_is_maximally_selective() {
+        let lr = layer(vec![0.9, 0.0, 0.0, 0.0], 1, 4);
+        let s = unit_selectivity(&lr, 0);
+        assert!(s.index > 0.5, "index {}", s.index);
+        assert!(s.entropy_bits < 1e-6);
+        assert_eq!(s.max_rate, 0.9);
+    }
+
+    #[test]
+    fn uniform_unit_has_zero_index_max_entropy() {
+        let lr = layer(vec![0.5; 4], 1, 4);
+        let s = unit_selectivity(&lr, 0);
+        assert!(s.index.abs() < 1e-6);
+        assert!((s.entropy_bits - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn silent_unit_is_neutral() {
+        let lr = layer(vec![0.0; 3], 1, 3);
+        let s = unit_selectivity(&lr, 0);
+        assert_eq!(s.index, 0.0);
+        assert_eq!(s.entropy_bits, 0.0);
+        assert_eq!(s.max_rate, 0.0);
+    }
+
+    #[test]
+    fn layer_summary_aggregates() {
+        let lr = layer(
+            vec![
+                0.9, 0.0, // selective
+                0.4, 0.4, // uniform
+                0.0, 0.0, // silent
+            ],
+            3,
+            2,
+        );
+        let summary = layer_selectivity(&FiringRates::from_layers(vec![lr], 2));
+        assert_eq!(summary.len(), 1);
+        let s = &summary[0];
+        assert_eq!(s.units, 3);
+        assert!((s.silent_fraction - 1.0 / 3.0).abs() < 1e-6);
+        assert!(s.mean_index > 0.0);
+        assert!(s.mean_entropy_bits < 1.0);
+    }
+
+    #[test]
+    fn selectivity_index_is_bounded() {
+        for row in [vec![1.0, 0.0], vec![0.3, 0.7], vec![0.01, 0.02]] {
+            let lr = layer(row, 1, 2);
+            let s = unit_selectivity(&lr, 0);
+            assert!((0.0..=1.0).contains(&s.index), "index {}", s.index);
+        }
+    }
+}

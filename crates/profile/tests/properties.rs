@@ -1,0 +1,100 @@
+//! Property tests for the profiling crate: firing rates, confusion matrices
+//! and quantization must behave for arbitrary (small) trained networks and
+//! datasets.
+
+use capnn_data::{Dataset, VectorClusters, VectorClustersConfig};
+use capnn_nn::NetworkBuilder;
+use capnn_profile::{quantize_rates, ConfusionMatrix, FiringRateProfiler};
+use capnn_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+fn random_dataset(classes: usize, per_class: usize, dim: usize, seed: u64) -> Dataset {
+    let gen = VectorClusters::new(VectorClustersConfig {
+        classes,
+        dim,
+        separation: 2.5,
+        noise: 0.6,
+        seed,
+    })
+    .expect("gen");
+    gen.generate(per_class, seed ^ 0x99)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn firing_rates_are_probabilities(
+        classes in 2usize..5, per_class in 2usize..6, seed in any::<u64>()
+    ) {
+        let ds = random_dataset(classes, per_class, 5, seed);
+        let net = NetworkBuilder::mlp(&[5, 10, 8, classes], seed ^ 1)
+            .build()
+            .expect("builds");
+        let rates = FiringRateProfiler::new(3).profile(&net, &ds).expect("profile");
+        prop_assert_eq!(rates.num_classes(), classes);
+        for lr in rates.layers() {
+            for &r in lr.rates.as_slice() {
+                prop_assert!((0.0..=1.0).contains(&r), "rate {}", r);
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_rows_are_distributions(
+        classes in 2usize..5, per_class in 2usize..6, seed in any::<u64>()
+    ) {
+        let ds = random_dataset(classes, per_class, 5, seed);
+        let net = NetworkBuilder::mlp(&[5, 8, classes], seed ^ 2)
+            .build()
+            .expect("builds");
+        let cm = ConfusionMatrix::measure(&net, &ds).expect("measure");
+        for k in 0..classes {
+            let row_sum: f32 = (0..classes).map(|c| cm.fraction(k, c)).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-5, "row {} sums to {}", k, row_sum);
+            for c in 0..classes {
+                prop_assert!((0.0..=1.0).contains(&cm.fraction(k, c)));
+            }
+        }
+    }
+
+    #[test]
+    fn top_confusing_never_contains_self(
+        classes in 3usize..6, n in 1usize..5, seed in any::<u64>()
+    ) {
+        // random row-stochastic matrix
+        let mut rng = XorShiftRng::new(seed);
+        let mut m = vec![0.0f32; classes * classes];
+        for k in 0..classes {
+            let mut row: Vec<f32> = (0..classes).map(|_| rng.next_uniform() + 0.01).collect();
+            let s: f32 = row.iter().sum();
+            for r in &mut row {
+                *r /= s;
+            }
+            m[k * classes..(k + 1) * classes].copy_from_slice(&row);
+        }
+        let cm = ConfusionMatrix::from_fractions(
+            Tensor::from_vec(m, &[classes, classes]).expect("square"),
+        )
+        .expect("cm");
+        for k in 0..classes {
+            let top = cm.top_confusing(k, n);
+            prop_assert!(!top.contains(&k));
+            prop_assert!(top.len() == n.min(classes - 1));
+            // descending order of trigger fraction
+            for w in top.windows(2) {
+                prop_assert!(cm.fraction(k, w[0]) >= cm.fraction(k, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_idempotent(bits in 1u32..9, seed in any::<u64>()) {
+        let ds = random_dataset(3, 3, 4, seed);
+        let net = NetworkBuilder::mlp(&[4, 8, 3], seed ^ 3).build().expect("builds");
+        let rates = FiringRateProfiler::new(2).profile(&net, &ds).expect("profile");
+        let q1 = quantize_rates(&rates, bits);
+        let q2 = quantize_rates(&q1.rates, bits);
+        prop_assert_eq!(q1.rates, q2.rates, "quantizing twice must be a no-op");
+    }
+}

@@ -1,0 +1,333 @@
+//! 2-D convolution via im2col + matmul, with a reference direct kernel.
+//!
+//! Activations are laid out `[channels, height, width]` (CHW); weights are
+//! `[out_channels, in_channels, kh, kw]`.
+
+use crate::error::TensorError;
+use crate::{matmul, ShapeError, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a 2-D convolution.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 8, 3, 1, 1);
+/// assert_eq!(spec.output_hw(32, 32), (32, 32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride along both spatial axes.
+    pub stride: usize,
+    /// Zero padding along both spatial axes.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec for a square-kernel convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Spatial output size for an input of `h`×`w`.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Number of weight parameters (excluding biases).
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Multiply–accumulate operations for one input of `h`×`w`.
+    pub fn mac_count(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.output_hw(h, w);
+        (self.out_channels * oh * ow) as u64
+            * (self.in_channels * self.kernel * self.kernel) as u64
+    }
+}
+
+/// Unfolds a CHW input into the im2col matrix of shape
+/// `[in_c * k * k, oh * ow]`.
+fn im2col(input: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    let cols = oh * ow;
+    let rows = spec.in_channels * k * k;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for c in 0..spec.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let base = row * cols;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = (c * h + iy as usize) * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        ov[base + oy * ow + ox] = iv[in_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn check_conv_inputs(
+    input: &Tensor,
+    weights: &Tensor,
+    spec: &Conv2dSpec,
+) -> Result<(usize, usize), TensorError> {
+    if input.shape().rank() != 3 || input.dims()[0] != spec.in_channels {
+        return Err(ShapeError::new(format!(
+            "conv2d input must be [{}, h, w], got {}",
+            spec.in_channels,
+            input.shape()
+        ))
+        .into());
+    }
+    let expected_w = [
+        spec.out_channels,
+        spec.in_channels,
+        spec.kernel,
+        spec.kernel,
+    ];
+    if weights.dims() != expected_w {
+        return Err(ShapeError::new(format!(
+            "conv2d weights must be [{}x{}x{}x{}], got {}",
+            expected_w[0],
+            expected_w[1],
+            expected_w[2],
+            expected_w[3],
+            weights.shape()
+        ))
+        .into());
+    }
+    Ok((input.dims()[1], input.dims()[2]))
+}
+
+/// 2-D convolution via im2col + matmul. Input is CHW; output is
+/// `[out_channels, oh, ow]`. `bias` must have `out_channels` elements if
+/// provided.
+///
+/// # Errors
+///
+/// Returns a shape error if input/weight/bias dimensions are inconsistent.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let (h, w) = check_conv_inputs(input, weights, spec)?;
+    if let Some(b) = bias {
+        if b.len() != spec.out_channels {
+            return Err(ShapeError::new(format!(
+                "conv2d bias must have {} elements, got {}",
+                spec.out_channels,
+                b.len()
+            ))
+            .into());
+        }
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let cols = im2col(input, spec, h, w);
+    let wmat = weights.reshape(&[
+        spec.out_channels,
+        spec.in_channels * spec.kernel * spec.kernel,
+    ])?;
+    let mut out = matmul(&wmat, &cols)?;
+    if let Some(b) = bias {
+        let ov = out.as_mut_slice();
+        let plane = oh * ow;
+        for (c, &bc) in b.as_slice().iter().enumerate() {
+            for v in &mut ov[c * plane..(c + 1) * plane] {
+                *v += bc;
+            }
+        }
+    }
+    out.reshape_in_place(&[spec.out_channels, oh, ow])?;
+    Ok(out)
+}
+
+/// Reference direct convolution; used to cross-check the im2col path in
+/// tests. Same contract as [`conv2d_im2col`].
+///
+/// # Errors
+///
+/// Returns a shape error if input/weight dimensions are inconsistent.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let (h, w) = check_conv_inputs(input, weights, spec)?;
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(&[spec.out_channels, oh, ow]);
+    let iv = input.as_slice();
+    let wv = weights.as_slice();
+    let ov = out.as_mut_slice();
+    let k = spec.kernel;
+    for oc in 0..spec.out_channels {
+        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = bias_v;
+                for ic in 0..spec.in_channels {
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let wi = ((oc * spec.in_channels + ic) * k + ky) * k + kx;
+                            let ii = (ic * h + iy as usize) * w + ix as usize;
+                            acc += wv[wi] * iv[ii];
+                        }
+                    }
+                }
+                ov[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XorShiftRng;
+
+    #[test]
+    fn output_hw_padding_stride() {
+        let s = Conv2dSpec::new(1, 1, 3, 1, 1);
+        assert_eq!(s.output_hw(8, 8), (8, 8));
+        let s2 = Conv2dSpec::new(1, 1, 3, 2, 0);
+        assert_eq!(s2.output_hw(7, 7), (3, 3));
+    }
+
+    #[test]
+    fn counts() {
+        let s = Conv2dSpec::new(3, 8, 3, 1, 1);
+        assert_eq!(s.weight_count(), 8 * 3 * 9);
+        assert_eq!(s.mac_count(4, 4), (8 * 16) as u64 * (3 * 9) as u64);
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let spec = Conv2dSpec::new(1, 1, 1, 1, 0);
+        let input = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 3, 3]).unwrap();
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let out = conv2d_im2col(&input, &w, None, &spec).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // all-ones 3x3 kernel over an all-ones 3x3 input, no padding → 9
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 0);
+        let input = Tensor::ones(&[1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let out = conv2d_im2col(&input, &w, None, &spec).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 1]);
+        assert_eq!(out.as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let spec = Conv2dSpec::new(1, 2, 1, 1, 0);
+        let input = Tensor::ones(&[1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
+        let out = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+        assert_eq!(out.as_slice(), &[1.5, 1.5, 1.5, 1.5, -2.0, -2.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    fn im2col_matches_direct_reference() {
+        let mut rng = XorShiftRng::new(42);
+        for &(c_in, c_out, k, s, p, h) in &[
+            (1usize, 2usize, 3usize, 1usize, 1usize, 6usize),
+            (3, 4, 3, 1, 1, 8),
+            (2, 2, 2, 2, 0, 6),
+            (3, 5, 3, 2, 1, 7),
+            (4, 1, 1, 1, 0, 5),
+        ] {
+            let spec = Conv2dSpec::new(c_in, c_out, k, s, p);
+            let input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+            let w = Tensor::uniform(&[c_out, c_in, k, k], -1.0, 1.0, &mut rng);
+            let bias = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+            let a = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+            let b = conv2d(&input, &w, Some(&bias), &spec).unwrap();
+            assert_eq!(a.dims(), b.dims());
+            for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_shapes() {
+        let spec = Conv2dSpec::new(3, 4, 3, 1, 1);
+        let input = Tensor::zeros(&[2, 8, 8]); // wrong channel count
+        let w = Tensor::zeros(&[4, 3, 3, 3]);
+        assert!(conv2d_im2col(&input, &w, None, &spec).is_err());
+
+        let good_input = Tensor::zeros(&[3, 8, 8]);
+        let bad_w = Tensor::zeros(&[4, 3, 2, 3]);
+        assert!(conv2d_im2col(&good_input, &bad_w, None, &spec).is_err());
+
+        let good_w = Tensor::zeros(&[4, 3, 3, 3]);
+        let bad_bias = Tensor::zeros(&[3]);
+        assert!(conv2d_im2col(&good_input, &good_w, Some(&bad_bias), &spec).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be positive")]
+    fn zero_kernel_panics() {
+        Conv2dSpec::new(1, 1, 0, 1, 0);
+    }
+}

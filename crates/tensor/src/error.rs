@@ -1,0 +1,130 @@
+//! Error types for tensor construction and shape-checked operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when two shapes are incompatible for an operation.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::Tensor;
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 5]);
+/// assert!(a.matmul(&b).is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the mismatch.
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The description of the mismatch.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch: {}", self.message)
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Top-level error type for all fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Shapes of the operands are incompatible.
+    Shape(ShapeError),
+    /// The provided buffer length does not match the product of dimensions.
+    LengthMismatch {
+        /// Length of the provided element buffer.
+        expected: usize,
+        /// Number of elements implied by the shape.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat or axis index.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => e.fmt(f),
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension of size {bound}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TensorError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for TensorError {
+    fn from(e: ShapeError) -> Self {
+        TensorError::Shape(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_error_displays_message() {
+        let e = ShapeError::new("2x3 vs 4x5");
+        assert_eq!(e.to_string(), "shape mismatch: 2x3 vs 4x5");
+        assert_eq!(e.message(), "2x3 vs 4x5");
+    }
+
+    #[test]
+    fn tensor_error_from_shape_error() {
+        let e: TensorError = ShapeError::new("bad").into();
+        assert!(matches!(e, TensorError::Shape(_)));
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn length_mismatch_display() {
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(e.to_string().contains('5'));
+        assert!(e.to_string().contains('6'));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,35 @@
+//! Minimal dense `f32` tensor math for the CAP'NN reproduction.
+//!
+//! This crate deliberately implements only what the neural-network substrate
+//! ([`capnn-nn`](https://crates.io/crates/capnn-nn)) needs: contiguous
+//! row-major tensors, matrix multiplication, im2col convolution, max pooling
+//! and a handful of elementwise/reduction helpers. Keeping the math in-repo
+//! (instead of binding to a BLAS or a deep-learning framework) makes every
+//! experiment deterministic and dependency-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b).unwrap();
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! ```
+
+mod conv;
+mod error;
+mod ops;
+mod pool;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{conv2d, conv2d_im2col, Conv2dSpec};
+pub use error::{ShapeError, TensorError};
+pub use ops::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use pool::{max_pool2d, PoolSpec};
+pub use rng::XorShiftRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,206 @@
+//! Dense matrix multiplication kernels.
+//!
+//! A straightforward i-k-j loop order with a transposed-B fast path keeps the
+//! kernels cache-friendly without unsafe code; the networks in this
+//! reproduction are small enough that this is the right complexity budget.
+
+use crate::error::TensorError;
+use crate::ShapeError;
+use crate::Tensor;
+
+fn check_rank2(t: &Tensor, name: &str) -> Result<(usize, usize), TensorError> {
+    if t.shape().rank() != 2 {
+        return Err(ShapeError::new(format!(
+            "{name} must be rank 2, got {}",
+            t.shape()
+        ))
+        .into());
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Computes `a (m×k) * b (k×n)` into an `m×n` tensor.
+///
+/// # Errors
+///
+/// Returns a shape error if either operand is not rank 2 or the inner
+/// dimensions differ.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+/// let b = Tensor::from_vec(vec![3.0, 4.0], &[2, 1]).unwrap();
+/// assert_eq!(matmul(&a, &b).unwrap().as_slice(), &[11.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = check_rank2(a, "lhs")?;
+    let (kb, n) = check_rank2(b, "rhs")?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul inner dims {ka} vs {kb} ({} * {})",
+            a.shape(),
+            b.shape()
+        ))
+        .into());
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        let orow = &mut ov[i * n..(i + 1) * n];
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bv[k * n..(k + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `aᵀ (k×m)ᵀ * b (k×n)`, i.e. `a` is stored transposed.
+///
+/// # Errors
+///
+/// Returns a shape error on rank/dimension mismatch.
+pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ka, m) = check_rank2(a, "lhs")?;
+    let (kb, n) = check_rank2(b, "rhs")?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul_transpose_a inner dims {ka} vs {kb}"
+        ))
+        .into());
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for k in 0..ka {
+        let arow = &av[k * m..(k + 1) * m];
+        let brow = &bv[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let orow = &mut ov[i * n..(i + 1) * n];
+            for (o, &bkj) in orow.iter_mut().zip(brow) {
+                *o += aki * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `a (m×k) * bᵀ (n×k)ᵀ`, i.e. `b` is stored transposed.
+///
+/// This is the fast path for dense-layer forward passes where weights are
+/// stored `[out, in]`.
+///
+/// # Errors
+///
+/// Returns a shape error on rank/dimension mismatch.
+pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = check_rank2(a, "lhs")?;
+    let (n, kb) = check_rank2(b, "rhs")?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul_transpose_b inner dims {ka} vs {kb}"
+        ))
+        .into());
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = &av[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bv[j * kb..(j + 1) * kb];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            ov[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XorShiftRng;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = XorShiftRng::new(1);
+        let a = Tensor::uniform(&[4, 4], -1.0, 1.0, &mut rng);
+        let c = matmul(&a, &Tensor::eye(4)).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+        assert!(matmul(&Tensor::zeros(&[3]), &a).is_err());
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_plain() {
+        let mut rng = XorShiftRng::new(2);
+        let a = Tensor::uniform(&[3, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let plain = matmul(&a, &b).unwrap();
+
+        let at = a.transpose().unwrap();
+        let via_ta = matmul_transpose_a(&at, &b).unwrap();
+        let bt = b.transpose().unwrap();
+        let via_tb = matmul_transpose_b(&a, &bt).unwrap();
+
+        for ((&x, &y), &z) in plain
+            .as_slice()
+            .iter()
+            .zip(via_ta.as_slice())
+            .zip(via_tb.as_slice())
+        {
+            assert!((x - y).abs() < 1e-5);
+            assert!((x - z).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_variants_reject_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 5]);
+        assert!(matmul_transpose_a(&a, &b).is_err());
+        assert!(matmul_transpose_b(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_with_zero_dim() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

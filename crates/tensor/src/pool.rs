@@ -1,0 +1,157 @@
+//! 2-D max pooling over CHW activations, with argmax indices for backprop.
+
+use crate::error::TensorError;
+use crate::{ShapeError, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a square max-pool window.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::PoolSpec;
+///
+/// let spec = PoolSpec::new(2, 2);
+/// assert_eq!(spec.output_hw(32, 32), (16, 16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Window side length.
+    pub window: usize,
+    /// Stride along both axes.
+    pub stride: usize,
+}
+
+impl PoolSpec {
+    /// Creates a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self { window, stride }
+    }
+
+    /// Spatial output size for an `h`×`w` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = h.saturating_sub(self.window) / self.stride + 1;
+        let ow = w.saturating_sub(self.window) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+/// Max pooling over a CHW tensor. Returns the pooled tensor and, for each
+/// output element, the flat input index that won the max (for backprop).
+///
+/// # Errors
+///
+/// Returns a shape error if the input is not rank 3 or smaller than the
+/// window.
+pub fn max_pool2d(input: &Tensor, spec: &PoolSpec) -> Result<(Tensor, Vec<usize>), TensorError> {
+    if input.shape().rank() != 3 {
+        return Err(ShapeError::new(format!(
+            "max_pool2d input must be CHW, got {}",
+            input.shape()
+        ))
+        .into());
+    }
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    if h < spec.window || w < spec.window {
+        return Err(ShapeError::new(format!(
+            "max_pool2d window {} larger than input {h}x{w}",
+            spec.window
+        ))
+        .into());
+    }
+    let (oh, ow) = spec.output_hw(h, w);
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let mut argmax = vec![0usize; c * oh * ow];
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0;
+                for ky in 0..spec.window {
+                    let iy = oy * spec.stride + ky;
+                    for kx in 0..spec.window {
+                        let ix = ox * spec.stride + kx;
+                        let idx = (ch * h + iy) * w + ix;
+                        if iv[idx] > best {
+                            best = iv[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = (ch * oh + oy) * ow + ox;
+                ov[o] = best;
+                argmax[o] = best_idx;
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_2x2_known() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 4, 4],
+        )
+        .unwrap();
+        let (out, argmax) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn pool_multi_channel() {
+        let mut input = Tensor::zeros(&[2, 2, 2]);
+        input.set(&[0, 0, 0], 5.0).unwrap();
+        input.set(&[1, 1, 1], 7.0).unwrap();
+        let (out, argmax) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(out.as_slice(), &[5.0, 7.0]);
+        assert_eq!(argmax, vec![0, 7]);
+    }
+
+    #[test]
+    fn pool_negative_values() {
+        let input = Tensor::from_vec(vec![-3.0, -1.0, -2.0, -4.0], &[1, 2, 2]).unwrap();
+        let (out, argmax) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        assert_eq!(out.as_slice(), &[-1.0]);
+        assert_eq!(argmax, vec![1]);
+    }
+
+    #[test]
+    fn pool_rejects_bad_input() {
+        assert!(max_pool2d(&Tensor::zeros(&[4, 4]), &PoolSpec::new(2, 2)).is_err());
+        assert!(max_pool2d(&Tensor::zeros(&[1, 1, 1]), &PoolSpec::new(2, 2)).is_err());
+    }
+
+    #[test]
+    fn pool_stride_one_overlapping() {
+        let input = Tensor::from_vec((1..=9).map(|i| i as f32).collect(), &[1, 3, 3]).unwrap();
+        let (out, _) = max_pool2d(&input, &PoolSpec::new(2, 1)).unwrap();
+        assert_eq!(out.dims(), &[1, 2, 2]);
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        PoolSpec::new(0, 1);
+    }
+}

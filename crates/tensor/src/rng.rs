@@ -1,0 +1,215 @@
+//! A tiny, deterministic xorshift64* RNG.
+//!
+//! Every workload in the reproduction is seeded through this generator so
+//! experiments are bit-reproducible across runs and platforms, independent of
+//! the `rand` crate's version-to-version stream changes. (`rand` is still used
+//! at API boundaries where distributions are convenient.)
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic xorshift64* pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::XorShiftRng;
+///
+/// let mut a = XorShiftRng::new(7);
+/// let mut b = XorShiftRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XorShiftRng {
+    state: u64,
+    /// Cached second output of the Box–Muller transform.
+    spare_gaussian: Option<f32>,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self {
+            state,
+            spare_gaussian: None,
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_uniform(&mut self) -> f32 {
+        // Use the top 24 bits for a uniformly distributed mantissa.
+        ((self.next_u64() >> 40) as f32) / (1u64 << 24) as f32
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_below(0) is undefined");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Standard-normal `f32` via Box–Muller.
+    pub fn next_gaussian(&mut self) -> f32 {
+        if let Some(g) = self.spare_gaussian.take() {
+            return g;
+        }
+        // Avoid ln(0).
+        let u1 = (self.next_uniform()).max(1e-12);
+        let u2 = self.next_uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare_gaussian = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (a uniformly random
+    /// combination), in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_combination(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct items from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut pool);
+        let mut out = pool[..k].to_vec();
+        out.sort_unstable();
+        out
+    }
+
+    /// Derives an independent child generator (useful for parallel streams).
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.next_u64() ^ 0xA076_1D64_78BD_642F)
+    }
+}
+
+impl Default for XorShiftRng {
+    fn default() -> Self {
+        Self::new(0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = XorShiftRng::new(123);
+        let mut b = XorShiftRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShiftRng::new(1);
+        let mut b = XorShiftRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShiftRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut r = XorShiftRng::new(9);
+        for _ in 0..10_000 {
+            let x = r.next_uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut r = XorShiftRng::new(11);
+        let mean: f32 = (0..10_000).map(|_| r.next_uniform()).sum::<f32>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = XorShiftRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        XorShiftRng::new(1).next_below(0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = XorShiftRng::new(77);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.next_gaussian()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = XorShiftRng::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_combination_distinct_sorted() {
+        let mut r = XorShiftRng::new(4);
+        for _ in 0..100 {
+            let c = r.sample_combination(20, 5);
+            assert_eq!(c.len(), 5);
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            assert!(c.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_combination_full_set() {
+        let mut r = XorShiftRng::new(4);
+        assert_eq!(r.sample_combination(5, 5), vec![0, 1, 2, 3, 4]);
+        assert!(r.sample_combination(5, 0).is_empty());
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = XorShiftRng::new(99);
+        let mut child = a.fork();
+        assert_ne!(a.next_u64(), child.next_u64());
+    }
+}

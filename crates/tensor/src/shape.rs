@@ -1,0 +1,179 @@
+//! Shape type: an owned list of dimension sizes with volume/stride helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape (list of dimension sizes) of a [`Tensor`](crate::Tensor).
+///
+/// Shapes are stored row-major; the last axis is contiguous.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Self {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of all dimensions; 1 for rank 0).
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Size of axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for each axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// Returns `None` if `index` has the wrong rank or any coordinate is out
+    /// of bounds.
+    pub fn offset(&self, index: &[usize]) -> Option<usize> {
+        if index.len() != self.dims.len() {
+            return None;
+        }
+        let mut off = 0;
+        for (i, (&ix, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if ix >= d {
+                return None;
+            }
+            off = off * d + ix;
+            let _ = i;
+        }
+        Some(off)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self { dims }
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn empty_shape_is_scalar() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), Some(0));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[7]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_matches_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let strides = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let expected = i * strides[0] + j * strides[1] + k * strides[2];
+                    assert_eq!(s.offset(&[i, j, k]), Some(expected));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_rejects_bad_indices() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[2, 0]), None);
+        assert_eq!(s.offset(&[0, 3]), None);
+        assert_eq!(s.offset(&[0]), None);
+        assert_eq!(s.offset(&[0, 0, 0]), None);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::new(&[]).to_string(), "[]");
+    }
+
+    #[test]
+    fn zero_dim_volume_is_zero() {
+        assert_eq!(Shape::new(&[2, 0, 3]).volume(), 0);
+    }
+
+    #[test]
+    fn from_vec_and_slice() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = (&[1usize, 2][..]).into();
+        assert_eq!(a, b);
+    }
+}

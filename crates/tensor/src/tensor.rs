@@ -1,0 +1,526 @@
+//! The dense, contiguous, row-major `f32` tensor.
+
+use crate::error::TensorError;
+use crate::ops;
+use crate::rng::XorShiftRng;
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, contiguous, row-major tensor of `f32` values.
+///
+/// This is the single numeric container used throughout the CAP'NN
+/// reproduction: network weights, activations, firing-rate matrices and
+/// datasets are all `Tensor`s.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+/// assert_eq!(t.get(&[1, 2]), Some(6.0));
+/// assert_eq!(t.sum(), 21.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![0.0; shape.volume()];
+        Self { shape, data }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = vec![value; shape.volume()];
+        Self { shape, data }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.volume()).map(&mut f).collect();
+        Self { shape, data }
+    }
+
+    /// Creates a tensor with elements drawn uniformly from `[lo, hi)`.
+    pub fn uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut XorShiftRng) -> Self {
+        Self::from_fn(dims, |_| rng.next_uniform() * (hi - lo) + lo)
+    }
+
+    /// Creates a tensor with approximately standard-normal elements scaled by
+    /// `std` (Box–Muller on the in-repo RNG).
+    pub fn randn(dims: &[usize], std: f32, rng: &mut XorShiftRng) -> Self {
+        Self::from_fn(dims, |_| rng.next_gaussian() * std)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index, or `None` if out of bounds.
+    pub fn get(&self, index: &[usize]) -> Option<f32> {
+        self.shape.offset(index).map(|o| self.data[o])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        match self.shape.offset(index) {
+            Some(o) => {
+                self.data[o] = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds {
+                index: *index.last().unwrap_or(&0),
+                bound: *self.shape.dims().last().unwrap_or(&0),
+            }),
+        }
+    }
+
+    /// Returns a copy reshaped to `dims`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Self, TensorError> {
+        Self::from_vec(self.data.clone(), dims)
+    }
+
+    /// Reshapes in place (no reallocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape_in_place(&mut self, dims: &[usize]) -> Result<(), TensorError> {
+        let shape = Shape::new(dims);
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(())
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise binary operation against another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the shapes differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self, TensorError> {
+        if self.shape != other.shape {
+            return Err(crate::ShapeError::new(format!(
+                "elementwise op on {} vs {}",
+                self.shape, other.shape
+            ))
+            .into());
+        }
+        Ok(Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Elementwise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise multiplication (Hadamard product).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scales every element by `s`, returning a new tensor.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds `s * other` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the shapes differ.
+    pub fn axpy_in_place(&mut self, s: f32, other: &Self) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(crate::ShapeError::new(format!(
+                "axpy on {} vs {}",
+                self.shape, other.shape
+            ))
+            .into());
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element, or `None` for an empty tensor.
+    pub fn max(&self) -> Option<f32> {
+        self.data.iter().copied().fold(None, |acc, x| match acc {
+            None => Some(x),
+            Some(m) => Some(m.max(x)),
+        })
+    }
+
+    /// Index of the maximum element (ties resolve to the first), or `None`
+    /// for an empty tensor.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &x) in self.data.iter().enumerate() {
+            match best {
+                None => best = Some((i, x)),
+                Some((_, bx)) if x > bx => best = Some((i, x)),
+                _ => {}
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Indices of the `k` largest elements, in descending order of value.
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.data.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.data[b]
+                .partial_cmp(&self.data[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    /// Fraction of elements strictly greater than zero.
+    pub fn fraction_positive(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let n = self.data.iter().filter(|&&x| x > 0.0).count();
+        n as f32 / self.data.len() as f32
+    }
+
+    /// Matrix multiplication `self (m×k) * other (k×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if either operand is not rank 2 or the inner
+    /// dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        ops::matmul(self, other)
+    }
+
+    /// Returns the transposed copy of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the tensor is not rank 2.
+    pub fn transpose(&self) -> Result<Self, TensorError> {
+        if self.shape.rank() != 2 {
+            return Err(
+                crate::ShapeError::new(format!("transpose of rank-{} tensor", self.shape.rank()))
+                    .into(),
+            );
+        }
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = Self::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Extracts row `r` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `r` is out of bounds.
+    pub fn row(&self, r: usize) -> Self {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let n = self.shape.dim(1);
+        let data = self.data[r * n..(r + 1) * n].to_vec();
+        Self {
+            shape: Shape::new(&[n]),
+            data,
+        }
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn norm_sq(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} n={}", self.shape, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[2, 2]).sum(), 0.0);
+        assert_eq!(Tensor::ones(&[2, 2]).sum(), 4.0);
+        assert_eq!(Tensor::full(&[3], 2.5).sum(), 7.5);
+    }
+
+    #[test]
+    fn eye_diagonal() {
+        let t = Tensor::eye(3);
+        assert_eq!(t.get(&[0, 0]), Some(1.0));
+        assert_eq!(t.get(&[1, 2]), Some(0.0));
+        assert_eq!(t.sum(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 9.0).unwrap();
+        assert_eq!(t.get(&[1, 2]), Some(9.0));
+        assert_eq!(t.get(&[2, 0]), None);
+        assert!(t.set(&[0, 3], 1.0).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.map(|x| x.abs()).as_slice(), &[1.0, 2.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 2.0]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-2.0, -6.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, -8.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.add(&c).is_err());
+    }
+
+    #[test]
+    fn axpy_in_place_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let b = Tensor::full(&[3], 2.0);
+        a.axpy_in_place(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 2.0, 2.0]);
+        let c = Tensor::zeros(&[2]);
+        assert!(a.axpy_in_place(1.0, &c).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 3.0], &[3]).unwrap();
+        assert_eq!(t.mean(), 3.0);
+        assert_eq!(t.max(), Some(5.0));
+        assert_eq!(t.argmax(), Some(1));
+        assert_eq!(t.norm_sq(), 35.0);
+    }
+
+    #[test]
+    fn argmax_ties_take_first() {
+        let t = Tensor::from_vec(vec![2.0, 2.0, 1.0], &[3]).unwrap();
+        assert_eq!(t.argmax(), Some(0));
+    }
+
+    #[test]
+    fn top_k_descending() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 0.7], &[4]).unwrap();
+        assert_eq!(t.top_k(2), vec![1, 3]);
+        assert_eq!(t.top_k(10), vec![1, 3, 2, 0]);
+        assert!(t.top_k(0).is_empty());
+    }
+
+    #[test]
+    fn fraction_positive_counts_strictly_positive() {
+        let t = Tensor::from_vec(vec![1.0, 0.0, -1.0, 2.0], &[4]).unwrap();
+        assert_eq!(t.fraction_positive(), 0.5);
+        assert_eq!(Tensor::zeros(&[0]).fraction_positive(), 0.0);
+    }
+
+    #[test]
+    fn transpose_rank2() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]), Some(6.0));
+        assert!(Tensor::zeros(&[2, 2, 2]).transpose().is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.row(1).as_slice(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn random_fills_in_range() {
+        let mut rng = XorShiftRng::new(42);
+        let t = Tensor::uniform(&[100], -1.0, 1.0, &mut rng);
+        assert!(t.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let g = Tensor::randn(&[1000], 1.0, &mut rng);
+        // loose sanity check on the Gaussian: mean near 0, std near 1
+        assert!(g.mean().abs() < 0.2);
+        assert!((g.norm_sq() / 1000.0 - 1.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn empty_tensor_edge_cases() {
+        let t = Tensor::zeros(&[0]);
+        assert!(t.is_empty());
+        assert_eq!(t.max(), None);
+        assert_eq!(t.argmax(), None);
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let t = Tensor::zeros(&[2, 2]);
+        assert!(t.to_string().contains("[2x2]"));
+    }
+}

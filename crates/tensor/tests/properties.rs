@@ -1,0 +1,115 @@
+//! Property-based tests for the tensor crate's core invariants.
+
+use capnn_tensor::{
+    conv2d, conv2d_im2col, matmul, max_pool2d, Conv2dSpec, PoolSpec, Tensor, XorShiftRng,
+};
+use proptest::prelude::*;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    1usize..6
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_left_and_right(m in small_dim(), n in small_dim(), seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::uniform(&[m, n], -2.0, 2.0, &mut rng);
+        let left = matmul(&Tensor::eye(m), &a).unwrap();
+        let right = matmul(&a, &Tensor::eye(n)).unwrap();
+        for (&x, &y) in a.as_slice().iter().zip(left.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+        for (&x, &y) in a.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in small_dim(), k in small_dim(), n in small_dim(), seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let c = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let rhs = matmul(&a, &b).unwrap().add(&matmul(&a, &c).unwrap()).unwrap();
+        for (&x, &y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in small_dim(), n in small_dim(), seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::uniform(&[m, n], -1.0, 1.0, &mut rng);
+        let back = a.transpose().unwrap().transpose().unwrap();
+        prop_assert_eq!(a.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn im2col_conv_matches_direct(
+        c_in in 1usize..4, c_out in 1usize..4, h in 4usize..9, seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, c_out, 3, 1, 1);
+        let input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut rng);
+        let a = conv2d_im2col(&input, &w, None, &spec).unwrap();
+        let b = conv2d(&input, &w, None, &spec).unwrap();
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(c_in in 1usize..3, h in 4usize..8, seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, 2, 3, 1, 1);
+        let x = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let y = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[2, c_in, 3, 3], -1.0, 1.0, &mut rng);
+        let sum = conv2d_im2col(&x.add(&y).unwrap(), &w, None, &spec).unwrap();
+        let separate = conv2d_im2col(&x, &w, None, &spec)
+            .unwrap()
+            .add(&conv2d_im2col(&y, &w, None, &spec).unwrap())
+            .unwrap();
+        for (&a, &b) in sum.as_slice().iter().zip(separate.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn max_pool_output_bounded_by_input(c in 1usize..4, h in 2usize..8, seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let input = Tensor::uniform(&[c, h, h], -5.0, 5.0, &mut rng);
+        let (out, argmax) = max_pool2d(&input, &PoolSpec::new(2, 2)).unwrap();
+        let max_in = input.max().unwrap();
+        for (&o, &idx) in out.as_slice().iter().zip(&argmax) {
+            prop_assert!(o <= max_in);
+            // the argmax index really holds the reported value
+            prop_assert_eq!(o, input.as_slice()[idx]);
+        }
+    }
+
+    #[test]
+    fn top_k_returns_sorted_by_value(n in 1usize..30, seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let t = Tensor::uniform(&[n], -1.0, 1.0, &mut rng);
+        let k = (n / 2).max(1);
+        let top = t.top_k(k);
+        prop_assert_eq!(top.len(), k);
+        for w in top.windows(2) {
+            prop_assert!(t.as_slice()[w[0]] >= t.as_slice()[w[1]]);
+        }
+        // every non-selected element is <= the smallest selected one
+        let min_sel = t.as_slice()[*top.last().unwrap()];
+        for (i, &v) in t.as_slice().iter().enumerate() {
+            if !top.contains(&i) {
+                prop_assert!(v <= min_sel);
+            }
+        }
+    }
+}

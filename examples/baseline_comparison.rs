@@ -1,0 +1,135 @@
+//! Side-by-side comparison of every pruning/compression method in the
+//! repository on one trained network: the three class-unaware baselines
+//! (magnitude, activation-channel, ThiNet-style), low-rank factorization,
+//! the CAPTOR-style class-adaptive baseline, and CAP'NN-B/W/M — reporting
+//! remaining parameters and accuracy over a 2-class user's classes.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use capnn_repro::baselines::{
+    low_rank_compress, magnitude_prune, nonzero_weights, CaptorPruner, ChannelMethod,
+    StructuredPruner,
+};
+use capnn_repro::core::{
+    CapnnB, CapnnM, CapnnW, PruningConfig, TailEvaluator, UserProfile,
+};
+use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_repro::nn::{
+    evaluate_accuracy, model_size, NetworkBuilder, Trainer, TrainerConfig, VggConfig,
+};
+use capnn_repro::profile::{ConfusionMatrix, FiringRateProfiler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(8))?;
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(8), 42).build()?;
+    println!("training an 8-class CNN…");
+    let cfg = TrainerConfig {
+        epochs: 8,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1).fit(&mut net, images.generate(24, 1).samples())?;
+    let original_params = net.param_count();
+
+    // cloud-style preprocessing shared by the class-aware methods
+    let mut prune_cfg = PruningConfig::paper();
+    prune_cfg.tail_layers = 4;
+    let profiling = images.generate(16, 2);
+    let eval_ds = images.generate(8, 3);
+    let rates = FiringRateProfiler::new(prune_cfg.tail_layers).profile(&net, &profiling)?;
+    let confusion = ConfusionMatrix::measure(&net, &profiling)?;
+    let eval = TailEvaluator::new(&net, &eval_ds, prune_cfg.tail_layers)?;
+    let user = UserProfile::new(vec![1, 5], vec![0.8, 0.2])?;
+    let user_eval = eval_ds.restrict_to(user.classes());
+
+    println!(
+        "\nuser = {user}; original model: {original_params} params, user accuracy {:.1}%\n",
+        100.0 * evaluate_accuracy(&net, user_eval.samples())?
+    );
+    println!("{:<28} {:>10} {:>8} {:>10}", "method", "params", "rel.", "user top-1");
+    println!("{}", "-".repeat(60));
+    let report = |name: &str, params: usize, acc: f32| {
+        println!(
+            "{:<28} {:>10} {:>7.0}% {:>9.1}%",
+            name,
+            params,
+            100.0 * params as f64 / original_params as f64,
+            acc * 100.0
+        );
+    };
+
+    // class-unaware baselines -------------------------------------------
+    let mut magnitude_net = net.clone();
+    magnitude_prune(&mut magnitude_net, 0.5)?;
+    report(
+        "magnitude (50%, unstruct.)",
+        nonzero_weights(&magnitude_net),
+        evaluate_accuracy(&magnitude_net, user_eval.samples())?,
+    );
+
+    for (name, method) in [
+        ("activation-channel (20%)", ChannelMethod::Activation),
+        ("thinet-style (20%)", ChannelMethod::Reconstruction),
+    ] {
+        let pruner = StructuredPruner::new(method, 0.2)?;
+        let pruned = pruner.prune_and_finetune(
+            &net,
+            &images.generate(4, 9),
+            &images.generate(16, 10),
+            2,
+            7,
+        )?;
+        report(
+            name,
+            pruned.param_count(),
+            evaluate_accuracy(&pruned, user_eval.samples())?,
+        );
+    }
+
+    let (factorized, layers) = low_rank_compress(&net, 0.4)?;
+    report(
+        &format!("low-rank SVD ({layers} layers)"),
+        factorized.param_count(),
+        evaluate_accuracy(&factorized, user_eval.samples())?,
+    );
+
+    // class-aware methods -------------------------------------------------
+    let captor = CaptorPruner::new(prune_cfg)?;
+    let mask = captor.prune(&net, &rates, &eval, user.classes())?;
+    report(
+        "CAPTOR-style (user classes)",
+        model_size(&net, &mask)?.total(),
+        eval.topk_accuracy(&mask, 1, Some(user.classes()))?,
+    );
+
+    let b = CapnnB::new(prune_cfg)?;
+    let matrices = b.offline(&net, &rates, &eval)?;
+    let mask = CapnnB::online(&net, &matrices, user.classes())?;
+    report(
+        "CAP'NN-B",
+        model_size(&net, &mask)?.total(),
+        eval.topk_accuracy(&mask, 1, Some(user.classes()))?,
+    );
+
+    let mask = CapnnW::new(prune_cfg)?.prune(&net, &rates, &eval, &user)?;
+    report(
+        "CAP'NN-W",
+        model_size(&net, &mask)?.total(),
+        eval.topk_accuracy(&mask, 1, Some(user.classes()))?,
+    );
+
+    let mask = CapnnM::new(prune_cfg)?.prune(&net, &rates, &confusion, &eval, &user)?;
+    report(
+        "CAP'NN-M",
+        model_size(&net, &mask)?.total(),
+        eval.topk_accuracy(&mask, 1, Some(user.classes()))?,
+    );
+
+    println!(
+        "\nclass-aware methods exploit what the user WON'T see; class-unaware\n\
+         ones must preserve all {} classes and plateau much earlier.",
+        net.num_classes()
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Energy exploration on the TPU-like accelerator model: how the paper's
+//! Table I energy numbers decompose per component, and how CAP'NN-M pruning
+//! shifts the breakdown as the user's class count shrinks.
+//!
+//! ```sh
+//! cargo run --release --example energy_explore
+//! ```
+
+use capnn_repro::accel::{
+    network_energy, network_workload, AcceleratorConfig, EnergyModel, SystolicModel,
+};
+use capnn_repro::core::{CloudServer, PruningConfig, UserProfile, Variant};
+use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_repro::nn::{NetworkBuilder, PruneMask, Trainer, TrainerConfig, VggConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(10))?;
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(10), 42).build()?;
+    println!("training a 10-class CNN…");
+    let cfg = TrainerConfig {
+        epochs: 6,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1).fit(&mut net, images.generate(24, 1).samples())?;
+
+    let systolic = SystolicModel::new(AcceleratorConfig::tpu_like())?;
+    let model = EnergyModel::paper_table1();
+    let baseline_wl = network_workload(&net, &PruneMask::all_kept(&net))?;
+    let baseline = network_energy(&model, &systolic, &baseline_wl);
+    println!("\noriginal model, one inference:");
+    println!("  MACs: {}", baseline_wl.total().macs);
+    println!(
+        "  energy {:.2} µJ = MAC {:.2} + ReLU {:.2} + pool {:.2} + SRAM {:.2} + DRAM {:.2}",
+        baseline.total_pj() / 1e6,
+        baseline.mac_pj / 1e6,
+        baseline.relu_pj / 1e6,
+        baseline.pool_pj / 1e6,
+        baseline.sram_pj / 1e6,
+        baseline.dram_pj / 1e6,
+    );
+
+    let mut prune_cfg = PruningConfig::paper();
+    prune_cfg.tail_layers = 4;
+    let mut cloud = CloudServer::new(
+        net.clone(),
+        &images.generate(16, 2),
+        &images.generate(8, 3),
+        prune_cfg,
+    )?;
+
+    println!("\nCAP'NN-M energy vs user class count (head-heavy usage):");
+    for k in [2usize, 4, 6, 8] {
+        let classes: Vec<usize> = (0..k).collect();
+        let mut weights = vec![0.5f32];
+        weights.extend(std::iter::repeat_n(0.5 / (k - 1) as f32, k - 1));
+        let profile = UserProfile::new(classes, weights)?;
+        let personalized = cloud.personalize(&profile, Variant::Miseffectual)?;
+        let wl = network_workload(&net, &personalized.mask)?;
+        let e = network_energy(&model, &systolic, &wl);
+        println!(
+            "  K = {k}: relative energy {:.2} (size {:.2}, MACs {:.0}%)",
+            e.relative_to(&baseline),
+            personalized.relative_size,
+            100.0 * wl.total().macs as f64 / baseline_wl.total().macs as f64,
+        );
+    }
+    Ok(())
+}

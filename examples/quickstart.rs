@@ -1,0 +1,60 @@
+//! Quickstart: train a commodity model, stand up the cloud, personalize for
+//! one user with each CAP'NN variant, and compare the shipped models.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use capnn_repro::core::{CloudServer, PruningConfig, UserProfile, Variant};
+use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_repro::nn::{NetworkBuilder, Trainer, TrainerConfig, VggConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A trained "commodity" model — the stand-in for VGG-16/ImageNet.
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(10))?;
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(10), 42).build()?;
+    println!("the commodity model:\n{}", net.summary());
+    println!("training a 10-class CNN…");
+    let train_cfg = TrainerConfig {
+        epochs: 6,
+        ..TrainerConfig::default()
+    };
+    let report = Trainer::new(train_cfg, 1).fit(&mut net, images.generate(24, 1).samples())?;
+    println!("  final train accuracy: {:.1}%", report.final_accuracy() * 100.0);
+
+    // 2. Cloud-side offline preprocessing: firing rates + confusion matrix.
+    let mut config = PruningConfig::paper();
+    config.tail_layers = 4; // vgg_tiny has a shorter prunable tail
+    let mut cloud = CloudServer::new(
+        net,
+        &images.generate(16, 2),
+        &images.generate(8, 3),
+        config,
+    )?;
+
+    // 3. One user: mostly class 2, sometimes class 7.
+    let profile = UserProfile::new(vec![2, 7], vec![0.9, 0.1])?;
+    println!("\npersonalizing for {profile}:");
+    for variant in [Variant::Basic, Variant::Weighted, Variant::Miseffectual] {
+        let model = cloud.personalize(&profile, variant)?;
+        let acc = cloud
+            .evaluator()
+            .topk_accuracy(&model.mask, 1, Some(profile.classes()))?;
+        let base = cloud
+            .evaluator()
+            .topk_accuracy(
+                &capnn_repro::nn::PruneMask::all_kept(cloud.network()),
+                1,
+                Some(profile.classes()),
+            )?;
+        println!(
+            "  {variant}: {:>6} params ({:.0}% of original), user top-1 {:.1}% (unpruned {:.1}%)",
+            model.size.total(),
+            model.relative_size * 100.0,
+            acc * 100.0,
+            base * 100.0,
+        );
+    }
+    println!("\nε guarantee: every variant keeps per-class degradation ≤ {:.0}%", config.epsilon * 100.0);
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Fleet study: many simulated users with different class subsets and usage
+//! skews, each personalized from one cloud model. Reports the distribution
+//! of model sizes and per-user accuracy changes, then exercises the
+//! drift-detection loop ([`PersonalizationSession`]) for one user whose
+//! interests shift mid-stream.
+//!
+//! ```sh
+//! cargo run --release --example user_study
+//! ```
+
+use capnn_repro::core::{
+    CloudServer, DriftDecision, DriftPolicy, PersonalizationSession, PruningConfig, UserProfile,
+    Variant,
+};
+use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_repro::nn::{NetworkBuilder, Trainer, TrainerConfig, VggConfig};
+use capnn_repro::tensor::XorShiftRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let classes = 10usize;
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(classes))?;
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(classes), 42).build()?;
+    println!("training the shared cloud model…");
+    let cfg = TrainerConfig {
+        epochs: 6,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1).fit(&mut net, images.generate(24, 1).samples())?;
+
+    let mut prune_cfg = PruningConfig::paper();
+    prune_cfg.tail_layers = 4;
+    let mut cloud = CloudServer::new(
+        net,
+        &images.generate(16, 2),
+        &images.generate(8, 3),
+        prune_cfg,
+    )?;
+
+    // A fleet of users: random subsets, head-heavy usage.
+    let mut rng = XorShiftRng::new(0xF1EE7);
+    let n_users = 12;
+    let mut sizes = Vec::new();
+    let mut gains = Vec::new();
+    println!("\npersonalizing {n_users} users (CAP'NN-M):");
+    for user in 0..n_users {
+        let k = 2 + rng.next_below(3); // 2..=4 classes
+        let user_classes = rng.sample_combination(classes, k);
+        let mut weights = vec![0.6f32];
+        weights.extend(std::iter::repeat_n(0.4 / (k - 1) as f32, k - 1));
+        let profile = UserProfile::new(user_classes, weights)?;
+        let model = cloud.personalize(&profile, Variant::Miseffectual)?;
+        let base = cloud.evaluator().topk_accuracy(
+            &capnn_repro::nn::PruneMask::all_kept(cloud.network()),
+            1,
+            Some(model.profile.classes()),
+        )?;
+        let acc = cloud
+            .evaluator()
+            .topk_accuracy(&model.mask, 1, Some(model.profile.classes()))?;
+        println!(
+            "  user {user:2}: {} → {:>5.1}% of model, top-1 {:+.1}%",
+            model.profile,
+            model.relative_size * 100.0,
+            (acc - base) * 100.0
+        );
+        sizes.push(model.relative_size);
+        gains.push(acc - base);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let mean32 = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    println!(
+        "\nfleet: mean relative size {:.2}, mean top-1 change {:+.1}%, no user below ε",
+        mean(&sizes),
+        mean32(&gains) * 100.0
+    );
+
+    // Drift loop for one user.
+    println!("\ndrift study: user 0 shifts from classes {{0,1}} to {{8,9}}");
+    let initial = UserProfile::new(vec![0, 1], vec![0.7, 0.3])?;
+    let model = cloud.personalize(&initial, Variant::Miseffectual)?;
+    let mut session = PersonalizationSession::new(initial, DriftPolicy::conservative())?;
+    let mut device = capnn_repro::core::LocalDevice::deploy(model.network);
+    // phase 1: on-profile traffic — no re-personalization
+    for (x, _) in images.usage_stream(&[0, 1], &[0.7, 0.3], 60, &mut rng) {
+        let pred = device.infer(&x)?;
+        session.record(pred);
+    }
+    println!("  after on-profile traffic: {:?}", session.check_drift());
+    // phase 2: interests shift
+    for (x, _) in images.usage_stream(&[8, 9], &[0.5, 0.5], 80, &mut rng) {
+        let pred = device.infer(&x)?;
+        session.record(pred);
+    }
+    match session.check_drift() {
+        DriftDecision::Repersonalize {
+            divergence,
+            profile,
+        } => {
+            println!("  drift detected ({divergence:.2} bit) → re-personalizing for {profile}");
+            let refreshed = cloud.personalize(&profile, Variant::Miseffectual)?;
+            println!(
+                "  new model: {:.0}% of original",
+                refreshed.relative_size * 100.0
+            );
+            session.adopt(profile);
+        }
+        other => println!("  unexpected decision: {other:?}"),
+    }
+    Ok(())
+}

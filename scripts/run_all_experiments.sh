@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper plus all ablations.
+# Usage: scripts/run_all_experiments.sh [small|full]
+set -euo pipefail
+export CAPNN_SCALE="${1:-small}"
+cd "$(dirname "$0")/.."
+
+bins=(
+  fig4_model_size
+  fig5_accuracy
+  fig6_tradeoff
+  table1_energy
+  table2_stacking
+  table3_captor
+  memory_overhead
+  ablation_threshold
+  ablation_layers
+  ablation_quant
+  ablation_topc
+  ablation_profile_samples
+  ablation_dataflow
+  ablation_metric
+  analysis_selectivity
+)
+mkdir -p results
+for bin in "${bins[@]}"; do
+  echo "=== $bin (CAPNN_SCALE=$CAPNN_SCALE) ==="
+  cargo run --release -p capnn-bench --bin "$bin" 2>"results/$bin.log" | tee "results/$bin.txt"
+done
+echo "all experiment outputs in results/"

@@ -1,0 +1,36 @@
+//! Umbrella crate for the CAP'NN reproduction (DAC 2020).
+//!
+//! Re-exports the workspace's crates under one roof so examples, integration
+//! tests and downstream users can depend on a single package:
+//!
+//! * [`core`] — the paper's contribution: CAP'NN-B/W/M pruning, user
+//!   profiles, the ε-bounded threshold search and the cloud/device split;
+//! * [`nn`] — the trained-CNN substrate (layers, training, prune masks,
+//!   model-size accounting);
+//! * [`data`] — synthetic class-family datasets and usage distributions;
+//! * [`profile`] — firing-rate profiling, confusion matrices, quantization;
+//! * [`baselines`] — class-unaware pruning and a CAPTOR-style comparator;
+//! * [`accel`] — the TPU-like analytical energy/latency model;
+//! * [`tensor`] — the dense `f32` tensor math underneath it all.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_repro::core::{PruningConfig, UserProfile};
+//!
+//! let profile = UserProfile::new(vec![3, 7], vec![0.9, 0.1])?;
+//! assert_eq!(profile.k(), 2);
+//! assert!(PruningConfig::paper().validate().is_ok());
+//! # Ok::<(), capnn_repro::core::CapnnError>(())
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full offline-profile → personalize →
+//! deploy flow.
+
+pub use capnn_accel as accel;
+pub use capnn_baselines as baselines;
+pub use capnn_core as core;
+pub use capnn_data as data;
+pub use capnn_nn as nn;
+pub use capnn_profile as profile;
+pub use capnn_tensor as tensor;

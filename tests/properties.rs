@@ -1,0 +1,217 @@
+//! Property-based tests for the cross-crate invariants listed in DESIGN.md.
+//!
+//! A single small MLP rig is trained once (lazily) and shared; proptest then
+//! fuzzes profiles, subsets and masks against it.
+
+use capnn_repro::core::{CapnnB, CapnnW, PruningConfig, TailEvaluator, UserProfile};
+use capnn_repro::data::{VectorClusters, VectorClustersConfig};
+use capnn_repro::nn::{model_size, Network, NetworkBuilder, PruneMask, Trainer, TrainerConfig};
+use capnn_repro::profile::{quantize_rates, FiringRateProfiler, FiringRates};
+use capnn_repro::tensor::XorShiftRng;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const CLASSES: usize = 5;
+
+struct SharedRig {
+    net: Network,
+    rates: FiringRates,
+    eval: TailEvaluator,
+    matrices: capnn_repro::core::PruningMatrices,
+    config: PruningConfig,
+}
+
+fn rig() -> &'static SharedRig {
+    static RIG: OnceLock<SharedRig> = OnceLock::new();
+    RIG.get_or_init(|| {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(CLASSES, 6)).expect("gen");
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, CLASSES], 2)
+            .build()
+            .expect("builds");
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(25, 1).samples())
+            .expect("training");
+        let config = PruningConfig::fast();
+        let rates = FiringRateProfiler::new(config.tail_layers)
+            .profile(&net, &gen.generate(15, 2))
+            .expect("profiling");
+        let eval = TailEvaluator::new(&net, &gen.generate(12, 3), config.tail_layers)
+            .expect("evaluator");
+        let matrices = CapnnB::new(config)
+            .expect("config")
+            .offline(&net, &rates, &eval)
+            .expect("offline");
+        SharedRig {
+            net,
+            rates,
+            eval,
+            matrices,
+            config,
+        }
+    })
+}
+
+/// Strategy: a non-empty distinct class subset of `CLASSES`.
+fn class_subset() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0..CLASSES, 1..=CLASSES)
+        .prop_map(|s| s.into_iter().collect::<Vec<_>>())
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Invariant 1 + 3: CAP'NN-B's online intersection keeps every class's
+    // degradation below ε for ANY subset, and adding classes never prunes
+    // more.
+    #[test]
+    fn b_online_epsilon_and_monotonicity(classes in class_subset()) {
+        let r = rig();
+        let mask = CapnnB::online(&r.net, &r.matrices, &classes).expect("online");
+        let d = r.eval.max_degradation(&mask, None).expect("degradation");
+        prop_assert!(d <= r.config.epsilon + 1e-6, "degradation {} for {:?}", d, classes);
+
+        if classes.len() < CLASSES {
+            let mut bigger = classes.clone();
+            for c in 0..CLASSES {
+                if !bigger.contains(&c) {
+                    bigger.push(c);
+                    break;
+                }
+            }
+            let mask_big = CapnnB::online(&r.net, &r.matrices, &bigger).expect("online");
+            prop_assert!(mask_big.pruned_count() <= mask.pruned_count());
+            prop_assert!(mask_big.is_subset_of(&mask));
+        }
+    }
+
+    // Invariant 1 for CAP'NN-W with arbitrary weighted profiles.
+    #[test]
+    fn w_epsilon_guarantee_any_profile(classes in class_subset()) {
+        let r = rig();
+        let mut rng = XorShiftRng::new(classes.iter().sum::<usize>() as u64 + 7);
+        let raw: Vec<f32> = (0..classes.len()).map(|_| 0.05 + rng.next_uniform()).collect();
+        let sum: f32 = raw.iter().sum();
+        let weights: Vec<f32> = raw.into_iter().map(|w| w / sum).collect();
+        let profile = UserProfile::new(classes.clone(), weights).expect("profile");
+        let mask = CapnnW::new(r.config).expect("config")
+            .prune(&r.net, &r.rates, &r.eval, &profile).expect("W");
+        let d = r.eval.max_degradation(&mask, Some(&classes)).expect("degradation");
+        prop_assert!(d <= r.config.epsilon + 1e-6);
+    }
+
+    // Invariant 2: effective firing rate with a one-hot weight vector equals
+    // the single class's firing rate.
+    #[test]
+    fn effective_rate_one_hot_identity(class in 0..CLASSES, unit in 0usize..12) {
+        let r = rig();
+        let lr = r.rates.layers().last().expect("layers");
+        let unit = unit % lr.units();
+        let all: Vec<usize> = (0..CLASSES).collect();
+        let mut onehot = vec![0.0f32; CLASSES];
+        onehot[class] = 1.0;
+        let eff = lr.effective_rate(unit, &all, &onehot);
+        prop_assert!((eff - lr.rate(unit, class)).abs() < 1e-6);
+    }
+
+    // Effective rate is linear: it's bounded by min/max of per-class rates.
+    #[test]
+    fn effective_rate_within_rate_hull(unit in 0usize..12, seed in any::<u64>()) {
+        let r = rig();
+        let lr = r.rates.layers().last().expect("layers");
+        let unit = unit % lr.units();
+        let all: Vec<usize> = (0..CLASSES).collect();
+        let mut rng = XorShiftRng::new(seed);
+        let raw: Vec<f32> = (0..CLASSES).map(|_| 0.01 + rng.next_uniform()).collect();
+        let sum: f32 = raw.iter().sum();
+        let weights: Vec<f32> = raw.into_iter().map(|w| w / sum).collect();
+        let eff = lr.effective_rate(unit, &all, &weights);
+        let rates: Vec<f32> = (0..CLASSES).map(|c| lr.rate(unit, c)).collect();
+        let lo = rates.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = rates.iter().cloned().fold(f32::MIN, f32::max);
+        prop_assert!(eff >= lo - 1e-5 && eff <= hi + 1e-5);
+    }
+
+    // Invariant 5: size accounting is monotone and bounded under random
+    // pruning.
+    #[test]
+    fn size_accounting_monotone(pruned in prop::collection::vec((0usize..3, 0usize..12), 0..10)) {
+        let r = rig();
+        let prunable = r.net.prunable_layers();
+        let full = model_size(&r.net, &PruneMask::all_kept(&r.net)).expect("size").total();
+        let mut mask = PruneMask::all_kept(&r.net);
+        let mut prev = full;
+        for (lsel, unit) in pruned {
+            let li = prunable[lsel % (prunable.len() - 1)]; // skip output
+            let units = r.net.layers()[li].unit_count().unwrap();
+            if mask.prune(li, unit % units).is_ok() {
+                let now = model_size(&r.net, &mask).expect("size").total();
+                prop_assert!(now <= prev);
+                prop_assert!(now <= full);
+                prev = now;
+            }
+        }
+    }
+
+    // Invariant 4: masked forward equals compacted forward (when no layer is
+    // emptied).
+    #[test]
+    fn compaction_preserves_function(seed in any::<u64>()) {
+        let r = rig();
+        let mut rng = XorShiftRng::new(seed);
+        let prunable = r.net.prunable_layers();
+        let mut mask = PruneMask::all_kept(&r.net);
+        // prune a random but safe (non-emptying) set in hidden layers
+        for &li in &prunable[..prunable.len() - 1] {
+            let units = r.net.layers()[li].unit_count().unwrap();
+            for u in 0..units {
+                if rng.next_uniform() < 0.3 && mask.kept_in_layer(li) > 1 {
+                    mask.prune(li, u).expect("prune");
+                }
+            }
+        }
+        let compacted = r.net.compact(&mask).expect("compacts");
+        let x = capnn_repro::tensor::Tensor::uniform(&[6], -2.0, 2.0, &mut rng);
+        let a = r.net.forward_masked(&x, &mask).expect("masked");
+        let b = compacted.forward(&x).expect("compact");
+        for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-4, "{} vs {}", u, v);
+        }
+        // size accounting matches physical compaction
+        let predicted = model_size(&r.net, &mask).expect("size").total();
+        prop_assert_eq!(predicted, compacted.param_count());
+    }
+
+    // Quantization never violates the half-step error bound and preserves
+    // the [0, 1] range.
+    #[test]
+    fn quantization_error_bound(bits in 1u32..9) {
+        let r = rig();
+        let q = quantize_rates(&r.rates, bits);
+        let bound = q.max_error() + 1e-6;
+        for (orig, quant) in r.rates.layers().iter().zip(q.rates.layers()) {
+            for (&a, &b) in orig.rates.as_slice().iter().zip(quant.rates.as_slice()) {
+                prop_assert!((a - b).abs() <= bound);
+                prop_assert!((0.0..=1.0).contains(&b));
+            }
+        }
+    }
+
+    // User profiles: constructor accepts exactly the normalized ones.
+    #[test]
+    fn profile_validation_matches_spec(k in 1usize..5, seed in any::<u64>()) {
+        let mut rng = XorShiftRng::new(seed);
+        let classes: Vec<usize> = (0..k).collect();
+        let raw: Vec<f32> = (0..k).map(|_| 0.05 + rng.next_uniform()).collect();
+        let sum: f32 = raw.iter().sum();
+        let weights: Vec<f32> = raw.iter().map(|w| w / sum).collect();
+        prop_assert!(UserProfile::new(classes.clone(), weights.clone()).is_ok());
+        // de-normalize → rejected
+        let bad: Vec<f32> = weights.iter().map(|w| w * 1.5).collect();
+        prop_assert!(UserProfile::new(classes, bad).is_err());
+    }
+}

@@ -1,0 +1,176 @@
+//! Serving-layer integration tests: the cloud/device protocol end to end,
+//! including model serialization (what actually travels over the wire),
+//! fleet-level caching, and monitoring-period streams.
+
+use capnn_repro::core::{
+    CloudServer, LocalDevice, ModelCache, PruningConfig, UserProfile, Variant,
+};
+use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_repro::nn::{
+    load_network, network_from_json, network_to_json, save_network, NetworkBuilder, Trainer,
+    TrainerConfig, VggConfig,
+};
+use capnn_repro::tensor::XorShiftRng;
+
+fn serving_rig() -> (SyntheticImages, CloudServer) {
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(8)).expect("config");
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(8), 42)
+        .build()
+        .expect("builds");
+    let cfg = TrainerConfig {
+        epochs: 6,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(&mut net, images.generate(20, 1).samples())
+        .expect("training");
+    let mut config = PruningConfig::paper();
+    config.tail_layers = 4;
+    config.step = 0.05;
+    let cloud = CloudServer::new(
+        net,
+        &images.generate(12, 2),
+        &images.generate(8, 3),
+        config,
+    )
+    .expect("cloud");
+    (images, cloud)
+}
+
+#[test]
+fn personalized_model_survives_the_wire() {
+    let (images, mut cloud) = serving_rig();
+    let profile = UserProfile::new(vec![1, 5], vec![0.8, 0.2]).expect("profile");
+    let model = cloud
+        .personalize(&profile, Variant::Miseffectual)
+        .expect("personalize");
+
+    // serialize as the cloud would ship it; deserialize device-side
+    let wire = network_to_json(&model.network).expect("serialize");
+    let received = network_from_json(&wire).expect("deserialize");
+    assert_eq!(model.network, received);
+
+    // the received model predicts identically
+    let mut rng = XorShiftRng::new(7);
+    for _ in 0..10 {
+        let x = images.sample(1, &mut rng);
+        assert_eq!(
+            model.network.predict(&x).expect("predict"),
+            received.predict(&x).expect("predict")
+        );
+    }
+}
+
+#[test]
+fn model_file_roundtrip_for_device_storage() {
+    let (_, mut cloud) = serving_rig();
+    let profile = UserProfile::uniform(vec![0, 2]).expect("profile");
+    let model = cloud
+        .personalize(&profile, Variant::Weighted)
+        .expect("personalize");
+    let dir = std::env::temp_dir().join("capnn-serving-test");
+    let path = dir.join("device-model.json");
+    save_network(&model.network, &path).expect("save");
+    let loaded = load_network(&path).expect("load");
+    assert_eq!(model.network, loaded);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_cache_hit_rate_with_overlapping_users() {
+    let (_, mut cloud) = serving_rig();
+    let mut cache = ModelCache::new(8).expect("cache");
+    // 10 users drawn from only 3 distinct (class-set, usage) behaviours
+    let behaviours = [
+        (vec![0usize, 1], vec![0.75f32, 0.25]),
+        (vec![2, 5], vec![0.5, 0.5]),
+        (vec![3, 6, 7], vec![0.4, 0.3, 0.3]),
+    ];
+    for i in 0..10 {
+        let (classes, weights) = &behaviours[i % 3];
+        let profile = UserProfile::new(classes.clone(), weights.clone()).expect("profile");
+        cache
+            .personalize(&mut cloud, &profile, Variant::Weighted)
+            .expect("personalize");
+    }
+    assert_eq!(cache.len(), 3);
+    assert_eq!(cache.stats().misses, 3);
+    assert_eq!(cache.stats().hits, 7);
+    assert!(cache.stats().hit_rate() > 0.65);
+}
+
+#[test]
+fn monitoring_stream_recovers_true_usage_on_accurate_model() {
+    let (images, cloud) = serving_rig();
+    // monitor with the FULL model (the paper's monitoring period)
+    let mut device = LocalDevice::deploy(cloud.network().clone());
+    let mut rng = XorShiftRng::new(31);
+    let stream = images.usage_stream(&[2, 6], &[0.7, 0.3], 150, &mut rng);
+    let mut correct = 0usize;
+    for (x, truth) in &stream {
+        let pred = device.infer(x).expect("infer");
+        if pred == *truth {
+            correct += 1;
+        }
+    }
+    let acc = correct as f32 / stream.len() as f32;
+    assert!(acc > 0.6, "monitoring model too weak: {acc}");
+    let observed = device.observed_profile(2).expect("profile");
+    // dominant class recovered with roughly the right weight
+    assert_eq!(observed.classes()[0], 2);
+    assert!(
+        (observed.weights()[0] - 0.7).abs() < 0.2,
+        "dominant weight {}",
+        observed.weights()[0]
+    );
+}
+
+#[test]
+fn certificates_are_auditable() {
+    let (_, mut cloud) = serving_rig();
+    let profile = UserProfile::new(vec![0, 4], vec![0.6, 0.4]).expect("profile");
+    let (model, cert) = cloud
+        .personalize_certified(&profile, Variant::Miseffectual)
+        .expect("certified personalization");
+    // the shipped certificate must hold at the configured ε
+    assert!(cert.holds(), "max degradation {}", cert.max_degradation());
+    assert_eq!(cert.epsilon, cloud.config().epsilon);
+    assert_eq!(cert.classes.len(), profile.k());
+    // and a third party can re-verify it from the mask alone
+    let replayed = cloud
+        .evaluator()
+        .certify(
+            &model.mask,
+            profile.classes(),
+            cloud.config().epsilon,
+            cloud.config().metric,
+        )
+        .expect("re-certify");
+    assert_eq!(cert, replayed);
+}
+
+#[test]
+fn variants_offer_size_accuracy_menu() {
+    // The cloud can serve all three variants from one preprocessing pass;
+    // B must be the most conservative, M at least as small as W.
+    let (_, mut cloud) = serving_rig();
+    let profile = UserProfile::new(vec![1, 4], vec![0.9, 0.1]).expect("profile");
+    let b = cloud
+        .personalize(&profile, Variant::Basic)
+        .expect("personalize");
+    let w = cloud
+        .personalize(&profile, Variant::Weighted)
+        .expect("personalize");
+    let m = cloud
+        .personalize(&profile, Variant::Miseffectual)
+        .expect("personalize");
+    assert!(w.relative_size <= b.relative_size + 0.02);
+    assert!(m.relative_size <= w.relative_size + 0.02);
+    for model in [&b, &w, &m] {
+        let d = cloud
+            .evaluator()
+            .max_degradation(&model.mask, Some(profile.classes()))
+            .expect("degradation");
+        assert!(d <= cloud.config().epsilon + 1e-6, "{}: {d}", model.variant);
+    }
+}
