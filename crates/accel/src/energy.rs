@@ -178,7 +178,12 @@ mod tests {
         cfg.act_sram_words = 32;
         let sys = SystolicModel::new(cfg).unwrap();
         let e = network_energy(&EnergyModel::paper_table1(), &sys, &wl);
-        assert!(e.dram_pj > e.mac_pj, "DRAM {} vs MAC {}", e.dram_pj, e.mac_pj);
+        assert!(
+            e.dram_pj > e.mac_pj,
+            "DRAM {} vs MAC {}",
+            e.dram_pj,
+            e.mac_pj
+        );
     }
 
     #[test]

@@ -33,5 +33,5 @@ mod workload;
 
 pub use energy::{inference_energy, network_energy, EnergyBreakdown, EnergyModel};
 pub use report::{profile_network, LayerProfile, NetworkProfile};
-pub use systolic::{AccessCounts, AcceleratorConfig, Dataflow, SystolicModel};
+pub use systolic::{AcceleratorConfig, AccessCounts, Dataflow, SystolicModel};
 pub use workload::{network_workload, LayerWork, NetworkWorkload};

@@ -167,8 +167,9 @@ impl SystolicModel {
                 sram_accesses: 2 * streamed,
                 dram_accesses: 0,
                 cycles: streamed / (self.config.pe_rows as u64 * self.config.pe_cols as u64).max(1)
-                    + u64::from(!streamed.is_multiple_of((self.config.pe_rows as u64
-                        * self.config.pe_cols as u64).max(1))),
+                    + u64::from(!streamed.is_multiple_of(
+                        (self.config.pe_rows as u64 * self.config.pe_cols as u64).max(1),
+                    )),
             };
         }
         let cfg = &self.config;
@@ -318,11 +319,9 @@ mod tests {
     #[test]
     fn output_stationary_trades_operand_reads() {
         let ws = SystolicModel::new(AcceleratorConfig::tpu_like()).unwrap();
-        let os = SystolicModel::with_dataflow(
-            AcceleratorConfig::tpu_like(),
-            Dataflow::OutputStationary,
-        )
-        .unwrap();
+        let os =
+            SystolicModel::with_dataflow(AcceleratorConfig::tpu_like(), Dataflow::OutputStationary)
+                .unwrap();
         assert_eq!(ws.dataflow(), Dataflow::WeightStationary);
         assert_eq!(os.dataflow(), Dataflow::OutputStationary);
         // high-reuse layer (many MACs per weight): weight-stationary should

@@ -176,10 +176,7 @@ mod tests {
         let w = network_workload(&net, &PruneMask::all_kept(&net)).unwrap();
         assert_eq!(w.total().macs, (10 * 20 + 20 * 5) as u64);
         assert_eq!(w.total().relu_ops, 20);
-        assert_eq!(
-            w.total().weight_words,
-            (10 * 20 + 20 + 20 * 5 + 5) as u64
-        );
+        assert_eq!(w.total().weight_words, (10 * 20 + 20 + 20 * 5 + 5) as u64);
     }
 
     #[test]

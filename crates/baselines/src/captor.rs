@@ -129,9 +129,9 @@ impl CaptorPruner {
         };
         let mut mask = PruneMask::all_kept(net);
         for &li in &tail {
-            let lr = rates.for_layer(li).ok_or_else(|| {
-                CapnnError::Mismatch(format!("no firing rates for layer {li}"))
-            })?;
+            let lr = rates
+                .for_layer(li)
+                .ok_or_else(|| CapnnError::Mismatch(format!("no firing rates for layer {li}")))?;
             let units = lr.units();
             let clusters = self.cluster_units(lr);
             let relevance: Vec<f32> = clusters
@@ -267,7 +267,10 @@ mod tests {
         let large = pruner.prune(&net, &rates, &eval, &[0, 1, 2, 3]).unwrap();
         let s_small = model_size(&net, &small).unwrap().total();
         let s_large = model_size(&net, &large).unwrap().total();
-        assert!(s_small <= s_large, "1 class {s_small} vs 4 classes {s_large}");
+        assert!(
+            s_small <= s_large,
+            "1 class {s_small} vs 4 classes {s_large}"
+        );
     }
 
     #[test]

@@ -65,11 +65,7 @@ impl StructuredPruner {
     /// # Errors
     ///
     /// Returns an error if calibration samples do not match the network.
-    pub fn prune_mask(
-        &self,
-        net: &Network,
-        calibration: &Dataset,
-    ) -> Result<PruneMask, NnError> {
+    pub fn prune_mask(&self, net: &Network, calibration: &Dataset) -> Result<PruneMask, NnError> {
         let mut mask = PruneMask::all_kept(net);
         let prunable = net.prunable_layers();
         if prunable.len() <= 1 {
@@ -139,11 +135,7 @@ impl StructuredPruner {
 }
 
 /// Mean |activation| of each unit of layer `li` over all traces.
-fn activation_scores(
-    traces: &[Vec<capnn_tensor::Tensor>],
-    li: usize,
-    units: usize,
-) -> Vec<f32> {
+fn activation_scores(traces: &[Vec<capnn_tensor::Tensor>], li: usize, units: usize) -> Vec<f32> {
     let mut scores = vec![0.0f32; units];
     for trace in traces {
         let act = &trace[li + 1];

@@ -31,11 +31,11 @@
 //! ```
 
 mod captor;
-mod lowrank;
 mod channel;
+mod lowrank;
 mod magnitude;
 
 pub use captor::CaptorPruner;
-pub use lowrank::{low_rank_compress, truncated_svd, TruncatedSvd};
 pub use channel::{ChannelMethod, StructuredPruner};
+pub use lowrank::{low_rank_compress, truncated_svd, TruncatedSvd};
 pub use magnitude::{magnitude_prune, nonzero_weights, SparsityReport};

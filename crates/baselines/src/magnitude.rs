@@ -142,11 +142,12 @@ mod tests {
             .layers()
             .iter()
             .filter_map(|l| match l {
-                capnn_nn::Layer::Dense(d) => {
-                    d.weights().as_slice().iter().map(|w| w.abs()).fold(None, |m: Option<f32>, x| {
-                        Some(m.map_or(x, |m| m.max(x)))
-                    })
-                }
+                capnn_nn::Layer::Dense(d) => d
+                    .weights()
+                    .as_slice()
+                    .iter()
+                    .map(|w| w.abs())
+                    .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.max(x)))),
                 _ => None,
             })
             .fold(0.0f32, f32::max);

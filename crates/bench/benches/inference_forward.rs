@@ -1,11 +1,29 @@
 //! Device-side inference throughput: masked execution of the full model vs
 //! the compacted (physically smaller) model the cloud actually ships — the
 //! latter is the paper's model-size payoff in compute form.
+//!
+//! The `masked_model_*pct` variants sweep paper-like tail prune ratios
+//! (25/50/75%): with the compute-skipping engine these should scale well
+//! below the dense forward, roughly `(1-p)²` per masked layer.
 
 use capnn_data::{SyntheticImages, SyntheticImagesConfig};
-use capnn_nn::{NetworkBuilder, PruneMask, VggConfig};
+use capnn_nn::{ExecScratch, Network, NetworkBuilder, PruneMask, VggConfig};
 use capnn_tensor::XorShiftRng;
 use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Prunes `ratio` of the units of every hidden prunable layer (tail-style
+/// every-k-th pattern, never the output layer, never a whole layer).
+fn ratio_mask(net: &Network, ratio: f64) -> PruneMask {
+    let mut mask = PruneMask::all_kept(net);
+    let prunable = net.prunable_layers();
+    for &li in &prunable[..prunable.len() - 1] {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        let pruned = ((units as f64) * ratio) as usize;
+        let flags: Vec<bool> = (0..units).map(|u| u >= pruned).collect();
+        mask.set_layer(li, flags).expect("mask fits");
+    }
+    mask
+}
 
 fn bench_forward(c: &mut Criterion) {
     let images = SyntheticImages::new(SyntheticImagesConfig::small(8)).expect("config");
@@ -15,24 +33,28 @@ fn bench_forward(c: &mut Criterion) {
     let mut rng = XorShiftRng::new(3);
     let x = images.sample(0, &mut rng);
 
-    // prune half the units of every hidden prunable layer
-    let mut mask = PruneMask::all_kept(&net);
-    let prunable = net.prunable_layers();
-    for &li in &prunable[..prunable.len() - 1] {
-        let units = net.layers()[li].unit_count().unwrap_or(0);
-        let flags: Vec<bool> = (0..units).map(|u| u % 2 == 0).collect();
-        mask.set_layer(li, flags).expect("mask fits");
-    }
-    let compacted = net.compact(&mask).expect("compacts");
+    let half_mask = ratio_mask(&net, 0.5);
+    let compacted = net.compact(&half_mask).expect("compacts");
 
     let mut group = c.benchmark_group("device_inference");
     group.bench_function("full_model", |b| {
         b.iter(|| net.forward(&x).expect("forward"))
     });
-    group.bench_function("masked_model", |b| {
-        b.iter(|| net.forward_masked(&x, &mask).expect("forward"))
-    });
-    group.bench_function("compacted_model", |b| {
+    for (label, ratio) in [
+        ("masked_model_25pct", 0.25),
+        ("masked_model_50pct", 0.50),
+        ("masked_model_75pct", 0.75),
+    ] {
+        let mask = ratio_mask(&net, ratio);
+        let mut scratch = ExecScratch::new();
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                net.forward_masked_with_scratch(&x, &mask, &mut scratch)
+                    .expect("forward")
+            })
+        });
+    }
+    group.bench_function("compacted_model_50pct", |b| {
         b.iter(|| compacted.forward(&x).expect("forward"))
     });
     group.finish();

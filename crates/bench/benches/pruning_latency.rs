@@ -15,9 +15,7 @@ fn bench_pruning(c: &mut Criterion) {
     let mut group = c.benchmark_group("online_pruning");
     group.sample_size(10);
     group.bench_function(BenchmarkId::new("capnn_b_intersection", 2), |b| {
-        b.iter(|| {
-            CapnnB::online(&rig.net, runner.matrices(), profile.classes()).expect("online")
-        })
+        b.iter(|| CapnnB::online(&rig.net, runner.matrices(), profile.classes()).expect("online"))
     });
     group.bench_function(BenchmarkId::new("capnn_w_threshold_search", 2), |b| {
         b.iter(|| runner.mask_for(&profile, Variant::Weighted))

@@ -53,7 +53,10 @@ fn main() {
             .eval
             .max_degradation(&mask, Some(profile.classes()))
             .expect("degradation");
-        assert!(degr <= rig.config.epsilon + 1e-4, "ε violated at {bits} bits");
+        assert!(
+            degr <= rig.config.epsilon + 1e-4,
+            "ε violated at {bits} bits"
+        );
         let row = QuantRow {
             bits,
             storage_bytes: q.memory_bytes(),

@@ -45,9 +45,7 @@ fn main() {
         let mut config = PruningConfig::paper();
         config.top_confusing = topc;
         let m = CapnnM::new(config).expect("valid");
-        let sets = m
-            .miseffectual_sets(&rig.net, &rig.confusion)
-            .expect("sets");
+        let sets = m.miseffectual_sets(&rig.net, &rig.confusion).expect("sets");
         let mask = m
             .prune(&rig.net, &rig.rates, &rig.confusion, &rig.eval, &profile)
             .expect("prune");
@@ -71,7 +69,10 @@ fn main() {
         rows.push(row);
     }
     println!("\nAblation — confusing-class count in CAP'NN-M (fixed 2-class profile)");
-    println!("baseline top-1 over user classes: {:.1}%", baseline_top1 * 100.0);
+    println!(
+        "baseline top-1 over user classes: {:.1}%",
+        baseline_top1 * 100.0
+    );
     println!("{table}");
 
     if let Some(path) = write_results_json("ablation_topc", &rows) {

@@ -51,7 +51,11 @@ fn main() {
         "selectivity rises with depth: first prunable layer {:.3} vs best hidden layer {:.3} → {}",
         first,
         hidden_max,
-        if hidden_max > first { "confirmed" } else { "NOT confirmed on this substrate" }
+        if hidden_max > first {
+            "confirmed"
+        } else {
+            "NOT confirmed on this substrate"
+        }
     );
 
     if let Some(path) = write_results_json("analysis_selectivity", &summaries) {

@@ -32,12 +32,18 @@ fn main() {
             format!("{:.1}%", row.basic.top1 * 100.0),
             format!("{:.1}%", row.weighted.top1 * 100.0),
             format!("{:.1}%", row.miseffectual.top1 * 100.0),
-            format!("{:+.1}%", (row.miseffectual.top1 - row.baseline_top1) * 100.0),
+            format!(
+                "{:+.1}%",
+                (row.miseffectual.top1 - row.baseline_top1) * 100.0
+            ),
         ]);
         eprintln!("[fig5] {scenario} done");
         rows.push(row);
     }
-    println!("\nFigure 5 — top-1 accuracy over user classes, avg over {} combos per cell", scale.combos_per_k);
+    println!(
+        "\nFigure 5 — top-1 accuracy over user classes, avg over {} combos per cell",
+        scale.combos_per_k
+    );
     println!("{table}");
 
     // K = 10 summary (paper: +2.3% top-1, +3.2% top-5, relative size 0.48)

@@ -93,11 +93,16 @@ fn main() {
         eprintln!("[fig6] K = {k} done");
         rows.push(row);
     }
-    println!("\nFigure 6 — CAP'NN-M size/accuracy trade-off vs K (ε = {:.0}%)", rig.config.epsilon * 100.0);
+    println!(
+        "\nFigure 6 — CAP'NN-M size/accuracy trade-off vs K (ε = {:.0}%)",
+        rig.config.epsilon * 100.0
+    );
     println!("{table}");
 
     // Key takeaways from the paper
-    let monotone = rows.windows(2).all(|w| w[1].relative_size >= w[0].relative_size - 0.02);
+    let monotone = rows
+        .windows(2)
+        .all(|w| w[1].relative_size >= w[0].relative_size - 0.02);
     let bounded = rows
         .iter()
         .all(|r| r.max_class_degradation <= rig.config.epsilon + 1e-4);

@@ -1,0 +1,225 @@
+//! Execution-engine perf trajectory: masked (compute-skipping) forward vs
+//! dense forward at paper-like prune ratios, and single- vs multi-threaded
+//! dataset sweeps (firing-rate profiling, per-class evaluation).
+//!
+//! Emits `results/BENCH_inference.json` so later PRs can track speedups
+//! against a recorded baseline. Also asserts the acceptance property that
+//! the compute-skipping engine is argmax-bit-compatible with the
+//! zero-after-dense reference on the full synthetic eval set.
+
+use capnn_bench::write_results_json;
+use capnn_core::TailEvaluator;
+use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_nn::{ExecScratch, Network, NetworkBuilder, PruneMask, VggConfig};
+use capnn_profile::FiringRateProfiler;
+use capnn_tensor::{parallel, Tensor, XorShiftRng};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct ForwardRow {
+    variant: String,
+    prune_ratio: f64,
+    iters: usize,
+    total_s: f64,
+    per_sample_us: f64,
+    throughput_sps: f64,
+    speedup_vs_dense: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    task: String,
+    threads: usize,
+    samples: usize,
+    total_s: f64,
+    throughput_sps: f64,
+    speedup_vs_single: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    host_cores: usize,
+    default_threads: usize,
+    model: String,
+    argmax_bit_compatible: bool,
+    argmax_samples_checked: usize,
+    forward: Vec<ForwardRow>,
+    sweeps: Vec<SweepRow>,
+}
+
+/// Prunes `ratio` of the units of every hidden prunable layer.
+fn ratio_mask(net: &Network, ratio: f64) -> PruneMask {
+    let mut mask = PruneMask::all_kept(net);
+    let prunable = net.prunable_layers();
+    for &li in &prunable[..prunable.len() - 1] {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        let pruned = ((units as f64) * ratio) as usize;
+        let flags: Vec<bool> = (0..units).map(|u| u >= pruned).collect();
+        mask.set_layer(li, flags).expect("mask fits");
+    }
+    mask
+}
+
+fn time_forward<F: FnMut() -> Tensor>(iters: usize, mut f: F) -> f64 {
+    // warmup (fills scratch buffers, warms caches)
+    for _ in 0..iters.min(3) {
+        std::hint::black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let classes = 8;
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(classes)).expect("config");
+    let net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(classes), 7)
+        .build()
+        .expect("builds");
+    let mut rng = XorShiftRng::new(3);
+    let x = images.sample(0, &mut rng);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let default_threads = parallel::max_threads();
+
+    eprintln!("[perf] host cores: {host_cores}, pool threads: {default_threads}");
+
+    // --- argmax bit-compatibility on the full synthetic eval set ---------
+    let eval_set = images.generate(16, 11);
+    let check_mask = ratio_mask(&net, 0.5);
+    let mut scratch = ExecScratch::new();
+    let mut compatible = true;
+    for (sample, _) in eval_set.samples() {
+        let fast = net
+            .forward_masked_with_scratch(sample, &check_mask, &mut scratch)
+            .expect("engine");
+        let reference = net
+            .forward_masked_reference(sample, &check_mask)
+            .expect("reference");
+        if fast.argmax() != reference.argmax() {
+            compatible = false;
+            eprintln!("[perf] ARGMAX MISMATCH on a sample!");
+        }
+    }
+    eprintln!(
+        "[perf] argmax bit-compatibility over {} samples: {}",
+        eval_set.len(),
+        if compatible { "OK" } else { "FAILED" }
+    );
+
+    // --- masked vs dense forward -----------------------------------------
+    let iters = 200;
+    let dense_s = time_forward(iters, || net.forward(&x).expect("forward"));
+    let dense_per = dense_s / iters as f64;
+    let mut forward = vec![ForwardRow {
+        variant: "dense".into(),
+        prune_ratio: 0.0,
+        iters,
+        total_s: dense_s,
+        per_sample_us: dense_per * 1e6,
+        throughput_sps: 1.0 / dense_per,
+        speedup_vs_dense: 1.0,
+    }];
+    for ratio in [0.25, 0.5, 0.75] {
+        let mask = ratio_mask(&net, ratio);
+        let mut scratch = ExecScratch::new();
+        let s = time_forward(iters, || {
+            net.forward_masked_with_scratch(&x, &mask, &mut scratch)
+                .expect("forward")
+        });
+        let per = s / iters as f64;
+        forward.push(ForwardRow {
+            variant: format!("masked_skip_{}pct", (ratio * 100.0) as u32),
+            prune_ratio: ratio,
+            iters,
+            total_s: s,
+            per_sample_us: per * 1e6,
+            throughput_sps: 1.0 / per,
+            speedup_vs_dense: dense_per / per,
+        });
+    }
+    let compacted = net.compact(&ratio_mask(&net, 0.5)).expect("compacts");
+    let s = time_forward(iters, || compacted.forward(&x).expect("forward"));
+    let per = s / iters as f64;
+    forward.push(ForwardRow {
+        variant: "compacted_50pct".into(),
+        prune_ratio: 0.5,
+        iters,
+        total_s: s,
+        per_sample_us: per * 1e6,
+        throughput_sps: 1.0 / per,
+        speedup_vs_dense: dense_per / per,
+    });
+
+    for row in &forward {
+        eprintln!(
+            "[perf] {:<22} {:>9.1} µs/sample  {:>6.2}x vs dense",
+            row.variant, row.per_sample_us, row.speedup_vs_dense
+        );
+    }
+
+    // --- dataset sweeps: 1 thread vs the full pool ------------------------
+    let sweep_set = images.generate(24, 13);
+    let mut sweeps = Vec::new();
+    for task in ["profile", "eval"] {
+        let mut single_s = 0.0;
+        for &threads in &[1usize, default_threads] {
+            parallel::set_max_threads(threads);
+            let t0 = Instant::now();
+            match task {
+                "profile" => {
+                    let rates = FiringRateProfiler::new(3)
+                        .profile(&net, &sweep_set)
+                        .expect("profiles");
+                    std::hint::black_box(rates);
+                }
+                _ => {
+                    let eval = TailEvaluator::new(&net, &sweep_set, 2).expect("evaluates");
+                    std::hint::black_box(eval.baseline().mean(None));
+                }
+            }
+            let s = t0.elapsed().as_secs_f64();
+            if threads == 1 {
+                single_s = s;
+            }
+            sweeps.push(SweepRow {
+                task: task.into(),
+                threads,
+                samples: sweep_set.len(),
+                total_s: s,
+                throughput_sps: sweep_set.len() as f64 / s,
+                speedup_vs_single: if s > 0.0 { single_s / s } else { 1.0 },
+            });
+            if threads == default_threads && threads == 1 {
+                break; // single-core host: the two configs coincide
+            }
+        }
+    }
+    parallel::set_max_threads(default_threads);
+    for row in &sweeps {
+        eprintln!(
+            "[perf] sweep {:<8} threads={:<2} {:>8.1} samples/s  {:>5.2}x vs 1 thread",
+            row.task, row.threads, row.throughput_sps, row.speedup_vs_single
+        );
+    }
+
+    let report = Report {
+        host_cores,
+        default_threads,
+        model: "vgg_tiny(8)".into(),
+        argmax_bit_compatible: compatible,
+        argmax_samples_checked: eval_set.len(),
+        forward,
+        sweeps,
+    };
+    if let Some(path) = write_results_json("BENCH_inference", &report) {
+        eprintln!("[perf] results written to {}", path.display());
+    }
+    if !compatible {
+        std::process::exit(1);
+    }
+}

@@ -19,11 +19,7 @@ fn f(v: &Value, key: &str) -> f64 {
 
 fn main() {
     println!("CAP'NN reproduction — result digest (from results/*.json)\n");
-    let mut checks = Table::new(vec![
-        "check".into(),
-        "status".into(),
-        "evidence".into(),
-    ]);
+    let mut checks = Table::new(vec!["check".into(), "status".into(), "evidence".into()]);
     let mut missing = Vec::new();
 
     if let Some(rows) = load("fig4_model_size").and_then(|v| v.as_array().cloned()) {
@@ -45,9 +41,7 @@ fn main() {
     if let Some(rows) = load("fig5_accuracy").and_then(|v| v.as_array().cloned()) {
         let gains = rows
             .iter()
-            .filter(|r| {
-                f(&r["miseffectual"], "top1") > f(r, "baseline_top1")
-            })
+            .filter(|r| f(&r["miseffectual"], "top1") > f(r, "baseline_top1"))
             .count();
         checks.row(vec![
             "Fig.5 CAP'NN-M improves top-1 somewhere".into(),
@@ -59,12 +53,10 @@ fn main() {
     }
 
     if let Some(rows) = load("fig6_tradeoff").and_then(|v| v.as_array().cloned()) {
-        let monotone = rows.windows(2).all(|w| {
-            f(&w[1], "relative_size") >= f(&w[0], "relative_size") - 0.05
-        });
-        let bounded = rows
-            .iter()
-            .all(|r| f(r, "max_class_degradation") <= 0.031);
+        let monotone = rows
+            .windows(2)
+            .all(|w| f(&w[1], "relative_size") >= f(&w[0], "relative_size") - 0.05);
+        let bounded = rows.iter().all(|r| f(r, "max_class_degradation") <= 0.031);
         checks.row(vec![
             "Fig.6 size grows with K, degradation ≤ ε".into(),
             if monotone && bounded { "PASS" } else { "FAIL" }.into(),
@@ -81,7 +73,12 @@ fn main() {
         let first = rows.first().map(|r| f(r, "relative_energy")).unwrap_or(1.0);
         checks.row(vec![
             "Table I energy rises with K, big savings at K=2".into(),
-            if monotone && first < 0.6 { "PASS" } else { "FAIL" }.into(),
+            if monotone && first < 0.6 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+            .into(),
             format!("K=2 relative energy {first:.2}"),
         ]);
     } else {
@@ -127,7 +124,12 @@ fn main() {
         let pct = f(&v, "overhead_pct_3bit");
         checks.row(vec![
             "§V-C firing-rate overhead ≈ 1.3% of model".into(),
-            if (pct - 1.3).abs() < 0.5 { "PASS" } else { "FAIL" }.into(),
+            if (pct - 1.3).abs() < 0.5 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+            .into(),
             format!("{pct:.2}%"),
         ]);
     } else {

@@ -30,7 +30,10 @@ fn main() {
     let m = &energy_rig.model;
     let mut components = Table::new(vec!["Component".into(), "Energy (pJ)".into()]);
     components.row(vec!["16-bit adder".into(), format!("{}", m.adder_pj)]);
-    components.row(vec!["16-bit multiplier".into(), format!("{}", m.multiplier_pj)]);
+    components.row(vec![
+        "16-bit multiplier".into(),
+        format!("{}", m.multiplier_pj),
+    ]);
     components.row(vec![
         "Max Pool / ReLU".into(),
         format!("{} / {}", m.max_pool_pj, m.relu_pj),
@@ -40,10 +43,7 @@ fn main() {
     println!("\nTable I (left) — component energies:");
     println!("{components}");
 
-    let mut table = Table::new(vec![
-        "Number of classes".into(),
-        "Relative energy".into(),
-    ]);
+    let mut table = Table::new(vec!["Number of classes".into(), "Relative energy".into()]);
     let mut rows = Vec::new();
     let mut rng = XorShiftRng::new(0x7AB1E1);
     let ks: Vec<usize> = [2usize, 3, 4, 5, 10]

@@ -127,7 +127,11 @@ fn main() {
         acc_table.row(vec![
             r.method.clone(),
             r.k.to_string(),
-            format!("{:.1}% / {:.1}%", r.top1_without * 100.0, r.top5_without * 100.0),
+            format!(
+                "{:.1}% / {:.1}%",
+                r.top1_without * 100.0,
+                r.top5_without * 100.0
+            ),
             format!("{:.1}% / {:.1}%", r.top1_with * 100.0, r.top5_with * 100.0),
         ]);
     }

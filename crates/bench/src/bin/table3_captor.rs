@@ -47,7 +47,10 @@ fn main() {
         ..TrainerConfig::default()
     };
     Trainer::new(tcfg, 0xACC)
-        .fit(&mut net, images.generate(scale.train_per_class, 0x7EA1).samples())
+        .fit(
+            &mut net,
+            images.generate(scale.train_per_class, 0x7EA1).samples(),
+        )
         .expect("training");
 
     let config = PruningConfig::paper();
@@ -111,9 +114,7 @@ fn main() {
     let small_win = rows[0].capnn_energy < rows[0].captor_energy
         && rows[1].capnn_energy < rows[1].captor_energy;
     let late_parity = (rows[9].capnn_energy - rows[9].captor_energy).abs() < 0.3;
-    println!(
-        "CAP'NN wins at ≤20% of classes: {small_win}; near-parity at 100%: {late_parity}"
-    );
+    println!("CAP'NN wins at ≤20% of classes: {small_win}; near-parity at 100%: {late_parity}");
 
     if let Some(path) = write_results_json("table3_captor", &rows) {
         eprintln!("[table3] results written to {}", path.display());

@@ -111,8 +111,7 @@ impl PaperRig {
         {
             // one-line health check so experiment logs show substrate quality
             let holdout = images.generate(scale.eval_per_class, 0x0D0E);
-            let acc = capnn_nn::evaluate_accuracy(&net, holdout.samples())
-                .expect("holdout eval");
+            let acc = capnn_nn::evaluate_accuracy(&net, holdout.samples()).expect("holdout eval");
             eprintln!(
                 "[rig] substrate holdout top-1: {:.1}% over {} classes",
                 acc * 100.0,
@@ -125,8 +124,7 @@ impl PaperRig {
             .profile(&net, &profiling)
             .expect("profiling matches network");
         let confusion = ConfusionMatrix::measure(&net, &profiling).expect("confusion");
-        let eval =
-            TailEvaluator::new(&net, &eval_ds, config.tail_layers).expect("evaluator");
+        let eval = TailEvaluator::new(&net, &eval_ds, config.tail_layers).expect("evaluator");
         Self {
             images,
             net,
@@ -155,7 +153,9 @@ impl PaperRig {
 
 fn cache_path(key: &str) -> PathBuf {
     let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
-    PathBuf::from(target).join("capnn-cache").join(format!("{key}.json"))
+    PathBuf::from(target)
+        .join("capnn-cache")
+        .join(format!("{key}.json"))
 }
 
 fn load_or_train(images: &SyntheticImages, scale: Scale) -> Network {
@@ -177,7 +177,9 @@ fn load_or_train(images: &SyntheticImages, scale: Scale) -> Network {
 
 fn train_network(images: &SyntheticImages, scale: Scale) -> Network {
     let cfg = VggConfig::vgg_mini(scale.classes);
-    let mut net = NetworkBuilder::vgg(&cfg, 0x5EED).build().expect("vgg-mini builds");
+    let mut net = NetworkBuilder::vgg(&cfg, 0x5EED)
+        .build()
+        .expect("vgg-mini builds");
     let train = images.generate(scale.train_per_class, 0x7EA1);
     let tcfg = TrainerConfig {
         epochs: scale.epochs,

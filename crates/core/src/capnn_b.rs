@@ -139,17 +139,16 @@ impl CapnnB {
         let num_classes = rates.num_classes();
         let mut out_layers: Vec<LayerMatrix> = Vec::with_capacity(tail.len());
         for &li in &tail {
-            let lr = rates.for_layer(li).ok_or_else(|| {
-                CapnnError::Mismatch(format!("no firing rates for layer {li}"))
-            })?;
+            let lr = rates
+                .for_layer(li)
+                .ok_or_else(|| CapnnError::Mismatch(format!("no firing rates for layer {li}")))?;
             let units = lr.units();
             let mut matrix = vec![false; units * num_classes];
             for c in 0..num_classes {
                 // Threshold search for this (layer, class).
                 let mut t = self.config.t_start;
                 loop {
-                    let flagged: Vec<usize> =
-                        (0..units).filter(|&n| lr.rate(n, c) < t).collect();
+                    let flagged: Vec<usize> = (0..units).filter(|&n| lr.rate(n, c) < t).collect();
                     let mut mask = PruneMask::all_kept(net);
                     // earlier tail layers: this class's accepted prune sets
                     for prev in &out_layers {
@@ -217,9 +216,7 @@ impl CapnnB {
         for lm in &matrices.layers {
             let flags: Vec<bool> = (0..lm.units)
                 .map(|n| {
-                    let prune_for_all = classes
-                        .iter()
-                        .all(|&c| lm.matrix[n * nc + c]);
+                    let prune_for_all = classes.iter().all(|&c| lm.matrix[n * nc + c]);
                     !prune_for_all
                 })
                 .collect();
@@ -259,7 +256,9 @@ mod tests {
             .fit(&mut net, gen.generate(30, 1).samples())
             .unwrap();
         let profile_ds = gen.generate(20, 2);
-        let rates = FiringRateProfiler::new(3).profile(&net, &profile_ds).unwrap();
+        let rates = FiringRateProfiler::new(3)
+            .profile(&net, &profile_ds)
+            .unwrap();
         let eval = TailEvaluator::new(&net, &gen.generate(15, 3), 3).unwrap();
         (net, rates, eval)
     }

@@ -111,9 +111,9 @@ impl CapnnM {
         sets: &[Vec<usize>],
     ) -> Result<FiringRates, CapnnError> {
         let tail = prunable_tail_without_output(net, self.config.tail_layers);
-        let &last_hidden = tail.last().ok_or_else(|| {
-            CapnnError::Mismatch("no prunable hidden layer in the tail".into())
-        })?;
+        let &last_hidden = tail
+            .last()
+            .ok_or_else(|| CapnnError::Mismatch("no prunable hidden layer in the tail".into()))?;
         let mut updated = rates.clone();
         let num_classes = rates.num_classes();
         let lr = updated
@@ -173,7 +173,9 @@ mod tests {
             .fit(&mut net, gen.generate(30, 1).samples())
             .unwrap();
         let profile_ds = gen.generate(20, 2);
-        let rates = FiringRateProfiler::new(3).profile(&net, &profile_ds).unwrap();
+        let rates = FiringRateProfiler::new(3)
+            .profile(&net, &profile_ds)
+            .unwrap();
         let confusion = ConfusionMatrix::measure(&net, &profile_ds).unwrap();
         let eval = TailEvaluator::new(&net, &gen.generate(15, 3), 3).unwrap();
         (net, rates, confusion, eval)
@@ -202,21 +204,13 @@ mod tests {
         )
         .unwrap();
         let net = Network::new(
-            vec![
-                Layer::Dense(hidden),
-                Layer::Relu,
-                Layer::Dense(output),
-            ],
+            vec![Layer::Dense(hidden), Layer::Relu, Layer::Dense(output)],
             &[2],
         )
         .unwrap();
         // confusion: class 0 confused with 1, class 1 with 0, class 2 clean
         let cm = ConfusionMatrix::from_fractions(
-            Tensor::from_vec(
-                vec![0.7, 0.3, 0.0, 0.3, 0.7, 0.0, 0.0, 0.0, 1.0],
-                &[3, 3],
-            )
-            .unwrap(),
+            Tensor::from_vec(vec![0.7, 0.3, 0.0, 0.3, 0.7, 0.0, 0.0, 0.0, 1.0], &[3, 3]).unwrap(),
         )
         .unwrap();
         let mut cfg = PruningConfig::fast();
@@ -262,9 +256,7 @@ mod tests {
         let m = CapnnM::new(PruningConfig::fast()).unwrap();
         for classes in [vec![0, 1], vec![2, 3]] {
             let profile = UserProfile::uniform(classes.clone()).unwrap();
-            let mask = m
-                .prune(&net, &rates, &confusion, &eval, &profile)
-                .unwrap();
+            let mask = m.prune(&net, &rates, &confusion, &eval, &profile).unwrap();
             let d = eval.max_degradation(&mask, Some(&classes)).unwrap();
             assert!(
                 d <= PruningConfig::fast().epsilon + 1e-6,
@@ -281,9 +273,7 @@ mod tests {
         let m = CapnnM::new(cfg).unwrap();
         let profile = UserProfile::new(vec![0, 1], vec![0.8, 0.2]).unwrap();
         let mask_w = w.prune(&net, &rates, &eval, &profile).unwrap();
-        let mask_m = m
-            .prune(&net, &rates, &confusion, &eval, &profile)
-            .unwrap();
+        let mask_m = m.prune(&net, &rates, &confusion, &eval, &profile).unwrap();
         let size_w = model_size(&net, &mask_w).unwrap().total();
         let size_m = model_size(&net, &mask_m).unwrap().total();
         assert!(

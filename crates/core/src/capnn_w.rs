@@ -72,9 +72,9 @@ impl CapnnW {
         let mut mask = PruneMask::all_kept(net);
         let user_classes = profile.classes();
         for &li in &tail {
-            let lr = rates.for_layer(li).ok_or_else(|| {
-                CapnnError::Mismatch(format!("no firing rates for layer {li}"))
-            })?;
+            let lr = rates
+                .for_layer(li)
+                .ok_or_else(|| CapnnError::Mismatch(format!("no firing rates for layer {li}")))?;
             let units = lr.units();
             let eff: Vec<f32> = (0..units)
                 .map(|n| lr.effective_rate(n, user_classes, profile.weights()))
@@ -84,8 +84,11 @@ impl CapnnW {
                 let flags: Vec<bool> = eff.iter().map(|&e| e > t).collect();
                 let mut candidate = mask.clone();
                 candidate.set_layer(li, flags.clone())?;
-                let degradation =
-                    eval.max_degradation_metric(&candidate, Some(user_classes), self.config.metric)?;
+                let degradation = eval.max_degradation_metric(
+                    &candidate,
+                    Some(user_classes),
+                    self.config.metric,
+                )?;
                 if degradation <= self.config.epsilon {
                     mask = candidate;
                     break;

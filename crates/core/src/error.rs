@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(CapnnError::Profile("dup".into()).to_string().contains("dup"));
+        assert!(CapnnError::Profile("dup".into())
+            .to_string()
+            .contains("dup"));
         assert!(CapnnError::Config("eps".into()).to_string().contains("eps"));
         assert!(CapnnError::Mismatch("layers".into())
             .to_string()

@@ -82,20 +82,26 @@ impl TailEvaluator {
     /// # Errors
     ///
     /// Returns an error if the dataset is empty or shapes mismatch.
-    pub fn new(
-        net: &Network,
-        dataset: &Dataset,
-        tail_prunable: usize,
-    ) -> Result<Self, CapnnError> {
+    pub fn new(net: &Network, dataset: &Dataset, tail_prunable: usize) -> Result<Self, CapnnError> {
         if dataset.is_empty() {
             return Err(CapnnError::Config("evaluation dataset is empty".into()));
         }
         let tail = net.prunable_tail(tail_prunable);
         let start = tail.first().copied().unwrap_or(net.len());
+        let samples = dataset.samples();
+        let threads = capnn_tensor::parallel::max_threads();
+        let chunks = capnn_tensor::parallel::parallel_reduce(samples.len(), threads, 1, |range| {
+            samples[range]
+                .iter()
+                .map(|(x, label)| {
+                    let trace = net.forward_trace(x)?;
+                    Ok((trace[start].clone(), *label))
+                })
+                .collect::<Result<Vec<_>, CapnnError>>()
+        });
         let mut cached = Vec::with_capacity(dataset.len());
-        for (x, label) in dataset.samples() {
-            let trace = net.forward_trace(x)?;
-            cached.push((trace[start].clone(), *label));
+        for chunk in chunks {
+            cached.extend(chunk?);
         }
         let mut eval = Self {
             net: net.clone(),
@@ -134,6 +140,11 @@ impl TailEvaluator {
     /// samples of those classes are evaluated (other classes report 0);
     /// predictions are still taken over the full output vector.
     ///
+    /// Cached samples are sharded across the worker pool; each worker
+    /// replays the tail through its own [`capnn_nn::ExecScratch`] and
+    /// counts hits with integer counters, so the result is exactly the
+    /// same for every thread count.
+    ///
     /// # Errors
     ///
     /// Returns an error on shape mismatch between mask and network.
@@ -142,18 +153,40 @@ impl TailEvaluator {
         mask: &PruneMask,
         restrict: Option<&[usize]>,
     ) -> Result<ClassAccuracy, CapnnError> {
+        let threads = capnn_tensor::parallel::max_threads();
+        let partials =
+            capnn_tensor::parallel::parallel_reduce(self.cached.len(), threads, 1, |range| {
+                let mut scratch = capnn_nn::ExecScratch::new();
+                let mut correct = vec![0u32; self.num_classes];
+                let mut total = vec![0u32; self.num_classes];
+                for (act, label) in &self.cached[range] {
+                    if let Some(cs) = restrict {
+                        if !cs.contains(label) {
+                            continue;
+                        }
+                    }
+                    let out = self.net.forward_masked_from_with_scratch(
+                        self.start,
+                        act,
+                        mask,
+                        &mut scratch,
+                    )?;
+                    total[*label] += 1;
+                    if out.argmax() == Some(*label) {
+                        correct[*label] += 1;
+                    }
+                }
+                Ok::<_, CapnnError>((correct, total))
+            });
         let mut correct = vec![0u32; self.num_classes];
         let mut total = vec![0u32; self.num_classes];
-        for (act, label) in &self.cached {
-            if let Some(cs) = restrict {
-                if !cs.contains(label) {
-                    continue;
-                }
+        for partial in partials {
+            let (pc, pt) = partial?;
+            for (c, &p) in correct.iter_mut().zip(&pc) {
+                *c += p;
             }
-            let out = self.net.forward_masked_from(self.start, act, mask)?;
-            total[*label] += 1;
-            if out.argmax() == Some(*label) {
-                correct[*label] += 1;
+            for (t, &p) in total.iter_mut().zip(&pt) {
+                *t += p;
             }
         }
         let top1 = correct
@@ -175,19 +208,37 @@ impl TailEvaluator {
         k: usize,
         classes: Option<&[usize]>,
     ) -> Result<f32, CapnnError> {
+        let threads = capnn_tensor::parallel::max_threads();
+        let partials =
+            capnn_tensor::parallel::parallel_reduce(self.cached.len(), threads, 1, |range| {
+                let mut scratch = capnn_nn::ExecScratch::new();
+                let mut correct = 0u32;
+                let mut total = 0u32;
+                for (act, label) in &self.cached[range] {
+                    if let Some(cs) = classes {
+                        if !cs.contains(label) {
+                            continue;
+                        }
+                    }
+                    let out = self.net.forward_masked_from_with_scratch(
+                        self.start,
+                        act,
+                        mask,
+                        &mut scratch,
+                    )?;
+                    total += 1;
+                    if out.top_k(k).contains(label) {
+                        correct += 1;
+                    }
+                }
+                Ok::<_, CapnnError>((correct, total))
+            });
         let mut correct = 0u32;
         let mut total = 0u32;
-        for (act, label) in &self.cached {
-            if let Some(cs) = classes {
-                if !cs.contains(label) {
-                    continue;
-                }
-            }
-            let out = self.net.forward_masked_from(self.start, act, mask)?;
-            total += 1;
-            if out.top_k(k).contains(label) {
-                correct += 1;
-            }
+        for partial in partials {
+            let (pc, pt) = partial?;
+            correct += pc;
+            total += pt;
         }
         Ok(if total > 0 {
             correct as f32 / total as f32
@@ -256,8 +307,9 @@ impl TailEvaluator {
 }
 
 /// Which accuracy notion the ε degradation bound uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
 pub enum DegradationMetric {
     /// Per-class top-1 accuracy (the paper's check).
     #[default]
@@ -265,7 +317,6 @@ pub enum DegradationMetric {
     /// Per-class top-k accuracy — looser, admits more pruning at equal ε.
     TopK(usize),
 }
-
 
 impl std::fmt::Display for DegradationMetric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {

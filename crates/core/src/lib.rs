@@ -46,26 +46,26 @@
 
 mod cache;
 mod capnn_b;
-mod certificate;
 mod capnn_m;
 mod capnn_w;
+mod certificate;
 mod cloud;
 mod config;
-mod protocol;
-mod session;
 mod error;
 mod eval;
+mod protocol;
+mod session;
 mod user;
 
 pub use cache::{CacheStats, ModelCache, ProfileKey};
 pub use capnn_b::{CapnnB, LayerMatrix, PruningMatrices};
-pub use certificate::{ClassEvidence, PruningCertificate};
 pub use capnn_m::CapnnM;
 pub use capnn_w::CapnnW;
+pub use certificate::{ClassEvidence, PruningCertificate};
 pub use cloud::{CloudServer, LocalDevice, PersonalizedModel, Variant};
 pub use config::PruningConfig;
-pub use protocol::{transfer_cost, TransferCost};
-pub use session::{DriftDecision, DriftPolicy, PersonalizationSession};
 pub use error::CapnnError;
 pub use eval::{ClassAccuracy, DegradationMetric, TailEvaluator};
+pub use protocol::{transfer_cost, TransferCost};
+pub use session::{DriftDecision, DriftPolicy, PersonalizationSession};
 pub use user::UserProfile;

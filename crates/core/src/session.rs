@@ -168,8 +168,7 @@ impl PersonalizationSession {
         }
         // Build the replacement profile: top-k observed classes, weighted by
         // observed frequency.
-        let mut by_count: Vec<(usize, u64)> =
-            self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        let mut by_count: Vec<(usize, u64)> = self.counts.iter().map(|(&c, &n)| (c, n)).collect();
         by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         by_count.truncate(self.policy.profile_k);
         let subtotal: u64 = by_count.iter().map(|&(_, n)| n).sum();
@@ -206,12 +205,8 @@ impl PersonalizationSession {
                 support.push(c);
             }
         }
-        let p = |c: usize| -> f64 {
-            self.deployed.weight_of(c).map_or(0.0, |w| w as f64)
-        };
-        let q = |c: usize| -> f64 {
-            self.counts.get(&c).map_or(0.0, |&n| n as f64 / total)
-        };
+        let p = |c: usize| -> f64 { self.deployed.weight_of(c).map_or(0.0, |w| w as f64) };
+        let q = |c: usize| -> f64 { self.counts.get(&c).map_or(0.0, |&n| n as f64 / total) };
         let mut js = 0.0;
         for &c in &support {
             let (pi, qi) = (p(c), q(c));

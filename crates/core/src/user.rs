@@ -38,7 +38,9 @@ impl UserProfile {
     /// probability distribution.
     pub fn new(classes: Vec<usize>, weights: Vec<f32>) -> Result<Self, CapnnError> {
         if classes.is_empty() {
-            return Err(CapnnError::Profile("profile must name at least one class".into()));
+            return Err(CapnnError::Profile(
+                "profile must name at least one class".into(),
+            ));
         }
         if classes.len() != weights.len() {
             return Err(CapnnError::Profile(format!(

@@ -229,10 +229,7 @@ impl SyntheticImages {
         rng: &mut XorShiftRng,
     ) -> Vec<(Tensor, usize)> {
         assert_eq!(classes.len(), weights.len(), "classes/weights mismatch");
-        assert!(
-            weights.iter().all(|&w| w > 0.0),
-            "weights must be positive"
-        );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let total: f32 = weights.iter().sum();
         (0..n)
             .map(|_| {
@@ -261,8 +258,7 @@ fn smooth_pattern(dims: &[usize; 3], rng: &mut XorShiftRng) -> Tensor {
         let cy = rng.next_uniform() * h as f32;
         let cx = rng.next_uniform() * w as f32;
         let sigma = 1.5 + rng.next_uniform() * (h as f32 / 3.0);
-        let amp = if rng.next_uniform() < 0.5 { 1.0 } else { -1.0 }
-            * (0.5 + rng.next_uniform());
+        let amp = if rng.next_uniform() < 0.5 { 1.0 } else { -1.0 } * (0.5 + rng.next_uniform());
         let ch = rng.next_below(c);
         for y in 0..h {
             for x in 0..w {
@@ -315,12 +311,7 @@ mod tests {
         let gen = SyntheticImages::new(SyntheticImagesConfig::small(8)).unwrap();
         // classes 0 and families (0 % f) share a family with 0 + families
         let fam = gen.family_of().to_vec();
-        let d = |a: usize, b: usize| {
-            gen.prototypes[a]
-                .sub(&gen.prototypes[b])
-                .unwrap()
-                .norm_sq()
-        };
+        let d = |a: usize, b: usize| gen.prototypes[a].sub(&gen.prototypes[b]).unwrap().norm_sq();
         let mut same_fam = Vec::new();
         let mut diff_fam = Vec::new();
         for a in 0..8 {

@@ -183,8 +183,11 @@ impl NetworkBuilder {
 
     /// Appends a randomly initialized dense layer.
     pub fn dense(mut self, in_features: usize, out_features: usize, rng: &mut XorShiftRng) -> Self {
-        self.layers
-            .push(Layer::Dense(Dense::new_random(in_features, out_features, rng)));
+        self.layers.push(Layer::Dense(Dense::new_random(
+            in_features,
+            out_features,
+            rng,
+        )));
         self
     }
 
@@ -213,13 +216,15 @@ impl NetworkBuilder {
 
     /// Appends a max-pool layer.
     pub fn max_pool(mut self, window: usize, stride: usize) -> Self {
-        self.layers.push(Layer::MaxPool2d(PoolSpec::new(window, stride)));
+        self.layers
+            .push(Layer::MaxPool2d(PoolSpec::new(window, stride)));
         self
     }
 
     /// Appends an average-pool layer.
     pub fn avg_pool(mut self, window: usize, stride: usize) -> Self {
-        self.layers.push(Layer::AvgPool2d(PoolSpec::new(window, stride)));
+        self.layers
+            .push(Layer::AvgPool2d(PoolSpec::new(window, stride)));
         self
     }
 
@@ -322,10 +327,7 @@ mod tests {
         // "last 6 layers" = 3 conv + 2 FC + output, as in §V
         let tail = net.prunable_tail(6);
         assert_eq!(tail.len(), 6);
-        let kinds: Vec<&str> = tail
-            .iter()
-            .map(|&i| net.layers()[i].kind())
-            .collect();
+        let kinds: Vec<&str> = tail.iter().map(|&i| net.layers()[i].kind()).collect();
         assert_eq!(kinds, ["conv", "conv", "conv", "dense", "dense", "dense"]);
     }
 

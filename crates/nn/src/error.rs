@@ -27,7 +27,10 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Config(msg) => write!(f, "invalid network configuration: {msg}"),
             NnError::LayerOutOfRange { index, len } => {
-                write!(f, "layer index {index} out of range for network of {len} layers")
+                write!(
+                    f,
+                    "layer index {index} out of range for network of {len} layers"
+                )
             }
         }
     }

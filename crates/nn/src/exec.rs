@@ -1,0 +1,326 @@
+//! Mask-aware execution engine: structured compute-skipping.
+//!
+//! The naive way to apply a [`PruneMask`](crate::PruneMask) is to run every
+//! layer densely and zero pruned units afterwards — correct, but it spends
+//! 100% of the multiply–accumulates regardless of how much was pruned. This
+//! module is the engine that actually *skips* the pruned work:
+//!
+//! * dense layers compute only the kept output rows, and gather only the
+//!   kept input columns into each dot product;
+//! * conv layers compute only the kept output channels and drop pruned
+//!   input channels from the im2col unfold entirely
+//!   ([`capnn_tensor::conv2d_masked`]);
+//! * ReLU / pooling pass kept-unit sets through unchanged; Flatten expands
+//!   kept channels into kept flat indices (the same bookkeeping
+//!   [`Network::compact`](crate::Network::compact) does when it physically
+//!   shrinks the model).
+//!
+//! With fraction `p` pruned on both sides of a layer this does `(1-p)²` of
+//! the dense MACs. The output is **value-identical** to the zero-after-dense
+//! path: every skipped multiply–accumulate term is exactly `±0.0` (pruned
+//! activations are written as exact zeros by construction), adding `±0.0`
+//! never changes the value of an f32 accumulation, and the surviving terms
+//! keep their original order. Predictions (argmax) are therefore identical.
+//!
+//! [`ExecScratch`] carries the conv workspace across calls so steady-state
+//! masked inference allocates only its output tensors.
+
+use crate::error::NnError;
+use crate::layer::{Conv2dLayer, Dense, Layer};
+use crate::mask::PruneMask;
+use crate::network::{zero_pruned_units, Network};
+use capnn_tensor::{conv2d_im2col_scratch, conv2d_masked, ConvScratch, Tensor};
+
+/// Reusable workspace for masked execution: holds the im2col / gathered-
+/// weight buffers so repeated forwards are allocation-free after warmup.
+#[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
+    conv: ConvScratch,
+}
+
+impl ExecScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Indices of `true` flags.
+fn kept_indices(flags: &[bool]) -> Vec<usize> {
+    flags
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i))
+        .collect()
+}
+
+/// Restricts an already-kept index set by a fresh flag vector.
+fn intersect_kept(kept: Option<&[usize]>, flags: &[bool]) -> Vec<usize> {
+    match kept {
+        None => kept_indices(flags),
+        Some(k) => k.iter().copied().filter(|&i| flags[i]).collect(),
+    }
+}
+
+/// Dense forward computing only kept output rows over kept input columns.
+///
+/// Accumulation starts at the bias and adds weight×input terms in
+/// increasing input-index order — exactly the order of
+/// [`Dense::forward`] — so kept outputs are value-identical to the dense
+/// pass. Pruned outputs are exact zeros.
+fn dense_masked(
+    d: &Dense,
+    x: &Tensor,
+    flags: Option<&[bool]>,
+    kept_in: Option<&[usize]>,
+) -> Result<Tensor, NnError> {
+    if flags.is_none() && kept_in.is_none() {
+        return d.forward(x);
+    }
+    if x.len() != d.in_features() {
+        return Err(NnError::Config(format!(
+            "dense input has {} elements, expected {}",
+            x.len(),
+            d.in_features()
+        )));
+    }
+    if let Some(f) = flags {
+        if f.len() != d.out_features() {
+            return Err(NnError::Config(format!(
+                "mask has {} flags for dense layer of {} units",
+                f.len(),
+                d.out_features()
+            )));
+        }
+    }
+    let n_in = d.in_features();
+    let w = d.weights().as_slice();
+    let b = d.bias().as_slice();
+    let xs = x.as_slice();
+    let mut out = Tensor::zeros(&[d.out_features()]);
+    let ov = out.as_mut_slice();
+    for (j, o) in ov.iter_mut().enumerate() {
+        if let Some(f) = flags {
+            if !f[j] {
+                continue; // pruned output: stays exactly 0.0
+            }
+        }
+        let row = &w[j * n_in..(j + 1) * n_in];
+        let mut acc = b[j];
+        match kept_in {
+            None => {
+                for (&wi, &xi) in row.iter().zip(xs) {
+                    acc += wi * xi;
+                }
+            }
+            Some(ki) => {
+                for &i in ki {
+                    acc += row[i] * xs[i];
+                }
+            }
+        }
+        *o = acc;
+    }
+    Ok(out)
+}
+
+/// Conv forward computing only kept output channels over kept input
+/// channels, through the shared scratch workspace.
+fn conv_masked(
+    c: &Conv2dLayer,
+    x: &Tensor,
+    flags: Option<&[bool]>,
+    kept_in: Option<&[usize]>,
+    scratch: &mut ConvScratch,
+) -> Result<Tensor, NnError> {
+    if flags.is_none() && kept_in.is_none() {
+        return Ok(conv2d_im2col_scratch(
+            x,
+            c.weights(),
+            Some(c.bias()),
+            c.spec(),
+            scratch,
+        )?);
+    }
+    if let Some(f) = flags {
+        if f.len() != c.spec().out_channels {
+            return Err(NnError::Config(format!(
+                "mask has {} flags for conv layer of {} channels",
+                f.len(),
+                c.spec().out_channels
+            )));
+        }
+    }
+    let kept_out: Vec<usize> = match flags {
+        Some(f) => kept_indices(f),
+        None => (0..c.spec().out_channels).collect(),
+    };
+    let all_in: Vec<usize>;
+    let kept_in: &[usize] = match kept_in {
+        Some(k) => k,
+        None => {
+            all_in = (0..c.spec().in_channels).collect();
+            &all_in
+        }
+    };
+    Ok(conv2d_masked(
+        x,
+        c.weights(),
+        Some(c.bias()),
+        c.spec(),
+        &kept_out,
+        kept_in,
+        scratch,
+    )?)
+}
+
+/// Runs layers `start..` of `net` on `activation` with structured
+/// compute-skipping under `mask`. Semantics match the zero-after-dense
+/// reference ([`Network::forward_masked_reference`]): pruned units are
+/// exact zeros in every intermediate and final activation.
+pub(crate) fn run_masked(
+    net: &Network,
+    start: usize,
+    activation: &Tensor,
+    mask: &PruneMask,
+    scratch: &mut ExecScratch,
+) -> Result<Tensor, NnError> {
+    if start > net.len() {
+        return Err(NnError::LayerOutOfRange {
+            index: start,
+            len: net.len(),
+        });
+    }
+    let mut x = activation.clone();
+    // Kept units of the current activation in its "unit view" (channels for
+    // CHW, elements for flat); None = everything kept. Entries outside the
+    // kept set are exact zeros in `x` by construction.
+    let mut kept: Option<Vec<usize>> = None;
+    for (i, layer) in net.layers().iter().enumerate().skip(start) {
+        match layer {
+            Layer::Dense(d) => {
+                let flags = mask.layer_flags(i);
+                x = dense_masked(d, &x, flags, kept.as_deref())?;
+                kept = flags.map(kept_indices);
+            }
+            Layer::Conv2d(c) => {
+                let flags = mask.layer_flags(i);
+                x = conv_masked(c, &x, flags, kept.as_deref(), &mut scratch.conv)?;
+                kept = flags.map(kept_indices);
+            }
+            Layer::Flatten => {
+                // Expand kept channels into kept flat indices before the
+                // shape information is lost.
+                if let Some(k) = &kept {
+                    if x.dims().len() == 3 {
+                        let plane = x.dims()[1] * x.dims()[2];
+                        kept = Some(k.iter().flat_map(|&c| c * plane..(c + 1) * plane).collect());
+                    }
+                }
+                x = layer.forward(&x)?;
+                if let Some(flags) = mask.layer_flags(i) {
+                    zero_pruned_units(&mut x, flags)?;
+                    kept = Some(intersect_kept(kept.as_deref(), flags));
+                }
+            }
+            Layer::Relu | Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => {
+                // These map zero planes/elements to zeros, so the kept set
+                // passes through unchanged. (A mask entry on a non-prunable
+                // layer is not produced by PruneMask::all_kept, but honor it
+                // for compatibility with hand-built masks.)
+                x = layer.forward(&x)?;
+                if let Some(flags) = mask.layer_flags(i) {
+                    zero_pruned_units(&mut x, flags)?;
+                    kept = Some(intersect_kept(kept.as_deref(), flags));
+                }
+            }
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use capnn_tensor::XorShiftRng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn skipping_engine_matches_reference_on_cnn() {
+        let net = NetworkBuilder::cnn(&[1, 8, 8], &[(4, 1), (6, 1)], &[12, 10], 4, 3)
+            .build()
+            .unwrap();
+        let mut rng = XorShiftRng::new(21);
+        let mut mask = PruneMask::all_kept(&net);
+        // prune across conv channels and dense neurons (not the output layer)
+        let prunable = net.prunable_layers();
+        for &(l, u) in &[(0usize, 1usize), (1, 0), (1, 4), (2, 3), (2, 7), (3, 1)] {
+            mask.prune(prunable[l], u).unwrap();
+        }
+        let mut scratch = ExecScratch::new();
+        for _ in 0..4 {
+            let x = Tensor::uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
+            let reference = net.forward_masked_reference(&x, &mask).unwrap();
+            let fast = run_masked(&net, 0, &x, &mask, &mut scratch).unwrap();
+            assert_close(&fast, &reference, 1e-5);
+            assert_eq!(fast.argmax(), reference.argmax());
+        }
+    }
+
+    #[test]
+    fn skipping_engine_exact_when_nothing_pruned() {
+        let net = NetworkBuilder::mlp(&[6, 10, 4], 2).build().unwrap();
+        let mask = PruneMask::all_kept(&net);
+        let mut rng = XorShiftRng::new(22);
+        let x = Tensor::uniform(&[6], -1.0, 1.0, &mut rng);
+        let plain = net.forward(&x).unwrap();
+        let mut scratch = ExecScratch::new();
+        let fast = run_masked(&net, 0, &x, &mask, &mut scratch).unwrap();
+        assert_eq!(fast.as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn pruned_units_are_exact_zeros() {
+        let net = NetworkBuilder::mlp(&[5, 8, 8, 3], 9).build().unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        let prunable = net.prunable_layers();
+        mask.prune(prunable[0], 2).unwrap();
+        mask.prune(prunable[1], 5).unwrap();
+        let mut rng = XorShiftRng::new(23);
+        let x = Tensor::uniform(&[5], -1.0, 1.0, &mut rng);
+        // check the intermediate after the first dense layer via a one-layer
+        // truncated run: pruned slot must be exactly 0.0
+        let first = dense_masked(
+            match &net.layers()[prunable[0]] {
+                Layer::Dense(d) => d,
+                _ => unreachable!(),
+            },
+            &x,
+            mask.layer_flags(prunable[0]),
+            None,
+        )
+        .unwrap();
+        assert_eq!(first.as_slice()[2], 0.0);
+        // and the full run matches the reference
+        let mut scratch = ExecScratch::new();
+        let fast = run_masked(&net, 0, &x, &mask, &mut scratch).unwrap();
+        let reference = net.forward_masked_reference(&x, &mask).unwrap();
+        assert_close(&fast, &reference, 1e-5);
+    }
+
+    #[test]
+    fn dense_masked_rejects_wrong_flag_count() {
+        let mut rng = XorShiftRng::new(1);
+        let d = Dense::new_random(4, 3, &mut rng);
+        let x = Tensor::zeros(&[4]);
+        let flags = vec![true; 2];
+        assert!(dense_masked(&d, &x, Some(&flags), None).is_err());
+    }
+}

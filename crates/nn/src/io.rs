@@ -65,8 +65,8 @@ pub fn network_to_json(net: &Network) -> Result<String, NnError> {
 /// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
 /// version mismatch.
 pub fn network_from_json(json: &str) -> Result<Network, NnError> {
-    let envelope: Envelope<Network> = serde_json::from_str(json)
-        .map_err(|e| NnError::Config(format!("parse network: {e}")))?;
+    let envelope: Envelope<Network> =
+        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse network: {e}")))?;
     check_envelope("network", envelope)
 }
 
@@ -114,8 +114,8 @@ pub fn mask_to_json(mask: &PruneMask) -> Result<String, NnError> {
 /// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
 /// version mismatch.
 pub fn mask_from_json(json: &str) -> Result<PruneMask, NnError> {
-    let envelope: Envelope<PruneMask> = serde_json::from_str(json)
-        .map_err(|e| NnError::Config(format!("parse mask: {e}")))?;
+    let envelope: Envelope<PruneMask> =
+        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse mask: {e}")))?;
     check_envelope("mask", envelope)
 }
 
@@ -165,7 +165,9 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let n = net();
-        let json = network_to_json(&n).unwrap().replace("\"version\":1", "\"version\":99");
+        let json = network_to_json(&n)
+            .unwrap()
+            .replace("\"version\":1", "\"version\":99");
         let err = network_from_json(&json).unwrap_err();
         assert!(err.to_string().contains("version"));
     }

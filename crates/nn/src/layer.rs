@@ -152,13 +152,7 @@ impl Dense {
                 }
             }
         }
-        (
-            dx,
-            LayerGrads {
-                dw,
-                db: dy.clone(),
-            },
-        )
+        (dx, LayerGrads { dw, db: dy.clone() })
     }
 }
 
@@ -178,7 +172,12 @@ impl Conv2dLayer {
     /// Returns [`NnError::Config`] if the weight or bias shape does not match
     /// `spec`.
     pub fn new(spec: Conv2dSpec, weights: Tensor, bias: Tensor) -> Result<Self, NnError> {
-        let expected = [spec.out_channels, spec.in_channels, spec.kernel, spec.kernel];
+        let expected = [
+            spec.out_channels,
+            spec.in_channels,
+            spec.kernel,
+            spec.kernel,
+        ];
         if weights.dims() != expected {
             return Err(NnError::Config(format!(
                 "conv weights {} do not match spec {:?}",
@@ -206,7 +205,12 @@ impl Conv2dLayer {
         let std = (2.0 / fan_in as f32).sqrt();
         Self {
             weights: Tensor::randn(
-                &[spec.out_channels, spec.in_channels, spec.kernel, spec.kernel],
+                &[
+                    spec.out_channels,
+                    spec.in_channels,
+                    spec.kernel,
+                    spec.kernel,
+                ],
                 std,
                 rng,
             ),
@@ -252,7 +256,12 @@ impl Conv2dLayer {
     ///
     /// Returns an error if the input shape does not match the spec.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, NnError> {
-        Ok(conv2d_im2col(x, &self.weights, Some(&self.bias), &self.spec)?)
+        Ok(conv2d_im2col(
+            x,
+            &self.weights,
+            Some(&self.bias),
+            &self.spec,
+        )?)
     }
 
     /// Backward pass: given the cached input and `dL/dy` (CHW), returns
@@ -355,7 +364,11 @@ impl Layer {
     /// # Errors
     ///
     /// Returns an error if the cached input is inconsistent with the layer.
-    pub fn backward(&self, x: &Tensor, dy: &Tensor) -> Result<(Tensor, Option<LayerGrads>), NnError> {
+    pub fn backward(
+        &self,
+        x: &Tensor,
+        dy: &Tensor,
+    ) -> Result<(Tensor, Option<LayerGrads>), NnError> {
         match self {
             Layer::Dense(d) => {
                 let (dx, g) = d.backward(x, dy);
@@ -589,7 +602,9 @@ mod tests {
         let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
         let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
         let d = Dense::new(w, b).unwrap();
-        let y = d.forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap()).unwrap();
+        let y = d
+            .forward(&Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap())
+            .unwrap();
         assert_eq!(y.as_slice(), &[3.5, 6.5]);
     }
 
@@ -654,7 +669,10 @@ mod tests {
     #[test]
     fn output_shape_propagation() {
         let mut rng = XorShiftRng::new(1);
-        let conv = Layer::Conv2d(Conv2dLayer::new_random(Conv2dSpec::new(3, 8, 3, 1, 1), &mut rng));
+        let conv = Layer::Conv2d(Conv2dLayer::new_random(
+            Conv2dSpec::new(3, 8, 3, 1, 1),
+            &mut rng,
+        ));
         assert_eq!(conv.output_shape(&[3, 16, 16]).unwrap(), vec![8, 16, 16]);
         assert!(conv.output_shape(&[2, 16, 16]).is_err());
 
@@ -676,7 +694,10 @@ mod tests {
         let d = Layer::Dense(Dense::new_random(3, 4, &mut rng));
         assert_eq!(d.unit_count(), Some(4));
         assert_eq!(d.param_count(), 3 * 4 + 4);
-        let c = Layer::Conv2d(Conv2dLayer::new_random(Conv2dSpec::new(2, 5, 3, 1, 1), &mut rng));
+        let c = Layer::Conv2d(Conv2dLayer::new_random(
+            Conv2dSpec::new(2, 5, 3, 1, 1),
+            &mut rng,
+        ));
         assert_eq!(c.unit_count(), Some(5));
         assert_eq!(c.param_count(), 5 * 2 * 9 + 5);
         assert_eq!(Layer::Relu.unit_count(), None);

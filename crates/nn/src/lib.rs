@@ -21,6 +21,7 @@
 
 mod builder;
 mod error;
+mod exec;
 mod io;
 mod layer;
 mod loss;
@@ -31,7 +32,11 @@ mod train;
 
 pub use builder::{NetworkBuilder, VggConfig};
 pub use error::NnError;
-pub use io::{load_network, mask_from_json, mask_to_json, network_from_json, network_to_json, save_network, FORMAT_VERSION};
+pub use exec::ExecScratch;
+pub use io::{
+    load_network, mask_from_json, mask_to_json, network_from_json, network_to_json, save_network,
+    FORMAT_VERSION,
+};
 pub use layer::{Conv2dLayer, Dense, Layer, LayerGrads};
 pub use loss::{cross_entropy_loss, softmax};
 pub use mask::PruneMask;

@@ -73,15 +73,10 @@ mod tests {
 
     #[test]
     fn cross_entropy_of_confident_correct_is_small() {
-        let (loss, _) = cross_entropy_loss(
-            &Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap(),
-            0,
-        );
+        let (loss, _) = cross_entropy_loss(&Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap(), 0);
         assert!(loss < 1e-3);
-        let (loss_wrong, _) = cross_entropy_loss(
-            &Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap(),
-            1,
-        );
+        let (loss_wrong, _) =
+            cross_entropy_loss(&Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap(), 1);
         assert!(loss_wrong > 5.0);
     }
 

@@ -172,9 +172,9 @@ impl PruneMask {
             .iter()
             .zip(&other.keep)
             .map(|(a, b)| match (a, b) {
-                (Some(fa), Some(fb)) if fa.len() == fb.len() => Ok(Some(
-                    fa.iter().zip(fb).map(|(&ka, &kb)| ka || kb).collect(),
-                )),
+                (Some(fa), Some(fb)) if fa.len() == fb.len() => {
+                    Ok(Some(fa.iter().zip(fb).map(|(&ka, &kb)| ka || kb).collect()))
+                }
                 (None, None) => Ok(None),
                 _ => Err(NnError::Config("mask layer structure mismatch".into())),
             })
@@ -200,9 +200,9 @@ impl PruneMask {
             .iter()
             .zip(&other.keep)
             .map(|(a, b)| match (a, b) {
-                (Some(fa), Some(fb)) if fa.len() == fb.len() => Ok(Some(
-                    fa.iter().zip(fb).map(|(&ka, &kb)| ka && kb).collect(),
-                )),
+                (Some(fa), Some(fb)) if fa.len() == fb.len() => {
+                    Ok(Some(fa.iter().zip(fb).map(|(&ka, &kb)| ka && kb).collect()))
+                }
                 (None, None) => Ok(None),
                 _ => Err(NnError::Config("mask layer structure mismatch".into())),
             })
@@ -216,14 +216,17 @@ impl PruneMask {
         if self.keep.len() != other.keep.len() {
             return false;
         }
-        self.keep.iter().zip(&other.keep).all(|(a, b)| match (a, b) {
-            (Some(fa), Some(fb)) if fa.len() == fb.len() => {
-                // every unit we prune (ka == false) must be pruned by other
-                fa.iter().zip(fb).all(|(&ka, &kb)| ka || !kb)
-            }
-            (None, None) => true,
-            _ => false,
-        })
+        self.keep
+            .iter()
+            .zip(&other.keep)
+            .all(|(a, b)| match (a, b) {
+                (Some(fa), Some(fb)) if fa.len() == fb.len() => {
+                    // every unit we prune (ka == false) must be pruned by other
+                    fa.iter().zip(fb).all(|(&ka, &kb)| ka || !kb)
+                }
+                (None, None) => true,
+                _ => false,
+            })
     }
 }
 

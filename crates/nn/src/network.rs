@@ -2,6 +2,7 @@
 //! execution, activation taps and tail replay.
 
 use crate::error::NnError;
+use crate::exec::ExecScratch;
 use crate::layer::Layer;
 use crate::mask::PruneMask;
 use serde::{Deserialize, Serialize};
@@ -47,7 +48,9 @@ impl Network {
     /// incompatible or `layers` is empty.
     pub fn new(layers: Vec<Layer>, input_dims: &[usize]) -> Result<Self, NnError> {
         if layers.is_empty() {
-            return Err(NnError::Config("network must have at least one layer".into()));
+            return Err(NnError::Config(
+                "network must have at least one layer".into(),
+            ));
         }
         let net = Self {
             layers,
@@ -150,8 +153,14 @@ impl Network {
         Ok(x)
     }
 
-    /// Forward pass with a [`PruneMask`]: after each prunable layer, pruned
-    /// units' outputs are zeroed.
+    /// Forward pass with a [`PruneMask`]: pruned units are exact zeros in
+    /// every intermediate and the final activation.
+    ///
+    /// Runs the structured compute-skipping engine
+    /// ([`crate::exec`]) — pruned dense rows and conv channels are never
+    /// computed, and pruned inputs are dropped from downstream inner loops.
+    /// The result is value-identical to the zero-after-dense reference
+    /// ([`Network::forward_masked_reference`]).
     ///
     /// # Errors
     ///
@@ -162,6 +171,21 @@ impl Network {
         mask: &PruneMask,
     ) -> Result<capnn_tensor::Tensor, NnError> {
         self.forward_masked_from(0, input, mask)
+    }
+
+    /// [`Network::forward_masked`] reusing a caller-held [`ExecScratch`]
+    /// so repeated masked forwards are allocation-free after warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward_masked_with_scratch(
+        &self,
+        input: &capnn_tensor::Tensor,
+        mask: &PruneMask,
+        scratch: &mut ExecScratch,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
+        crate::exec::run_masked(self, 0, input, mask, scratch)
     }
 
     /// Tail replay: runs layers `start..` on `activation` (which must be the
@@ -182,6 +206,53 @@ impl Network {
         activation: &capnn_tensor::Tensor,
         mask: &PruneMask,
     ) -> Result<capnn_tensor::Tensor, NnError> {
+        let mut scratch = ExecScratch::new();
+        crate::exec::run_masked(self, start, activation, mask, &mut scratch)
+    }
+
+    /// [`Network::forward_masked_from`] reusing a caller-held
+    /// [`ExecScratch`] (the hot loop of mask-candidate evaluation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `start` is out of range or shapes mismatch.
+    pub fn forward_masked_from_with_scratch(
+        &self,
+        start: usize,
+        activation: &capnn_tensor::Tensor,
+        mask: &PruneMask,
+        scratch: &mut ExecScratch,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
+        crate::exec::run_masked(self, start, activation, mask, scratch)
+    }
+
+    /// The original zero-after-dense masked forward: every layer runs
+    /// densely, then pruned units' outputs are zeroed. Kept as the semantic
+    /// baseline the compute-skipping engine is property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch.
+    pub fn forward_masked_reference(
+        &self,
+        input: &capnn_tensor::Tensor,
+        mask: &PruneMask,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
+        self.forward_masked_reference_from(0, input, mask)
+    }
+
+    /// [`Network::forward_masked_reference`] starting from layer `start`
+    /// (reference counterpart of [`Network::forward_masked_from`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `start` is out of range or shapes mismatch.
+    pub fn forward_masked_reference_from(
+        &self,
+        start: usize,
+        activation: &capnn_tensor::Tensor,
+        mask: &PruneMask,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
         if start > self.layers.len() {
             return Err(NnError::LayerOutOfRange {
                 index: start,
@@ -196,6 +267,58 @@ impl Network {
             }
         }
         Ok(x)
+    }
+
+    /// Batched forward pass: shards `inputs` across the worker pool
+    /// ([`capnn_tensor::parallel`]), each worker running samples serially.
+    /// Outputs are returned in input order and are bitwise identical to
+    /// calling [`Network::forward`] per sample, for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error (by sample order) on shape mismatch.
+    pub fn forward_batch(
+        &self,
+        inputs: &[capnn_tensor::Tensor],
+    ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
+        let threads = capnn_tensor::parallel::max_threads();
+        let chunks = capnn_tensor::parallel::parallel_reduce(inputs.len(), threads, 1, |range| {
+            inputs[range]
+                .iter()
+                .map(|x| self.forward(x))
+                .collect::<Result<Vec<_>, NnError>>()
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// Batched masked forward through the compute-skipping engine; one
+    /// [`ExecScratch`] per worker, outputs in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error (by sample order) on shape mismatch.
+    pub fn forward_masked_batch(
+        &self,
+        inputs: &[capnn_tensor::Tensor],
+        mask: &PruneMask,
+    ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
+        let threads = capnn_tensor::parallel::max_threads();
+        let chunks = capnn_tensor::parallel::parallel_reduce(inputs.len(), threads, 1, |range| {
+            let mut scratch = ExecScratch::new();
+            inputs[range]
+                .iter()
+                .map(|x| crate::exec::run_masked(self, 0, x, mask, &mut scratch))
+                .collect::<Result<Vec<_>, NnError>>()
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
     }
 
     /// Forward pass that records the activation at every layer boundary.
@@ -243,7 +366,11 @@ impl Network {
         use std::fmt::Write as _;
         let shapes = self.layer_shapes().expect("validated at construction");
         let mut out = String::new();
-        let _ = writeln!(out, "{:<3} {:<8} {:<14} {:>10}", "#", "kind", "output", "params");
+        let _ = writeln!(
+            out,
+            "{:<3} {:<8} {:<14} {:>10}",
+            "#", "kind", "output", "params"
+        );
         for (i, layer) in self.layers.iter().enumerate() {
             let shape = shapes[i + 1]
                 .iter()
@@ -308,12 +435,7 @@ impl Network {
                     let mut spec = *c.spec();
                     spec.in_channels = kept_in.len();
                     spec.out_channels = kept_out.len();
-                    let mut w = capnn_tensor::Tensor::zeros(&[
-                        kept_out.len(),
-                        kept_in.len(),
-                        k,
-                        k,
-                    ]);
+                    let mut w = capnn_tensor::Tensor::zeros(&[kept_out.len(), kept_in.len(), k, k]);
                     let mut b = capnn_tensor::Tensor::zeros(&[kept_out.len()]);
                     let src_w = c.weights().as_slice();
                     let src_b = c.bias().as_slice();
@@ -324,8 +446,10 @@ impl Network {
                         for (no, &oc) in kept_out.iter().enumerate() {
                             bv[no] = src_b[oc];
                             for (ni, &ic) in kept_in.iter().enumerate() {
-                                let dst = ((no * kept_in.len() + ni) * k * k)..((no * kept_in.len() + ni + 1) * k * k);
-                                let src = ((oc * in_c_old + ic) * k * k)..((oc * in_c_old + ic + 1) * k * k);
+                                let dst = ((no * kept_in.len() + ni) * k * k)
+                                    ..((no * kept_in.len() + ni + 1) * k * k);
+                                let src = ((oc * in_c_old + ic) * k * k)
+                                    ..((oc * in_c_old + ic + 1) * k * k);
                                 wv[dst].copy_from_slice(&src_w[src]);
                             }
                         }
@@ -344,8 +468,7 @@ impl Network {
                             "compaction would leave dense layer {i} with zero neurons"
                         )));
                     }
-                    let mut w =
-                        capnn_tensor::Tensor::zeros(&[kept_out.len(), kept_in.len()]);
+                    let mut w = capnn_tensor::Tensor::zeros(&[kept_out.len(), kept_in.len()]);
                     let mut b = capnn_tensor::Tensor::zeros(&[kept_out.len()]);
                     let src_w = d.weights().as_slice();
                     let src_b = d.bias().as_slice();
@@ -388,7 +511,10 @@ impl Network {
 
 /// Zeroes the units flagged `false`. For rank-1 activations a unit is one
 /// element; for CHW activations it is a channel plane.
-fn zero_pruned_units(x: &mut capnn_tensor::Tensor, flags: &[bool]) -> Result<(), NnError> {
+pub(crate) fn zero_pruned_units(
+    x: &mut capnn_tensor::Tensor,
+    flags: &[bool],
+) -> Result<(), NnError> {
     let dims = x.dims().to_vec();
     match dims.len() {
         1 => {
@@ -542,6 +668,64 @@ mod tests {
                 assert!((a - b).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn masked_forward_matches_reference_engine() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(31);
+        let mut mask = PruneMask::all_kept(&net);
+        let prunable = net.prunable_layers();
+        mask.prune(prunable[0], 2).unwrap();
+        mask.prune(prunable[1], 1).unwrap();
+        mask.prune(prunable[2], 4).unwrap();
+        for _ in 0..4 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let fast = net.forward_masked(&x, &mask).unwrap();
+            let reference = net.forward_masked_reference(&x, &mask).unwrap();
+            for (&a, &b) in fast.as_slice().iter().zip(reference.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+            assert_eq!(fast.argmax(), reference.argmax());
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(41);
+        let inputs: Vec<Tensor> = (0..7)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let batched = net.forward_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        for (x, y) in inputs.iter().zip(&batched) {
+            let single = net.forward(x).unwrap();
+            assert_eq!(single.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn forward_masked_batch_matches_per_sample() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(43);
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[1], 0).unwrap();
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let batched = net.forward_masked_batch(&inputs, &mask).unwrap();
+        for (x, y) in inputs.iter().zip(&batched) {
+            let single = net.forward_masked(x, &mask).unwrap();
+            assert_eq!(single.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn forward_batch_propagates_errors() {
+        let net = small_cnn();
+        let inputs = vec![Tensor::ones(&[1, 4, 4]), Tensor::ones(&[2, 4, 4])];
+        assert!(net.forward_batch(&inputs).is_err());
     }
 
     #[test]

@@ -166,7 +166,10 @@ mod tests {
         let rel = pruned.relative_to(&full);
         assert!(rel > 0.0 && rel < 1.0);
         assert_eq!(full.relative_to(&full), 1.0);
-        assert_eq!(ParamCount::default().relative_to(&ParamCount::default()), 1.0);
+        assert_eq!(
+            ParamCount::default().relative_to(&ParamCount::default()),
+            1.0
+        );
     }
 
     #[test]

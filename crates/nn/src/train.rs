@@ -200,13 +200,18 @@ impl Trainer {
         let mut masks: Vec<Option<Vec<f32>>> = vec![None; net.len()];
         for (i, layer) in net.layers().iter().enumerate() {
             let mut out = layer.forward(acts.last().expect("non-empty"))?;
-            let follows_dense =
-                i > 0 && matches!(net.layers()[i - 1], Layer::Dense(_));
+            let follows_dense = i > 0 && matches!(net.layers()[i - 1], Layer::Dense(_));
             // never drop the logits: only hidden relu-after-dense outputs
             if p > 0.0 && matches!(layer, Layer::Relu) && follows_dense && i + 1 < net.len() {
                 let scale = 1.0 / (1.0 - p);
                 let mask: Vec<f32> = (0..out.len())
-                    .map(|_| if self.rng.next_uniform() < p { 0.0 } else { scale })
+                    .map(|_| {
+                        if self.rng.next_uniform() < p {
+                            0.0
+                        } else {
+                            scale
+                        }
+                    })
                     .collect();
                 for (v, &m) in out.as_mut_slice().iter_mut().zip(&mask) {
                     *v *= m;
@@ -304,13 +309,19 @@ mod tests {
         for i in 0..n_per {
             let _ = i;
             let x0 = Tensor::from_vec(
-                vec![1.0 + 0.3 * rng.next_gaussian(), -1.0 + 0.3 * rng.next_gaussian()],
+                vec![
+                    1.0 + 0.3 * rng.next_gaussian(),
+                    -1.0 + 0.3 * rng.next_gaussian(),
+                ],
                 &[2],
             )
             .unwrap();
             samples.push((x0, 0));
             let x1 = Tensor::from_vec(
-                vec![-1.0 + 0.3 * rng.next_gaussian(), 1.0 + 0.3 * rng.next_gaussian()],
+                vec![
+                    -1.0 + 0.3 * rng.next_gaussian(),
+                    1.0 + 0.3 * rng.next_gaussian(),
+                ],
                 &[2],
             )
             .unwrap();

@@ -26,13 +26,15 @@ fn topology() -> impl Strategy<Value = Topology> {
         prop::sample::select(vec![8usize, 16]),
         any::<u64>(),
     )
-        .prop_map(|(conv_channels, dense_widths, classes, image, seed)| Topology {
-            conv_channels,
-            dense_widths,
-            classes,
-            image,
-            seed,
-        })
+        .prop_map(
+            |(conv_channels, dense_widths, classes, image, seed)| Topology {
+                conv_channels,
+                dense_widths,
+                classes,
+                image,
+                seed,
+            },
+        )
 }
 
 fn build(t: &Topology) -> Network {
@@ -40,7 +42,9 @@ fn build(t: &Topology) -> Network {
         let mut widths = vec![t.image]; // treat image as a flat input width
         widths.extend(&t.dense_widths);
         widths.push(t.classes);
-        NetworkBuilder::mlp(&widths, t.seed).build().expect("mlp builds")
+        NetworkBuilder::mlp(&widths, t.seed)
+            .build()
+            .expect("mlp builds")
     } else {
         let blocks: Vec<(usize, usize)> = t.conv_channels.iter().map(|&c| (c, 1)).collect();
         NetworkBuilder::cnn(
@@ -150,6 +154,50 @@ proptest! {
             .expect("replay");
         for (&u, &v) in full.as_slice().iter().zip(replay.as_slice()) {
             prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn compute_skipping_matches_reference(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x5EED);
+        let mask = random_mask(&net, &mut rng);
+        let x = input_for(&net, &mut rng);
+        let fast = net.forward_masked(&x, &mask).expect("engine");
+        let reference = net.forward_masked_reference(&x, &mask).expect("reference");
+        prop_assert_eq!(fast.dims(), reference.dims());
+        for (&u, &v) in fast.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((u - v).abs() < 1e-5, "{} vs {}", u, v);
+        }
+        // predictions must be bit-compatible
+        prop_assert_eq!(fast.argmax(), reference.argmax());
+    }
+
+    #[test]
+    fn compute_skipping_exact_without_pruning(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xFACE);
+        let mask = PruneMask::all_kept(&net);
+        let x = input_for(&net, &mut rng);
+        let fast = net.forward_masked(&x, &mask).expect("engine");
+        let plain = net.forward(&x).expect("forward");
+        prop_assert_eq!(fast.as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn batched_forward_matches_serial(t in topology(), batch in 1usize..6) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xB00C);
+        let mask = random_mask(&net, &mut rng);
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let plain = net.forward_batch(&inputs).expect("batch");
+        let masked = net.forward_masked_batch(&inputs, &mask).expect("masked batch");
+        for (i, x) in inputs.iter().enumerate() {
+            prop_assert_eq!(net.forward(x).expect("fwd").as_slice(), plain[i].as_slice());
+            prop_assert_eq!(
+                net.forward_masked(x, &mask).expect("masked").as_slice(),
+                masked[i].as_slice()
+            );
         }
     }
 

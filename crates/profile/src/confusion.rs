@@ -160,7 +160,11 @@ mod tests {
             .unwrap();
         let cm = ConfusionMatrix::measure(&net, &gen.generate(20, 2)).unwrap();
         for k in 0..3 {
-            assert!(cm.class_accuracy(k) > 0.7, "class {k}: {}", cm.class_accuracy(k));
+            assert!(
+                cm.class_accuracy(k) > 0.7,
+                "class {k}: {}",
+                cm.class_accuracy(k)
+            );
         }
     }
 

@@ -121,6 +121,11 @@ impl FiringRateProfiler {
     /// conv channels contribute the fraction of positive elements in their
     /// feature map.
     ///
+    /// Samples are sharded across the worker pool
+    /// ([`capnn_tensor::parallel`]); each worker accumulates into private
+    /// sum matrices which are merged in shard order, so results are
+    /// deterministic for a given thread count.
+    ///
     /// # Errors
     ///
     /// Returns an error if a sample's shape does not match the network.
@@ -128,20 +133,42 @@ impl FiringRateProfiler {
         let tail_layers = net.prunable_tail(self.tail);
         let num_classes = dataset.num_classes();
         let shapes = net.layer_shapes()?;
-        let mut sums: Vec<Tensor> = tail_layers
-            .iter()
-            .map(|&li| {
-                let units = net.layers()[li].unit_count().unwrap_or(0);
-                Tensor::zeros(&[units, num_classes])
-            })
-            .collect();
+        let zero_sums = || -> Vec<Tensor> {
+            tail_layers
+                .iter()
+                .map(|&li| {
+                    let units = net.layers()[li].unit_count().unwrap_or(0);
+                    Tensor::zeros(&[units, num_classes])
+                })
+                .collect()
+        };
+        let samples = dataset.samples();
+        let threads = capnn_tensor::parallel::max_threads();
+        let partials =
+            capnn_tensor::parallel::parallel_reduce(samples.len(), threads, 1, |range| {
+                let mut sums = zero_sums();
+                let mut counts = vec![0usize; num_classes];
+                for (x, label) in &samples[range] {
+                    counts[*label] += 1;
+                    let trace = net.forward_trace(x)?;
+                    for (t, &li) in tail_layers.iter().enumerate() {
+                        let act = &trace[li + 1];
+                        accumulate_firing(&mut sums[t], act, *label, &shapes[li + 1]);
+                    }
+                }
+                Ok::<_, NnError>((sums, counts))
+            });
+        let mut sums = zero_sums();
         let mut counts = vec![0usize; num_classes];
-        for (x, label) in dataset.samples() {
-            counts[*label] += 1;
-            let trace = net.forward_trace(x)?;
-            for (t, &li) in tail_layers.iter().enumerate() {
-                let act = &trace[li + 1];
-                accumulate_firing(&mut sums[t], act, *label, &shapes[li + 1]);
+        for partial in partials {
+            let (psums, pcounts) = partial?;
+            for (sum, psum) in sums.iter_mut().zip(&psums) {
+                for (s, &p) in sum.as_mut_slice().iter_mut().zip(psum.as_slice()) {
+                    *s += p;
+                }
+            }
+            for (c, &p) in counts.iter_mut().zip(&pcounts) {
+                *c += p;
             }
         }
         let layers = tail_layers
@@ -243,11 +270,13 @@ mod tests {
         let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0], &[2, 2]).unwrap();
         let b = Tensor::from_vec(vec![0.0, 10.0], &[2]).unwrap();
         let l0 = Layer::Dense(Dense::new(w, b).unwrap());
-        let out = Layer::Dense(Dense::new(
-            Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
-            Tensor::zeros(&[2]),
-        )
-        .unwrap());
+        let out = Layer::Dense(
+            Dense::new(
+                Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap(),
+                Tensor::zeros(&[2]),
+            )
+            .unwrap(),
+        );
         let net = Network::new(vec![l0, Layer::Relu, out], &[2]).unwrap();
         // class 0 inputs: x = (+1, 0); class 1: x = (-1, 0)
         let ds = Dataset::new(
@@ -292,9 +321,7 @@ mod tests {
             epochs: 10,
             ..TrainerConfig::default()
         };
-        Trainer::new(cfg, 1)
-            .fit(&mut net, train.samples())
-            .unwrap();
+        Trainer::new(cfg, 1).fit(&mut net, train.samples()).unwrap();
         let profile_ds = gen.generate(25, 2);
         let rates = FiringRateProfiler::new(2)
             .profile(&net, &profile_ds)
@@ -320,12 +347,7 @@ mod tests {
             .build()
             .unwrap();
         let samples = (0..6)
-            .map(|i| {
-                (
-                    Tensor::uniform(&[1, 8, 8], -1.0, 1.0, &mut rng),
-                    i % 2,
-                )
-            })
+            .map(|i| (Tensor::uniform(&[1, 8, 8], -1.0, 1.0, &mut rng), i % 2))
             .collect();
         let ds = Dataset::new(samples, 2).unwrap();
         let rates = FiringRateProfiler::new(3).profile(&net, &ds).unwrap();

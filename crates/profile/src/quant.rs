@@ -51,7 +51,10 @@ impl QuantizedRates {
 /// assert!((q.rates.layers()[0].rate(0, 0) - 2.0 / 7.0).abs() < 1e-6);
 /// ```
 pub fn quantize_rates(rates: &FiringRates, bits: u32) -> QuantizedRates {
-    assert!((1..=16).contains(&bits), "bits must be in 1..=16, got {bits}");
+    assert!(
+        (1..=16).contains(&bits),
+        "bits must be in 1..=16, got {bits}"
+    );
     let levels = ((1u32 << bits) - 1) as f32;
     let layers = rates
         .layers()

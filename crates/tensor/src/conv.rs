@@ -2,9 +2,19 @@
 //!
 //! Activations are laid out `[channels, height, width]` (CHW); weights are
 //! `[out_channels, in_channels, kh, kw]`.
+//!
+//! Two execution-engine entry points supplement the plain
+//! [`conv2d_im2col`]: [`conv2d_im2col_scratch`] reuses a [`ConvScratch`]
+//! workspace so the unfold buffer is allocated once and recycled across
+//! calls, and [`conv2d_masked`] computes only the *kept* output channels
+//! while dropping pruned input channels from the unfold entirely — the
+//! structured compute-skipping that turns a CAP'NN prune mask into actual
+//! saved multiply–accumulates.
 
 use crate::error::TensorError;
-use crate::{matmul, ShapeError, Tensor};
+use crate::ops::matmul_into;
+use crate::parallel;
+use crate::{ShapeError, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// Static description of a 2-D convolution.
@@ -55,11 +65,18 @@ impl Conv2dSpec {
         }
     }
 
-    /// Spatial output size for an input of `h`×`w`.
+    /// Spatial output size for an input of `h`×`w`. A kernel larger than
+    /// the padded input yields `0` along that axis (no valid placement).
     pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
-        let ow = (w + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
-        (oh, ow)
+        let axis = |dim: usize| {
+            let padded = dim + 2 * self.padding;
+            if padded < self.kernel {
+                0
+            } else {
+                (padded - self.kernel) / self.stride + 1
+            }
+        };
+        (axis(h), axis(w))
     }
 
     /// Number of weight parameters (excluding biases).
@@ -70,26 +87,56 @@ impl Conv2dSpec {
     /// Multiply–accumulate operations for one input of `h`×`w`.
     pub fn mac_count(&self, h: usize, w: usize) -> u64 {
         let (oh, ow) = self.output_hw(h, w);
-        (self.out_channels * oh * ow) as u64
-            * (self.in_channels * self.kernel * self.kernel) as u64
+        (self.out_channels * oh * ow) as u64 * (self.in_channels * self.kernel * self.kernel) as u64
     }
 }
 
-/// Unfolds a CHW input into the im2col matrix of shape
-/// `[in_c * k * k, oh * ow]`.
-fn im2col(input: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
+/// Reusable convolution workspace: the im2col unfold buffer, the gathered
+/// weight rows for masked execution, and the compact output staging
+/// buffer. After the first call at a given geometry every conv through
+/// the scratch is allocation-free except for the returned output tensor.
+#[derive(Debug, Clone, Default)]
+pub struct ConvScratch {
+    /// im2col matrix, `[rows × (oh·ow)]` row-major.
+    cols: Vec<f32>,
+    /// Gathered weight rows for the kept output channels (masked path).
+    wrows: Vec<f32>,
+    /// Compact `[kept_out × (oh·ow)]` result before scattering (masked
+    /// path).
+    omat: Vec<f32>,
+}
+
+impl ConvScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Unfolds a CHW input into an im2col matrix of shape
+/// `[channels.len() * k * k, oh * ow]`, written into `cols` (resized and
+/// zeroed; no allocation once capacity suffices). `channels` lists the
+/// input channels to include, in increasing order — pruned channels are
+/// simply absent from the unfold.
+fn im2col_into(
+    iv: &[f32],
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    channels: &[usize],
+    cols: &mut Vec<f32>,
+) {
     let (oh, ow) = spec.output_hw(h, w);
     let k = spec.kernel;
-    let cols = oh * ow;
-    let rows = spec.in_channels * k * k;
-    let mut out = Tensor::zeros(&[rows, cols]);
-    let iv = input.as_slice();
-    let ov = out.as_mut_slice();
-    for c in 0..spec.in_channels {
+    let ncols = oh * ow;
+    let rows = channels.len() * k * k;
+    cols.clear();
+    cols.resize(rows * ncols, 0.0);
+    for (ci, &c) in channels.iter().enumerate() {
         for ky in 0..k {
             for kx in 0..k {
-                let row = (c * k + ky) * k + kx;
-                let base = row * cols;
+                let row = (ci * k + ky) * k + kx;
+                let base = row * ncols;
                 for oy in 0..oh {
                     let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
                     if iy < 0 || iy >= h as isize {
@@ -101,13 +148,12 @@ fn im2col(input: &Tensor, spec: &Conv2dSpec, h: usize, w: usize) -> Tensor {
                         if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        ov[base + oy * ow + ox] = iv[in_row + ix as usize];
+                        cols[base + oy * ow + ox] = iv[in_row + ix as usize];
                     }
                 }
             }
         }
     }
-    out
 }
 
 fn check_conv_inputs(
@@ -140,23 +186,19 @@ fn check_conv_inputs(
         ))
         .into());
     }
-    Ok((input.dims()[1], input.dims()[2]))
+    let (h, w) = (input.dims()[1], input.dims()[2]);
+    let (oh, ow) = spec.output_hw(h, w);
+    if oh == 0 || ow == 0 {
+        return Err(ShapeError::new(format!(
+            "conv2d kernel {} exceeds padded input {}x{} (+2*{}): empty output",
+            spec.kernel, h, w, spec.padding
+        ))
+        .into());
+    }
+    Ok((h, w))
 }
 
-/// 2-D convolution via im2col + matmul. Input is CHW; output is
-/// `[out_channels, oh, ow]`. `bias` must have `out_channels` elements if
-/// provided.
-///
-/// # Errors
-///
-/// Returns a shape error if input/weight/bias dimensions are inconsistent.
-pub fn conv2d_im2col(
-    input: &Tensor,
-    weights: &Tensor,
-    bias: Option<&Tensor>,
-    spec: &Conv2dSpec,
-) -> Result<Tensor, TensorError> {
-    let (h, w) = check_conv_inputs(input, weights, spec)?;
+fn check_bias(bias: Option<&Tensor>, spec: &Conv2dSpec) -> Result<(), TensorError> {
     if let Some(b) = bias {
         if b.len() != spec.out_channels {
             return Err(ShapeError::new(format!(
@@ -167,24 +209,181 @@ pub fn conv2d_im2col(
             .into());
         }
     }
+    Ok(())
+}
+
+/// 2-D convolution via im2col + matmul. Input is CHW; output is
+/// `[out_channels, oh, ow]`. `bias` must have `out_channels` elements if
+/// provided.
+///
+/// # Errors
+///
+/// Returns a shape error if input/weight/bias dimensions are inconsistent
+/// or the kernel exceeds the padded input.
+pub fn conv2d_im2col(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let mut scratch = ConvScratch::new();
+    conv2d_im2col_scratch(input, weights, bias, spec, &mut scratch)
+}
+
+/// [`conv2d_im2col`] through a reusable [`ConvScratch`]: the unfold
+/// buffer is recycled across calls, so after warmup the only allocation
+/// is the returned output tensor.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d_im2col`].
+pub fn conv2d_im2col_scratch(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    scratch: &mut ConvScratch,
+) -> Result<Tensor, TensorError> {
+    let (h, w) = check_conv_inputs(input, weights, spec)?;
+    check_bias(bias, spec)?;
     let (oh, ow) = spec.output_hw(h, w);
-    let cols = im2col(input, spec, h, w);
-    let wmat = weights.reshape(&[
+    let plane = oh * ow;
+    let krows = spec.in_channels * spec.kernel * spec.kernel;
+    let all_channels: Vec<usize> = (0..spec.in_channels).collect();
+    im2col_into(
+        input.as_slice(),
+        spec,
+        h,
+        w,
+        &all_channels,
+        &mut scratch.cols,
+    );
+    let mut out = Tensor::zeros(&[spec.out_channels, oh, ow]);
+    matmul_into(
+        weights.as_slice(),
+        &scratch.cols,
+        out.as_mut_slice(),
         spec.out_channels,
-        spec.in_channels * spec.kernel * spec.kernel,
-    ])?;
-    let mut out = matmul(&wmat, &cols)?;
+        krows,
+        plane,
+        parallel::max_threads(),
+    );
     if let Some(b) = bias {
         let ov = out.as_mut_slice();
-        let plane = oh * ow;
         for (c, &bc) in b.as_slice().iter().enumerate() {
             for v in &mut ov[c * plane..(c + 1) * plane] {
                 *v += bc;
             }
         }
     }
-    out.reshape_in_place(&[spec.out_channels, oh, ow])?;
     Ok(out)
+}
+
+/// Mask-aware convolution: computes only the output channels listed in
+/// `kept_out` and unfolds only the input channels listed in `kept_in`
+/// (both strictly increasing). Pruned output channels are exactly zero in
+/// the returned full-shape `[out_channels, oh, ow]` tensor, and pruned
+/// input channels — whose activations a mask-aware engine has already
+/// zeroed — contribute no multiply–accumulates at all.
+///
+/// With fraction `p` of channels pruned on both sides this does
+/// `(1-p)²` of the dense work. The result is numerically identical to
+/// running [`conv2d_im2col`] on the zero-padded activation and then
+/// zeroing pruned output planes (dropped terms are exact zeros; the
+/// summation order of the surviving terms is unchanged).
+///
+/// # Errors
+///
+/// Returns a shape error if dimensions are inconsistent or an index in
+/// `kept_out`/`kept_in` is out of range or not strictly increasing.
+pub fn conv2d_masked(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    spec: &Conv2dSpec,
+    kept_out: &[usize],
+    kept_in: &[usize],
+    scratch: &mut ConvScratch,
+) -> Result<Tensor, TensorError> {
+    let (h, w) = check_conv_inputs(input, weights, spec)?;
+    check_bias(bias, spec)?;
+    check_strictly_increasing(kept_out, spec.out_channels, "kept_out")?;
+    check_strictly_increasing(kept_in, spec.in_channels, "kept_in")?;
+    let (oh, ow) = spec.output_hw(h, w);
+    let plane = oh * ow;
+    let k = spec.kernel;
+    let kk = k * k;
+    let krows = kept_in.len() * kk;
+    let mut out = Tensor::zeros(&[spec.out_channels, oh, ow]);
+    if kept_out.is_empty() {
+        return Ok(out);
+    }
+
+    im2col_into(input.as_slice(), spec, h, w, kept_in, &mut scratch.cols);
+
+    // Gather the weight rows of kept output channels, restricted to kept
+    // input channels, preserving increasing channel order so accumulation
+    // order matches the dense kernel.
+    let wv = weights.as_slice();
+    scratch.wrows.clear();
+    scratch.wrows.reserve(kept_out.len() * krows);
+    for &oc in kept_out {
+        for &ic in kept_in {
+            let src = (oc * spec.in_channels + ic) * kk;
+            scratch.wrows.extend_from_slice(&wv[src..src + kk]);
+        }
+    }
+
+    scratch.omat.clear();
+    scratch.omat.resize(kept_out.len() * plane, 0.0);
+    matmul_into(
+        &scratch.wrows,
+        &scratch.cols,
+        &mut scratch.omat,
+        kept_out.len(),
+        krows,
+        plane,
+        parallel::max_threads(),
+    );
+
+    let ov = out.as_mut_slice();
+    for (no, &oc) in kept_out.iter().enumerate() {
+        let dst = &mut ov[oc * plane..(oc + 1) * plane];
+        dst.copy_from_slice(&scratch.omat[no * plane..(no + 1) * plane]);
+        if let Some(b) = bias {
+            let bc = b.as_slice()[oc];
+            for v in dst {
+                *v += bc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn check_strictly_increasing(
+    indices: &[usize],
+    bound: usize,
+    name: &str,
+) -> Result<(), TensorError> {
+    let mut prev: Option<usize> = None;
+    for &i in indices {
+        if i >= bound {
+            return Err(ShapeError::new(format!(
+                "{name} index {i} out of range for {bound} channels"
+            ))
+            .into());
+        }
+        if let Some(p) = prev {
+            if i <= p {
+                return Err(ShapeError::new(format!(
+                    "{name} must be strictly increasing, got {p} then {i}"
+                ))
+                .into());
+            }
+        }
+        prev = Some(i);
+    }
+    Ok(())
 }
 
 /// Reference direct convolution; used to cross-check the im2col path in
@@ -238,7 +437,7 @@ pub fn conv2d(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::XorShiftRng;
+    use crate::{matmul, XorShiftRng};
 
     #[test]
     fn output_hw_padding_stride() {
@@ -246,6 +445,22 @@ mod tests {
         assert_eq!(s.output_hw(8, 8), (8, 8));
         let s2 = Conv2dSpec::new(1, 1, 3, 2, 0);
         assert_eq!(s2.output_hw(7, 7), (3, 3));
+    }
+
+    #[test]
+    fn output_hw_kernel_larger_than_input_is_empty() {
+        // Regression: kernel 5 over a 2x2 input with padding 1 has no valid
+        // placement — this used to report a spurious 1x1 output.
+        let s = Conv2dSpec::new(1, 1, 5, 1, 1);
+        assert_eq!(s.output_hw(2, 2), (0, 0));
+        assert_eq!(s.mac_count(2, 2), 0);
+        // exactly fitting placement still works
+        assert_eq!(s.output_hw(3, 3), (1, 1));
+        // and the conv kernels reject the degenerate geometry outright
+        let input = Tensor::zeros(&[1, 2, 2]);
+        let w = Tensor::zeros(&[1, 1, 5, 5]);
+        assert!(conv2d_im2col(&input, &w, None, &s).is_err());
+        assert!(conv2d(&input, &w, None, &s).is_err());
     }
 
     #[test]
@@ -283,7 +498,10 @@ mod tests {
         let w = Tensor::zeros(&[2, 1, 1, 1]);
         let bias = Tensor::from_vec(vec![1.5, -2.0], &[2]).unwrap();
         let out = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
-        assert_eq!(out.as_slice(), &[1.5, 1.5, 1.5, 1.5, -2.0, -2.0, -2.0, -2.0]);
+        assert_eq!(
+            out.as_slice(),
+            &[1.5, 1.5, 1.5, 1.5, -2.0, -2.0, -2.0, -2.0]
+        );
     }
 
     #[test]
@@ -310,6 +528,99 @@ mod tests {
     }
 
     #[test]
+    fn scratch_path_matches_plain_and_reuses_buffers() {
+        let mut rng = XorShiftRng::new(5);
+        let spec = Conv2dSpec::new(3, 4, 3, 1, 1);
+        let w = Tensor::uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[4], -0.5, 0.5, &mut rng);
+        let mut scratch = ConvScratch::new();
+        for _ in 0..3 {
+            let input = Tensor::uniform(&[3, 8, 8], -1.0, 1.0, &mut rng);
+            let plain = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+            let fast = conv2d_im2col_scratch(&input, &w, Some(&bias), &spec, &mut scratch).unwrap();
+            assert_eq!(plain.as_slice(), fast.as_slice());
+        }
+    }
+
+    #[test]
+    fn masked_conv_matches_zeroed_dense_conv() {
+        let mut rng = XorShiftRng::new(6);
+        let spec = Conv2dSpec::new(4, 6, 3, 1, 1);
+        let w = Tensor::uniform(&[6, 4, 3, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[6], -0.5, 0.5, &mut rng);
+        let kept_in = [0usize, 2, 3];
+        let kept_out = [1usize, 2, 4, 5];
+        // the engine contract: pruned input channels are already zero
+        let mut input = Tensor::uniform(&[4, 7, 7], -1.0, 1.0, &mut rng);
+        {
+            let plane = 49;
+            let iv = input.as_mut_slice();
+            for v in &mut iv[plane..2 * plane] {
+                *v = 0.0; // channel 1 pruned upstream
+            }
+        }
+        let dense = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+        let mut scratch = ConvScratch::new();
+        let masked = conv2d_masked(
+            &input,
+            &w,
+            Some(&bias),
+            &spec,
+            &kept_out,
+            &kept_in,
+            &mut scratch,
+        )
+        .unwrap();
+        let plane = 49;
+        for oc in 0..6 {
+            let m = &masked.as_slice()[oc * plane..(oc + 1) * plane];
+            if kept_out.contains(&oc) {
+                let d = &dense.as_slice()[oc * plane..(oc + 1) * plane];
+                for (&x, &y) in m.iter().zip(d) {
+                    assert!((x - y).abs() < 1e-6, "channel {oc}: {x} vs {y}");
+                }
+            } else {
+                assert!(m.iter().all(|&v| v == 0.0), "pruned channel {oc} not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_conv_empty_kept_sets() {
+        let mut rng = XorShiftRng::new(7);
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let w = Tensor::uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]).unwrap();
+        let input = Tensor::zeros(&[2, 5, 5]);
+        let mut scratch = ConvScratch::new();
+        // no kept outputs → all-zero result
+        let none =
+            conv2d_masked(&input, &w, Some(&bias), &spec, &[], &[0, 1], &mut scratch).unwrap();
+        assert!(none.as_slice().iter().all(|&v| v == 0.0));
+        // no kept inputs → kept outputs are pure bias planes
+        let bias_only =
+            conv2d_masked(&input, &w, Some(&bias), &spec, &[0, 2], &[], &mut scratch).unwrap();
+        let plane = 25;
+        assert!(bias_only.as_slice()[..plane].iter().all(|&v| v == 0.5));
+        assert!(bias_only.as_slice()[plane..2 * plane]
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(bias_only.as_slice()[2 * plane..].iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn masked_conv_rejects_bad_indices() {
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let w = Tensor::zeros(&[3, 2, 3, 3]);
+        let input = Tensor::zeros(&[2, 5, 5]);
+        let mut scratch = ConvScratch::new();
+        assert!(conv2d_masked(&input, &w, None, &spec, &[3], &[0], &mut scratch).is_err());
+        assert!(conv2d_masked(&input, &w, None, &spec, &[0], &[2], &mut scratch).is_err());
+        assert!(conv2d_masked(&input, &w, None, &spec, &[1, 0], &[0], &mut scratch).is_err());
+        assert!(conv2d_masked(&input, &w, None, &spec, &[0], &[1, 1], &mut scratch).is_err());
+    }
+
+    #[test]
     fn rejects_wrong_shapes() {
         let spec = Conv2dSpec::new(3, 4, 3, 1, 1);
         let input = Tensor::zeros(&[2, 8, 8]); // wrong channel count
@@ -329,5 +640,23 @@ mod tests {
     #[should_panic(expected = "kernel must be positive")]
     fn zero_kernel_panics() {
         Conv2dSpec::new(1, 1, 0, 1, 0);
+    }
+
+    #[test]
+    fn matmul_still_used_for_plain_conv() {
+        // sanity: wmat * cols equals the public conv path (guards the
+        // reshape-free weight-slice shortcut in the scratch kernel)
+        let mut rng = XorShiftRng::new(8);
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 0);
+        let input = Tensor::uniform(&[2, 6, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let conv = conv2d_im2col(&input, &w, None, &spec).unwrap();
+        let wmat = w.reshape(&[3, 18]).unwrap();
+        let all: Vec<usize> = (0..2).collect();
+        let mut cols = Vec::new();
+        im2col_into(input.as_slice(), &spec, 6, 6, &all, &mut cols);
+        let cols_t = Tensor::from_vec(cols, &[18, 16]).unwrap();
+        let by_hand = matmul(&wmat, &cols_t).unwrap();
+        assert_eq!(conv.as_slice(), by_hand.as_slice());
     }
 }

@@ -72,7 +72,10 @@ impl fmt::Display for TensorError {
                 "buffer length {actual} does not match shape volume {expected}"
             ),
             TensorError::IndexOutOfBounds { index, bound } => {
-                write!(f, "index {index} out of bounds for dimension of size {bound}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of size {bound}"
+                )
             }
         }
     }

@@ -21,14 +21,21 @@
 mod conv;
 mod error;
 mod ops;
+pub mod parallel;
 mod pool;
 mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{conv2d, conv2d_im2col, Conv2dSpec};
+pub use conv::{
+    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, Conv2dSpec, ConvScratch,
+};
 pub use error::{ShapeError, TensorError};
-pub use ops::{matmul, matmul_transpose_a, matmul_transpose_b};
+pub use ops::{
+    matmul, matmul_reference, matmul_threaded, matmul_transpose_a, matmul_transpose_a_reference,
+    matmul_transpose_a_threaded, matmul_transpose_b, matmul_transpose_b_reference,
+    matmul_transpose_b_threaded,
+};
 pub use pool::{max_pool2d, PoolSpec};
 pub use rng::XorShiftRng;
 pub use shape::Shape;

@@ -1,22 +1,125 @@
 //! Dense matrix multiplication kernels.
 //!
-//! A straightforward i-k-j loop order with a transposed-B fast path keeps the
-//! kernels cache-friendly without unsafe code; the networks in this
-//! reproduction are small enough that this is the right complexity budget.
+//! Each operation comes in three layers:
+//!
+//! * the public API ([`matmul`], [`matmul_transpose_a`],
+//!   [`matmul_transpose_b`]) — runs the parallel blocked kernel with the
+//!   pool-wide thread count from [`crate::parallel::max_threads`];
+//! * an explicit-thread-count variant ([`matmul_threaded`], …) — used by
+//!   benchmarks and the equivalence test-suite to sweep thread counts;
+//! * a single-threaded reference kernel ([`matmul_reference`], …) — the
+//!   original straightforward loops, kept as the semantic baseline the
+//!   optimized kernels are property-tested against.
+//!
+//! Work is partitioned across threads by *output rows*, and every output
+//! element accumulates its `k` terms in increasing-index order in all
+//! kernels, so results are bitwise identical across thread counts (zero
+//! operands are skipped; skipping only ever changes the sign of a zero).
 
 use crate::error::TensorError;
+use crate::parallel;
 use crate::ShapeError;
 use crate::Tensor;
 
+/// Matmuls below this many multiply–accumulates run single-threaded: the
+/// scoped-spawn overhead (~10 µs/thread) would exceed the kernel time.
+const PAR_MIN_MACS: usize = 32 * 1024;
+
+/// Column-tile width (in f32 elements) for the i-k-j kernel: one output
+/// row tile plus one operand row tile stay resident in L1.
+const JB: usize = 512;
+
 fn check_rank2(t: &Tensor, name: &str) -> Result<(usize, usize), TensorError> {
     if t.shape().rank() != 2 {
-        return Err(ShapeError::new(format!(
-            "{name} must be rank 2, got {}",
-            t.shape()
-        ))
-        .into());
+        return Err(ShapeError::new(format!("{name} must be rank 2, got {}", t.shape())).into());
     }
     Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Minimum rows a worker must own for a kernel over `k`×`n`-cost rows to
+/// go parallel.
+fn min_rows_per_thread(k: usize, n: usize) -> usize {
+    PAR_MIN_MACS.div_ceil((k * n).max(1))
+}
+
+/// Core i-k-j kernel: accumulates `a (m×k) * b (k×n)` into `out` (m×n,
+/// zero-initialized), row-partitioned across `threads` workers with
+/// column tiling. Accumulation order per output element is increasing `k`,
+/// identical to [`matmul_reference`].
+pub(crate) fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    parallel::parallel_rows_mut(
+        out,
+        m,
+        n,
+        threads,
+        min_rows_per_thread(k, n),
+        |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut block[local * n..(local + 1) * n];
+                let mut j0 = 0;
+                while j0 < n {
+                    let j1 = (j0 + JB).min(n);
+                    for (kk, &aik) in arow.iter().enumerate() {
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + j1];
+                        for (o, &bkj) in orow[j0..j1].iter_mut().zip(brow) {
+                            *o += aik * bkj;
+                        }
+                    }
+                    j0 = j1;
+                }
+            }
+        },
+    );
+}
+
+/// Row-gathered dot-product kernel for transposed-B layouts: for each
+/// output row `i`, `out[i][j] = Σ_c a[i][c] * b[j][c]`, skipping zero
+/// `a` entries (the dense-forward fast path over masked/ReLU-sparse
+/// activations). Row-partitioned across `threads`.
+pub(crate) fn matmul_transpose_b_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    parallel::parallel_rows_mut(
+        out,
+        m,
+        n,
+        threads,
+        min_rows_per_thread(k, n),
+        |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut block[local * n..(local + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        if x != 0.0 {
+                            acc += x * y;
+                        }
+                    }
+                    *o = acc;
+                }
+            }
+        },
+    );
 }
 
 /// Computes `a (m×k) * b (k×n)` into an `m×n` tensor.
@@ -36,6 +139,44 @@ fn check_rank2(t: &Tensor, name: &str) -> Result<(usize, usize), TensorError> {
 /// assert_eq!(matmul(&a, &b).unwrap().as_slice(), &[11.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_threaded(a, b, parallel::max_threads())
+}
+
+/// [`matmul`] with an explicit worker count (1 = fully serial).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_threaded(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor, TensorError> {
+    let (m, ka) = check_rank2(a, "lhs")?;
+    let (kb, n) = check_rank2(b, "rhs")?;
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul inner dims {ka} vs {kb} ({} * {})",
+            a.shape(),
+            b.shape()
+        ))
+        .into());
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_into(
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        m,
+        ka,
+        n,
+        threads,
+    );
+    Ok(out)
+}
+
+/// Single-threaded reference for [`matmul`] (the original i-k-j loop).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     let (m, ka) = check_rank2(a, "lhs")?;
     let (kb, n) = check_rank2(b, "rhs")?;
     if ka != kb {
@@ -72,13 +213,65 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Returns a shape error on rank/dimension mismatch.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_transpose_a_threaded(a, b, parallel::max_threads())
+}
+
+/// [`matmul_transpose_a`] with an explicit worker count (1 = fully
+/// serial). Output rows are partitioned across workers; each element
+/// still accumulates over `k` in increasing order.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_transpose_a`].
+pub fn matmul_transpose_a_threaded(
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+) -> Result<Tensor, TensorError> {
     let (ka, m) = check_rank2(a, "lhs")?;
     let (kb, n) = check_rank2(b, "rhs")?;
     if ka != kb {
-        return Err(ShapeError::new(format!(
-            "matmul_transpose_a inner dims {ka} vs {kb}"
-        ))
-        .into());
+        return Err(ShapeError::new(format!("matmul_transpose_a inner dims {ka} vs {kb}")).into());
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    parallel::parallel_rows_mut(
+        out.as_mut_slice(),
+        m,
+        n,
+        threads,
+        min_rows_per_thread(ka, n),
+        |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let orow = &mut block[local * n..(local + 1) * n];
+                for k in 0..ka {
+                    let aki = av[k * m + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[k * n..(k + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aki * bkj;
+                    }
+                }
+            }
+        },
+    );
+    Ok(out)
+}
+
+/// Single-threaded reference for [`matmul_transpose_a`] (the original
+/// k-outer loop).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_transpose_a`].
+pub fn matmul_transpose_a_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (ka, m) = check_rank2(a, "lhs")?;
+    let (kb, n) = check_rank2(b, "rhs")?;
+    if ka != kb {
+        return Err(ShapeError::new(format!("matmul_transpose_a inner dims {ka} vs {kb}")).into());
     }
     let mut out = Tensor::zeros(&[m, n]);
     let av = a.as_slice();
@@ -103,19 +296,56 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError>
 /// Computes `a (m×k) * bᵀ (n×k)ᵀ`, i.e. `b` is stored transposed.
 ///
 /// This is the fast path for dense-layer forward passes where weights are
-/// stored `[out, in]`.
+/// stored `[out, in]`. Zero elements of `a` are skipped, so ReLU-sparse
+/// and masked activations pay only for their live entries.
 ///
 /// # Errors
 ///
 /// Returns a shape error on rank/dimension mismatch.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_transpose_b_threaded(a, b, parallel::max_threads())
+}
+
+/// [`matmul_transpose_b`] with an explicit worker count (1 = fully
+/// serial).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_transpose_b`].
+pub fn matmul_transpose_b_threaded(
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+) -> Result<Tensor, TensorError> {
     let (m, ka) = check_rank2(a, "lhs")?;
     let (n, kb) = check_rank2(b, "rhs")?;
     if ka != kb {
-        return Err(ShapeError::new(format!(
-            "matmul_transpose_b inner dims {ka} vs {kb}"
-        ))
-        .into());
+        return Err(ShapeError::new(format!("matmul_transpose_b inner dims {ka} vs {kb}")).into());
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    matmul_transpose_b_into(
+        a.as_slice(),
+        b.as_slice(),
+        out.as_mut_slice(),
+        m,
+        ka,
+        n,
+        threads,
+    );
+    Ok(out)
+}
+
+/// Single-threaded reference for [`matmul_transpose_b`] (the original
+/// dense dot-product loop, no zero skipping).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_transpose_b`].
+pub fn matmul_transpose_b_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, ka) = check_rank2(a, "lhs")?;
+    let (n, kb) = check_rank2(b, "rhs")?;
+    if ka != kb {
+        return Err(ShapeError::new(format!("matmul_transpose_b inner dims {ka} vs {kb}")).into());
     }
     let mut out = Tensor::zeros(&[m, n]);
     let av = a.as_slice();
@@ -163,6 +393,8 @@ mod tests {
         assert!(matmul(&a, &b).is_err());
         assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
         assert!(matmul(&Tensor::zeros(&[3]), &a).is_err());
+        assert!(matmul_reference(&a, &b).is_err());
+        assert!(matmul_threaded(&a, &b, 2).is_err());
     }
 
     #[test]
@@ -194,6 +426,10 @@ mod tests {
         let b = Tensor::zeros(&[4, 5]);
         assert!(matmul_transpose_a(&a, &b).is_err());
         assert!(matmul_transpose_b(&a, &b).is_err());
+        assert!(matmul_transpose_a_reference(&a, &b).is_err());
+        assert!(matmul_transpose_b_reference(&a, &b).is_err());
+        assert!(matmul_transpose_a_threaded(&a, &b, 2).is_err());
+        assert!(matmul_transpose_b_threaded(&a, &b, 2).is_err());
     }
 
     #[test]
@@ -202,5 +438,45 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = matmul(&a, &b).unwrap();
         assert_eq!(c.dims(), &[0, 2]);
+    }
+
+    #[test]
+    fn threaded_kernels_match_reference_bitwise() {
+        let mut rng = XorShiftRng::new(9);
+        // n > JB exercises the column-tiled path
+        let a = Tensor::uniform(&[7, 13], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[13, 600], -1.0, 1.0, &mut rng);
+        let reference = matmul_reference(&a, &b).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let got = matmul_threaded(&a, &b, threads).unwrap();
+            assert_eq!(got.as_slice(), reference.as_slice(), "threads={threads}");
+        }
+
+        let at = a.transpose().unwrap();
+        let ta_ref = matmul_transpose_a_reference(&at, &b).unwrap();
+        for threads in [1usize, 2, 5] {
+            let got = matmul_transpose_a_threaded(&at, &b, threads).unwrap();
+            assert_eq!(got.as_slice(), ta_ref.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_b_zero_skip_matches_reference() {
+        let mut rng = XorShiftRng::new(11);
+        let mut a = Tensor::uniform(&[6, 40], -1.0, 1.0, &mut rng);
+        // plant zeros like a masked/ReLU activation
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::uniform(&[10, 40], -1.0, 1.0, &mut rng);
+        let reference = matmul_transpose_b_reference(&a, &b).unwrap();
+        for threads in [1usize, 2, 4] {
+            let got = matmul_transpose_b_threaded(&a, &b, threads).unwrap();
+            for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+            }
+        }
     }
 }

@@ -1,0 +1,234 @@
+//! A std-only scoped-thread worker pool for data-parallel kernels.
+//!
+//! Every parallel region partitions its index space into **contiguous
+//! chunks, one per worker**, and each output element is produced by exactly
+//! one worker that accumulates in the same order the serial kernel would.
+//! Results are therefore bitwise identical across thread counts for
+//! partitioned writes (matmul rows, batched samples) and identical up to
+//! f32 merge order for reduced accumulators (firing-rate sums).
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`] and
+//! can be overridden with the `CAPNN_THREADS` environment variable (read
+//! once) or programmatically with [`set_max_threads`] (benchmarks sweep
+//! thread counts this way). Small work items run inline on the calling
+//! thread — spawning is skipped entirely — so single-sample inference on a
+//! tiny net never pays a threading tax.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global worker-count override: 0 = uninitialized (resolve from env).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads parallel regions may use.
+///
+/// Resolution order: a prior [`set_max_threads`] call, then the
+/// `CAPNN_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn max_threads() -> usize {
+    let cached = MAX_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::env::var("CAPNN_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    MAX_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the worker count for all subsequent parallel regions.
+///
+/// Intended for benchmarks and tests that sweep thread counts; values are
+/// clamped to at least 1.
+pub fn set_max_threads(threads: usize) {
+    MAX_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// Splits `0..n` into at most `parts` contiguous near-equal ranges,
+/// dropping empty ones.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// How many workers a region of `n` items should use, given that each
+/// worker must own at least `min_per_thread` items to be worth spawning.
+fn worker_count(n: usize, threads: usize, min_per_thread: usize) -> usize {
+    if threads <= 1 || n == 0 {
+        return 1;
+    }
+    threads.min(n / min_per_thread.max(1)).max(1)
+}
+
+/// Runs `work` over `0..n`, partitioned into contiguous chunks across at
+/// most `threads` workers, and returns the per-chunk accumulators **in
+/// chunk order** (index 0 covers the lowest indices). The caller merges
+/// them; merging in the returned order keeps reductions deterministic for
+/// a given thread count.
+///
+/// Falls back to a single inline `work(0..n)` call when `n` is small
+/// (fewer than `min_per_thread` items per prospective worker) or
+/// `threads <= 1`.
+pub fn parallel_reduce<A, F>(n: usize, threads: usize, min_per_thread: usize, work: F) -> Vec<A>
+where
+    A: Send,
+    F: Fn(Range<usize>) -> A + Sync,
+{
+    let workers = worker_count(n, threads, min_per_thread);
+    if workers <= 1 {
+        return vec![work(0..n)];
+    }
+    let ranges = chunk_ranges(n, workers);
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move || work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("capnn-tensor worker panicked"))
+            .collect()
+    })
+}
+
+/// Partitions the row-major buffer `out` (`rows` rows of `row_len`
+/// elements) into contiguous row blocks, one per worker, and calls
+/// `body(row_range, block)` on each with exclusive access to its block.
+///
+/// Each output row is written by exactly one worker, so results are
+/// bitwise identical to the serial execution regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows * row_len`.
+pub fn parallel_rows_mut<F>(
+    out: &mut [f32],
+    rows: usize,
+    row_len: usize,
+    threads: usize,
+    min_rows_per_thread: usize,
+    body: F,
+) where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * row_len, "row partition over wrong buffer");
+    let workers = worker_count(rows, threads, min_rows_per_thread);
+    if workers <= 1 {
+        body(0..rows, out);
+        return;
+    }
+    let ranges = chunk_ranges(rows, workers);
+    let body = &body;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        for r in ranges {
+            let (block, tail) = rest.split_at_mut((r.end - r.start) * row_len);
+            rest = tail;
+            s.spawn(move || body(r, block));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_partitions_in_order() {
+        for threads in [1usize, 2, 4] {
+            let parts = parallel_reduce(100, threads, 1, |r| r);
+            let mut next = 0;
+            for r in &parts {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, 100);
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_sums_match_serial() {
+        let serial: u64 = (0..1000u64).sum();
+        for threads in [1usize, 2, 3, 7] {
+            let total: u64 =
+                parallel_reduce(1000, threads, 1, |r| r.map(|i| i as u64).sum::<u64>())
+                    .into_iter()
+                    .sum();
+            assert_eq!(total, serial);
+        }
+    }
+
+    #[test]
+    fn parallel_rows_mut_writes_every_row_once() {
+        let rows = 37;
+        let row_len = 5;
+        for threads in [1usize, 2, 4, 40] {
+            let mut out = vec![0.0f32; rows * row_len];
+            parallel_rows_mut(&mut out, rows, row_len, threads, 1, |range, block| {
+                for (local, row) in range.clone().enumerate() {
+                    for v in &mut block[local * row_len..(local + 1) * row_len] {
+                        *v += row as f32;
+                    }
+                }
+            });
+            for row in 0..rows {
+                for c in 0..row_len {
+                    assert_eq!(out[row * row_len + c], row as f32);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_work_runs_inline() {
+        // min_per_thread larger than n → single chunk even with many threads
+        let parts = parallel_reduce(8, 16, 100, |r| r);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], 0..8);
+    }
+
+    #[test]
+    fn set_max_threads_overrides() {
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(1);
+        assert_eq!(max_threads(), 1);
+    }
+}

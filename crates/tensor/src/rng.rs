@@ -29,7 +29,11 @@ impl XorShiftRng {
     /// Creates a generator from a seed. A zero seed is remapped to a fixed
     /// non-zero constant (xorshift has an all-zero fixed point).
     pub fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        let state = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
         Self {
             state,
             spare_gaussian: None,

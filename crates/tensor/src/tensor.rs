@@ -341,10 +341,11 @@ impl Tensor {
     /// Returns a shape error if the tensor is not rank 2.
     pub fn transpose(&self) -> Result<Self, TensorError> {
         if self.shape.rank() != 2 {
-            return Err(
-                crate::ShapeError::new(format!("transpose of rank-{} tensor", self.shape.rank()))
-                    .into(),
-            );
+            return Err(crate::ShapeError::new(format!(
+                "transpose of rank-{} tensor",
+                self.shape.rank()
+            ))
+            .into());
         }
         let (m, n) = (self.shape.dim(0), self.shape.dim(1));
         let mut out = Self::zeros(&[n, m]);

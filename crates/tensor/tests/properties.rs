@@ -1,12 +1,23 @@
 //! Property-based tests for the tensor crate's core invariants.
 
 use capnn_tensor::{
-    conv2d, conv2d_im2col, matmul, max_pool2d, Conv2dSpec, PoolSpec, Tensor, XorShiftRng,
+    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, matmul, matmul_reference,
+    matmul_threaded, matmul_transpose_a_reference, matmul_transpose_a_threaded,
+    matmul_transpose_b_reference, matmul_transpose_b_threaded, max_pool2d, Conv2dSpec, ConvScratch,
+    PoolSpec, Tensor, XorShiftRng,
 };
 use proptest::prelude::*;
 
 fn small_dim() -> impl Strategy<Value = usize> {
     1usize..6
+}
+
+fn kernel_dim() -> impl Strategy<Value = usize> {
+    1usize..40
+}
+
+fn thread_count() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 3, 4, 8])
 }
 
 proptest! {
@@ -91,6 +102,125 @@ proptest! {
             prop_assert!(o <= max_in);
             // the argmax index really holds the reported value
             prop_assert_eq!(o, input.as_slice()[idx]);
+        }
+    }
+
+    #[test]
+    fn threaded_matmul_matches_reference(
+        m in kernel_dim(), k in kernel_dim(), n in kernel_dim(),
+        threads in thread_count(), seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let mut a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        // plant zeros so the skip path is exercised too
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 5 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let reference = matmul_reference(&a, &b).unwrap();
+        let got = matmul_threaded(&a, &b, threads).unwrap();
+        for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn threaded_transpose_a_matches_reference(
+        m in kernel_dim(), k in kernel_dim(), n in kernel_dim(),
+        threads in thread_count(), seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let a = Tensor::uniform(&[k, m], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let reference = matmul_transpose_a_reference(&a, &b).unwrap();
+        let got = matmul_transpose_a_threaded(&a, &b, threads).unwrap();
+        for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn threaded_transpose_b_matches_reference(
+        m in kernel_dim(), k in kernel_dim(), n in kernel_dim(),
+        threads in thread_count(), seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let mut a = Tensor::uniform(&[m, k], -1.0, 1.0, &mut rng);
+        // zeros exercise the new zero-skip fast path of the dense kernel
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = Tensor::uniform(&[n, k], -1.0, 1.0, &mut rng);
+        let reference = matmul_transpose_b_reference(&a, &b).unwrap();
+        let got = matmul_transpose_b_threaded(&a, &b, threads).unwrap();
+        for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn scratch_conv_matches_plain(
+        c_in in 1usize..4, c_out in 1usize..4, h in 4usize..9, seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, c_out, 3, 1, 1);
+        let input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+        let plain = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+        let mut scratch = ConvScratch::new();
+        // run twice: second call reuses warm buffers
+        for _ in 0..2 {
+            let fast = conv2d_im2col_scratch(&input, &w, Some(&bias), &spec, &mut scratch).unwrap();
+            prop_assert_eq!(fast.as_slice(), plain.as_slice());
+        }
+    }
+
+    #[test]
+    fn masked_conv_matches_zeroed_plain(
+        c_in in 2usize..5, c_out in 2usize..6, h in 4usize..8, seed in any::<u64>()
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, c_out, 3, 1, 1);
+        let mut input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[c_out, c_in, 3, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+        // random kept sets (never empty on the input side contract-wise,
+        // empty is allowed and tested in unit tests)
+        let kept_in: Vec<usize> = (0..c_in).filter(|&c| c % 2 == 0 || c == c_in - 1).collect();
+        let kept_out: Vec<usize> = (0..c_out).filter(|&c| c % 2 == 1 || c == 0).collect();
+        // the engine contract: pruned input channels hold exact zeros
+        {
+            let plane = h * h;
+            let iv = input.as_mut_slice();
+            for c in 0..c_in {
+                if !kept_in.contains(&c) {
+                    for v in &mut iv[c * plane..(c + 1) * plane] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        let dense = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+        let mut scratch = ConvScratch::new();
+        let masked =
+            conv2d_masked(&input, &w, Some(&bias), &spec, &kept_out, &kept_in, &mut scratch)
+                .unwrap();
+        let plane = dense.dims()[1] * dense.dims()[2];
+        for oc in 0..c_out {
+            let m = &masked.as_slice()[oc * plane..(oc + 1) * plane];
+            if kept_out.contains(&oc) {
+                let d = &dense.as_slice()[oc * plane..(oc + 1) * plane];
+                for (&x, &y) in m.iter().zip(d) {
+                    prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+                }
+            } else {
+                prop_assert!(m.iter().all(|&v| v == 0.0));
+            }
         }
     }
 

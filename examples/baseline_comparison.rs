@@ -12,9 +12,7 @@ use capnn_repro::baselines::{
     low_rank_compress, magnitude_prune, nonzero_weights, CaptorPruner, ChannelMethod,
     StructuredPruner,
 };
-use capnn_repro::core::{
-    CapnnB, CapnnM, CapnnW, PruningConfig, TailEvaluator, UserProfile,
-};
+use capnn_repro::core::{CapnnB, CapnnM, CapnnW, PruningConfig, TailEvaluator, UserProfile};
 use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
 use capnn_repro::nn::{
     evaluate_accuracy, model_size, NetworkBuilder, Trainer, TrainerConfig, VggConfig,
@@ -47,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nuser = {user}; original model: {original_params} params, user accuracy {:.1}%\n",
         100.0 * evaluate_accuracy(&net, user_eval.samples())?
     );
-    println!("{:<28} {:>10} {:>8} {:>10}", "method", "params", "rel.", "user top-1");
+    println!(
+        "{:<28} {:>10} {:>8} {:>10}",
+        "method", "params", "rel.", "user top-1"
+    );
     println!("{}", "-".repeat(60));
     let report = |name: &str, params: usize, acc: f32| {
         println!(

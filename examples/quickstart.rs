@@ -20,17 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..TrainerConfig::default()
     };
     let report = Trainer::new(train_cfg, 1).fit(&mut net, images.generate(24, 1).samples())?;
-    println!("  final train accuracy: {:.1}%", report.final_accuracy() * 100.0);
+    println!(
+        "  final train accuracy: {:.1}%",
+        report.final_accuracy() * 100.0
+    );
 
     // 2. Cloud-side offline preprocessing: firing rates + confusion matrix.
     let mut config = PruningConfig::paper();
     config.tail_layers = 4; // vgg_tiny has a shorter prunable tail
-    let mut cloud = CloudServer::new(
-        net,
-        &images.generate(16, 2),
-        &images.generate(8, 3),
-        config,
-    )?;
+    let mut cloud = CloudServer::new(net, &images.generate(16, 2), &images.generate(8, 3), config)?;
 
     // 3. One user: mostly class 2, sometimes class 7.
     let profile = UserProfile::new(vec![2, 7], vec![0.9, 0.1])?;
@@ -40,13 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let acc = cloud
             .evaluator()
             .topk_accuracy(&model.mask, 1, Some(profile.classes()))?;
-        let base = cloud
-            .evaluator()
-            .topk_accuracy(
-                &capnn_repro::nn::PruneMask::all_kept(cloud.network()),
-                1,
-                Some(profile.classes()),
-            )?;
+        let base = cloud.evaluator().topk_accuracy(
+            &capnn_repro::nn::PruneMask::all_kept(cloud.network()),
+            1,
+            Some(profile.classes()),
+        )?;
         println!(
             "  {variant}: {:>6} params ({:.0}% of original), user top-1 {:.1}% (unpruned {:.1}%)",
             model.size.total(),
@@ -55,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base * 100.0,
         );
     }
-    println!("\nε guarantee: every variant keeps per-class degradation ≤ {:.0}%", config.epsilon * 100.0);
+    println!(
+        "\nε guarantee: every variant keeps per-class degradation ≤ {:.0}%",
+        config.epsilon * 100.0
+    );
     Ok(())
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build and the tier-1 test suite.
+#
+# Usage: scripts/check.sh
+# Any failure aborts with a nonzero exit code.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> all checks passed"
