@@ -1,0 +1,259 @@
+//! Batched serving throughput of compiled execution plans.
+//!
+//! The serving scenario: one personalized mask, compiled once, answering a
+//! stream of requests. This bin sweeps batch size over the plan's
+//! `forward_batch` path on two models — the CNN used by the inference
+//! bench, and a wide serving MLP where weight traffic dominates and batch
+//! amortization pays the most — and records per-sample latency relative to
+//! the single-sample compiled path (batch = 1).
+//!
+//! Emits `results/BENCH_serving.json`. Also asserts that batched outputs
+//! are argmax-bit-compatible with `forward_masked_reference`, and records
+//! whether batch=32 meets the ≥ 2x-over-batch-1 throughput target.
+
+use capnn_bench::write_results_json;
+use capnn_data::{SyntheticImages, SyntheticImagesConfig};
+use capnn_nn::{Network, NetworkBuilder, PlanScratch, PruneMask, VggConfig};
+use capnn_tensor::{parallel, Tensor, XorShiftRng};
+use serde::Serialize;
+use std::time::Instant;
+
+/// `CAPNN_BENCH_SMOKE=1` runs a tiny sweep (CI: exercise the bin end to
+/// end, including the bit-compatibility checks) and skips writing
+/// `results/`.
+fn smoke_mode() -> bool {
+    std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+#[derive(Debug, Serialize)]
+struct BatchRow {
+    model: String,
+    batch: usize,
+    iters: usize,
+    total_s: f64,
+    per_sample_us: f64,
+    throughput_sps: f64,
+    /// Throughput relative to the batch=1 compiled path of the same model.
+    speedup_vs_batch1: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ModelSummary {
+    model: String,
+    prune_ratio: f64,
+    per_sample_macs: u64,
+    packed_params: usize,
+    batch1_per_sample_us: f64,
+    batch32_per_sample_us: f64,
+    batch32_speedup: f64,
+    meets_2x_target: bool,
+    argmax_bit_compatible: bool,
+    argmax_samples_checked: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    host_cores: usize,
+    default_threads: usize,
+    batches: Vec<usize>,
+    rows: Vec<BatchRow>,
+    models: Vec<ModelSummary>,
+}
+
+/// Prunes `ratio` of the units of every hidden prunable layer.
+fn ratio_mask(net: &Network, ratio: f64) -> PruneMask {
+    let mut mask = PruneMask::all_kept(net);
+    let prunable = net.prunable_layers();
+    for &li in &prunable[..prunable.len() - 1] {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        let pruned = ((units as f64) * ratio) as usize;
+        let flags: Vec<bool> = (0..units).map(|u| u >= pruned).collect();
+        mask.set_layer(li, flags).expect("mask fits");
+    }
+    mask
+}
+
+/// Sweeps `forward_batch` over `batches` for one model, appending rows and
+/// a summary. `inputs` must hold at least `max(batches)` samples.
+#[allow(clippy::too_many_arguments)]
+fn sweep_model(
+    name: &str,
+    net: &Network,
+    ratio: f64,
+    inputs: &[Tensor],
+    batches: &[usize],
+    samples_per_point: usize,
+    rows: &mut Vec<BatchRow>,
+    models: &mut Vec<ModelSummary>,
+) {
+    let mask = ratio_mask(net, ratio);
+    let plan = net.compile(&mask).expect("compiles");
+
+    // argmax bit-compatibility of the batched path vs the reference engine
+    let check = inputs.len().min(8);
+    let batched = plan.forward_batch(&inputs[..check]).expect("batch");
+    let mut compatible = true;
+    for (x, out) in inputs[..check].iter().zip(&batched) {
+        let reference = net.forward_masked_reference(x, &mask).expect("reference");
+        if out.argmax() != reference.argmax() {
+            compatible = false;
+            eprintln!("[serving] ARGMAX MISMATCH ({name})");
+        }
+    }
+
+    let mut scratch = PlanScratch::new();
+    let mut batch1_per = 0.0;
+    let mut batch1_us = 0.0;
+    let mut batch32_us = 0.0;
+    let mut batch32_speedup = 0.0;
+    for &batch in batches {
+        let iters = (samples_per_point / batch).max(2);
+        let chunk = &inputs[..batch];
+        // warmup: size the scratch buffers for this batch
+        std::hint::black_box(
+            plan.forward_batch_with_scratch(chunk, &mut scratch)
+                .expect("warmup"),
+        );
+        // best-of-5: the minimum repetition is the least contended
+        let mut total_s = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(
+                    plan.forward_batch_with_scratch(chunk, &mut scratch)
+                        .expect("batch"),
+                );
+            }
+            total_s = total_s.min(t0.elapsed().as_secs_f64());
+        }
+        let per = total_s / (iters * batch) as f64;
+        if batch == 1 {
+            batch1_per = per;
+            batch1_us = per * 1e6;
+        }
+        let speedup = if per > 0.0 && batch1_per > 0.0 {
+            batch1_per / per
+        } else {
+            1.0
+        };
+        if batch == 32 {
+            batch32_us = per * 1e6;
+            batch32_speedup = speedup;
+        }
+        rows.push(BatchRow {
+            model: name.into(),
+            batch,
+            iters,
+            total_s,
+            per_sample_us: per * 1e6,
+            throughput_sps: 1.0 / per,
+            speedup_vs_batch1: speedup,
+        });
+        eprintln!(
+            "[serving] {name:<14} batch={batch:<3} {:>9.1} µs/sample  {:>5.2}x vs batch=1",
+            per * 1e6,
+            speedup
+        );
+    }
+    models.push(ModelSummary {
+        model: name.into(),
+        prune_ratio: ratio,
+        per_sample_macs: plan.per_sample_macs(),
+        packed_params: plan.packed_param_count(),
+        batch1_per_sample_us: batch1_us,
+        batch32_per_sample_us: batch32_us,
+        batch32_speedup,
+        meets_2x_target: batch32_speedup >= 2.0,
+        argmax_bit_compatible: compatible,
+        argmax_samples_checked: check,
+    });
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let default_threads = parallel::max_threads();
+    let batches: Vec<usize> = if smoke_mode() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    };
+    let samples_per_point = if smoke_mode() { 4 } else { 256 };
+    let max_batch = *batches.iter().max().expect("non-empty");
+    eprintln!("[serving] host cores: {host_cores}, pool threads: {default_threads}");
+
+    let mut rows = Vec::new();
+    let mut models = Vec::new();
+    let mut rng = XorShiftRng::new(17);
+
+    // CNN: the model the inference bench tracks.
+    let classes = 8;
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(classes)).expect("config");
+    let cnn = NetworkBuilder::vgg(&VggConfig::vgg_tiny(classes), 7)
+        .build()
+        .expect("builds");
+    let cnn_inputs: Vec<Tensor> = (0..max_batch.max(8))
+        .map(|i| images.sample(i % classes, &mut rng))
+        .collect();
+    sweep_model(
+        "vgg_tiny(8)",
+        &cnn,
+        0.5,
+        &cnn_inputs,
+        &batches,
+        samples_per_point,
+        &mut rows,
+        &mut models,
+    );
+
+    // Wide MLP: dense weight streaming dominates, so batching each weight
+    // row across samples is where the batched kernels earn their keep.
+    let mlp = NetworkBuilder::mlp(&[768, 1536, 768, 384, 16], 23)
+        .build()
+        .expect("builds");
+    let mlp_inputs: Vec<Tensor> = (0..max_batch.max(8))
+        .map(|_| Tensor::uniform(&[768], -1.0, 1.0, &mut rng))
+        .collect();
+    sweep_model(
+        "serving_mlp",
+        &mlp,
+        0.5,
+        &mlp_inputs,
+        &batches,
+        samples_per_point,
+        &mut rows,
+        &mut models,
+    );
+
+    let all_compatible = models.iter().all(|m| m.argmax_bit_compatible);
+    for m in &models {
+        eprintln!(
+            "[serving] {:<14} batch32 {:>5.2}x vs batch1 (target ≥ 2x: {}), argmax {}",
+            m.model,
+            m.batch32_speedup,
+            if m.meets_2x_target { "met" } else { "MISSED" },
+            if m.argmax_bit_compatible {
+                "OK"
+            } else {
+                "FAILED"
+            }
+        );
+    }
+
+    let report = Report {
+        host_cores,
+        default_threads,
+        batches,
+        rows,
+        models,
+    };
+    if smoke_mode() {
+        eprintln!("[serving] smoke mode: skipping results/ write");
+    } else if let Some(path) = write_results_json("BENCH_serving", &report) {
+        eprintln!("[serving] results written to {}", path.display());
+    }
+    if !all_compatible {
+        std::process::exit(1);
+    }
+}

@@ -123,7 +123,10 @@ impl ModelCache {
     }
 
     /// Personalizes through the cache: an equivalent earlier request's model
-    /// is cloned instead of re-running the pruning pipeline.
+    /// is cloned instead of re-running the pruning pipeline. The clone is
+    /// shallow where it matters — the compiled execution plan is an
+    /// `Arc<CompiledPlan>`, so every user sharing a [`ProfileKey`] serves
+    /// inference from the *same* packed weights.
     ///
     /// # Errors
     ///
@@ -221,5 +224,51 @@ mod tests {
     fn stats_hit_rate() {
         let s = CacheStats { hits: 3, misses: 1 };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn personalize_counts_hits_and_shares_plans() {
+        use capnn_data::{VectorClusters, VectorClustersConfig};
+        use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        let mut cloud = crate::CloudServer::new(
+            net,
+            &gen.generate(20, 2),
+            &gen.generate(15, 3),
+            crate::PruningConfig::fast(),
+        )
+        .unwrap();
+        let mut cache = ModelCache::new(16).unwrap();
+
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let b = profile(vec![1, 0], vec![0.3, 0.7]); // same usage, reordered
+        let c = profile(vec![2, 3], vec![0.5, 0.5]);
+
+        let ma = cache
+            .personalize(&mut cloud, &a, Variant::Weighted)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        let mb = cache
+            .personalize(&mut cloud, &b, Variant::Weighted)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // equivalent profiles serve from the *same* compiled plan
+        assert!(std::sync::Arc::ptr_eq(&ma.plan, &mb.plan));
+        let mc = cache
+            .personalize(&mut cloud, &c, Variant::Weighted)
+            .unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert!(!std::sync::Arc::ptr_eq(&ma.plan, &mc.plan));
+        assert!((cache.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 2);
     }
 }

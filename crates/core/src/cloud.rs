@@ -15,9 +15,10 @@ use crate::error::CapnnError;
 use crate::eval::TailEvaluator;
 use crate::user::UserProfile;
 use capnn_data::Dataset;
-use capnn_nn::{model_size, Network, ParamCount, PruneMask};
+use capnn_nn::{model_size, CompiledPlan, Network, ParamCount, PlanScratch, PruneMask};
 use capnn_profile::{ConfusionMatrix, FiringRateProfiler, FiringRates};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which CAP'NN variant to run for a personalization request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -56,6 +57,11 @@ pub struct PersonalizedModel {
     pub variant: Variant,
     /// The profile the model was personalized for.
     pub profile: UserProfile,
+    /// The mask compiled once against the cloud's *full* model: packed
+    /// weights, frozen geometry, original class coordinates. Shared by
+    /// reference — the profile cache hands the same plan to every user with
+    /// an equivalent profile.
+    pub plan: Arc<CompiledPlan>,
 }
 
 /// The cloud side: owns the trained model and all offline pre-computation.
@@ -191,6 +197,7 @@ impl CloudServer {
         let mask = self.prune_mask(profile, variant)?;
         let size = model_size(&self.net, &mask)?;
         let network = self.net.compact(&mask)?;
+        let plan = Arc::new(self.net.compile(&mask)?);
         Ok(PersonalizedModel {
             network,
             relative_size: size.relative_to(&self.original_size),
@@ -198,6 +205,7 @@ impl CloudServer {
             mask,
             variant,
             profile: profile.clone(),
+            plan,
         })
     }
 
@@ -224,19 +232,45 @@ impl CloudServer {
 }
 
 /// The device side: runs local inference and monitors class usage.
+///
+/// Inference is served through a [`CompiledPlan`] — packed weights, frozen
+/// geometry, reusable scratch — rather than re-masking the network on each
+/// call; [`LocalDevice::infer_batch`] additionally amortizes im2col and
+/// weight traffic across a request batch.
 #[derive(Debug, Clone)]
 pub struct LocalDevice {
     model: Network,
+    plan: Arc<CompiledPlan>,
+    scratch: PlanScratch,
     /// How many times each class has been predicted since the last reset.
     usage_counts: Vec<u64>,
 }
 
 impl LocalDevice {
-    /// Deploys a personalized (or original) model on the device.
+    /// Deploys a plain (unpruned or already-compacted) model on the device,
+    /// compiling an all-kept execution plan for it.
     pub fn deploy(model: Network) -> Self {
         let classes = model.num_classes();
+        let plan = model
+            .compile(&PruneMask::all_kept(&model))
+            .expect("an all-kept mask always compiles for a valid network");
         Self {
             model,
+            plan: Arc::new(plan),
+            scratch: PlanScratch::new(),
+            usage_counts: vec![0; classes],
+        }
+    }
+
+    /// Deploys a cloud personalization package, *sharing* its compiled plan
+    /// (no per-device compilation; the plan keeps original class ids even
+    /// when output units are pruned).
+    pub fn deploy_personalized(model: &PersonalizedModel) -> Self {
+        let classes = model.plan.num_classes();
+        Self {
+            model: model.network.clone(),
+            plan: Arc::clone(&model.plan),
+            scratch: PlanScratch::new(),
             usage_counts: vec![0; classes],
         }
     }
@@ -246,17 +280,48 @@ impl LocalDevice {
         &self.model
     }
 
-    /// Runs inference, recording the predicted class in the usage monitor.
+    /// The execution plan serving this device's inference.
+    pub fn plan(&self) -> &Arc<CompiledPlan> {
+        &self.plan
+    }
+
+    /// Runs inference through the compiled plan, recording the predicted
+    /// class in the usage monitor.
     ///
     /// # Errors
     ///
     /// Returns an error if the input shape does not match the model.
     pub fn infer(&mut self, input: &capnn_tensor::Tensor) -> Result<usize, CapnnError> {
-        let pred = self.model.predict(input)?;
+        let out = self.plan.forward_with_scratch(input, &mut self.scratch)?;
+        let pred = out.argmax().unwrap_or(0);
         if pred < self.usage_counts.len() {
             self.usage_counts[pred] += 1;
         }
         Ok(pred)
+    }
+
+    /// Runs a whole request batch through the plan's batched path (one wide
+    /// im2col + GEMM per conv layer), recording every prediction in the
+    /// usage monitor. Predictions are identical to per-sample
+    /// [`LocalDevice::infer`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any input shape does not match the model.
+    pub fn infer_batch(
+        &mut self,
+        inputs: &[capnn_tensor::Tensor],
+    ) -> Result<Vec<usize>, CapnnError> {
+        let outs = self
+            .plan
+            .forward_batch_with_scratch(inputs, &mut self.scratch)?;
+        let preds: Vec<usize> = outs.iter().map(|o| o.argmax().unwrap_or(0)).collect();
+        for &pred in &preds {
+            if pred < self.usage_counts.len() {
+                self.usage_counts[pred] += 1;
+            }
+        }
+        Ok(preds)
     }
 
     /// Total inferences since the last reset.
@@ -402,6 +467,50 @@ mod tests {
         let net = NetworkBuilder::mlp(&[2, 4, 2], 1).build().unwrap();
         let device = LocalDevice::deploy(net);
         assert!(device.observed_profile(0).is_err());
+    }
+
+    #[test]
+    fn plan_served_device_matches_masked_reference() {
+        let (mut cloud, gen) = cloud_rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.7, 0.3]).unwrap();
+        let m = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        let mut device = LocalDevice::deploy_personalized(&m);
+        assert!(Arc::ptr_eq(device.plan(), &m.plan));
+        let mut rng = capnn_tensor::XorShiftRng::new(21);
+        for class in [0usize, 1, 0, 1, 2] {
+            let x = gen.sample(class, &mut rng);
+            let expected = cloud
+                .network()
+                .forward_masked_reference(&x, &m.mask)
+                .unwrap()
+                .argmax()
+                .unwrap();
+            assert_eq!(device.infer(&x).unwrap(), expected);
+        }
+        assert_eq!(device.observed_total(), 5);
+    }
+
+    #[test]
+    fn infer_batch_matches_per_sample_and_counts_usage() {
+        let (mut cloud, gen) = cloud_rig();
+        let profile = UserProfile::uniform(vec![0, 1, 2]).unwrap();
+        let m = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        let mut rng = capnn_tensor::XorShiftRng::new(33);
+        let inputs: Vec<capnn_tensor::Tensor> =
+            (0..7).map(|i| gen.sample(i % 3, &mut rng)).collect();
+        let mut batch_device = LocalDevice::deploy_personalized(&m);
+        let batch_preds = batch_device.infer_batch(&inputs).unwrap();
+        let mut single_device = LocalDevice::deploy_personalized(&m);
+        let single_preds: Vec<usize> = inputs
+            .iter()
+            .map(|x| single_device.infer(x).unwrap())
+            .collect();
+        assert_eq!(batch_preds, single_preds);
+        assert_eq!(batch_device.observed_total(), 7);
+        assert_eq!(
+            batch_device.observed_profile(2).unwrap(),
+            single_device.observed_profile(2).unwrap()
+        );
     }
 
     #[test]

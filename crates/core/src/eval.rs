@@ -70,6 +70,9 @@ pub struct TailEvaluator {
     /// Per-class accuracy of the *unmasked* network — the baseline that
     /// degradation is measured against.
     baseline: ClassAccuracy,
+    /// MACs of one tail replay — sets the min-work-per-thread threshold so
+    /// sweeps over tiny tails stay serial instead of paying spawn overhead.
+    replay_macs: u64,
 }
 
 impl TailEvaluator {
@@ -90,15 +93,17 @@ impl TailEvaluator {
         let start = tail.first().copied().unwrap_or(net.len());
         let samples = dataset.samples();
         let threads = capnn_tensor::parallel::max_threads();
-        let chunks = capnn_tensor::parallel::parallel_reduce(samples.len(), threads, 1, |range| {
-            samples[range]
-                .iter()
-                .map(|(x, label)| {
-                    let trace = net.forward_trace(x)?;
-                    Ok((trace[start].clone(), *label))
-                })
-                .collect::<Result<Vec<_>, CapnnError>>()
-        });
+        let trace_min = capnn_tensor::parallel::min_items_per_thread(net.mac_count_from(0)?);
+        let chunks =
+            capnn_tensor::parallel::parallel_reduce(samples.len(), threads, trace_min, |range| {
+                samples[range]
+                    .iter()
+                    .map(|(x, label)| {
+                        let trace = net.forward_trace(x)?;
+                        Ok((trace[start].clone(), *label))
+                    })
+                    .collect::<Result<Vec<_>, CapnnError>>()
+            });
         let mut cached = Vec::with_capacity(dataset.len());
         for chunk in chunks {
             cached.extend(chunk?);
@@ -109,6 +114,7 @@ impl TailEvaluator {
             cached,
             num_classes: dataset.num_classes(),
             baseline: ClassAccuracy { top1: vec![] },
+            replay_macs: net.mac_count_from(start)?,
         };
         let mask = PruneMask::all_kept(&eval.net);
         eval.baseline = eval.per_class_accuracy(&mask, None)?;
@@ -154,8 +160,12 @@ impl TailEvaluator {
         restrict: Option<&[usize]>,
     ) -> Result<ClassAccuracy, CapnnError> {
         let threads = capnn_tensor::parallel::max_threads();
-        let partials =
-            capnn_tensor::parallel::parallel_reduce(self.cached.len(), threads, 1, |range| {
+        let min_items = capnn_tensor::parallel::min_items_per_thread(self.replay_macs);
+        let partials = capnn_tensor::parallel::parallel_reduce(
+            self.cached.len(),
+            threads,
+            min_items,
+            |range| {
                 let mut scratch = capnn_nn::ExecScratch::new();
                 let mut correct = vec![0u32; self.num_classes];
                 let mut total = vec![0u32; self.num_classes];
@@ -177,7 +187,8 @@ impl TailEvaluator {
                     }
                 }
                 Ok::<_, CapnnError>((correct, total))
-            });
+            },
+        );
         let mut correct = vec![0u32; self.num_classes];
         let mut total = vec![0u32; self.num_classes];
         for partial in partials {
@@ -209,8 +220,12 @@ impl TailEvaluator {
         classes: Option<&[usize]>,
     ) -> Result<f32, CapnnError> {
         let threads = capnn_tensor::parallel::max_threads();
-        let partials =
-            capnn_tensor::parallel::parallel_reduce(self.cached.len(), threads, 1, |range| {
+        let min_items = capnn_tensor::parallel::min_items_per_thread(self.replay_macs);
+        let partials = capnn_tensor::parallel::parallel_reduce(
+            self.cached.len(),
+            threads,
+            min_items,
+            |range| {
                 let mut scratch = capnn_nn::ExecScratch::new();
                 let mut correct = 0u32;
                 let mut total = 0u32;
@@ -232,7 +247,8 @@ impl TailEvaluator {
                     }
                 }
                 Ok::<_, CapnnError>((correct, total))
-            });
+            },
+        );
         let mut correct = 0u32;
         let mut total = 0u32;
         for partial in partials {

@@ -144,6 +144,14 @@ impl PersonalizationSession {
         *self.counts.entry(class).or_insert(0) += 1;
     }
 
+    /// Records a whole batch of observed classes — the natural companion of
+    /// [`LocalDevice::infer_batch`](crate::LocalDevice::infer_batch).
+    pub fn record_batch(&mut self, classes: &[usize]) {
+        for &class in classes {
+            self.record(class);
+        }
+    }
+
     /// The observed usage distribution so far, over observed classes.
     pub fn observed_distribution(&self) -> Vec<(usize, f64)> {
         let total = self.observations().max(1) as f64;
@@ -340,6 +348,20 @@ mod tests {
         let d = s.divergence_bits();
         assert!(d <= 1.0 + 1e-9, "JS divergence {d} exceeds 1 bit");
         assert!(d > 0.99, "disjoint supports should max out, got {d}");
+    }
+
+    #[test]
+    fn record_batch_equals_repeated_record() {
+        let mut a = session(vec![0, 1], vec![0.5, 0.5]);
+        let mut b = session(vec![0, 1], vec![0.5, 0.5]);
+        let classes = [3usize, 0, 3, 1, 3, 0];
+        a.record_batch(&classes);
+        for &c in &classes {
+            b.record(c);
+        }
+        assert_eq!(a.observations(), b.observations());
+        assert_eq!(a.observed_distribution(), b.observed_distribution());
+        assert_eq!(a.divergence_bits(), b.divergence_bits());
     }
 
     #[test]

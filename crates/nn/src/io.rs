@@ -9,6 +9,7 @@
 use crate::error::NnError;
 use crate::mask::PruneMask;
 use crate::network::Network;
+use crate::plan::CompiledPlan;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -119,6 +120,30 @@ pub fn mask_from_json(json: &str) -> Result<PruneMask, NnError> {
     check_envelope("mask", envelope)
 }
 
+/// Serializes a compiled plan to a versioned JSON string, so a device can
+/// persist its packed personalized model across restarts without
+/// re-compiling.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if serialization fails.
+pub fn plan_to_json(plan: &CompiledPlan) -> Result<String, NnError> {
+    serde_json::to_string(&to_envelope("plan", plan))
+        .map_err(|e| NnError::Config(format!("serialize plan: {e}")))
+}
+
+/// Parses a compiled plan from [`plan_to_json`] output.
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
+/// version mismatch.
+pub fn plan_from_json(json: &str) -> Result<CompiledPlan, NnError> {
+    let envelope: Envelope<CompiledPlan> =
+        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse plan: {e}")))?;
+    check_envelope("plan", envelope)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +176,21 @@ mod tests {
         mask.prune(0, 1).unwrap();
         let back = mask_from_json(&mask_to_json(&mask).unwrap()).unwrap();
         assert_eq!(mask, back);
+    }
+
+    #[test]
+    fn plan_roundtrip_preserves_function() {
+        let n = net();
+        let mut mask = PruneMask::all_kept(&n);
+        mask.prune(0, 1).unwrap();
+        let plan = n.compile(&mask).unwrap();
+        let back = plan_from_json(&plan_to_json(&plan).unwrap()).unwrap();
+        assert_eq!(plan, back);
+        let x = Tensor::ones(&[1, 8, 8]);
+        assert_eq!(
+            plan.forward(&x).unwrap().as_slice(),
+            back.forward(&x).unwrap().as_slice()
+        );
     }
 
     #[test]

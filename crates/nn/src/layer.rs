@@ -6,8 +6,18 @@
 //! masking and activation-tap logic simple and obviously correct.
 
 use crate::error::NnError;
-use capnn_tensor::{conv2d_im2col, max_pool2d, Conv2dSpec, PoolSpec, Tensor, XorShiftRng};
+use capnn_tensor::{
+    conv2d_im2col_scratch, max_pool2d, Conv2dSpec, ConvScratch, PoolSpec, Tensor, XorShiftRng,
+};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread im2col workspace shared by every [`Conv2dLayer::forward`]
+    /// call, so repeated inference (compacted models, eval sweeps) does not
+    /// re-allocate the unfold buffers on each layer of each sample.
+    static CONV_FWD_SCRATCH: RefCell<ConvScratch> = RefCell::new(ConvScratch::new());
+}
 
 /// A fully-connected layer with weights stored `[out_features, in_features]`.
 ///
@@ -256,12 +266,15 @@ impl Conv2dLayer {
     ///
     /// Returns an error if the input shape does not match the spec.
     pub fn forward(&self, x: &Tensor) -> Result<Tensor, NnError> {
-        Ok(conv2d_im2col(
-            x,
-            &self.weights,
-            Some(&self.bias),
-            &self.spec,
-        )?)
+        CONV_FWD_SCRATCH.with(|scratch| {
+            Ok(conv2d_im2col_scratch(
+                x,
+                &self.weights,
+                Some(&self.bias),
+                &self.spec,
+                &mut scratch.borrow_mut(),
+            )?)
+        })
     }
 
     /// Backward pass: given the cached input and `dL/dy` (CHW), returns

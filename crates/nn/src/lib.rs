@@ -27,6 +27,7 @@ mod layer;
 mod loss;
 mod mask;
 mod network;
+pub mod plan;
 mod size;
 mod train;
 
@@ -34,12 +35,13 @@ pub use builder::{NetworkBuilder, VggConfig};
 pub use error::NnError;
 pub use exec::ExecScratch;
 pub use io::{
-    load_network, mask_from_json, mask_to_json, network_from_json, network_to_json, save_network,
-    FORMAT_VERSION,
+    load_network, mask_from_json, mask_to_json, network_from_json, network_to_json, plan_from_json,
+    plan_to_json, save_network, FORMAT_VERSION,
 };
 pub use layer::{Conv2dLayer, Dense, Layer, LayerGrads};
 pub use loss::{cross_entropy_loss, softmax};
 pub use mask::PruneMask;
 pub use network::{Network, PrunableUnit};
+pub use plan::{CompiledPlan, PlanScratch};
 pub use size::{model_size, ParamCount};
 pub use train::{evaluate_accuracy, TrainReport, Trainer, TrainerConfig};

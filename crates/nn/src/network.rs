@@ -507,6 +507,47 @@ impl Network {
         // masked, which never happens (input isn't a layer) — keep original.
         Network::new(new_layers, &self.input_dims)
     }
+
+    /// Compiles this network + `mask` into a [`CompiledPlan`](crate::CompiledPlan):
+    /// kept weights packed once into contiguous buffers so serving pays pure
+    /// dense GEMM with zero masking logic. This is the fast path for
+    /// repeatedly serving one personalized mask; see the
+    /// [`plan`](crate::plan) module docs for the execution model and how it
+    /// compares to [`Network::compact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mask does not span this network or carries
+    /// flags for a non-prunable layer.
+    pub fn compile(&self, mask: &PruneMask) -> Result<crate::CompiledPlan, NnError> {
+        crate::CompiledPlan::compile(self, mask)
+    }
+
+    /// Per-sample multiply–accumulates of an *unmasked* forward pass starting
+    /// at layer `start` (pool/ReLU layers count one op per output element).
+    /// Drives work-size thresholds for parallel per-sample sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LayerOutOfRange`] if `start > len()`.
+    pub fn mac_count_from(&self, start: usize) -> Result<u64, NnError> {
+        if start > self.layers.len() {
+            return Err(NnError::LayerOutOfRange {
+                index: start,
+                len: self.layers.len(),
+            });
+        }
+        let shapes = self.layer_shapes()?;
+        let mut macs: u64 = 0;
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
+            macs += match layer {
+                Layer::Dense(d) => (d.in_features() * d.out_features()) as u64,
+                Layer::Conv2d(c) => c.spec().mac_count(shapes[i][1], shapes[i][2]),
+                _ => shapes[i + 1].iter().product::<usize>() as u64,
+            };
+        }
+        Ok(macs.max(1))
+    }
 }
 
 /// Zeroes the units flagged `false`. For rank-1 activations a unit is one

@@ -1,0 +1,1001 @@
+//! Mask-compiled execution plans: per-profile weight pre-packing and a
+//! batched serving path.
+//!
+//! The hot path of CAP'NN at scale is *re-running the same prune mask
+//! thousands of times* — one personalized mask serves a user's whole
+//! request stream. The masked engine ([`crate::exec`]) skips pruned
+//! compute but still pays per-call gather overhead: kept-index bookkeeping,
+//! weight-row gathering and full-size output scatters on every forward.
+//! A [`CompiledPlan`] moves all of that to *compile time*:
+//!
+//! * kept-index lists are resolved once, per layer;
+//! * kept weights are re-packed into contiguous buffers — dense rows/cols
+//!   dropped (and stored input-major for the vectorizable i-k-j kernel),
+//!   pruned conv channels dropped from the im2col layout;
+//! * the layer geometry (planes, unfold sizes) is frozen, so per-inference
+//!   cost is pure dense GEMM on small packed matrices with zero masking
+//!   logic.
+//!
+//! On top of the single-sample path, [`CompiledPlan::forward_batch`]
+//! serves whole batches: activations travel in channel-major batched
+//! layout (`(c·B + b)·plane + p`) so each conv layer unfolds all samples
+//! into one wide im2col matrix and runs a *single* GEMM, and the batched
+//! dense kernels reuse each streamed weight row across a tile of samples.
+//! Sample outputs are value-identical (`==` on every element, differing
+//! at most in the sign of exact zeros) to [`CompiledPlan::forward`] for
+//! any batch size and thread count: every output element accumulates bias
+//! first, then inputs in ascending index order — the same discipline as
+//! `Dense::forward` and the masked engine — so plans are also
+//! argmax-bit-compatible with `Network::forward_masked_reference`.
+//!
+//! Degenerate masks are supported: a layer with *all* units pruned
+//! compiles to a 0-row packed matrix (downstream sees zeros, a following
+//! dense layer sees only its bias), exactly matching the reference
+//! semantics — a capability `Network::compact` lacks.
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::mask::PruneMask;
+use crate::network::Network;
+use capnn_tensor::{
+    dense_batch_chw_into, dense_batch_into, im2col_strided_into, matmul_into, pack_dense_panels,
+    parallel, Conv2dSpec, PoolSpec, Tensor,
+};
+use serde::{Deserialize, Serialize};
+
+/// Physical layout of the batched activation buffer between plan steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Layout {
+    /// Channel-major batched CHW: element `(b, c, p)` at
+    /// `(c·batch + b)·plane + p`. Channel counts are *packed* (pruned
+    /// channels absent).
+    Chw { channels: usize, plane: usize },
+    /// Sample-major flat: element `(b, i)` at `b·len + i`. Lengths are
+    /// packed (pruned features absent).
+    Flat { len: usize },
+}
+
+impl Layout {
+    fn per_sample_len(self) -> usize {
+        match self {
+            Layout::Chw { channels, plane } => channels * plane,
+            Layout::Flat { len } => len,
+        }
+    }
+}
+
+/// One pre-compiled execution step. Weight tensors hold only kept
+/// parameters, in the layout the corresponding kernel consumes directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum PlanStep {
+    /// Packed convolution: `spec` carries the *packed* channel counts,
+    /// `weights` is `[out_c × in_c·k²]` (im2col row layout), geometry is
+    /// frozen at compile time.
+    Conv {
+        spec: Conv2dSpec,
+        weights: Tensor,
+        bias: Tensor,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+    },
+    /// Packed dense layer on a flat activation; `panels` holds the kept
+    /// weights in the [`pack_dense_panels`] layout (the input-major
+    /// `[in × out]` transposed matrix re-tiled into column panels) for
+    /// the register-blocked batched kernel.
+    DenseFlat {
+        panels: Tensor,
+        bias: Tensor,
+        n_in: usize,
+    },
+    /// Packed dense layer consuming a channel-major batched CHW
+    /// activation directly (the flatten boundary is a layout convention,
+    /// not a runtime step). `panels` as in [`PlanStep::DenseFlat`], with
+    /// `n_in = channels · plane`.
+    DenseFromChw {
+        panels: Tensor,
+        bias: Tensor,
+        channels: usize,
+        plane: usize,
+    },
+    /// Elementwise ReLU over the whole activation buffer.
+    Relu,
+    /// Max pooling over each packed channel plane of each sample.
+    MaxPool {
+        spec: PoolSpec,
+        channels: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+    },
+    /// Average pooling over each packed channel plane of each sample.
+    AvgPool {
+        spec: PoolSpec,
+        channels: usize,
+        in_hw: (usize, usize),
+        out_hw: (usize, usize),
+    },
+}
+
+/// Reusable workspace for plan execution: two ping-pong activation
+/// buffers and the wide im2col matrix. After warmup at a given batch size
+/// every forward through the plan is allocation-free except the returned
+/// output tensors.
+#[derive(Debug, Clone, Default)]
+pub struct PlanScratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+    cols: Vec<f32>,
+}
+
+impl PlanScratch {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// A [`Network`] + [`PruneMask`] compiled once into packed weights and
+/// frozen geometry; see the [module docs](self) for the execution model.
+///
+/// Plans are cheap to share: `core`'s profile cache clones
+/// `Arc<CompiledPlan>` handles across users with equivalent profiles.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_nn::{NetworkBuilder, PruneMask};
+///
+/// let net = NetworkBuilder::mlp(&[4, 8, 3], 7).build().unwrap();
+/// let mut mask = PruneMask::all_kept(&net);
+/// mask.prune(0, 2).unwrap();
+/// let plan = net.compile(&mask).unwrap();
+/// let x = capnn_tensor::Tensor::ones(&[4]);
+/// let logits = plan.forward(&x).unwrap();
+/// assert_eq!(logits.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledPlan {
+    steps: Vec<PlanStep>,
+    input_dims: Vec<usize>,
+    /// Packed output position → original flat logit index. Pruned output
+    /// units stay exact zeros in the returned logits, preserving original
+    /// class ids.
+    final_map: Vec<usize>,
+    /// Flat length of the original (unpruned) final activation.
+    num_classes: usize,
+    /// Per-sample multiply–accumulates through the packed network; drives
+    /// the batch-partitioning threshold.
+    per_sample_macs: u64,
+    /// Kept parameters in the packed buffers (excluding the zero padding
+    /// of partial weight panels).
+    packed_params: usize,
+}
+
+impl CompiledPlan {
+    /// Compiles `net` + `mask` into a plan. Prefer the
+    /// [`Network::compile`] convenience method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if the mask does not span the network,
+    /// carries flags for a non-prunable layer, or a flag vector does not
+    /// match its layer's unit count.
+    pub fn compile(net: &Network, mask: &PruneMask) -> Result<Self, NnError> {
+        if mask.len() != net.len() {
+            return Err(NnError::Config(format!(
+                "mask spans {} layers, network has {}",
+                mask.len(),
+                net.len()
+            )));
+        }
+        let shapes = net.layer_shapes()?;
+        let input_dims = net.input_dims().to_vec();
+
+        // Activation bookkeeping in ORIGINAL coordinates: for CHW buffers
+        // `kept` holds kept channel ids, for flat buffers kept flat
+        // element ids.
+        let mut layout = if input_dims.len() == 3 {
+            Layout::Chw {
+                channels: input_dims[0],
+                plane: input_dims[1] * input_dims[2],
+            }
+        } else {
+            Layout::Flat {
+                len: input_dims.iter().product(),
+            }
+        };
+        let mut kept: Vec<usize> = match layout {
+            Layout::Chw { channels, .. } => (0..channels).collect(),
+            Layout::Flat { len } => (0..len).collect(),
+        };
+        // A Flatten marks the activation as logically flat while the
+        // buffer stays CHW until a dense layer consumes it.
+        let mut flattened = false;
+        let mut steps = Vec::with_capacity(net.len());
+        let mut macs: u64 = 0;
+        let mut packed_params = 0usize;
+
+        for (i, layer) in net.layers().iter().enumerate() {
+            let flags = mask.layer_flags(i);
+            if flags.is_some() && layer.unit_count().is_none() {
+                return Err(NnError::Config(format!(
+                    "plan compilation supports masks on dense/conv layers only; \
+                     layer {i} ({}) carries mask flags",
+                    layer.kind()
+                )));
+            }
+            match layer {
+                Layer::Conv2d(c) => {
+                    let kept_out = kept_units(flags, c.spec().out_channels, i)?;
+                    let k = c.spec().kernel;
+                    let kk = k * k;
+                    let (h, w) = (shapes[i][1], shapes[i][2]);
+                    let (oh, ow) = c.spec().output_hw(h, w);
+                    let mut spec = *c.spec();
+                    spec.in_channels = kept.len();
+                    spec.out_channels = kept_out.len();
+                    let krows = kept.len() * kk;
+                    let mut weights = Tensor::zeros(&[kept_out.len(), krows]);
+                    let mut bias = Tensor::zeros(&[kept_out.len()]);
+                    let src_w = c.weights().as_slice();
+                    let src_b = c.bias().as_slice();
+                    let in_c_old = c.spec().in_channels;
+                    {
+                        let wv = weights.as_mut_slice();
+                        let bv = bias.as_mut_slice();
+                        for (no, &oc) in kept_out.iter().enumerate() {
+                            bv[no] = src_b[oc];
+                            for (ni, &ic) in kept.iter().enumerate() {
+                                let dst = (no * kept.len() + ni) * kk;
+                                let src = (oc * in_c_old + ic) * kk;
+                                wv[dst..dst + kk].copy_from_slice(&src_w[src..src + kk]);
+                            }
+                        }
+                    }
+                    macs += (kept_out.len() * oh * ow) as u64 * krows as u64;
+                    packed_params += weights.len() + bias.len();
+                    steps.push(PlanStep::Conv {
+                        spec,
+                        weights,
+                        bias,
+                        in_hw: (h, w),
+                        out_hw: (oh, ow),
+                    });
+                    kept = kept_out;
+                    layout = Layout::Chw {
+                        channels: kept.len(),
+                        plane: oh * ow,
+                    };
+                }
+                Layer::Dense(d) => {
+                    let kept_out = kept_units(flags, d.out_features(), i)?;
+                    // Kept input columns in original flat coordinates.
+                    let from_chw = match layout {
+                        Layout::Chw { plane, .. } if flattened => Some(plane),
+                        _ => None,
+                    };
+                    let kept_cols: Vec<usize> = match from_chw {
+                        Some(plane) => kept
+                            .iter()
+                            .flat_map(|&c| c * plane..(c + 1) * plane)
+                            .collect(),
+                        None => kept.clone(),
+                    };
+                    let in_old = d.in_features();
+                    let n_in = kept_cols.len();
+                    let n_out = kept_out.len();
+                    // Input-major transposed weights, then re-tiled into
+                    // column panels for the register-blocked kernel.
+                    let mut wt = vec![0.0f32; n_in * n_out];
+                    let mut bias = Tensor::zeros(&[n_out]);
+                    let src_w = d.weights().as_slice();
+                    let src_b = d.bias().as_slice();
+                    {
+                        let bv = bias.as_mut_slice();
+                        for (no, &o) in kept_out.iter().enumerate() {
+                            bv[no] = src_b[o];
+                            for (ci, &col) in kept_cols.iter().enumerate() {
+                                wt[ci * n_out + no] = src_w[o * in_old + col];
+                            }
+                        }
+                    }
+                    let packed = pack_dense_panels(&wt, n_in, n_out);
+                    let len = packed.len();
+                    let panels = Tensor::from_vec(packed, &[len])?;
+                    macs += (n_out * n_in) as u64;
+                    packed_params += n_in * n_out + bias.len();
+                    match (from_chw, layout) {
+                        (Some(plane), Layout::Chw { channels, .. }) => {
+                            steps.push(PlanStep::DenseFromChw {
+                                panels,
+                                bias,
+                                channels,
+                                plane,
+                            });
+                        }
+                        _ => steps.push(PlanStep::DenseFlat { panels, bias, n_in }),
+                    }
+                    kept = kept_out;
+                    layout = Layout::Flat { len: n_out };
+                    flattened = false;
+                }
+                Layer::Relu => steps.push(PlanStep::Relu),
+                Layer::MaxPool2d(spec) | Layer::AvgPool2d(spec) => {
+                    let (h, w) = (shapes[i][1], shapes[i][2]);
+                    let (oh, ow) = spec.output_hw(h, w);
+                    let channels = kept.len();
+                    let step = match layer {
+                        Layer::MaxPool2d(_) => PlanStep::MaxPool {
+                            spec: *spec,
+                            channels,
+                            in_hw: (h, w),
+                            out_hw: (oh, ow),
+                        },
+                        _ => PlanStep::AvgPool {
+                            spec: *spec,
+                            channels,
+                            in_hw: (h, w),
+                            out_hw: (oh, ow),
+                        },
+                    };
+                    macs += (channels * oh * ow * spec.window * spec.window) as u64;
+                    steps.push(step);
+                    layout = Layout::Chw {
+                        channels,
+                        plane: oh * ow,
+                    };
+                }
+                Layer::Flatten => {
+                    if shapes[i].len() == 3 {
+                        flattened = true;
+                    }
+                    // flat-on-flat is a no-op either way
+                }
+            }
+        }
+
+        // Packed position → original flat logit index.
+        let final_map: Vec<usize> = match layout {
+            Layout::Flat { .. } => kept,
+            Layout::Chw { plane, .. } => kept
+                .iter()
+                .flat_map(|&c| c * plane..(c + 1) * plane)
+                .collect(),
+        };
+        let num_classes = shapes.last().map(|s| s.iter().product()).unwrap_or(0);
+
+        Ok(Self {
+            steps,
+            input_dims,
+            final_map,
+            num_classes,
+            per_sample_macs: macs.max(1),
+            packed_params,
+        })
+    }
+
+    /// The input shape the plan expects.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+
+    /// Flat length of the original final activation (logit vector length,
+    /// pruned classes included as exact zeros).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Per-sample multiply–accumulates through the packed network.
+    pub fn per_sample_macs(&self) -> u64 {
+        self.per_sample_macs
+    }
+
+    /// Parameters stored in the packed weight buffers — the plan's actual
+    /// memory footprint, versus the source network's `param_count()`.
+    pub fn packed_param_count(&self) -> usize {
+        self.packed_params
+    }
+
+    /// Single-sample inference through the packed plan. Returns the flat
+    /// `[num_classes]` logit vector in *original* class coordinates
+    /// (pruned classes are exact zeros).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] if `input` does not match the plan's
+    /// input shape.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut scratch = PlanScratch::new();
+        self.forward_with_scratch(input, &mut scratch)
+    }
+
+    /// [`CompiledPlan::forward`] through a reusable [`PlanScratch`] — the
+    /// serving hot path; allocation-free after warmup except the returned
+    /// tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlan::forward`].
+    pub fn forward_with_scratch(
+        &self,
+        input: &Tensor,
+        scratch: &mut PlanScratch,
+    ) -> Result<Tensor, NnError> {
+        let mut out = self.run_chunk(
+            std::slice::from_ref(input),
+            scratch,
+            parallel::max_threads(),
+        )?;
+        Ok(out.pop().expect("one output per input"))
+    }
+
+    /// Batched inference: runs all samples through the plan with one wide
+    /// im2col + GEMM per conv layer and weight-row reuse across samples in
+    /// the dense kernels, partitioning the batch across the
+    /// [`capnn_tensor::parallel`] pool when each worker would own enough
+    /// MACs to be worth spawning. Outputs are in input order and
+    /// value-identical (`==` per element, argmax-identical; only the sign
+    /// of exact zeros may differ) to per-sample [`CompiledPlan::forward`]
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any input does not match the plan's input
+    /// shape.
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnError> {
+        let mut scratch = PlanScratch::new();
+        self.forward_batch_with_scratch(inputs, &mut scratch)
+    }
+
+    /// [`CompiledPlan::forward_batch`] through a caller-held scratch
+    /// (used for the single-worker path; parallel workers hold their own).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlan::forward_batch`].
+    pub fn forward_batch_with_scratch(
+        &self,
+        inputs: &[Tensor],
+        scratch: &mut PlanScratch,
+    ) -> Result<Vec<Tensor>, NnError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let threads = parallel::max_threads();
+        // Each worker must own enough MACs to be worth a spawn AND at
+        // least one full sample tile of the batched dense kernels —
+        // splitting below the tile width forfeits the weight-traffic
+        // amortization that makes batching pay in the first place.
+        const MIN_TILE_SAMPLES: usize = 8;
+        let min_per = parallel::min_items_per_thread(self.per_sample_macs).max(MIN_TILE_SAMPLES);
+        let workers = if threads <= 1 {
+            1
+        } else {
+            threads.min(inputs.len() / min_per).max(1)
+        };
+        if workers <= 1 {
+            return self.run_chunk(inputs, scratch, threads);
+        }
+        let ranges = parallel::chunk_ranges(inputs.len(), workers);
+        let results: Vec<Result<Vec<Tensor>, NnError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    s.spawn(move || {
+                        let mut sc = PlanScratch::new();
+                        self.run_chunk(&inputs[r], &mut sc, 1)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("capnn-nn plan worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(inputs.len());
+        for chunk in results {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+
+    /// Runs one contiguous chunk of samples through every step. All
+    /// samples share the wide buffers; each output element reads only its
+    /// own sample's stripe, in the same accumulation order, so per-sample
+    /// results are value-identical whatever the chunk's size (only the
+    /// sign of exact zeros may differ between the kernels' sample paths).
+    fn run_chunk(
+        &self,
+        inputs: &[Tensor],
+        scratch: &mut PlanScratch,
+        inner_threads: usize,
+    ) -> Result<Vec<Tensor>, NnError> {
+        let batch = inputs.len();
+        for x in inputs {
+            if x.dims() != self.input_dims {
+                return Err(NnError::Config(format!(
+                    "plan input must be {:?}, got {:?}",
+                    self.input_dims,
+                    x.dims()
+                )));
+            }
+        }
+        let mut cur = std::mem::take(&mut scratch.a);
+        let mut nxt = std::mem::take(&mut scratch.b);
+        let mut cols = std::mem::take(&mut scratch.cols);
+
+        // Load inputs into the initial layout.
+        let mut layout = if self.input_dims.len() == 3 {
+            Layout::Chw {
+                channels: self.input_dims[0],
+                plane: self.input_dims[1] * self.input_dims[2],
+            }
+        } else {
+            Layout::Flat {
+                len: self.input_dims.iter().product(),
+            }
+        };
+        grow(&mut cur, layout.per_sample_len() * batch);
+        match layout {
+            Layout::Chw { channels, plane } => {
+                for (b, x) in inputs.iter().enumerate() {
+                    let xs = x.as_slice();
+                    for c in 0..channels {
+                        cur[(c * batch + b) * plane..(c * batch + b + 1) * plane]
+                            .copy_from_slice(&xs[c * plane..(c + 1) * plane]);
+                    }
+                }
+            }
+            Layout::Flat { len } => {
+                for (b, x) in inputs.iter().enumerate() {
+                    cur[b * len..(b + 1) * len].copy_from_slice(x.as_slice());
+                }
+            }
+        }
+
+        for step in &self.steps {
+            match step {
+                PlanStep::Conv {
+                    spec,
+                    weights,
+                    bias,
+                    in_hw: (h, w),
+                    out_hw: (oh, ow),
+                } => {
+                    let in_plane = h * w;
+                    let oplane = oh * ow;
+                    let krows = spec.in_channels * spec.kernel * spec.kernel;
+                    let wide = batch * oplane;
+                    grow(&mut cols, krows * wide);
+                    for b in 0..batch {
+                        im2col_strided_into(
+                            &cur,
+                            spec,
+                            *h,
+                            *w,
+                            batch * in_plane,
+                            b * in_plane,
+                            wide,
+                            b * oplane,
+                            &mut cols,
+                        );
+                    }
+                    grow(&mut nxt, spec.out_channels * wide);
+                    matmul_into(
+                        weights.as_slice(),
+                        &cols,
+                        &mut nxt,
+                        spec.out_channels,
+                        krows,
+                        wide,
+                        inner_threads,
+                    );
+                    for (oc, &bc) in bias.as_slice().iter().enumerate() {
+                        for v in &mut nxt[oc * wide..(oc + 1) * wide] {
+                            *v += bc;
+                        }
+                    }
+                    std::mem::swap(&mut cur, &mut nxt);
+                    layout = Layout::Chw {
+                        channels: spec.out_channels,
+                        plane: oplane,
+                    };
+                }
+                PlanStep::DenseFlat { panels, bias, n_in } => {
+                    let n_out = bias.len();
+                    grow(&mut nxt, batch * n_out);
+                    dense_batch_into(
+                        &cur,
+                        panels.as_slice(),
+                        bias.as_slice(),
+                        &mut nxt,
+                        batch,
+                        *n_in,
+                        n_out,
+                        inner_threads,
+                    );
+                    std::mem::swap(&mut cur, &mut nxt);
+                    layout = Layout::Flat { len: n_out };
+                }
+                PlanStep::DenseFromChw {
+                    panels,
+                    bias,
+                    channels,
+                    plane,
+                } => {
+                    let n_out = bias.len();
+                    grow(&mut nxt, batch * n_out);
+                    dense_batch_chw_into(
+                        &cur,
+                        panels.as_slice(),
+                        bias.as_slice(),
+                        &mut nxt,
+                        batch,
+                        *channels,
+                        *plane,
+                        n_out,
+                        inner_threads,
+                    );
+                    std::mem::swap(&mut cur, &mut nxt);
+                    layout = Layout::Flat { len: n_out };
+                }
+                PlanStep::Relu => {
+                    for v in cur.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                PlanStep::MaxPool {
+                    spec,
+                    channels,
+                    in_hw: (h, w),
+                    out_hw: (oh, ow),
+                } => {
+                    pool_planes(
+                        &cur,
+                        &mut nxt,
+                        channels * batch,
+                        (*h, *w),
+                        (*oh, *ow),
+                        |src, dst| max_pool_plane(src, *h, *w, spec, dst, *oh, *ow),
+                    );
+                    std::mem::swap(&mut cur, &mut nxt);
+                    layout = Layout::Chw {
+                        channels: *channels,
+                        plane: oh * ow,
+                    };
+                }
+                PlanStep::AvgPool {
+                    spec,
+                    channels,
+                    in_hw: (h, w),
+                    out_hw: (oh, ow),
+                } => {
+                    pool_planes(
+                        &cur,
+                        &mut nxt,
+                        channels * batch,
+                        (*h, *w),
+                        (*oh, *ow),
+                        |src, dst| avg_pool_plane(src, *h, *w, spec, dst, *oh, *ow),
+                    );
+                    std::mem::swap(&mut cur, &mut nxt);
+                    layout = Layout::Chw {
+                        channels: *channels,
+                        plane: oh * ow,
+                    };
+                }
+            }
+        }
+
+        // Scatter packed outputs into original class coordinates.
+        let mut outputs = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let mut logits = Tensor::zeros(&[self.num_classes]);
+            let lv = logits.as_mut_slice();
+            match layout {
+                Layout::Flat { len } => {
+                    for (pi, &oi) in self.final_map.iter().enumerate() {
+                        lv[oi] = cur[b * len + pi];
+                    }
+                }
+                Layout::Chw { plane, .. } => {
+                    for (pi, &oi) in self.final_map.iter().enumerate() {
+                        let (c, p) = (pi / plane.max(1), pi % plane.max(1));
+                        lv[oi] = cur[(c * batch + b) * plane + p];
+                    }
+                }
+            }
+            outputs.push(logits);
+        }
+
+        scratch.a = cur;
+        scratch.b = nxt;
+        scratch.cols = cols;
+        Ok(outputs)
+    }
+}
+
+/// Resolves a layer's mask flags into kept unit indices. `None` flags
+/// (masks built with `from_flags` that skip a layer) mean all kept.
+fn kept_units(flags: Option<&[bool]>, units: usize, layer: usize) -> Result<Vec<usize>, NnError> {
+    match flags {
+        Some(f) => {
+            if f.len() != units {
+                return Err(NnError::Config(format!(
+                    "mask has {} flags for layer {layer} with {units} units",
+                    f.len()
+                )));
+            }
+            Ok((0..units).filter(|&u| f[u]).collect())
+        }
+        None => Ok((0..units).collect()),
+    }
+}
+
+/// Clears and zero-fills `v` to exactly `n` elements (no allocation once
+/// capacity suffices).
+fn grow(v: &mut Vec<f32>, n: usize) {
+    v.clear();
+    v.resize(n, 0.0);
+}
+
+/// Applies `pool` to each of `planes` contiguous input planes, writing
+/// the corresponding output planes (channel-major batched: plane index is
+/// `c·batch + b`).
+fn pool_planes<F>(
+    cur: &[f32],
+    nxt: &mut Vec<f32>,
+    planes: usize,
+    (h, w): (usize, usize),
+    (oh, ow): (usize, usize),
+    pool: F,
+) where
+    F: Fn(&[f32], &mut [f32]),
+{
+    let in_plane = h * w;
+    let oplane = oh * ow;
+    grow(nxt, planes * oplane);
+    for cb in 0..planes {
+        pool(
+            &cur[cb * in_plane..(cb + 1) * in_plane],
+            &mut nxt[cb * oplane..(cb + 1) * oplane],
+        );
+    }
+}
+
+/// Max-pools one `h×w` plane; identical semantics to
+/// [`capnn_tensor::max_pool2d`] (−∞ init, strict `>` so the first maximum
+/// wins — max is order-independent in value anyway).
+fn max_pool_plane(
+    src: &[f32],
+    h: usize,
+    w: usize,
+    spec: &PoolSpec,
+    dst: &mut [f32],
+    oh: usize,
+    ow: usize,
+) {
+    let _ = h;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut best = f32::NEG_INFINITY;
+            for ky in 0..spec.window {
+                let iy = oy * spec.stride + ky;
+                for kx in 0..spec.window {
+                    let ix = ox * spec.stride + kx;
+                    let v = src[iy * w + ix];
+                    if v > best {
+                        best = v;
+                    }
+                }
+            }
+            dst[oy * ow + ox] = best;
+        }
+    }
+}
+
+/// Average-pools one `h×w` plane; accumulation order (ky, kx ascending,
+/// then `· 1/window²`) matches the layer's `avg_pool2d` exactly.
+fn avg_pool_plane(
+    src: &[f32],
+    h: usize,
+    w: usize,
+    spec: &PoolSpec,
+    dst: &mut [f32],
+    oh: usize,
+    ow: usize,
+) {
+    let _ = h;
+    let inv = 1.0 / (spec.window * spec.window) as f32;
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for ky in 0..spec.window {
+                let iy = oy * spec.stride + ky;
+                for kx in 0..spec.window {
+                    let ix = ox * spec.stride + kx;
+                    acc += src[iy * w + ix];
+                }
+            }
+            dst[oy * ow + ox] = acc * inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use capnn_tensor::XorShiftRng;
+
+    fn small_cnn() -> Network {
+        NetworkBuilder::cnn(&[1, 4, 4], &[(4, 1), (6, 1)], &[10], 3, 99)
+            .build()
+            .unwrap()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (&x, &y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn all_kept_plan_matches_plain_forward() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let plan = net.compile(&mask).unwrap();
+        let mut rng = XorShiftRng::new(3);
+        for _ in 0..4 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let plain = net.forward(&x).unwrap();
+            let planned = plan.forward(&x).unwrap();
+            assert_close(planned.as_slice(), plain.as_slice());
+        }
+    }
+
+    #[test]
+    fn pruned_plan_matches_reference() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(5);
+        let mut mask = PruneMask::all_kept(&net);
+        let prunable = net.prunable_layers();
+        mask.prune(prunable[0], 2).unwrap();
+        mask.prune(prunable[1], 1).unwrap();
+        mask.prune(prunable[1], 4).unwrap();
+        mask.prune(prunable[2], 0).unwrap();
+        mask.prune(prunable[2], 7).unwrap();
+        let plan = net.compile(&mask).unwrap();
+        assert!(plan.packed_param_count() < net.param_count());
+        for _ in 0..6 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let reference = net.forward_masked_reference(&x, &mask).unwrap();
+            let planned = plan.forward(&x).unwrap();
+            assert_close(planned.as_slice(), reference.as_slice());
+            assert_eq!(planned.argmax(), reference.argmax());
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_sample() {
+        let net = small_cnn();
+        let mut rng = XorShiftRng::new(7);
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[1], 3).unwrap();
+        let plan = net.compile(&mask).unwrap();
+        let inputs: Vec<Tensor> = (0..9)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let batched = plan.forward_batch(&inputs).unwrap();
+        assert_eq!(batched.len(), inputs.len());
+        let mut scratch = PlanScratch::new();
+        for (x, y) in inputs.iter().zip(&batched) {
+            let single = plan.forward_with_scratch(x, &mut scratch).unwrap();
+            assert_eq!(single.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn fully_pruned_layer_compiles_and_yields_bias_downstream() {
+        let net = NetworkBuilder::mlp(&[3, 5, 2], 11).build().unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.set_layer(0, vec![false; 5]).unwrap();
+        // compact() rejects this; the plan supports it
+        assert!(net.compact(&mask).is_err());
+        let plan = net.compile(&mask).unwrap();
+        let x = Tensor::from_vec(vec![0.3, -0.2, 0.9], &[3]).unwrap();
+        let reference = net.forward_masked_reference(&x, &mask).unwrap();
+        let planned = plan.forward(&x).unwrap();
+        assert_eq!(planned.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn pruned_output_classes_stay_zero_in_original_coordinates() {
+        let net = NetworkBuilder::mlp(&[4, 6, 3], 13).build().unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        let out_layer = *net.prunable_layers().last().unwrap();
+        mask.prune(out_layer, 1).unwrap();
+        let plan = net.compile(&mask).unwrap();
+        assert_eq!(plan.num_classes(), 3);
+        let x = Tensor::ones(&[4]);
+        let y = plan.forward(&x).unwrap();
+        assert_eq!(y.len(), 3);
+        assert_eq!(y.as_slice()[1], 0.0);
+        let reference = net.forward_masked_reference(&x, &mask).unwrap();
+        assert_close(y.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_masks_and_inputs() {
+        let net = small_cnn();
+        // wrong span
+        let other = NetworkBuilder::mlp(&[3, 4, 2], 1).build().unwrap();
+        let short_mask = PruneMask::all_kept(&other);
+        assert!(net.compile(&short_mask).is_err());
+        // flags on a non-prunable layer
+        let flags: Vec<Option<Vec<bool>>> = (0..net.len())
+            .map(|i| {
+                if matches!(net.layers()[i], Layer::Relu) {
+                    Some(vec![true; 1])
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(net.compile(&PruneMask::from_flags(flags)).is_err());
+        // wrong input shape at run time
+        let plan = net.compile(&PruneMask::all_kept(&net)).unwrap();
+        assert!(plan.forward(&Tensor::ones(&[2, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_batch_sizes() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let plan = net.compile(&mask).unwrap();
+        let mut rng = XorShiftRng::new(17);
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let mut scratch = PlanScratch::new();
+        let big = plan
+            .forward_batch_with_scratch(&inputs, &mut scratch)
+            .unwrap();
+        // shrink then regrow through the same scratch
+        let small = plan
+            .forward_batch_with_scratch(&inputs[..2], &mut scratch)
+            .unwrap();
+        let big2 = plan
+            .forward_batch_with_scratch(&inputs, &mut scratch)
+            .unwrap();
+        for (a, b) in big.iter().zip(&big2) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        for (a, b) in big.iter().take(2).zip(&small) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let net = NetworkBuilder::mlp(&[3, 4, 2], 1).build().unwrap();
+        let plan = net.compile(&PruneMask::all_kept(&net)).unwrap();
+        assert!(plan.forward_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn per_sample_macs_shrink_with_pruning() {
+        let net = small_cnn();
+        let dense_plan = net.compile(&PruneMask::all_kept(&net)).unwrap();
+        let mut mask = PruneMask::all_kept(&net);
+        for &l in &net.prunable_layers()[..3] {
+            let units = net.layers()[l].unit_count().unwrap();
+            for u in 0..units / 2 {
+                mask.prune(l, u).unwrap();
+            }
+        }
+        let pruned_plan = net.compile(&mask).unwrap();
+        assert!(pruned_plan.per_sample_macs() < dense_plan.per_sample_macs());
+        assert!(pruned_plan.packed_param_count() < dense_plan.packed_param_count());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based equivalence of compiled execution plans against the
+//! masked reference engine: for *any* well-formed topology, mask (all-kept,
+//! heavily pruned, single-unit and even fully-pruned layers) and batch
+//! size, `CompiledPlan::forward`/`forward_batch` must agree with
+//! `forward_masked_reference` — elementwise, hence argmax-bit-compatibly.
+
+use capnn_nn::{model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, PruneMask};
+use capnn_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+/// A small random-topology description proptest can shrink.
+#[derive(Debug, Clone)]
+struct Topology {
+    conv_channels: Vec<usize>,
+    dense_widths: Vec<usize>,
+    classes: usize,
+    image: usize,
+    seed: u64,
+}
+
+fn topology() -> impl Strategy<Value = Topology> {
+    (
+        prop::collection::vec(2usize..6, 0..3),
+        prop::collection::vec(4usize..12, 1..3),
+        2usize..5,
+        prop::sample::select(vec![8usize, 16]),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(conv_channels, dense_widths, classes, image, seed)| Topology {
+                conv_channels,
+                dense_widths,
+                classes,
+                image,
+                seed,
+            },
+        )
+}
+
+fn build(t: &Topology) -> Network {
+    if t.conv_channels.is_empty() {
+        let mut widths = vec![t.image]; // treat image as a flat input width
+        widths.extend(&t.dense_widths);
+        widths.push(t.classes);
+        NetworkBuilder::mlp(&widths, t.seed)
+            .build()
+            .expect("mlp builds")
+    } else {
+        let blocks: Vec<(usize, usize)> = t.conv_channels.iter().map(|&c| (c, 1)).collect();
+        NetworkBuilder::cnn(
+            &[1, t.image, t.image],
+            &blocks,
+            &t.dense_widths,
+            t.classes,
+            t.seed,
+        )
+        .build()
+        .expect("cnn builds")
+    }
+}
+
+fn input_for(net: &Network, rng: &mut XorShiftRng) -> Tensor {
+    Tensor::uniform(net.input_dims(), -1.0, 1.0, rng)
+}
+
+/// A random mask over *every* prunable layer (output included). Per layer
+/// the style varies: untouched, ~35% pruned, pruned down to a single unit,
+/// or — when `allow_empty` — fully pruned (a degenerate case the plan must
+/// still serve; `compact` cannot).
+fn random_mask(net: &Network, rng: &mut XorShiftRng, allow_empty: bool) -> PruneMask {
+    let mut mask = PruneMask::all_kept(net);
+    for &li in &net.prunable_layers() {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        let style = rng.next_uniform();
+        if style < 0.2 {
+            continue; // all kept
+        } else if style < 0.7 {
+            for u in 0..units {
+                if rng.next_uniform() < 0.35 && mask.kept_in_layer(li) > 1 {
+                    mask.prune(li, u).expect("in range");
+                }
+            }
+        } else if style < 0.9 || !allow_empty {
+            // single-unit layer: keep exactly one random unit
+            let keep = (rng.next_uniform() * units as f32) as usize % units.max(1);
+            let flags: Vec<bool> = (0..units).map(|u| u == keep).collect();
+            mask.set_layer(li, flags).expect("prunable");
+        } else {
+            mask.set_layer(li, vec![false; units]).expect("prunable");
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plan_forward_matches_reference_elementwise(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x91A7);
+        let mask = random_mask(&net, &mut rng, true);
+        let plan = net.compile(&mask).expect("compiles");
+        for _ in 0..3 {
+            let x = input_for(&net, &mut rng);
+            let reference = net.forward_masked_reference(&x, &mask).expect("reference");
+            let planned = plan.forward(&x).expect("plan");
+            prop_assert_eq!(planned.dims(), reference.dims());
+            prop_assert_eq!(planned.as_slice(), reference.as_slice());
+            // value equality implies the serving guarantee: bit-compatible argmax
+            prop_assert_eq!(planned.argmax(), reference.argmax());
+        }
+    }
+
+    #[test]
+    fn all_kept_plan_matches_plain_forward(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x2B2B);
+        let plan = net.compile(&PruneMask::all_kept(&net)).expect("compiles");
+        let x = input_for(&net, &mut rng);
+        let plain = net.forward(&x).expect("forward");
+        let planned = plan.forward(&x).expect("plan");
+        prop_assert_eq!(planned.as_slice(), plain.as_slice());
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample(t in topology(), batch in 1usize..8) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xBA7C);
+        let mask = random_mask(&net, &mut rng, true);
+        let plan = net.compile(&mask).expect("compiles");
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let batched = plan.forward_batch(&inputs).expect("batch");
+        prop_assert_eq!(batched.len(), batch);
+        for (x, out) in inputs.iter().zip(&batched) {
+            let single = plan.forward(x).expect("single");
+            prop_assert_eq!(single.as_slice(), out.as_slice());
+            let reference = net.forward_masked_reference(x, &mask).expect("reference");
+            prop_assert_eq!(out.argmax(), reference.argmax());
+        }
+    }
+
+    #[test]
+    fn packed_size_matches_size_accounting(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x517E);
+        let mask = random_mask(&net, &mut rng, false);
+        let plan = net.compile(&mask).expect("compiles");
+        let predicted = model_size(&net, &mask).expect("size").total();
+        prop_assert_eq!(plan.packed_param_count(), predicted);
+    }
+
+    #[test]
+    fn plan_json_roundtrip_preserves_outputs(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x70_50);
+        let mask = random_mask(&net, &mut rng, true);
+        let plan = net.compile(&mask).expect("compiles");
+        let back = plan_from_json(&plan_to_json(&plan).expect("ser")).expect("de");
+        prop_assert_eq!(&plan, &back);
+        let x = input_for(&net, &mut rng);
+        prop_assert_eq!(
+            plan.forward(&x).expect("plan").as_slice(),
+            back.forward(&x).expect("back").as_slice()
+        );
+    }
+}

@@ -144,8 +144,9 @@ impl FiringRateProfiler {
         };
         let samples = dataset.samples();
         let threads = capnn_tensor::parallel::max_threads();
+        let min_items = capnn_tensor::parallel::min_items_per_thread(net.mac_count_from(0)?);
         let partials =
-            capnn_tensor::parallel::parallel_reduce(samples.len(), threads, 1, |range| {
+            capnn_tensor::parallel::parallel_reduce(samples.len(), threads, min_items, |range| {
                 let mut sums = zero_sums();
                 let mut counts = vec![0usize; num_classes];
                 for (x, label) in &samples[range] {

@@ -156,6 +156,58 @@ fn im2col_into(
     }
 }
 
+/// Strided im2col for batched channel-major activations: unfolds one
+/// sample whose channel planes live `chan_stride` elements apart starting
+/// at `base` (`input[base + c*chan_stride ..]` is channel `c`'s `h×w`
+/// plane), writing its `oh·ow` unfold columns into the column window
+/// `[col_offset, col_offset + oh·ow)` of a wide
+/// `[spec.in_channels·k² × dst_cols]` matrix `cols`. The destination must
+/// be pre-zeroed (padding cells are left untouched).
+///
+/// With `chan_stride = h·w`, `base = 0` and `dst_cols = oh·ow` this
+/// reproduces the single-sample unfold used by [`conv2d_im2col`]; a
+/// batched caller lays `B` samples side by side (sample `b` at
+/// `col_offset = b·oh·ow`) so a *single* GEMM convolves the whole batch —
+/// the im2col amortization behind `CompiledPlan::forward_batch` in
+/// `capnn-nn`.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_strided_into(
+    input: &[f32],
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    chan_stride: usize,
+    base: usize,
+    dst_cols: usize,
+    col_offset: usize,
+    cols: &mut [f32],
+) {
+    let (oh, ow) = spec.output_hw(h, w);
+    let k = spec.kernel;
+    for c in 0..spec.in_channels {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (c * k + ky) * k + kx;
+                let rbase = row * dst_cols + col_offset;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let in_row = base + c * chan_stride + iy as usize * w;
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        cols[rbase + oy * ow + ox] = input[in_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn check_conv_inputs(
     input: &Tensor,
     weights: &Tensor,
@@ -640,6 +692,66 @@ mod tests {
     #[should_panic(expected = "kernel must be positive")]
     fn zero_kernel_panics() {
         Conv2dSpec::new(1, 1, 0, 1, 0);
+    }
+
+    #[test]
+    fn strided_im2col_matches_plain_unfold() {
+        let mut rng = XorShiftRng::new(13);
+        let spec = Conv2dSpec::new(3, 1, 3, 2, 1);
+        let (h, w) = (7usize, 6usize);
+        let (oh, ow) = spec.output_hw(h, w);
+        let ncols = oh * ow;
+        let krows = spec.in_channels * spec.kernel * spec.kernel;
+        let s0 = Tensor::uniform(&[3, h, w], -1.0, 1.0, &mut rng);
+        let s1 = Tensor::uniform(&[3, h, w], -1.0, 1.0, &mut rng);
+
+        // single-sample: same cells as the private unfold
+        let all: Vec<usize> = (0..3).collect();
+        let mut want = Vec::new();
+        im2col_into(s0.as_slice(), &spec, h, w, &all, &mut want);
+        let mut got = vec![0.0f32; krows * ncols];
+        im2col_strided_into(s0.as_slice(), &spec, h, w, h * w, 0, ncols, 0, &mut got);
+        assert_eq!(got, want);
+
+        // batched channel-major layout: two samples side by side
+        let plane = h * w;
+        let batch = 2usize;
+        let mut chw = vec![0.0f32; batch * 3 * plane];
+        for (b, s) in [&s0, &s1].iter().enumerate() {
+            for c in 0..3 {
+                chw[(c * batch + b) * plane..(c * batch + b + 1) * plane]
+                    .copy_from_slice(&s.as_slice()[c * plane..(c + 1) * plane]);
+            }
+        }
+        let wide_cols = batch * ncols;
+        let mut wide = vec![0.0f32; krows * wide_cols];
+        for b in 0..batch {
+            im2col_strided_into(
+                &chw,
+                &spec,
+                h,
+                w,
+                batch * plane,
+                b * plane,
+                wide_cols,
+                b * ncols,
+                &mut wide,
+            );
+        }
+        let mut want1 = Vec::new();
+        im2col_into(s1.as_slice(), &spec, h, w, &all, &mut want1);
+        for r in 0..krows {
+            assert_eq!(
+                &wide[r * wide_cols..r * wide_cols + ncols],
+                &want[r * ncols..(r + 1) * ncols],
+                "sample 0 row {r}"
+            );
+            assert_eq!(
+                &wide[r * wide_cols + ncols..(r + 1) * wide_cols],
+                &want1[r * ncols..(r + 1) * ncols],
+                "sample 1 row {r}"
+            );
+        }
     }
 
     #[test]

@@ -28,13 +28,15 @@ mod shape;
 mod tensor;
 
 pub use conv::{
-    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, Conv2dSpec, ConvScratch,
+    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, im2col_strided_into, Conv2dSpec,
+    ConvScratch,
 };
 pub use error::{ShapeError, TensorError};
 pub use ops::{
-    matmul, matmul_reference, matmul_threaded, matmul_transpose_a, matmul_transpose_a_reference,
-    matmul_transpose_a_threaded, matmul_transpose_b, matmul_transpose_b_reference,
-    matmul_transpose_b_threaded,
+    dense_batch_chw_into, dense_batch_into, matmul, matmul_into, matmul_reference, matmul_threaded,
+    matmul_transpose_a, matmul_transpose_a_reference, matmul_transpose_a_threaded,
+    matmul_transpose_b, matmul_transpose_b_reference, matmul_transpose_b_threaded,
+    pack_dense_panels,
 };
 pub use pool::{max_pool2d, PoolSpec};
 pub use rng::XorShiftRng;

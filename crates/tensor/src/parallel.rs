@@ -12,7 +12,9 @@
 //! once) or programmatically with [`set_max_threads`] (benchmarks sweep
 //! thread counts this way). Small work items run inline on the calling
 //! thread — spawning is skipped entirely — so single-sample inference on a
-//! tiny net never pays a threading tax.
+//! tiny net never pays a threading tax, and spawned workers are capped at
+//! the host's physical parallelism so an oversubscribed request (more
+//! threads than cores) degrades to serial instead of to slower-than-serial.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -51,6 +53,23 @@ pub fn set_max_threads(threads: usize) {
     MAX_THREADS.store(threads.max(1), Ordering::Relaxed);
 }
 
+/// Floor on the multiply–accumulates a spawned worker should own before a
+/// per-item parallel sweep (per-sample evaluation, profiling, batched
+/// serving) is worth fanning out: scoped-spawn overhead is ~10 µs/thread,
+/// so a worker below roughly this many MACs spends more time being born
+/// than computing.
+pub const MIN_MACS_PER_THREAD: u64 = 262_144;
+
+/// Converts a per-item MAC cost into the `min_per_thread` argument of
+/// [`parallel_reduce`]/[`parallel_rows_mut`]: the number of items each
+/// worker must own so it does at least [`MIN_MACS_PER_THREAD`] MACs.
+/// Cheap items (tiny tail replays) yield large minimums and the sweep
+/// stays serial; expensive items (full forward traces) yield 1–2 and the
+/// sweep fans out.
+pub fn min_items_per_thread(macs_per_item: u64) -> usize {
+    usize::try_from((MIN_MACS_PER_THREAD / macs_per_item.max(1)).max(1)).unwrap_or(usize::MAX)
+}
+
 /// Splits `0..n` into at most `parts` contiguous near-equal ranges,
 /// dropping empty ones.
 pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
@@ -70,9 +89,28 @@ pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Physical parallelism of the host (cached once). CPU-bound workers
+/// beyond the core count only ever add scheduling overhead — the OS time-
+/// slices them onto the same cores — so parallel regions never spawn more
+/// than this many, no matter what thread count was requested.
+fn host_parallelism() -> usize {
+    static HOST: AtomicUsize = AtomicUsize::new(0);
+    let cached = HOST.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    HOST.store(n, Ordering::Relaxed);
+    n
+}
+
 /// How many workers a region of `n` items should use, given that each
 /// worker must own at least `min_per_thread` items to be worth spawning.
+/// Requested thread counts are capped at [`host_parallelism`].
 fn worker_count(n: usize, threads: usize, min_per_thread: usize) -> usize {
+    let threads = threads.min(host_parallelism());
     if threads <= 1 || n == 0 {
         return 1;
     }
@@ -222,6 +260,17 @@ mod tests {
         let parts = parallel_reduce(8, 16, 100, |r| r);
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0], 0..8);
+    }
+
+    #[test]
+    fn min_items_per_thread_scales_inversely_with_cost() {
+        // tiny items → huge minimum (stay serial); big items → minimum 1
+        assert_eq!(min_items_per_thread(1), MIN_MACS_PER_THREAD as usize);
+        assert_eq!(min_items_per_thread(0), MIN_MACS_PER_THREAD as usize);
+        assert_eq!(min_items_per_thread(MIN_MACS_PER_THREAD), 1);
+        assert_eq!(min_items_per_thread(u64::MAX), 1);
+        let mid = min_items_per_thread(MIN_MACS_PER_THREAD / 4);
+        assert_eq!(mid, 4);
     }
 
     #[test]

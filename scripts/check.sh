@@ -17,4 +17,8 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> perf bins smoke (CAPNN_BENCH_SMOKE=1: tiny iterations, no results/ write)"
+CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_speedup
+CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_serving
+
 echo "==> all checks passed"

@@ -3,7 +3,8 @@
 //! fleet-level caching, and monitoring-period streams.
 
 use capnn_repro::core::{
-    CloudServer, LocalDevice, ModelCache, PruningConfig, UserProfile, Variant,
+    CloudServer, DriftPolicy, LocalDevice, ModelCache, PersonalizationSession, PruningConfig,
+    UserProfile, Variant,
 };
 use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
 use capnn_repro::nn::{
@@ -27,13 +28,8 @@ fn serving_rig() -> (SyntheticImages, CloudServer) {
     let mut config = PruningConfig::paper();
     config.tail_layers = 4;
     config.step = 0.05;
-    let cloud = CloudServer::new(
-        net,
-        &images.generate(12, 2),
-        &images.generate(8, 3),
-        config,
-    )
-    .expect("cloud");
+    let cloud = CloudServer::new(net, &images.generate(12, 2), &images.generate(8, 3), config)
+        .expect("cloud");
     (images, cloud)
 }
 
@@ -147,6 +143,40 @@ fn certificates_are_auditable() {
         )
         .expect("re-certify");
     assert_eq!(cert, replayed);
+}
+
+#[test]
+fn plan_served_batched_inference_end_to_end() {
+    let (images, mut cloud) = serving_rig();
+    let profile = UserProfile::new(vec![2, 6], vec![0.7, 0.3]).expect("profile");
+    let model = cloud
+        .personalize(&profile, Variant::Weighted)
+        .expect("personalize");
+    let mut device = LocalDevice::deploy_personalized(&model);
+    // the device serves from the exact plan the cloud compiled (shared Arc)
+    assert!(std::sync::Arc::ptr_eq(device.plan(), &model.plan));
+
+    let mut rng = XorShiftRng::new(19);
+    let stream = images.usage_stream(&[2, 6], &[0.7, 0.3], 32, &mut rng);
+    let inputs: Vec<_> = stream.iter().map(|(x, _)| x.clone()).collect();
+    let preds = device.infer_batch(&inputs).expect("batch inference");
+    assert_eq!(preds.len(), inputs.len());
+    assert_eq!(device.observed_total(), inputs.len() as u64);
+
+    // batched predictions agree with the masked reference engine per sample
+    for (x, &p) in inputs.iter().zip(&preds) {
+        let reference = cloud
+            .network()
+            .forward_masked_reference(x, &model.mask)
+            .expect("reference");
+        assert_eq!(Some(p), reference.argmax());
+    }
+
+    // monitored predictions feed the drift loop in one call
+    let mut session =
+        PersonalizationSession::new(profile, DriftPolicy::conservative()).expect("session");
+    session.record_batch(&preds);
+    assert_eq!(session.observations(), preds.len() as u64);
 }
 
 #[test]
