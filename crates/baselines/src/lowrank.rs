@@ -259,6 +259,7 @@ pub fn low_rank_compress(net: &Network, fraction: f64) -> Result<(Network, usize
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use capnn_nn::NetworkBuilder;

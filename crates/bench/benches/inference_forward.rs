@@ -7,7 +7,9 @@
 //! below the dense forward, roughly `(1-p)²` per masked layer.
 
 use capnn_data::{SyntheticImages, SyntheticImagesConfig};
-use capnn_nn::{ExecScratch, Network, NetworkBuilder, PruneMask, VggConfig};
+use capnn_nn::{
+    Engine, ExecScratch, InferenceRequest, Network, NetworkBuilder, PruneMask, VggConfig,
+};
 use capnn_tensor::XorShiftRng;
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -37,8 +39,15 @@ fn bench_forward(c: &mut Criterion) {
     let compacted = net.compact(&half_mask).expect("compacts");
 
     let mut group = c.benchmark_group("device_inference");
+    let mut full_engine = Engine::new(&net);
     group.bench_function("full_model", |b| {
-        b.iter(|| net.forward(&x).expect("forward"))
+        b.iter(|| {
+            full_engine
+                .run(InferenceRequest::single(&x))
+                .expect("forward")
+                .into_single()
+                .expect("single output")
+        })
     });
     for (label, ratio) in [
         ("masked_model_25pct", 0.25),
@@ -54,8 +63,15 @@ fn bench_forward(c: &mut Criterion) {
             })
         });
     }
+    let mut compact_engine = Engine::new(&compacted);
     group.bench_function("compacted_model_50pct", |b| {
-        b.iter(|| compacted.forward(&x).expect("forward"))
+        b.iter(|| {
+            compact_engine
+                .run(InferenceRequest::single(&x))
+                .expect("forward")
+                .into_single()
+                .expect("single output")
+        })
     });
     group.finish();
 }

@@ -11,9 +11,15 @@
 //! are argmax-bit-compatible with `forward_masked_reference`, and records
 //! whether batch=32 meets the ≥ 2x-over-batch-1 throughput target.
 
-use capnn_bench::write_results_json;
-use capnn_data::{SyntheticImages, SyntheticImagesConfig};
-use capnn_nn::{Network, NetworkBuilder, PlanScratch, PruneMask, VggConfig};
+use capnn_bench::{write_results_json, write_results_raw};
+use capnn_core::{
+    CloudServer, DriftPolicy, LocalDevice, ModelCache, PersonalizationRequest,
+    PersonalizationSession, PruningConfig, UserProfile, Variant,
+};
+use capnn_data::{SyntheticImages, SyntheticImagesConfig, VectorClusters, VectorClustersConfig};
+use capnn_nn::{
+    Network, NetworkBuilder, PlanScratch, PruneMask, Trainer, TrainerConfig, VggConfig,
+};
 use capnn_tensor::{parallel, Tensor, XorShiftRng};
 use serde::Serialize;
 use std::time::Instant;
@@ -52,12 +58,23 @@ struct ModelSummary {
 }
 
 #[derive(Debug, Serialize)]
+struct TelemetryOverhead {
+    model: String,
+    batch: usize,
+    disabled_per_sample_us: f64,
+    enabled_per_sample_us: f64,
+    /// Enabled-mode slowdown in percent; the probe budget is ≤ 2 %.
+    overhead_pct: f64,
+}
+
+#[derive(Debug, Serialize)]
 struct Report {
     host_cores: usize,
     default_threads: usize,
     batches: Vec<usize>,
     rows: Vec<BatchRow>,
     models: Vec<ModelSummary>,
+    telemetry_overhead: Option<TelemetryOverhead>,
 }
 
 /// Prunes `ratio` of the units of every hidden prunable layer.
@@ -94,7 +111,9 @@ fn sweep_model(
     let batched = plan.forward_batch(&inputs[..check]).expect("batch");
     let mut compatible = true;
     for (x, out) in inputs[..check].iter().zip(&batched) {
-        let reference = net.forward_masked_reference(x, &mask).expect("reference");
+        let reference = net
+            .forward_masked_reference_from(0, x, &mask)
+            .expect("reference");
         if out.argmax() != reference.argmax() {
             compatible = false;
             eprintln!("[serving] ARGMAX MISMATCH ({name})");
@@ -169,6 +188,110 @@ fn sweep_model(
     });
 }
 
+/// Times the serving-MLP compiled batch path with telemetry forced off and
+/// on, measuring the cost of the per-step probes against the ≤ 2 % budget.
+/// Restores the prior toggle state before returning.
+fn measure_telemetry_overhead(
+    net: &Network,
+    inputs: &[Tensor],
+    samples_per_point: usize,
+) -> TelemetryOverhead {
+    let batch = inputs.len().min(32);
+    let mask = ratio_mask(net, 0.5);
+    let plan = net.compile(&mask).expect("compiles");
+    let mut scratch = PlanScratch::new();
+    let iters = (samples_per_point / batch).max(2);
+    let prior = capnn_telemetry::enabled();
+    let chunk = &inputs[..batch];
+    let mut time_once = |on: bool| {
+        capnn_telemetry::set_enabled(on);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(
+                plan.forward_batch_with_scratch(chunk, &mut scratch)
+                    .expect("batch"),
+            );
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // warm both modes, then interleave the timed repetitions so slow
+    // clock-frequency drift hits both modes equally; keep the best of each.
+    time_once(false);
+    time_once(true);
+    let (mut disabled, mut enabled) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..7 {
+        disabled = disabled.min(time_once(false));
+        enabled = enabled.min(time_once(true));
+    }
+    capnn_telemetry::set_enabled(prior);
+    let disabled = disabled / (iters * batch) as f64;
+    let enabled = enabled / (iters * batch) as f64;
+    TelemetryOverhead {
+        model: "serving_mlp".into(),
+        batch,
+        disabled_per_sample_us: disabled * 1e6,
+        enabled_per_sample_us: enabled * 1e6,
+        overhead_pct: (enabled / disabled - 1.0) * 100.0,
+    }
+}
+
+/// A miniature end-to-end serving pass — cloud personalization through the
+/// request builder, fleet cache hits and misses, device inference and a
+/// drift check — so an enabled-telemetry run snapshots the full probe map,
+/// not just kernel timings.
+fn serving_scenario() {
+    let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).expect("gen");
+    let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2)
+        .build()
+        .expect("builds");
+    let cfg = TrainerConfig {
+        epochs: 8,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(&mut net, gen.generate(20, 1).samples())
+        .expect("training");
+    let mut cloud = CloudServer::new(
+        net,
+        &gen.generate(15, 2),
+        &gen.generate(10, 3),
+        PruningConfig::fast(),
+    )
+    .expect("cloud");
+
+    // fleet cache: two equivalent users share one model (1 hit, 2 misses)
+    let mut cache = ModelCache::new(16).expect("cache");
+    let users = [
+        UserProfile::new(vec![0, 1], vec![0.7, 0.3]).expect("profile"),
+        UserProfile::new(vec![1, 0], vec![0.3, 0.7]).expect("profile"),
+        UserProfile::new(vec![2, 3], vec![0.5, 0.5]).expect("profile"),
+    ];
+    for user in &users {
+        cache
+            .personalize(&mut cloud, user, Variant::Weighted)
+            .expect("personalize");
+    }
+
+    // the unified request API, with telemetry opted in
+    let req = PersonalizationRequest::builder(users[0].clone())
+        .variant(Variant::Miseffectual)
+        .telemetry(true)
+        .build()
+        .expect("request");
+    let resp = cloud.handle(&req).expect("personalize");
+
+    // device-side inference + drift monitoring
+    let mut device = LocalDevice::deploy_personalized(&resp.model);
+    let mut session =
+        PersonalizationSession::new(resp.model.profile.clone(), DriftPolicy::conservative())
+            .expect("session");
+    for (x, _) in gen.generate(6, 5).samples() {
+        let pred = device.infer(x).expect("infer");
+        session.record(pred);
+    }
+    let _ = session.check_drift();
+}
+
 fn main() {
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -241,17 +364,49 @@ fn main() {
         );
     }
 
+    // --- telemetry probe overhead (disabled vs enabled, same path) --------
+    let overhead = measure_telemetry_overhead(&mlp, &mlp_inputs, samples_per_point);
+    eprintln!(
+        "[serving] telemetry overhead ({} batch={}): {:.2} µs/sample off, {:.2} µs/sample on ({:+.2}%)",
+        overhead.model,
+        overhead.batch,
+        overhead.disabled_per_sample_us,
+        overhead.enabled_per_sample_us,
+        overhead.overhead_pct
+    );
+
     let report = Report {
         host_cores,
         default_threads,
         batches,
         rows,
         models,
+        telemetry_overhead: Some(overhead),
     };
     if smoke_mode() {
         eprintln!("[serving] smoke mode: skipping results/ write");
     } else if let Some(path) = write_results_json("BENCH_serving", &report) {
         eprintln!("[serving] results written to {}", path.display());
+    }
+
+    // --- telemetry snapshot (CAPNN_TELEMETRY=1 runs only) -----------------
+    if capnn_telemetry::enabled() {
+        serving_scenario();
+        if let Some(snapshot) = capnn_telemetry::snapshot() {
+            let json = snapshot.to_json();
+            if smoke_mode() {
+                eprintln!(
+                    "[serving] telemetry snapshot: {} counters, {} gauges, {} histograms \
+                     ({} bytes; smoke mode: not written)",
+                    snapshot.counters.len(),
+                    snapshot.gauges.len(),
+                    snapshot.histograms.len(),
+                    json.len()
+                );
+            } else if let Some(path) = write_results_raw("TELEMETRY_serving", &json) {
+                eprintln!("[serving] telemetry snapshot written to {}", path.display());
+            }
+        }
     }
     if !all_compatible {
         std::process::exit(1);

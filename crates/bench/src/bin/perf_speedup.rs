@@ -7,10 +7,13 @@
 //! the compute-skipping engine is argmax-bit-compatible with the
 //! zero-after-dense reference on the full synthetic eval set.
 
-use capnn_bench::write_results_json;
+use capnn_bench::{write_results_json, write_results_raw};
 use capnn_core::TailEvaluator;
 use capnn_data::{SyntheticImages, SyntheticImagesConfig};
-use capnn_nn::{ExecScratch, Network, NetworkBuilder, PlanScratch, PruneMask, VggConfig};
+use capnn_nn::{
+    Engine, ExecScratch, InferenceRequest, Network, NetworkBuilder, PlanScratch, PruneMask,
+    VggConfig,
+};
 use capnn_profile::FiringRateProfiler;
 use capnn_tensor::{parallel, Tensor, XorShiftRng};
 use serde::Serialize;
@@ -114,7 +117,7 @@ fn main() {
             .forward_masked_with_scratch(sample, &check_mask, &mut scratch)
             .expect("engine");
         let reference = net
-            .forward_masked_reference(sample, &check_mask)
+            .forward_masked_reference_from(0, sample, &check_mask)
             .expect("reference");
         if fast.argmax() != reference.argmax() {
             compatible = false;
@@ -137,7 +140,14 @@ fn main() {
 
     // --- masked vs dense forward -----------------------------------------
     let iters = if smoke_mode() { 5 } else { 200 };
-    let dense_s = time_forward(iters, || net.forward(&x).expect("forward"));
+    let mut dense_engine = Engine::new(&net);
+    let dense_s = time_forward(iters, || {
+        dense_engine
+            .run(InferenceRequest::single(&x))
+            .expect("forward")
+            .into_single()
+            .expect("single output")
+    });
     let dense_per = dense_s / iters as f64;
     let mut forward = vec![ForwardRow {
         variant: "dense".into(),
@@ -167,7 +177,14 @@ fn main() {
         });
     }
     let compacted = net.compact(&ratio_mask(&net, 0.5)).expect("compacts");
-    let s = time_forward(iters, || compacted.forward(&x).expect("forward"));
+    let mut compact_engine = Engine::new(&compacted);
+    let s = time_forward(iters, || {
+        compact_engine
+            .run(InferenceRequest::single(&x))
+            .expect("forward")
+            .into_single()
+            .expect("single output")
+    });
     let per = s / iters as f64;
     forward.push(ForwardRow {
         variant: "compacted_50pct".into(),
@@ -266,6 +283,23 @@ fn main() {
         eprintln!("[perf] smoke mode: skipping results/ write");
     } else if let Some(path) = write_results_json("BENCH_inference", &report) {
         eprintln!("[perf] results written to {}", path.display());
+    }
+
+    // --- telemetry snapshot (CAPNN_TELEMETRY=1 runs only) -----------------
+    if let Some(snapshot) = capnn_telemetry::snapshot() {
+        let json = snapshot.to_json();
+        if smoke_mode() {
+            eprintln!(
+                "[perf] telemetry snapshot: {} counters, {} gauges, {} histograms \
+                 ({} bytes; smoke mode: not written)",
+                snapshot.counters.len(),
+                snapshot.gauges.len(),
+                snapshot.histograms.len(),
+                json.len()
+            );
+        } else if let Some(path) = write_results_raw("TELEMETRY_inference", &json) {
+            eprintln!("[perf] telemetry snapshot written to {}", path.display());
+        }
     }
     if !compatible || !plan_compatible {
         std::process::exit(1);

@@ -16,5 +16,5 @@ pub mod experiments;
 pub mod report;
 pub mod rig;
 
-pub use report::{write_results_json, Table};
+pub use report::{write_results_json, write_results_raw, Table};
 pub use rig::{PaperRig, Scale};

@@ -90,6 +90,16 @@ pub fn write_results_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf
     }
 }
 
+/// Writes an already-rendered JSON string to `results/<name>.json` (created
+/// on demand), returning the path. Used for telemetry snapshots, which
+/// serialize themselves without serde. Failures are non-fatal.
+pub fn write_results_raw(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, json).ok().map(|()| path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

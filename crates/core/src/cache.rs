@@ -140,10 +140,12 @@ impl ModelCache {
         let key = ProfileKey::new(profile, variant, self.weight_steps);
         if let Some(model) = self.entries.get(&key) {
             self.stats.hits += 1;
+            capnn_telemetry::count("cache.hits", 1);
             return Ok(model.clone());
         }
         let model = cloud.personalize(profile, variant)?;
         self.stats.misses += 1;
+        capnn_telemetry::count("cache.misses", 1);
         self.entries.insert(key, model.clone());
         Ok(model)
     }

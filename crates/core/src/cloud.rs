@@ -19,6 +19,7 @@ use capnn_nn::{model_size, CompiledPlan, Network, ParamCount, PlanScratch, Prune
 use capnn_profile::{ConfusionMatrix, FiringRateProfiler, FiringRates};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Which CAP'NN variant to run for a personalization request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -40,6 +41,149 @@ impl std::fmt::Display for Variant {
         };
         f.write_str(name)
     }
+}
+
+/// A validated personalization request: who to personalize for, which
+/// variant to run, and the request-level options.
+///
+/// Built through [`PersonalizationRequest::builder`], which validates the
+/// variant is set and any config override passes
+/// [`PruningConfig::validate`]. [`CloudServer::handle`] is the single entry
+/// point that serves these requests.
+///
+/// # Examples
+///
+/// ```no_run
+/// use capnn_core::{PersonalizationRequest, UserProfile, Variant};
+///
+/// let profile = UserProfile::new(vec![0, 1], vec![0.8, 0.2])?;
+/// let req = PersonalizationRequest::builder(profile)
+///     .variant(Variant::Weighted)
+///     .certified(true)
+///     .telemetry(true)
+///     .build()?;
+/// assert_eq!(req.variant(), Variant::Weighted);
+/// # Ok::<(), capnn_core::CapnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PersonalizationRequest {
+    profile: UserProfile,
+    variant: Variant,
+    config_override: Option<PruningConfig>,
+    certified: bool,
+    telemetry: bool,
+}
+
+impl PersonalizationRequest {
+    /// Starts building a request for `profile`.
+    pub fn builder(profile: UserProfile) -> PersonalizationRequestBuilder {
+        PersonalizationRequestBuilder {
+            profile,
+            variant: None,
+            config_override: None,
+            certified: false,
+            telemetry: false,
+        }
+    }
+
+    /// The profile to personalize for.
+    pub fn profile(&self) -> &UserProfile {
+        &self.profile
+    }
+
+    /// The CAP'NN variant to run.
+    pub fn variant(&self) -> Variant {
+        self.variant
+    }
+
+    /// The per-request config override, if any.
+    pub fn config_override(&self) -> Option<&PruningConfig> {
+        self.config_override.as_ref()
+    }
+
+    /// Whether an ε certificate was requested.
+    pub fn certified(&self) -> bool {
+        self.certified
+    }
+
+    /// Whether this request opted into telemetry recording.
+    pub fn telemetry(&self) -> bool {
+        self.telemetry
+    }
+}
+
+/// Builder for [`PersonalizationRequest`]; see its docs for an example.
+#[derive(Debug, Clone)]
+pub struct PersonalizationRequestBuilder {
+    profile: UserProfile,
+    variant: Option<Variant>,
+    config_override: Option<PruningConfig>,
+    certified: bool,
+    telemetry: bool,
+}
+
+impl PersonalizationRequestBuilder {
+    /// Selects the CAP'NN variant (required).
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    /// Overrides the server's pruning configuration for this request only.
+    /// The override may not change `tail_layers` (the server's profiler and
+    /// evaluator are built for a fixed tail); [`CloudServer::handle`]
+    /// rejects such requests.
+    pub fn config(mut self, config: PruningConfig) -> Self {
+        self.config_override = Some(config);
+        self
+    }
+
+    /// Requests an auditable ε certificate alongside the model.
+    pub fn certified(mut self, on: bool) -> Self {
+        self.certified = on;
+        self
+    }
+
+    /// Opts this request into telemetry recording (effective only when the
+    /// process-wide `CAPNN_TELEMETRY` toggle is also on).
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Validates and finalizes the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if no variant was selected or the
+    /// config override is invalid.
+    pub fn build(self) -> Result<PersonalizationRequest, CapnnError> {
+        let variant = self.variant.ok_or_else(|| {
+            CapnnError::Config("personalization request needs a variant; call .variant(..)".into())
+        })?;
+        if let Some(config) = &self.config_override {
+            config.validate()?;
+        }
+        Ok(PersonalizationRequest {
+            profile: self.profile,
+            variant,
+            config_override: self.config_override,
+            certified: self.certified,
+            telemetry: self.telemetry,
+        })
+    }
+}
+
+/// What [`CloudServer::handle`] returns: the shipped model, the optional
+/// certificate, and the server-side latency of the request.
+#[derive(Debug, Clone)]
+pub struct PersonalizationResponse {
+    /// The personalized model package.
+    pub model: PersonalizedModel,
+    /// The ε certificate, present iff the request asked for one.
+    pub certificate: Option<crate::PruningCertificate>,
+    /// Wall-clock time the server spent on this request.
+    pub latency: Duration,
 }
 
 /// The model package the cloud ships to a device.
@@ -143,7 +287,9 @@ impl CloudServer {
             let b = CapnnB::new(self.config)?;
             self.matrices = Some(b.offline(&self.net, &self.rates, &self.eval)?);
         }
-        Ok(self.matrices.as_ref().expect("just set"))
+        self.matrices
+            .as_ref()
+            .ok_or_else(|| CapnnError::Internal("basic matrices vanished after compute".into()))
     }
 
     /// Computes the prune mask for a request without compacting (useful for
@@ -167,7 +313,9 @@ impl CloudServer {
         match variant {
             Variant::Basic => {
                 self.precompute_basic_matrices()?;
-                let matrices = self.matrices.as_ref().expect("precomputed above");
+                let matrices = self.matrices.as_ref().ok_or_else(|| {
+                    CapnnError::Internal("basic matrices vanished after precompute".into())
+                })?;
                 CapnnB::online(&self.net, matrices, profile.classes())
             }
             Variant::Weighted => {
@@ -183,13 +331,107 @@ impl CloudServer {
         }
     }
 
+    /// Serves one validated [`PersonalizationRequest`]: prune, compact,
+    /// compile, optionally certify — the single entry point every
+    /// personalization path funnels through.
+    ///
+    /// When the request opted into telemetry (and the process-wide toggle is
+    /// on), the per-variant latency, shipped model size and relative size
+    /// land in the global [`capnn_telemetry`] registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the profile does not fit the model, the config
+    /// override changes `tail_layers`, pruning fails, or compaction would
+    /// empty a layer.
+    pub fn handle(
+        &mut self,
+        req: &PersonalizationRequest,
+    ) -> Result<PersonalizationResponse, CapnnError> {
+        let start = Instant::now();
+        let telemetry = req.telemetry && capnn_telemetry::enabled();
+        let (model, certificate) = self.with_config(req.config_override, |server| {
+            let model = server.personalize_impl(&req.profile, req.variant)?;
+            let certificate = if req.certified {
+                Some(server.eval.certify(
+                    &model.mask,
+                    req.profile.classes(),
+                    server.config.epsilon,
+                    server.config.metric,
+                )?)
+            } else {
+                None
+            };
+            Ok((model, certificate))
+        })?;
+        let latency = start.elapsed();
+        if telemetry {
+            let reg = capnn_telemetry::global();
+            reg.counter("personalize.requests").add(1);
+            let probe = match req.variant {
+                Variant::Basic => "personalize.basic_ns",
+                Variant::Weighted => "personalize.weighted_ns",
+                Variant::Miseffectual => "personalize.miseffectual_ns",
+            };
+            reg.histogram(probe)
+                .record(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+            reg.histogram("personalize.shipped_params")
+                .record(model.size.total() as u64);
+            reg.gauge("personalize.last_relative_size")
+                .set(model.relative_size);
+        }
+        Ok(PersonalizationResponse {
+            model,
+            certificate,
+            latency,
+        })
+    }
+
     /// Full personalization: prune, compact, and package the model for the
-    /// device.
+    /// device. Convenience wrapper over [`CloudServer::handle`] with
+    /// telemetry opted in.
     ///
     /// # Errors
     ///
     /// Returns an error if pruning fails or compaction would empty a layer.
     pub fn personalize(
+        &mut self,
+        profile: &UserProfile,
+        variant: Variant,
+    ) -> Result<PersonalizedModel, CapnnError> {
+        let req = PersonalizationRequest::builder(profile.clone())
+            .variant(variant)
+            .telemetry(true)
+            .build()?;
+        Ok(self.handle(&req)?.model)
+    }
+
+    /// Like [`CloudServer::personalize`], additionally producing the
+    /// auditable ε certificate of the shipped mask over the user's classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if pruning, compaction or certification fails.
+    pub fn personalize_certified(
+        &mut self,
+        profile: &UserProfile,
+        variant: Variant,
+    ) -> Result<(PersonalizedModel, crate::PruningCertificate), CapnnError> {
+        let req = PersonalizationRequest::builder(profile.clone())
+            .variant(variant)
+            .certified(true)
+            .telemetry(true)
+            .build()?;
+        let resp = self.handle(&req)?;
+        let certificate = resp.certificate.ok_or_else(|| {
+            CapnnError::Internal("certified request produced no certificate".into())
+        })?;
+        Ok((resp.model, certificate))
+    }
+
+    /// The personalization body shared by [`CloudServer::handle`] and the
+    /// convenience wrappers.
+    fn personalize_impl(
         &mut self,
         profile: &UserProfile,
         variant: Variant,
@@ -209,25 +451,35 @@ impl CloudServer {
         })
     }
 
-    /// Like [`CloudServer::personalize`], additionally producing the
-    /// auditable ε certificate of the shipped mask over the user's classes.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if pruning, compaction or certification fails.
-    pub fn personalize_certified(
+    /// Runs `f` under a per-request config override, restoring the server's
+    /// own config (and its config-tied CAP'NN-B matrices) afterwards — even
+    /// when `f` fails.
+    fn with_config<T>(
         &mut self,
-        profile: &UserProfile,
-        variant: Variant,
-    ) -> Result<(PersonalizedModel, crate::PruningCertificate), CapnnError> {
-        let model = self.personalize(profile, variant)?;
-        let certificate = self.eval.certify(
-            &model.mask,
-            profile.classes(),
-            self.config.epsilon,
-            self.config.metric,
-        )?;
-        Ok((model, certificate))
+        config_override: Option<PruningConfig>,
+        f: impl FnOnce(&mut Self) -> Result<T, CapnnError>,
+    ) -> Result<T, CapnnError> {
+        let Some(config) = config_override else {
+            return f(self);
+        };
+        if config == self.config {
+            return f(self);
+        }
+        if config.tail_layers != self.config.tail_layers {
+            return Err(CapnnError::Config(format!(
+                "config override changes tail_layers ({} -> {}); the server's profiler \
+                 and evaluator are built for a fixed tail — stand up a new server instead",
+                self.config.tail_layers, config.tail_layers
+            )));
+        }
+        // The cached CAP'NN-B matrices are products of the active config;
+        // stash them so the override cannot serve stale intersections.
+        let prev_config = std::mem::replace(&mut self.config, config);
+        let prev_matrices = self.matrices.take();
+        let result = f(self);
+        self.config = prev_config;
+        self.matrices = prev_matrices;
+        result
     }
 }
 
@@ -249,17 +501,20 @@ pub struct LocalDevice {
 impl LocalDevice {
     /// Deploys a plain (unpruned or already-compacted) model on the device,
     /// compiling an all-kept execution plan for it.
-    pub fn deploy(model: Network) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if plan compilation fails (impossible for a network
+    /// that validated at construction, but surfaced instead of panicking).
+    pub fn deploy(model: Network) -> Result<Self, CapnnError> {
         let classes = model.num_classes();
-        let plan = model
-            .compile(&PruneMask::all_kept(&model))
-            .expect("an all-kept mask always compiles for a valid network");
-        Self {
+        let plan = model.compile(&PruneMask::all_kept(&model))?;
+        Ok(Self {
             model,
             plan: Arc::new(plan),
             scratch: PlanScratch::new(),
             usage_counts: vec![0; classes],
-        }
+        })
     }
 
     /// Deploys a cloud personalization package, *sharing* its compiled plan
@@ -292,6 +547,7 @@ impl LocalDevice {
     ///
     /// Returns an error if the input shape does not match the model.
     pub fn infer(&mut self, input: &capnn_tensor::Tensor) -> Result<usize, CapnnError> {
+        capnn_telemetry::count("device.inferences", 1);
         let out = self.plan.forward_with_scratch(input, &mut self.scratch)?;
         let pred = out.argmax().unwrap_or(0);
         if pred < self.usage_counts.len() {
@@ -312,6 +568,7 @@ impl LocalDevice {
         &mut self,
         inputs: &[capnn_tensor::Tensor],
     ) -> Result<Vec<usize>, CapnnError> {
+        capnn_telemetry::count("device.inferences", inputs.len() as u64);
         let outs = self
             .plan
             .forward_batch_with_scratch(inputs, &mut self.scratch)?;
@@ -372,6 +629,7 @@ impl LocalDevice {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use capnn_data::{VectorClusters, VectorClustersConfig};
@@ -443,7 +701,7 @@ mod tests {
         let (mut cloud, gen) = cloud_rig();
         let profile = UserProfile::uniform(vec![0, 1, 2, 3]).unwrap();
         let m = cloud.personalize(&profile, Variant::Weighted).unwrap();
-        let mut device = LocalDevice::deploy(m.network);
+        let mut device = LocalDevice::deploy(m.network).unwrap();
         let mut rng = capnn_tensor::XorShiftRng::new(9);
         // user only ever sees classes 0 and 1, 3:1 ratio
         for i in 0..80 {
@@ -465,7 +723,7 @@ mod tests {
     #[test]
     fn observed_profile_requires_k_positive() {
         let net = NetworkBuilder::mlp(&[2, 4, 2], 1).build().unwrap();
-        let device = LocalDevice::deploy(net);
+        let device = LocalDevice::deploy(net).unwrap();
         assert!(device.observed_profile(0).is_err());
     }
 
@@ -518,5 +776,82 @@ mod tests {
         assert_eq!(Variant::Basic.to_string(), "CAP'NN-B");
         assert_eq!(Variant::Weighted.to_string(), "CAP'NN-W");
         assert_eq!(Variant::Miseffectual.to_string(), "CAP'NN-M");
+    }
+
+    #[test]
+    fn request_builder_requires_variant_and_validates_config() {
+        let profile = UserProfile::new(vec![0, 1], vec![0.5, 0.5]).unwrap();
+        assert!(matches!(
+            PersonalizationRequest::builder(profile.clone()).build(),
+            Err(CapnnError::Config(_))
+        ));
+        let mut bad = PruningConfig::fast();
+        bad.epsilon = -1.0;
+        assert!(PersonalizationRequest::builder(profile.clone())
+            .variant(Variant::Weighted)
+            .config(bad)
+            .build()
+            .is_err());
+        let req = PersonalizationRequest::builder(profile)
+            .variant(Variant::Weighted)
+            .certified(true)
+            .build()
+            .unwrap();
+        assert_eq!(req.variant(), Variant::Weighted);
+        assert!(req.certified());
+        assert!(!req.telemetry());
+    }
+
+    #[test]
+    fn handle_matches_personalize_and_reports_latency() {
+        let (mut cloud, _) = cloud_rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let direct = cloud.personalize(&profile, Variant::Weighted).unwrap();
+        let req = PersonalizationRequest::builder(profile)
+            .variant(Variant::Weighted)
+            .certified(true)
+            .build()
+            .unwrap();
+        let resp = cloud.handle(&req).unwrap();
+        assert_eq!(resp.model.mask, direct.mask);
+        assert_eq!(resp.model.size.total(), direct.size.total());
+        assert!(resp.certificate.is_some());
+        assert!(resp.latency > Duration::ZERO);
+    }
+
+    #[test]
+    fn handle_config_override_restores_server_state() {
+        let (mut cloud, _) = cloud_rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let own = *cloud.config();
+        cloud.precompute_basic_matrices().unwrap();
+        let cached = cloud.matrices.clone();
+        let mut looser = own;
+        looser.epsilon = own.epsilon * 2.0;
+        let req = PersonalizationRequest::builder(profile.clone())
+            .variant(Variant::Basic)
+            .config(looser)
+            .build()
+            .unwrap();
+        cloud.handle(&req).unwrap();
+        // override done: the server's own config and matrices are back
+        assert_eq!(*cloud.config(), own);
+        assert_eq!(cloud.matrices, cached);
+        // the baseline request still behaves as before
+        cloud.personalize(&profile, Variant::Basic).unwrap();
+    }
+
+    #[test]
+    fn handle_rejects_tail_layer_override() {
+        let (mut cloud, _) = cloud_rig();
+        let profile = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let mut other_tail = *cloud.config();
+        other_tail.tail_layers += 1;
+        let req = PersonalizationRequest::builder(profile)
+            .variant(Variant::Weighted)
+            .config(other_tail)
+            .build()
+            .unwrap();
+        assert!(matches!(cloud.handle(&req), Err(CapnnError::Config(_))));
     }
 }

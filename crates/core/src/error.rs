@@ -17,6 +17,9 @@ pub enum CapnnError {
     Mismatch(String),
     /// The underlying network substrate failed.
     Network(NnError),
+    /// An internal invariant was violated — a bug in this crate, not in the
+    /// caller's input. Public APIs surface this instead of panicking.
+    Internal(String),
 }
 
 impl fmt::Display for CapnnError {
@@ -26,6 +29,7 @@ impl fmt::Display for CapnnError {
             CapnnError::Config(m) => write!(f, "invalid pruning configuration: {m}"),
             CapnnError::Mismatch(m) => write!(f, "structural mismatch: {m}"),
             CapnnError::Network(e) => write!(f, "network error: {e}"),
+            CapnnError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
 }
@@ -58,6 +62,9 @@ mod tests {
         assert!(CapnnError::Mismatch("layers".into())
             .to_string()
             .contains("layers"));
+        assert!(CapnnError::Internal("lost".into())
+            .to_string()
+            .contains("internal invariant"));
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub use capnn_b::{CapnnB, LayerMatrix, PruningMatrices};
 pub use capnn_m::CapnnM;
 pub use capnn_w::CapnnW;
 pub use certificate::{ClassEvidence, PruningCertificate};
-pub use cloud::{CloudServer, LocalDevice, PersonalizedModel, Variant};
+pub use cloud::{
+    CloudServer, LocalDevice, PersonalizationRequest, PersonalizationRequestBuilder,
+    PersonalizationResponse, PersonalizedModel, Variant,
+};
 pub use config::PruningConfig;
 pub use error::CapnnError;
 pub use eval::{ClassAccuracy, DegradationMetric, TailEvaluator};

@@ -165,6 +165,7 @@ impl PersonalizationSession {
     pub fn check_drift(&self) -> DriftDecision {
         let observed = self.observations();
         if observed < self.policy.min_observations {
+            capnn_telemetry::count("drift.insufficient_data", 1);
             return DriftDecision::InsufficientData {
                 observed,
                 required: self.policy.min_observations,
@@ -172,6 +173,7 @@ impl PersonalizationSession {
         }
         let divergence = self.divergence_bits();
         if divergence < self.policy.divergence_threshold {
+            capnn_telemetry::count("drift.keep_model", 1);
             return DriftDecision::KeepModel { divergence };
         }
         // Build the replacement profile: top-k observed classes, weighted by
@@ -186,14 +188,20 @@ impl PersonalizationSession {
             .map(|&(_, n)| n as f32 / subtotal as f32)
             .collect();
         match UserProfile::new(classes, weights) {
-            Ok(profile) => DriftDecision::Repersonalize {
-                divergence,
-                profile,
-            },
+            Ok(profile) => {
+                capnn_telemetry::count("drift.repersonalize", 1);
+                DriftDecision::Repersonalize {
+                    divergence,
+                    profile,
+                }
+            }
             // fewer distinct classes observed than profile_k is fine; an
             // empty observation set cannot reach here (min_observations > 0
             // implies at least one count)
-            Err(_) => DriftDecision::KeepModel { divergence },
+            Err(_) => {
+                capnn_telemetry::count("drift.keep_model", 1);
+                DriftDecision::KeepModel { divergence }
+            }
         }
     }
 

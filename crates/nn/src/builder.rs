@@ -249,6 +249,7 @@ impl NetworkBuilder {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
 

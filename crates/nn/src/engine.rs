@@ -1,0 +1,526 @@
+//! Unified inference API: one request/response pair over every execution
+//! strategy.
+//!
+//! The network grew five forward entrypoints as the reproduction evolved —
+//! plain dense ([`Network::forward`]), compute-skipping masked
+//! ([`Network::forward_masked`]), the zero-after-dense reference
+//! ([`Network::forward_masked_reference`]), the batched variants, and the
+//! mask-compiled plan path ([`crate::CompiledPlan`]). They are all the same
+//! operation — *logits for inputs, under an optional mask* — differing only
+//! in which engine runs it. This module folds them into one surface:
+//!
+//! * [`InferenceRequest`] — the inputs, an optional [`PruneMask`], and an
+//!   [`ExecStrategy`] selecting the engine;
+//! * [`Engine`] — a stateful runner owning the scratch buffers (and, for
+//!   [`ExecStrategy::CompiledPlan`], the compiled-plan cache) so steady-state
+//!   serving is allocation-free;
+//! * [`InferenceResponse`] — the outputs in input order, tagged with the
+//!   strategy that produced them.
+//!
+//! Every strategy is **argmax-bit-compatible** with the legacy entrypoint it
+//! replaces: the engine runs the identical kernels with the identical batch
+//! partitioning, so outputs are bitwise equal to the deprecated methods'.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_nn::{Engine, ExecStrategy, InferenceRequest, NetworkBuilder, PruneMask};
+//! use capnn_tensor::Tensor;
+//!
+//! let net = NetworkBuilder::mlp(&[4, 8, 3], 7).build().unwrap();
+//! let mut mask = PruneMask::all_kept(&net);
+//! mask.prune(0, 2).unwrap();
+//!
+//! let mut engine = Engine::new(&net);
+//! let x = Tensor::ones(&[4]);
+//! let dense = engine.run(InferenceRequest::single(&x)).unwrap();
+//! let masked = engine
+//!     .run(InferenceRequest::single(&x).masked(&mask))
+//!     .unwrap();
+//! assert_eq!(dense.outputs()[0].len(), 3);
+//! assert_eq!(masked.strategy(), ExecStrategy::MaskedSkip);
+//! ```
+
+use crate::error::NnError;
+use crate::exec::ExecScratch;
+use crate::mask::PruneMask;
+use crate::network::Network;
+use crate::plan::{CompiledPlan, PlanScratch};
+use capnn_tensor::{parallel, Tensor};
+use std::sync::Arc;
+
+/// Which execution engine serves a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecStrategy {
+    /// Plain dense forward; any mask on the request is ignored.
+    Dense,
+    /// The structured compute-skipping engine ([`crate::exec`]): pruned
+    /// rows/channels are never computed. The default for masked requests.
+    MaskedSkip,
+    /// The zero-after-dense reference semantics — every layer runs densely,
+    /// pruned units are zeroed afterwards. The baseline the other masked
+    /// strategies are property-tested against.
+    Reference,
+    /// A mask-compiled [`CompiledPlan`]: kept weights pre-packed at compile
+    /// time, per-inference cost is pure dense GEMM. The engine caches the
+    /// plan and recompiles only when the request's mask changes.
+    CompiledPlan,
+}
+
+impl ExecStrategy {
+    /// Stable lowercase name, used in telemetry probe names.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecStrategy::Dense => "dense",
+            ExecStrategy::MaskedSkip => "masked_skip",
+            ExecStrategy::Reference => "reference",
+            ExecStrategy::CompiledPlan => "compiled_plan",
+        }
+    }
+}
+
+/// One inference call: inputs, an optional mask, and the strategy to run.
+///
+/// Built fluently: [`InferenceRequest::new`]/[`InferenceRequest::single`]
+/// start a dense request; [`InferenceRequest::masked`] attaches a mask (and
+/// upgrades the strategy to [`ExecStrategy::MaskedSkip`] if it was still
+/// dense); [`InferenceRequest::strategy`] pins an explicit engine.
+#[derive(Debug, Clone, Copy)]
+pub struct InferenceRequest<'a> {
+    inputs: &'a [Tensor],
+    mask: Option<&'a PruneMask>,
+    strategy: ExecStrategy,
+}
+
+impl<'a> InferenceRequest<'a> {
+    /// A dense request over a batch of inputs.
+    pub fn new(inputs: &'a [Tensor]) -> Self {
+        Self {
+            inputs,
+            mask: None,
+            strategy: ExecStrategy::Dense,
+        }
+    }
+
+    /// A dense request over one input.
+    pub fn single(input: &'a Tensor) -> Self {
+        Self::new(std::slice::from_ref(input))
+    }
+
+    /// Attaches a prune mask. If the strategy is still
+    /// [`ExecStrategy::Dense`] it is upgraded to
+    /// [`ExecStrategy::MaskedSkip`]; an explicitly chosen strategy is kept.
+    pub fn masked(mut self, mask: &'a PruneMask) -> Self {
+        self.mask = Some(mask);
+        if self.strategy == ExecStrategy::Dense {
+            self.strategy = ExecStrategy::MaskedSkip;
+        }
+        self
+    }
+
+    /// Pins the execution strategy. Masked strategies without an attached
+    /// mask run with an all-kept mask (equivalent to dense semantics).
+    pub fn strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The request's inputs.
+    pub fn inputs(&self) -> &'a [Tensor] {
+        self.inputs
+    }
+
+    /// The attached mask, if any.
+    pub fn mask(&self) -> Option<&'a PruneMask> {
+        self.mask
+    }
+}
+
+/// The outputs of one [`Engine::run`] call, in input order.
+#[derive(Debug, Clone)]
+pub struct InferenceResponse {
+    outputs: Vec<Tensor>,
+    strategy: ExecStrategy,
+}
+
+impl InferenceResponse {
+    /// The output logits, one tensor per input, in input order.
+    pub fn outputs(&self) -> &[Tensor] {
+        &self.outputs
+    }
+
+    /// Consumes the response, returning the outputs.
+    pub fn into_outputs(self) -> Vec<Tensor> {
+        self.outputs
+    }
+
+    /// Consumes a single-input response, returning its one output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Internal`] if the response does not hold exactly
+    /// one output (the request was batched).
+    pub fn into_single(self) -> Result<Tensor, NnError> {
+        if self.outputs.len() != 1 {
+            return Err(NnError::Internal(format!(
+                "into_single on a response of {} outputs",
+                self.outputs.len()
+            )));
+        }
+        let mut outputs = self.outputs;
+        outputs
+            .pop()
+            .ok_or_else(|| NnError::Internal("response lost its output".into()))
+    }
+
+    /// Top-1 class per output, in input order.
+    pub fn argmaxes(&self) -> Vec<usize> {
+        self.outputs
+            .iter()
+            .map(|o| o.argmax().unwrap_or(0))
+            .collect()
+    }
+
+    /// The strategy that produced these outputs.
+    pub fn strategy(&self) -> ExecStrategy {
+        self.strategy
+    }
+}
+
+/// A stateful inference runner over one [`Network`].
+///
+/// Owns the per-strategy scratch buffers (conv workspace, plan ping-pong
+/// buffers) and the compiled-plan cache, so repeated [`Engine::run`] calls
+/// are allocation-free after warmup. Create one engine per serving thread;
+/// the network itself is shared by reference.
+#[derive(Debug)]
+pub struct Engine<'n> {
+    net: &'n Network,
+    scratch: ExecScratch,
+    plan_scratch: PlanScratch,
+    /// Compiled-plan cache: the mask it was compiled for, and the plan.
+    /// Re-used while requests keep presenting an equal mask.
+    plan: Option<(PruneMask, Arc<CompiledPlan>)>,
+}
+
+impl<'n> Engine<'n> {
+    /// Creates an engine over `net` with empty scratch buffers.
+    pub fn new(net: &'n Network) -> Self {
+        Self {
+            net,
+            scratch: ExecScratch::new(),
+            plan_scratch: PlanScratch::new(),
+            plan: None,
+        }
+    }
+
+    /// Creates an engine pre-seeded with a compiled plan for `mask`, so the
+    /// first [`ExecStrategy::CompiledPlan`] request skips compilation
+    /// (serving caches share plans as `Arc<CompiledPlan>` handles).
+    pub fn with_plan(net: &'n Network, mask: PruneMask, plan: Arc<CompiledPlan>) -> Self {
+        Self {
+            net,
+            scratch: ExecScratch::new(),
+            plan_scratch: PlanScratch::new(),
+            plan: Some((mask, plan)),
+        }
+    }
+
+    /// The network this engine serves.
+    pub fn network(&self) -> &'n Network {
+        self.net
+    }
+
+    /// Runs one request and returns the outputs in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape mismatch between an input and the network,
+    /// or if plan compilation rejects the request's mask.
+    pub fn run(&mut self, req: InferenceRequest<'_>) -> Result<InferenceResponse, NnError> {
+        capnn_telemetry::count("engine.requests", 1);
+        let span_name = ["engine.", req.strategy.name(), "_ns"].concat();
+        let _span = capnn_telemetry::time(&span_name);
+        let outputs = match req.strategy {
+            ExecStrategy::Dense => self.run_dense(req.inputs),
+            ExecStrategy::MaskedSkip => match req.mask {
+                Some(mask) => self.run_masked_skip(req.inputs, mask),
+                None => self.run_masked_skip(req.inputs, &PruneMask::all_kept(self.net)),
+            },
+            ExecStrategy::Reference => match req.mask {
+                Some(mask) => self.run_reference(req.inputs, mask),
+                None => self.run_reference(req.inputs, &PruneMask::all_kept(self.net)),
+            },
+            ExecStrategy::CompiledPlan => {
+                let plan = match req.mask {
+                    Some(mask) => self.plan_for(mask)?,
+                    None => self.plan_for(&PruneMask::all_kept(self.net))?,
+                };
+                plan.forward_batch_with_scratch(req.inputs, &mut self.plan_scratch)
+            }
+        }?;
+        Ok(InferenceResponse {
+            outputs,
+            strategy: req.strategy,
+        })
+    }
+
+    /// Dense batch path: identical partitioning to the legacy
+    /// `forward_batch` (contiguous chunks, one per worker, samples serial
+    /// within a chunk), so outputs are bitwise equal for any thread count.
+    fn run_dense(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, NnError> {
+        let net = self.net;
+        let threads = parallel::max_threads();
+        let chunks = parallel::parallel_reduce(inputs.len(), threads, 1, |range| {
+            inputs[range]
+                .iter()
+                .map(|x| net.forward_impl(x))
+                .collect::<Result<Vec<_>, NnError>>()
+        });
+        collect_chunks(inputs.len(), chunks)
+    }
+
+    /// Compute-skipping path. Single samples reuse the engine's scratch;
+    /// batches shard across the pool with one scratch per worker, exactly
+    /// like the legacy `forward_masked_batch`.
+    fn run_masked_skip(
+        &mut self,
+        inputs: &[Tensor],
+        mask: &PruneMask,
+    ) -> Result<Vec<Tensor>, NnError> {
+        let net = self.net;
+        if inputs.len() == 1 {
+            let out = crate::exec::run_masked(net, 0, &inputs[0], mask, &mut self.scratch)?;
+            return Ok(vec![out]);
+        }
+        let threads = parallel::max_threads();
+        let chunks = parallel::parallel_reduce(inputs.len(), threads, 1, |range| {
+            let mut scratch = ExecScratch::new();
+            inputs[range]
+                .iter()
+                .map(|x| crate::exec::run_masked(net, 0, x, mask, &mut scratch))
+                .collect::<Result<Vec<_>, NnError>>()
+        });
+        collect_chunks(inputs.len(), chunks)
+    }
+
+    /// Zero-after-dense reference semantics, sample by sample (the
+    /// reference path is a correctness baseline, not a throughput path).
+    fn run_reference(&self, inputs: &[Tensor], mask: &PruneMask) -> Result<Vec<Tensor>, NnError> {
+        inputs
+            .iter()
+            .map(|x| self.net.forward_masked_reference_from(0, x, mask))
+            .collect()
+    }
+
+    /// Returns the cached plan if it was compiled for an equal mask,
+    /// otherwise compiles (and caches) a fresh one.
+    fn plan_for(&mut self, mask: &PruneMask) -> Result<Arc<CompiledPlan>, NnError> {
+        if let Some((cached_mask, plan)) = &self.plan {
+            if cached_mask == mask {
+                return Ok(Arc::clone(plan));
+            }
+        }
+        let plan = Arc::new(CompiledPlan::compile(self.net, mask)?);
+        self.plan = Some((mask.clone(), Arc::clone(&plan)));
+        Ok(plan)
+    }
+}
+
+/// Flattens per-worker output chunks (in chunk order) into one vector,
+/// propagating the first error by sample order.
+fn collect_chunks(
+    n: usize,
+    chunks: Vec<Result<Vec<Tensor>, NnError>>,
+) -> Result<Vec<Tensor>, NnError> {
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use capnn_tensor::XorShiftRng;
+
+    fn small_cnn() -> Network {
+        NetworkBuilder::cnn(&[1, 4, 4], &[(4, 1), (6, 1)], &[10], 3, 99)
+            .build()
+            .unwrap()
+    }
+
+    fn pruned_mask(net: &Network) -> PruneMask {
+        let mut mask = PruneMask::all_kept(net);
+        let prunable = net.prunable_layers();
+        mask.prune(prunable[0], 1).unwrap();
+        mask.prune(prunable[1], 2).unwrap();
+        mask.prune(prunable[2], 4).unwrap();
+        mask
+    }
+
+    #[test]
+    fn dense_matches_legacy_forward_bitwise() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(61);
+        for _ in 0..4 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let legacy = net.forward(&x).unwrap();
+            let unified = engine
+                .run(InferenceRequest::single(&x))
+                .unwrap()
+                .into_single()
+                .unwrap();
+            assert_eq!(unified.as_slice(), legacy.as_slice());
+        }
+    }
+
+    #[test]
+    fn masked_skip_matches_legacy_forward_masked_bitwise() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(62);
+        for _ in 0..4 {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let legacy = net.forward_masked(&x, &mask).unwrap();
+            let unified = engine
+                .run(InferenceRequest::single(&x).masked(&mask))
+                .unwrap()
+                .into_single()
+                .unwrap();
+            assert_eq!(unified.as_slice(), legacy.as_slice());
+        }
+    }
+
+    #[test]
+    fn reference_matches_legacy_reference_bitwise() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(63);
+        let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+        let legacy = net.forward_masked_reference(&x, &mask).unwrap();
+        let unified = engine
+            .run(
+                InferenceRequest::single(&x)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::Reference),
+            )
+            .unwrap()
+            .into_single()
+            .unwrap();
+        assert_eq!(unified.as_slice(), legacy.as_slice());
+    }
+
+    #[test]
+    fn compiled_plan_strategy_matches_direct_plan_and_caches() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let plan = net.compile(&mask).unwrap();
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(64);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let direct = plan.forward_batch(&inputs).unwrap();
+        let unified = engine
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::CompiledPlan),
+            )
+            .unwrap();
+        for (a, b) in direct.iter().zip(unified.outputs()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // second run with an equal mask hits the cached plan
+        let cached = engine.plan.as_ref().map(|(_, p)| Arc::clone(p)).unwrap();
+        engine
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask.clone())
+                    .strategy(ExecStrategy::CompiledPlan),
+            )
+            .unwrap();
+        let after = engine.plan.as_ref().map(|(_, p)| Arc::clone(p)).unwrap();
+        assert!(Arc::ptr_eq(&cached, &after));
+    }
+
+    #[test]
+    fn batch_matches_legacy_batches_bitwise() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(65);
+        let inputs: Vec<Tensor> = (0..7)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let dense_legacy = net.forward_batch(&inputs).unwrap();
+        let dense_unified = engine.run(InferenceRequest::new(&inputs)).unwrap();
+        for (a, b) in dense_legacy.iter().zip(dense_unified.outputs()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let masked_legacy = net.forward_masked_batch(&inputs, &mask).unwrap();
+        let masked_unified = engine
+            .run(InferenceRequest::new(&inputs).masked(&mask))
+            .unwrap();
+        for (a, b) in masked_legacy.iter().zip(masked_unified.outputs()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn masked_strategy_without_mask_runs_all_kept() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        let dense = net.forward(&x).unwrap();
+        let masked = engine
+            .run(InferenceRequest::single(&x).strategy(ExecStrategy::MaskedSkip))
+            .unwrap()
+            .into_single()
+            .unwrap();
+        assert_eq!(masked.as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn into_single_rejects_batched_responses() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let inputs = vec![Tensor::ones(&[1, 4, 4]), Tensor::ones(&[1, 4, 4])];
+        let resp = engine.run(InferenceRequest::new(&inputs)).unwrap();
+        assert!(matches!(resp.into_single(), Err(NnError::Internal(_))));
+    }
+
+    #[test]
+    fn argmaxes_and_strategy_tags() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        let resp = engine.run(InferenceRequest::single(&x)).unwrap();
+        assert_eq!(resp.strategy(), ExecStrategy::Dense);
+        assert_eq!(resp.argmaxes().len(), 1);
+        assert_eq!(resp.argmaxes()[0], net.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(ExecStrategy::Dense.name(), "dense");
+        assert_eq!(ExecStrategy::MaskedSkip.name(), "masked_skip");
+        assert_eq!(ExecStrategy::Reference.name(), "reference");
+        assert_eq!(ExecStrategy::CompiledPlan.name(), "compiled_plan");
+    }
+
+    #[test]
+    fn engine_rejects_bad_input_shape() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let bad = Tensor::ones(&[2, 4, 4]);
+        assert!(engine.run(InferenceRequest::single(&bad)).is_err());
+    }
+}

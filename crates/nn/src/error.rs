@@ -19,6 +19,9 @@ pub enum NnError {
         /// Number of layers in the network.
         len: usize,
     },
+    /// An internal invariant was violated — a bug in this crate, not in the
+    /// caller's input. Public APIs surface this instead of panicking.
+    Internal(String),
 }
 
 impl fmt::Display for NnError {
@@ -32,6 +35,7 @@ impl fmt::Display for NnError {
                     "layer index {index} out of range for network of {len} layers"
                 )
             }
+            NnError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }
@@ -64,6 +68,8 @@ mod tests {
         assert!(e.to_string().contains('9'));
         let e: NnError = TensorError::from(ShapeError::new("x")).into();
         assert!(e.to_string().contains("tensor error"));
+        let e = NnError::Internal("lost output".into());
+        assert!(e.to_string().contains("internal invariant"));
     }
 
     #[test]

@@ -191,12 +191,18 @@ pub(crate) fn run_masked(
             len: net.len(),
         });
     }
+    // Telemetry decision is hoisted out of the layer loop: when disabled
+    // the whole run pays one relaxed load; when enabled, per-layer timings
+    // accumulate locally and flush to the registry once, after the loop.
+    let telemetry = capnn_telemetry::enabled();
+    let mut timings: Vec<(usize, &'static str, u64)> = Vec::new();
     let mut x = activation.clone();
     // Kept units of the current activation in its "unit view" (channels for
     // CHW, elements for flat); None = everything kept. Entries outside the
     // kept set are exact zeros in `x` by construction.
     let mut kept: Option<Vec<usize>> = None;
     for (i, layer) in net.layers().iter().enumerate().skip(start) {
+        let t0 = telemetry.then(std::time::Instant::now);
         match layer {
             Layer::Dense(d) => {
                 let flags = mask.layer_flags(i);
@@ -235,11 +241,23 @@ pub(crate) fn run_masked(
                 }
             }
         }
+        if let Some(t0) = t0 {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            timings.push((i, layer.kind(), ns));
+        }
+    }
+    if telemetry {
+        let reg = capnn_telemetry::global();
+        for (i, kind, ns) in timings {
+            reg.histogram(&format!("exec.layer{i:02}_{kind}_ns"))
+                .record(ns);
+        }
     }
     Ok(x)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // equivalence tests deliberately exercise legacy entrypoints
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;

@@ -145,6 +145,7 @@ pub fn plan_from_json(json: &str) -> Result<CompiledPlan, NnError> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;

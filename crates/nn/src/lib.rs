@@ -12,14 +12,20 @@
 //! # Examples
 //!
 //! ```
-//! use capnn_nn::NetworkBuilder;
+//! use capnn_nn::{Engine, InferenceRequest, NetworkBuilder};
 //!
 //! let net = NetworkBuilder::mlp(&[4, 8, 3], 1).build().unwrap();
-//! let out = net.forward(&capnn_tensor::Tensor::ones(&[4])).unwrap();
+//! let mut engine = Engine::new(&net);
+//! let out = engine
+//!     .run(InferenceRequest::single(&capnn_tensor::Tensor::ones(&[4])))
+//!     .unwrap()
+//!     .into_single()
+//!     .unwrap();
 //! assert_eq!(out.len(), 3);
 //! ```
 
 mod builder;
+mod engine;
 mod error;
 mod exec;
 mod io;
@@ -32,6 +38,7 @@ mod size;
 mod train;
 
 pub use builder::{NetworkBuilder, VggConfig};
+pub use engine::{Engine, ExecStrategy, InferenceRequest, InferenceResponse};
 pub use error::NnError;
 pub use exec::ExecScratch;
 pub use io::{

@@ -25,11 +25,16 @@ pub struct PrunableUnit {
 /// # Examples
 ///
 /// ```
-/// use capnn_nn::NetworkBuilder;
+/// use capnn_nn::{Engine, InferenceRequest, NetworkBuilder};
 /// use capnn_tensor::Tensor;
 ///
 /// let net = NetworkBuilder::mlp(&[4, 6, 2], 7).build().unwrap();
-/// let logits = net.forward(&Tensor::ones(&[4])).unwrap();
+/// let mut engine = Engine::new(&net);
+/// let logits = engine
+///     .run(InferenceRequest::single(&Tensor::ones(&[4])))
+///     .unwrap()
+///     .into_single()
+///     .unwrap();
 /// assert_eq!(logits.len(), 2);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,16 +91,13 @@ impl Network {
         self.layers.is_empty()
     }
 
-    /// Number of output classes (size of the final layer's output).
-    ///
-    /// # Panics
-    ///
-    /// Never panics for a successfully constructed network.
+    /// Number of output classes (size of the final layer's output), or 0
+    /// for a network whose shapes fail to propagate (impossible for a
+    /// successfully constructed network).
     pub fn num_classes(&self) -> usize {
         self.layer_shapes()
-            .expect("validated at construction")
-            .last()
-            .map(|s| s.iter().product())
+            .ok()
+            .and_then(|shapes| shapes.last().map(|s| s.iter().product()))
             .unwrap_or(0)
     }
 
@@ -145,7 +147,20 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if `input` does not match the network's input shape.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::run` with `InferenceRequest::single` (strategy `ExecStrategy::Dense`)"
+    )]
     pub fn forward(&self, input: &capnn_tensor::Tensor) -> Result<capnn_tensor::Tensor, NnError> {
+        self.forward_impl(input)
+    }
+
+    /// The dense forward body shared by [`Network::predict`], the trainer
+    /// and the unified [`crate::Engine`]'s dense path.
+    pub(crate) fn forward_impl(
+        &self,
+        input: &capnn_tensor::Tensor,
+    ) -> Result<capnn_tensor::Tensor, NnError> {
         let mut x = input.clone();
         for layer in &self.layers {
             x = layer.forward(&x)?;
@@ -165,6 +180,11 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error on shape mismatch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::run` with `InferenceRequest::single(..).masked(..)` \
+                (strategy `ExecStrategy::MaskedSkip`)"
+    )]
     pub fn forward_masked(
         &self,
         input: &capnn_tensor::Tensor,
@@ -233,6 +253,10 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error on shape mismatch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::run` with strategy `ExecStrategy::Reference`"
+    )]
     pub fn forward_masked_reference(
         &self,
         input: &capnn_tensor::Tensor,
@@ -277,22 +301,17 @@ impl Network {
     /// # Errors
     ///
     /// Returns the first error (by sample order) on shape mismatch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::run` with `InferenceRequest::new` (strategy `ExecStrategy::Dense`)"
+    )]
     pub fn forward_batch(
         &self,
         inputs: &[capnn_tensor::Tensor],
     ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
-        let threads = capnn_tensor::parallel::max_threads();
-        let chunks = capnn_tensor::parallel::parallel_reduce(inputs.len(), threads, 1, |range| {
-            inputs[range]
-                .iter()
-                .map(|x| self.forward(x))
-                .collect::<Result<Vec<_>, NnError>>()
-        });
-        let mut out = Vec::with_capacity(inputs.len());
-        for chunk in chunks {
-            out.extend(chunk?);
-        }
-        Ok(out)
+        crate::Engine::new(self)
+            .run(crate::InferenceRequest::new(inputs))
+            .map(crate::InferenceResponse::into_outputs)
     }
 
     /// Batched masked forward through the compute-skipping engine; one
@@ -301,24 +320,19 @@ impl Network {
     /// # Errors
     ///
     /// Returns the first error (by sample order) on shape mismatch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Engine::run` with `InferenceRequest::new(..).masked(..)` \
+                (strategy `ExecStrategy::MaskedSkip`)"
+    )]
     pub fn forward_masked_batch(
         &self,
         inputs: &[capnn_tensor::Tensor],
         mask: &PruneMask,
     ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
-        let threads = capnn_tensor::parallel::max_threads();
-        let chunks = capnn_tensor::parallel::parallel_reduce(inputs.len(), threads, 1, |range| {
-            let mut scratch = ExecScratch::new();
-            inputs[range]
-                .iter()
-                .map(|x| crate::exec::run_masked(self, 0, x, mask, &mut scratch))
-                .collect::<Result<Vec<_>, NnError>>()
-        });
-        let mut out = Vec::with_capacity(inputs.len());
-        for chunk in chunks {
-            out.extend(chunk?);
-        }
-        Ok(out)
+        crate::Engine::new(self)
+            .run(crate::InferenceRequest::new(inputs).masked(mask))
+            .map(crate::InferenceResponse::into_outputs)
     }
 
     /// Forward pass that records the activation at every layer boundary.
@@ -332,11 +346,12 @@ impl Network {
         input: &capnn_tensor::Tensor,
     ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
-        acts.push(input.clone());
+        let mut cur = input.clone();
         for layer in &self.layers {
-            let next = layer.forward(acts.last().expect("non-empty"))?;
-            acts.push(next);
+            let next = layer.forward(&cur)?;
+            acts.push(std::mem::replace(&mut cur, next));
         }
+        acts.push(cur);
         Ok(acts)
     }
 
@@ -346,7 +361,7 @@ impl Network {
     ///
     /// Returns an error on shape mismatch.
     pub fn predict(&self, input: &capnn_tensor::Tensor) -> Result<usize, NnError> {
-        Ok(self.forward(input)?.argmax().unwrap_or(0))
+        Ok(self.forward_impl(input)?.argmax().unwrap_or(0))
     }
 
     /// Renders a human-readable architecture summary: one line per layer
@@ -364,7 +379,10 @@ impl Network {
     /// ```
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
-        let shapes = self.layer_shapes().expect("validated at construction");
+        let shapes = match self.layer_shapes() {
+            Ok(shapes) => shapes,
+            Err(e) => return format!("<network with invalid shapes: {e}>"),
+        };
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -612,6 +630,7 @@ impl fmt::Display for Network {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;

@@ -115,6 +115,19 @@ enum PlanStep {
     },
 }
 
+impl PlanStep {
+    /// Stable lowercase step kind, used in telemetry probe names.
+    fn kind(&self) -> &'static str {
+        match self {
+            PlanStep::Conv { .. } => "conv",
+            PlanStep::DenseFlat { .. } | PlanStep::DenseFromChw { .. } => "dense",
+            PlanStep::Relu => "relu",
+            PlanStep::MaxPool { .. } => "maxpool",
+            PlanStep::AvgPool { .. } => "avgpool",
+        }
+    }
+}
+
 /// Reusable workspace for plan execution: two ping-pong activation
 /// buffers and the wide im2col matrix. After warmup at a given batch size
 /// every forward through the plan is allocation-free except the returned
@@ -180,6 +193,8 @@ impl CompiledPlan {
     /// carries flags for a non-prunable layer, or a flag vector does not
     /// match its layer's unit count.
     pub fn compile(net: &Network, mask: &PruneMask) -> Result<Self, NnError> {
+        let _span = capnn_telemetry::time("plan.compile_ns");
+        capnn_telemetry::count("plan.compiled", 1);
         if mask.len() != net.len() {
             return Err(NnError::Config(format!(
                 "mask spans {} layers, network has {}",
@@ -425,7 +440,8 @@ impl CompiledPlan {
             scratch,
             parallel::max_threads(),
         )?;
-        Ok(out.pop().expect("one output per input"))
+        out.pop()
+            .ok_or_else(|| NnError::Internal("plan produced no output for its input".into()))
     }
 
     /// Batched inference: runs all samples through the plan with one wide
@@ -552,7 +568,12 @@ impl CompiledPlan {
             }
         }
 
-        for step in &self.steps {
+        // Per-step timings accumulate locally and flush once per chunk, so
+        // spawned workers never contend on the registry mutex mid-step.
+        let telemetry = capnn_telemetry::enabled();
+        let mut timings: Vec<(usize, &'static str, u64)> = Vec::new();
+        for (si, step) in self.steps.iter().enumerate() {
+            let t0 = telemetry.then(std::time::Instant::now);
             match step {
                 PlanStep::Conv {
                     spec,
@@ -684,6 +705,18 @@ impl CompiledPlan {
                     };
                 }
             }
+            if let Some(t0) = t0 {
+                let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                timings.push((si, step.kind(), ns));
+            }
+        }
+        if telemetry {
+            let reg = capnn_telemetry::global();
+            for (si, kind, ns) in timings {
+                reg.histogram(&format!("plan.step{si:02}_{kind}_ns"))
+                    .record(ns);
+            }
+            reg.counter("plan.samples").add(batch as u64);
         }
 
         // Scatter packed outputs into original class coordinates.
@@ -822,6 +855,7 @@ fn avg_pool_plane(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // equivalence tests deliberately exercise legacy entrypoints
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;

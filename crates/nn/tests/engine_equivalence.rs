@@ -1,0 +1,190 @@
+//! Property-based equivalence between the unified [`Engine`] API and the
+//! legacy per-strategy entrypoints, over randomized network topologies.
+//!
+//! The unified API is a *refactor*, not a numerics change: every strategy
+//! must be bitwise identical to the entrypoint it replaced, so deployed
+//! devices can migrate without re-certifying their ε guarantees.
+
+#![allow(deprecated)] // the whole point: pin the legacy entrypoints
+use capnn_nn::{Engine, ExecStrategy, InferenceRequest, Network, NetworkBuilder, PruneMask};
+use capnn_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+
+/// A small random-topology description proptest can shrink.
+#[derive(Debug, Clone)]
+struct Topology {
+    conv_channels: Vec<usize>,
+    dense_widths: Vec<usize>,
+    classes: usize,
+    image: usize,
+    seed: u64,
+}
+
+fn topology() -> impl Strategy<Value = Topology> {
+    (
+        prop::collection::vec(2usize..6, 0..3),
+        prop::collection::vec(4usize..12, 1..3),
+        2usize..5,
+        prop::sample::select(vec![8usize, 16]),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(conv_channels, dense_widths, classes, image, seed)| Topology {
+                conv_channels,
+                dense_widths,
+                classes,
+                image,
+                seed,
+            },
+        )
+}
+
+fn build(t: &Topology) -> Network {
+    if t.conv_channels.is_empty() {
+        let mut widths = vec![t.image]; // treat image as a flat input width
+        widths.extend(&t.dense_widths);
+        widths.push(t.classes);
+        NetworkBuilder::mlp(&widths, t.seed)
+            .build()
+            .expect("mlp builds")
+    } else {
+        let blocks: Vec<(usize, usize)> = t.conv_channels.iter().map(|&c| (c, 1)).collect();
+        NetworkBuilder::cnn(
+            &[1, t.image, t.image],
+            &blocks,
+            &t.dense_widths,
+            t.classes,
+            t.seed,
+        )
+        .build()
+        .expect("cnn builds")
+    }
+}
+
+fn input_for(net: &Network, rng: &mut XorShiftRng) -> Tensor {
+    Tensor::uniform(net.input_dims(), -1.0, 1.0, rng)
+}
+
+/// A random mask that never empties a layer and never touches the output
+/// layer.
+fn random_mask(net: &Network, rng: &mut XorShiftRng) -> PruneMask {
+    let mut mask = PruneMask::all_kept(net);
+    let prunable = net.prunable_layers();
+    for &li in &prunable[..prunable.len().saturating_sub(1)] {
+        let units = net.layers()[li].unit_count().unwrap_or(0);
+        for u in 0..units {
+            if rng.next_uniform() < 0.35 && mask.kept_in_layer(li) > 1 {
+                mask.prune(li, u).expect("in range");
+            }
+        }
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_strategy_matches_forward(t in topology(), batch in 1usize..5) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xE1);
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let legacy = net.forward_batch(&inputs).expect("legacy batch");
+        let unified = Engine::new(&net)
+            .run(InferenceRequest::new(&inputs))
+            .expect("engine")
+            .into_outputs();
+        prop_assert_eq!(legacy.len(), unified.len());
+        for (a, b) in legacy.iter().zip(&unified) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // single-input requests match the scalar entrypoint too
+        let single = Engine::new(&net)
+            .run(InferenceRequest::single(&inputs[0]))
+            .expect("engine")
+            .into_single()
+            .expect("single output");
+        prop_assert_eq!(
+            net.forward(&inputs[0]).expect("legacy").as_slice(),
+            single.as_slice()
+        );
+    }
+
+    #[test]
+    fn masked_skip_strategy_matches_forward_masked(t in topology(), batch in 1usize..5) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xE2);
+        let mask = random_mask(&net, &mut rng);
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let legacy = net.forward_masked_batch(&inputs, &mask).expect("legacy");
+        let unified = Engine::new(&net)
+            .run(InferenceRequest::new(&inputs).masked(&mask))
+            .expect("engine")
+            .into_outputs();
+        for (a, b) in legacy.iter().zip(&unified) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn reference_strategy_matches_forward_masked_reference(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xE3);
+        let mask = random_mask(&net, &mut rng);
+        let x = input_for(&net, &mut rng);
+        let legacy = net.forward_masked_reference(&x, &mask).expect("legacy");
+        let unified = Engine::new(&net)
+            .run(
+                InferenceRequest::single(&x)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::Reference),
+            )
+            .expect("engine")
+            .into_single()
+            .expect("single output");
+        prop_assert_eq!(legacy.as_slice(), unified.as_slice());
+    }
+
+    #[test]
+    fn compiled_plan_strategy_matches_plan_batch(t in topology(), batch in 1usize..5) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xE4);
+        let mask = random_mask(&net, &mut rng);
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let plan = net.compile(&mask).expect("compiles");
+        let legacy = plan.forward_batch(&inputs).expect("legacy plan");
+        let unified = Engine::new(&net)
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::CompiledPlan),
+            )
+            .expect("engine")
+            .into_outputs();
+        for (a, b) in legacy.iter().zip(&unified) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_argmax(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xE5);
+        let mask = random_mask(&net, &mut rng);
+        let x = input_for(&net, &mut rng);
+        let mut engine = Engine::new(&net);
+        let mut preds = Vec::new();
+        for strategy in [
+            ExecStrategy::MaskedSkip,
+            ExecStrategy::Reference,
+            ExecStrategy::CompiledPlan,
+        ] {
+            let resp = engine
+                .run(InferenceRequest::single(&x).masked(&mask).strategy(strategy))
+                .expect("engine");
+            preds.push(resp.argmaxes()[0]);
+        }
+        prop_assert_eq!(preds[0], preds[1]);
+        prop_assert_eq!(preds[1], preds[2]);
+    }
+}

@@ -3,6 +3,7 @@
 //! heavily pruned, single-unit and even fully-pruned layers) and batch
 //! size, `CompiledPlan::forward`/`forward_batch` must agree with
 //! `forward_masked_reference` — elementwise, hence argmax-bit-compatibly.
+#![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
 
 use capnn_nn::{model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, PruneMask};
 use capnn_tensor::{Tensor, XorShiftRng};

@@ -2,6 +2,7 @@
 //! compaction, size accounting and serialization must agree for *any*
 //! well-formed CNN/MLP, not just the shapes the unit tests pick.
 
+#![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
 use capnn_nn::{
     model_size, network_from_json, network_to_json, Network, NetworkBuilder, PruneMask,
 };

@@ -1,7 +1,7 @@
 //! Confusion-matrix computation (step 1 of CAP'NN-M).
 
 use capnn_data::Dataset;
-use capnn_nn::{Network, NnError, PruneMask};
+use capnn_nn::{Engine, InferenceRequest, Network, NnError, PruneMask};
 use capnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -51,8 +51,15 @@ impl ConfusionMatrix {
         let c = dataset.num_classes();
         let mut counts = vec![0u32; c * c];
         let mut totals = vec![0u32; c];
+        // One engine for the whole sweep: the conv scratch persists across
+        // samples, so steady-state measurement is allocation-free.
+        let mut engine = Engine::new(net);
         for (x, label) in dataset.samples() {
-            let pred = net.forward_masked(x, mask)?.argmax().unwrap_or(0);
+            let pred = engine
+                .run(InferenceRequest::single(x).masked(mask))?
+                .into_single()?
+                .argmax()
+                .unwrap_or(0);
             counts[label * c + pred] += 1;
             totals[*label] += 1;
         }

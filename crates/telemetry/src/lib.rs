@@ -1,0 +1,226 @@
+//! Serving telemetry for the CAP'NN reproduction.
+//!
+//! The ROADMAP's north star is a production serving system, and both the
+//! paper's own online loop (device-side class monitoring triggering
+//! re-pruning, §II) and the stream-serving designs it inspired presuppose an
+//! always-on, low-overhead measurement layer. This crate is that layer:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free atomics;
+//! * [`Histogram`] — log₂-bucketed latency/size distributions with atomic
+//!   buckets, safe to hammer from the worker pool;
+//! * [`Registry`] — a process-global (or standalone) name → metric table;
+//! * [`Span`] — a scope timer recording elapsed nanoseconds into a
+//!   histogram on drop;
+//! * [`Snapshot`] — a serializable point-in-time view of every metric,
+//!   schema-aligned with the `results/BENCH_*.json` reports (sorted keys,
+//!   flat maps) and emittable as JSON without any serde machinery via
+//!   [`Snapshot::to_json`].
+//!
+//! # The toggle
+//!
+//! Telemetry is **off by default**. It turns on when the `CAPNN_TELEMETRY`
+//! environment variable is set to anything but `0`/empty (resolved once, at
+//! the first probe), or programmatically via [`set_enabled`]. When disabled,
+//! every probe in the hot path ([`count`], [`observe`], [`time`], …) costs a
+//! single relaxed atomic load and a predictable branch — no allocation, no
+//! clock read, no lock.
+//!
+//! # Examples
+//!
+//! ```
+//! capnn_telemetry::set_enabled(true);
+//! capnn_telemetry::count("cache.hits", 1);
+//! capnn_telemetry::observe("personalize.weighted_ns", 1_500);
+//! let snap = capnn_telemetry::snapshot().unwrap();
+//! assert_eq!(snap.counters["cache.hits"], 1);
+//! capnn_telemetry::set_enabled(false);
+//! capnn_telemetry::reset();
+//! ```
+
+mod metrics;
+mod registry;
+mod snapshot;
+
+pub use metrics::{Counter, Gauge, Histogram, Span, HISTOGRAM_BUCKETS};
+pub use registry::Registry;
+pub use snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Toggle state: 0 = unresolved, 1 = disabled, 2 = enabled.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// Whether telemetry is recording. This is the single relaxed load every
+/// probe pays when disabled.
+///
+/// First call resolves the `CAPNN_TELEMETRY` environment variable (set and
+/// not `0`/empty → enabled); [`set_enabled`] overrides at any time.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        0 => resolve_from_env(),
+        state => state == 2,
+    }
+}
+
+#[cold]
+fn resolve_from_env() -> bool {
+    let on = std::env::var("CAPNN_TELEMETRY").is_ok_and(|v| v != "0" && !v.is_empty());
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Turns recording on or off for all subsequent probes (overrides the
+/// `CAPNN_TELEMETRY` environment variable). Benchmarks use this to measure
+/// the same code path in both modes.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The process-global registry all free-function probes record into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Adds `n` to the named counter (no-op when disabled).
+#[inline]
+pub fn count(name: &str, n: u64) {
+    if enabled() {
+        global().counter(name).add(n);
+    }
+}
+
+/// Sets the named gauge (no-op when disabled).
+#[inline]
+pub fn set_gauge(name: &str, value: f64) {
+    if enabled() {
+        global().gauge(name).set(value);
+    }
+}
+
+/// Records one value into the named histogram (no-op when disabled).
+#[inline]
+pub fn observe(name: &str, value: u64) {
+    if enabled() {
+        global().histogram(name).record(value);
+    }
+}
+
+/// Records a duration, in nanoseconds, into the named histogram (no-op
+/// when disabled). Durations beyond ~584 years saturate.
+#[inline]
+pub fn observe_duration(name: &str, elapsed: Duration) {
+    if enabled() {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        global().histogram(name).record(ns);
+    }
+}
+
+/// Starts a scope timer that records elapsed nanoseconds into the named
+/// histogram when dropped (or explicitly [`Span::finish`]ed). When
+/// telemetry is disabled the span is inert: no clock read, no allocation.
+#[inline]
+pub fn time(name: &str) -> Span {
+    Span::start(name)
+}
+
+/// A point-in-time view of every metric in the global registry, or `None`
+/// when telemetry is disabled — disabled runs produce *no* snapshot output
+/// by construction.
+pub fn snapshot() -> Option<Snapshot> {
+    enabled().then(|| global().snapshot())
+}
+
+/// Clears every metric in the global registry (tests and benchmarks
+/// isolate their measurement windows this way).
+pub fn reset() {
+    global().reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Global-state tests must not interleave: the toggle and the global
+    /// registry are process-wide.
+    pub(crate) fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_probes_record_nothing_and_yield_no_snapshot() {
+        let _guard = serial();
+        set_enabled(false);
+        reset();
+        count("smoke.counter", 5);
+        set_gauge("smoke.gauge", 1.5);
+        observe("smoke.hist", 42);
+        drop(time("smoke.span"));
+        assert!(snapshot().is_none(), "disabled mode must emit no snapshot");
+        // nothing leaked into the registry either
+        set_enabled(true);
+        let snap = snapshot().expect("enabled");
+        assert!(!snap.counters.contains_key("smoke.counter"));
+        assert!(!snap.gauges.contains_key("smoke.gauge"));
+        assert!(!snap.histograms.contains_key("smoke.hist"));
+        assert!(!snap.histograms.contains_key("smoke.span"));
+        set_enabled(false);
+    }
+
+    #[test]
+    fn enabled_probes_land_in_the_global_registry() {
+        let _guard = serial();
+        set_enabled(true);
+        reset();
+        count("t.hits", 2);
+        count("t.hits", 3);
+        set_gauge("t.level", 0.25);
+        observe("t.lat", 100);
+        {
+            let _span = time("t.span_ns");
+        }
+        let snap = snapshot().expect("enabled");
+        assert_eq!(snap.counters["t.hits"], 5);
+        assert!((snap.gauges["t.level"] - 0.25).abs() < 1e-12);
+        assert_eq!(snap.histograms["t.lat"].count, 1);
+        assert_eq!(snap.histograms["t.span_ns"].count, 1);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_lossless() {
+        let _guard = serial();
+        set_enabled(true);
+        reset();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        count("t.concurrent", 1);
+                    }
+                });
+            }
+        });
+        let snap = snapshot().expect("enabled");
+        assert_eq!(snap.counters["t.concurrent"], threads * per_thread);
+        set_enabled(false);
+        reset();
+    }
+
+    #[test]
+    fn set_enabled_overrides_env_resolution() {
+        let _guard = serial();
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

@@ -1,0 +1,375 @@
+//! The metric primitives: atomic counters, gauges, log₂ histograms and
+//! scope-timer spans.
+
+use crate::snapshot::{BucketSnapshot, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins instantaneous value (e.g. a utilization fraction).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets to `0.0`.
+    pub fn reset(&self) {
+        self.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two of
+/// the `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed distribution of `u64` samples (latencies in
+/// nanoseconds, sizes in parameters, …).
+///
+/// Bucket 0 holds exact zeros; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]`. Recording is wait-free (three relaxed atomic RMWs
+/// plus a `fetch_max`/`fetch_min` pair), so worker threads can record
+/// concurrently without coordination; quantile estimates are read from the
+/// bucket a target rank falls into, i.e. accurate to a factor of two —
+/// plenty for latency-SLO style monitoring.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in: 0 for 0, otherwise
+    /// `⌊log₂ v⌋ + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of bucket `index`.
+    pub fn bucket_lower(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index`.
+    pub fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) as the upper bound of
+    /// the bucket the target rank falls in, clamped to the observed
+    /// maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let max = self.max.load(Ordering::Relaxed);
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return Self::bucket_upper(i).min(max);
+            }
+        }
+        max
+    }
+
+    /// A serializable point-in-time view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum();
+        let buckets: Vec<BucketSnapshot> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| BucketSnapshot {
+                    lo: Self::bucket_lower(i),
+                    hi: Self::bucket_upper(i),
+                    count: n,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum,
+            mean: if count == 0 {
+                0.0
+            } else {
+                sum as f64 / count as f64
+            },
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A scope timer: started by [`crate::time`] (or [`Span::start`]),
+/// records elapsed nanoseconds into the named global histogram when
+/// dropped. Inert — no clock read, no allocation — when telemetry is
+/// disabled at start time.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    armed: Option<(String, Instant)>,
+}
+
+impl Span {
+    /// Starts a span over the named histogram.
+    #[inline]
+    pub fn start(name: &str) -> Self {
+        Self {
+            armed: crate::enabled().then(|| (name.to_string(), Instant::now())),
+        }
+    }
+
+    /// Stops the span now, recording the elapsed time (same as dropping).
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    fn record(&mut self) {
+        if let Some((name, start)) = self.armed.take() {
+            crate::observe_duration(&name, start.elapsed());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::new();
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // 0 has its own bucket
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_lower(0), 0);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        // bucket i ≥ 1 covers [2^(i-1), 2^i - 1]
+        for (value, bucket) in [
+            (1u64, 1usize),
+            (2, 2),
+            (3, 2),
+            (4, 3),
+            (7, 3),
+            (8, 4),
+            (1023, 10),
+            (1024, 11),
+            (u64::MAX, 64),
+        ] {
+            assert_eq!(Histogram::bucket_index(value), bucket, "value {value}");
+            assert!(Histogram::bucket_lower(bucket) <= value);
+            assert!(value <= Histogram::bucket_upper(bucket));
+        }
+        // boundaries tile the u64 range with no gaps or overlaps
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(
+                Histogram::bucket_lower(i),
+                Histogram::bucket_upper(i - 1).wrapping_add(1),
+                "gap between buckets {} and {}",
+                i - 1,
+                i
+            );
+        }
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_land_in_their_buckets() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 900, 1000, 1100] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 3006);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1100);
+        // zero bucket, the 1-bucket, the 2..3 bucket, and 512..1023 /
+        // 1024..2047 from the larger samples
+        let lows: Vec<u64> = snap.buckets.iter().map(|b| b.lo).collect();
+        assert_eq!(lows, vec![0, 1, 2, 512, 1024]);
+        let total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, snap.count);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_accurate_and_clamped() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket [64, 127]
+        }
+        h.record(10_000); // bucket [8192, 16383]
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.99), 127);
+        // the single outlier caps at the observed max, not the bucket edge
+        assert_eq!(h.quantile(1.0), 10_000);
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(5);
+        h.reset();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum, 0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+        assert!(snap.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_histogram_records_are_lossless() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        h.record(t * 1_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 20_000);
+    }
+}

@@ -1,0 +1,133 @@
+//! The name → metric table.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A named collection of metrics. Metrics are created on first use and
+/// live for the registry's lifetime; handles are `Arc`s, so hot paths can
+/// look a metric up once and record lock-free afterwards.
+///
+/// The free functions in the crate root ([`crate::count`],
+/// [`crate::observe`], …) record into the process-global registry
+/// ([`crate::global`]); standalone registries are for tests and embedded
+/// collectors.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Registry locks never hold user code, so poisoning (a panic while
+/// holding the lock) cannot leave a metric half-written — recover the
+/// guard instead of propagating the panic into the serving path.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The named counter, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = lock(&self.counters);
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = lock(&self.gauges);
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// The named histogram, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = lock(&self.histograms);
+        if let Some(h) = map.get(name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        map.insert(name.to_string(), Arc::clone(&h));
+        h
+    }
+
+    /// A point-in-time view of every metric, with sorted names.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Removes every metric. Outstanding `Arc` handles keep recording
+    /// into their (now unlisted) metrics; new lookups start fresh.
+    pub fn reset(&self) {
+        lock(&self.counters).clear();
+        lock(&self.gauges).clear();
+        lock(&self.histograms).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_returns_same_metric() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.counter("a").add(2);
+        assert_eq!(r.counter("a").get(), 3);
+        assert!(Arc::ptr_eq(&r.histogram("h"), &r.histogram("h")));
+    }
+
+    #[test]
+    fn snapshot_lists_sorted_names() {
+        let r = Registry::new();
+        r.counter("z").add(1);
+        r.counter("a").add(1);
+        r.gauge("m").set(2.0);
+        r.histogram("h").record(7);
+        let snap = r.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, vec!["a", "z"]);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn reset_empties_the_registry() {
+        let r = Registry::new();
+        r.counter("a").add(1);
+        r.reset();
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+}

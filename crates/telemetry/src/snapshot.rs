@@ -1,0 +1,212 @@
+//! Serializable point-in-time views of a [`Registry`](crate::Registry).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One non-empty histogram bucket: `count` samples in `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+    /// Samples in this bucket.
+    pub count: u64,
+}
+
+/// A histogram's summary statistics plus its non-empty buckets.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Mean sample (0 when empty).
+    pub mean: f64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median estimate (upper bucket bound, clamped to `max`).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// Every metric of a registry at one instant, with sorted names — the
+/// same flat-map shape the `results/BENCH_*.json` reports use, so
+/// downstream tooling can ingest both with one reader.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Whether no metric holds any data.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot as a JSON document, with keys in sorted order.
+    ///
+    /// Hand-rolled (std-only) so snapshots can be emitted from binaries
+    /// that do not link a JSON library; the output parses back into an
+    /// equal `Snapshot` through serde.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        write_entries(&mut out, self.counters.iter(), |out, v| {
+            out.push_str(&v.to_string());
+        });
+        out.push_str("},\n  \"gauges\": {");
+        write_entries(&mut out, self.gauges.iter(), |out, v| {
+            write_f64(out, **v);
+        });
+        out.push_str("},\n  \"histograms\": {");
+        write_entries(&mut out, self.histograms.iter(), |out, h| {
+            write_histogram(out, h);
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Writes `"key": <value>` entries, comma-separated, on indented lines.
+fn write_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (key, value) in entries {
+        out.push_str(if first { "\n    " } else { ",\n    " });
+        first = false;
+        write_escaped(out, key);
+        out.push_str(": ");
+        write_value(out, &value);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Writes a JSON string literal with the minimal escaping metric names can
+/// need.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a finite f64 (JSON has no NaN/infinity — they become `null`).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Display prints integral floats without a decimal point; keep
+        // the value a JSON number that reads back as f64 regardless.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_histogram(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str(&format!(
+        "{{\"count\": {}, \"sum\": {}, \"mean\": ",
+        h.count, h.sum
+    ));
+    write_f64(out, h.mean);
+    out.push_str(&format!(
+        ", \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [",
+        h.min, h.max, h.p50, h.p90, h.p99
+    ));
+    for (i, b) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"lo\": {}, \"hi\": {}, \"count\": {}}}",
+            b.lo, b.hi, b.count
+        ));
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = crate::Registry::new();
+        r.counter("cache.hits").add(3);
+        r.counter("cache.misses").add(1);
+        r.gauge("pool.utilization").set(0.75);
+        let h = r.histogram("personalize.weighted_ns");
+        h.record(0);
+        h.record(1_000);
+        h.record(2_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn to_json_contains_every_metric() {
+        let json = sample_snapshot().to_json();
+        assert!(json.contains("\"cache.hits\": 3"));
+        assert!(json.contains("\"cache.misses\": 1"));
+        assert!(json.contains("\"pool.utilization\": 0.75"));
+        assert!(json.contains("\"personalize.weighted_ns\""));
+        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"buckets\": ["));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_maps() {
+        let json = Snapshot::default().to_json();
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+        assert!(json.contains("\"histograms\": {}"));
+        assert!(Snapshot::default().is_empty());
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000ad\"");
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let mut snap = Snapshot::default();
+        snap.gauges.insert("bad".into(), f64::NAN);
+        assert!(snap.to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn integral_floats_stay_json_floats() {
+        let mut s = String::new();
+        write_f64(&mut s, 2.0);
+        assert_eq!(s, "2.0");
+    }
+}

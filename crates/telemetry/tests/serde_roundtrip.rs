@@ -1,0 +1,42 @@
+//! Snapshot serde roundtrips, including through the hand-rolled JSON
+//! writer.
+
+use capnn_telemetry::{Registry, Snapshot};
+
+fn populated_snapshot() -> Snapshot {
+    let r = Registry::new();
+    r.counter("cache.hits").add(7);
+    r.counter("drift.repersonalize").add(2);
+    r.gauge("pool.utilization").set(0.375);
+    r.gauge("personalize.last_relative_size").set(0.62);
+    let h = r.histogram("exec.layer00_conv_ns");
+    for v in [0u64, 1, 130, 131, 5_000, 1 << 40] {
+        h.record(v);
+    }
+    r.snapshot()
+}
+
+#[test]
+fn snapshot_roundtrips_through_serde_json() {
+    let snap = populated_snapshot();
+    let json = serde_json::to_string(&snap).expect("serializes");
+    let back: Snapshot = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn hand_rolled_json_parses_back_equal() {
+    let snap = populated_snapshot();
+    let back: Snapshot = serde_json::from_str(&snap.to_json()).expect("valid JSON");
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn empty_snapshot_roundtrips() {
+    let snap = Snapshot::default();
+    let back: Snapshot = serde_json::from_str(&snap.to_json()).expect("valid JSON");
+    assert_eq!(back, snap);
+    let back: Snapshot =
+        serde_json::from_str(&serde_json::to_string(&snap).unwrap()).expect("deserializes");
+    assert_eq!(back, snap);
+}

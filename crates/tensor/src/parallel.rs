@@ -106,6 +106,29 @@ fn host_parallelism() -> usize {
     n
 }
 
+/// Telemetry probe for one parallel region: how many workers it used, and
+/// the running pool-utilization gauge (mean spawned workers per region ÷
+/// host parallelism). One relaxed load when telemetry is disabled.
+fn record_region(workers: usize) {
+    if !capnn_telemetry::enabled() {
+        return;
+    }
+    capnn_telemetry::count("parallel.regions", 1);
+    if workers <= 1 {
+        capnn_telemetry::count("parallel.inline_regions", 1);
+    } else {
+        capnn_telemetry::count("parallel.spawned_workers", workers as u64);
+    }
+    capnn_telemetry::observe("parallel.region_workers", workers as u64);
+    let reg = capnn_telemetry::global();
+    let regions = reg.counter("parallel.regions").get().max(1);
+    let spawned = reg.counter("parallel.spawned_workers").get();
+    let inline = reg.counter("parallel.inline_regions").get();
+    let mean_workers = (spawned + inline) as f64 / regions as f64;
+    reg.gauge("parallel.pool_utilization")
+        .set(mean_workers / host_parallelism() as f64);
+}
+
 /// How many workers a region of `n` items should use, given that each
 /// worker must own at least `min_per_thread` items to be worth spawning.
 /// Requested thread counts are capped at [`host_parallelism`].
@@ -132,6 +155,7 @@ where
     F: Fn(Range<usize>) -> A + Sync,
 {
     let workers = worker_count(n, threads, min_per_thread);
+    record_region(workers);
     if workers <= 1 {
         return vec![work(0..n)];
     }
@@ -171,6 +195,7 @@ pub fn parallel_rows_mut<F>(
 {
     assert_eq!(out.len(), rows * row_len, "row partition over wrong buffer");
     let workers = worker_count(rows, threads, min_rows_per_thread);
+    record_region(workers);
     if workers <= 1 {
         body(0..rows, out);
         return;

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // Phase 1: the device ships with the FULL model and a monitoring period.
-    let mut device = LocalDevice::deploy(net);
+    let mut device = LocalDevice::deploy(net)?;
     let mut rng = XorShiftRng::new(77);
     println!("\nmonitoring period: user encounters classes 1 (75%) and 4 (25%)…");
     for i in 0..120 {
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "cloud shipped a CAP'NN-M model: {:.0}% of the original size",
         personalized.relative_size * 100.0
     );
-    let mut device = LocalDevice::deploy(personalized.network);
+    let mut device = LocalDevice::deploy(personalized.network)?;
     device.reset_monitor();
 
     // Phase 3: the user's behaviour drifts to a new class. The pruned model
@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pruned model's own predictions now say {suspicious} — off-profile, so \
          the device requests a fresh monitoring period on the full model"
     );
-    let mut monitor = LocalDevice::deploy(cloud.network().clone());
+    let mut monitor = LocalDevice::deploy(cloud.network().clone())?;
     for i in 0..120 {
         let class = if i % 5 < 3 { 6 } else { 1 };
         monitor.infer(&images.sample(class, &mut rng))?;

@@ -79,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let initial = UserProfile::new(vec![0, 1], vec![0.7, 0.3])?;
     let model = cloud.personalize(&initial, Variant::Miseffectual)?;
     let mut session = PersonalizationSession::new(initial, DriftPolicy::conservative())?;
-    let mut device = capnn_repro::core::LocalDevice::deploy(model.network);
+    let mut device = capnn_repro::core::LocalDevice::deploy(model.network)?;
     // phase 1: on-profile traffic — no re-personalization
     for (x, _) in images.usage_stream(&[0, 1], &[0.7, 0.3], 60, &mut rng) {
         let pred = device.infer(&x)?;

@@ -21,4 +21,7 @@ echo "==> perf bins smoke (CAPNN_BENCH_SMOKE=1: tiny iterations, no results/ wri
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_speedup
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_serving
 
+echo "==> telemetry smoke (CAPNN_TELEMETRY=1: probes on, snapshot to stderr only)"
+CAPNN_BENCH_SMOKE=1 CAPNN_TELEMETRY=1 cargo run --release -p capnn-bench --bin perf_serving
+
 echo "==> all checks passed"

@@ -11,6 +11,7 @@
 //! * [`profile`] — firing-rate profiling, confusion matrices, quantization;
 //! * [`baselines`] — class-unaware pruning and a CAPTOR-style comparator;
 //! * [`accel`] — the TPU-like analytical energy/latency model;
+//! * [`telemetry`] — serving metrics: counters, histograms, snapshots;
 //! * [`tensor`] — the dense `f32` tensor math underneath it all.
 //!
 //! # Examples
@@ -33,4 +34,5 @@ pub use capnn_core as core;
 pub use capnn_data as data;
 pub use capnn_nn as nn;
 pub use capnn_profile as profile;
+pub use capnn_telemetry as telemetry;
 pub use capnn_tensor as tensor;

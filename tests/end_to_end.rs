@@ -7,7 +7,10 @@ use capnn_repro::core::{
     Variant,
 };
 use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
-use capnn_repro::nn::{model_size, NetworkBuilder, PruneMask, Trainer, TrainerConfig, VggConfig};
+use capnn_repro::nn::{
+    model_size, Engine, InferenceRequest, NetworkBuilder, PruneMask, Trainer, TrainerConfig,
+    VggConfig,
+};
 use capnn_repro::profile::{ConfusionMatrix, FiringRateProfiler};
 use capnn_repro::tensor::XorShiftRng;
 
@@ -41,8 +44,8 @@ fn build_rig() -> Rig {
         .profile(&net, &profiling)
         .expect("profiling");
     let confusion = ConfusionMatrix::measure(&net, &profiling).expect("confusion");
-    let eval = TailEvaluator::new(&net, &images.generate(8, 3), config.tail_layers)
-        .expect("evaluator");
+    let eval =
+        TailEvaluator::new(&net, &images.generate(8, 3), config.tail_layers).expect("evaluator");
     Rig {
         images,
         net,
@@ -59,9 +62,7 @@ fn full_pipeline_epsilon_guarantee_all_variants() {
     let profile = UserProfile::new(vec![0, 4], vec![0.8, 0.2]).expect("profile");
 
     let b = CapnnB::new(rig.config).expect("config");
-    let matrices = b
-        .offline(&rig.net, &rig.rates, &rig.eval)
-        .expect("offline");
+    let matrices = b.offline(&rig.net, &rig.rates, &rig.eval).expect("offline");
     let mask_b = CapnnB::online(&rig.net, &matrices, profile.classes()).expect("online");
 
     let mask_w = CapnnW::new(rig.config)
@@ -106,8 +107,18 @@ fn full_pipeline_epsilon_guarantee_all_variants() {
         );
     }
     let tol = 0.03 * full * profiles.len() as f64;
-    assert!(sums[1] <= sums[0] + tol, "W avg {} > B avg {}", sums[1], sums[0]);
-    assert!(sums[2] <= sums[1] + tol, "M avg {} > W avg {}", sums[2], sums[1]);
+    assert!(
+        sums[1] <= sums[0] + tol,
+        "W avg {} > B avg {}",
+        sums[1],
+        sums[0]
+    );
+    assert!(
+        sums[2] <= sums[1] + tol,
+        "M avg {} > W avg {}",
+        sums[2],
+        sums[1]
+    );
 }
 
 #[test]
@@ -124,8 +135,12 @@ fn compacted_model_preserves_masked_predictions() {
     for &class in profile.classes() {
         for _ in 0..5 {
             let x = rig.images.sample(class, &mut rng);
-            let masked_out = rig.net.forward_masked(&x, &mask).expect("masked");
-            let compact_out = compacted.forward(&x).expect("compact");
+            let masked_out = rig.net.forward_masked_from(0, &x, &mask).expect("masked");
+            let compact_out = Engine::new(&compacted)
+                .run(InferenceRequest::single(&x))
+                .expect("compact")
+                .into_single()
+                .expect("single output");
             assert_eq!(
                 masked_out.argmax(),
                 compact_out.argmax(),
@@ -152,11 +167,13 @@ fn cloud_device_loop_roundtrip() {
     assert!(shipped.relative_size <= 1.0);
 
     // device runs inference and its monitor recovers the usage pattern
-    let mut device = LocalDevice::deploy(shipped.network);
+    let mut device = LocalDevice::deploy(shipped.network).expect("deploy");
     let mut rng = XorShiftRng::new(5);
     for i in 0..60 {
         let class = if i % 3 == 0 { 6 } else { 2 };
-        device.infer(&rig.images.sample(class, &mut rng)).expect("infer");
+        device
+            .infer(&rig.images.sample(class, &mut rng))
+            .expect("infer");
     }
     let observed = device.observed_profile(2).expect("profile");
     assert_eq!(observed.k(), 2);
@@ -171,9 +188,7 @@ fn cloud_device_loop_roundtrip() {
 fn basic_matrices_support_any_subset_without_reoffline() {
     let rig = build_rig();
     let b = CapnnB::new(rig.config).expect("config");
-    let matrices = b
-        .offline(&rig.net, &rig.rates, &rig.eval)
-        .expect("offline");
+    let matrices = b.offline(&rig.net, &rig.rates, &rig.eval).expect("offline");
     let mut rng = XorShiftRng::new(123);
     for k in [1usize, 2, 3, 5] {
         let classes = rng.sample_combination(8, k);
@@ -330,15 +345,22 @@ fn low_rank_baseline_composes_with_capnn() {
     use capnn_repro::baselines::low_rank_compress;
     let rig = build_rig();
     let (compressed, factorized) = low_rank_compress(&rig.net, 0.5).expect("compress");
-    assert!(factorized > 0, "expected at least one factorized dense layer");
+    assert!(
+        factorized > 0,
+        "expected at least one factorized dense layer"
+    );
     assert!(compressed.param_count() < rig.net.param_count());
     // the compressed model still classifies sensibly enough to re-profile
     let profiling = rig.images.generate(12, 2);
     let rates = FiringRateProfiler::new(rig.config.tail_layers)
         .profile(&compressed, &profiling)
         .expect("profiling the factorized model");
-    let eval = TailEvaluator::new(&compressed, &rig.images.generate(8, 3), rig.config.tail_layers)
-        .expect("evaluator");
+    let eval = TailEvaluator::new(
+        &compressed,
+        &rig.images.generate(8, 3),
+        rig.config.tail_layers,
+    )
+    .expect("evaluator");
     let profile = UserProfile::new(vec![0, 1], vec![0.7, 0.3]).expect("profile");
     let mask = CapnnW::new(rig.config)
         .expect("config")
@@ -374,13 +396,10 @@ fn drift_session_round_trip_with_cloud() {
         },
     )
     .expect("session");
-    let mut device = LocalDevice::deploy(model.network);
+    let mut device = LocalDevice::deploy(model.network).expect("deploy");
     let mut rng = XorShiftRng::new(21);
     // traffic shifts entirely to classes {5, 6}
-    for (x, _) in rig
-        .images
-        .usage_stream(&[5, 6], &[0.5, 0.5], 60, &mut rng)
-    {
+    for (x, _) in rig.images.usage_stream(&[5, 6], &[0.5, 0.5], 60, &mut rng) {
         let pred = device.infer(&x).expect("infer");
         session.record(pred);
     }
@@ -415,8 +434,12 @@ fn baselines_compose_with_capnn() {
         .profile(&pruned_net, &profiling)
         .expect("profiling");
     let confusion = ConfusionMatrix::measure(&pruned_net, &profiling).expect("confusion");
-    let eval = TailEvaluator::new(&pruned_net, &rig.images.generate(8, 3), rig.config.tail_layers)
-        .expect("evaluator");
+    let eval = TailEvaluator::new(
+        &pruned_net,
+        &rig.images.generate(8, 3),
+        rig.config.tail_layers,
+    )
+    .expect("evaluator");
     let profile = UserProfile::uniform(vec![0, 1]).expect("profile");
     let mask = CapnnM::new(rig.config)
         .expect("config")

@@ -5,7 +5,10 @@
 
 use capnn_repro::core::{CapnnB, CapnnW, PruningConfig, TailEvaluator, UserProfile};
 use capnn_repro::data::{VectorClusters, VectorClustersConfig};
-use capnn_repro::nn::{model_size, Network, NetworkBuilder, PruneMask, Trainer, TrainerConfig};
+use capnn_repro::nn::{
+    model_size, Engine, InferenceRequest, Network, NetworkBuilder, PruneMask, Trainer,
+    TrainerConfig,
+};
 use capnn_repro::profile::{quantize_rates, FiringRateProfiler, FiringRates};
 use capnn_repro::tensor::XorShiftRng;
 use proptest::prelude::*;
@@ -39,8 +42,8 @@ fn rig() -> &'static SharedRig {
         let rates = FiringRateProfiler::new(config.tail_layers)
             .profile(&net, &gen.generate(15, 2))
             .expect("profiling");
-        let eval = TailEvaluator::new(&net, &gen.generate(12, 3), config.tail_layers)
-            .expect("evaluator");
+        let eval =
+            TailEvaluator::new(&net, &gen.generate(12, 3), config.tail_layers).expect("evaluator");
         let matrices = CapnnB::new(config)
             .expect("config")
             .offline(&net, &rates, &eval)
@@ -60,7 +63,6 @@ fn class_subset() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::btree_set(0..CLASSES, 1..=CLASSES)
         .prop_map(|s| s.into_iter().collect::<Vec<_>>())
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -176,8 +178,12 @@ proptest! {
         }
         let compacted = r.net.compact(&mask).expect("compacts");
         let x = capnn_repro::tensor::Tensor::uniform(&[6], -2.0, 2.0, &mut rng);
-        let a = r.net.forward_masked(&x, &mask).expect("masked");
-        let b = compacted.forward(&x).expect("compact");
+        let a = r.net.forward_masked_from(0, &x, &mask).expect("masked");
+        let b = Engine::new(&compacted)
+            .run(InferenceRequest::single(&x))
+            .expect("compact")
+            .into_single()
+            .expect("single output");
         for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
             prop_assert!((u - v).abs() < 1e-4, "{} vs {}", u, v);
         }

@@ -8,8 +8,8 @@ use capnn_repro::core::{
 };
 use capnn_repro::data::{SyntheticImages, SyntheticImagesConfig};
 use capnn_repro::nn::{
-    load_network, network_from_json, network_to_json, save_network, NetworkBuilder, Trainer,
-    TrainerConfig, VggConfig,
+    load_network, network_from_json, network_to_json, save_network, Engine, ExecStrategy,
+    InferenceRequest, NetworkBuilder, Trainer, TrainerConfig, VggConfig,
 };
 use capnn_repro::tensor::XorShiftRng;
 
@@ -99,7 +99,7 @@ fn fleet_cache_hit_rate_with_overlapping_users() {
 fn monitoring_stream_recovers_true_usage_on_accurate_model() {
     let (images, cloud) = serving_rig();
     // monitor with the FULL model (the paper's monitoring period)
-    let mut device = LocalDevice::deploy(cloud.network().clone());
+    let mut device = LocalDevice::deploy(cloud.network().clone()).expect("deploy");
     let mut rng = XorShiftRng::new(31);
     let stream = images.usage_stream(&[2, 6], &[0.7, 0.3], 150, &mut rng);
     let mut correct = 0usize;
@@ -164,11 +164,17 @@ fn plan_served_batched_inference_end_to_end() {
     assert_eq!(device.observed_total(), inputs.len() as u64);
 
     // batched predictions agree with the masked reference engine per sample
+    let mut engine = Engine::new(cloud.network());
     for (x, &p) in inputs.iter().zip(&preds) {
-        let reference = cloud
-            .network()
-            .forward_masked_reference(x, &model.mask)
-            .expect("reference");
+        let reference = engine
+            .run(
+                InferenceRequest::single(x)
+                    .masked(&model.mask)
+                    .strategy(ExecStrategy::Reference),
+            )
+            .expect("reference")
+            .into_single()
+            .expect("single output");
         assert_eq!(Some(p), reference.argmax());
     }
 
