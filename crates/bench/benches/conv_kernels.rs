@@ -1,0 +1,96 @@
+//! Conv micro-kernel benchmarks: the panel-packed `conv_gemm_into` stack
+//! against the legacy route it replaced (cache-blocked `matmul_into` over
+//! the same im2col matrix plus a separate bias sweep), and the batch-wide
+//! row-partitioned unfold against the per-sample strided loop.
+//!
+//! Shapes mirror the vgg_tiny serving workload: a 3×3 conv over a 6-kept-
+//! channel activation producing 12 kept channels on an 8×8 output plane
+//! (`krows = 54`), at batch 1 and batch 32.
+
+use capnn_tensor::{
+    conv_gemm_into, im2col_batch_into, im2col_strided_into, matmul_into, pack_conv_panels,
+    Conv2dSpec, Tensor, XorShiftRng,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const IN_C: usize = 6;
+const OUT_C: usize = 12;
+const K: usize = 3;
+const H: usize = 9; // stride-1 3×3 with padding 1 keeps a 9×9 plane
+
+fn bench_conv_kernels(c: &mut Criterion) {
+    let spec = Conv2dSpec::new(IN_C, OUT_C, K, 1, 1);
+    let (oh, ow) = spec.output_hw(H, H);
+    let oplane = oh * ow;
+    let krows = IN_C * K * K;
+    let plane = H * H;
+    let mut rng = XorShiftRng::new(11);
+    let w = Tensor::uniform(&[OUT_C, krows], -1.0, 1.0, &mut rng);
+    let bias = Tensor::uniform(&[OUT_C], -0.5, 0.5, &mut rng);
+    let panels = pack_conv_panels(w.as_slice(), OUT_C, krows);
+
+    for batch in [1usize, 32] {
+        // channel-major batched activation, as between compiled-plan steps
+        let input = Tensor::uniform(&[IN_C * batch * plane], -1.0, 1.0, &mut rng);
+        let wide = batch * oplane;
+        let mut cols = vec![0.0f32; krows * wide];
+        im2col_batch_into(input.as_slice(), &spec, H, H, batch, &mut cols, 1);
+        let mut out = vec![0.0f32; OUT_C * wide];
+
+        let mut group = c.benchmark_group(format!("conv_kernels_batch{batch}"));
+
+        // GEMM: legacy cache-blocked matmul + separate bias pass...
+        group.bench_function("matmul_plus_bias", |b| {
+            b.iter(|| {
+                matmul_into(w.as_slice(), &cols, &mut out, OUT_C, krows, wide, 1);
+                for (oc, &bc) in bias.as_slice().iter().enumerate() {
+                    for v in &mut out[oc * wide..(oc + 1) * wide] {
+                        *v += bc;
+                    }
+                }
+            })
+        });
+        // ...vs the panel-packed kernel with the fused bias+ReLU epilogue
+        group.bench_function("conv_gemm_fused", |b| {
+            b.iter(|| {
+                conv_gemm_into(
+                    &panels,
+                    &cols,
+                    Some(bias.as_slice()),
+                    &mut out,
+                    OUT_C,
+                    krows,
+                    wide,
+                    true,
+                    1,
+                );
+            })
+        });
+
+        // unfold: per-sample strided loop vs the batch-wide partitioned one
+        group.bench_function("im2col_per_sample", |b| {
+            b.iter(|| {
+                for s in 0..batch {
+                    im2col_strided_into(
+                        input.as_slice(),
+                        &spec,
+                        H,
+                        H,
+                        batch * plane,
+                        s * plane,
+                        wide,
+                        s * oplane,
+                        &mut cols,
+                    );
+                }
+            })
+        });
+        group.bench_function("im2col_batch", |b| {
+            b.iter(|| im2col_batch_into(input.as_slice(), &spec, H, H, batch, &mut cols, 1))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_conv_kernels);
+criterion_main!(benches);

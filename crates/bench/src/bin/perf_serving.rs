@@ -25,10 +25,43 @@ use serde::Serialize;
 use std::time::Instant;
 
 /// `CAPNN_BENCH_SMOKE=1` runs a tiny sweep (CI: exercise the bin end to
-/// end, including the bit-compatibility checks) and skips writing
-/// `results/`.
+/// end, including the bit-compatibility checks), skips writing `results/`,
+/// and gates on the vgg batch-32 scaling (see `smoke_gate`).
 fn smoke_mode() -> bool {
     std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Smoke-mode CI gate: on multi-core hosts the conv path must hold a
+/// batch-32 `speedup_vs_batch1` of at least 1.8× on the vgg model — the
+/// regression guard for the panel-packed conv engine. Single-core runners
+/// cannot express batch parallelism at all, so they skip with a logged
+/// notice instead of failing. Returns `true` when the gate fails.
+fn smoke_gate(models: &[ModelSummary], host_cores: usize) -> bool {
+    const MIN_SPEEDUP: f64 = 1.8;
+    let Some(vgg) = models.iter().find(|m| m.model.starts_with("vgg_tiny")) else {
+        eprintln!("[serving] smoke gate: no vgg model in sweep, nothing to check");
+        return false;
+    };
+    if host_cores <= 1 {
+        eprintln!(
+            "[serving] smoke gate SKIPPED: single-core host cannot express batch-32 \
+             scaling ({} measured {:.2}x)",
+            vgg.model, vgg.batch32_speedup
+        );
+        return false;
+    }
+    if vgg.batch32_speedup < MIN_SPEEDUP {
+        eprintln!(
+            "[serving] smoke gate FAILED: {} batch-32 speedup {:.2}x < {MIN_SPEEDUP}x",
+            vgg.model, vgg.batch32_speedup
+        );
+        return true;
+    }
+    eprintln!(
+        "[serving] smoke gate: {} batch-32 speedup {:.2}x ≥ {MIN_SPEEDUP}x",
+        vgg.model, vgg.batch32_speedup
+    );
+    false
 }
 
 #[derive(Debug, Serialize)]
@@ -297,12 +330,13 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let default_threads = parallel::max_threads();
+    // smoke keeps batch 32 in the sweep: the smoke gate checks its scaling
     let batches: Vec<usize> = if smoke_mode() {
-        vec![1, 4]
+        vec![1, 4, 32]
     } else {
         vec![1, 2, 4, 8, 16, 32]
     };
-    let samples_per_point = if smoke_mode() { 4 } else { 256 };
+    let samples_per_point = if smoke_mode() { 64 } else { 256 };
     let max_batch = *batches.iter().max().expect("non-empty");
     eprintln!("[serving] host cores: {host_cores}, pool threads: {default_threads}");
 
@@ -408,7 +442,8 @@ fn main() {
             }
         }
     }
-    if !all_compatible {
+    let gate_failed = smoke_mode() && smoke_gate(&report.models, host_cores);
+    if !all_compatible || gate_failed {
         std::process::exit(1);
     }
 }

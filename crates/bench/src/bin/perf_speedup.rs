@@ -286,7 +286,22 @@ fn main() {
     }
 
     // --- telemetry snapshot (CAPNN_TELEMETRY=1 runs only) -----------------
+    let mut telemetry_ok = true;
     if let Some(snapshot) = capnn_telemetry::snapshot() {
+        // the conv probes are part of this bin's contract: plan compilation
+        // must have recorded its panel-packing time, and every timed conv
+        // step its effective-throughput gauge
+        if !snapshot.histograms.contains_key("plan.conv_pack_ns") {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: plan.conv_pack_ns histogram");
+        }
+        if !snapshot.gauges.keys().any(|k| k.ends_with("_conv_gflops")) {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: per-conv-step *_conv_gflops gauge");
+        }
+        if telemetry_ok {
+            eprintln!("[perf] telemetry conv probes present: plan.conv_pack_ns + *_conv_gflops");
+        }
         let json = snapshot.to_json();
         if smoke_mode() {
             eprintln!(
@@ -301,7 +316,7 @@ fn main() {
             eprintln!("[perf] telemetry snapshot written to {}", path.display());
         }
     }
-    if !compatible || !plan_compatible {
+    if !compatible || !plan_compatible || !telemetry_ok {
         std::process::exit(1);
     }
 }

@@ -9,7 +9,10 @@
 //!   kept input columns into each dot product;
 //! * conv layers compute only the kept output channels and drop pruned
 //!   input channels from the im2col unfold entirely
-//!   ([`capnn_tensor::conv2d_masked`]);
+//!   ([`capnn_tensor::conv2d_masked`], which gathers the kept weights
+//!   straight into register-tile panels and runs the same
+//!   [`capnn_tensor::conv_gemm_into`] micro-kernel as compiled plans —
+//!   a thin per-call-packed wrapper around the panel kernel);
 //! * ReLU / pooling pass kept-unit sets through unchanged; Flatten expands
 //!   kept channels into kept flat indices (the same bookkeeping
 //!   [`Network::compact`](crate::Network::compact) does when it physically

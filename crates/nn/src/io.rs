@@ -14,7 +14,11 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Current on-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial envelope; 2 — compiled-plan conv steps
+/// store register-tile `panels` (+ `fused_relu`) instead of row-major
+/// `weights`.
+pub const FORMAT_VERSION: u32 = 2;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Envelope<T> {
@@ -208,7 +212,7 @@ mod tests {
         let n = net();
         let json = network_to_json(&n)
             .unwrap()
-            .replace("\"version\":1", "\"version\":99");
+            .replace(&format!("\"version\":{FORMAT_VERSION}"), "\"version\":99");
         let err = network_from_json(&json).unwrap_err();
         assert!(err.to_string().contains("version"));
     }

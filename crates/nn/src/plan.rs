@@ -19,8 +19,12 @@
 //! On top of the single-sample path, [`CompiledPlan::forward_batch`]
 //! serves whole batches: activations travel in channel-major batched
 //! layout (`(c·B + b)·plane + p`) so each conv layer unfolds all samples
-//! into one wide im2col matrix and runs a *single* GEMM, and the batched
-//! dense kernels reuse each streamed weight row across a tile of samples.
+//! into one wide im2col matrix (the unfold itself row-partitioned across
+//! [`capnn_tensor::parallel`]) and runs a *single* panel-packed GEMM
+//! ([`capnn_tensor::conv_gemm_into`]) with the bias — and, when the next
+//! layer is a ReLU, the activation — fused into the kernel epilogue,
+//! while the batched dense kernels reuse each streamed weight row across
+//! a tile of samples.
 //! Sample outputs are value-identical (`==` on every element, differing
 //! at most in the sign of exact zeros) to [`CompiledPlan::forward`] for
 //! any batch size and thread count: every output element accumulates bias
@@ -38,8 +42,8 @@ use crate::layer::Layer;
 use crate::mask::PruneMask;
 use crate::network::Network;
 use capnn_tensor::{
-    dense_batch_chw_into, dense_batch_into, im2col_strided_into, matmul_into, pack_dense_panels,
-    parallel, Conv2dSpec, PoolSpec, Tensor,
+    conv_gemm_into, dense_batch_chw_into, dense_batch_into, im2col_batch_into, pack_conv_panels,
+    pack_dense_panels, parallel, Conv2dSpec, PoolSpec, Tensor,
 };
 use serde::{Deserialize, Serialize};
 
@@ -69,14 +73,18 @@ impl Layout {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum PlanStep {
     /// Packed convolution: `spec` carries the *packed* channel counts,
-    /// `weights` is `[out_c × in_c·k²]` (im2col row layout), geometry is
-    /// frozen at compile time.
+    /// `panels` holds the kept `[out_c × in_c·k²]` im2col-row weights
+    /// re-tiled into the [`pack_conv_panels`] register-tile layout for
+    /// [`conv_gemm_into`], geometry is frozen at compile time. When
+    /// `fused_relu` is set, the ReLU that followed this layer runs inside
+    /// the kernel epilogue instead of as a separate [`PlanStep::Relu`].
     Conv {
         spec: Conv2dSpec,
-        weights: Tensor,
+        panels: Tensor,
         bias: Tensor,
         in_hw: (usize, usize),
         out_hw: (usize, usize),
+        fused_relu: bool,
     },
     /// Packed dense layer on a flat activation; `panels` holds the kept
     /// weights in the [`pack_dense_panels`] layout (the input-major
@@ -249,31 +257,40 @@ impl CompiledPlan {
                     spec.in_channels = kept.len();
                     spec.out_channels = kept_out.len();
                     let krows = kept.len() * kk;
-                    let mut weights = Tensor::zeros(&[kept_out.len(), krows]);
+                    let mut weights = vec![0.0f32; kept_out.len() * krows];
                     let mut bias = Tensor::zeros(&[kept_out.len()]);
                     let src_w = c.weights().as_slice();
                     let src_b = c.bias().as_slice();
                     let in_c_old = c.spec().in_channels;
                     {
-                        let wv = weights.as_mut_slice();
                         let bv = bias.as_mut_slice();
                         for (no, &oc) in kept_out.iter().enumerate() {
                             bv[no] = src_b[oc];
                             for (ni, &ic) in kept.iter().enumerate() {
                                 let dst = (no * kept.len() + ni) * kk;
                                 let src = (oc * in_c_old + ic) * kk;
-                                wv[dst..dst + kk].copy_from_slice(&src_w[src..src + kk]);
+                                weights[dst..dst + kk].copy_from_slice(&src_w[src..src + kk]);
                             }
                         }
                     }
                     macs += (kept_out.len() * oh * ow) as u64 * krows as u64;
+                    // Count kept parameters only — the zero padding of
+                    // partial register-tile panels is a layout artifact,
+                    // not model state.
                     packed_params += weights.len() + bias.len();
+                    let packed = {
+                        let _pack = capnn_telemetry::time("plan.conv_pack_ns");
+                        pack_conv_panels(&weights, kept_out.len(), krows)
+                    };
+                    let plen = packed.len();
+                    let panels = Tensor::from_vec(packed, &[plen])?;
                     steps.push(PlanStep::Conv {
                         spec,
-                        weights,
+                        panels,
                         bias,
                         in_hw: (h, w),
                         out_hw: (oh, ow),
+                        fused_relu: false,
                     });
                     kept = kept_out;
                     layout = Layout::Chw {
@@ -333,7 +350,17 @@ impl CompiledPlan {
                     layout = Layout::Flat { len: n_out };
                     flattened = false;
                 }
-                Layer::Relu => steps.push(PlanStep::Relu),
+                Layer::Relu => {
+                    // Peephole: a ReLU directly after a conv runs as the
+                    // kernel's fused epilogue — one pass over the output
+                    // instead of two. `max(0.0)` over the same elements in
+                    // the same order, so results are bit-identical.
+                    if let Some(PlanStep::Conv { fused_relu, .. }) = steps.last_mut() {
+                        *fused_relu = true;
+                    } else {
+                        steps.push(PlanStep::Relu);
+                    }
+                }
                 Layer::MaxPool2d(spec) | Layer::AvgPool2d(spec) => {
                     let (h, w) = (shapes[i][1], shapes[i][2]);
                     let (oh, ow) = spec.output_hw(h, w);
@@ -571,50 +598,38 @@ impl CompiledPlan {
         // Per-step timings accumulate locally and flush once per chunk, so
         // spawned workers never contend on the registry mutex mid-step.
         let telemetry = capnn_telemetry::enabled();
-        let mut timings: Vec<(usize, &'static str, u64)> = Vec::new();
+        // (step index, kind, elapsed ns, FLOPs — 0 for non-GEMM steps).
+        let mut timings: Vec<(usize, &'static str, u64, u64)> = Vec::new();
         for (si, step) in self.steps.iter().enumerate() {
             let t0 = telemetry.then(std::time::Instant::now);
+            let mut flops: u64 = 0;
             match step {
                 PlanStep::Conv {
                     spec,
-                    weights,
+                    panels,
                     bias,
                     in_hw: (h, w),
                     out_hw: (oh, ow),
+                    fused_relu,
                 } => {
-                    let in_plane = h * w;
                     let oplane = oh * ow;
                     let krows = spec.in_channels * spec.kernel * spec.kernel;
                     let wide = batch * oplane;
                     grow(&mut cols, krows * wide);
-                    for b in 0..batch {
-                        im2col_strided_into(
-                            &cur,
-                            spec,
-                            *h,
-                            *w,
-                            batch * in_plane,
-                            b * in_plane,
-                            wide,
-                            b * oplane,
-                            &mut cols,
-                        );
-                    }
+                    im2col_batch_into(&cur, spec, *h, *w, batch, &mut cols, inner_threads);
                     grow(&mut nxt, spec.out_channels * wide);
-                    matmul_into(
-                        weights.as_slice(),
+                    conv_gemm_into(
+                        panels.as_slice(),
                         &cols,
+                        Some(bias.as_slice()),
                         &mut nxt,
                         spec.out_channels,
                         krows,
                         wide,
+                        *fused_relu,
                         inner_threads,
                     );
-                    for (oc, &bc) in bias.as_slice().iter().enumerate() {
-                        for v in &mut nxt[oc * wide..(oc + 1) * wide] {
-                            *v += bc;
-                        }
-                    }
+                    flops = 2 * (spec.out_channels * wide) as u64 * krows as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Chw {
                         channels: spec.out_channels,
@@ -707,14 +722,20 @@ impl CompiledPlan {
             }
             if let Some(t0) = t0 {
                 let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                timings.push((si, step.kind(), ns));
+                timings.push((si, step.kind(), ns, flops));
             }
         }
         if telemetry {
             let reg = capnn_telemetry::global();
-            for (si, kind, ns) in timings {
+            for (si, kind, ns, flops) in timings {
                 reg.histogram(&format!("plan.step{si:02}_{kind}_ns"))
                     .record(ns);
+                // Effective throughput gauge for conv GEMMs: FLOPs/ns is
+                // numerically GFLOP/s.
+                if kind == "conv" && flops > 0 && ns > 0 {
+                    reg.gauge(&format!("plan.step{si:02}_conv_gflops"))
+                        .set(flops as f64 / ns as f64);
+                }
             }
             reg.counter("plan.samples").add(batch as u64);
         }

@@ -6,7 +6,7 @@
 #![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
 
 use capnn_nn::{model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, PruneMask};
-use capnn_tensor::{Tensor, XorShiftRng};
+use capnn_tensor::{Conv2dSpec, Tensor, XorShiftRng};
 use proptest::prelude::*;
 
 /// A small random-topology description proptest can shrink.
@@ -137,6 +137,41 @@ proptest! {
             let single = plan.forward(x).expect("single");
             prop_assert_eq!(single.as_slice(), out.as_slice());
             let reference = net.forward_masked_reference(x, &mask).expect("reference");
+            prop_assert_eq!(out.argmax(), reference.argmax());
+        }
+    }
+
+    /// Plans whose conv steps run the panel-packed GEMM (with the ReLU
+    /// fused into the kernel epilogue) stay elementwise- and
+    /// argmax-bit-compatible with the reference engine across kernel
+    /// sizes, strides and paddings the stock `cnn` builder never emits.
+    #[test]
+    fn strided_conv_plan_matches_reference(
+        c1 in 2usize..5,
+        kernel in prop::sample::select(vec![1usize, 3]),
+        stride in 1usize..3,
+        padding in 0usize..2,
+        batch in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let image = 9usize;
+        let mut rng = XorShiftRng::new(seed);
+        let (oh, ow) = Conv2dSpec::new(1, c1, kernel, stride, padding).output_hw(image, image);
+        let net = NetworkBuilder::new(&[1, image, image])
+            .conv(1, c1, kernel, stride, padding, &mut rng)
+            .relu()
+            .flatten()
+            .dense(c1 * oh * ow, 3, &mut rng)
+            .build()
+            .expect("builds");
+        let mut mrng = XorShiftRng::new(seed ^ 0xC0FE);
+        let mask = random_mask(&net, &mut mrng, true);
+        let plan = net.compile(&mask).expect("compiles");
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut mrng)).collect();
+        let outs = plan.forward_batch(&inputs).expect("batch");
+        for (x, out) in inputs.iter().zip(&outs) {
+            let reference = net.forward_masked_reference(x, &mask).expect("reference");
+            prop_assert_eq!(out.as_slice(), reference.as_slice());
             prop_assert_eq!(out.argmax(), reference.argmax());
         }
     }

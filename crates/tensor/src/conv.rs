@@ -1,18 +1,26 @@
-//! 2-D convolution via im2col + matmul, with a reference direct kernel.
+//! 2-D convolution via im2col + GEMM, with a reference direct kernel.
 //!
 //! Activations are laid out `[channels, height, width]` (CHW); weights are
 //! `[out_channels, in_channels, kh, kw]`.
 //!
-//! Two execution-engine entry points supplement the plain
-//! [`conv2d_im2col`]: [`conv2d_im2col_scratch`] reuses a [`ConvScratch`]
-//! workspace so the unfold buffer is allocated once and recycled across
-//! calls, and [`conv2d_masked`] computes only the *kept* output channels
-//! while dropping pruned input channels from the unfold entirely — the
+//! [`conv2d_im2col`] is the plain matmul-based path, kept as the semantic
+//! baseline. Two execution-engine entry points route through the
+//! panel-packed [`crate::conv_gemm_into`] microkernel instead:
+//! [`conv2d_im2col_scratch`] reuses a [`ConvScratch`] workspace (unfold
+//! buffer, weight panels and staging output recycled across calls, with a
+//! windowed shrink policy so one oversized call does not pin its
+//! high-water allocation forever), and [`conv2d_masked`] gathers only the
+//! *kept* output-channel weight rows straight into panel form while
+//! dropping pruned input channels from the unfold entirely — the
 //! structured compute-skipping that turns a CAP'NN prune mask into actual
 //! saved multiply–accumulates.
+//!
+//! Batched serving uses [`im2col_batch_into`], which unfolds a whole
+//! channel-major batch into one wide matrix with the unfold rows
+//! partitioned across `tensor::parallel` workers.
 
 use crate::error::TensorError;
-use crate::ops::matmul_into;
+use crate::ops::{conv_gemm_into, conv_panels_len, matmul_into, pack_conv_row, CONV_MR};
 use crate::parallel;
 use crate::{ShapeError, Tensor};
 use serde::{Deserialize, Serialize};
@@ -91,25 +99,99 @@ impl Conv2dSpec {
     }
 }
 
-/// Reusable convolution workspace: the im2col unfold buffer, the gathered
-/// weight rows for masked execution, and the compact output staging
-/// buffer. After the first call at a given geometry every conv through
-/// the scratch is allocation-free except for the returned output tensor.
+/// Calls between high-water-mark reviews of the [`ConvScratch`] shrink
+/// policy: long enough to see every layer geometry of a typical forward
+/// pass (so the shared workspace never thrashes between layers), short
+/// enough that a one-off oversized call is released promptly.
+const SHRINK_WINDOW: u32 = 32;
+
+/// A scratch buffer is released back to its recent peak requirement once
+/// its capacity exceeds that peak by this factor.
+const SHRINK_FACTOR: usize = 4;
+
+/// Reusable convolution workspace: the im2col unfold buffer, the packed
+/// weight panels, and the compact output staging buffer (masked path).
+/// After the first call at a given geometry every conv through the
+/// scratch is allocation-free except for the returned output tensor.
+///
+/// Buffers do not stay at their high-water mark forever: every
+/// [`SHRINK_WINDOW`] calls the scratch compares each buffer's capacity
+/// against the largest requirement seen in that window and releases any
+/// buffer more than [`SHRINK_FACTOR`]× oversized — so a single huge
+/// warmup input no longer pins its allocation for the lifetime of the
+/// engine. [`ConvScratch::shrink_to`] caps the buffers immediately.
 #[derive(Debug, Clone, Default)]
 pub struct ConvScratch {
     /// im2col matrix, `[rows × (oh·ow)]` row-major.
     cols: Vec<f32>,
-    /// Gathered weight rows for the kept output channels (masked path).
-    wrows: Vec<f32>,
+    /// Weight rows packed into [`crate::pack_conv_panels`] layout.
+    panels: Vec<f32>,
     /// Compact `[kept_out × (oh·ow)]` result before scattering (masked
     /// path).
     omat: Vec<f32>,
+    /// Calls since the shrink policy last reviewed capacities.
+    calls_since_review: u32,
+    /// Per-buffer peak element requirement in the current window
+    /// (`cols`, `panels`, `omat`).
+    window_peak: [usize; 3],
 }
 
 impl ConvScratch {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps every workspace buffer at `max_elems` elements right now,
+    /// returning excess capacity to the allocator (buffers regrow on
+    /// demand). `shrink_to(0)` frees the workspace entirely.
+    pub fn shrink_to(&mut self, max_elems: usize) {
+        for v in [&mut self.cols, &mut self.panels, &mut self.omat] {
+            v.truncate(max_elems);
+            v.shrink_to(max_elems);
+        }
+        self.calls_since_review = 0;
+        self.window_peak = [0; 3];
+    }
+
+    /// Records one call's buffer requirements and, at window boundaries,
+    /// releases buffers whose capacity exceeds the window peak by
+    /// [`SHRINK_FACTOR`]×. Called before the buffers are (re)grown, so
+    /// the current call's needs are always part of the peak and a shrink
+    /// can never drop below them.
+    fn note_use(&mut self, cols: usize, panels: usize, omat: usize) {
+        self.window_peak[0] = self.window_peak[0].max(cols);
+        self.window_peak[1] = self.window_peak[1].max(panels);
+        self.window_peak[2] = self.window_peak[2].max(omat);
+        self.calls_since_review += 1;
+        if self.calls_since_review >= SHRINK_WINDOW {
+            let [c, p, o] = self.window_peak;
+            shrink_oversized(&mut self.cols, c);
+            shrink_oversized(&mut self.panels, p);
+            shrink_oversized(&mut self.omat, o);
+            self.calls_since_review = 0;
+            self.window_peak = [0; 3];
+        }
+    }
+
+    /// Current buffer capacities (`cols`, `panels`, `omat`), for the
+    /// shrink-policy tests.
+    #[cfg(test)]
+    fn capacities(&self) -> [usize; 3] {
+        [
+            self.cols.capacity(),
+            self.panels.capacity(),
+            self.omat.capacity(),
+        ]
+    }
+}
+
+/// Releases `v` back to `peak` elements if its capacity is more than
+/// [`SHRINK_FACTOR`]× the peak requirement.
+fn shrink_oversized(v: &mut Vec<f32>, peak: usize) {
+    if v.capacity() > peak.saturating_mul(SHRINK_FACTOR) {
+        v.truncate(peak);
+        v.shrink_to(peak);
     }
 }
 
@@ -136,24 +218,133 @@ fn im2col_into(
         for ky in 0..k {
             for kx in 0..k {
                 let row = (ci * k + ky) * k + kx;
-                let base = row * ncols;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let in_row = (c * h + iy as usize) * w;
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        cols[base + oy * ow + ox] = iv[in_row + ix as usize];
-                    }
-                }
+                unfold_plane(
+                    iv,
+                    spec,
+                    h,
+                    w,
+                    c * h * w,
+                    ky,
+                    kx,
+                    &mut cols[row * ncols..(row + 1) * ncols],
+                );
             }
         }
     }
+}
+
+/// Fills one `(channel, ky, kx)` unfold row for a single sample plane:
+/// `dst[oy·ow + ox] = input[chan_base + iy·w + ix]` for every in-bounds
+/// kernel tap, leaving padding cells untouched (callers pre-zero the
+/// destination). The shared body of every im2col variant. Stride-1 convs
+/// — the common CNN case — copy one contiguous run per output row via
+/// `copy_from_slice` instead of testing bounds per element.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn unfold_plane(
+    input: &[f32],
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    chan_base: usize,
+    ky: usize,
+    kx: usize,
+    dst: &mut [f32],
+) {
+    let (oh, ow) = spec.output_hw(h, w);
+    for oy in 0..oh {
+        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+        if iy < 0 || iy >= h as isize {
+            continue;
+        }
+        let in_row = chan_base + iy as usize * w;
+        let drow = &mut dst[oy * ow..(oy + 1) * ow];
+        if spec.stride == 1 {
+            // valid ox satisfy 0 <= ox + kx - padding < w
+            let ox0 = spec.padding.saturating_sub(kx);
+            let ox1 = ow.min((w + spec.padding).saturating_sub(kx));
+            if ox0 < ox1 {
+                let ix0 = ox0 + kx - spec.padding;
+                drow[ox0..ox1].copy_from_slice(&input[in_row + ix0..in_row + ix0 + (ox1 - ox0)]);
+            }
+        } else {
+            for (ox, d) in drow.iter_mut().enumerate() {
+                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
+                }
+                *d = input[in_row + ix as usize];
+            }
+        }
+    }
+}
+
+/// Minimum unfold rows a worker must own before the batched im2col goes
+/// parallel: each row costs ~`wide` copies — far cheaper than a MAC row —
+/// so demand more of them per spawned thread.
+fn min_unfold_rows(wide: usize) -> usize {
+    const PAR_MIN_CELLS: usize = 128 * 1024;
+    PAR_MIN_CELLS.div_ceil(wide.max(1))
+}
+
+/// Batch-wide im2col over a *channel-major batched* activation — element
+/// `(b, c, p)` at `(c·batch + b)·(h·w) + p`, the layout compiled plans
+/// keep between conv steps. Unfolds all `batch` samples at once into the
+/// single wide `[in_c·k² × batch·oh·ow]` matrix `cols` (sample `b`
+/// occupying the column window `b·oh·ow ..`), with the unfold rows
+/// partitioned across `threads` workers so the unfold itself scales with
+/// cores. `cols` must be pre-zeroed and exactly `in_c·k²·batch·oh·ow`
+/// long; padding cells are left untouched.
+///
+/// Cell-for-cell equivalent to `batch` calls of [`im2col_strided_into`],
+/// done once per conv step instead of once per sample.
+///
+/// # Panics
+///
+/// Panics if `cols` does not have exactly the required length.
+pub fn im2col_batch_into(
+    input: &[f32],
+    spec: &Conv2dSpec,
+    h: usize,
+    w: usize,
+    batch: usize,
+    cols: &mut [f32],
+    threads: usize,
+) {
+    let (oh, ow) = spec.output_hw(h, w);
+    let oplane = oh * ow;
+    let k = spec.kernel;
+    let kk = k * k;
+    let krows = spec.in_channels * kk;
+    let wide = batch * oplane;
+    assert_eq!(cols.len(), krows * wide, "im2col destination size");
+    let plane = h * w;
+    parallel::parallel_rows_mut(
+        cols,
+        krows,
+        wide,
+        threads,
+        min_unfold_rows(wide),
+        |rows, block| {
+            for (local, row) in rows.enumerate() {
+                let (c, rem) = (row / kk, row % kk);
+                let (ky, kx) = (rem / k, rem % k);
+                let dst = &mut block[local * wide..(local + 1) * wide];
+                for b in 0..batch {
+                    unfold_plane(
+                        input,
+                        spec,
+                        h,
+                        w,
+                        (c * batch + b) * plane,
+                        ky,
+                        kx,
+                        &mut dst[b * oplane..(b + 1) * oplane],
+                    );
+                }
+            }
+        },
+    );
 }
 
 /// Strided im2col for batched channel-major activations: unfolds one
@@ -183,26 +374,23 @@ pub fn im2col_strided_into(
     cols: &mut [f32],
 ) {
     let (oh, ow) = spec.output_hw(h, w);
+    let ncols = oh * ow;
     let k = spec.kernel;
     for c in 0..spec.in_channels {
         for ky in 0..k {
             for kx in 0..k {
                 let row = (c * k + ky) * k + kx;
                 let rbase = row * dst_cols + col_offset;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    let in_row = base + c * chan_stride + iy as usize * w;
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        cols[rbase + oy * ow + ox] = input[in_row + ix as usize];
-                    }
-                }
+                unfold_plane(
+                    input,
+                    spec,
+                    h,
+                    w,
+                    base + c * chan_stride,
+                    ky,
+                    kx,
+                    &mut cols[rbase..rbase + ncols],
+                );
             }
         }
     }
@@ -278,13 +466,42 @@ pub fn conv2d_im2col(
     bias: Option<&Tensor>,
     spec: &Conv2dSpec,
 ) -> Result<Tensor, TensorError> {
-    let mut scratch = ConvScratch::new();
-    conv2d_im2col_scratch(input, weights, bias, spec, &mut scratch)
+    let (h, w) = check_conv_inputs(input, weights, spec)?;
+    check_bias(bias, spec)?;
+    let (oh, ow) = spec.output_hw(h, w);
+    let plane = oh * ow;
+    let krows = spec.in_channels * spec.kernel * spec.kernel;
+    let all_channels: Vec<usize> = (0..spec.in_channels).collect();
+    let mut cols = Vec::new();
+    im2col_into(input.as_slice(), spec, h, w, &all_channels, &mut cols);
+    let mut out = Tensor::zeros(&[spec.out_channels, oh, ow]);
+    matmul_into(
+        weights.as_slice(),
+        &cols,
+        out.as_mut_slice(),
+        spec.out_channels,
+        krows,
+        plane,
+        parallel::max_threads(),
+    );
+    if let Some(b) = bias {
+        let ov = out.as_mut_slice();
+        for (c, &bc) in b.as_slice().iter().enumerate() {
+            for v in &mut ov[c * plane..(c + 1) * plane] {
+                *v += bc;
+            }
+        }
+    }
+    Ok(out)
 }
 
-/// [`conv2d_im2col`] through a reusable [`ConvScratch`]: the unfold
-/// buffer is recycled across calls, so after warmup the only allocation
-/// is the returned output tensor.
+/// [`conv2d_im2col`] through a reusable [`ConvScratch`] and the
+/// panel-packed [`conv_gemm_into`] microkernel: the unfold buffer and
+/// weight panels are recycled across calls, so after warmup the only
+/// allocation is the returned output tensor; the bias is applied in the
+/// kernel's fused epilogue instead of a separate pass. Value-identical
+/// (`==` per element) to [`conv2d_im2col`] — same unfold, same
+/// `k`-ascending accumulation, bias added after the sum.
 ///
 /// # Errors
 ///
@@ -301,6 +518,8 @@ pub fn conv2d_im2col_scratch(
     let (oh, ow) = spec.output_hw(h, w);
     let plane = oh * ow;
     let krows = spec.in_channels * spec.kernel * spec.kernel;
+    let panels_len = conv_panels_len(spec.out_channels, krows);
+    scratch.note_use(krows * plane, panels_len, 0);
     let all_channels: Vec<usize> = (0..spec.in_channels).collect();
     im2col_into(
         input.as_slice(),
@@ -310,24 +529,23 @@ pub fn conv2d_im2col_scratch(
         &all_channels,
         &mut scratch.cols,
     );
+    scratch.panels.clear();
+    scratch.panels.resize(panels_len, 0.0);
+    for (oc, row) in weights.as_slice().chunks_exact(krows.max(1)).enumerate() {
+        pack_conv_row(row, oc, krows, &mut scratch.panels);
+    }
     let mut out = Tensor::zeros(&[spec.out_channels, oh, ow]);
-    matmul_into(
-        weights.as_slice(),
+    conv_gemm_into(
+        &scratch.panels,
         &scratch.cols,
+        bias.map(|b| b.as_slice()),
         out.as_mut_slice(),
         spec.out_channels,
         krows,
         plane,
+        false,
         parallel::max_threads(),
     );
-    if let Some(b) = bias {
-        let ov = out.as_mut_slice();
-        for (c, &bc) in b.as_slice().iter().enumerate() {
-            for v in &mut ov[c * plane..(c + 1) * plane] {
-                *v += bc;
-            }
-        }
-    }
     Ok(out)
 }
 
@@ -370,31 +588,39 @@ pub fn conv2d_masked(
     if kept_out.is_empty() {
         return Ok(out);
     }
+    let panels_len = conv_panels_len(kept_out.len(), krows);
+    scratch.note_use(krows * plane, panels_len, kept_out.len() * plane);
 
     im2col_into(input.as_slice(), spec, h, w, kept_in, &mut scratch.cols);
 
     // Gather the weight rows of kept output channels, restricted to kept
-    // input channels, preserving increasing channel order so accumulation
-    // order matches the dense kernel.
+    // input channels, straight into the panel layout the microkernel
+    // reads — preserving increasing channel order so accumulation order
+    // matches the dense kernel.
     let wv = weights.as_slice();
-    scratch.wrows.clear();
-    scratch.wrows.reserve(kept_out.len() * krows);
-    for &oc in kept_out {
-        for &ic in kept_in {
+    scratch.panels.clear();
+    scratch.panels.resize(panels_len, 0.0);
+    for (no, &oc) in kept_out.iter().enumerate() {
+        let base = (no / CONV_MR) * krows * CONV_MR + no % CONV_MR;
+        for (ni, &ic) in kept_in.iter().enumerate() {
             let src = (oc * spec.in_channels + ic) * kk;
-            scratch.wrows.extend_from_slice(&wv[src..src + kk]);
+            for (r, &wval) in wv[src..src + kk].iter().enumerate() {
+                scratch.panels[base + (ni * kk + r) * CONV_MR] = wval;
+            }
         }
     }
 
     scratch.omat.clear();
     scratch.omat.resize(kept_out.len() * plane, 0.0);
-    matmul_into(
-        &scratch.wrows,
+    conv_gemm_into(
+        &scratch.panels,
         &scratch.cols,
+        None,
         &mut scratch.omat,
         kept_out.len(),
         krows,
         plane,
+        false,
         parallel::max_threads(),
     );
 
@@ -752,6 +978,93 @@ mod tests {
                 "sample 1 row {r}"
             );
         }
+    }
+
+    #[test]
+    fn batch_unfold_matches_per_sample_strided() {
+        let mut rng = XorShiftRng::new(17);
+        for &(c_in, k, s, p, h, w, batch) in &[
+            (3usize, 3usize, 1usize, 1usize, 7usize, 6usize, 3usize),
+            (2, 2, 2, 0, 6, 8, 2),
+            (1, 3, 2, 1, 9, 5, 4),
+            (4, 1, 1, 0, 5, 5, 1),
+        ] {
+            let spec = Conv2dSpec::new(c_in, 1, k, s, p);
+            let (oh, ow) = spec.output_hw(h, w);
+            let oplane = oh * ow;
+            let plane = h * w;
+            let krows = c_in * k * k;
+            let wide = batch * oplane;
+            let chw = Tensor::uniform(&[c_in * batch, h, w], -1.0, 1.0, &mut rng);
+            let mut want = vec![0.0f32; krows * wide];
+            for b in 0..batch {
+                im2col_strided_into(
+                    chw.as_slice(),
+                    &spec,
+                    h,
+                    w,
+                    batch * plane,
+                    b * plane,
+                    wide,
+                    b * oplane,
+                    &mut want,
+                );
+            }
+            for threads in [1usize, 3] {
+                let mut got = vec![0.0f32; krows * wide];
+                im2col_batch_into(chw.as_slice(), &spec, h, w, batch, &mut got, threads);
+                assert_eq!(got, want, "c_in={c_in} k={k} s={s} p={p} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_shrinks_after_oversized_call() {
+        let mut rng = XorShiftRng::new(19);
+        let mut scratch = ConvScratch::new();
+        // one huge warmup call pins a large unfold buffer...
+        let big_spec = Conv2dSpec::new(4, 4, 3, 1, 1);
+        let big = Tensor::uniform(&[4, 48, 48], -1.0, 1.0, &mut rng);
+        let bw = Tensor::uniform(&[4, 4, 3, 3], -1.0, 1.0, &mut rng);
+        conv2d_im2col_scratch(&big, &bw, None, &big_spec, &mut scratch).unwrap();
+        let big_cols_cap = scratch.capacities()[0];
+        assert!(big_cols_cap >= 4 * 9 * 48 * 48);
+        // ...then a full review window of small-only calls releases it
+        // back to the small working set (the first review still has the
+        // big call in its window, so run two)
+        let small_spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let sw = Tensor::uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let small = Tensor::uniform(&[2, 6, 6], -1.0, 1.0, &mut rng);
+        let want = conv2d_im2col(&small, &sw, None, &small_spec).unwrap();
+        for _ in 0..2 * SHRINK_WINDOW {
+            let got = conv2d_im2col_scratch(&small, &sw, None, &small_spec, &mut scratch).unwrap();
+            assert_eq!(got.as_slice(), want.as_slice());
+        }
+        let small_need = 2 * 9 * 36;
+        assert!(
+            scratch.capacities()[0] <= small_need * SHRINK_FACTOR,
+            "cols capacity {} not released (was {big_cols_cap})",
+            scratch.capacities()[0]
+        );
+        // results stay correct after the shrink
+        let got = conv2d_im2col_scratch(&small, &sw, None, &small_spec, &mut scratch).unwrap();
+        assert_eq!(got.as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn scratch_shrink_to_caps_buffers_immediately() {
+        let mut rng = XorShiftRng::new(20);
+        let spec = Conv2dSpec::new(3, 4, 3, 1, 1);
+        let w = Tensor::uniform(&[4, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let input = Tensor::uniform(&[3, 16, 16], -1.0, 1.0, &mut rng);
+        let mut scratch = ConvScratch::new();
+        let want = conv2d_im2col_scratch(&input, &w, None, &spec, &mut scratch).unwrap();
+        assert!(scratch.capacities().iter().any(|&c| c > 0));
+        scratch.shrink_to(0);
+        assert_eq!(scratch.capacities(), [0, 0, 0]);
+        // workspace regrows transparently
+        let again = conv2d_im2col_scratch(&input, &w, None, &spec, &mut scratch).unwrap();
+        assert_eq!(again.as_slice(), want.as_slice());
     }
 
     #[test]

@@ -28,15 +28,17 @@ mod shape;
 mod tensor;
 
 pub use conv::{
-    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, im2col_strided_into, Conv2dSpec,
-    ConvScratch,
+    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, im2col_batch_into,
+    im2col_strided_into, Conv2dSpec, ConvScratch,
 };
 pub use error::{ShapeError, TensorError};
+#[allow(deprecated)] // re-export the deprecated wrappers until removal
 pub use ops::{
-    dense_batch_chw_into, dense_batch_into, matmul, matmul_into, matmul_reference, matmul_threaded,
-    matmul_transpose_a, matmul_transpose_a_reference, matmul_transpose_a_threaded,
+    conv_gemm_into, conv_panels_len, dense_batch_chw_into, dense_batch_into, matmul, matmul_into,
+    matmul_layout, matmul_layout_reference, matmul_layout_threaded, matmul_reference,
+    matmul_threaded, matmul_transpose_a, matmul_transpose_a_reference, matmul_transpose_a_threaded,
     matmul_transpose_b, matmul_transpose_b_reference, matmul_transpose_b_threaded,
-    pack_dense_panels,
+    pack_conv_panels, pack_dense_panels, MatmulLayout,
 };
 pub use pool::{max_pool2d, PoolSpec};
 pub use rng::XorShiftRng;

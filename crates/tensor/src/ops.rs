@@ -1,23 +1,33 @@
-//! Dense matrix multiplication kernels.
+//! Dense matrix multiplication and panel-packed GEMM kernels.
 //!
-//! Each operation comes in three layers:
+//! The general matmuls come in three layers:
 //!
 //! * the public API ([`matmul`], [`matmul_transpose_a`],
 //!   [`matmul_transpose_b`]) — runs the parallel blocked kernel with the
 //!   pool-wide thread count from [`crate::parallel::max_threads`];
-//! * an explicit-thread-count variant ([`matmul_threaded`], …) — used by
-//!   benchmarks and the equivalence test-suite to sweep thread counts;
-//! * a single-threaded reference kernel ([`matmul_reference`], …) — the
-//!   original straightforward loops, kept as the semantic baseline the
-//!   optimized kernels are property-tested against.
+//! * a generic layout driver ([`matmul_layout`],
+//!   [`matmul_layout_threaded`], [`matmul_layout_reference`]) selecting
+//!   the operand layout via [`MatmulLayout`] — one shape check, one entry
+//!   point per execution flavor (the per-layout `*_reference`/`*_threaded`
+//!   names are `#[deprecated]` wrappers kept for source compatibility);
+//! * a single-threaded reference kernel (via
+//!   [`matmul_layout_reference`]) — the original straightforward loops,
+//!   kept as the semantic baseline the optimized kernels are
+//!   property-tested against.
+//!
+//! On top of those sit the *panel-packed* register-tiled kernels used by
+//! compiled execution plans: [`pack_dense_panels`]/[`dense_batch_into`]/
+//! [`dense_batch_chw_into`] for dense layers, and
+//! [`pack_conv_panels`]/[`conv_gemm_into`] for the im2col conv GEMM with
+//! its fused bias+ReLU epilogue.
 //!
 //! Work is partitioned across threads by *output rows*, and every output
 //! element accumulates its `k` terms in increasing-index order in all
 //! kernels: matmul results are bitwise identical across thread counts,
-//! and the batched dense kernels are value-identical (`==` per element —
-//! their two sample paths may differ in the sign of exact zeros; see
-//! [`dense_batch_into`]). Zero operands are skipped where noted; skipping
-//! only ever changes the sign of a zero.
+//! and the batched dense/conv kernels are value-identical (`==` per
+//! element — branchless and zero-skipping paths may differ in the sign of
+//! exact zeros; see [`dense_batch_into`]). Zero operands are skipped
+//! where noted; skipping only ever changes the sign of a zero.
 
 use crate::error::TensorError;
 use crate::parallel;
@@ -421,6 +431,302 @@ pub fn dense_batch_chw_into(
     );
 }
 
+/// Output-channel rows per register tile of the conv GEMM microkernel.
+pub(crate) const CONV_MR: usize = 4;
+
+/// Output columns per register tile of the conv GEMM microkernel.
+const CONV_NR: usize = 8;
+
+/// Length in elements of the [`pack_conv_panels`] buffer for an
+/// `out_c × krows` weight matrix (the last panel is zero-padded to a full
+/// `CONV_MR` rows).
+pub fn conv_panels_len(out_c: usize, krows: usize) -> usize {
+    out_c.div_ceil(CONV_MR) * krows * CONV_MR
+}
+
+/// Packs a conv weight matrix `w` (row-major `[out_c × krows]` with
+/// `krows = in_c·k·k` — exactly the kept-channel layout compiled plans
+/// gather) into `CONV_MR`-row panels for [`conv_gemm_into`]: panel `t`
+/// holds output-channel rows `t·CONV_MR ..`, with element `(oc, r)` at
+/// `(t·krows + r)·CONV_MR + (oc − t·CONV_MR)`, the last panel zero-padded
+/// to full height. The microkernel then reads one contiguous
+/// `CONV_MR`-float group per reduction step — a purely sequential stream
+/// over the whole panel, mirroring what [`pack_dense_panels`] does for the
+/// dense kernels. Padding rows contribute nothing (they are never written
+/// back to the output).
+pub fn pack_conv_panels(w: &[f32], out_c: usize, krows: usize) -> Vec<f32> {
+    assert_eq!(w.len(), out_c * krows, "conv weight buffer shape");
+    let mut packed = vec![0.0f32; conv_panels_len(out_c, krows)];
+    for (oc, row) in w.chunks_exact(krows.max(1)).enumerate() {
+        pack_conv_row(row, oc, krows, &mut packed);
+    }
+    packed
+}
+
+/// Scatters one `krows`-long output-channel row into the
+/// [`pack_conv_panels`] layout at channel index `oc`. Crate-visible so
+/// masked conv execution can gather kept weight rows straight into panel
+/// form without materializing an intermediate dense matrix.
+pub(crate) fn pack_conv_row(row: &[f32], oc: usize, krows: usize, packed: &mut [f32]) {
+    let base = (oc / CONV_MR) * krows * CONV_MR + oc % CONV_MR;
+    for (r, &v) in row.iter().enumerate() {
+        packed[base + r * CONV_MR] = v;
+    }
+}
+
+/// Panel-packed conv GEMM with fused epilogue: computes the im2col
+/// product
+///
+/// ```text
+/// out[oc][j] = Σ_r panels(oc, r) · cols[r][j]    (r ascending)
+/// ```
+///
+/// over `out_c × n` outputs with reduction depth `krows`, then applies
+/// the epilogue in-register before storing: `+ bias[oc]` when `bias` is
+/// given, then `max(·, 0)` when `relu` is set — eliminating the separate
+/// bias and activation passes over the conv output. `panels` is the
+/// [`pack_conv_panels`] layout of the weights; `cols` is the (possibly
+/// batch-wide) im2col matrix, row-major `krows × n`.
+///
+/// Per output element the accumulation order is `r` ascending, then bias,
+/// then ReLU — exactly the sequence [`matmul_into`] + bias sweep +
+/// separate clamp produces, except the microkernel is branchless: zero
+/// weights are multiplied through (an exact-zero term never changes a
+/// sum's value, only possibly the sign of an exact-zero result, so
+/// outputs stay value-identical, `==` per element). Output rows are
+/// partitioned across `threads` workers; a worker's range may start or
+/// end mid-panel, which is handled by a strided single-row edge path that
+/// accumulates in the same order — results are identical across thread
+/// counts.
+///
+/// Dispatches at runtime to an AVX2 re-compilation of the same code on
+/// x86-64 hosts that support it. Only the vector width changes: Rust
+/// never contracts `mul + add` into fused ops, so the AVX2 build produces
+/// bitwise-identical results to the baseline build.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_gemm_into(
+    panels: &[f32],
+    cols: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    out_c: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+    threads: usize,
+) {
+    assert_eq!(panels.len(), conv_panels_len(out_c, krows), "panel buffer");
+    assert!(cols.len() >= krows * n, "im2col buffer");
+    assert!(out.len() >= out_c * n, "output buffer");
+    parallel::parallel_rows_mut(
+        out,
+        out_c,
+        n,
+        threads,
+        min_rows_per_thread(krows, n),
+        |rows, block| {
+            conv_gemm_rows(
+                panels, cols, bias, block, rows.start, rows.end, krows, n, relu,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of [`conv_gemm_into`]: rows
+/// `r0..r1` of the output into `block`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn conv_gemm_rows(
+    panels: &[f32],
+    cols: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe { conv_gemm_rows_avx2(panels, cols, bias, block, r0, r1, krows, n, relu) };
+        return;
+    }
+    conv_gemm_rows_impl(panels, cols, bias, block, r0, r1, krows, n, relu);
+}
+
+/// [`conv_gemm_rows_impl`] compiled with the `avx2` target feature: the
+/// identical safe code, auto-vectorized 8 lanes wide.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn conv_gemm_rows_avx2(
+    panels: &[f32],
+    cols: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    conv_gemm_rows_impl(panels, cols, bias, block, r0, r1, krows, n, relu);
+}
+
+/// Portable body of [`conv_gemm_rows`]; see [`conv_gemm_into`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_gemm_rows_impl(
+    panels: &[f32],
+    cols: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    let mut oc = r0;
+    while oc < r1 {
+        if oc % CONV_MR == 0 && oc + CONV_MR <= r1 {
+            let panel = &panels[(oc / CONV_MR) * krows * CONV_MR..][..krows * CONV_MR];
+            let bs = [
+                bias_at(oc),
+                bias_at(oc + 1),
+                bias_at(oc + 2),
+                bias_at(oc + 3),
+            ];
+            let tile = &mut block[(oc - r0) * n..(oc - r0 + CONV_MR) * n];
+            conv_gemm_tile(panel, cols, bs, tile, n, relu);
+            oc += CONV_MR;
+        } else {
+            let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+            conv_gemm_row(panels, cols, bias_at(oc), row, oc, krows, n, relu);
+            oc += 1;
+        }
+    }
+}
+
+/// One full `CONV_MR`-row panel against every `CONV_NR`-wide column tile;
+/// see [`conv_gemm_into`] for the numeric contract.
+#[inline(always)]
+fn conv_gemm_tile(
+    panel: &[f32],
+    cols: &[f32],
+    bias: [f32; CONV_MR],
+    tile: &mut [f32],
+    n: usize,
+    relu: bool,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (n - j0).min(CONV_NR);
+        // Four separate accumulator arrays, as in the dense microkernel:
+        // each promotes to its own ymm register under AVX2.
+        let mut acc0 = [0.0f32; CONV_NR];
+        let mut acc1 = [0.0f32; CONV_NR];
+        let mut acc2 = [0.0f32; CONV_NR];
+        let mut acc3 = [0.0f32; CONV_NR];
+        if jn == CONV_NR {
+            for (r, w) in panel.chunks_exact(CONV_MR).enumerate() {
+                let crow: &[f32; CONV_NR] = cols[r * n + j0..r * n + j0 + CONV_NR]
+                    .try_into()
+                    .expect("column tile");
+                for (o, &c) in acc0.iter_mut().zip(crow) {
+                    *o += w[0] * c;
+                }
+                for (o, &c) in acc1.iter_mut().zip(crow) {
+                    *o += w[1] * c;
+                }
+                for (o, &c) in acc2.iter_mut().zip(crow) {
+                    *o += w[2] * c;
+                }
+                for (o, &c) in acc3.iter_mut().zip(crow) {
+                    *o += w[3] * c;
+                }
+            }
+        } else {
+            for (r, w) in panel.chunks_exact(CONV_MR).enumerate() {
+                let crow = &cols[r * n + j0..r * n + j0 + jn];
+                for (o, &c) in acc0[..jn].iter_mut().zip(crow) {
+                    *o += w[0] * c;
+                }
+                for (o, &c) in acc1[..jn].iter_mut().zip(crow) {
+                    *o += w[1] * c;
+                }
+                for (o, &c) in acc2[..jn].iter_mut().zip(crow) {
+                    *o += w[2] * c;
+                }
+                for (o, &c) in acc3[..jn].iter_mut().zip(crow) {
+                    *o += w[3] * c;
+                }
+            }
+        }
+        epilogue_store(&acc0[..jn], bias[0], relu, &mut tile[j0..j0 + jn]);
+        epilogue_store(&acc1[..jn], bias[1], relu, &mut tile[n + j0..n + j0 + jn]);
+        epilogue_store(
+            &acc2[..jn],
+            bias[2],
+            relu,
+            &mut tile[2 * n + j0..2 * n + j0 + jn],
+        );
+        epilogue_store(
+            &acc3[..jn],
+            bias[3],
+            relu,
+            &mut tile[3 * n + j0..3 * n + j0 + jn],
+        );
+        j0 += CONV_NR;
+    }
+}
+
+/// Single output-channel edge path for worker ranges that start or end
+/// mid-panel: reads the packed layout with stride `CONV_MR`, accumulating
+/// in the same `r`-ascending order as [`conv_gemm_tile`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_gemm_row(
+    panels: &[f32],
+    cols: &[f32],
+    bias: f32,
+    row: &mut [f32],
+    oc: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    let base = (oc / CONV_MR) * krows * CONV_MR + oc % CONV_MR;
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (n - j0).min(CONV_NR);
+        let mut acc = [0.0f32; CONV_NR];
+        for r in 0..krows {
+            let w = panels[base + r * CONV_MR];
+            let crow = &cols[r * n + j0..r * n + j0 + jn];
+            for (o, &c) in acc[..jn].iter_mut().zip(crow) {
+                *o += w * c;
+            }
+        }
+        epilogue_store(&acc[..jn], bias, relu, &mut row[j0..j0 + jn]);
+        j0 += CONV_NR;
+    }
+}
+
+/// Fused conv epilogue: add the channel bias, optionally clamp at zero,
+/// store. Runs on register-resident accumulators so the conv output is
+/// touched exactly once.
+#[inline(always)]
+fn epilogue_store(acc: &[f32], bias: f32, relu: bool, dst: &mut [f32]) {
+    for (o, &v) in dst.iter_mut().zip(acc) {
+        let v = v + bias;
+        *o = if relu { v.max(0.0) } else { v };
+    }
+}
+
 /// Computes `a (m×k) * b (k×n)` into an `m×n` tensor.
 ///
 /// # Errors
@@ -438,72 +744,7 @@ pub fn dense_batch_chw_into(
 /// assert_eq!(matmul(&a, &b).unwrap().as_slice(), &[11.0]);
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_threaded(a, b, parallel::max_threads())
-}
-
-/// [`matmul`] with an explicit worker count (1 = fully serial).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`].
-pub fn matmul_threaded(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor, TensorError> {
-    let (m, ka) = check_rank2(a, "lhs")?;
-    let (kb, n) = check_rank2(b, "rhs")?;
-    if ka != kb {
-        return Err(ShapeError::new(format!(
-            "matmul inner dims {ka} vs {kb} ({} * {})",
-            a.shape(),
-            b.shape()
-        ))
-        .into());
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    matmul_into(
-        a.as_slice(),
-        b.as_slice(),
-        out.as_mut_slice(),
-        m,
-        ka,
-        n,
-        threads,
-    );
-    Ok(out)
-}
-
-/// Single-threaded reference for [`matmul`] (the original i-k-j loop).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`].
-pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, ka) = check_rank2(a, "lhs")?;
-    let (kb, n) = check_rank2(b, "rhs")?;
-    if ka != kb {
-        return Err(ShapeError::new(format!(
-            "matmul inner dims {ka} vs {kb} ({} * {})",
-            a.shape(),
-            b.shape()
-        ))
-        .into());
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * ka..(i + 1) * ka];
-        let orow = &mut ov[i * n..(i + 1) * n];
-        for (k, &aik) in arow.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let brow = &bv[k * n..(k + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aik * bkj;
-            }
-        }
-    }
-    Ok(out)
+    matmul_layout(a, b, MatmulLayout::Plain)
 }
 
 /// Computes `aᵀ (k×m)ᵀ * b (k×n)`, i.e. `a` is stored transposed.
@@ -512,84 +753,7 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 ///
 /// Returns a shape error on rank/dimension mismatch.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_transpose_a_threaded(a, b, parallel::max_threads())
-}
-
-/// [`matmul_transpose_a`] with an explicit worker count (1 = fully
-/// serial). Output rows are partitioned across workers; each element
-/// still accumulates over `k` in increasing order.
-///
-/// # Errors
-///
-/// Same conditions as [`matmul_transpose_a`].
-pub fn matmul_transpose_a_threaded(
-    a: &Tensor,
-    b: &Tensor,
-    threads: usize,
-) -> Result<Tensor, TensorError> {
-    let (ka, m) = check_rank2(a, "lhs")?;
-    let (kb, n) = check_rank2(b, "rhs")?;
-    if ka != kb {
-        return Err(ShapeError::new(format!("matmul_transpose_a inner dims {ka} vs {kb}")).into());
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    parallel::parallel_rows_mut(
-        out.as_mut_slice(),
-        m,
-        n,
-        threads,
-        min_rows_per_thread(ka, n),
-        |rows, block| {
-            for (local, i) in rows.enumerate() {
-                let orow = &mut block[local * n..(local + 1) * n];
-                for k in 0..ka {
-                    let aki = av[k * m + i];
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let brow = &bv[k * n..(k + 1) * n];
-                    for (o, &bkj) in orow.iter_mut().zip(brow) {
-                        *o += aki * bkj;
-                    }
-                }
-            }
-        },
-    );
-    Ok(out)
-}
-
-/// Single-threaded reference for [`matmul_transpose_a`] (the original
-/// k-outer loop).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul_transpose_a`].
-pub fn matmul_transpose_a_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (ka, m) = check_rank2(a, "lhs")?;
-    let (kb, n) = check_rank2(b, "rhs")?;
-    if ka != kb {
-        return Err(ShapeError::new(format!("matmul_transpose_a inner dims {ka} vs {kb}")).into());
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let ov = out.as_mut_slice();
-    for k in 0..ka {
-        let arow = &av[k * m..(k + 1) * m];
-        let brow = &bv[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
-            if aki == 0.0 {
-                continue;
-            }
-            let orow = &mut ov[i * n..(i + 1) * n];
-            for (o, &bkj) in orow.iter_mut().zip(brow) {
-                *o += aki * bkj;
-            }
-        }
-    }
-    Ok(out)
+    matmul_layout(a, b, MatmulLayout::TransposeA)
 }
 
 /// Computes `a (m×k) * bᵀ (n×k)ᵀ`, i.e. `b` is stored transposed.
@@ -602,7 +766,251 @@ pub fn matmul_transpose_a_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, Te
 ///
 /// Returns a shape error on rank/dimension mismatch.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_transpose_b_threaded(a, b, parallel::max_threads())
+    matmul_layout(a, b, MatmulLayout::TransposeB)
+}
+
+/// Storage layout of the operands of the generic matmul driver
+/// ([`matmul_layout`] and friends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulLayout {
+    /// `a (m×k) * b (k×n)` — both operands row-major as written.
+    Plain,
+    /// `a` stored transposed (`k×m`): computes `aᵀ * b`.
+    TransposeA,
+    /// `b` stored transposed (`n×k`): computes `a * bᵀ`.
+    TransposeB,
+}
+
+/// Shared shape check of the matmul drivers: validates ranks and the
+/// inner dimension under `layout`, returning `(m, k, n)`.
+fn matmul_dims(
+    a: &Tensor,
+    b: &Tensor,
+    layout: MatmulLayout,
+) -> Result<(usize, usize, usize), TensorError> {
+    let (a0, a1) = check_rank2(a, "lhs")?;
+    let (b0, b1) = check_rank2(b, "rhs")?;
+    let (m, ka) = match layout {
+        MatmulLayout::Plain | MatmulLayout::TransposeB => (a0, a1),
+        MatmulLayout::TransposeA => (a1, a0),
+    };
+    let (kb, n) = match layout {
+        MatmulLayout::Plain | MatmulLayout::TransposeA => (b0, b1),
+        MatmulLayout::TransposeB => (b1, b0),
+    };
+    if ka != kb {
+        return Err(ShapeError::new(format!(
+            "matmul ({layout:?}) inner dims {ka} vs {kb} ({} * {})",
+            a.shape(),
+            b.shape()
+        ))
+        .into());
+    }
+    Ok((m, ka, n))
+}
+
+/// Generic matmul driver: [`matmul_layout_threaded`] with the pool-wide
+/// thread count from [`crate::parallel::max_threads`].
+///
+/// # Errors
+///
+/// Returns a shape error if either operand is not rank 2 or the inner
+/// dimensions differ under `layout`.
+pub fn matmul_layout(a: &Tensor, b: &Tensor, layout: MatmulLayout) -> Result<Tensor, TensorError> {
+    matmul_layout_threaded(a, b, layout, parallel::max_threads())
+}
+
+/// Generic parallel matmul driver with an explicit worker count
+/// (1 = fully serial): one shape check and one entry point for all three
+/// operand layouts. Output rows are partitioned across workers; every
+/// output element accumulates over `k` in increasing order, so results
+/// are bitwise identical across thread counts and match
+/// [`matmul_layout_reference`].
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_layout`].
+pub fn matmul_layout_threaded(
+    a: &Tensor,
+    b: &Tensor,
+    layout: MatmulLayout,
+    threads: usize,
+) -> Result<Tensor, TensorError> {
+    let (m, k, n) = matmul_dims(a, b, layout)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    match layout {
+        MatmulLayout::Plain => matmul_into(av, bv, out.as_mut_slice(), m, k, n, threads),
+        MatmulLayout::TransposeA => {
+            matmul_transpose_a_into(av, bv, out.as_mut_slice(), m, k, n, threads)
+        }
+        MatmulLayout::TransposeB => {
+            matmul_transpose_b_into(av, bv, out.as_mut_slice(), m, k, n, threads)
+        }
+    }
+    Ok(out)
+}
+
+/// Single-threaded reference for [`matmul_layout`]: the original
+/// straightforward loops of each layout, kept as the semantic baseline
+/// the optimized kernels are property-tested against. `Plain` and
+/// `TransposeA` skip zero `a` entries; `TransposeB` is the dense
+/// dot-product loop with no skipping.
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_layout`].
+pub fn matmul_layout_reference(
+    a: &Tensor,
+    b: &Tensor,
+    layout: MatmulLayout,
+) -> Result<Tensor, TensorError> {
+    let (m, k, n) = matmul_dims(a, b, layout)?;
+    let mut out = Tensor::zeros(&[m, n]);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    match layout {
+        MatmulLayout::Plain => {
+            for i in 0..m {
+                let arow = &av[i * k..(i + 1) * k];
+                let orow = &mut ov[i * n..(i + 1) * n];
+                for (kk, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[kk * n..(kk + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+        MatmulLayout::TransposeA => {
+            for kk in 0..k {
+                let arow = &av[kk * m..(kk + 1) * m];
+                let brow = &bv[kk * n..(kk + 1) * n];
+                for (i, &aki) in arow.iter().enumerate() {
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut ov[i * n..(i + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aki * bkj;
+                    }
+                }
+            }
+        }
+        MatmulLayout::TransposeB => {
+            for i in 0..m {
+                let arow = &av[i * k..(i + 1) * k];
+                for j in 0..n {
+                    let brow = &bv[j * k..(j + 1) * k];
+                    let mut acc = 0.0;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    ov[i * n + j] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Row-partitioned kernel for the transposed-A layout: for each output
+/// row `i`, gathers column `i` of `a` (stride `m`) while streaming rows
+/// of `b`, skipping zero `a` entries. Accumulation per element is `k`
+/// ascending, matching the reference.
+pub(crate) fn matmul_transpose_a_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    parallel::parallel_rows_mut(
+        out,
+        m,
+        n,
+        threads,
+        min_rows_per_thread(k, n),
+        |rows, block| {
+            for (local, i) in rows.enumerate() {
+                let orow = &mut block[local * n..(local + 1) * n];
+                for kk in 0..k {
+                    let aki = a[kk * m + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow) {
+                        *o += aki * bkj;
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// [`matmul`] with an explicit worker count (1 = fully serial).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `matmul_layout_threaded(a, b, MatmulLayout::Plain, threads)`"
+)]
+pub fn matmul_threaded(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor, TensorError> {
+    matmul_layout_threaded(a, b, MatmulLayout::Plain, threads)
+}
+
+/// Single-threaded reference for [`matmul`] (the original i-k-j loop).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `matmul_layout_reference(a, b, MatmulLayout::Plain)`"
+)]
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_layout_reference(a, b, MatmulLayout::Plain)
+}
+
+/// [`matmul_transpose_a`] with an explicit worker count (1 = fully
+/// serial).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_transpose_a`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `matmul_layout_threaded(a, b, MatmulLayout::TransposeA, threads)`"
+)]
+pub fn matmul_transpose_a_threaded(
+    a: &Tensor,
+    b: &Tensor,
+    threads: usize,
+) -> Result<Tensor, TensorError> {
+    matmul_layout_threaded(a, b, MatmulLayout::TransposeA, threads)
+}
+
+/// Single-threaded reference for [`matmul_transpose_a`] (the original
+/// k-outer loop).
+///
+/// # Errors
+///
+/// Same conditions as [`matmul_transpose_a`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `matmul_layout_reference(a, b, MatmulLayout::TransposeA)`"
+)]
+pub fn matmul_transpose_a_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    matmul_layout_reference(a, b, MatmulLayout::TransposeA)
 }
 
 /// [`matmul_transpose_b`] with an explicit worker count (1 = fully
@@ -611,27 +1019,16 @@ pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError>
 /// # Errors
 ///
 /// Same conditions as [`matmul_transpose_b`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `matmul_layout_threaded(a, b, MatmulLayout::TransposeB, threads)`"
+)]
 pub fn matmul_transpose_b_threaded(
     a: &Tensor,
     b: &Tensor,
     threads: usize,
 ) -> Result<Tensor, TensorError> {
-    let (m, ka) = check_rank2(a, "lhs")?;
-    let (n, kb) = check_rank2(b, "rhs")?;
-    if ka != kb {
-        return Err(ShapeError::new(format!("matmul_transpose_b inner dims {ka} vs {kb}")).into());
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    matmul_transpose_b_into(
-        a.as_slice(),
-        b.as_slice(),
-        out.as_mut_slice(),
-        m,
-        ka,
-        n,
-        threads,
-    );
-    Ok(out)
+    matmul_layout_threaded(a, b, MatmulLayout::TransposeB, threads)
 }
 
 /// Single-threaded reference for [`matmul_transpose_b`] (the original
@@ -640,31 +1037,16 @@ pub fn matmul_transpose_b_threaded(
 /// # Errors
 ///
 /// Same conditions as [`matmul_transpose_b`].
+#[deprecated(
+    since = "0.3.0",
+    note = "use `matmul_layout_reference(a, b, MatmulLayout::TransposeB)`"
+)]
 pub fn matmul_transpose_b_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let (m, ka) = check_rank2(a, "lhs")?;
-    let (n, kb) = check_rank2(b, "rhs")?;
-    if ka != kb {
-        return Err(ShapeError::new(format!("matmul_transpose_b inner dims {ka} vs {kb}")).into());
-    }
-    let mut out = Tensor::zeros(&[m, n]);
-    let av = a.as_slice();
-    let bv = b.as_slice();
-    let ov = out.as_mut_slice();
-    for i in 0..m {
-        let arow = &av[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bv[j * kb..(j + 1) * kb];
-            let mut acc = 0.0;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
-            }
-            ov[i * n + j] = acc;
-        }
-    }
-    Ok(out)
+    matmul_layout_reference(a, b, MatmulLayout::TransposeB)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // legacy matmul entrypoints stay under test until removal
 mod tests {
     use super::*;
     use crate::XorShiftRng;
@@ -870,6 +1252,151 @@ mod tests {
         let mut out = vec![0.0f32; 4];
         dense_batch_into(&[], &[], &bias, &mut out, 2, 0, 2, 1);
         assert_eq!(out, vec![1.5, -2.0, 1.5, -2.0]);
+    }
+
+    #[test]
+    fn layout_driver_matches_deprecated_wrappers() {
+        let mut rng = XorShiftRng::new(31);
+        let a = Tensor::uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let b = Tensor::uniform(&[7, 6], -1.0, 1.0, &mut rng);
+        let at = a.transpose().unwrap();
+        let bt = b.transpose().unwrap();
+        let cases: [(MatmulLayout, &Tensor, &Tensor); 3] = [
+            (MatmulLayout::Plain, &a, &b),
+            (MatmulLayout::TransposeA, &at, &b),
+            (MatmulLayout::TransposeB, &a, &bt),
+        ];
+        for (layout, x, y) in cases {
+            let reference = matmul_layout_reference(x, y, layout).unwrap();
+            let legacy = match layout {
+                MatmulLayout::Plain => matmul_reference(x, y).unwrap(),
+                MatmulLayout::TransposeA => matmul_transpose_a_reference(x, y).unwrap(),
+                MatmulLayout::TransposeB => matmul_transpose_b_reference(x, y).unwrap(),
+            };
+            assert_eq!(reference.as_slice(), legacy.as_slice(), "{layout:?}");
+            for threads in [1usize, 3] {
+                let got = matmul_layout_threaded(x, y, layout, threads).unwrap();
+                assert_eq!(
+                    got.as_slice(),
+                    reference.as_slice(),
+                    "{layout:?} t={threads}"
+                );
+            }
+        }
+        // shape errors flow through the shared check
+        let bad = Tensor::zeros(&[3, 3]);
+        for layout in [
+            MatmulLayout::Plain,
+            MatmulLayout::TransposeA,
+            MatmulLayout::TransposeB,
+        ] {
+            assert!(matmul_layout(&Tensor::zeros(&[2, 4]), &bad, layout).is_err());
+            assert!(matmul_layout(&Tensor::zeros(&[4]), &bad, layout).is_err());
+        }
+    }
+
+    /// Reference for the fused conv GEMM: plain matmul into a scratch
+    /// matrix, then a separate bias sweep and clamp — the exact sequence
+    /// the fused kernel replaces.
+    fn conv_gemm_reference(
+        w: &[f32],
+        cols: &[f32],
+        bias: Option<&[f32]>,
+        out_c: usize,
+        krows: usize,
+        n: usize,
+        relu: bool,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; out_c * n];
+        matmul_into(w, cols, &mut out, out_c, krows, n, 1);
+        if let Some(bias) = bias {
+            for oc in 0..out_c {
+                for v in &mut out[oc * n..(oc + 1) * n] {
+                    *v += bias[oc];
+                }
+            }
+        }
+        if relu {
+            for v in &mut out {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn pack_conv_panels_layout_known() {
+        // 5 output channels, krows 2: two panels, second half-padded
+        let w: Vec<f32> = (0..10).map(|v| v as f32 + 1.0).collect();
+        let packed = pack_conv_panels(&w, 5, 2);
+        assert_eq!(packed.len(), conv_panels_len(5, 2));
+        // panel 0, r = 0 holds w[oc][0] for oc 0..4
+        assert_eq!(&packed[0..4], &[1.0, 3.0, 5.0, 7.0]);
+        // panel 0, r = 1 holds w[oc][1] for oc 0..4
+        assert_eq!(&packed[4..8], &[2.0, 4.0, 6.0, 8.0]);
+        // panel 1 holds oc 4 plus zero padding
+        assert_eq!(&packed[8..12], &[9.0, 0.0, 0.0, 0.0]);
+        assert_eq!(&packed[12..16], &[10.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_gemm_matches_matmul_plus_epilogue() {
+        let mut rng = XorShiftRng::new(41);
+        // out_c sweeps across panel boundaries; n across column tiles
+        for (out_c, krows, n) in [
+            (1usize, 9usize, 5usize),
+            (4, 18, 16),
+            (6, 27, 70),
+            (12, 54, 64),
+        ] {
+            let w = Tensor::uniform(&[out_c, krows], -1.0, 1.0, &mut rng);
+            let cols = Tensor::uniform(&[krows, n], -1.0, 1.0, &mut rng);
+            let bias = Tensor::uniform(&[out_c], -0.5, 0.5, &mut rng);
+            let panels = pack_conv_panels(w.as_slice(), out_c, krows);
+            for relu in [false, true] {
+                for bias_opt in [None, Some(bias.as_slice())] {
+                    let want = conv_gemm_reference(
+                        w.as_slice(),
+                        cols.as_slice(),
+                        bias_opt,
+                        out_c,
+                        krows,
+                        n,
+                        relu,
+                    );
+                    for threads in [1usize, 2, 5] {
+                        let mut got = vec![0.0f32; out_c * n];
+                        conv_gemm_into(
+                            &panels,
+                            cols.as_slice(),
+                            bias_opt,
+                            &mut got,
+                            out_c,
+                            krows,
+                            n,
+                            relu,
+                            threads,
+                        );
+                        assert_eq!(
+                            got, want,
+                            "out_c={out_c} krows={krows} n={n} relu={relu} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_gemm_zero_depth_is_bias_epilogue() {
+        // krows == 0: pure epilogue (bias then clamp) over every column
+        let bias = [0.75f32, -1.25];
+        let panels = pack_conv_panels(&[], 2, 0);
+        let mut out = vec![f32::NAN; 6];
+        conv_gemm_into(&panels, &[], Some(&bias), &mut out, 2, 0, 3, true, 1);
+        assert_eq!(out, vec![0.75, 0.75, 0.75, 0.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Property-based equivalence of the panel-packed conv GEMM micro-kernel
+//! stack against the plain `conv2d_im2col` reference: for any shape,
+//! stride, padding, thread count and prune mask, the packed path
+//! ([`pack_conv_panels`] + [`im2col_batch_into`] + [`conv_gemm_into`] with
+//! its fused bias/ReLU epilogue) must reproduce the reference values —
+//! elementwise `==` (exact-zero signs aside), hence argmax-bit-compatibly.
+
+use capnn_tensor::{
+    conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, conv_gemm_into, conv_panels_len,
+    im2col_batch_into, im2col_strided_into, pack_conv_panels, Conv2dSpec, ConvScratch, Tensor,
+    XorShiftRng,
+};
+use proptest::prelude::*;
+
+/// `(c_in, c_out, h, kernel, stride, padding)` with geometry guaranteed to
+/// yield a non-empty output plane.
+fn conv_case() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize)> {
+    (
+        1usize..4,
+        1usize..7,
+        5usize..10,
+        prop::sample::select(vec![1usize, 2, 3]),
+        1usize..3,
+        0usize..2,
+    )
+}
+
+fn thread_count() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 3, 5])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The explicit packed pipeline — pack panels once, batch-wide unfold,
+    /// fused epilogue GEMM — is value-identical to `conv2d_im2col` plus a
+    /// separate ReLU pass, for every geometry and thread count.
+    #[test]
+    fn packed_conv_gemm_matches_im2col_reference(
+        (c_in, c_out, h, k, stride, padding) in conv_case(),
+        relu in any::<bool>(),
+        with_bias in any::<bool>(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, c_out, k, stride, padding);
+        let input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[c_out, c_in, k, k], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+        let bias_ref = if with_bias { Some(&bias) } else { None };
+        let (oh, ow) = spec.output_hw(h, h);
+        let oplane = oh * ow;
+        let krows = c_in * k * k;
+
+        let mut reference = conv2d_im2col(&input, &w, bias_ref, &spec).unwrap();
+        if relu {
+            for v in reference.as_mut_slice() {
+                *v = v.max(0.0);
+            }
+        }
+
+        let panels = pack_conv_panels(w.as_slice(), c_out, krows);
+        prop_assert_eq!(panels.len(), conv_panels_len(c_out, krows));
+        let mut cols = vec![0.0f32; krows * oplane];
+        im2col_batch_into(input.as_slice(), &spec, h, h, 1, &mut cols, threads);
+        let mut out = vec![0.0f32; c_out * oplane];
+        conv_gemm_into(
+            &panels,
+            &cols,
+            if with_bias { Some(bias.as_slice()) } else { None },
+            &mut out,
+            c_out,
+            krows,
+            oplane,
+            relu,
+            threads,
+        );
+        prop_assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    /// The production scratch path (which packs + runs the micro-kernel
+    /// internally) stays bit-compatible with the reference across *all*
+    /// strides and paddings, warm and cold.
+    #[test]
+    fn scratch_conv_matches_reference_all_geometries(
+        (c_in, c_out, h, k, stride, padding) in conv_case(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, c_out, k, stride, padding);
+        let input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[c_out, c_in, k, k], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+        let reference = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+        let mut scratch = ConvScratch::new();
+        for _ in 0..2 {
+            let fast =
+                conv2d_im2col_scratch(&input, &w, Some(&bias), &spec, &mut scratch).unwrap();
+            prop_assert_eq!(fast.as_slice(), reference.as_slice());
+        }
+    }
+
+    /// Masked conv (kept weights gathered straight into panels) matches the
+    /// dense reference on kept channels and yields exact zeros on pruned
+    /// ones, for random prune masks over both channel sides.
+    #[test]
+    fn masked_panel_conv_matches_zeroed_reference(
+        (c_in, c_out, h, k, stride, padding) in conv_case(),
+        keep_bits in any::<u32>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, c_out, k, stride, padding);
+        let mut input = Tensor::uniform(&[c_in, h, h], -1.0, 1.0, &mut rng);
+        let w = Tensor::uniform(&[c_out, c_in, k, k], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[c_out], -0.5, 0.5, &mut rng);
+        // random kept sets; the input side stays non-empty (engine contract)
+        let kept_in: Vec<usize> = (0..c_in)
+            .filter(|&c| c == 0 || keep_bits & (1 << c) != 0)
+            .collect();
+        let kept_out: Vec<usize> = (0..c_out)
+            .filter(|&c| keep_bits & (1 << (8 + c)) != 0)
+            .collect();
+        // engine contract: pruned input channels hold exact zeros
+        {
+            let plane = h * h;
+            let iv = input.as_mut_slice();
+            for c in 0..c_in {
+                if !kept_in.contains(&c) {
+                    for v in &mut iv[c * plane..(c + 1) * plane] {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        let dense = conv2d_im2col(&input, &w, Some(&bias), &spec).unwrap();
+        let mut scratch = ConvScratch::new();
+        let masked =
+            conv2d_masked(&input, &w, Some(&bias), &spec, &kept_out, &kept_in, &mut scratch)
+                .unwrap();
+        let (oh, ow) = spec.output_hw(h, h);
+        let plane = oh * ow;
+        for oc in 0..c_out {
+            let m = &masked.as_slice()[oc * plane..(oc + 1) * plane];
+            if kept_out.contains(&oc) {
+                let d = &dense.as_slice()[oc * plane..(oc + 1) * plane];
+                for (&x, &y) in m.iter().zip(d) {
+                    prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
+                }
+            } else {
+                prop_assert!(m.iter().all(|&v| v == 0.0));
+            }
+        }
+    }
+
+    /// The batch-wide row-partitioned unfold fills exactly the matrix the
+    /// per-sample strided unfold would, for every thread count.
+    #[test]
+    fn batch_unfold_matches_per_sample_strided(
+        (c_in, _c_out, h, k, stride, padding) in conv_case(),
+        batch in 1usize..5,
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let spec = Conv2dSpec::new(c_in, 1, k, stride, padding);
+        let plane = h * h;
+        // channel-major batched input: channel c of sample b at
+        // (c·batch + b)·plane
+        let input = Tensor::uniform(&[c_in * batch * plane], -1.0, 1.0, &mut rng);
+        let (oh, ow) = spec.output_hw(h, h);
+        let oplane = oh * ow;
+        let wide = batch * oplane;
+        let krows = c_in * k * k;
+        let mut batch_cols = vec![0.0f32; krows * wide];
+        im2col_batch_into(input.as_slice(), &spec, h, h, batch, &mut batch_cols, threads);
+        let mut ref_cols = vec![0.0f32; krows * wide];
+        for b in 0..batch {
+            im2col_strided_into(
+                input.as_slice(),
+                &spec,
+                h,
+                h,
+                batch * plane,
+                b * plane,
+                wide,
+                b * oplane,
+                &mut ref_cols,
+            );
+        }
+        prop_assert_eq!(&batch_cols, &ref_cols);
+    }
+}

@@ -1,10 +1,9 @@
 //! Property-based tests for the tensor crate's core invariants.
 
 use capnn_tensor::{
-    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, matmul, matmul_reference,
-    matmul_threaded, matmul_transpose_a_reference, matmul_transpose_a_threaded,
-    matmul_transpose_b_reference, matmul_transpose_b_threaded, max_pool2d, Conv2dSpec, ConvScratch,
-    PoolSpec, Tensor, XorShiftRng,
+    conv2d, conv2d_im2col, conv2d_im2col_scratch, conv2d_masked, matmul, matmul_layout_reference,
+    matmul_layout_threaded, max_pool2d, Conv2dSpec, ConvScratch, MatmulLayout, PoolSpec, Tensor,
+    XorShiftRng,
 };
 use proptest::prelude::*;
 
@@ -119,8 +118,8 @@ proptest! {
             }
         }
         let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
-        let reference = matmul_reference(&a, &b).unwrap();
-        let got = matmul_threaded(&a, &b, threads).unwrap();
+        let reference = matmul_layout_reference(&a, &b, MatmulLayout::Plain).unwrap();
+        let got = matmul_layout_threaded(&a, &b, MatmulLayout::Plain, threads).unwrap();
         for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
             prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
         }
@@ -134,8 +133,8 @@ proptest! {
         let mut rng = XorShiftRng::new(seed);
         let a = Tensor::uniform(&[k, m], -1.0, 1.0, &mut rng);
         let b = Tensor::uniform(&[k, n], -1.0, 1.0, &mut rng);
-        let reference = matmul_transpose_a_reference(&a, &b).unwrap();
-        let got = matmul_transpose_a_threaded(&a, &b, threads).unwrap();
+        let reference = matmul_layout_reference(&a, &b, MatmulLayout::TransposeA).unwrap();
+        let got = matmul_layout_threaded(&a, &b, MatmulLayout::TransposeA, threads).unwrap();
         for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
             prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
         }
@@ -155,8 +154,8 @@ proptest! {
             }
         }
         let b = Tensor::uniform(&[n, k], -1.0, 1.0, &mut rng);
-        let reference = matmul_transpose_b_reference(&a, &b).unwrap();
-        let got = matmul_transpose_b_threaded(&a, &b, threads).unwrap();
+        let reference = matmul_layout_reference(&a, &b, MatmulLayout::TransposeB).unwrap();
+        let got = matmul_layout_threaded(&a, &b, MatmulLayout::TransposeB, threads).unwrap();
         for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
             prop_assert!((x - y).abs() < 1e-5, "{} vs {}", x, y);
         }
