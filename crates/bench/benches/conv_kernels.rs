@@ -8,8 +8,9 @@
 //! (`krows = 54`), at batch 1 and batch 32.
 
 use capnn_tensor::{
-    conv_gemm_into, im2col_batch_into, im2col_strided_into, matmul_into, pack_conv_panels,
-    Conv2dSpec, Tensor, XorShiftRng,
+    conv_gemm_i8_into, conv_gemm_into, dense_batch_i8_into, dense_batch_into, im2col_batch_into,
+    im2col_strided_into, matmul_into, pack_conv_panels, pack_dense_panels, quantize_conv_panels_i8,
+    quantize_dense_panels_i8, quantize_slice_i8, Conv2dSpec, Tensor, XorShiftRng,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -92,5 +93,134 @@ fn bench_conv_kernels(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_conv_kernels);
+/// Int8 vs f32 GEMM kernels on the same shapes the compiled plan runs:
+/// the vgg_tiny conv step above and a 50 %-pruned serving-MLP dense layer
+/// (768 inputs → 384 kept outputs). Activations are pre-quantized — the
+/// per-sample quantize cost is tracked separately (`plan.quantize_ns`),
+/// this group isolates the kernel arithmetic.
+fn bench_int8_kernels(c: &mut Criterion) {
+    let spec = Conv2dSpec::new(IN_C, OUT_C, K, 1, 1);
+    let (oh, ow) = spec.output_hw(H, H);
+    let oplane = oh * ow;
+    let krows = IN_C * K * K;
+    let plane = H * H;
+    const N_IN: usize = 768;
+    const N_OUT: usize = 384;
+    let mut rng = XorShiftRng::new(19);
+    let w = Tensor::uniform(&[OUT_C, krows], -1.0, 1.0, &mut rng);
+    let bias = Tensor::uniform(&[OUT_C], -0.5, 0.5, &mut rng);
+    let conv_panels = pack_conv_panels(w.as_slice(), OUT_C, krows);
+    let (conv_qpanels, conv_wscales) = quantize_conv_panels_i8(w.as_slice(), OUT_C, krows);
+    let wt = Tensor::uniform(&[N_IN, N_OUT], -1.0, 1.0, &mut rng);
+    let dense_bias = Tensor::uniform(&[N_OUT], -0.5, 0.5, &mut rng);
+    let dense_panels = pack_dense_panels(wt.as_slice(), N_IN, N_OUT);
+    let (dense_qpanels, dense_wscales) = quantize_dense_panels_i8(wt.as_slice(), N_IN, N_OUT);
+
+    for batch in [1usize, 32] {
+        let input = Tensor::uniform(&[IN_C * batch * plane], -1.0, 1.0, &mut rng);
+        let wide = batch * oplane;
+        let mut cols = vec![0.0f32; krows * wide];
+        im2col_batch_into(input.as_slice(), &spec, H, H, batch, &mut cols, 1);
+        // quantize the CHW input per sample as the plan does, then unfold
+        // the i8 activation and broadcast each sample's scale to its columns
+        let mut qinput = vec![0i8; IN_C * batch * plane];
+        let mut col_scales = vec![0.0f32; wide];
+        for b in 0..batch {
+            let sample: Vec<f32> = (0..IN_C)
+                .flat_map(|ch| {
+                    let at = (ch * batch + b) * plane;
+                    input.as_slice()[at..at + plane].iter().copied()
+                })
+                .collect();
+            let mut qsample = vec![0i8; sample.len()];
+            let scale = quantize_slice_i8(&sample, &mut qsample);
+            for ch in 0..IN_C {
+                let at = (ch * batch + b) * plane;
+                qinput[at..at + plane].copy_from_slice(&qsample[ch * plane..(ch + 1) * plane]);
+            }
+            col_scales[b * oplane..(b + 1) * oplane].fill(scale);
+        }
+        let mut qcols = vec![0i8; krows * wide];
+        im2col_batch_into(&qinput, &spec, H, H, batch, &mut qcols, 1);
+        let mut out = vec![0.0f32; OUT_C * wide];
+
+        let acts = Tensor::uniform(&[batch, N_IN], -1.0, 1.0, &mut rng);
+        let mut qa = vec![0i8; batch * N_IN];
+        let mut a_scales = vec![0.0f32; batch];
+        for b in 0..batch {
+            a_scales[b] = quantize_slice_i8(
+                &acts.as_slice()[b * N_IN..(b + 1) * N_IN],
+                &mut qa[b * N_IN..(b + 1) * N_IN],
+            );
+        }
+        let mut dense_out = vec![0.0f32; batch * N_OUT];
+
+        let mut group = c.benchmark_group(format!("int8_kernels_batch{batch}"));
+        group.bench_function("conv_gemm_f32", |b| {
+            b.iter(|| {
+                conv_gemm_into(
+                    &conv_panels,
+                    &cols,
+                    Some(bias.as_slice()),
+                    &mut out,
+                    OUT_C,
+                    krows,
+                    wide,
+                    true,
+                    1,
+                );
+            })
+        });
+        group.bench_function("conv_gemm_i8", |b| {
+            b.iter(|| {
+                conv_gemm_i8_into(
+                    &conv_qpanels,
+                    &conv_wscales,
+                    &qcols,
+                    &col_scales,
+                    Some(bias.as_slice()),
+                    &mut out,
+                    OUT_C,
+                    krows,
+                    wide,
+                    true,
+                    1,
+                );
+            })
+        });
+        group.bench_function("dense_batch_f32", |b| {
+            b.iter(|| {
+                dense_batch_into(
+                    acts.as_slice(),
+                    &dense_panels,
+                    dense_bias.as_slice(),
+                    &mut dense_out,
+                    batch,
+                    N_IN,
+                    N_OUT,
+                    1,
+                );
+            })
+        });
+        group.bench_function("dense_batch_i8", |b| {
+            b.iter(|| {
+                dense_batch_i8_into(
+                    &qa,
+                    &a_scales,
+                    &dense_qpanels,
+                    &dense_wscales,
+                    dense_bias.as_slice(),
+                    &mut dense_out,
+                    batch,
+                    N_IN,
+                    N_OUT,
+                    1,
+                );
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_conv_kernels, bench_int8_kernels);
 criterion_main!(benches);

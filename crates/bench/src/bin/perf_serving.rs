@@ -18,7 +18,7 @@ use capnn_core::{
 };
 use capnn_data::{SyntheticImages, SyntheticImagesConfig, VectorClusters, VectorClustersConfig};
 use capnn_nn::{
-    Network, NetworkBuilder, PlanScratch, PruneMask, Trainer, TrainerConfig, VggConfig,
+    Network, NetworkBuilder, PlanScratch, Precision, PruneMask, Trainer, TrainerConfig, VggConfig,
 };
 use capnn_tensor::{parallel, Tensor, XorShiftRng};
 use serde::Serialize;
@@ -91,6 +91,24 @@ struct ModelSummary {
 }
 
 #[derive(Debug, Serialize)]
+struct Int8Summary {
+    model: String,
+    prune_ratio: f64,
+    batch1_per_sample_us: f64,
+    batch32_per_sample_us: f64,
+    /// Batch-32 throughput of the int8 plan over the f32 plan of the same
+    /// model and mask.
+    speedup_vs_f32_batch32: f64,
+    /// The full-run acceptance target for the weight-bound serving MLP.
+    meets_1_5x_target: bool,
+    /// Top-1 agreement with the f32 plan on the checked samples (the
+    /// statistically meaningful ≥ 99 % gate over 128 samples lives in
+    /// `perf_speedup`; this is a serving-path spot check).
+    argmax_agreement_vs_f32: f64,
+    argmax_samples_checked: usize,
+}
+
+#[derive(Debug, Serialize)]
 struct TelemetryOverhead {
     model: String,
     batch: usize,
@@ -107,7 +125,53 @@ struct Report {
     batches: Vec<usize>,
     rows: Vec<BatchRow>,
     models: Vec<ModelSummary>,
+    int8: Vec<Int8Summary>,
     telemetry_overhead: Option<TelemetryOverhead>,
+}
+
+fn has_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Smoke-mode CI gate for the quantized path: on AVX2 hosts the int8
+/// serving-MLP plan must beat its f32 twin by at least 1.3× at batch 32
+/// (the full-run target is 1.5×; smoke iteration counts are too small to
+/// hold the full bar). Non-AVX2 hosts run int8 through the scalar
+/// reference kernel, where no speedup is promised, so they skip with a
+/// logged notice. Returns `true` when the gate fails.
+fn int8_smoke_gate(int8: &[Int8Summary]) -> bool {
+    const MIN_SPEEDUP: f64 = 1.3;
+    let Some(mlp) = int8.iter().find(|m| m.model.starts_with("serving_mlp")) else {
+        eprintln!("[serving] int8 smoke gate: no serving_mlp int8 sweep, nothing to check");
+        return false;
+    };
+    if !has_avx2() {
+        eprintln!(
+            "[serving] int8 smoke gate SKIPPED: no AVX2, int8 runs the scalar reference \
+             kernel ({} measured {:.2}x vs f32)",
+            mlp.model, mlp.speedup_vs_f32_batch32
+        );
+        return false;
+    }
+    if mlp.speedup_vs_f32_batch32 < MIN_SPEEDUP {
+        eprintln!(
+            "[serving] int8 smoke gate FAILED: {} batch-32 int8 speedup {:.2}x < {MIN_SPEEDUP}x vs f32",
+            mlp.model, mlp.speedup_vs_f32_batch32
+        );
+        return true;
+    }
+    eprintln!(
+        "[serving] int8 smoke gate: {} batch-32 int8 speedup {:.2}x ≥ {MIN_SPEEDUP}x vs f32",
+        mlp.model, mlp.speedup_vs_f32_batch32
+    );
+    false
 }
 
 /// Prunes `ratio` of the units of every hidden prunable layer.
@@ -217,6 +281,111 @@ fn sweep_model(
         batch32_speedup,
         meets_2x_target: batch32_speedup >= 2.0,
         argmax_bit_compatible: compatible,
+        argmax_samples_checked: check,
+    });
+}
+
+/// Sweeps the int8-compiled plan of `name` over `batches`, appending
+/// `{name}_int8` rows and an [`Int8Summary`] comparing the batch-32
+/// per-sample latency against the f32 plan of the same mask (whose sweep
+/// must already be in `models`).
+#[allow(clippy::too_many_arguments)]
+fn sweep_int8(
+    name: &str,
+    net: &Network,
+    ratio: f64,
+    inputs: &[Tensor],
+    batches: &[usize],
+    samples_per_point: usize,
+    rows: &mut Vec<BatchRow>,
+    models: &[ModelSummary],
+    int8: &mut Vec<Int8Summary>,
+) {
+    let mask = ratio_mask(net, ratio);
+    let f32_plan = net.compile(&mask).expect("compiles f32");
+    let plan = net
+        .compile_with_precision(&mask, Precision::Int8)
+        .expect("compiles int8");
+    let int8_name = format!("{name}_int8");
+
+    // top-1 agreement with the f32 plan on a handful of serving inputs
+    let check = inputs.len().min(8);
+    let quantized = plan.forward_batch(&inputs[..check]).expect("int8 batch");
+    let baseline = f32_plan.forward_batch(&inputs[..check]).expect("f32 batch");
+    let agree = quantized
+        .iter()
+        .zip(&baseline)
+        .filter(|(q, f)| q.argmax() == f.argmax())
+        .count();
+
+    let mut scratch = PlanScratch::new();
+    let mut batch1_per = 0.0;
+    let mut batch1_us = 0.0;
+    let mut batch32_us = 0.0;
+    for &batch in batches {
+        let iters = (samples_per_point / batch).max(2);
+        let chunk = &inputs[..batch];
+        std::hint::black_box(
+            plan.forward_batch_with_scratch(chunk, &mut scratch)
+                .expect("warmup"),
+        );
+        let mut total_s = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(
+                    plan.forward_batch_with_scratch(chunk, &mut scratch)
+                        .expect("batch"),
+                );
+            }
+            total_s = total_s.min(t0.elapsed().as_secs_f64());
+        }
+        let per = total_s / (iters * batch) as f64;
+        if batch == 1 {
+            batch1_per = per;
+            batch1_us = per * 1e6;
+        }
+        let speedup = if per > 0.0 && batch1_per > 0.0 {
+            batch1_per / per
+        } else {
+            1.0
+        };
+        if batch == 32 {
+            batch32_us = per * 1e6;
+        }
+        rows.push(BatchRow {
+            model: int8_name.clone(),
+            batch,
+            iters,
+            total_s,
+            per_sample_us: per * 1e6,
+            throughput_sps: 1.0 / per,
+            speedup_vs_batch1: speedup,
+        });
+        eprintln!(
+            "[serving] {int8_name:<14} batch={batch:<3} {:>9.1} µs/sample  {:>5.2}x vs batch=1",
+            per * 1e6,
+            speedup
+        );
+    }
+    let f32_batch32_us = models
+        .iter()
+        .find(|m| m.model == name)
+        .map(|m| m.batch32_per_sample_us)
+        .unwrap_or(0.0);
+    let speedup_vs_f32 = if batch32_us > 0.0 && f32_batch32_us > 0.0 {
+        f32_batch32_us / batch32_us
+    } else {
+        1.0
+    };
+    int8.push(Int8Summary {
+        model: int8_name,
+        prune_ratio: ratio,
+        batch1_per_sample_us: batch1_us,
+        batch32_per_sample_us: batch32_us,
+        speedup_vs_f32_batch32: speedup_vs_f32,
+        meets_1_5x_target: speedup_vs_f32 >= 1.5,
+        argmax_agreement_vs_f32: agree as f64 / check as f64,
         argmax_samples_checked: check,
     });
 }
@@ -342,6 +511,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut models = Vec::new();
+    let mut int8 = Vec::new();
     let mut rng = XorShiftRng::new(17);
 
     // CNN: the model the inference bench tracks.
@@ -383,6 +553,41 @@ fn main() {
         &mut models,
     );
 
+    // int8 twins of both sweeps: same masks, quantized plans
+    sweep_int8(
+        "vgg_tiny(8)",
+        &cnn,
+        0.5,
+        &cnn_inputs,
+        &batches,
+        samples_per_point,
+        &mut rows,
+        &models,
+        &mut int8,
+    );
+    sweep_int8(
+        "serving_mlp",
+        &mlp,
+        0.5,
+        &mlp_inputs,
+        &batches,
+        samples_per_point,
+        &mut rows,
+        &models,
+        &mut int8,
+    );
+    for m in &int8 {
+        eprintln!(
+            "[serving] {:<18} batch32 int8 {:>5.2}x vs f32 plan (target ≥ 1.5x: {}), \
+             top-1 agreement {}/{}",
+            m.model,
+            m.speedup_vs_f32_batch32,
+            if m.meets_1_5x_target { "met" } else { "MISSED" },
+            (m.argmax_agreement_vs_f32 * m.argmax_samples_checked as f64).round() as usize,
+            m.argmax_samples_checked
+        );
+    }
+
     let all_compatible = models.iter().all(|m| m.argmax_bit_compatible);
     for m in &models {
         eprintln!(
@@ -415,6 +620,7 @@ fn main() {
         batches,
         rows,
         models,
+        int8,
         telemetry_overhead: Some(overhead),
     };
     if smoke_mode() {
@@ -443,7 +649,8 @@ fn main() {
         }
     }
     let gate_failed = smoke_mode() && smoke_gate(&report.models, host_cores);
-    if !all_compatible || gate_failed {
+    let int8_gate_failed = smoke_mode() && int8_smoke_gate(&report.int8);
+    if !all_compatible || gate_failed || int8_gate_failed {
         std::process::exit(1);
     }
 }

@@ -11,8 +11,8 @@ use capnn_bench::{write_results_json, write_results_raw};
 use capnn_core::TailEvaluator;
 use capnn_data::{SyntheticImages, SyntheticImagesConfig};
 use capnn_nn::{
-    Engine, ExecScratch, InferenceRequest, Network, NetworkBuilder, PlanScratch, PruneMask,
-    VggConfig,
+    Engine, ExecScratch, InferenceRequest, Network, NetworkBuilder, PlanScratch, Precision,
+    PruneMask, VggConfig,
 };
 use capnn_profile::FiringRateProfiler;
 use capnn_tensor::{parallel, Tensor, XorShiftRng};
@@ -55,9 +55,15 @@ struct Report {
     argmax_bit_compatible: bool,
     plan_argmax_bit_compatible: bool,
     argmax_samples_checked: usize,
+    int8_argmax_agreement: f64,
+    int8_argmax_samples: usize,
     forward: Vec<ForwardRow>,
     sweeps: Vec<SweepRow>,
 }
+
+/// Minimum fraction of eval samples on which the int8 plan's top-1 class
+/// must agree with the f32 plan's: the accuracy-delta gate.
+const INT8_AGREEMENT_FLOOR: f64 = 0.99;
 
 /// Prunes `ratio` of the units of every hidden prunable layer.
 fn ratio_mask(net: &Network, ratio: f64) -> PruneMask {
@@ -105,13 +111,18 @@ fn main() {
     eprintln!("[perf] host cores: {host_cores}, pool threads: {default_threads}");
 
     // --- argmax bit-compatibility on the full synthetic eval set ---------
-    let eval_set = images.generate(16, 11);
+    let eval_set = images.generate(16, 11); // 16/class × 8 classes = 128 samples
     let check_mask = ratio_mask(&net, 0.5);
     let check_plan = net.compile(&check_mask).expect("compiles");
+    let int8_plan = net
+        .compile_with_precision(&check_mask, Precision::Int8)
+        .expect("compiles int8");
     let mut scratch = ExecScratch::new();
     let mut plan_scratch = PlanScratch::new();
+    let mut int8_scratch = PlanScratch::new();
     let mut compatible = true;
     let mut plan_compatible = true;
+    let mut int8_agree = 0usize;
     for (sample, _) in eval_set.samples() {
         let fast = net
             .forward_masked_with_scratch(sample, &check_mask, &mut scratch)
@@ -130,12 +141,30 @@ fn main() {
             plan_compatible = false;
             eprintln!("[perf] PLAN ARGMAX MISMATCH on a sample!");
         }
+        let quantized = int8_plan
+            .forward_with_scratch(sample, &mut int8_scratch)
+            .expect("int8 plan");
+        if quantized.argmax() == planned.argmax() {
+            int8_agree += 1;
+        }
     }
+    let int8_agreement = int8_agree as f64 / eval_set.len() as f64;
+    let int8_ok = int8_agreement >= INT8_AGREEMENT_FLOOR;
     eprintln!(
         "[perf] argmax bit-compatibility over {} samples: engine {}, plan {}",
         eval_set.len(),
         if compatible { "OK" } else { "FAILED" },
         if plan_compatible { "OK" } else { "FAILED" }
+    );
+    eprintln!(
+        "[perf] int8 top-1 agreement vs f32 plan: {int8_agree}/{} ({:.2}%) — {}",
+        eval_set.len(),
+        int8_agreement * 100.0,
+        if int8_ok {
+            "OK"
+        } else {
+            "BELOW 99% ACCURACY-DELTA GATE"
+        }
     );
 
     // --- masked vs dense forward -----------------------------------------
@@ -212,6 +241,25 @@ fn main() {
             speedup_vs_dense: dense_per / per,
         });
     }
+    for ratio in [0.25, 0.5, 0.75] {
+        let plan = net
+            .compile_with_precision(&ratio_mask(&net, ratio), Precision::Int8)
+            .expect("compiles int8");
+        let mut scratch = PlanScratch::new();
+        let s = time_forward(iters, || {
+            plan.forward_with_scratch(&x, &mut scratch).expect("plan")
+        });
+        let per = s / iters as f64;
+        forward.push(ForwardRow {
+            variant: format!("compiled_plan_int8_{}pct", (ratio * 100.0) as u32),
+            prune_ratio: ratio,
+            iters,
+            total_s: s,
+            per_sample_us: per * 1e6,
+            throughput_sps: 1.0 / per,
+            speedup_vs_dense: dense_per / per,
+        });
+    }
 
     for row in &forward {
         eprintln!(
@@ -276,6 +324,8 @@ fn main() {
         argmax_bit_compatible: compatible,
         plan_argmax_bit_compatible: plan_compatible,
         argmax_samples_checked: eval_set.len(),
+        int8_argmax_agreement: int8_agreement,
+        int8_argmax_samples: eval_set.len(),
         forward,
         sweeps,
     };
@@ -299,8 +349,20 @@ fn main() {
             telemetry_ok = false;
             eprintln!("[perf] TELEMETRY MISSING: per-conv-step *_conv_gflops gauge");
         }
+        // the int8 path ran above, so its probes must have fired too
+        if !snapshot.histograms.contains_key("plan.quantize_ns") {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: plan.quantize_ns histogram");
+        }
+        if !snapshot.gauges.keys().any(|k| k.ends_with("_int8_gops")) {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: per-step *_int8_gops gauge");
+        }
         if telemetry_ok {
-            eprintln!("[perf] telemetry conv probes present: plan.conv_pack_ns + *_conv_gflops");
+            eprintln!(
+                "[perf] telemetry probes present: plan.conv_pack_ns + *_conv_gflops \
+                 + plan.quantize_ns + *_int8_gops"
+            );
         }
         let json = snapshot.to_json();
         if smoke_mode() {
@@ -316,7 +378,7 @@ fn main() {
             eprintln!("[perf] telemetry snapshot written to {}", path.display());
         }
     }
-    if !compatible || !plan_compatible || !telemetry_ok {
+    if !compatible || !plan_compatible || !int8_ok || !telemetry_ok {
         std::process::exit(1);
     }
 }

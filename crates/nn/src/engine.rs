@@ -45,7 +45,7 @@ use crate::error::NnError;
 use crate::exec::ExecScratch;
 use crate::mask::PruneMask;
 use crate::network::Network;
-use crate::plan::{CompiledPlan, PlanScratch};
+use crate::plan::{CompiledPlan, PlanScratch, Precision};
 use capnn_tensor::{parallel, Tensor};
 use std::sync::Arc;
 
@@ -84,12 +84,16 @@ impl ExecStrategy {
 /// Built fluently: [`InferenceRequest::new`]/[`InferenceRequest::single`]
 /// start a dense request; [`InferenceRequest::masked`] attaches a mask (and
 /// upgrades the strategy to [`ExecStrategy::MaskedSkip`] if it was still
-/// dense); [`InferenceRequest::strategy`] pins an explicit engine.
+/// dense); [`InferenceRequest::strategy`] pins an explicit engine;
+/// [`InferenceRequest::precision`] selects the numeric precision (and
+/// upgrades a still-dense strategy to [`ExecStrategy::CompiledPlan`] for
+/// [`Precision::Int8`], the only engine with int8 kernels).
 #[derive(Debug, Clone, Copy)]
 pub struct InferenceRequest<'a> {
     inputs: &'a [Tensor],
     mask: Option<&'a PruneMask>,
     strategy: ExecStrategy,
+    precision: Precision,
 }
 
 impl<'a> InferenceRequest<'a> {
@@ -99,6 +103,7 @@ impl<'a> InferenceRequest<'a> {
             inputs,
             mask: None,
             strategy: ExecStrategy::Dense,
+            precision: Precision::F32,
         }
     }
 
@@ -125,6 +130,25 @@ impl<'a> InferenceRequest<'a> {
         self
     }
 
+    /// Selects the numeric precision. [`Precision::Int8`] is only served
+    /// by the compiled-plan engine, so a strategy still at one of the
+    /// defaults ([`ExecStrategy::Dense`], or the [`ExecStrategy::MaskedSkip`]
+    /// that [`InferenceRequest::masked`] implies) is upgraded to
+    /// [`ExecStrategy::CompiledPlan`]. A non-plan strategy pinned *after*
+    /// this call is kept and rejected at [`Engine::run`] time.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        if precision == Precision::Int8
+            && matches!(
+                self.strategy,
+                ExecStrategy::Dense | ExecStrategy::MaskedSkip
+            )
+        {
+            self.strategy = ExecStrategy::CompiledPlan;
+        }
+        self
+    }
+
     /// The request's inputs.
     pub fn inputs(&self) -> &'a [Tensor] {
         self.inputs
@@ -134,6 +158,11 @@ impl<'a> InferenceRequest<'a> {
     pub fn mask(&self) -> Option<&'a PruneMask> {
         self.mask
     }
+
+    /// The requested numeric precision.
+    pub fn requested_precision(&self) -> Precision {
+        self.precision
+    }
 }
 
 /// The outputs of one [`Engine::run`] call, in input order.
@@ -141,6 +170,7 @@ impl<'a> InferenceRequest<'a> {
 pub struct InferenceResponse {
     outputs: Vec<Tensor>,
     strategy: ExecStrategy,
+    precision: Precision,
 }
 
 impl InferenceResponse {
@@ -185,6 +215,11 @@ impl InferenceResponse {
     pub fn strategy(&self) -> ExecStrategy {
         self.strategy
     }
+
+    /// The numeric precision the outputs were computed at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
 }
 
 /// A stateful inference runner over one [`Network`].
@@ -198,9 +233,10 @@ pub struct Engine<'n> {
     net: &'n Network,
     scratch: ExecScratch,
     plan_scratch: PlanScratch,
-    /// Compiled-plan cache: the mask it was compiled for, and the plan.
-    /// Re-used while requests keep presenting an equal mask.
-    plan: Option<(PruneMask, Arc<CompiledPlan>)>,
+    /// Compiled-plan cache: the mask and precision it was compiled for,
+    /// and the plan. Re-used while requests keep presenting an equal
+    /// (mask, precision) pair.
+    plan: Option<(PruneMask, Precision, Arc<CompiledPlan>)>,
 }
 
 impl<'n> Engine<'n> {
@@ -218,11 +254,12 @@ impl<'n> Engine<'n> {
     /// first [`ExecStrategy::CompiledPlan`] request skips compilation
     /// (serving caches share plans as `Arc<CompiledPlan>` handles).
     pub fn with_plan(net: &'n Network, mask: PruneMask, plan: Arc<CompiledPlan>) -> Self {
+        let precision = plan.precision();
         Self {
             net,
             scratch: ExecScratch::new(),
             plan_scratch: PlanScratch::new(),
-            plan: Some((mask, plan)),
+            plan: Some((mask, precision, plan)),
         }
     }
 
@@ -239,6 +276,13 @@ impl<'n> Engine<'n> {
     /// or if plan compilation rejects the request's mask.
     pub fn run(&mut self, req: InferenceRequest<'_>) -> Result<InferenceResponse, NnError> {
         capnn_telemetry::count("engine.requests", 1);
+        if req.precision == Precision::Int8 && req.strategy != ExecStrategy::CompiledPlan {
+            return Err(NnError::Config(format!(
+                "int8 inference is only served by the compiled-plan engine, \
+                 not strategy `{}`",
+                req.strategy.name()
+            )));
+        }
         let span_name = ["engine.", req.strategy.name(), "_ns"].concat();
         let _span = capnn_telemetry::time(&span_name);
         let outputs = match req.strategy {
@@ -253,8 +297,8 @@ impl<'n> Engine<'n> {
             },
             ExecStrategy::CompiledPlan => {
                 let plan = match req.mask {
-                    Some(mask) => self.plan_for(mask)?,
-                    None => self.plan_for(&PruneMask::all_kept(self.net))?,
+                    Some(mask) => self.plan_for(mask, req.precision)?,
+                    None => self.plan_for(&PruneMask::all_kept(self.net), req.precision)?,
                 };
                 plan.forward_batch_with_scratch(req.inputs, &mut self.plan_scratch)
             }
@@ -262,6 +306,7 @@ impl<'n> Engine<'n> {
         Ok(InferenceResponse {
             outputs,
             strategy: req.strategy,
+            precision: req.precision,
         })
     }
 
@@ -313,16 +358,22 @@ impl<'n> Engine<'n> {
             .collect()
     }
 
-    /// Returns the cached plan if it was compiled for an equal mask,
-    /// otherwise compiles (and caches) a fresh one.
-    fn plan_for(&mut self, mask: &PruneMask) -> Result<Arc<CompiledPlan>, NnError> {
-        if let Some((cached_mask, plan)) = &self.plan {
-            if cached_mask == mask {
+    /// Returns the cached plan if it was compiled for an equal mask at the
+    /// same precision, otherwise compiles (and caches) a fresh one.
+    fn plan_for(
+        &mut self,
+        mask: &PruneMask,
+        precision: Precision,
+    ) -> Result<Arc<CompiledPlan>, NnError> {
+        if let Some((cached_mask, cached_precision, plan)) = &self.plan {
+            if cached_mask == mask && *cached_precision == precision {
                 return Ok(Arc::clone(plan));
             }
         }
-        let plan = Arc::new(CompiledPlan::compile(self.net, mask)?);
-        self.plan = Some((mask.clone(), Arc::clone(&plan)));
+        let plan = Arc::new(CompiledPlan::compile_with_precision(
+            self.net, mask, precision,
+        )?);
+        self.plan = Some((mask.clone(), precision, Arc::clone(&plan)));
         Ok(plan)
     }
 }
@@ -439,7 +490,7 @@ mod tests {
             assert_eq!(a.as_slice(), b.as_slice());
         }
         // second run with an equal mask hits the cached plan
-        let cached = engine.plan.as_ref().map(|(_, p)| Arc::clone(p)).unwrap();
+        let cached = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
         engine
             .run(
                 InferenceRequest::new(&inputs)
@@ -447,8 +498,94 @@ mod tests {
                     .strategy(ExecStrategy::CompiledPlan),
             )
             .unwrap();
-        let after = engine.plan.as_ref().map(|(_, p)| Arc::clone(p)).unwrap();
+        let after = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
         assert!(Arc::ptr_eq(&cached, &after));
+    }
+
+    #[test]
+    fn int8_request_runs_compiled_plan_and_matches_direct_int8_plan() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let plan = CompiledPlan::compile_with_precision(&net, &mask, Precision::Int8).unwrap();
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(66);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let direct = plan.forward_batch(&inputs).unwrap();
+        // precision() on a dense request upgrades the strategy itself
+        let resp = engine
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::CompiledPlan)
+                    .precision(Precision::Int8),
+            )
+            .unwrap();
+        assert_eq!(resp.precision(), Precision::Int8);
+        assert_eq!(resp.strategy(), ExecStrategy::CompiledPlan);
+        for (a, b) in direct.iter().zip(resp.outputs()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn int8_precision_upgrades_dense_strategy_to_plan() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        let resp = engine
+            .run(InferenceRequest::single(&x).precision(Precision::Int8))
+            .unwrap();
+        assert_eq!(resp.strategy(), ExecStrategy::CompiledPlan);
+        assert_eq!(resp.precision(), Precision::Int8);
+    }
+
+    #[test]
+    fn int8_with_pinned_non_plan_strategy_is_rejected() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        for strategy in [
+            ExecStrategy::Dense,
+            ExecStrategy::MaskedSkip,
+            ExecStrategy::Reference,
+        ] {
+            let err = engine
+                .run(
+                    InferenceRequest::single(&x)
+                        .precision(Precision::Int8)
+                        .strategy(strategy),
+                )
+                .unwrap_err();
+            match err {
+                NnError::Config(msg) => assert!(msg.contains(strategy.name()), "{msg}"),
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_is_keyed_by_precision() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        let f32_req = InferenceRequest::single(&x)
+            .masked(&mask)
+            .strategy(ExecStrategy::CompiledPlan);
+        engine.run(f32_req).unwrap();
+        let f32_plan = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        assert_eq!(f32_plan.precision(), Precision::F32);
+        // switching precision recompiles even though the mask is equal...
+        engine.run(f32_req.precision(Precision::Int8)).unwrap();
+        let int8_plan = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        assert!(!Arc::ptr_eq(&f32_plan, &int8_plan));
+        assert_eq!(int8_plan.precision(), Precision::Int8);
+        // ...and a repeat int8 request hits the new cache entry
+        engine.run(f32_req.precision(Precision::Int8)).unwrap();
+        let again = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        assert!(Arc::ptr_eq(&int8_plan, &again));
     }
 
     #[test]

@@ -19,6 +19,18 @@ pub enum NnError {
         /// Number of layers in the network.
         len: usize,
     },
+    /// A stored artifact's envelope declares an on-disk format version
+    /// this build cannot read. Checked before the payload is decoded, so
+    /// old artifacts fail with this typed error instead of whatever field
+    /// mismatch the payload happens to hit first.
+    UnsupportedFormatVersion {
+        /// Artifact kind from the envelope, e.g. `capnn-network`.
+        kind: String,
+        /// Version declared by the stored envelope.
+        found: u32,
+        /// The version this build reads ([`crate::FORMAT_VERSION`]).
+        supported: u32,
+    },
     /// An internal invariant was violated — a bug in this crate, not in the
     /// caller's input. Public APIs surface this instead of panicking.
     Internal(String),
@@ -33,6 +45,16 @@ impl fmt::Display for NnError {
                 write!(
                     f,
                     "layer index {index} out of range for network of {len} layers"
+                )
+            }
+            NnError::UnsupportedFormatVersion {
+                kind,
+                found,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "unsupported {kind} format version {found} (this build reads version {supported})"
                 )
             }
             NnError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
@@ -70,6 +92,13 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         let e = NnError::Internal("lost output".into());
         assert!(e.to_string().contains("internal invariant"));
+        let e = NnError::UnsupportedFormatVersion {
+            kind: "capnn-plan".into(),
+            found: 1,
+            supported: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("capnn-plan") && msg.contains('1') && msg.contains('3'));
     }
 
     #[test]

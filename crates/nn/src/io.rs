@@ -17,8 +17,9 @@ use std::path::Path;
 ///
 /// Version history: 1 — initial envelope; 2 — compiled-plan conv steps
 /// store register-tile `panels` (+ `fused_relu`) instead of row-major
-/// `weights`.
-pub const FORMAT_VERSION: u32 = 2;
+/// `weights`; 3 — plans carry a `precision` tag and conv/dense steps may
+/// store int8 quantized panels with per-channel scales.
+pub const FORMAT_VERSION: u32 = 3;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Envelope<T> {
@@ -35,21 +36,30 @@ fn to_envelope<T>(kind: &str, payload: T) -> Envelope<T> {
     }
 }
 
-fn check_envelope<T>(kind: &str, e: Envelope<T>) -> Result<T, NnError> {
+/// Parses a versioned envelope, checking `format` and `version` *before*
+/// decoding the payload: the probe pass keeps the payload as a raw JSON
+/// value, so an artifact written by an older build fails with the typed
+/// [`NnError::UnsupportedFormatVersion`] (naming found and supported
+/// versions) instead of whatever payload field mismatch the old schema
+/// trips over first.
+fn parse_envelope<T: serde::de::DeserializeOwned>(kind: &str, json: &str) -> Result<T, NnError> {
+    let probe: Envelope<serde_json::Value> =
+        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse {kind}: {e}")))?;
     let expected = format!("capnn-{kind}");
-    if e.format != expected {
+    if probe.format != expected {
         return Err(NnError::Config(format!(
             "expected a {expected} artifact, found {}",
-            e.format
+            probe.format
         )));
     }
-    if e.version != FORMAT_VERSION {
-        return Err(NnError::Config(format!(
-            "unsupported {expected} version {} (this build reads {FORMAT_VERSION})",
-            e.version
-        )));
+    if probe.version != FORMAT_VERSION {
+        return Err(NnError::UnsupportedFormatVersion {
+            kind: expected,
+            found: probe.version,
+            supported: FORMAT_VERSION,
+        });
     }
-    Ok(e.payload)
+    serde_json::from_value(probe.payload).map_err(|e| NnError::Config(format!("parse {kind}: {e}")))
 }
 
 /// Serializes a network to a versioned JSON string.
@@ -67,12 +77,11 @@ pub fn network_to_json(net: &Network) -> Result<String, NnError> {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
-/// version mismatch.
+/// Returns [`NnError::Config`] on malformed JSON or wrong artifact kind,
+/// and [`NnError::UnsupportedFormatVersion`] if the envelope was written
+/// by a different format version.
 pub fn network_from_json(json: &str) -> Result<Network, NnError> {
-    let envelope: Envelope<Network> =
-        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse network: {e}")))?;
-    check_envelope("network", envelope)
+    parse_envelope("network", json)
 }
 
 /// Writes a network to a file (creating parent directories).
@@ -116,12 +125,11 @@ pub fn mask_to_json(mask: &PruneMask) -> Result<String, NnError> {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
-/// version mismatch.
+/// Returns [`NnError::Config`] on malformed JSON or wrong artifact kind,
+/// and [`NnError::UnsupportedFormatVersion`] if the envelope was written
+/// by a different format version.
 pub fn mask_from_json(json: &str) -> Result<PruneMask, NnError> {
-    let envelope: Envelope<PruneMask> =
-        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse mask: {e}")))?;
-    check_envelope("mask", envelope)
+    parse_envelope("mask", json)
 }
 
 /// Serializes a compiled plan to a versioned JSON string, so a device can
@@ -140,12 +148,11 @@ pub fn plan_to_json(plan: &CompiledPlan) -> Result<String, NnError> {
 ///
 /// # Errors
 ///
-/// Returns [`NnError::Config`] on malformed JSON, wrong artifact kind or
-/// version mismatch.
+/// Returns [`NnError::Config`] on malformed JSON or wrong artifact kind,
+/// and [`NnError::UnsupportedFormatVersion`] if the envelope was written
+/// by a different format version.
 pub fn plan_from_json(json: &str) -> Result<CompiledPlan, NnError> {
-    let envelope: Envelope<CompiledPlan> =
-        serde_json::from_str(json).map_err(|e| NnError::Config(format!("parse plan: {e}")))?;
-    check_envelope("plan", envelope)
+    parse_envelope("plan", json)
 }
 
 #[cfg(test)]
@@ -215,6 +222,37 @@ mod tests {
             .replace(&format!("\"version\":{FORMAT_VERSION}"), "\"version\":99");
         let err = network_from_json(&json).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn old_version_gives_typed_error_before_payload_decode() {
+        // A v1/v2 artifact has a payload schema this build cannot decode.
+        // The probe-first parse must reject on the version number alone —
+        // exercised here with a payload that would itself fail to decode.
+        for found in [1u32, 2] {
+            let json = format!(
+                "{{\"format\":\"capnn-plan\",\"version\":{found},\"payload\":{{\"legacy\":true}}}}"
+            );
+            match plan_from_json(&json).unwrap_err() {
+                NnError::UnsupportedFormatVersion {
+                    kind,
+                    found: f,
+                    supported,
+                } => {
+                    assert_eq!(kind, "capnn-plan");
+                    assert_eq!(f, found);
+                    assert_eq!(supported, FORMAT_VERSION);
+                }
+                other => panic!("expected UnsupportedFormatVersion, got {other:?}"),
+            }
+        }
+        // wrong-kind errors still win over version errors (format checked
+        // first, so the message names the artifact confusion)
+        let json = "{\"format\":\"capnn-mask\",\"version\":1,\"payload\":null}";
+        assert!(matches!(
+            network_from_json(json).unwrap_err(),
+            NnError::Config(_)
+        ));
     }
 
     #[test]

@@ -541,6 +541,22 @@ impl Network {
         crate::CompiledPlan::compile(self, mask)
     }
 
+    /// [`Network::compile`] at an explicit [`Precision`](crate::Precision):
+    /// [`Precision::Int8`](crate::Precision::Int8) additionally quantizes
+    /// the packed weight panels (one symmetric scale per output
+    /// channel/column) so the plan serves through the int8 GEMM kernels.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::compile`].
+    pub fn compile_with_precision(
+        &self,
+        mask: &PruneMask,
+        precision: crate::Precision,
+    ) -> Result<crate::CompiledPlan, NnError> {
+        crate::CompiledPlan::compile_with_precision(self, mask, precision)
+    }
+
     /// Per-sample multiply–accumulates of an *unmasked* forward pass starting
     /// at layer `start` (pool/ReLU layers count one op per output element).
     /// Drives work-size thresholds for parallel per-sample sweeps.

@@ -42,10 +42,50 @@ use crate::layer::Layer;
 use crate::mask::PruneMask;
 use crate::network::Network;
 use capnn_tensor::{
-    conv_gemm_into, dense_batch_chw_into, dense_batch_into, im2col_batch_into, pack_conv_panels,
-    pack_dense_panels, parallel, Conv2dSpec, PoolSpec, Tensor,
+    conv_gemm_i8_into, conv_gemm_into, dense_batch_chw_into, dense_batch_i8_chw_into,
+    dense_batch_i8_into, dense_batch_into, i8_inv_scale, i8_scale, im2col_batch_into, max_abs,
+    pack_conv_panels, pack_dense_panels, parallel, quantize_conv_panels_i8,
+    quantize_dense_panels_i8, quantize_i8, Conv2dSpec, PoolSpec, Tensor,
 };
 use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a compiled plan's packed weights and GEMM kernels.
+///
+/// [`Precision::Int8`] plans quantize their packed weight panels once at
+/// compile time (symmetric int8, one scale per output channel/column) and
+/// quantize activations dynamically per sample before each conv/dense
+/// step. Accumulation is exact `i32`; the f32 epilogue dequantizes, adds
+/// the (f32) bias and applies any fused ReLU. Non-GEMM steps (pooling,
+/// standalone ReLU) run in f32 either way, so only the multiply-heavy
+/// kernels trade precision for bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// f32 weights and kernels — the bit-exact default.
+    #[default]
+    F32,
+    /// Symmetric int8 weights + per-sample int8 activations with i32
+    /// accumulation; outputs dequantize to f32 between steps.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase name, used in telemetry probe names and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+/// Int8 twin of a step's packed weight panels: the same register-tile
+/// layout as the f32 buffer, quantized with one scale per output
+/// channel (conv) or output column (dense).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QuantPanels {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
 
 /// Physical layout of the batched activation buffer between plan steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +125,9 @@ enum PlanStep {
         in_hw: (usize, usize),
         out_hw: (usize, usize),
         fused_relu: bool,
+        /// Int8 panels + per-output-channel scales ([`Precision::Int8`]
+        /// plans only).
+        quant: Option<QuantPanels>,
     },
     /// Packed dense layer on a flat activation; `panels` holds the kept
     /// weights in the [`pack_dense_panels`] layout (the input-major
@@ -94,6 +137,9 @@ enum PlanStep {
         panels: Tensor,
         bias: Tensor,
         n_in: usize,
+        /// Int8 panels + per-output-column scales ([`Precision::Int8`]
+        /// plans only).
+        quant: Option<QuantPanels>,
     },
     /// Packed dense layer consuming a channel-major batched CHW
     /// activation directly (the flatten boundary is a layout convention,
@@ -104,6 +150,9 @@ enum PlanStep {
         bias: Tensor,
         channels: usize,
         plane: usize,
+        /// Int8 panels + per-output-column scales ([`Precision::Int8`]
+        /// plans only).
+        quant: Option<QuantPanels>,
     },
     /// Elementwise ReLU over the whole activation buffer.
     Relu,
@@ -136,21 +185,122 @@ impl PlanStep {
     }
 }
 
-/// Reusable workspace for plan execution: two ping-pong activation
-/// buffers and the wide im2col matrix. After warmup at a given batch size
-/// every forward through the plan is allocation-free except the returned
-/// output tensors.
+/// Calls between high-water-mark reviews of the [`PlanScratch`] shrink
+/// policy; same rationale as the conv workspace's window in
+/// `capnn_tensor`.
+const SHRINK_WINDOW: u32 = 32;
+
+/// A scratch buffer is released back to its recent peak requirement once
+/// its capacity exceeds that peak by this factor.
+const SHRINK_FACTOR: usize = 4;
+
+/// Reusable workspace for plan execution: two ping-pong f32 activation
+/// buffers, the wide im2col matrix, and — for [`Precision::Int8`] plans —
+/// the quantized activation/im2col buffers with their per-sample and
+/// per-column scales. After warmup at a given batch size every forward
+/// through the plan is allocation-free except the returned output
+/// tensors.
+///
+/// Buffers do not stay at their high-water mark forever: every
+/// [`SHRINK_WINDOW`] chunk executions the scratch compares each buffer
+/// family's capacity against the largest requirement seen in that window
+/// and releases any buffer more than [`SHRINK_FACTOR`]× oversized, so one
+/// huge warmup batch no longer pins its allocation for the lifetime of
+/// the engine. [`PlanScratch::shrink_to`] caps the buffers immediately.
 #[derive(Debug, Clone, Default)]
 pub struct PlanScratch {
     a: Vec<f32>,
     b: Vec<f32>,
     cols: Vec<f32>,
+    /// Quantized activation buffer (int8 plans).
+    qa: Vec<i8>,
+    /// Quantized wide im2col matrix (int8 plans).
+    qcols: Vec<i8>,
+    /// Per-sample activation scales (int8 plans).
+    a_scales: Vec<f32>,
+    /// Per-column scale broadcast for the conv GEMM (int8 plans).
+    c_scales: Vec<f32>,
+    /// Chunk executions since the shrink policy last reviewed capacities.
+    calls_since_review: u32,
+    /// Peak element requirement in the current window per buffer family:
+    /// f32 activations (`a`/`b`), `cols`, int8 (`qa`/`qcols`), scales
+    /// (`a_scales`/`c_scales`).
+    window_peak: [usize; 4],
 }
 
 impl PlanScratch {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps every workspace buffer at `max_elems` elements right now,
+    /// returning excess capacity to the allocator (buffers regrow on
+    /// demand). `shrink_to(0)` frees the workspace entirely.
+    pub fn shrink_to(&mut self, max_elems: usize) {
+        for v in [
+            &mut self.a,
+            &mut self.b,
+            &mut self.cols,
+            &mut self.a_scales,
+            &mut self.c_scales,
+        ] {
+            v.truncate(max_elems);
+            v.shrink_to(max_elems);
+        }
+        for v in [&mut self.qa, &mut self.qcols] {
+            v.truncate(max_elems);
+            v.shrink_to(max_elems);
+        }
+        self.calls_since_review = 0;
+        self.window_peak = [0; 4];
+    }
+
+    /// Records one chunk's buffer requirements and, at window boundaries,
+    /// releases buffers whose capacity exceeds the window peak by
+    /// [`SHRINK_FACTOR`]×. Called after the chunk ran (the buffers already
+    /// hold at least this call's requirement, so a shrink can never drop
+    /// below a live need).
+    fn note_use(&mut self, f32_act: usize, cols: usize, i8_need: usize, scales: usize) {
+        self.window_peak[0] = self.window_peak[0].max(f32_act);
+        self.window_peak[1] = self.window_peak[1].max(cols);
+        self.window_peak[2] = self.window_peak[2].max(i8_need);
+        self.window_peak[3] = self.window_peak[3].max(scales);
+        self.calls_since_review += 1;
+        if self.calls_since_review >= SHRINK_WINDOW {
+            let [act, cols, i8n, sc] = self.window_peak;
+            shrink_oversized(&mut self.a, act);
+            shrink_oversized(&mut self.b, act);
+            shrink_oversized(&mut self.cols, cols);
+            shrink_oversized(&mut self.qa, i8n);
+            shrink_oversized(&mut self.qcols, i8n);
+            shrink_oversized(&mut self.a_scales, sc);
+            shrink_oversized(&mut self.c_scales, sc);
+            self.calls_since_review = 0;
+            self.window_peak = [0; 4];
+        }
+    }
+
+    /// Current buffer capacities (`a`, `b`, `cols`, `qa`, `qcols`), for
+    /// the shrink-policy tests.
+    #[cfg(test)]
+    fn capacities(&self) -> [usize; 5] {
+        [
+            self.a.capacity(),
+            self.b.capacity(),
+            self.cols.capacity(),
+            self.qa.capacity(),
+            self.qcols.capacity(),
+        ]
+    }
+}
+
+/// Releases `v` back to `peak` elements if its capacity is more than
+/// [`SHRINK_FACTOR`]× the peak requirement.
+fn shrink_oversized<T>(v: &mut Vec<T>, peak: usize) {
+    if v.capacity() > peak.saturating_mul(SHRINK_FACTOR) {
+        v.truncate(peak);
+        v.shrink_to(peak);
     }
 }
 
@@ -189,10 +339,12 @@ pub struct CompiledPlan {
     /// Kept parameters in the packed buffers (excluding the zero padding
     /// of partial weight panels).
     packed_params: usize,
+    /// Numeric precision the plan's GEMM steps execute in.
+    precision: Precision,
 }
 
 impl CompiledPlan {
-    /// Compiles `net` + `mask` into a plan. Prefer the
+    /// Compiles `net` + `mask` into an f32 plan. Prefer the
     /// [`Network::compile`] convenience method.
     ///
     /// # Errors
@@ -201,8 +353,28 @@ impl CompiledPlan {
     /// carries flags for a non-prunable layer, or a flag vector does not
     /// match its layer's unit count.
     pub fn compile(net: &Network, mask: &PruneMask) -> Result<Self, NnError> {
+        Self::compile_with_precision(net, mask, Precision::F32)
+    }
+
+    /// Compiles `net` + `mask` into a plan whose GEMM steps execute at
+    /// `precision`. [`Precision::Int8`] additionally quantizes every
+    /// packed conv/dense panel buffer (symmetric, one scale per output
+    /// channel/column); activations are quantized dynamically per sample
+    /// at run time, so no calibration data is needed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlan::compile`].
+    pub fn compile_with_precision(
+        net: &Network,
+        mask: &PruneMask,
+        precision: Precision,
+    ) -> Result<Self, NnError> {
         let _span = capnn_telemetry::time("plan.compile_ns");
         capnn_telemetry::count("plan.compiled", 1);
+        if precision == Precision::Int8 {
+            capnn_telemetry::count("plan.compiled_int8", 1);
+        }
         if mask.len() != net.len() {
             return Err(NnError::Config(format!(
                 "mask spans {} layers, network has {}",
@@ -284,6 +456,12 @@ impl CompiledPlan {
                     };
                     let plen = packed.len();
                     let panels = Tensor::from_vec(packed, &[plen])?;
+                    let quant = (precision == Precision::Int8).then(|| {
+                        let _q = capnn_telemetry::time("plan.quantize_weights_ns");
+                        let (data, scales) =
+                            quantize_conv_panels_i8(&weights, kept_out.len(), krows);
+                        QuantPanels { data, scales }
+                    });
                     steps.push(PlanStep::Conv {
                         spec,
                         panels,
@@ -291,6 +469,7 @@ impl CompiledPlan {
                         in_hw: (h, w),
                         out_hw: (oh, ow),
                         fused_relu: false,
+                        quant,
                     });
                     kept = kept_out;
                     layout = Layout::Chw {
@@ -335,6 +514,11 @@ impl CompiledPlan {
                     let panels = Tensor::from_vec(packed, &[len])?;
                     macs += (n_out * n_in) as u64;
                     packed_params += n_in * n_out + bias.len();
+                    let quant = (precision == Precision::Int8).then(|| {
+                        let _q = capnn_telemetry::time("plan.quantize_weights_ns");
+                        let (data, scales) = quantize_dense_panels_i8(&wt, n_in, n_out);
+                        QuantPanels { data, scales }
+                    });
                     match (from_chw, layout) {
                         (Some(plane), Layout::Chw { channels, .. }) => {
                             steps.push(PlanStep::DenseFromChw {
@@ -342,9 +526,15 @@ impl CompiledPlan {
                                 bias,
                                 channels,
                                 plane,
+                                quant,
                             });
                         }
-                        _ => steps.push(PlanStep::DenseFlat { panels, bias, n_in }),
+                        _ => steps.push(PlanStep::DenseFlat {
+                            panels,
+                            bias,
+                            n_in,
+                            quant,
+                        }),
                     }
                     kept = kept_out;
                     layout = Layout::Flat { len: n_out };
@@ -412,7 +602,13 @@ impl CompiledPlan {
             num_classes,
             per_sample_macs: macs.max(1),
             packed_params,
+            precision,
         })
+    }
+
+    /// The numeric precision the plan's GEMM steps execute in.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The input shape the plan expects.
@@ -565,6 +761,16 @@ impl CompiledPlan {
         let mut cur = std::mem::take(&mut scratch.a);
         let mut nxt = std::mem::take(&mut scratch.b);
         let mut cols = std::mem::take(&mut scratch.cols);
+        let mut qa = std::mem::take(&mut scratch.qa);
+        let mut qcols = std::mem::take(&mut scratch.qcols);
+        let mut a_scales = std::mem::take(&mut scratch.a_scales);
+        let mut c_scales = std::mem::take(&mut scratch.c_scales);
+        // Peak element requirements this chunk, per buffer family, for the
+        // scratch shrink policy.
+        let mut f32_peak = 0usize;
+        let mut cols_peak = 0usize;
+        let mut i8_peak = 0usize;
+        let mut scale_peak = 0usize;
 
         // Load inputs into the initial layout.
         let mut layout = if self.input_dims.len() == 3 {
@@ -578,6 +784,7 @@ impl CompiledPlan {
             }
         };
         grow(&mut cur, layout.per_sample_len() * batch);
+        f32_peak = f32_peak.max(layout.per_sample_len() * batch);
         match layout {
             Layout::Chw { channels, plane } => {
                 for (b, x) in inputs.iter().enumerate() {
@@ -598,11 +805,20 @@ impl CompiledPlan {
         // Per-step timings accumulate locally and flush once per chunk, so
         // spawned workers never contend on the registry mutex mid-step.
         let telemetry = capnn_telemetry::enabled();
-        // (step index, kind, elapsed ns, FLOPs — 0 for non-GEMM steps).
-        let mut timings: Vec<(usize, &'static str, u64, u64)> = Vec::new();
+        // (step index, kind, elapsed ns, FLOPs — 0 for non-GEMM steps —
+        // and whether the step ran its int8 kernel).
+        let mut timings: Vec<(usize, &'static str, u64, u64, bool)> = Vec::new();
+        // Dynamic activation quantization time this chunk (int8 plans).
+        let mut quantize_ns: u64 = 0;
         for (si, step) in self.steps.iter().enumerate() {
             let t0 = telemetry.then(std::time::Instant::now);
             let mut flops: u64 = 0;
+            let step_int8 = matches!(
+                step,
+                PlanStep::Conv { quant: Some(_), .. }
+                    | PlanStep::DenseFlat { quant: Some(_), .. }
+                    | PlanStep::DenseFromChw { quant: Some(_), .. }
+            );
             match step {
                 PlanStep::Conv {
                     spec,
@@ -611,24 +827,74 @@ impl CompiledPlan {
                     in_hw: (h, w),
                     out_hw: (oh, ow),
                     fused_relu,
+                    quant,
                 } => {
                     let oplane = oh * ow;
                     let krows = spec.in_channels * spec.kernel * spec.kernel;
                     let wide = batch * oplane;
-                    grow(&mut cols, krows * wide);
-                    im2col_batch_into(&cur, spec, *h, *w, batch, &mut cols, inner_threads);
                     grow(&mut nxt, spec.out_channels * wide);
-                    conv_gemm_into(
-                        panels.as_slice(),
-                        &cols,
-                        Some(bias.as_slice()),
-                        &mut nxt,
-                        spec.out_channels,
-                        krows,
-                        wide,
-                        *fused_relu,
-                        inner_threads,
-                    );
+                    match quant {
+                        Some(q) => {
+                            let q0 = telemetry.then(std::time::Instant::now);
+                            let in_plane = h * w;
+                            let in_len = spec.in_channels * in_plane * batch;
+                            grow(&mut qa, in_len);
+                            grow(&mut a_scales, batch);
+                            quantize_chw_per_sample(
+                                &cur,
+                                batch,
+                                spec.in_channels,
+                                in_plane,
+                                &mut qa,
+                                &mut a_scales,
+                            );
+                            // Wide im2col columns are sample-major within
+                            // each kernel row (column j = b·oplane + p), so
+                            // the per-column scales are a per-sample
+                            // broadcast over each sample's window.
+                            grow(&mut c_scales, wide);
+                            for b in 0..batch {
+                                c_scales[b * oplane..(b + 1) * oplane].fill(a_scales[b]);
+                            }
+                            grow(&mut qcols, krows * wide);
+                            if let Some(q0) = q0 {
+                                quantize_ns +=
+                                    u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            }
+                            im2col_batch_into(&qa, spec, *h, *w, batch, &mut qcols, inner_threads);
+                            conv_gemm_i8_into(
+                                &q.data,
+                                &q.scales,
+                                &qcols,
+                                &c_scales,
+                                Some(bias.as_slice()),
+                                &mut nxt,
+                                spec.out_channels,
+                                krows,
+                                wide,
+                                *fused_relu,
+                                inner_threads,
+                            );
+                            i8_peak = i8_peak.max(in_len).max(krows * wide);
+                            scale_peak = scale_peak.max(wide);
+                        }
+                        None => {
+                            grow(&mut cols, krows * wide);
+                            im2col_batch_into(&cur, spec, *h, *w, batch, &mut cols, inner_threads);
+                            cols_peak = cols_peak.max(krows * wide);
+                            conv_gemm_into(
+                                panels.as_slice(),
+                                &cols,
+                                Some(bias.as_slice()),
+                                &mut nxt,
+                                spec.out_channels,
+                                krows,
+                                wide,
+                                *fused_relu,
+                                inner_threads,
+                            );
+                        }
+                    }
                     flops = 2 * (spec.out_channels * wide) as u64 * krows as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Chw {
@@ -636,19 +902,53 @@ impl CompiledPlan {
                         plane: oplane,
                     };
                 }
-                PlanStep::DenseFlat { panels, bias, n_in } => {
+                PlanStep::DenseFlat {
+                    panels,
+                    bias,
+                    n_in,
+                    quant,
+                } => {
                     let n_out = bias.len();
                     grow(&mut nxt, batch * n_out);
-                    dense_batch_into(
-                        &cur,
-                        panels.as_slice(),
-                        bias.as_slice(),
-                        &mut nxt,
-                        batch,
-                        *n_in,
-                        n_out,
-                        inner_threads,
-                    );
+                    match quant {
+                        Some(q) => {
+                            let q0 = telemetry.then(std::time::Instant::now);
+                            grow(&mut qa, batch * n_in);
+                            grow(&mut a_scales, batch);
+                            quantize_flat_per_sample(&cur, batch, *n_in, &mut qa, &mut a_scales);
+                            if let Some(q0) = q0 {
+                                quantize_ns +=
+                                    u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            }
+                            dense_batch_i8_into(
+                                &qa,
+                                &a_scales,
+                                &q.data,
+                                &q.scales,
+                                bias.as_slice(),
+                                &mut nxt,
+                                batch,
+                                *n_in,
+                                n_out,
+                                inner_threads,
+                            );
+                            i8_peak = i8_peak.max(batch * n_in);
+                            scale_peak = scale_peak.max(batch);
+                        }
+                        None => {
+                            dense_batch_into(
+                                &cur,
+                                panels.as_slice(),
+                                bias.as_slice(),
+                                &mut nxt,
+                                batch,
+                                *n_in,
+                                n_out,
+                                inner_threads,
+                            );
+                        }
+                    }
+                    flops = 2 * (batch * n_in * n_out) as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Flat { len: n_out };
                 }
@@ -657,20 +957,59 @@ impl CompiledPlan {
                     bias,
                     channels,
                     plane,
+                    quant,
                 } => {
                     let n_out = bias.len();
+                    let n_in = channels * plane;
                     grow(&mut nxt, batch * n_out);
-                    dense_batch_chw_into(
-                        &cur,
-                        panels.as_slice(),
-                        bias.as_slice(),
-                        &mut nxt,
-                        batch,
-                        *channels,
-                        *plane,
-                        n_out,
-                        inner_threads,
-                    );
+                    match quant {
+                        Some(q) => {
+                            let q0 = telemetry.then(std::time::Instant::now);
+                            grow(&mut qa, batch * n_in);
+                            grow(&mut a_scales, batch);
+                            quantize_chw_per_sample(
+                                &cur,
+                                batch,
+                                *channels,
+                                *plane,
+                                &mut qa,
+                                &mut a_scales,
+                            );
+                            if let Some(q0) = q0 {
+                                quantize_ns +=
+                                    u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            }
+                            dense_batch_i8_chw_into(
+                                &qa,
+                                &a_scales,
+                                &q.data,
+                                &q.scales,
+                                bias.as_slice(),
+                                &mut nxt,
+                                batch,
+                                *channels,
+                                *plane,
+                                n_out,
+                                inner_threads,
+                            );
+                            i8_peak = i8_peak.max(batch * n_in);
+                            scale_peak = scale_peak.max(batch);
+                        }
+                        None => {
+                            dense_batch_chw_into(
+                                &cur,
+                                panels.as_slice(),
+                                bias.as_slice(),
+                                &mut nxt,
+                                batch,
+                                *channels,
+                                *plane,
+                                n_out,
+                                inner_threads,
+                            );
+                        }
+                    }
+                    flops = 2 * (batch * n_in * n_out) as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Flat { len: n_out };
                 }
@@ -720,22 +1059,30 @@ impl CompiledPlan {
                     };
                 }
             }
+            f32_peak = f32_peak.max(layout.per_sample_len() * batch);
             if let Some(t0) = t0 {
                 let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                timings.push((si, step.kind(), ns, flops));
+                timings.push((si, step.kind(), ns, flops, step_int8));
             }
         }
         if telemetry {
             let reg = capnn_telemetry::global();
-            for (si, kind, ns, flops) in timings {
+            for (si, kind, ns, flops, int8) in timings {
                 reg.histogram(&format!("plan.step{si:02}_{kind}_ns"))
                     .record(ns);
-                // Effective throughput gauge for conv GEMMs: FLOPs/ns is
-                // numerically GFLOP/s.
-                if kind == "conv" && flops > 0 && ns > 0 {
+                // Effective throughput gauges: ops/ns is numerically
+                // G(FL)OP/s. Int8 GEMM steps report int8 multiply–adds
+                // under their own probe; f32 conv keeps its gflops gauge.
+                if int8 && flops > 0 && ns > 0 {
+                    reg.gauge(&format!("plan.step{si:02}_{kind}_int8_gops"))
+                        .set(flops as f64 / ns as f64);
+                } else if kind == "conv" && flops > 0 && ns > 0 {
                     reg.gauge(&format!("plan.step{si:02}_conv_gflops"))
                         .set(flops as f64 / ns as f64);
                 }
+            }
+            if quantize_ns > 0 {
+                reg.histogram("plan.quantize_ns").record(quantize_ns);
             }
             reg.counter("plan.samples").add(batch as u64);
         }
@@ -764,6 +1111,11 @@ impl CompiledPlan {
         scratch.a = cur;
         scratch.b = nxt;
         scratch.cols = cols;
+        scratch.qa = qa;
+        scratch.qcols = qcols;
+        scratch.a_scales = a_scales;
+        scratch.c_scales = c_scales;
+        scratch.note_use(f32_peak, cols_peak, i8_peak, scale_peak);
         Ok(outputs)
     }
 }
@@ -787,9 +1139,56 @@ fn kept_units(flags: Option<&[bool]>, units: usize, layer: usize) -> Result<Vec<
 
 /// Clears and zero-fills `v` to exactly `n` elements (no allocation once
 /// capacity suffices).
-fn grow(v: &mut Vec<f32>, n: usize) {
+fn grow<T: Copy + Default>(v: &mut Vec<T>, n: usize) {
     v.clear();
-    v.resize(n, 0.0);
+    v.resize(n, T::default());
+}
+
+/// Quantizes a sample-major flat activation (`batch × len`) into `qa`,
+/// one dynamic symmetric scale per sample, returning the scales in
+/// `scales[..batch]`.
+fn quantize_flat_per_sample(
+    src: &[f32],
+    batch: usize,
+    len: usize,
+    qa: &mut [i8],
+    scales: &mut [f32],
+) {
+    for b in 0..batch {
+        scales[b] = capnn_tensor::quantize_slice_i8(
+            &src[b * len..(b + 1) * len],
+            &mut qa[b * len..(b + 1) * len],
+        );
+    }
+}
+
+/// Quantizes a channel-major batched CHW activation (element `(b, c, p)`
+/// at `(c·batch + b)·plane + p`) into `qa` in the same layout, one
+/// dynamic symmetric scale per sample. Two passes over each sample's
+/// strided planes: max-abs, then quantize.
+fn quantize_chw_per_sample(
+    src: &[f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    qa: &mut [i8],
+    scales: &mut [f32],
+) {
+    for (b, scale) in scales.iter_mut().enumerate().take(batch) {
+        let mut m = 0.0f32;
+        for c in 0..channels {
+            let base = (c * batch + b) * plane;
+            m = m.max(max_abs(&src[base..base + plane]));
+        }
+        *scale = i8_scale(m);
+        let inv = i8_inv_scale(m);
+        for c in 0..channels {
+            let base = (c * batch + b) * plane;
+            for p in 0..plane {
+                qa[base + p] = quantize_i8(src[base + p], inv);
+            }
+        }
+    }
 }
 
 /// Applies `pool` to each of `planes` contiguous input planes, writing
@@ -1036,6 +1435,143 @@ mod tests {
         let net = NetworkBuilder::mlp(&[3, 4, 2], 1).build().unwrap();
         let plan = net.compile(&PruneMask::all_kept(&net)).unwrap();
         assert!(plan.forward_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn int8_plan_agrees_with_f32_plan() {
+        let net = small_cnn();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[1], 3).unwrap();
+        let f32_plan = net.compile(&mask).unwrap();
+        let int8_plan = CompiledPlan::compile_with_precision(&net, &mask, Precision::Int8).unwrap();
+        assert_eq!(int8_plan.precision(), Precision::Int8);
+        assert_eq!(f32_plan.precision(), Precision::F32);
+        let mut rng = XorShiftRng::new(23);
+        let mut agree = 0usize;
+        const N: usize = 64;
+        for _ in 0..N {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            let yf = f32_plan.forward(&x).unwrap();
+            let yq = int8_plan.forward(&x).unwrap();
+            // logits stay close in absolute terms...
+            let scale = yf.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            for (&a, &b) in yf.as_slice().iter().zip(yq.as_slice()) {
+                assert!(
+                    (a - b).abs() <= 0.25 * scale + 1e-2,
+                    "logit drift too large: {a} vs {b} (scale {scale})"
+                );
+            }
+            // ...and the predicted class almost always matches
+            if yf.argmax() == yq.argmax() {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree * 10 >= N * 9,
+            "argmax agreement {agree}/{N} below 90%"
+        );
+    }
+
+    #[test]
+    fn int8_batched_forward_bitwise_matches_per_sample() {
+        // i32 accumulation is exact and activation scales are
+        // per-sample, so the int8 path promises *bitwise* batch
+        // invariance — stronger than the f32 path's sign-of-zero caveat.
+        let net = small_cnn();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[0], 1).unwrap();
+        let plan = CompiledPlan::compile_with_precision(&net, &mask, Precision::Int8).unwrap();
+        let mut rng = XorShiftRng::new(29);
+        let inputs: Vec<Tensor> = (0..9)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let batched = plan.forward_batch(&inputs).unwrap();
+        let mut scratch = PlanScratch::new();
+        for (x, y) in inputs.iter().zip(&batched) {
+            let single = plan.forward_with_scratch(x, &mut scratch).unwrap();
+            assert_eq!(single.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn int8_plan_survives_io_roundtrip() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let plan = CompiledPlan::compile_with_precision(&net, &mask, Precision::Int8).unwrap();
+        let json = crate::io::plan_to_json(&plan).unwrap();
+        let back = crate::io::plan_from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.precision(), Precision::Int8);
+        let x = Tensor::ones(&[1, 4, 4]);
+        assert_eq!(
+            plan.forward(&x).unwrap().as_slice(),
+            back.forward(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn plan_scratch_shrinks_after_oversized_batch() {
+        // Mirrors the ConvScratch shrink test on the dense path: one huge
+        // warmup batch pins large activation (and int8) buffers, then a
+        // review window of batch-1 chunks releases them.
+        let net = NetworkBuilder::mlp(&[32, 48, 10], 41).build().unwrap();
+        let mask = PruneMask::all_kept(&net);
+        let plan = CompiledPlan::compile_with_precision(&net, &mask, Precision::Int8).unwrap();
+        let mut rng = XorShiftRng::new(31);
+        let big: Vec<Tensor> = (0..64)
+            .map(|_| Tensor::uniform(&[32], -1.0, 1.0, &mut rng))
+            .collect();
+        let mut scratch = PlanScratch::new();
+        plan.run_chunk(&big, &mut scratch, 1).unwrap();
+        let caps = scratch.capacities();
+        // the big buffer may end in either ping-pong slot after the swaps
+        assert!(
+            caps[0].max(caps[1]) >= 64 * 48,
+            "warmup did not grow f32 activations: {caps:?}"
+        );
+        assert!(caps[3] >= 64 * 32, "warmup did not grow qa: {caps:?}");
+        let x = Tensor::uniform(&[32], -1.0, 1.0, &mut rng);
+        let want = plan.forward(&x).unwrap();
+        // the first review window still contains the big chunk; run two
+        for _ in 0..2 * SHRINK_WINDOW {
+            let got = plan
+                .run_chunk(std::slice::from_ref(&x), &mut scratch, 1)
+                .unwrap();
+            assert_eq!(got[0].as_slice(), want.as_slice());
+        }
+        let f32_need = 48; // largest per-sample activation at batch 1
+        let qa_need = 32;
+        let caps = scratch.capacities();
+        assert!(
+            caps[0] <= f32_need * SHRINK_FACTOR && caps[1] <= f32_need * SHRINK_FACTOR,
+            "f32 activations not released: {caps:?}"
+        );
+        assert!(
+            caps[3] <= qa_need * SHRINK_FACTOR,
+            "qa not released: {caps:?}"
+        );
+        // results stay correct after the shrink
+        let got = plan
+            .run_chunk(std::slice::from_ref(&x), &mut scratch, 1)
+            .unwrap();
+        assert_eq!(got[0].as_slice(), want.as_slice());
+    }
+
+    #[test]
+    fn plan_scratch_shrink_to_caps_buffers_immediately() {
+        let net = NetworkBuilder::mlp(&[16, 24, 8], 43).build().unwrap();
+        let plan =
+            CompiledPlan::compile_with_precision(&net, &PruneMask::all_kept(&net), Precision::Int8)
+                .unwrap();
+        let x = Tensor::ones(&[16]);
+        let mut scratch = PlanScratch::new();
+        let want = plan.forward_with_scratch(&x, &mut scratch).unwrap();
+        assert!(scratch.capacities().iter().any(|&c| c > 0));
+        scratch.shrink_to(0);
+        assert_eq!(scratch.capacities(), [0; 5]);
+        // workspace regrows transparently
+        let again = plan.forward_with_scratch(&x, &mut scratch).unwrap();
+        assert_eq!(again.as_slice(), want.as_slice());
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! devices can migrate without re-certifying their ε guarantees.
 
 #![allow(deprecated)] // the whole point: pin the legacy entrypoints
-use capnn_nn::{Engine, ExecStrategy, InferenceRequest, Network, NetworkBuilder, PruneMask};
+use capnn_nn::{
+    Engine, ExecStrategy, InferenceRequest, Network, NetworkBuilder, Precision, PruneMask,
+};
 use capnn_tensor::{Tensor, XorShiftRng};
 use proptest::prelude::*;
 
@@ -162,6 +164,33 @@ proptest! {
             .expect("engine")
             .into_outputs();
         for (a, b) in legacy.iter().zip(&unified) {
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    /// An int8 request through the engine is bitwise identical to running
+    /// the int8-compiled plan directly — the engine adds routing and
+    /// caching, never numerics.
+    #[test]
+    fn int8_request_matches_int8_plan_batch(t in topology(), batch in 1usize..5) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xE6);
+        let mask = random_mask(&net, &mut rng);
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let plan = net
+            .compile_with_precision(&mask, Precision::Int8)
+            .expect("compiles");
+        let direct = plan.forward_batch(&inputs).expect("direct plan");
+        let resp = Engine::new(&net)
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .precision(Precision::Int8),
+            )
+            .expect("engine");
+        prop_assert_eq!(resp.strategy(), ExecStrategy::CompiledPlan);
+        prop_assert_eq!(resp.precision(), Precision::Int8);
+        for (a, b) in direct.iter().zip(resp.outputs()) {
             prop_assert_eq!(a.as_slice(), b.as_slice());
         }
     }

@@ -5,7 +5,9 @@
 //! `forward_masked_reference` — elementwise, hence argmax-bit-compatibly.
 #![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
 
-use capnn_nn::{model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, PruneMask};
+use capnn_nn::{
+    model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, Precision, PruneMask,
+};
 use capnn_tensor::{Conv2dSpec, Tensor, XorShiftRng};
 use proptest::prelude::*;
 
@@ -192,6 +194,69 @@ proptest! {
         let mut rng = XorShiftRng::new(t.seed ^ 0x70_50);
         let mask = random_mask(&net, &mut rng, true);
         let plan = net.compile(&mask).expect("compiles");
+        let back = plan_from_json(&plan_to_json(&plan).expect("ser")).expect("de");
+        prop_assert_eq!(&plan, &back);
+        let x = input_for(&net, &mut rng);
+        prop_assert_eq!(
+            plan.forward(&x).expect("plan").as_slice(),
+            back.forward(&x).expect("back").as_slice()
+        );
+    }
+
+    /// Int8 plans keep the *batch invariance* contract bitwise for every
+    /// topology and mask — i32 accumulation is exact and activation scales
+    /// are per-sample, so batching cannot perturb a single sample's output.
+    #[test]
+    fn int8_forward_batch_matches_per_sample_bitwise(t in topology(), batch in 1usize..8) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x18A8);
+        let mask = random_mask(&net, &mut rng, true);
+        let plan = net
+            .compile_with_precision(&mask, Precision::Int8)
+            .expect("compiles");
+        let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+        let batched = plan.forward_batch(&inputs).expect("batch");
+        for (x, out) in inputs.iter().zip(&batched) {
+            let single = plan.forward(x).expect("single");
+            prop_assert_eq!(single.as_slice(), out.as_slice());
+        }
+    }
+
+    /// Int8 plans stay numerically close to their f32 twin: pruned output
+    /// classes stay exact zeros and logits drift only within the
+    /// quantization grid's reach.
+    #[test]
+    fn int8_plan_tracks_f32_plan(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x5CA1);
+        let mask = random_mask(&net, &mut rng, true);
+        let f32_plan = net.compile(&mask).expect("compiles f32");
+        let int8_plan = net
+            .compile_with_precision(&mask, Precision::Int8)
+            .expect("compiles int8");
+        let x = input_for(&net, &mut rng);
+        let yf = f32_plan.forward(&x).expect("f32");
+        let yq = int8_plan.forward(&x).expect("int8");
+        prop_assert_eq!(yf.dims(), yq.dims());
+        let scale = yf.as_slice().iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        for (i, (&a, &b)) in yf.as_slice().iter().zip(yq.as_slice()).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 0.3 * scale + 2e-2,
+                "logit {i} drift {a} vs {b} (scale {scale})"
+            );
+        }
+    }
+
+    /// Int8 plans round-trip the v3 envelope with their quantized panels
+    /// intact: the decoded plan reproduces outputs bitwise.
+    #[test]
+    fn int8_plan_json_roundtrip_preserves_outputs(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x0DEC);
+        let mask = random_mask(&net, &mut rng, true);
+        let plan = net
+            .compile_with_precision(&mask, Precision::Int8)
+            .expect("compiles");
         let back = plan_from_json(&plan_to_json(&plan).expect("ser")).expect("de");
         prop_assert_eq!(&plan, &back);
         let x = input_for(&net, &mut rng);

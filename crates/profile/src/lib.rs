@@ -31,5 +31,5 @@ mod selectivity;
 
 pub use confusion::ConfusionMatrix;
 pub use firing::{FiringRateProfiler, FiringRates, LayerRates};
-pub use quant::{quantize_rates, QuantizedRates};
+pub use quant::{int8_weight_stats, quantize_rates, Int8WeightStats, QuantizedRates};
 pub use selectivity::{layer_selectivity, unit_selectivity, LayerSelectivity, UnitSelectivity};

@@ -72,6 +72,91 @@ pub fn quantize_rates(rates: &FiringRates, bits: u32) -> QuantizedRates {
     }
 }
 
+/// Round-trip fidelity of symmetric per-channel int8 weight quantization —
+/// the scheme [`Precision::Int8`](capnn_nn::Precision) compiled plans apply
+/// to their packed panels. Lets the ablation experiments report *weight*
+/// quantization error alongside the firing-rate grid error above, and the
+/// storage win of shipping int8 panels to devices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Int8WeightStats {
+    /// Quantization groups (output channels / columns) measured.
+    pub channels: usize,
+    /// Total weights measured.
+    pub elements: usize,
+    /// Largest absolute round-trip error across all weights.
+    pub max_abs_error: f32,
+    /// Root-mean-square round-trip error across all weights.
+    pub rms_error: f32,
+    /// Largest per-channel scale (the worst channel's quantization step).
+    pub max_scale: f32,
+    /// Bytes to store the weights in f32.
+    pub f32_bytes: u64,
+    /// Bytes to store the int8 weights plus one f32 scale per channel.
+    pub int8_bytes: u64,
+}
+
+impl Int8WeightStats {
+    /// Storage compression factor of the int8 representation (≈4 minus the
+    /// per-channel scale overhead).
+    pub fn compression(&self) -> f64 {
+        if self.int8_bytes == 0 {
+            return 1.0;
+        }
+        self.f32_bytes as f64 / self.int8_bytes as f64
+    }
+}
+
+/// Measures symmetric int8 round-trip fidelity over per-channel weight
+/// groups: each `channels` slice is quantized with its own scale
+/// (`max_abs/127`, the [`capnn_tensor::i8_scale`] grid) and compared
+/// against the original. The error of every weight is bounded by half its
+/// channel's scale; all-zero channels round-trip exactly.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_profile::int8_weight_stats;
+///
+/// let stats = int8_weight_stats([&[0.5f32, -1.0, 0.25][..], &[0.0; 4][..]]);
+/// assert_eq!(stats.channels, 2);
+/// assert!(stats.max_abs_error <= stats.max_scale / 2.0);
+/// assert!(stats.compression() > 1.5); // tiny channels: scale overhead dominates
+/// ```
+pub fn int8_weight_stats<'a>(channels: impl IntoIterator<Item = &'a [f32]>) -> Int8WeightStats {
+    use capnn_tensor::{i8_inv_scale, i8_scale, max_abs, quantize_i8};
+    let mut n_ch = 0usize;
+    let mut n = 0usize;
+    let mut max_err = 0.0f32;
+    let mut sq_sum = 0.0f64;
+    let mut max_scale = 0.0f32;
+    for ch in channels {
+        n_ch += 1;
+        n += ch.len();
+        let m = max_abs(ch);
+        let scale = i8_scale(m);
+        let inv = i8_inv_scale(m);
+        max_scale = max_scale.max(scale);
+        for &x in ch {
+            let err = (x - quantize_i8(x, inv) as f32 * scale).abs();
+            max_err = max_err.max(err);
+            sq_sum += (err as f64) * (err as f64);
+        }
+    }
+    Int8WeightStats {
+        channels: n_ch,
+        elements: n,
+        max_abs_error: max_err,
+        rms_error: if n == 0 {
+            0.0
+        } else {
+            (sq_sum / n as f64).sqrt() as f32
+        },
+        max_scale,
+        f32_bytes: 4 * n as u64,
+        int8_bytes: n as u64 + 4 * n_ch as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +234,39 @@ mod tests {
     #[should_panic(expected = "bits must be in 1..=16")]
     fn zero_bits_panics() {
         quantize_rates(&sample_rates(), 0);
+    }
+
+    #[test]
+    fn int8_stats_error_bounded_by_half_scale() {
+        let c0 = [0.7f32, -0.31, 0.002, 1.5, -1.5];
+        let c1 = [0.01f32, -0.002, 0.0033];
+        let stats = int8_weight_stats([&c0[..], &c1[..]]);
+        assert_eq!(stats.channels, 2);
+        assert_eq!(stats.elements, 8);
+        // per-channel scales mean the tiny channel does not inherit the
+        // big channel's coarse grid, so the global bound is max_scale/2
+        assert!(stats.max_abs_error <= stats.max_scale / 2.0 + f32::EPSILON);
+        assert!(stats.rms_error <= stats.max_abs_error);
+        // channel extremes (±max_abs) quantize exactly to ±127
+        assert!((stats.max_scale - 1.5 / 127.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn int8_stats_zero_channel_roundtrips_exactly() {
+        let stats = int8_weight_stats([&[0.0f32; 6][..]]);
+        assert_eq!(stats.max_abs_error, 0.0);
+        assert_eq!(stats.rms_error, 0.0);
+        assert_eq!(stats.max_scale, 0.0);
+    }
+
+    #[test]
+    fn int8_stats_storage_accounting() {
+        let stats = int8_weight_stats([&[1.0f32; 100][..], &[2.0f32; 100][..]]);
+        assert_eq!(stats.f32_bytes, 800);
+        assert_eq!(stats.int8_bytes, 200 + 8);
+        assert!(stats.compression() > 3.5);
+        let empty = int8_weight_stats(std::iter::empty::<&[f32]>());
+        assert_eq!(empty.elements, 0);
+        assert_eq!(empty.compression(), 1.0);
     }
 }

@@ -236,20 +236,22 @@ fn im2col_into(
 /// Fills one `(channel, ky, kx)` unfold row for a single sample plane:
 /// `dst[oy·ow + ox] = input[chan_base + iy·w + ix]` for every in-bounds
 /// kernel tap, leaving padding cells untouched (callers pre-zero the
-/// destination). The shared body of every im2col variant. Stride-1 convs
+/// destination). The shared body of every im2col variant, generic over
+/// the element type — the unfold is pure data movement, so the f32 plan
+/// path and the quantized i8 path share it verbatim. Stride-1 convs
 /// — the common CNN case — copy one contiguous run per output row via
 /// `copy_from_slice` instead of testing bounds per element.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn unfold_plane(
-    input: &[f32],
+fn unfold_plane<T: Copy>(
+    input: &[T],
     spec: &Conv2dSpec,
     h: usize,
     w: usize,
     chan_base: usize,
     ky: usize,
     kx: usize,
-    dst: &mut [f32],
+    dst: &mut [T],
 ) {
     let (oh, ow) = spec.output_hw(h, w);
     for oy in 0..oh {
@@ -299,16 +301,22 @@ fn min_unfold_rows(wide: usize) -> usize {
 /// Cell-for-cell equivalent to `batch` calls of [`im2col_strided_into`],
 /// done once per conv step instead of once per sample.
 ///
+/// Generic over the element type: compiled plans run it over `f32`
+/// activations on the full-precision path and over already-quantized
+/// `i8` activations on the int8 path (the unfold is pure data movement,
+/// so quantizing before the unfold touches each element once instead of
+/// once per kernel tap).
+///
 /// # Panics
 ///
 /// Panics if `cols` does not have exactly the required length.
-pub fn im2col_batch_into(
-    input: &[f32],
+pub fn im2col_batch_into<T: Copy + Send + Sync>(
+    input: &[T],
     spec: &Conv2dSpec,
     h: usize,
     w: usize,
     batch: usize,
-    cols: &mut [f32],
+    cols: &mut [T],
     threads: usize,
 ) {
     let (oh, ow) = spec.output_hw(h, w);
@@ -362,8 +370,8 @@ pub fn im2col_batch_into(
 /// the im2col amortization behind `CompiledPlan::forward_batch` in
 /// `capnn-nn`.
 #[allow(clippy::too_many_arguments)]
-pub fn im2col_strided_into(
-    input: &[f32],
+pub fn im2col_strided_into<T: Copy>(
+    input: &[T],
     spec: &Conv2dSpec,
     h: usize,
     w: usize,
@@ -371,7 +379,7 @@ pub fn im2col_strided_into(
     base: usize,
     dst_cols: usize,
     col_offset: usize,
-    cols: &mut [f32],
+    cols: &mut [T],
 ) {
     let (oh, ow) = spec.output_hw(h, w);
     let ncols = oh * ow;

@@ -23,6 +23,7 @@ mod error;
 mod ops;
 pub mod parallel;
 mod pool;
+mod qops;
 mod rng;
 mod shape;
 mod tensor;
@@ -41,6 +42,12 @@ pub use ops::{
     pack_conv_panels, pack_dense_panels, MatmulLayout,
 };
 pub use pool::{max_pool2d, PoolSpec};
+pub use qops::{
+    conv_gemm_i8_into, conv_gemm_i8_reference, dense_batch_i8_chw_into,
+    dense_batch_i8_chw_reference, dense_batch_i8_into, dense_batch_i8_reference, i8_inv_scale,
+    i8_scale, max_abs, quantize_conv_panels_i8, quantize_dense_panels_i8, quantize_i8,
+    quantize_slice_i8, I8_QMAX,
+};
 pub use rng::XorShiftRng;
 pub use shape::Shape;
 pub use tensor::Tensor;

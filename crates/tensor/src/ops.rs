@@ -50,8 +50,9 @@ fn check_rank2(t: &Tensor, name: &str) -> Result<(usize, usize), TensorError> {
 }
 
 /// Minimum rows a worker must own for a kernel over `k`×`n`-cost rows to
-/// go parallel.
-fn min_rows_per_thread(k: usize, n: usize) -> usize {
+/// go parallel. Crate-visible so the int8 kernels (`crate::qops`) apply
+/// the same spawn threshold.
+pub(crate) fn min_rows_per_thread(k: usize, n: usize) -> usize {
     PAR_MIN_MACS.div_ceil((k * n).max(1))
 }
 
@@ -140,10 +141,10 @@ pub(crate) fn matmul_transpose_b_into(
 }
 
 /// Samples per register tile of the batched dense microkernel.
-const DENSE_SB: usize = 4;
+pub(crate) const DENSE_SB: usize = 4;
 
 /// Output columns per register tile of the batched dense microkernel.
-const DENSE_JT: usize = 8;
+pub(crate) const DENSE_JT: usize = 8;
 
 /// Packs a transposed dense weight matrix `wt` (input-major
 /// `[n_in × n_out]`) into `DENSE_JT`-column panels for the batched dense
@@ -350,6 +351,7 @@ fn dense_batch_rows_impl(
 /// streamed weight panel is reused across the tile — the core
 /// amortization that makes the batched serving path beat per-sample
 /// execution.
+#[allow(clippy::too_many_arguments)]
 pub fn dense_batch_into(
     a: &[f32],
     panels: &[f32],
@@ -435,7 +437,7 @@ pub fn dense_batch_chw_into(
 pub(crate) const CONV_MR: usize = 4;
 
 /// Output columns per register tile of the conv GEMM microkernel.
-const CONV_NR: usize = 8;
+pub(crate) const CONV_NR: usize = 8;
 
 /// Length in elements of the [`pack_conv_panels`] buffer for an
 /// `out_c × krows` weight matrix (the last panel is zero-padded to a full
@@ -592,7 +594,7 @@ fn conv_gemm_rows_impl(
     let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
     let mut oc = r0;
     while oc < r1 {
-        if oc % CONV_MR == 0 && oc + CONV_MR <= r1 {
+        if oc.is_multiple_of(CONV_MR) && oc + CONV_MR <= r1 {
             let panel = &panels[(oc / CONV_MR) * krows * CONV_MR..][..krows * CONV_MR];
             let bs = [
                 bias_at(oc),
@@ -1046,7 +1048,6 @@ pub fn matmul_transpose_b_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, Te
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy matmul entrypoints stay under test until removal
 mod tests {
     use super::*;
     use crate::XorShiftRng;
@@ -1074,8 +1075,8 @@ mod tests {
         assert!(matmul(&a, &b).is_err());
         assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
         assert!(matmul(&Tensor::zeros(&[3]), &a).is_err());
-        assert!(matmul_reference(&a, &b).is_err());
-        assert!(matmul_threaded(&a, &b, 2).is_err());
+        assert!(matmul_layout_reference(&a, &b, MatmulLayout::Plain).is_err());
+        assert!(matmul_layout_threaded(&a, &b, MatmulLayout::Plain, 2).is_err());
     }
 
     #[test]
@@ -1107,10 +1108,10 @@ mod tests {
         let b = Tensor::zeros(&[4, 5]);
         assert!(matmul_transpose_a(&a, &b).is_err());
         assert!(matmul_transpose_b(&a, &b).is_err());
-        assert!(matmul_transpose_a_reference(&a, &b).is_err());
-        assert!(matmul_transpose_b_reference(&a, &b).is_err());
-        assert!(matmul_transpose_a_threaded(&a, &b, 2).is_err());
-        assert!(matmul_transpose_b_threaded(&a, &b, 2).is_err());
+        assert!(matmul_layout_reference(&a, &b, MatmulLayout::TransposeA).is_err());
+        assert!(matmul_layout_reference(&a, &b, MatmulLayout::TransposeB).is_err());
+        assert!(matmul_layout_threaded(&a, &b, MatmulLayout::TransposeA, 2).is_err());
+        assert!(matmul_layout_threaded(&a, &b, MatmulLayout::TransposeB, 2).is_err());
     }
 
     #[test]
@@ -1127,16 +1128,16 @@ mod tests {
         // n > JB exercises the column-tiled path
         let a = Tensor::uniform(&[7, 13], -1.0, 1.0, &mut rng);
         let b = Tensor::uniform(&[13, 600], -1.0, 1.0, &mut rng);
-        let reference = matmul_reference(&a, &b).unwrap();
+        let reference = matmul_layout_reference(&a, &b, MatmulLayout::Plain).unwrap();
         for threads in [1usize, 2, 3, 8] {
-            let got = matmul_threaded(&a, &b, threads).unwrap();
+            let got = matmul_layout_threaded(&a, &b, MatmulLayout::Plain, threads).unwrap();
             assert_eq!(got.as_slice(), reference.as_slice(), "threads={threads}");
         }
 
         let at = a.transpose().unwrap();
-        let ta_ref = matmul_transpose_a_reference(&at, &b).unwrap();
+        let ta_ref = matmul_layout_reference(&at, &b, MatmulLayout::TransposeA).unwrap();
         for threads in [1usize, 2, 5] {
-            let got = matmul_transpose_a_threaded(&at, &b, threads).unwrap();
+            let got = matmul_layout_threaded(&at, &b, MatmulLayout::TransposeA, threads).unwrap();
             assert_eq!(got.as_slice(), ta_ref.as_slice(), "threads={threads}");
         }
     }
@@ -1254,7 +1255,11 @@ mod tests {
         assert_eq!(out, vec![1.5, -2.0, 1.5, -2.0]);
     }
 
+    /// Sole remaining caller of the `#[deprecated]` wrappers: pins each
+    /// one to the layout driver until the wrappers are removed. Everything
+    /// else in-tree goes through `matmul_layout_*` directly.
     #[test]
+    #[allow(deprecated)]
     fn layout_driver_matches_deprecated_wrappers() {
         let mut rng = XorShiftRng::new(31);
         let a = Tensor::uniform(&[5, 7], -1.0, 1.0, &mut rng);
@@ -1274,6 +1279,16 @@ mod tests {
                 MatmulLayout::TransposeB => matmul_transpose_b_reference(x, y).unwrap(),
             };
             assert_eq!(reference.as_slice(), legacy.as_slice(), "{layout:?}");
+            let legacy_threaded = match layout {
+                MatmulLayout::Plain => matmul_threaded(x, y, 2).unwrap(),
+                MatmulLayout::TransposeA => matmul_transpose_a_threaded(x, y, 2).unwrap(),
+                MatmulLayout::TransposeB => matmul_transpose_b_threaded(x, y, 2).unwrap(),
+            };
+            assert_eq!(
+                legacy_threaded.as_slice(),
+                reference.as_slice(),
+                "{layout:?}"
+            );
             for threads in [1usize, 3] {
                 let got = matmul_layout_threaded(x, y, layout, threads).unwrap();
                 assert_eq!(
@@ -1410,9 +1425,9 @@ mod tests {
             }
         }
         let b = Tensor::uniform(&[10, 40], -1.0, 1.0, &mut rng);
-        let reference = matmul_transpose_b_reference(&a, &b).unwrap();
+        let reference = matmul_layout_reference(&a, &b, MatmulLayout::TransposeB).unwrap();
         for threads in [1usize, 2, 4] {
-            let got = matmul_transpose_b_threaded(&a, &b, threads).unwrap();
+            let got = matmul_layout_threaded(&a, &b, MatmulLayout::TransposeB, threads).unwrap();
             for (&x, &y) in got.as_slice().iter().zip(reference.as_slice()) {
                 assert!((x - y).abs() < 1e-6, "{x} vs {y}");
             }

@@ -179,19 +179,22 @@ where
 ///
 /// Each output row is written by exactly one worker, so results are
 /// bitwise identical to the serial execution regardless of thread count.
+/// Generic over the element type so the same partitioner drives both the
+/// `f32` kernels and the `i8` quantized im2col/GEMM paths.
 ///
 /// # Panics
 ///
 /// Panics if `out.len() != rows * row_len`.
-pub fn parallel_rows_mut<F>(
-    out: &mut [f32],
+pub fn parallel_rows_mut<T, F>(
+    out: &mut [T],
     rows: usize,
     row_len: usize,
     threads: usize,
     min_rows_per_thread: usize,
     body: F,
 ) where
-    F: Fn(Range<usize>, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
 {
     assert_eq!(out.len(), rows * row_len, "row partition over wrong buffer");
     let workers = worker_count(rows, threads, min_rows_per_thread);

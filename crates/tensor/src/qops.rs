@@ -1,0 +1,1308 @@
+//! Symmetric int8 quantization and the quantized panel-GEMM kernels.
+//!
+//! The quantization scheme is the standard symmetric linear map used by
+//! int8 inference runtimes: a tensor (or channel) with peak magnitude
+//! `max_abs` gets the scale `max_abs / 127`, values quantize as
+//! `round(x / scale)` clamped to `[-127, 127]` (the `-128` code is never
+//! produced, keeping the grid symmetric), and dequantization is a single
+//! multiply in the f32 epilogue. Weights are quantized **per output
+//! channel** at pack time — each output column/channel sees only its own
+//! dynamic range, so a single outlier channel cannot crush everyone
+//! else's resolution — while activations are quantized **per sample** at
+//! run time (one scale per sample, computed from that sample's peak).
+//! Per-sample rather than per-batch-buffer scales matter for more than
+//! accuracy: batched execution partitions samples across workers, and a
+//! buffer-wide maximum would make every sample's rounding depend on who
+//! else shares its batch. With per-sample scales the int8 path keeps the
+//! crate-wide determinism contract — bitwise-identical results across
+//! batch sizes, tile positions and thread counts.
+//!
+//! The GEMM kernels follow the register blocking of the f32 panel
+//! kernels in `crate::ops` (same runtime AVX2 re-dispatch, same worker
+//! partitioning) but accumulate products in `i32` and lean on the AVX2
+//! `vpmaddwd` instruction: two adjacent reduction rows are processed per
+//! step as sign-extended `i16` pairs, so one instruction performs 16
+//! multiplies and 8 pairwise adds into exact `i32` lanes. To feed it
+//! without shuffles the dense weight packer emits a **pair-interleaved**
+//! panel layout (`[w[2k][j], w[2k+1][j]]` byte pairs per column, odd
+//! depth padded with a zero row); the conv kernel interleaves im2col row
+//! pairs on the fly with one byte-unpack. Integer accumulation is exact —
+//! there is no rounding and no reassociation error — so the optimized
+//! kernels are **bitwise** identical to the scalar references by
+//! construction, not merely value-identical: any summation order gives
+//! the same `i32`. The only floating-point arithmetic is the shared
+//! epilogue, `acc as f32 * (act_scale * weight_scale) + bias` (then
+//! `max(0)` when ReLU is fused), written as the identical expression in
+//! every path.
+//!
+//! Accumulator range: each product is at most `127² = 16 129`, so the
+//! `i32` accumulator is safe up to a reduction depth of ~133 000 —
+//! orders of magnitude above any layer in this codebase (the packers
+//! assert the bound).
+
+use crate::ops::{min_rows_per_thread, CONV_MR, CONV_NR, DENSE_JT, DENSE_SB};
+use crate::parallel;
+
+/// Largest magnitude the symmetric int8 grid represents: codes span
+/// `[-127, 127]` (the asymmetric `-128` code is unused).
+pub const I8_QMAX: f32 = 127.0;
+
+/// Deepest reduction the `i32` accumulators tolerate without overflow:
+/// `i32::MAX / 127²`, with a small safety margin.
+const MAX_I8_REDUCTION: usize = (i32::MAX / (127 * 127)) as usize - 1;
+
+/// Peak magnitude of `xs` (0.0 for an empty slice).
+pub fn max_abs(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Symmetric int8 scale for a tensor with peak magnitude `max_abs`:
+/// the f32 step between adjacent codes. A zero range yields scale 0.0 —
+/// every value quantizes to code 0 and dequantizes to exactly 0.0, which
+/// is consistent end to end (an all-zero tensor stays all-zero).
+pub fn i8_scale(max_abs: f32) -> f32 {
+    max_abs / I8_QMAX
+}
+
+/// Multiplier taking an f32 value to its (unclamped) int8 code:
+/// `127 / max_abs`, or 0.0 for a zero range so everything maps to code 0.
+pub fn i8_inv_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 {
+        I8_QMAX / max_abs
+    } else {
+        0.0
+    }
+}
+
+/// Quantizes one value with a precomputed [`i8_inv_scale`] multiplier:
+/// round-half-away-from-zero, clamped to the symmetric code range.
+#[inline(always)]
+pub fn quantize_i8(x: f32, inv: f32) -> i8 {
+    (x * inv).round().clamp(-I8_QMAX, I8_QMAX) as i8
+}
+
+/// Quantizes `src` into `dst` with a single per-tensor scale derived from
+/// the slice's own peak magnitude, returning that scale ([`i8_scale`]).
+/// This is the dynamic activation quantizer: one call per sample.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn quantize_slice_i8(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize buffer length");
+    let m = max_abs(src);
+    let inv = i8_inv_scale(m);
+    for (d, &x) in dst.iter_mut().zip(src) {
+        *d = quantize_i8(x, inv);
+    }
+    i8_scale(m)
+}
+
+/// Index of weight `(c, j)` inside the pair-interleaved dense int8 panel
+/// buffer: panels of `DENSE_JT` output columns, reduction rows in
+/// adjacent pairs with the pair's two bytes interleaved per column —
+/// `[t][k][jj][r]` where `k = c/2` and `r = c%2`. The layout lets the
+/// AVX2 kernel feed `vpmaddwd` with one straight 16-byte load per pair.
+#[inline(always)]
+fn dense_i8_index(c: usize, j: usize, npairs: usize) -> usize {
+    let (t, jj) = (j / DENSE_JT, j % DENSE_JT);
+    (t * npairs + c / 2) * 2 * DENSE_JT + 2 * jj + (c % 2)
+}
+
+/// Quantizes and packs a transposed dense weight matrix `wt` (input-major
+/// `[n_in × n_out]`) into the pair-interleaved int8 panel layout (see
+/// [`dense_i8_index`]; odd `n_in` is padded with a zero reduction row)
+/// with **per-output-column** scales: returns the int8 panel buffer and
+/// `scales[j]` = [`i8_scale`] of column `j`'s peak magnitude. Padding
+/// columns of the last panel hold code 0 and their scale is never read.
+///
+/// # Panics
+///
+/// Panics if `wt.len() != n_in * n_out` or the reduction depth `n_in`
+/// exceeds the `i32` accumulator bound.
+pub fn quantize_dense_panels_i8(wt: &[f32], n_in: usize, n_out: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(wt.len(), n_in * n_out, "dense weight buffer shape");
+    assert!(n_in <= MAX_I8_REDUCTION, "int8 reduction depth overflow");
+    let tiles = n_out.div_ceil(DENSE_JT);
+    let npairs = n_in.div_ceil(2);
+    let mut packed = vec![0i8; tiles * npairs * 2 * DENSE_JT];
+    let mut scales = vec![0.0f32; n_out];
+    for (j, scale) in scales.iter_mut().enumerate() {
+        let mut m = 0.0f32;
+        for c in 0..n_in {
+            m = m.max(wt[c * n_out + j].abs());
+        }
+        *scale = i8_scale(m);
+        let inv = i8_inv_scale(m);
+        for c in 0..n_in {
+            packed[dense_i8_index(c, j, npairs)] = quantize_i8(wt[c * n_out + j], inv);
+        }
+    }
+    (packed, scales)
+}
+
+/// Quantizes and packs a conv weight matrix `w` (row-major
+/// `[out_c × krows]`) into the [`pack_conv_panels`](crate::pack_conv_panels)
+/// layout with **per-output-channel** scales: returns the int8 panel
+/// buffer (length [`conv_panels_len`](crate::conv_panels_len)) and
+/// `scales[oc]` = [`i8_scale`] of row `oc`'s peak magnitude.
+///
+/// # Panics
+///
+/// Panics if `w.len() != out_c * krows` or the reduction depth `krows`
+/// exceeds the `i32` accumulator bound.
+pub fn quantize_conv_panels_i8(w: &[f32], out_c: usize, krows: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(w.len(), out_c * krows, "conv weight buffer shape");
+    assert!(krows <= MAX_I8_REDUCTION, "int8 reduction depth overflow");
+    let mut packed = vec![0i8; crate::ops::conv_panels_len(out_c, krows)];
+    let mut scales = vec![0.0f32; out_c];
+    for (oc, row) in w.chunks_exact(krows.max(1)).enumerate() {
+        let m = max_abs(row);
+        scales[oc] = i8_scale(m);
+        let inv = i8_inv_scale(m);
+        let base = (oc / CONV_MR) * krows * CONV_MR + oc % CONV_MR;
+        for (r, &v) in row.iter().enumerate() {
+            packed[base + r * CONV_MR] = quantize_i8(v, inv);
+        }
+    }
+    (packed, scales)
+}
+
+/// Shared dequantization epilogue of the dense int8 kernels: one output
+/// row segment. The expression is written once and reused verbatim by the
+/// optimized tiles and the scalar references so every path performs the
+/// identical f32 operations: `acc·(a_scale·w_scale) + bias`.
+#[inline(always)]
+fn dense_i8_epilogue(acc: &[i32], a_scale: f32, w_scales: &[f32], bias: &[f32], dst: &mut [f32]) {
+    for (((o, &q), &ws), &b) in dst.iter_mut().zip(acc).zip(w_scales).zip(bias) {
+        *o = q as f32 * (a_scale * ws) + b;
+    }
+}
+
+/// Packs two adjacent int8 codes into the 32-bit `(lo, hi)` i16-pair
+/// operand `vpmaddwd` consumes after an 8-lane broadcast.
+#[inline(always)]
+fn pack_i8_pair(a0: i8, a1: i8) -> i32 {
+    ((a0 as i16 as u16 as u32) | ((a1 as i16 as u16 as u32) << 16)) as i32
+}
+
+/// Register-blocked int8 microkernel shared by [`dense_batch_i8_into`]
+/// and [`dense_batch_i8_chw_into`]: the int8 twin of the f32
+/// `dense_batch_rows` in `crate::ops`, with the same affine activation
+/// addressing (`bases[c] + b*stride`) and the same `DENSE_SB × DENSE_JT`
+/// register tile — except reduction rows advance in pairs over the
+/// pair-interleaved panel layout, accumulators are `i32` and the
+/// bias/scale work moves to the f32 epilogue. Integer accumulation is
+/// exact, so the `vpmaddwd` path is *bitwise* identical to the portable
+/// body, not just value-identical.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn dense_i8_rows(
+    aq: &[i8],
+    stride: usize,
+    bases: impl Iterator<Item = usize> + Clone,
+    panels: &[i8],
+    a_scales: &[f32],
+    w_scales: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_in: usize,
+    n_out: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe {
+            dense_i8_rows_avx2(
+                aq, stride, bases, panels, a_scales, w_scales, bias, block, row0, nb, n_in, n_out,
+            )
+        };
+        return;
+    }
+    dense_i8_rows_impl(
+        aq, stride, bases, panels, a_scales, w_scales, bias, block, row0, nb, n_in, n_out,
+    );
+}
+
+/// `vpmaddwd` body of [`dense_i8_rows`]. Each sample's activation row is
+/// sign-extended to `i16` once up front (odd depth zero-padded), so a
+/// 32-bit broadcast load at offset `2k` *is* the `(a[2k], a[2k+1])` pair
+/// operand — the inner loop is one 16-byte panel load + sign-extend per
+/// pair row, then one `vpbroadcastd`+`vpmaddwd`+`vpaddd` per sample of
+/// the `DENSE_SB` register tile: 16 multiplies per 3 instructions. The
+/// `i32` lane sums equal the portable body's bitwise.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dense_i8_rows_avx2(
+    aq: &[i8],
+    stride: usize,
+    bases: impl Iterator<Item = usize> + Clone,
+    panels: &[i8],
+    a_scales: &[f32],
+    w_scales: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_in: usize,
+    n_out: usize,
+) {
+    use std::arch::x86_64::*;
+    let tiles = n_out.div_ceil(DENSE_JT);
+    let npairs = n_in.div_ceil(2);
+    // Sign-extended activation rows for the whole worker block, gathered
+    // through `bases` so flat and CHW layouts land identically. O(nb·n_in)
+    // against the O(nb·n_in·n_out/8) main loop it feeds.
+    let mut a16 = vec![0i16; nb * 2 * npairs];
+    for s in 0..nb {
+        let soff = (row0 + s) * stride;
+        let dst = &mut a16[s * 2 * npairs..(s + 1) * 2 * npairs];
+        for (c, base) in bases.clone().enumerate() {
+            // SAFETY: the public entrypoints assert `aq` covers every
+            // `bases[c] + sample·stride` index.
+            *dst.get_unchecked_mut(c) = *aq.get_unchecked(base + soff) as i16;
+        }
+    }
+    // SAFETY (main loop): panel pair rows are 2·DENSE_JT = 16 bytes,
+    // exactly one xmm load; `a16` rows are 2·npairs lanes so the 32-bit
+    // pair reads at 2k stay in bounds (read_unaligned: only 2-aligned).
+    for t in 0..tiles {
+        let j0 = t * DENSE_JT;
+        let jn = (n_out - j0).min(DENSE_JT);
+        let panel = &panels[t * npairs * 2 * DENSE_JT..(t + 1) * npairs * 2 * DENSE_JT];
+        let wsc = &w_scales[j0..j0 + jn];
+        let bsl = &bias[j0..j0 + jn];
+        let mut s0 = 0;
+        while s0 + DENSE_SB <= nb {
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut acc2 = _mm256_setzero_si256();
+            let mut acc3 = _mm256_setzero_si256();
+            let a0p = a16.as_ptr().add(s0 * 2 * npairs);
+            let a1p = a0p.add(2 * npairs);
+            let a2p = a1p.add(2 * npairs);
+            let a3p = a2p.add(2 * npairs);
+            for k in 0..npairs {
+                let wv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    panel.as_ptr().add(k * 2 * DENSE_JT) as *const __m128i,
+                ));
+                let pair = |p: *const i16| {
+                    _mm256_set1_epi32(core::ptr::read_unaligned(p.add(2 * k) as *const i32))
+                };
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(pair(a0p), wv));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(pair(a1p), wv));
+                acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(pair(a2p), wv));
+                acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(pair(a3p), wv));
+            }
+            for (s, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let mut lanes = [0i32; DENSE_JT];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                dense_i8_epilogue(
+                    &lanes[..jn],
+                    a_scales[row0 + s0 + s],
+                    wsc,
+                    bsl,
+                    &mut block[(s0 + s) * n_out + j0..(s0 + s) * n_out + j0 + jn],
+                );
+            }
+            s0 += DENSE_SB;
+        }
+        while s0 < nb {
+            let mut acc = _mm256_setzero_si256();
+            let ap = a16.as_ptr().add(s0 * 2 * npairs);
+            for k in 0..npairs {
+                let wv = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    panel.as_ptr().add(k * 2 * DENSE_JT) as *const __m128i,
+                ));
+                let av = _mm256_set1_epi32(core::ptr::read_unaligned(ap.add(2 * k) as *const i32));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, wv));
+            }
+            let mut lanes = [0i32; DENSE_JT];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+            dense_i8_epilogue(
+                &lanes[..jn],
+                a_scales[row0 + s0],
+                wsc,
+                bsl,
+                &mut block[s0 * n_out + j0..s0 * n_out + j0 + jn],
+            );
+            s0 += 1;
+        }
+    }
+}
+
+/// Portable body of [`dense_i8_rows`] over the same pair-interleaved
+/// panel layout; see its docs.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dense_i8_rows_impl(
+    aq: &[i8],
+    stride: usize,
+    bases: impl Iterator<Item = usize> + Clone,
+    panels: &[i8],
+    a_scales: &[f32],
+    w_scales: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_in: usize,
+    n_out: usize,
+) {
+    let tiles = n_out.div_ceil(DENSE_JT);
+    let npairs = n_in.div_ceil(2);
+    for t in 0..tiles {
+        let j0 = t * DENSE_JT;
+        let jn = (n_out - j0).min(DENSE_JT);
+        let panel = &panels[t * npairs * 2 * DENSE_JT..(t + 1) * npairs * 2 * DENSE_JT];
+        let wsc = &w_scales[j0..j0 + jn];
+        let bsl = &bias[j0..j0 + jn];
+        for s in 0..nb {
+            let soff = (row0 + s) * stride;
+            let mut acc = [0i32; DENSE_JT];
+            let mut bit = bases.clone();
+            let mut k = 0usize;
+            while let Some(b0) = bit.next() {
+                let a0 = aq[b0 + soff] as i32;
+                let a1 = bit.next().map_or(0, |b1| aq[b1 + soff] as i32);
+                let wrow = &panel[k * 2 * DENSE_JT..(k + 1) * 2 * DENSE_JT];
+                for (jj, o) in acc.iter_mut().enumerate() {
+                    *o += a0 * wrow[2 * jj] as i32 + a1 * wrow[2 * jj + 1] as i32;
+                }
+                k += 1;
+            }
+            dense_i8_epilogue(
+                &acc[..jn],
+                a_scales[row0 + s],
+                wsc,
+                bsl,
+                &mut block[s * n_out + j0..s * n_out + j0 + jn],
+            );
+        }
+    }
+}
+
+/// Batched int8 dense layer on quantized packed weights: for each sample
+/// `b` of the sample-major quantized activation `aq` (`batch × n_in`,
+/// scale `a_scales[b]`),
+///
+/// ```text
+/// out[b][j] = (Σ_c aq[b][c]·qw[c][j]) · (a_scales[b]·w_scales[j]) + bias[j]
+/// ```
+///
+/// with the weights supplied as the [`quantize_dense_panels_i8`] panel
+/// buffer and per-column scales. The `i32` reduction is exact, so results
+/// are bitwise identical to [`dense_batch_i8_reference`] for every batch
+/// size, tiling and thread count. Samples are row-partitioned across
+/// `threads` workers exactly like the f32 kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_batch_i8_into(
+    aq: &[i8],
+    a_scales: &[f32],
+    panels: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_in: usize,
+    n_out: usize,
+    threads: usize,
+) {
+    assert!(a_scales.len() >= batch, "per-sample activation scales");
+    assert!(aq.len() >= batch * n_in, "quantized activation buffer");
+    assert_eq!(
+        panels.len(),
+        n_out.div_ceil(DENSE_JT) * n_in.div_ceil(2) * 2 * DENSE_JT,
+        "pair-interleaved panel buffer"
+    );
+    parallel::parallel_rows_mut(
+        out,
+        batch,
+        n_out,
+        threads,
+        min_rows_per_thread(n_in, n_out),
+        |rows, block| {
+            dense_i8_rows(
+                aq,
+                n_in,
+                0..n_in,
+                panels,
+                a_scales,
+                w_scales,
+                bias,
+                block,
+                rows.start,
+                rows.len(),
+                n_in,
+                n_out,
+            );
+        },
+    );
+}
+
+/// [`dense_batch_i8_into`] over a *channel-major batched* quantized CHW
+/// activation — element `(b, c, p)` of `aq` at `(c·batch + b)·plane + p`,
+/// the layout the conv front of a compiled plan produces. Same per-sample
+/// scales, same bitwise contract.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_batch_i8_chw_into(
+    aq: &[i8],
+    a_scales: &[f32],
+    panels: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    n_out: usize,
+    threads: usize,
+) {
+    assert!(a_scales.len() >= batch, "per-sample activation scales");
+    let n_in = channels * plane;
+    assert!(aq.len() >= batch * n_in, "quantized activation buffer");
+    assert_eq!(
+        panels.len(),
+        n_out.div_ceil(DENSE_JT) * n_in.div_ceil(2) * 2 * DENSE_JT,
+        "pair-interleaved panel buffer"
+    );
+    parallel::parallel_rows_mut(
+        out,
+        batch,
+        n_out,
+        threads,
+        min_rows_per_thread(n_in, n_out),
+        |rows, block| {
+            let bases = (0..channels).flat_map(|c| (0..plane).map(move |p| c * batch * plane + p));
+            dense_i8_rows(
+                aq,
+                plane,
+                bases,
+                panels,
+                a_scales,
+                w_scales,
+                bias,
+                block,
+                rows.start,
+                rows.len(),
+                n_in,
+                n_out,
+            );
+        },
+    );
+}
+
+/// Scalar reference for [`dense_batch_i8_into`]: plain serial loops over
+/// the same packed panel buffer, with the epilogue written as the
+/// identical f32 expression. The optimized kernel must match this
+/// **bitwise** — integer accumulation has no rounding to hide behind.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_batch_i8_reference(
+    aq: &[i8],
+    a_scales: &[f32],
+    panels: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_in: usize,
+    n_out: usize,
+) {
+    let npairs = n_in.div_ceil(2);
+    for b in 0..batch {
+        for j in 0..n_out {
+            let mut acc = 0i32;
+            for c in 0..n_in {
+                acc += aq[b * n_in + c] as i32 * panels[dense_i8_index(c, j, npairs)] as i32;
+            }
+            out[b * n_out + j] = acc as f32 * (a_scales[b] * w_scales[j]) + bias[j];
+        }
+    }
+}
+
+/// Scalar reference for [`dense_batch_i8_chw_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn dense_batch_i8_chw_reference(
+    aq: &[i8],
+    a_scales: &[f32],
+    panels: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    n_out: usize,
+) {
+    let n_in = channels * plane;
+    let npairs = n_in.div_ceil(2);
+    for b in 0..batch {
+        for j in 0..n_out {
+            let mut acc = 0i32;
+            for c in 0..channels {
+                for p in 0..plane {
+                    let flat = c * plane + p;
+                    acc += aq[(c * batch + b) * plane + p] as i32
+                        * panels[dense_i8_index(flat, j, npairs)] as i32;
+                }
+            }
+            out[b * n_out + j] = acc as f32 * (a_scales[b] * w_scales[j]) + bias[j];
+        }
+    }
+}
+
+/// Shared dequantization epilogue of the conv int8 kernels: one output
+/// row segment of channel `oc`. Identical expression in tiles, edge rows
+/// and the scalar reference: `acc·(col_scale·w_scale) + bias`, then the
+/// fused ReLU clamp.
+#[inline(always)]
+fn conv_i8_epilogue(
+    acc: &[i32],
+    w_scale: f32,
+    col_scales: &[f32],
+    bias: f32,
+    relu: bool,
+    dst: &mut [f32],
+) {
+    for ((o, &q), &cs) in dst.iter_mut().zip(acc).zip(col_scales) {
+        let v = q as f32 * (cs * w_scale) + bias;
+        *o = if relu { v.max(0.0) } else { v };
+    }
+}
+
+/// Panel-packed int8 conv GEMM with fused dequantize+bias+ReLU epilogue:
+/// the int8 twin of [`conv_gemm_into`](crate::conv_gemm_into) over a
+/// quantized im2col matrix. `panels`/`w_scales` come from
+/// [`quantize_conv_panels_i8`]; `cols` is the quantized `krows × n`
+/// column matrix and `col_scales[j]` is the activation scale of column
+/// `j` — in batched plan execution every column of sample `b` carries
+/// that sample's scale, so the buffer is a per-sample scale broadcast
+/// over each sample's `oh·ow` column window.
+///
+/// ```text
+/// out[oc][j] = dequant(Σ_r qw(oc,r)·cols[r][j]) + bias[oc]   (then ReLU)
+/// dequant(q) = q · (col_scales[j] · w_scales[oc])
+/// ```
+///
+/// The `i32` reduction is exact, so results are bitwise identical to
+/// [`conv_gemm_i8_reference`] across tilings and thread counts. Output
+/// rows are partitioned across `threads` workers with the same mid-panel
+/// edge handling as the f32 kernel.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_gemm_i8_into(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    out_c: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+    threads: usize,
+) {
+    assert_eq!(
+        panels.len(),
+        crate::ops::conv_panels_len(out_c, krows),
+        "panel buffer"
+    );
+    assert!(cols.len() >= krows * n, "im2col buffer");
+    assert!(col_scales.len() >= n, "per-column scales");
+    assert!(out.len() >= out_c * n, "output buffer");
+    parallel::parallel_rows_mut(
+        out,
+        out_c,
+        n,
+        threads,
+        min_rows_per_thread(krows, n),
+        |rows, block| {
+            conv_i8_rows(
+                panels, w_scales, cols, col_scales, bias, block, rows.start, rows.end, krows, n,
+                relu,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of [`conv_gemm_i8_into`]: rows
+/// `r0..r1` of the output into `block`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8_rows(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe {
+            conv_i8_rows_avx2(
+                panels, w_scales, cols, col_scales, bias, block, r0, r1, krows, n, relu,
+            )
+        };
+        return;
+    }
+    conv_i8_rows_impl(
+        panels, w_scales, cols, col_scales, bias, block, r0, r1, krows, n, relu,
+    );
+}
+
+/// `vpmaddwd` body of [`conv_i8_rows`]: im2col reduction rows advance in
+/// pairs, interleaved on the fly with one byte-unpack (two 8-byte row
+/// loads → 16 interleaved `i16` lanes), and each of the panel's `CONV_MR`
+/// output channels contributes its weight pair as an 8-lane broadcast —
+/// one `vpmaddwd`+`vpaddd` per channel retires 16 multiplies over a full
+/// `CONV_NR` column tile. Pair-broadcast weights are precomputed once per
+/// panel and reused across every column tile. Tail columns (`< CONV_NR`)
+/// and mid-panel worker edges take the scalar paths; `i32` sums are exact
+/// either way, so all paths agree bitwise.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn conv_i8_rows_avx2(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    use std::arch::x86_64::*;
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    let npairs = krows.div_ceil(2);
+    let mut oc = r0;
+    while oc < r1 {
+        if !(oc.is_multiple_of(CONV_MR) && oc + CONV_MR <= r1) {
+            let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+            conv_i8_row(
+                panels,
+                cols,
+                col_scales,
+                bias_at(oc),
+                w_scales[oc],
+                row,
+                oc,
+                krows,
+                n,
+                relu,
+            );
+            oc += 1;
+            continue;
+        }
+        let panel = &panels[(oc / CONV_MR) * krows * CONV_MR..][..krows * CONV_MR];
+        // per-pair broadcast weights for the panel's four channels, built
+        // once and streamed over every column tile
+        let mut wp = vec![0i32; npairs * CONV_MR];
+        for k in 0..npairs {
+            for m in 0..CONV_MR {
+                let w0 = panel[2 * k * CONV_MR + m];
+                let w1 = if 2 * k + 1 < krows {
+                    panel[(2 * k + 1) * CONV_MR + m]
+                } else {
+                    0
+                };
+                wp[k * CONV_MR + m] = pack_i8_pair(w0, w1);
+            }
+        }
+        let mut j0 = 0;
+        while j0 + CONV_NR <= n {
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut acc2 = _mm256_setzero_si256();
+            let mut acc3 = _mm256_setzero_si256();
+            for k in 0..npairs {
+                // SAFETY: j0 + CONV_NR ≤ n and both rows are < krows, so
+                // the 8-byte loads stay inside `cols` (len ≥ krows·n).
+                let c0 = _mm_loadl_epi64(cols.as_ptr().add(2 * k * n + j0) as *const __m128i);
+                let c1 = if 2 * k + 1 < krows {
+                    _mm_loadl_epi64(cols.as_ptr().add((2 * k + 1) * n + j0) as *const __m128i)
+                } else {
+                    _mm_setzero_si128()
+                };
+                let cv = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(c0, c1));
+                let wk = &wp[k * CONV_MR..(k + 1) * CONV_MR];
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[0])));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[1])));
+                acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[2])));
+                acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[3])));
+            }
+            let csc = &col_scales[j0..j0 + CONV_NR];
+            for (m, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let mut lanes = [0i32; CONV_NR];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                conv_i8_epilogue(
+                    &lanes,
+                    w_scales[oc + m],
+                    csc,
+                    bias_at(oc + m),
+                    relu,
+                    &mut block[(oc - r0 + m) * n + j0..(oc - r0 + m) * n + j0 + CONV_NR],
+                );
+            }
+            j0 += CONV_NR;
+        }
+        if j0 < n {
+            // scalar tail: same exact i32 sums on the leftover columns
+            let jn = n - j0;
+            for m in 0..CONV_MR {
+                let mut acc = [0i32; CONV_NR];
+                for r in 0..krows {
+                    let w = panel[r * CONV_MR + m] as i32;
+                    let crow = &cols[r * n + j0..r * n + j0 + jn];
+                    for (o, &c) in acc[..jn].iter_mut().zip(crow) {
+                        *o += w * c as i32;
+                    }
+                }
+                conv_i8_epilogue(
+                    &acc[..jn],
+                    w_scales[oc + m],
+                    &col_scales[j0..j0 + jn],
+                    bias_at(oc + m),
+                    relu,
+                    &mut block[(oc - r0 + m) * n + j0..(oc - r0 + m) * n + j0 + jn],
+                );
+            }
+        }
+        oc += CONV_MR;
+    }
+}
+
+/// Portable body of [`conv_i8_rows`]; see [`conv_gemm_i8_into`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8_rows_impl(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    let mut oc = r0;
+    while oc < r1 {
+        if oc.is_multiple_of(CONV_MR) && oc + CONV_MR <= r1 {
+            let panel = &panels[(oc / CONV_MR) * krows * CONV_MR..][..krows * CONV_MR];
+            let bs = [
+                bias_at(oc),
+                bias_at(oc + 1),
+                bias_at(oc + 2),
+                bias_at(oc + 3),
+            ];
+            let ws = [
+                w_scales[oc],
+                w_scales[oc + 1],
+                w_scales[oc + 2],
+                w_scales[oc + 3],
+            ];
+            let tile = &mut block[(oc - r0) * n..(oc - r0 + CONV_MR) * n];
+            conv_i8_tile(panel, cols, col_scales, bs, ws, tile, n, relu);
+            oc += CONV_MR;
+        } else {
+            let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+            conv_i8_row(
+                panels,
+                cols,
+                col_scales,
+                bias_at(oc),
+                w_scales[oc],
+                row,
+                oc,
+                krows,
+                n,
+                relu,
+            );
+            oc += 1;
+        }
+    }
+}
+
+/// One full `CONV_MR`-row int8 panel against every `CONV_NR`-wide column
+/// tile; see [`conv_gemm_i8_into`] for the numeric contract.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8_tile(
+    panel: &[i8],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: [f32; CONV_MR],
+    w_scales: [f32; CONV_MR],
+    tile: &mut [f32],
+    n: usize,
+    relu: bool,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (n - j0).min(CONV_NR);
+        let mut acc0 = [0i32; CONV_NR];
+        let mut acc1 = [0i32; CONV_NR];
+        let mut acc2 = [0i32; CONV_NR];
+        let mut acc3 = [0i32; CONV_NR];
+        if jn == CONV_NR {
+            for (r, w) in panel.chunks_exact(CONV_MR).enumerate() {
+                let crow: &[i8; CONV_NR] = cols[r * n + j0..r * n + j0 + CONV_NR]
+                    .try_into()
+                    .expect("column tile");
+                let ws = [w[0] as i32, w[1] as i32, w[2] as i32, w[3] as i32];
+                for (o, &c) in acc0.iter_mut().zip(crow) {
+                    *o += ws[0] * c as i32;
+                }
+                for (o, &c) in acc1.iter_mut().zip(crow) {
+                    *o += ws[1] * c as i32;
+                }
+                for (o, &c) in acc2.iter_mut().zip(crow) {
+                    *o += ws[2] * c as i32;
+                }
+                for (o, &c) in acc3.iter_mut().zip(crow) {
+                    *o += ws[3] * c as i32;
+                }
+            }
+        } else {
+            for (r, w) in panel.chunks_exact(CONV_MR).enumerate() {
+                let crow = &cols[r * n + j0..r * n + j0 + jn];
+                let ws = [w[0] as i32, w[1] as i32, w[2] as i32, w[3] as i32];
+                for (o, &c) in acc0[..jn].iter_mut().zip(crow) {
+                    *o += ws[0] * c as i32;
+                }
+                for (o, &c) in acc1[..jn].iter_mut().zip(crow) {
+                    *o += ws[1] * c as i32;
+                }
+                for (o, &c) in acc2[..jn].iter_mut().zip(crow) {
+                    *o += ws[2] * c as i32;
+                }
+                for (o, &c) in acc3[..jn].iter_mut().zip(crow) {
+                    *o += ws[3] * c as i32;
+                }
+            }
+        }
+        let csc = &col_scales[j0..j0 + jn];
+        conv_i8_epilogue(
+            &acc0[..jn],
+            w_scales[0],
+            csc,
+            bias[0],
+            relu,
+            &mut tile[j0..j0 + jn],
+        );
+        conv_i8_epilogue(
+            &acc1[..jn],
+            w_scales[1],
+            csc,
+            bias[1],
+            relu,
+            &mut tile[n + j0..n + j0 + jn],
+        );
+        conv_i8_epilogue(
+            &acc2[..jn],
+            w_scales[2],
+            csc,
+            bias[2],
+            relu,
+            &mut tile[2 * n + j0..2 * n + j0 + jn],
+        );
+        conv_i8_epilogue(
+            &acc3[..jn],
+            w_scales[3],
+            csc,
+            bias[3],
+            relu,
+            &mut tile[3 * n + j0..3 * n + j0 + jn],
+        );
+        j0 += CONV_NR;
+    }
+}
+
+/// Single output-channel edge path for worker ranges that start or end
+/// mid-panel: reads the packed layout with stride `CONV_MR`, accumulating
+/// the same exact `i32` sum as [`conv_i8_tile`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8_row(
+    panels: &[i8],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: f32,
+    w_scale: f32,
+    row: &mut [f32],
+    oc: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    let base = (oc / CONV_MR) * krows * CONV_MR + oc % CONV_MR;
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (n - j0).min(CONV_NR);
+        let mut acc = [0i32; CONV_NR];
+        for r in 0..krows {
+            let w = panels[base + r * CONV_MR] as i32;
+            let crow = &cols[r * n + j0..r * n + j0 + jn];
+            for (o, &c) in acc[..jn].iter_mut().zip(crow) {
+                *o += w * c as i32;
+            }
+        }
+        conv_i8_epilogue(
+            &acc[..jn],
+            w_scale,
+            &col_scales[j0..j0 + jn],
+            bias,
+            relu,
+            &mut row[j0..j0 + jn],
+        );
+        j0 += CONV_NR;
+    }
+}
+
+/// Scalar reference for [`conv_gemm_i8_into`]: plain serial loops over
+/// the same packed panel buffer with the identical epilogue expression.
+/// The optimized kernel must match this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_gemm_i8_reference(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    out_c: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    for oc in 0..out_c {
+        let base = (oc / CONV_MR) * krows * CONV_MR + oc % CONV_MR;
+        let b = bias.map_or(0.0, |b| b[oc]);
+        for j in 0..n {
+            let mut acc = 0i32;
+            for r in 0..krows {
+                acc += panels[base + r * CONV_MR] as i32 * cols[r * n + j] as i32;
+            }
+            let v = acc as f32 * (col_scales[j] * w_scales[oc]) + b;
+            out[oc * n + j] = if relu { v.max(0.0) } else { v };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tensor, XorShiftRng};
+
+    #[test]
+    fn quantize_known_values() {
+        // max_abs 2.0 → scale 2/127; codes hit the grid ends exactly
+        let inv = i8_inv_scale(2.0);
+        assert_eq!(quantize_i8(2.0, inv), 127);
+        assert_eq!(quantize_i8(-2.0, inv), -127);
+        assert_eq!(quantize_i8(0.0, inv), 0);
+        assert_eq!(quantize_i8(1.0, inv), 64); // 63.5 rounds away from zero
+    }
+
+    #[test]
+    fn zero_range_quantizes_to_zero() {
+        let src = [0.0f32; 5];
+        let mut dst = [7i8; 5];
+        let scale = quantize_slice_i8(&src, &mut dst);
+        assert_eq!(scale, 0.0);
+        assert_eq!(dst, [0i8; 5]);
+    }
+
+    #[test]
+    fn slice_roundtrip_error_bounded_by_half_step() {
+        let mut rng = XorShiftRng::new(5);
+        let src = Tensor::uniform(&[400], -3.0, 3.0, &mut rng);
+        let mut q = vec![0i8; 400];
+        let scale = quantize_slice_i8(src.as_slice(), &mut q);
+        for (&x, &code) in src.as_slice().iter().zip(&q) {
+            let back = code as f32 * scale;
+            assert!(
+                (x - back).abs() <= scale * 0.5 + 1e-6,
+                "{x} vs {back} (scale {scale})"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_panel_scales_are_per_column() {
+        // column 0 small-range, column 1 large-range: independent scales
+        let wt = [0.1f32, 100.0, -0.05, -50.0]; // n_in=2, n_out=2
+        let (_, scales) = quantize_dense_panels_i8(&wt, 2, 2);
+        assert_eq!(scales[0], i8_scale(0.1));
+        assert_eq!(scales[1], i8_scale(100.0));
+    }
+
+    #[test]
+    fn dense_i8_matches_reference_bitwise() {
+        let mut rng = XorShiftRng::new(17);
+        for (n_in, n_out) in [(1usize, 1usize), (37, 19), (64, 24), (13, 8)] {
+            let wt = Tensor::uniform(&[n_in, n_out], -1.0, 1.0, &mut rng);
+            let bias = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng);
+            let (panels, wsc) = quantize_dense_panels_i8(wt.as_slice(), n_in, n_out);
+            for batch in [1usize, 3, 8, 21] {
+                let a = Tensor::uniform(&[batch, n_in], -2.0, 2.0, &mut rng);
+                let mut aq = vec![0i8; batch * n_in];
+                let mut asc = vec![0.0f32; batch];
+                for b in 0..batch {
+                    asc[b] = quantize_slice_i8(
+                        &a.as_slice()[b * n_in..(b + 1) * n_in],
+                        &mut aq[b * n_in..(b + 1) * n_in],
+                    );
+                }
+                let mut want = vec![0.0f32; batch * n_out];
+                dense_batch_i8_reference(
+                    &aq,
+                    &asc,
+                    &panels,
+                    &wsc,
+                    bias.as_slice(),
+                    &mut want,
+                    batch,
+                    n_in,
+                    n_out,
+                );
+                for threads in [1usize, 3] {
+                    let mut got = vec![0.0f32; batch * n_out];
+                    dense_batch_i8_into(
+                        &aq,
+                        &asc,
+                        &panels,
+                        &wsc,
+                        bias.as_slice(),
+                        &mut got,
+                        batch,
+                        n_in,
+                        n_out,
+                        threads,
+                    );
+                    assert_eq!(got, want, "n_in={n_in} n_out={n_out} batch={batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_i8_chw_matches_flat_reference_bitwise() {
+        let mut rng = XorShiftRng::new(19);
+        let (channels, plane, n_out, batch) = (3usize, 10usize, 7usize, 6usize);
+        let n_in = channels * plane;
+        let wt = Tensor::uniform(&[n_in, n_out], -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng);
+        let (panels, wsc) = quantize_dense_panels_i8(wt.as_slice(), n_in, n_out);
+        let flat = Tensor::uniform(&[batch, n_in], -1.5, 1.5, &mut rng);
+        // per-sample quantization of the flat layout...
+        let mut fq = vec![0i8; batch * n_in];
+        let mut asc = vec![0.0f32; batch];
+        for b in 0..batch {
+            asc[b] = quantize_slice_i8(
+                &flat.as_slice()[b * n_in..(b + 1) * n_in],
+                &mut fq[b * n_in..(b + 1) * n_in],
+            );
+        }
+        // ...repacked channel-major gives the same codes per sample
+        let mut cq = vec![0i8; batch * n_in];
+        for b in 0..batch {
+            for c in 0..channels {
+                for p in 0..plane {
+                    cq[(c * batch + b) * plane + p] = fq[b * n_in + c * plane + p];
+                }
+            }
+        }
+        let mut want = vec![0.0f32; batch * n_out];
+        dense_batch_i8_reference(
+            &fq,
+            &asc,
+            &panels,
+            &wsc,
+            bias.as_slice(),
+            &mut want,
+            batch,
+            n_in,
+            n_out,
+        );
+        let mut ref_chw = vec![0.0f32; batch * n_out];
+        dense_batch_i8_chw_reference(
+            &cq,
+            &asc,
+            &panels,
+            &wsc,
+            bias.as_slice(),
+            &mut ref_chw,
+            batch,
+            channels,
+            plane,
+            n_out,
+        );
+        assert_eq!(ref_chw, want);
+        for threads in [1usize, 2] {
+            let mut got = vec![0.0f32; batch * n_out];
+            dense_batch_i8_chw_into(
+                &cq,
+                &asc,
+                &panels,
+                &wsc,
+                bias.as_slice(),
+                &mut got,
+                batch,
+                channels,
+                plane,
+                n_out,
+                threads,
+            );
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn conv_i8_matches_reference_bitwise() {
+        let mut rng = XorShiftRng::new(23);
+        for (out_c, krows, n) in [
+            (1usize, 9usize, 5usize),
+            (4, 18, 16),
+            (6, 27, 70),
+            (12, 54, 64),
+        ] {
+            let w = Tensor::uniform(&[out_c, krows], -1.0, 1.0, &mut rng);
+            let bias = Tensor::uniform(&[out_c], -0.5, 0.5, &mut rng);
+            let (panels, wsc) = quantize_conv_panels_i8(w.as_slice(), out_c, krows);
+            let colsf = Tensor::uniform(&[krows, n], -2.0, 2.0, &mut rng);
+            let mut cols = vec![0i8; krows * n];
+            // one shared activation scale, broadcast per column (single
+            // sample in the batched layout)
+            let scale = quantize_slice_i8(colsf.as_slice(), &mut cols);
+            let col_scales = vec![scale; n];
+            for relu in [false, true] {
+                for bias_opt in [None, Some(bias.as_slice())] {
+                    let mut want = vec![0.0f32; out_c * n];
+                    conv_gemm_i8_reference(
+                        &panels,
+                        &wsc,
+                        &cols,
+                        &col_scales,
+                        bias_opt,
+                        &mut want,
+                        out_c,
+                        krows,
+                        n,
+                        relu,
+                    );
+                    for threads in [1usize, 2, 5] {
+                        let mut got = vec![0.0f32; out_c * n];
+                        conv_gemm_i8_into(
+                            &panels,
+                            &wsc,
+                            &cols,
+                            &col_scales,
+                            bias_opt,
+                            &mut got,
+                            out_c,
+                            krows,
+                            n,
+                            relu,
+                            threads,
+                        );
+                        assert_eq!(
+                            got, want,
+                            "out_c={out_c} krows={krows} n={n} relu={relu} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_i8_zero_depth_is_bias_epilogue() {
+        let bias = [0.75f32, -1.25];
+        let (panels, wsc) = quantize_conv_panels_i8(&[], 2, 0);
+        let col_scales = [1.0f32; 3];
+        let mut out = vec![f32::NAN; 6];
+        conv_gemm_i8_into(
+            &panels,
+            &wsc,
+            &[],
+            &col_scales,
+            Some(&bias),
+            &mut out,
+            2,
+            0,
+            3,
+            true,
+            1,
+        );
+        assert_eq!(out, vec![0.75, 0.75, 0.75, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn dequantized_dense_tracks_f32_result() {
+        // end-to-end fidelity: int8 dense output within a few quantization
+        // steps of the f32 kernel on a realistic layer
+        let mut rng = XorShiftRng::new(29);
+        let (n_in, n_out, batch) = (64usize, 32usize, 4usize);
+        let wt = Tensor::uniform(&[n_in, n_out], -0.5, 0.5, &mut rng);
+        let bias = Tensor::uniform(&[n_out], -0.2, 0.2, &mut rng);
+        let a = Tensor::uniform(&[batch, n_in], -1.0, 1.0, &mut rng);
+        let panels = crate::pack_dense_panels(wt.as_slice(), n_in, n_out);
+        let mut want = vec![0.0f32; batch * n_out];
+        crate::dense_batch_into(
+            a.as_slice(),
+            &panels,
+            bias.as_slice(),
+            &mut want,
+            batch,
+            n_in,
+            n_out,
+            1,
+        );
+        let (qpanels, wsc) = quantize_dense_panels_i8(wt.as_slice(), n_in, n_out);
+        let mut aq = vec![0i8; batch * n_in];
+        let mut asc = vec![0.0f32; batch];
+        for b in 0..batch {
+            asc[b] = quantize_slice_i8(
+                &a.as_slice()[b * n_in..(b + 1) * n_in],
+                &mut aq[b * n_in..(b + 1) * n_in],
+            );
+        }
+        let mut got = vec![0.0f32; batch * n_out];
+        dense_batch_i8_into(
+            &aq,
+            &asc,
+            &qpanels,
+            &wsc,
+            bias.as_slice(),
+            &mut got,
+            batch,
+            n_in,
+            n_out,
+            1,
+        );
+        for (b, (&x, &y)) in want.iter().zip(&got).enumerate() {
+            // error budget: n_in products, each off by at most one half
+            // step on each operand — loose bound, tight in practice
+            let tol = 0.05 * (n_in as f32).sqrt() / I8_QMAX * 4.0 + 1e-4;
+            assert!((x - y).abs() < tol.max(0.05), "elem {b}: {x} vs {y}");
+        }
+    }
+}

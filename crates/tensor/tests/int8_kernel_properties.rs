@@ -1,0 +1,189 @@
+//! Property-based equivalence of the int8 GEMM kernel stack against its
+//! scalar references. Unlike the f32 suites, the contract here is
+//! **bitwise**: the `i32` reduction is exact, so for any shape, batch,
+//! thread count and prune-shaped weight matrix the runtime-dispatched
+//! kernels must reproduce the references' every output bit — there is no
+//! rounding for a tiling bug to hide behind.
+
+use capnn_tensor::{
+    conv_gemm_i8_into, conv_gemm_i8_reference, dense_batch_i8_chw_into,
+    dense_batch_i8_chw_reference, dense_batch_i8_into, dense_batch_i8_reference, i8_scale,
+    quantize_conv_panels_i8, quantize_dense_panels_i8, quantize_slice_i8, Tensor, XorShiftRng,
+};
+use proptest::prelude::*;
+
+fn thread_count() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 3, 5])
+}
+
+/// Random f32 weights with a random subset of output columns zeroed, the
+/// shape pruning leaves behind.
+fn masked_weights(rng: &mut XorShiftRng, n_in: usize, n_out: usize) -> Vec<f32> {
+    let mut wt: Vec<f32> = Tensor::uniform(&[n_in, n_out], -1.5, 1.5, rng)
+        .as_slice()
+        .to_vec();
+    for j in 0..n_out {
+        if rng.next_u64().is_multiple_of(4) {
+            for c in 0..n_in {
+                wt[c * n_out + j] = 0.0;
+            }
+        }
+    }
+    wt
+}
+
+fn quantized_activations(rng: &mut XorShiftRng, batch: usize, n_in: usize) -> (Vec<i8>, Vec<f32>) {
+    let acts = Tensor::uniform(&[batch, n_in.max(1)], -2.0, 2.0, rng);
+    let mut qa = vec![0i8; batch * n_in];
+    let mut scales = vec![0.0f32; batch];
+    for b in 0..batch {
+        scales[b] = quantize_slice_i8(
+            &acts.as_slice()[b * n_in..(b + 1) * n_in],
+            &mut qa[b * n_in..(b + 1) * n_in],
+        );
+    }
+    (qa, scales)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flat dense int8 kernel vs its scalar reference, bitwise, across
+    /// random shapes, batch sizes, masked weights and thread counts.
+    #[test]
+    fn dense_i8_matches_reference_bitwise(
+        batch in 1usize..20,
+        n_in in 1usize..24,
+        n_out in 1usize..24,
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let wt = masked_weights(&mut rng, n_in, n_out);
+        let (panels, w_scales) = quantize_dense_panels_i8(&wt, n_in, n_out);
+        let bias: Vec<f32> = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let (qa, a_scales) = quantized_activations(&mut rng, batch, n_in);
+
+        let mut want = vec![0.0f32; batch * n_out];
+        dense_batch_i8_reference(
+            &qa, &a_scales, &panels, &w_scales, &bias, &mut want, batch, n_in, n_out,
+        );
+        let mut got = vec![0.0f32; batch * n_out];
+        dense_batch_i8_into(
+            &qa, &a_scales, &panels, &w_scales, &bias, &mut got, batch, n_in, n_out, threads,
+        );
+        prop_assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// CHW-strided dense int8 kernel vs its scalar reference, bitwise.
+    #[test]
+    fn dense_i8_chw_matches_reference_bitwise(
+        batch in 1usize..12,
+        channels in 1usize..6,
+        plane in 1usize..10,
+        n_out in 1usize..20,
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let n_in = channels * plane;
+        let wt = masked_weights(&mut rng, n_in, n_out);
+        let (panels, w_scales) = quantize_dense_panels_i8(&wt, n_in, n_out);
+        let bias: Vec<f32> = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        // channel-major batched CHW activation: (b, c, p) at (c·B + b)·plane + p
+        let mut qa = vec![0i8; batch * n_in];
+        let mut a_scales = vec![0.0f32; batch];
+        for b in 0..batch {
+            a_scales[b] = i8_scale(2.0);
+            for c in 0..channels {
+                for p in 0..plane {
+                    qa[(c * batch + b) * plane + p] = (rng.next_u64() % 255) as i8;
+                }
+            }
+        }
+
+        let mut want = vec![0.0f32; batch * n_out];
+        dense_batch_i8_chw_reference(
+            &qa, &a_scales, &panels, &w_scales, &bias, &mut want, batch, channels, plane, n_out,
+        );
+        let mut got = vec![0.0f32; batch * n_out];
+        dense_batch_i8_chw_into(
+            &qa, &a_scales, &panels, &w_scales, &bias, &mut got, batch, channels, plane, n_out,
+            threads,
+        );
+        prop_assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Conv panel int8 GEMM vs its scalar reference, bitwise, including
+    /// the fused bias/ReLU epilogue and per-column scale broadcast.
+    #[test]
+    fn conv_i8_matches_reference_bitwise(
+        out_c in 1usize..10,
+        krows in 1usize..28,
+        n in 1usize..40,
+        relu in any::<bool>(),
+        with_bias in any::<bool>(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let w = masked_weights(&mut rng, krows, out_c); // column-pruned, any layout works
+        let (panels, w_scales) = quantize_conv_panels_i8(&w, out_c, krows);
+        let bias: Vec<f32> = Tensor::uniform(&[out_c], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let bias_ref = with_bias.then_some(&bias[..]);
+        let mut cols = vec![0i8; krows * n];
+        for v in cols.iter_mut() {
+            *v = (rng.next_u64() % 255) as i8;
+        }
+        let col_scales: Vec<f32> = (0..n).map(|_| i8_scale(1.0 + (rng.next_u64() % 7) as f32)).collect();
+
+        let mut want = vec![0.0f32; out_c * n];
+        conv_gemm_i8_reference(
+            &panels, &w_scales, &cols, &col_scales, bias_ref, &mut want, out_c, krows, n, relu,
+        );
+        let mut got = vec![0.0f32; out_c * n];
+        conv_gemm_i8_into(
+            &panels, &w_scales, &cols, &col_scales, bias_ref, &mut got, out_c, krows, n, relu,
+            threads,
+        );
+        prop_assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Activation quantization round-trip error is bounded by half the
+    /// returned scale, and all-zero slices round-trip exactly.
+    #[test]
+    fn quantize_slice_error_bounded(
+        len in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let xs: Vec<f32> = Tensor::uniform(&[len], -3.0, 3.0, &mut rng)
+            .as_slice()
+            .to_vec();
+        let mut qs = vec![0i8; len];
+        let scale = quantize_slice_i8(&xs, &mut qs);
+        for (&x, &q) in xs.iter().zip(&qs) {
+            let err = (x - q as f32 * scale).abs();
+            prop_assert!(err <= scale * 0.5 + f32::EPSILON, "err {err} scale {scale}");
+        }
+        let zeros = vec![0.0f32; len];
+        let mut qz = vec![0i8; len];
+        prop_assert_eq!(quantize_slice_i8(&zeros, &mut qz), 0.0);
+        prop_assert!(qz.iter().all(|&q| q == 0));
+    }
+}

@@ -18,9 +18,13 @@ cargo build --release
 cargo test -q
 
 echo "==> perf bins smoke (CAPNN_BENCH_SMOKE=1: tiny iterations, no results/ write)"
+# perf_speedup gates on int8-plan top-1 argmax agreement vs the f32 plan
+# >= 99% over the 128-sample eval set (the accuracy-delta gate).
 # perf_serving additionally gates on vgg_tiny batch-32 speedup_vs_batch1
 # >= 1.8x on multi-core hosts (the panel-packed conv engine's regression
-# guard); 1-core runners skip that check with a logged notice.
+# guard) and on serving_mlp batch-32 int8 speedup vs f32 >= 1.3x on AVX2
+# hosts; runners missing the cores/AVX2 skip those checks with a logged
+# notice.
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_speedup
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_serving
 
