@@ -1,0 +1,364 @@
+//! Fleet-scale plan-cache behaviour under Zipfian load.
+//!
+//! The fleet scenario: one cloud, a large population of *distinct* user
+//! profiles (same class-popularity structure real mobile usage shows —
+//! popular classes dominate), requests drawn Zipfian over profile rank.
+//! The [`FleetPlanCache`] collapses that population three ways — profile
+//! memoization, mask canonicalization and shared weight panels — and holds
+//! the resident compiled plans under a byte budget with LRU eviction.
+//!
+//! Each scenario row replays the *same* request stream against a fresh
+//! cache: unbounded (the per-mask upper bound), the working budget, a
+//! deliberately starved budget, and an int8 run of the working budget.
+//! Emits `results/BENCH_cache.json` with hit rate, evictions, exact
+//! resident bytes, compile amortization and p50/p95 serve latency, and
+//! checks that cache-served plans are argmax-bit-compatible with a fresh
+//! per-profile compile.
+//!
+//! Smoke mode (`CAPNN_BENCH_SMOKE=1`) keeps the 10^5-profile population
+//! but trims the request stream, skips writing `results/`, and gates on
+//! the working-budget row: hit rate ≥ 90 %, resident ≤ budget, argmax
+//! bit-compatible.
+
+use capnn_bench::write_results_json;
+use capnn_core::{CloudServer, FleetPlanCache, PruningConfig, UserProfile, Variant};
+use capnn_data::{VectorClusters, VectorClustersConfig};
+use capnn_nn::{NetworkBuilder, Precision, Trainer, TrainerConfig};
+use capnn_tensor::{Tensor, XorShiftRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const CLASSES: usize = 16;
+const INPUT_DIM: usize = 24;
+/// Class-popularity skew: class c is requested ∝ 1/(c+1)^1.3, the shape
+/// that makes a handful of class *sets* dominate the mask population.
+const CLASS_ZIPF_S: f64 = 1.3;
+/// Request skew over profile ranks (classic Zipf, s = 1).
+const RANK_ZIPF_S: f64 = 1.0;
+/// The working fleet budget the smoke gate checks: holds the hot set but
+/// not the full mask population, so the LRU path is actually exercised.
+const WORKING_BUDGET: u64 = 768 * 1024;
+/// A deliberately starved budget, to exercise heavy eviction churn.
+const TIGHT_BUDGET: u64 = 256 * 1024;
+
+fn smoke_mode() -> bool {
+    std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Cumulative Zipf(s) distribution over `n` ranks, normalized to 1.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 0..n {
+        acc += 1.0 / ((r + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    for v in &mut cdf {
+        *v /= acc;
+    }
+    cdf
+}
+
+/// Samples a rank from `cdf` by inverse transform (binary search).
+fn sample_rank(cdf: &[f64], rng: &mut XorShiftRng) -> usize {
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// `n` distinct profiles: class sets of 1–4 classes drawn with Zipfian
+/// class popularity, weights random (so every profile is its own identity
+/// even when class sets repeat — exactly the population the cache must
+/// collapse).
+fn make_profiles(n: usize, rng: &mut XorShiftRng) -> Vec<UserProfile> {
+    let class_cdf = zipf_cdf(CLASSES, CLASS_ZIPF_S);
+    (0..n)
+        .map(|_| {
+            let k = 1 + rng.next_below(4);
+            let mut classes: Vec<usize> = Vec::with_capacity(k);
+            while classes.len() < k {
+                let c = sample_rank(&class_cdf, rng);
+                if !classes.contains(&c) {
+                    classes.push(c);
+                }
+            }
+            let mut weights: Vec<f32> = (0..k).map(|_| 0.05 + rng.next_uniform()).collect();
+            let sum: f32 = weights.iter().sum();
+            for w in &mut weights {
+                *w /= sum;
+            }
+            UserProfile::new(classes, weights).expect("valid profile")
+        })
+        .collect()
+}
+
+#[derive(Debug, Serialize)]
+struct ScenarioRow {
+    scenario: String,
+    precision: String,
+    budget_bytes: Option<u64>,
+    requests: usize,
+    distinct_profiles: usize,
+    /// Distinct canonical masks the stream produced (= compiles an
+    /// unbounded cache pays; a budgeted cache may recompile after
+    /// eviction).
+    unique_masks: usize,
+    hits: u64,
+    /// Misses = plan compiles (the mask memo still spares re-pruning).
+    misses: u64,
+    hit_rate: f64,
+    evictions: u64,
+    /// Exact end-of-run residency (amortized across shared panels).
+    resident_bytes: u64,
+    resident_within_budget: bool,
+    /// Distinct profiles per compile — the fleet amortization factor.
+    compile_amortization_vs_profiles: f64,
+    p50_us: f64,
+    p95_us: f64,
+    mean_us: f64,
+    /// p95 serve latency relative to the unbounded row (None for the
+    /// unbounded row itself).
+    p95_vs_unbounded_ratio: Option<f64>,
+    /// Live interned kernels in the cloud's panel pool at end of run.
+    pool_live_kernels: usize,
+    argmax_bit_compatible: bool,
+    argmax_samples_checked: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    host_cores: usize,
+    classes: usize,
+    input_dim: usize,
+    class_zipf_s: f64,
+    rank_zipf_s: f64,
+    rows: Vec<ScenarioRow>,
+}
+
+/// Replays `stream` (indices into `profiles`) through a fresh cache and
+/// measures it. `unbounded_p95_us` threads the baseline row's p95 in for
+/// the relative column.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    name: &str,
+    cloud: &mut CloudServer,
+    profiles: &[UserProfile],
+    stream: &[usize],
+    budget: Option<u64>,
+    precision: Precision,
+    unbounded_p95_us: Option<f64>,
+    rng: &mut XorShiftRng,
+) -> ScenarioRow {
+    let mut cache = FleetPlanCache::with_budget(16, budget).expect("cache");
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(stream.len());
+    for &idx in stream {
+        let t0 = Instant::now();
+        std::hint::black_box(
+            cache
+                .plan_for(cloud, &profiles[idx], Variant::Basic, precision)
+                .expect("plan"),
+        );
+        lat_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    lat_ns.sort_unstable();
+    let pct = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    let mean_us = lat_ns.iter().sum::<u64>() as f64 / lat_ns.len() as f64 / 1e3;
+    let (p50_us, p95_us) = (pct(0.50), pct(0.95));
+
+    // cache-served plans must be argmax-bit-compatible with a fresh
+    // per-profile compile of the profile's own mask (slack is 0, so the
+    // canonical mask IS the profile's mask — outputs are bitwise equal)
+    let check = 8.min(profiles.len());
+    let mut compatible = true;
+    for i in 0..check {
+        let profile = &profiles[stream[i * stream.len() / check]];
+        let served = cache
+            .plan_for(cloud, profile, Variant::Basic, precision)
+            .expect("served plan");
+        let mask = cloud.prune_mask(profile, Variant::Basic).expect("mask");
+        let fresh = cloud
+            .network()
+            .compile_with_precision(&mask, precision)
+            .expect("fresh compile");
+        for _ in 0..4 {
+            let x = Tensor::uniform(&[INPUT_DIM], -1.0, 1.0, rng);
+            let a = served.forward(&x).expect("served fwd");
+            let b = fresh.forward(&x).expect("fresh fwd");
+            if a.as_slice() != b.as_slice() || a.argmax() != b.argmax() {
+                compatible = false;
+                eprintln!("[cache] ARGMAX/BITWISE MISMATCH ({name})");
+            }
+        }
+    }
+
+    let stats = cache.stats();
+    let resident = cache.resident_bytes();
+    let row = ScenarioRow {
+        scenario: name.into(),
+        precision: format!("{precision:?}"),
+        budget_bytes: budget,
+        requests: stream.len(),
+        distinct_profiles: profiles.len(),
+        unique_masks: cache.unique_masks(),
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+        evictions: stats.evictions,
+        resident_bytes: resident,
+        resident_within_budget: budget.is_none_or(|b| resident <= b),
+        compile_amortization_vs_profiles: profiles.len() as f64 / stats.misses.max(1) as f64,
+        p50_us,
+        p95_us,
+        mean_us,
+        p95_vs_unbounded_ratio: unbounded_p95_us.map(|base| p95_us / base),
+        pool_live_kernels: cloud.panel_pool().live_kernels(),
+        argmax_bit_compatible: compatible,
+        argmax_samples_checked: check,
+    };
+    eprintln!(
+        "[cache] {name:<16} {:>8} reqs  hit {:>6.2}%  compiles {:>5}  evict {:>6}  \
+         resident {:>9} B  p50 {:>6.2} µs  p95 {:>8.2} µs",
+        row.requests,
+        row.hit_rate * 100.0,
+        row.misses,
+        row.evictions,
+        row.resident_bytes,
+        row.p50_us,
+        row.p95_us,
+    );
+    row
+}
+
+/// Smoke gate over the working-budget row. Returns `true` on failure.
+fn smoke_gate(rows: &[ScenarioRow]) -> bool {
+    let Some(row) = rows.iter().find(|r| r.scenario == "fleet_working") else {
+        eprintln!("[cache] smoke gate: no fleet_working row, nothing to check");
+        return false;
+    };
+    let mut failed = false;
+    if row.hit_rate < 0.90 {
+        eprintln!(
+            "[cache] smoke gate FAILED: hit rate {:.2}% < 90%",
+            row.hit_rate * 100.0
+        );
+        failed = true;
+    }
+    if !row.resident_within_budget {
+        eprintln!(
+            "[cache] smoke gate FAILED: resident {} B over budget {:?}",
+            row.resident_bytes, row.budget_bytes
+        );
+        failed = true;
+    }
+    if !failed {
+        eprintln!(
+            "[cache] smoke gate: hit rate {:.2}% ≥ 90%, resident {} B ≤ budget {} B",
+            row.hit_rate * 100.0,
+            row.resident_bytes,
+            row.budget_bytes.unwrap_or(0)
+        );
+    }
+    failed
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let num_profiles = 100_000;
+    let num_requests = if smoke_mode() { 120_000 } else { 300_000 };
+    eprintln!(
+        "[cache] {num_profiles} distinct profiles, {num_requests} Zipfian requests, \
+         host cores: {host_cores}"
+    );
+
+    // a trained 16-class cloud; CAP'NN-B matrices precompute on first use
+    let gen = VectorClusters::new(VectorClustersConfig::easy(CLASSES, INPUT_DIM)).expect("gen");
+    let mut net = NetworkBuilder::mlp(&[INPUT_DIM, 64, 48, CLASSES], 11)
+        .build()
+        .expect("builds");
+    let cfg = TrainerConfig {
+        epochs: 10,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(&mut net, gen.generate(40, 1).samples())
+        .expect("training");
+    let mut cloud = CloudServer::new(
+        net,
+        &gen.generate(30, 2),
+        &gen.generate(20, 3),
+        PruningConfig::fast(),
+    )
+    .expect("cloud");
+
+    let mut rng = XorShiftRng::new(0xF1EE7);
+    let profiles = make_profiles(num_profiles, &mut rng);
+    let rank_cdf = zipf_cdf(num_profiles, RANK_ZIPF_S);
+    let stream: Vec<usize> = (0..num_requests)
+        .map(|_| sample_rank(&rank_cdf, &mut rng))
+        .collect();
+
+    let mut rows = Vec::new();
+    rows.push(run_scenario(
+        "unbounded",
+        &mut cloud,
+        &profiles,
+        &stream,
+        None,
+        Precision::F32,
+        None,
+        &mut rng,
+    ));
+    let base_p95 = rows[0].p95_us;
+    rows.push(run_scenario(
+        "fleet_working",
+        &mut cloud,
+        &profiles,
+        &stream,
+        Some(WORKING_BUDGET),
+        Precision::F32,
+        Some(base_p95),
+        &mut rng,
+    ));
+    rows.push(run_scenario(
+        "fleet_tight",
+        &mut cloud,
+        &profiles,
+        &stream,
+        Some(TIGHT_BUDGET),
+        Precision::F32,
+        Some(base_p95),
+        &mut rng,
+    ));
+    rows.push(run_scenario(
+        "fleet_working_int8",
+        &mut cloud,
+        &profiles,
+        &stream,
+        Some(WORKING_BUDGET),
+        Precision::Int8,
+        Some(base_p95),
+        &mut rng,
+    ));
+
+    let all_compatible = rows.iter().all(|r| r.argmax_bit_compatible);
+    let all_within = rows.iter().all(|r| r.resident_within_budget);
+    let report = Report {
+        host_cores,
+        classes: CLASSES,
+        input_dim: INPUT_DIM,
+        class_zipf_s: CLASS_ZIPF_S,
+        rank_zipf_s: RANK_ZIPF_S,
+        rows,
+    };
+    if smoke_mode() {
+        eprintln!("[cache] smoke mode: skipping results/ write");
+    } else if let Some(path) = write_results_json("BENCH_cache", &report) {
+        eprintln!("[cache] results written to {}", path.display());
+    }
+
+    let gate_failed = smoke_mode() && smoke_gate(&report.rows);
+    if !all_compatible || !all_within || gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,7 @@
 
 use capnn_bench::{write_results_json, write_results_raw};
 use capnn_core::{
-    CloudServer, DriftPolicy, LocalDevice, ModelCache, PersonalizationRequest,
+    CloudServer, DriftPolicy, FleetPlanCache, LocalDevice, ModelCache, PersonalizationRequest,
     PersonalizationSession, PruningConfig, UserProfile, Variant,
 };
 use capnn_data::{SyntheticImages, SyntheticImagesConfig, VectorClusters, VectorClustersConfig};
@@ -472,6 +472,34 @@ fn serving_scenario() {
         cache
             .personalize(&mut cloud, user, Variant::Weighted)
             .expect("personalize");
+    }
+
+    // fleet plan cache under a deliberately tight byte budget — roomy enough
+    // to keep either precision's plan resident alone, too small for the
+    // f32 + int8 pair the alternating requests below demand — so the
+    // cache.resident_bytes and cache.evictions gauges both land nonzero
+    // alongside the hit/miss counters (the full Zipfian treatment lives in
+    // `perf_cache`)
+    let mask = cloud
+        .prune_mask(&users[0], Variant::Basic)
+        .expect("probe mask");
+    let probe = |precision| {
+        cloud
+            .compile_pooled(&mask, precision)
+            .expect("probe plan")
+            .resident_bytes() as u64
+    };
+    let pair_bytes = probe(Precision::F32) + probe(Precision::Int8);
+    let mut fleet = FleetPlanCache::with_budget(16, Some(pair_bytes - 1)).expect("fleet cache");
+    for (i, user) in users.iter().cycle().take(2 * users.len()).enumerate() {
+        let precision = if i % 2 == 0 {
+            Precision::F32
+        } else {
+            Precision::Int8
+        };
+        fleet
+            .plan_for(&mut cloud, user, Variant::Basic, precision)
+            .expect("fleet plan");
     }
 
     // the unified request API, with telemetry opted in

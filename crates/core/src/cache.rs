@@ -10,11 +10,22 @@
 //! step. The ε guarantee is unaffected: a cached mask was accepted by the
 //! same accuracy check, over the same class set.
 
+//! Two cache tiers live here. [`ModelCache`] is the original whole-model
+//! front-end (profile key → [`PersonalizedModel`]). [`FleetPlanCache`] is
+//! the fleet-scale tier: it canonicalizes masks before keying, shares packed
+//! weight panels across plans through the cloud's
+//! [`PanelPool`](capnn_nn::PanelPool), and evicts
+//! least-recently-used plans to stay under an explicit byte budget
+//! (`CAPNN_CACHE_BYTES`) — the shape a server farm needs when the distinct
+//! profile population is 10^5–10^6 but the hot set is Zipfian.
+
 use crate::cloud::{CloudServer, PersonalizedModel, Variant};
 use crate::error::CapnnError;
 use crate::user::UserProfile;
+use capnn_nn::{CompiledPlan, Precision, PruneMask};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Cache key: variant + class set + usage weights quantized to a grid.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -30,7 +41,10 @@ impl ProfileKey {
     /// Builds the key for a profile at `steps` quantization levels.
     ///
     /// Classes are sorted (two profiles listing the same classes in
-    /// different orders share a key); Basic keys ignore weights entirely.
+    /// different orders share a key) and duplicate class ids are merged by
+    /// summing their weights — [`UserProfile::new`] rejects duplicates, but
+    /// a deserialized profile can carry them, and `{2: 0.3, 2: 0.2}` names
+    /// the same usage as `{2: 0.5}`. Basic keys ignore weights entirely.
     pub fn new(profile: &UserProfile, variant: Variant, steps: u16) -> Self {
         let mut pairs: Vec<(usize, f32)> = profile
             .classes()
@@ -39,6 +53,14 @@ impl ProfileKey {
             .zip(profile.weights().iter().copied())
             .collect();
         pairs.sort_by_key(|&(c, _)| c);
+        pairs.dedup_by(|dup, kept| {
+            if dup.0 == kept.0 {
+                kept.1 += dup.1;
+                true
+            } else {
+                false
+            }
+        });
         let classes: Vec<usize> = pairs.iter().map(|&(c, _)| c).collect();
         let quantized_weights = if variant == Variant::Basic {
             Vec::new()
@@ -56,13 +78,21 @@ impl ProfileKey {
     }
 }
 
-/// Statistics of a [`ModelCache`].
+/// Statistics of a [`ModelCache`] or [`FleetPlanCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Requests answered from the cache.
     pub hits: u64,
-    /// Requests that ran the pruning pipeline.
+    /// Requests that ran the pruning pipeline (for [`FleetPlanCache`]: that
+    /// compiled a plan — the mask memo may still have skipped re-pruning).
     pub misses: u64,
+    /// Plans evicted to stay under the byte budget. Always 0 for the
+    /// unbudgeted [`ModelCache`].
+    pub evictions: u64,
+    /// Bytes of compiled plans resident in the cache, amortized across
+    /// shared panels (see [`CompiledPlan::resident_bytes`]). Always 0 for
+    /// [`ModelCache`], which does not account bytes.
+    pub resident_bytes: u64,
 }
 
 impl CacheStats {
@@ -157,6 +187,288 @@ impl ModelCache {
     }
 }
 
+/// One resident compiled plan plus its LRU bookkeeping.
+#[derive(Debug)]
+struct PlanEntry {
+    plan: Arc<CompiledPlan>,
+    /// Logical timestamp of the last request served from this entry.
+    last_used: u64,
+}
+
+/// Fleet-scale plan cache: canonicalized masks, pooled weight panels, and
+/// byte-budgeted LRU eviction.
+///
+/// Three layers of deduplication stack up, in request order:
+///
+/// 1. **Profile memo** — [`ProfileKey`] → canonical mask. Survives plan
+///    eviction, so a re-requested profile skips the pruning pipeline even
+///    when its plan has to be recompiled.
+/// 2. **Mask canonicalization** — masks are interned by value, collapsing
+///    the many-profiles-to-one-mask structure of CAP'NN-B (the mask is an
+///    intersection of per-class matrices, so every profile with the same
+///    class set lands on the same mask) and of quantized CAP'NN-W/M keys.
+///    With [`FleetPlanCache::set_mask_slack`] the clustering is loosened:
+///    a new mask may be substituted by an existing canonical mask that
+///    keeps at most `slack` extra units, guarded so the canonical kept set
+///    is always a **superset** of the user's kept set (the user's ε check
+///    accepted a mask that prunes *more*, so serving one that prunes less
+///    can only preserve accuracy). The default slack of 0 admits only
+///    mask-equality substitution, which is bitwise output-identical.
+/// 3. **Panel pool** — compilation goes through
+///    [`CloudServer::compile_pooled`], so even *distinct* resident plans
+///    share packed (and quantized) per-layer panels where their kept sets
+///    agree.
+///
+/// Eviction is least-recently-used under a byte budget
+/// (`CAPNN_CACHE_BYTES`, or [`FleetPlanCache::with_budget`]). The budget is
+/// strict: if the just-compiled plan itself cannot fit, it is evicted too
+/// and the request is served uncached. Residency accounting uses
+/// [`CompiledPlan::resident_bytes`], which amortizes each shared panel
+/// across its referents.
+///
+/// # Examples
+///
+/// See the `fleet_cache_*` tests in this module and the `perf_cache` bench.
+#[derive(Debug)]
+pub struct FleetPlanCache {
+    /// Profile key → canonical mask. Never evicted (a mask is a few hundred
+    /// bytes; plans are the heavy part).
+    masks: HashMap<ProfileKey, Arc<PruneMask>>,
+    /// Distinct canonical masks, interned by value.
+    canon: HashSet<Arc<PruneMask>>,
+    /// Resident compiled plans, keyed by canonical mask + precision.
+    plans: HashMap<(Arc<PruneMask>, Precision), PlanEntry>,
+    weight_steps: u16,
+    budget_bytes: Option<u64>,
+    mask_slack: usize,
+    /// Logical clock driving LRU order.
+    tick: u64,
+    /// Running resident estimate: plan bytes at insert time, minus exact
+    /// recounts whenever the budget forces one. Only an upper-ish bound
+    /// between enforcements — [`FleetPlanCache::resident_bytes`] recounts.
+    recorded_bytes: u64,
+    substitutions: u64,
+    stats: CacheStats,
+}
+
+impl FleetPlanCache {
+    /// Creates a cache quantizing usage weights to `weight_steps` levels,
+    /// with the byte budget taken from the `CAPNN_CACHE_BYTES` environment
+    /// variable (unset, unparsable or zero → unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if `weight_steps` is zero.
+    pub fn new(weight_steps: u16) -> Result<Self, CapnnError> {
+        let budget = std::env::var("CAPNN_CACHE_BYTES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&b| b > 0);
+        Self::with_budget(weight_steps, budget)
+    }
+
+    /// Creates a cache with an explicit byte budget (`None` → unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if `weight_steps` is zero.
+    pub fn with_budget(weight_steps: u16, budget_bytes: Option<u64>) -> Result<Self, CapnnError> {
+        if weight_steps == 0 {
+            return Err(CapnnError::Config("weight_steps must be positive".into()));
+        }
+        Ok(Self {
+            masks: HashMap::new(),
+            canon: HashSet::new(),
+            plans: HashMap::new(),
+            weight_steps,
+            budget_bytes,
+            mask_slack: 0,
+            tick: 0,
+            recorded_bytes: 0,
+            substitutions: 0,
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// Allows canonical-mask substitution keeping up to `slack` extra units
+    /// (see the type docs for the accuracy guard). 0 restores the default
+    /// exact-equality clustering.
+    pub fn set_mask_slack(&mut self, slack: usize) {
+        self.mask_slack = slack;
+    }
+
+    /// The configured byte budget (`None` → unbounded).
+    pub fn budget_bytes(&self) -> Option<u64> {
+        self.budget_bytes
+    }
+
+    /// Number of resident compiled plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Number of distinct canonical masks ever interned.
+    pub fn unique_masks(&self) -> usize {
+        self.canon.len()
+    }
+
+    /// Number of profiles served a canonical plan under a nonzero mask
+    /// slack instead of their own exact mask.
+    pub fn canonical_substitutions(&self) -> u64 {
+        self.substitutions
+    }
+
+    /// Hit/miss/eviction/residency statistics. `resident_bytes` here is the
+    /// running accounting value; [`FleetPlanCache::resident_bytes`] recounts
+    /// exactly.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Exact resident bytes: a fresh amortized count over every resident
+    /// plan. `O(plans × kernels)` — cheap under a budget, use sparingly on
+    /// an unbounded cache.
+    pub fn resident_bytes(&self) -> u64 {
+        self.plans
+            .values()
+            .map(|e| e.plan.resident_bytes() as u64)
+            .sum()
+    }
+
+    /// Serves one request: memoized mask lookup (or prune + canonicalize),
+    /// then plan lookup (or pooled compile + budget enforcement).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and compilation errors.
+    pub fn plan_for(
+        &mut self,
+        cloud: &mut CloudServer,
+        profile: &UserProfile,
+        variant: Variant,
+        precision: Precision,
+    ) -> Result<Arc<CompiledPlan>, CapnnError> {
+        self.tick += 1;
+        let key = ProfileKey::new(profile, variant, self.weight_steps);
+        let mask = if let Some(m) = self.masks.get(&key) {
+            Arc::clone(m)
+        } else {
+            let fresh = cloud.prune_mask(profile, variant)?;
+            let canonical = self.intern_mask(fresh);
+            self.masks.insert(key, Arc::clone(&canonical));
+            canonical
+        };
+        if let Some(entry) = self.plans.get_mut(&(Arc::clone(&mask), precision)) {
+            entry.last_used = self.tick;
+            let plan = Arc::clone(&entry.plan);
+            self.stats.hits += 1;
+            capnn_telemetry::count("cache.hits", 1);
+            self.publish_gauges();
+            return Ok(plan);
+        }
+        self.stats.misses += 1;
+        capnn_telemetry::count("cache.misses", 1);
+        let plan = cloud.compile_pooled(&mask, precision)?;
+        self.recorded_bytes = self
+            .recorded_bytes
+            .saturating_add(plan.resident_bytes() as u64);
+        self.plans.insert(
+            (mask, precision),
+            PlanEntry {
+                plan: Arc::clone(&plan),
+                last_used: self.tick,
+            },
+        );
+        self.enforce_budget();
+        self.publish_gauges();
+        Ok(plan)
+    }
+
+    /// Drops every resident plan and memoized mask (e.g. after the cloud
+    /// retrains). Statistics are kept.
+    pub fn invalidate(&mut self) {
+        self.masks.clear();
+        self.canon.clear();
+        self.plans.clear();
+        self.recorded_bytes = 0;
+        self.stats.resident_bytes = 0;
+    }
+
+    /// Interns `mask` by value; under a nonzero slack, an acceptable
+    /// already-canonical superset-kept mask is substituted instead.
+    fn intern_mask(&mut self, mask: PruneMask) -> Arc<PruneMask> {
+        if let Some(existing) = self.canon.get(&mask) {
+            return Arc::clone(existing);
+        }
+        if self.mask_slack > 0 {
+            let user_pruned = mask.pruned_count();
+            // Guard: candidate.is_subset_of(mask) ⟺ the candidate prunes a
+            // subset of what the user's mask prunes ⟺ its kept set is a
+            // superset of the user's. Among acceptable candidates take the
+            // closest (most-pruned) one.
+            let best = self
+                .canon
+                .iter()
+                .filter(|c| {
+                    c.is_subset_of(&mask) && user_pruned - c.pruned_count() <= self.mask_slack
+                })
+                .max_by_key(|c| c.pruned_count())
+                .cloned();
+            if let Some(canonical) = best {
+                self.substitutions += 1;
+                capnn_telemetry::count("cache.canonical_substitutions", 1);
+                return canonical;
+            }
+        }
+        let canonical = Arc::new(mask);
+        self.canon.insert(Arc::clone(&canonical));
+        canonical
+    }
+
+    /// Evicts least-recently-used plans until the resident estimate is
+    /// within budget. Exact recounts happen only when the running estimate
+    /// crosses the budget, so the unbounded path stays O(1) per request.
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget_bytes else {
+            self.stats.resident_bytes = self.recorded_bytes;
+            return;
+        };
+        if self.recorded_bytes <= budget {
+            self.stats.resident_bytes = self.recorded_bytes;
+            return;
+        }
+        // Over the (estimated) budget: recount exactly, then evict LRU-first
+        // until under. The recount after each eviction matters — dropping a
+        // plan shifts panel amortization onto its surviving sharers.
+        let mut resident = self.resident_bytes();
+        while resident > budget && !self.plans.is_empty() {
+            let lru = self
+                .plans
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(key) = lru else { break };
+            self.plans.remove(&key);
+            self.stats.evictions += 1;
+            capnn_telemetry::count("cache.evictions", 1);
+            resident = self.resident_bytes();
+        }
+        self.recorded_bytes = resident;
+        self.stats.resident_bytes = resident;
+    }
+
+    fn publish_gauges(&self) {
+        capnn_telemetry::set_gauge("cache.resident_bytes", self.stats.resident_bytes as f64);
+        capnn_telemetry::set_gauge("cache.evictions", self.stats.evictions as f64);
+        capnn_telemetry::set_gauge("cache.plans", self.plans.len() as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +518,28 @@ mod tests {
     }
 
     #[test]
+    fn key_merges_duplicate_classes_by_summing_weights() {
+        // `UserProfile::new` rejects duplicates, but a deserialized profile
+        // can carry them — the key must treat {2:0.3, 2:0.2} as {2:0.5}.
+        let dup: UserProfile =
+            serde_json::from_str(r#"{"classes":[2,5,2],"weights":[0.3,0.5,0.2]}"#).unwrap();
+        let clean = profile(vec![2, 5], vec![0.5, 0.5]);
+        for variant in [Variant::Basic, Variant::Weighted, Variant::Miseffectual] {
+            assert_eq!(
+                ProfileKey::new(&dup, variant, 16),
+                ProfileKey::new(&clean, variant, 16),
+                "{variant}"
+            );
+        }
+        // and a genuinely different total weight still gets its own key
+        let other = profile(vec![2, 5], vec![0.3, 0.7]);
+        assert_ne!(
+            ProfileKey::new(&dup, Variant::Weighted, 16),
+            ProfileKey::new(&other, Variant::Weighted, 16)
+        );
+    }
+
+    #[test]
     fn key_distinguishes_variants() {
         let a = profile(vec![1, 2], vec![0.5, 0.5]);
         assert_ne!(
@@ -224,12 +558,16 @@ mod tests {
 
     #[test]
     fn stats_hit_rate() {
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
     }
 
-    #[test]
-    fn personalize_counts_hits_and_shares_plans() {
+    /// A trained 4-class cloud small enough for unit tests.
+    fn tiny_cloud() -> CloudServer {
         use capnn_data::{VectorClusters, VectorClustersConfig};
         use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
 
@@ -242,13 +580,18 @@ mod tests {
         Trainer::new(cfg, 1)
             .fit(&mut net, gen.generate(30, 1).samples())
             .unwrap();
-        let mut cloud = crate::CloudServer::new(
+        CloudServer::new(
             net,
             &gen.generate(20, 2),
             &gen.generate(15, 3),
             crate::PruningConfig::fast(),
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn personalize_counts_hits_and_shares_plans() {
+        let mut cloud = tiny_cloud();
         let mut cache = ModelCache::new(16).unwrap();
 
         let a = profile(vec![0, 1], vec![0.7, 0.3]);
@@ -258,19 +601,188 @@ mod tests {
         let ma = cache
             .personalize(&mut cloud, &a, Variant::Weighted)
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 1,
+                ..Default::default()
+            }
+        );
         let mb = cache
             .personalize(&mut cloud, &b, Variant::Weighted)
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                ..Default::default()
+            }
+        );
         // equivalent profiles serve from the *same* compiled plan
         assert!(std::sync::Arc::ptr_eq(&ma.plan, &mb.plan));
         let mc = cache
             .personalize(&mut cloud, &c, Variant::Weighted)
             .unwrap();
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                ..Default::default()
+            }
+        );
         assert!(!std::sync::Arc::ptr_eq(&ma.plan, &mc.plan));
         assert!((cache.stats().hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn fleet_cache_construction_validates() {
+        assert!(FleetPlanCache::with_budget(0, None).is_err());
+        let c = FleetPlanCache::with_budget(16, Some(1 << 20)).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.budget_bytes(), Some(1 << 20));
+        assert_eq!(c.unique_masks(), 0);
+    }
+
+    #[test]
+    fn fleet_cache_memoizes_masks_and_keys_plans_by_precision() {
+        let mut cloud = tiny_cloud();
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let b = profile(vec![1, 0], vec![0.3, 0.7]); // same usage, reordered
+        let c = profile(vec![2, 3], vec![0.5, 0.5]);
+
+        let pa = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        let pb = cache
+            .plan_for(&mut cloud, &b, Variant::Weighted, Precision::F32)
+            .unwrap();
+        // equivalent profiles are served the *same* resident plan
+        assert!(Arc::ptr_eq(&pa, &pb));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+
+        let pc = cache
+            .plan_for(&mut cloud, &c, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&pa, &pc));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.unique_masks(), 2);
+
+        // the same mask at int8 is its own resident plan…
+        let qa = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::Int8)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&pa, &qa));
+        assert_eq!(cache.len(), 3);
+        // …but no new canonical mask was interned for it
+        assert_eq!(cache.unique_masks(), 2);
+
+        assert!(cache.resident_bytes() > 0);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().resident_bytes, cache.resident_bytes());
+    }
+
+    #[test]
+    fn fleet_cache_budget_evicts_lru_and_recompiles_from_mask_memo() {
+        let mut cloud = tiny_cloud();
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let c = profile(vec![2, 3], vec![0.5, 0.5]);
+
+        // size one resident plan to derive a budget that fits ~one plan
+        let one = {
+            let mut probe = FleetPlanCache::with_budget(16, None).unwrap();
+            probe
+                .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+                .unwrap();
+            probe.resident_bytes()
+        };
+        assert!(one > 0);
+
+        let mut cache = FleetPlanCache::with_budget(16, Some(one + one / 4)).unwrap();
+        cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert_eq!(cache.stats().evictions, 0);
+        cache
+            .plan_for(&mut cloud, &c, Variant::Weighted, Precision::F32)
+            .unwrap();
+        // the second plan forced the first (LRU) out
+        assert!(cache.stats().evictions >= 1);
+        assert!(cache.resident_bytes() <= one + one / 4);
+        assert_eq!(cache.unique_masks(), 2);
+
+        // re-requesting `a` recompiles (plan was evicted) from the memoized
+        // mask: a new miss, but no new canonical mask
+        let misses_before = cache.stats().misses;
+        cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1);
+        assert_eq!(cache.unique_masks(), 2);
+    }
+
+    #[test]
+    fn fleet_cache_budget_is_strict_even_for_the_incoming_plan() {
+        let mut cloud = tiny_cloud();
+        // 64 bytes cannot hold any compiled plan
+        let mut cache = FleetPlanCache::with_budget(16, Some(64)).unwrap();
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let plan = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        // served uncached: the plan works, but nothing stays resident
+        assert!(cache.is_empty());
+        assert!(cache.stats().evictions >= 1);
+        assert_eq!(cache.resident_bytes(), 0);
+        let out = plan.forward(&capnn_tensor::Tensor::ones(&[6])).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn fleet_cache_slack_substitutes_only_superset_kept_masks() {
+        let mut cloud = tiny_cloud();
+        let small = UserProfile::uniform(vec![2]).unwrap();
+        let big = UserProfile::uniform(vec![2, 3]).unwrap();
+        // CAP'NN-B masks: prune({2,3}) = ∩ of the per-class matrices
+        // ⊆ prune({2}) — the big profile's mask keeps a superset.
+        let mask_small = cloud.prune_mask(&small, Variant::Basic).unwrap();
+        let mask_big = cloud.prune_mask(&big, Variant::Basic).unwrap();
+        assert_ne!(mask_small, mask_big, "setup: masks must differ");
+        assert!(mask_big.is_subset_of(&mask_small));
+
+        // big first: the small profile may be served big's (superset-kept)
+        // canonical plan
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+        cache.set_mask_slack(10_000);
+        let pb = cache
+            .plan_for(&mut cloud, &big, Variant::Basic, Precision::F32)
+            .unwrap();
+        let ps = cache
+            .plan_for(&mut cloud, &small, Variant::Basic, Precision::F32)
+            .unwrap();
+        assert!(Arc::ptr_eq(&pb, &ps));
+        assert_eq!(cache.canonical_substitutions(), 1);
+        assert_eq!(cache.unique_masks(), 1);
+        assert_eq!(cache.stats().hits, 1);
+
+        // small first: big must NOT be folded onto small's mask — that
+        // would prune units big's ε check never accepted pruning
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+        cache.set_mask_slack(10_000);
+        cache
+            .plan_for(&mut cloud, &small, Variant::Basic, Precision::F32)
+            .unwrap();
+        cache
+            .plan_for(&mut cloud, &big, Variant::Basic, Precision::F32)
+            .unwrap();
+        assert_eq!(cache.canonical_substitutions(), 0);
+        assert_eq!(cache.unique_masks(), 2);
+        assert_eq!(cache.stats().misses, 2);
     }
 }

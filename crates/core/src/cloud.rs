@@ -15,7 +15,9 @@ use crate::error::CapnnError;
 use crate::eval::TailEvaluator;
 use crate::user::UserProfile;
 use capnn_data::Dataset;
-use capnn_nn::{model_size, CompiledPlan, Network, ParamCount, PlanScratch, PruneMask};
+use capnn_nn::{
+    model_size, CompiledPlan, Network, PanelPool, ParamCount, PlanScratch, Precision, PruneMask,
+};
 use capnn_profile::{ConfusionMatrix, FiringRateProfiler, FiringRates};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -218,6 +220,10 @@ pub struct CloudServer {
     config: PruningConfig,
     matrices: Option<PruningMatrices>,
     original_size: ParamCount,
+    /// Interns packed weight panels across every plan this server compiles:
+    /// two personalized plans whose masks agree on a layer's kept sets share
+    /// one `Arc`'d kernel instead of packing the panels twice.
+    pool: PanelPool,
 }
 
 impl CloudServer {
@@ -248,7 +254,32 @@ impl CloudServer {
             config,
             matrices: None,
             original_size,
+            pool: PanelPool::new(),
         })
+    }
+
+    /// The server's shared panel pool (packed-weight interning across
+    /// compiled plans).
+    pub fn panel_pool(&self) -> &PanelPool {
+        &self.pool
+    }
+
+    /// Compiles `mask` against the cloud's full model through the shared
+    /// panel pool: layers whose kept sets match an earlier compile reuse the
+    /// already-packed (and, for [`Precision::Int8`], already-quantized)
+    /// panels by reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-compilation errors.
+    pub fn compile_pooled(
+        &self,
+        mask: &PruneMask,
+        precision: Precision,
+    ) -> Result<Arc<CompiledPlan>, CapnnError> {
+        Ok(Arc::new(
+            self.net.compile_shared(mask, precision, &self.pool)?,
+        ))
     }
 
     /// The full (unpruned) model held in the cloud.
@@ -439,7 +470,7 @@ impl CloudServer {
         let mask = self.prune_mask(profile, variant)?;
         let size = model_size(&self.net, &mask)?;
         let network = self.net.compact(&mask)?;
-        let plan = Arc::new(self.net.compile(&mask)?);
+        let plan = self.compile_pooled(&mask, Precision::F32)?;
         Ok(PersonalizedModel {
             network,
             relative_size: size.relative_to(&self.original_size),

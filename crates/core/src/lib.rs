@@ -57,7 +57,7 @@ mod protocol;
 mod session;
 mod user;
 
-pub use cache::{CacheStats, ModelCache, ProfileKey};
+pub use cache::{CacheStats, FleetPlanCache, ModelCache, ProfileKey};
 pub use capnn_b::{CapnnB, LayerMatrix, PruningMatrices};
 pub use capnn_m::CapnnM;
 pub use capnn_w::CapnnW;

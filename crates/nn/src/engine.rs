@@ -45,9 +45,17 @@ use crate::error::NnError;
 use crate::exec::ExecScratch;
 use crate::mask::PruneMask;
 use crate::network::Network;
-use crate::plan::{CompiledPlan, PlanScratch, Precision};
+use crate::plan::{CompiledPlan, PanelPool, PlanScratch, Precision};
 use capnn_tensor::{parallel, Tensor};
 use std::sync::Arc;
+
+/// Plans the engine keeps compiled at once. A serving thread that
+/// alternates between a handful of masks (or f32/int8 precisions of one
+/// mask) hits this cache instead of recompiling on every switch; beyond
+/// the cap the least-recently-used plan is dropped — its packed panels
+/// stay interned in the engine's [`PanelPool`] while any other live plan
+/// still references them.
+const PLAN_CACHE_CAP: usize = 8;
 
 /// Which execution engine serves a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -233,10 +241,14 @@ pub struct Engine<'n> {
     net: &'n Network,
     scratch: ExecScratch,
     plan_scratch: PlanScratch,
-    /// Compiled-plan cache: the mask and precision it was compiled for,
-    /// and the plan. Re-used while requests keep presenting an equal
-    /// (mask, precision) pair.
-    plan: Option<(PruneMask, Precision, Arc<CompiledPlan>)>,
+    /// Compiled-plan cache in MRU order (front = most recent): each entry
+    /// records the mask and precision it was compiled for. Capped at
+    /// [`PLAN_CACHE_CAP`] entries.
+    plans: Vec<(PruneMask, Precision, Arc<CompiledPlan>)>,
+    /// Packed-panel intern pool shared by every plan this engine
+    /// compiles, so plans whose layers keep the same units reference one
+    /// panel allocation.
+    pool: PanelPool,
 }
 
 impl<'n> Engine<'n> {
@@ -246,7 +258,8 @@ impl<'n> Engine<'n> {
             net,
             scratch: ExecScratch::new(),
             plan_scratch: PlanScratch::new(),
-            plan: None,
+            plans: Vec::new(),
+            pool: PanelPool::new(),
         }
     }
 
@@ -259,7 +272,8 @@ impl<'n> Engine<'n> {
             net,
             scratch: ExecScratch::new(),
             plan_scratch: PlanScratch::new(),
-            plan: Some((mask, precision, plan)),
+            plans: vec![(mask, precision, plan)],
+            pool: PanelPool::new(),
         }
     }
 
@@ -358,22 +372,35 @@ impl<'n> Engine<'n> {
             .collect()
     }
 
-    /// Returns the cached plan if it was compiled for an equal mask at the
-    /// same precision, otherwise compiles (and caches) a fresh one.
+    /// Returns the cached plan compiled for an equal (mask, precision)
+    /// pair, moving it to the front of the MRU list; otherwise compiles a
+    /// fresh one through the engine's [`PanelPool`], caches it at the
+    /// front and drops the least-recently-used entry past
+    /// [`PLAN_CACHE_CAP`].
     fn plan_for(
         &mut self,
         mask: &PruneMask,
         precision: Precision,
     ) -> Result<Arc<CompiledPlan>, NnError> {
-        if let Some((cached_mask, cached_precision, plan)) = &self.plan {
-            if cached_mask == mask && *cached_precision == precision {
-                return Ok(Arc::clone(plan));
-            }
+        if let Some(pos) = self
+            .plans
+            .iter()
+            .position(|(m, p, _)| m == mask && *p == precision)
+        {
+            let entry = self.plans.remove(pos);
+            let plan = Arc::clone(&entry.2);
+            self.plans.insert(0, entry);
+            return Ok(plan);
         }
-        let plan = Arc::new(CompiledPlan::compile_with_precision(
-            self.net, mask, precision,
+        let plan = Arc::new(CompiledPlan::compile_shared(
+            self.net,
+            mask,
+            precision,
+            Some(&self.pool),
         )?);
-        self.plan = Some((mask.clone(), precision, Arc::clone(&plan)));
+        self.plans
+            .insert(0, (mask.clone(), precision, Arc::clone(&plan)));
+        self.plans.truncate(PLAN_CACHE_CAP);
         Ok(plan)
     }
 }
@@ -490,7 +517,7 @@ mod tests {
             assert_eq!(a.as_slice(), b.as_slice());
         }
         // second run with an equal mask hits the cached plan
-        let cached = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let cached = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
         engine
             .run(
                 InferenceRequest::new(&inputs)
@@ -498,7 +525,7 @@ mod tests {
                     .strategy(ExecStrategy::CompiledPlan),
             )
             .unwrap();
-        let after = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let after = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
         assert!(Arc::ptr_eq(&cached, &after));
     }
 
@@ -575,17 +602,61 @@ mod tests {
             .masked(&mask)
             .strategy(ExecStrategy::CompiledPlan);
         engine.run(f32_req).unwrap();
-        let f32_plan = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let f32_plan = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
         assert_eq!(f32_plan.precision(), Precision::F32);
-        // switching precision recompiles even though the mask is equal...
+        // switching precision compiles a second entry even though the
+        // mask is equal...
         engine.run(f32_req.precision(Precision::Int8)).unwrap();
-        let int8_plan = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let int8_plan = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
         assert!(!Arc::ptr_eq(&f32_plan, &int8_plan));
         assert_eq!(int8_plan.precision(), Precision::Int8);
-        // ...and a repeat int8 request hits the new cache entry
+        // ...and a repeat int8 request hits the cache entry
         engine.run(f32_req.precision(Precision::Int8)).unwrap();
-        let again = engine.plan.as_ref().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let again = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
         assert!(Arc::ptr_eq(&int8_plan, &again));
+        // ...while the f32 plan is still resident (no recompile on switch)
+        engine.run(f32_req).unwrap();
+        let back = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        assert!(Arc::ptr_eq(&f32_plan, &back));
+        assert_eq!(engine.plans.len(), 2);
+    }
+
+    #[test]
+    fn plan_cache_keeps_alternating_masks_and_evicts_past_cap() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        // two alternating masks both stay cached — the old single-slot
+        // cache recompiled on every switch
+        let mask_a = pruned_mask(&net);
+        let mut mask_b = PruneMask::all_kept(&net);
+        mask_b.prune(net.prunable_layers()[0], 0).unwrap();
+        for _ in 0..3 {
+            for mask in [&mask_a, &mask_b] {
+                engine
+                    .run(
+                        InferenceRequest::single(&x)
+                            .masked(mask)
+                            .strategy(ExecStrategy::CompiledPlan),
+                    )
+                    .unwrap();
+            }
+        }
+        assert_eq!(engine.plans.len(), 2);
+        // distinct masks beyond the cap evict the least-recently-used
+        for u in 0..super::PLAN_CACHE_CAP + 2 {
+            let mut mask = PruneMask::all_kept(&net);
+            mask.prune(net.prunable_layers()[1], u % 6).unwrap();
+            mask.prune(net.prunable_layers()[2], u).unwrap();
+            engine
+                .run(
+                    InferenceRequest::single(&x)
+                        .masked(&mask)
+                        .strategy(ExecStrategy::CompiledPlan),
+                )
+                .unwrap();
+        }
+        assert_eq!(engine.plans.len(), super::PLAN_CACHE_CAP);
     }
 
     #[test]

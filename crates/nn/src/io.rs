@@ -18,8 +18,11 @@ use std::path::Path;
 /// Version history: 1 — initial envelope; 2 — compiled-plan conv steps
 /// store register-tile `panels` (+ `fused_relu`) instead of row-major
 /// `weights`; 3 — plans carry a `precision` tag and conv/dense steps may
-/// store int8 quantized panels with per-channel scales.
-pub const FORMAT_VERSION: u32 = 3;
+/// store int8 quantized panels with per-channel scales; 4 — plan GEMM
+/// steps reference a by-value `kernels` table (panels + bias + int8 twin
+/// per entry) instead of embedding their buffers inline, mirroring the
+/// in-memory `Arc`-shared kernel layout.
+pub const FORMAT_VERSION: u32 = 4;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Envelope<T> {
@@ -140,7 +143,7 @@ pub fn mask_from_json(json: &str) -> Result<PruneMask, NnError> {
 ///
 /// Returns [`NnError::Config`] if serialization fails.
 pub fn plan_to_json(plan: &CompiledPlan) -> Result<String, NnError> {
-    serde_json::to_string(&to_envelope("plan", plan))
+    serde_json::to_string(&to_envelope("plan", plan.to_wire()))
         .map_err(|e| NnError::Config(format!("serialize plan: {e}")))
 }
 
@@ -152,7 +155,7 @@ pub fn plan_to_json(plan: &CompiledPlan) -> Result<String, NnError> {
 /// and [`NnError::UnsupportedFormatVersion`] if the envelope was written
 /// by a different format version.
 pub fn plan_from_json(json: &str) -> Result<CompiledPlan, NnError> {
-    parse_envelope("plan", json)
+    CompiledPlan::from_wire(parse_envelope("plan", json)?)
 }
 
 #[cfg(test)]
@@ -226,10 +229,10 @@ mod tests {
 
     #[test]
     fn old_version_gives_typed_error_before_payload_decode() {
-        // A v1/v2 artifact has a payload schema this build cannot decode.
+        // An old artifact has a payload schema this build cannot decode.
         // The probe-first parse must reject on the version number alone —
         // exercised here with a payload that would itself fail to decode.
-        for found in [1u32, 2] {
+        for found in [1u32, 2, 3] {
             let json = format!(
                 "{{\"format\":\"capnn-plan\",\"version\":{found},\"payload\":{{\"legacy\":true}}}}"
             );

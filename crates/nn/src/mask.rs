@@ -27,7 +27,7 @@ use std::fmt;
 /// mask.prune(0, 3).unwrap(); // prune neuron 3 of the first dense layer
 /// assert_eq!(mask.pruned_count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct PruneMask {
     /// `keep[layer]` is `Some(flags)` for prunable layers.
     keep: Vec<Option<Vec<bool>>>,

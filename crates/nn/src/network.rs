@@ -557,6 +557,23 @@ impl Network {
         crate::CompiledPlan::compile_with_precision(self, mask, precision)
     }
 
+    /// [`Network::compile_with_precision`] drawing packed weight kernels
+    /// from `pool`: layers whose kept units match an already-interned
+    /// kernel share that allocation instead of packing their own. The
+    /// pool must be dedicated to this network.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Network::compile`].
+    pub fn compile_shared(
+        &self,
+        mask: &PruneMask,
+        precision: crate::Precision,
+        pool: &crate::PanelPool,
+    ) -> Result<crate::CompiledPlan, NnError> {
+        crate::CompiledPlan::compile_shared(self, mask, precision, Some(pool))
+    }
+
     /// Per-sample multiply–accumulates of an *unmasked* forward pass starting
     /// at layer `start` (pool/ReLU layers count one op per output element).
     /// Drives work-size thresholds for parallel per-sample sweeps.

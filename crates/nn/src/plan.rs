@@ -48,6 +48,8 @@ use capnn_tensor::{
     quantize_dense_panels_i8, quantize_i8, Conv2dSpec, PoolSpec, Tensor,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, Weak};
 
 /// Numeric precision of a compiled plan's packed weights and GEMM kernels.
 ///
@@ -87,6 +89,115 @@ struct QuantPanels {
     scales: Vec<f32>,
 }
 
+/// One GEMM step's immutable packed weights: the register-tiled f32
+/// panels, the bias, and (for [`Precision::Int8`] plans) the quantized
+/// twin. Kernels are shared across plans via `Arc` — two plans whose
+/// layers keep the same units reference one allocation — so everything
+/// that varies per plan (fused ReLU, frozen geometry) lives on the step,
+/// not here.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Kernel {
+    panels: Tensor,
+    bias: Tensor,
+    quant: Option<QuantPanels>,
+}
+
+impl Kernel {
+    /// Heap bytes owned by this kernel's packed buffers (panels, bias,
+    /// int8 twin), excluding the fixed struct size.
+    fn heap_bytes(&self) -> usize {
+        let f32s = (self.panels.len() + self.bias.len()) * std::mem::size_of::<f32>();
+        let quant = self.quant.as_ref().map_or(0, |q| {
+            q.data.len() + q.scales.len() * std::mem::size_of::<f32>()
+        });
+        f32s + quant
+    }
+}
+
+/// Identity of a shareable [`Kernel`] within one network: the layer it
+/// was packed from, the precision, and the exact kept unit ids on both
+/// sides. Keys store the id vectors themselves (not a hash of them), so
+/// a pool can never serve the wrong panels on a hash collision.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PanelKey {
+    layer: usize,
+    precision: Precision,
+    kept_in: Vec<usize>,
+    kept_out: Vec<usize>,
+}
+
+/// Dead-`Weak` purge cadence of a [`PanelPool`] (every N inserts).
+const POOL_PURGE_EVERY: u32 = 256;
+
+/// Interning pool for packed weight panels, shared across the compiled
+/// plans of **one network**: [`CompiledPlan::compile_shared`] looks every
+/// conv/dense kernel up by its per-layer kept-set key and reuses the
+/// existing `Arc<Kernel>` on a match, so plans whose layers coincide
+/// reference one panel allocation instead of packing (and, for int8,
+/// quantizing) their own.
+///
+/// The pool holds only `Weak` handles: it keeps nothing alive, so a
+/// byte-budgeted plan cache's evictions actually free panel memory, and
+/// [`CompiledPlan::resident_bytes`] accounting stays driven by the plans
+/// themselves. Dead entries are purged opportunistically.
+///
+/// Keys do not include a network fingerprint — callers must not share one
+/// pool across different networks (the engine and the cloud server each
+/// own a pool next to their network).
+#[derive(Debug, Default)]
+pub struct PanelPool {
+    slots: Mutex<(HashMap<PanelKey, Weak<Kernel>>, u32)>,
+}
+
+impl PanelPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (upgradeable) kernels currently interned.
+    pub fn live_kernels(&self) -> usize {
+        let slots = self.slots.lock().expect("panel pool poisoned");
+        slots.0.values().filter(|w| w.strong_count() > 0).count()
+    }
+
+    /// Returns the interned kernel for `key`, building and interning it
+    /// via `build` on a miss. The build runs under the pool lock, so two
+    /// racing compiles of the same layer never pack twice.
+    fn get_or_build(
+        &self,
+        key: PanelKey,
+        build: impl FnOnce() -> Result<Kernel, NnError>,
+    ) -> Result<Arc<Kernel>, NnError> {
+        let mut slots = self.slots.lock().expect("panel pool poisoned");
+        if let Some(kernel) = slots.0.get(&key).and_then(Weak::upgrade) {
+            capnn_telemetry::count("plan.panels_shared", 1);
+            return Ok(kernel);
+        }
+        let kernel = Arc::new(build()?);
+        slots.0.insert(key, Arc::downgrade(&kernel));
+        slots.1 += 1;
+        if slots.1 >= POOL_PURGE_EVERY {
+            slots.0.retain(|_, w| w.strong_count() > 0);
+            slots.1 = 0;
+        }
+        Ok(kernel)
+    }
+}
+
+/// Builds `key`'s kernel through `pool` when one is supplied, or fresh
+/// (unshared) otherwise.
+fn obtain_kernel(
+    pool: Option<&PanelPool>,
+    key: PanelKey,
+    build: impl FnOnce() -> Result<Kernel, NnError>,
+) -> Result<Arc<Kernel>, NnError> {
+    match pool {
+        Some(pool) => pool.get_or_build(key, build),
+        None => build().map(Arc::new),
+    }
+}
+
 /// Physical layout of the batched activation buffer between plan steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Layout {
@@ -113,46 +224,41 @@ impl Layout {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum PlanStep {
     /// Packed convolution: `spec` carries the *packed* channel counts,
-    /// `panels` holds the kept `[out_c × in_c·k²]` im2col-row weights
-    /// re-tiled into the [`pack_conv_panels`] register-tile layout for
+    /// the kernel (step field = index into [`CompiledPlan::kernels`])
+    /// holds the kept `[out_c × in_c·k²]` im2col-row weights re-tiled
+    /// into the [`pack_conv_panels`] register-tile layout for
     /// [`conv_gemm_into`], geometry is frozen at compile time. When
     /// `fused_relu` is set, the ReLU that followed this layer runs inside
     /// the kernel epilogue instead of as a separate [`PlanStep::Relu`].
     Conv {
         spec: Conv2dSpec,
-        panels: Tensor,
-        bias: Tensor,
+        /// Index of the step's packed panels + bias (+ int8 twin with
+        /// per-output-channel scales) in the plan's kernel table.
+        kernel: usize,
         in_hw: (usize, usize),
         out_hw: (usize, usize),
         fused_relu: bool,
-        /// Int8 panels + per-output-channel scales ([`Precision::Int8`]
-        /// plans only).
-        quant: Option<QuantPanels>,
     },
-    /// Packed dense layer on a flat activation; `panels` holds the kept
+    /// Packed dense layer on a flat activation; the kernel holds the kept
     /// weights in the [`pack_dense_panels`] layout (the input-major
     /// `[in × out]` transposed matrix re-tiled into column panels) for
     /// the register-blocked batched kernel.
     DenseFlat {
-        panels: Tensor,
-        bias: Tensor,
+        /// Index of the step's packed panels + bias (+ int8 twin with
+        /// per-output-column scales) in the plan's kernel table.
+        kernel: usize,
         n_in: usize,
-        /// Int8 panels + per-output-column scales ([`Precision::Int8`]
-        /// plans only).
-        quant: Option<QuantPanels>,
     },
     /// Packed dense layer consuming a channel-major batched CHW
     /// activation directly (the flatten boundary is a layout convention,
-    /// not a runtime step). `panels` as in [`PlanStep::DenseFlat`], with
+    /// not a runtime step). Kernel as in [`PlanStep::DenseFlat`], with
     /// `n_in = channels · plane`.
     DenseFromChw {
-        panels: Tensor,
-        bias: Tensor,
+        /// Index of the step's packed panels + bias (+ int8 twin with
+        /// per-output-column scales) in the plan's kernel table.
+        kernel: usize,
         channels: usize,
         plane: usize,
-        /// Int8 panels + per-output-column scales ([`Precision::Int8`]
-        /// plans only).
-        quant: Option<QuantPanels>,
     },
     /// Elementwise ReLU over the whole activation buffer.
     Relu,
@@ -181,6 +287,16 @@ impl PlanStep {
             PlanStep::Relu => "relu",
             PlanStep::MaxPool { .. } => "maxpool",
             PlanStep::AvgPool { .. } => "avgpool",
+        }
+    }
+
+    /// The step's kernel-table index, for GEMM steps.
+    fn kernel_index(&self) -> Option<usize> {
+        match self {
+            PlanStep::Conv { kernel, .. }
+            | PlanStep::DenseFlat { kernel, .. }
+            | PlanStep::DenseFromChw { kernel, .. } => Some(*kernel),
+            _ => None,
         }
     }
 }
@@ -323,9 +439,14 @@ fn shrink_oversized<T>(v: &mut Vec<T>, peak: usize) {
 /// let logits = plan.forward(&x).unwrap();
 /// assert_eq!(logits.len(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledPlan {
     steps: Vec<PlanStep>,
+    /// Packed weight kernels, referenced by index from the GEMM steps and
+    /// shared (`Arc`) with other plans compiled through the same
+    /// [`PanelPool`]. Within one plan every entry is distinct (keys carry
+    /// the layer index); across plans entries alias freely.
+    kernels: Vec<Arc<Kernel>>,
     input_dims: Vec<usize>,
     /// Packed output position → original flat logit index. Pruned output
     /// units stay exact zeros in the returned logits, preserving original
@@ -370,6 +491,25 @@ impl CompiledPlan {
         mask: &PruneMask,
         precision: Precision,
     ) -> Result<Self, NnError> {
+        Self::compile_shared(net, mask, precision, None)
+    }
+
+    /// [`CompiledPlan::compile_with_precision`] drawing packed weight
+    /// kernels from `pool`: layers whose kept units match an
+    /// already-interned kernel reuse that allocation (and skip its
+    /// pack/quantize work) instead of packing their own. The resulting
+    /// plan is bitwise identical to an unpooled compile — sharing is an
+    /// allocation property, never a numeric one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlan::compile`].
+    pub fn compile_shared(
+        net: &Network,
+        mask: &PruneMask,
+        precision: Precision,
+        pool: Option<&PanelPool>,
+    ) -> Result<Self, NnError> {
         let _span = capnn_telemetry::time("plan.compile_ns");
         capnn_telemetry::count("plan.compiled", 1);
         if precision == Precision::Int8 {
@@ -406,6 +546,7 @@ impl CompiledPlan {
         // buffer stays CHW until a dense layer consumes it.
         let mut flattened = false;
         let mut steps = Vec::with_capacity(net.len());
+        let mut kernels: Vec<Arc<Kernel>> = Vec::new();
         let mut macs: u64 = 0;
         let mut packed_params = 0usize;
 
@@ -429,47 +570,60 @@ impl CompiledPlan {
                     spec.in_channels = kept.len();
                     spec.out_channels = kept_out.len();
                     let krows = kept.len() * kk;
-                    let mut weights = vec![0.0f32; kept_out.len() * krows];
-                    let mut bias = Tensor::zeros(&[kept_out.len()]);
-                    let src_w = c.weights().as_slice();
-                    let src_b = c.bias().as_slice();
-                    let in_c_old = c.spec().in_channels;
-                    {
-                        let bv = bias.as_mut_slice();
-                        for (no, &oc) in kept_out.iter().enumerate() {
-                            bv[no] = src_b[oc];
-                            for (ni, &ic) in kept.iter().enumerate() {
-                                let dst = (no * kept.len() + ni) * kk;
-                                let src = (oc * in_c_old + ic) * kk;
-                                weights[dst..dst + kk].copy_from_slice(&src_w[src..src + kk]);
-                            }
-                        }
-                    }
                     macs += (kept_out.len() * oh * ow) as u64 * krows as u64;
                     // Count kept parameters only — the zero padding of
                     // partial register-tile panels is a layout artifact,
                     // not model state.
-                    packed_params += weights.len() + bias.len();
-                    let packed = {
-                        let _pack = capnn_telemetry::time("plan.conv_pack_ns");
-                        pack_conv_panels(&weights, kept_out.len(), krows)
+                    packed_params += kept_out.len() * krows + kept_out.len();
+                    let key = PanelKey {
+                        layer: i,
+                        precision,
+                        kept_in: kept.clone(),
+                        kept_out: kept_out.clone(),
                     };
-                    let plen = packed.len();
-                    let panels = Tensor::from_vec(packed, &[plen])?;
-                    let quant = (precision == Precision::Int8).then(|| {
-                        let _q = capnn_telemetry::time("plan.quantize_weights_ns");
-                        let (data, scales) =
-                            quantize_conv_panels_i8(&weights, kept_out.len(), krows);
-                        QuantPanels { data, scales }
-                    });
+                    let kernel = obtain_kernel(pool, key, || {
+                        let mut weights = vec![0.0f32; kept_out.len() * krows];
+                        let mut bias = Tensor::zeros(&[kept_out.len()]);
+                        let src_w = c.weights().as_slice();
+                        let src_b = c.bias().as_slice();
+                        let in_c_old = c.spec().in_channels;
+                        {
+                            let bv = bias.as_mut_slice();
+                            for (no, &oc) in kept_out.iter().enumerate() {
+                                bv[no] = src_b[oc];
+                                for (ni, &ic) in kept.iter().enumerate() {
+                                    let dst = (no * kept.len() + ni) * kk;
+                                    let src = (oc * in_c_old + ic) * kk;
+                                    weights[dst..dst + kk].copy_from_slice(&src_w[src..src + kk]);
+                                }
+                            }
+                        }
+                        let packed = {
+                            let _pack = capnn_telemetry::time("plan.conv_pack_ns");
+                            pack_conv_panels(&weights, kept_out.len(), krows)
+                        };
+                        let plen = packed.len();
+                        let panels = Tensor::from_vec(packed, &[plen])?;
+                        let quant = (precision == Precision::Int8).then(|| {
+                            let _q = capnn_telemetry::time("plan.quantize_weights_ns");
+                            let (data, scales) =
+                                quantize_conv_panels_i8(&weights, kept_out.len(), krows);
+                            QuantPanels { data, scales }
+                        });
+                        Ok(Kernel {
+                            panels,
+                            bias,
+                            quant,
+                        })
+                    })?;
+                    let kidx = kernels.len();
+                    kernels.push(kernel);
                     steps.push(PlanStep::Conv {
                         spec,
-                        panels,
-                        bias,
+                        kernel: kidx,
                         in_hw: (h, w),
                         out_hw: (oh, ow),
                         fused_relu: false,
-                        quant,
                     });
                     kept = kept_out;
                     layout = Layout::Chw {
@@ -494,47 +648,60 @@ impl CompiledPlan {
                     let in_old = d.in_features();
                     let n_in = kept_cols.len();
                     let n_out = kept_out.len();
-                    // Input-major transposed weights, then re-tiled into
-                    // column panels for the register-blocked kernel.
-                    let mut wt = vec![0.0f32; n_in * n_out];
-                    let mut bias = Tensor::zeros(&[n_out]);
-                    let src_w = d.weights().as_slice();
-                    let src_b = d.bias().as_slice();
-                    {
-                        let bv = bias.as_mut_slice();
-                        for (no, &o) in kept_out.iter().enumerate() {
-                            bv[no] = src_b[o];
-                            for (ci, &col) in kept_cols.iter().enumerate() {
-                                wt[ci * n_out + no] = src_w[o * in_old + col];
+                    macs += (n_out * n_in) as u64;
+                    packed_params += n_in * n_out + n_out;
+                    // Keyed on the pre-expansion kept ids: `kept_cols`
+                    // derives deterministically from `kept` and the
+                    // layer's (fixed) plane, so equal keys imply equal
+                    // columns.
+                    let key = PanelKey {
+                        layer: i,
+                        precision,
+                        kept_in: kept.clone(),
+                        kept_out: kept_out.clone(),
+                    };
+                    let kernel = obtain_kernel(pool, key, || {
+                        // Input-major transposed weights, then re-tiled
+                        // into column panels for the register-blocked
+                        // kernel.
+                        let mut wt = vec![0.0f32; n_in * n_out];
+                        let mut bias = Tensor::zeros(&[n_out]);
+                        let src_w = d.weights().as_slice();
+                        let src_b = d.bias().as_slice();
+                        {
+                            let bv = bias.as_mut_slice();
+                            for (no, &o) in kept_out.iter().enumerate() {
+                                bv[no] = src_b[o];
+                                for (ci, &col) in kept_cols.iter().enumerate() {
+                                    wt[ci * n_out + no] = src_w[o * in_old + col];
+                                }
                             }
                         }
-                    }
-                    let packed = pack_dense_panels(&wt, n_in, n_out);
-                    let len = packed.len();
-                    let panels = Tensor::from_vec(packed, &[len])?;
-                    macs += (n_out * n_in) as u64;
-                    packed_params += n_in * n_out + bias.len();
-                    let quant = (precision == Precision::Int8).then(|| {
-                        let _q = capnn_telemetry::time("plan.quantize_weights_ns");
-                        let (data, scales) = quantize_dense_panels_i8(&wt, n_in, n_out);
-                        QuantPanels { data, scales }
-                    });
+                        let packed = pack_dense_panels(&wt, n_in, n_out);
+                        let len = packed.len();
+                        let panels = Tensor::from_vec(packed, &[len])?;
+                        let quant = (precision == Precision::Int8).then(|| {
+                            let _q = capnn_telemetry::time("plan.quantize_weights_ns");
+                            let (data, scales) = quantize_dense_panels_i8(&wt, n_in, n_out);
+                            QuantPanels { data, scales }
+                        });
+                        Ok(Kernel {
+                            panels,
+                            bias,
+                            quant,
+                        })
+                    })?;
+                    let kidx = kernels.len();
+                    kernels.push(kernel);
                     match (from_chw, layout) {
                         (Some(plane), Layout::Chw { channels, .. }) => {
                             steps.push(PlanStep::DenseFromChw {
-                                panels,
-                                bias,
+                                kernel: kidx,
                                 channels,
                                 plane,
-                                quant,
                             });
                         }
-                        _ => steps.push(PlanStep::DenseFlat {
-                            panels,
-                            bias,
-                            n_in,
-                            quant,
-                        }),
+                        _ => steps.push(PlanStep::DenseFlat { kernel: kidx, n_in }),
                     }
                     kept = kept_out;
                     layout = Layout::Flat { len: n_out };
@@ -597,6 +764,7 @@ impl CompiledPlan {
 
         Ok(Self {
             steps,
+            kernels,
             input_dims,
             final_map,
             num_classes,
@@ -631,6 +799,30 @@ impl CompiledPlan {
     /// memory footprint, versus the source network's `param_count()`.
     pub fn packed_param_count(&self) -> usize {
         self.packed_params
+    }
+
+    /// Resident heap bytes attributable to this plan, counting shared
+    /// weight kernels once across their co-owners: each kernel's bytes
+    /// are divided by its current [`Arc::strong_count`], so summing
+    /// `resident_bytes()` over every plan compiled through one
+    /// [`PanelPool`] yields the fleet's true panel footprint (a kernel
+    /// shared by N plans contributes its size once, not N times).
+    ///
+    /// The count is a snapshot — it changes as other plans sharing a
+    /// kernel are created or dropped. Cloning the plan's own `Arc` handle
+    /// does not affect it (plan clones share the same inner kernels).
+    pub fn resident_bytes(&self) -> usize {
+        let fixed = std::mem::size_of::<Self>()
+            + self.steps.capacity() * std::mem::size_of::<PlanStep>()
+            + self.kernels.capacity() * std::mem::size_of::<Arc<Kernel>>()
+            + self.input_dims.capacity() * std::mem::size_of::<usize>()
+            + self.final_map.capacity() * std::mem::size_of::<usize>();
+        let mut shared = 0.0f64;
+        for kernel in &self.kernels {
+            let bytes = std::mem::size_of::<Kernel>() + kernel.heap_bytes();
+            shared += bytes as f64 / Arc::strong_count(kernel) as f64;
+        }
+        fixed + shared.round() as usize
     }
 
     /// Single-sample inference through the packed plan. Returns the flat
@@ -813,22 +1005,22 @@ impl CompiledPlan {
         for (si, step) in self.steps.iter().enumerate() {
             let t0 = telemetry.then(std::time::Instant::now);
             let mut flops: u64 = 0;
-            let step_int8 = matches!(
-                step,
-                PlanStep::Conv { quant: Some(_), .. }
-                    | PlanStep::DenseFlat { quant: Some(_), .. }
-                    | PlanStep::DenseFromChw { quant: Some(_), .. }
-            );
+            let step_int8 = step
+                .kernel_index()
+                .is_some_and(|ki| self.kernels[ki].quant.is_some());
             match step {
                 PlanStep::Conv {
                     spec,
-                    panels,
-                    bias,
+                    kernel,
                     in_hw: (h, w),
                     out_hw: (oh, ow),
                     fused_relu,
-                    quant,
                 } => {
+                    let Kernel {
+                        panels,
+                        bias,
+                        quant,
+                    } = &*self.kernels[*kernel];
                     let oplane = oh * ow;
                     let krows = spec.in_channels * spec.kernel * spec.kernel;
                     let wide = batch * oplane;
@@ -902,12 +1094,12 @@ impl CompiledPlan {
                         plane: oplane,
                     };
                 }
-                PlanStep::DenseFlat {
-                    panels,
-                    bias,
-                    n_in,
-                    quant,
-                } => {
+                PlanStep::DenseFlat { kernel, n_in } => {
+                    let Kernel {
+                        panels,
+                        bias,
+                        quant,
+                    } = &*self.kernels[*kernel];
                     let n_out = bias.len();
                     grow(&mut nxt, batch * n_out);
                     match quant {
@@ -953,12 +1145,15 @@ impl CompiledPlan {
                     layout = Layout::Flat { len: n_out };
                 }
                 PlanStep::DenseFromChw {
-                    panels,
-                    bias,
+                    kernel,
                     channels,
                     plane,
-                    quant,
                 } => {
+                    let Kernel {
+                        panels,
+                        bias,
+                        quant,
+                    } = &*self.kernels[*kernel];
                     let n_out = bias.len();
                     let n_in = channels * plane;
                     grow(&mut nxt, batch * n_out);
@@ -1117,6 +1312,69 @@ impl CompiledPlan {
         scratch.c_scales = c_scales;
         scratch.note_use(f32_peak, cols_peak, i8_peak, scale_peak);
         Ok(outputs)
+    }
+}
+
+/// On-disk twin of [`CompiledPlan`]: the kernel table stored by value. A
+/// persisted plan is self-contained — `Arc` sharing is an in-memory
+/// property re-established by compiling through a [`PanelPool`], not an
+/// on-disk one — so [`crate::io`] envelopes this struct rather than the
+/// live plan.
+#[derive(Debug, Serialize, Deserialize)]
+pub(crate) struct PlanWire {
+    steps: Vec<PlanStep>,
+    kernels: Vec<Kernel>,
+    input_dims: Vec<usize>,
+    final_map: Vec<usize>,
+    num_classes: usize,
+    per_sample_macs: u64,
+    packed_params: usize,
+    precision: Precision,
+}
+
+impl CompiledPlan {
+    /// The plan's serializable twin (kernels copied out of their `Arc`s).
+    pub(crate) fn to_wire(&self) -> PlanWire {
+        PlanWire {
+            steps: self.steps.clone(),
+            kernels: self.kernels.iter().map(|k| (**k).clone()).collect(),
+            input_dims: self.input_dims.clone(),
+            final_map: self.final_map.clone(),
+            num_classes: self.num_classes,
+            per_sample_macs: self.per_sample_macs,
+            packed_params: self.packed_params,
+            precision: self.precision,
+        }
+    }
+
+    /// Rebuilds a plan from its wire twin, validating that every GEMM
+    /// step references an existing kernel-table entry (a malformed
+    /// artifact fails here instead of panicking at serve time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Config`] on a dangling kernel reference.
+    pub(crate) fn from_wire(wire: PlanWire) -> Result<Self, NnError> {
+        for (si, step) in wire.steps.iter().enumerate() {
+            if let Some(ki) = step.kernel_index() {
+                if ki >= wire.kernels.len() {
+                    return Err(NnError::Config(format!(
+                        "plan step {si} references kernel {ki}, table has {}",
+                        wire.kernels.len()
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            steps: wire.steps,
+            kernels: wire.kernels.into_iter().map(Arc::new).collect(),
+            input_dims: wire.input_dims,
+            final_map: wire.final_map,
+            num_classes: wire.num_classes,
+            per_sample_macs: wire.per_sample_macs,
+            packed_params: wire.packed_params,
+            precision: wire.precision,
+        })
     }
 }
 
@@ -1572,6 +1830,102 @@ mod tests {
         // workspace regrows transparently
         let again = plan.forward_with_scratch(&x, &mut scratch).unwrap();
         assert_eq!(again.as_slice(), want.as_slice());
+    }
+
+    /// The plan's fixed (non-kernel) footprint, re-derived field by field.
+    fn fixed_bytes(plan: &CompiledPlan) -> usize {
+        std::mem::size_of::<CompiledPlan>()
+            + plan.steps.capacity() * std::mem::size_of::<PlanStep>()
+            + plan.kernels.capacity() * std::mem::size_of::<Arc<Kernel>>()
+            + plan.input_dims.capacity() * std::mem::size_of::<usize>()
+            + plan.final_map.capacity() * std::mem::size_of::<usize>()
+    }
+
+    #[test]
+    fn resident_bytes_pins_to_independently_computed_size() {
+        let net = small_cnn();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[1], 3).unwrap();
+        // int8 plan: covers panels + bias + quantized twin accounting
+        let plan = CompiledPlan::compile_with_precision(&net, &mask, Precision::Int8).unwrap();
+        // independent walk: panels/bias are f32 tensors, the int8 twin
+        // stores one byte per panel element plus f32 per-channel scales
+        let mut expected = fixed_bytes(&plan);
+        for kernel in &plan.kernels {
+            assert_eq!(
+                Arc::strong_count(kernel),
+                1,
+                "unpooled kernels are unshared"
+            );
+            expected += std::mem::size_of::<Kernel>();
+            expected += (kernel.panels.len() + kernel.bias.len()) * 4;
+            let q = kernel.quant.as_ref().unwrap();
+            expected += q.data.len() + q.scales.len() * 4;
+        }
+        assert_eq!(plan.resident_bytes(), expected);
+        // and the panels dominate: the packed f32 panels alone are a
+        // lower bound the total must exceed
+        let panel_f32: usize = plan.kernels.iter().map(|k| k.panels.len() * 4).sum();
+        assert!(plan.resident_bytes() > panel_f32);
+    }
+
+    #[test]
+    fn pooled_plans_share_kernels_and_split_resident_bytes() {
+        let net = small_cnn();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[0], 2).unwrap();
+        let pool = PanelPool::new();
+        let solo = CompiledPlan::compile_with_precision(&net, &mask, Precision::F32).unwrap();
+        let a = CompiledPlan::compile_shared(&net, &mask, Precision::F32, Some(&pool)).unwrap();
+        let b = CompiledPlan::compile_shared(&net, &mask, Precision::F32, Some(&pool)).unwrap();
+        // identical masks through one pool alias every kernel
+        assert_eq!(a.kernels.len(), b.kernels.len());
+        for (ka, kb) in a.kernels.iter().zip(&b.kernels) {
+            assert!(Arc::ptr_eq(ka, kb));
+        }
+        assert_eq!(pool.live_kernels(), a.kernels.len());
+        // outputs are bitwise identical to the unpooled compile
+        let x = Tensor::ones(&[1, 4, 4]);
+        assert_eq!(
+            a.forward(&x).unwrap().as_slice(),
+            solo.forward(&x).unwrap().as_slice()
+        );
+        // strong_count-aware accounting: the pair's kernel bytes sum to
+        // one unshared plan's kernel bytes (the pool's Weak handles add
+        // no strong count)
+        let kernel_bytes =
+            |p: &CompiledPlan| p.resident_bytes().saturating_sub(fixed_bytes(p)) as i64;
+        let pair = kernel_bytes(&a) + kernel_bytes(&b);
+        assert!(
+            (pair - kernel_bytes(&solo)).abs() <= a.kernels.len() as i64,
+            "shared pair accounts {pair} bytes vs solo {}",
+            kernel_bytes(&solo)
+        );
+        // dropping one co-owner returns the full bytes to the survivor
+        drop(b);
+        assert_eq!(kernel_bytes(&a), kernel_bytes(&solo));
+        // a different mask through the pool interns new kernels for the
+        // layers whose kept sets changed, but reuses downstream matches
+        let mut other = PruneMask::all_kept(&net);
+        other.prune(net.prunable_layers()[0], 3).unwrap();
+        let c = CompiledPlan::compile_shared(&net, &other, Precision::F32, Some(&pool)).unwrap();
+        assert!(!Arc::ptr_eq(&a.kernels[0], &c.kernels[0]));
+    }
+
+    #[test]
+    fn panel_pool_does_not_keep_dead_kernels_alive() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let pool = PanelPool::new();
+        let plan = CompiledPlan::compile_shared(&net, &mask, Precision::F32, Some(&pool)).unwrap();
+        let n = plan.kernels.len();
+        assert_eq!(pool.live_kernels(), n);
+        drop(plan);
+        // Weak handles: the pool holds nothing alive
+        assert_eq!(pool.live_kernels(), 0);
+        // a fresh compile re-interns (miss, not a dangling upgrade)
+        let again = CompiledPlan::compile_shared(&net, &mask, Precision::F32, Some(&pool)).unwrap();
+        assert_eq!(pool.live_kernels(), again.kernels.len());
     }
 
     #[test]

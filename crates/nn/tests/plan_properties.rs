@@ -6,7 +6,8 @@
 #![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
 
 use capnn_nn::{
-    model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, Precision, PruneMask,
+    model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, PanelPool, Precision,
+    PruneMask,
 };
 use capnn_tensor::{Conv2dSpec, Tensor, XorShiftRng};
 use proptest::prelude::*;
@@ -247,8 +248,81 @@ proptest! {
         }
     }
 
-    /// Int8 plans round-trip the v3 envelope with their quantized panels
-    /// intact: the decoded plan reproduces outputs bitwise.
+    /// Panel sharing is an allocation property, never a numeric one: a
+    /// plan compiled through a [`PanelPool`] — after the pool already
+    /// interned kernels for *other* random masks — is bitwise identical
+    /// to a fresh unpooled compile, at both precisions.
+    #[test]
+    fn pooled_compile_is_bitwise_identical_to_fresh(t in topology()) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0x9001);
+        let pool = PanelPool::new();
+        // populate the pool with kernels from unrelated masks
+        let warm: Vec<_> = (0..2)
+            .map(|_| {
+                let m = random_mask(&net, &mut rng, true);
+                net.compile_shared(&m, Precision::F32, &pool).expect("warm")
+            })
+            .collect();
+        let mask = random_mask(&net, &mut rng, true);
+        for precision in [Precision::F32, Precision::Int8] {
+            let fresh = net
+                .compile_with_precision(&mask, precision)
+                .expect("fresh");
+            let pooled = net
+                .compile_shared(&mask, precision, &pool)
+                .expect("pooled");
+            prop_assert_eq!(&fresh, &pooled);
+            for _ in 0..2 {
+                let x = input_for(&net, &mut rng);
+                prop_assert_eq!(
+                    fresh.forward(&x).expect("fresh fwd").as_slice(),
+                    pooled.forward(&x).expect("pooled fwd").as_slice()
+                );
+            }
+        }
+        drop(warm);
+    }
+
+    /// The fleet cache's canonical-plan substitution contract, at the
+    /// mask level: a profile whose canonicalization lands on an *equal*
+    /// mask (the default, slack-free clustering rule) is served by the
+    /// canonical plan — compiled earlier, through a pool, from a
+    /// different `PruneMask` value — and the outputs it sees are bitwise
+    /// identical (hence argmax-bit-compatible) to a per-user fresh
+    /// compile, across random masks, prune ratios and both precisions.
+    #[test]
+    fn canonical_plan_substitution_is_argmax_bit_compatible(
+        t in topology(),
+        batch in 1usize..5,
+    ) {
+        let net = build(&t);
+        let mut rng = XorShiftRng::new(t.seed ^ 0xCA40);
+        let pool = PanelPool::new();
+        let user_mask = random_mask(&net, &mut rng, true);
+        // the canonical mask arrives as a distinct but equal value (the
+        // cache interns by mask equality, not identity)
+        let canonical_mask = user_mask.clone();
+        for precision in [Precision::F32, Precision::Int8] {
+            let canonical = net
+                .compile_shared(&canonical_mask, precision, &pool)
+                .expect("canonical");
+            let per_user = net
+                .compile_with_precision(&user_mask, precision)
+                .expect("per-user");
+            let inputs: Vec<Tensor> =
+                (0..batch).map(|_| input_for(&net, &mut rng)).collect();
+            let subst = canonical.forward_batch(&inputs).expect("canonical fwd");
+            let own = per_user.forward_batch(&inputs).expect("per-user fwd");
+            for (a, b) in subst.iter().zip(&own) {
+                prop_assert_eq!(a.as_slice(), b.as_slice());
+                prop_assert_eq!(a.argmax(), b.argmax());
+            }
+        }
+    }
+
+    /// Int8 plans round-trip the versioned envelope with their quantized
+    /// panels intact: the decoded plan reproduces outputs bitwise.
     #[test]
     fn int8_plan_json_roundtrip_preserves_outputs(t in topology()) {
         let net = build(&t);

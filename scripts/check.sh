@@ -27,6 +27,11 @@ echo "==> perf bins smoke (CAPNN_BENCH_SMOKE=1: tiny iterations, no results/ wri
 # notice.
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_speedup
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_serving
+# perf_cache replays a 10^5-distinct-profile Zipfian stream through the
+# fleet plan cache and gates on the working-budget row: hit rate >= 90%,
+# resident bytes <= budget, and cache-served plans argmax-bit-compatible
+# with fresh per-profile compiles.
+CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_cache
 
 echo "==> telemetry smoke (CAPNN_TELEMETRY=1: probes on, snapshot to stderr only)"
 # perf_speedup asserts the conv probes (plan.conv_pack_ns histogram +
