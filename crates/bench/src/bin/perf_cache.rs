@@ -20,6 +20,7 @@
 //! the working-budget row: hit rate ≥ 90 %, resident ≤ budget, argmax
 //! bit-compatible.
 
+use capnn_bench::loadgen::{ZipfLoad, ZipfLoadConfig, DEFAULT_SEED};
 use capnn_bench::write_results_json;
 use capnn_core::{CloudServer, FleetPlanCache, PruningConfig, UserProfile, Variant};
 use capnn_data::{VectorClusters, VectorClustersConfig};
@@ -30,11 +31,6 @@ use std::time::Instant;
 
 const CLASSES: usize = 16;
 const INPUT_DIM: usize = 24;
-/// Class-popularity skew: class c is requested ∝ 1/(c+1)^1.3, the shape
-/// that makes a handful of class *sets* dominate the mask population.
-const CLASS_ZIPF_S: f64 = 1.3;
-/// Request skew over profile ranks (classic Zipf, s = 1).
-const RANK_ZIPF_S: f64 = 1.0;
 /// The working fleet budget the smoke gate checks: holds the hot set but
 /// not the full mask population, so the LRU path is actually exercised.
 const WORKING_BUDGET: u64 = 768 * 1024;
@@ -43,52 +39,6 @@ const TIGHT_BUDGET: u64 = 256 * 1024;
 
 fn smoke_mode() -> bool {
     std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
-}
-
-/// Cumulative Zipf(s) distribution over `n` ranks, normalized to 1.
-fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
-    let mut cdf = Vec::with_capacity(n);
-    let mut acc = 0.0;
-    for r in 0..n {
-        acc += 1.0 / ((r + 1) as f64).powf(s);
-        cdf.push(acc);
-    }
-    for v in &mut cdf {
-        *v /= acc;
-    }
-    cdf
-}
-
-/// Samples a rank from `cdf` by inverse transform (binary search).
-fn sample_rank(cdf: &[f64], rng: &mut XorShiftRng) -> usize {
-    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
-}
-
-/// `n` distinct profiles: class sets of 1–4 classes drawn with Zipfian
-/// class popularity, weights random (so every profile is its own identity
-/// even when class sets repeat — exactly the population the cache must
-/// collapse).
-fn make_profiles(n: usize, rng: &mut XorShiftRng) -> Vec<UserProfile> {
-    let class_cdf = zipf_cdf(CLASSES, CLASS_ZIPF_S);
-    (0..n)
-        .map(|_| {
-            let k = 1 + rng.next_below(4);
-            let mut classes: Vec<usize> = Vec::with_capacity(k);
-            while classes.len() < k {
-                let c = sample_rank(&class_cdf, rng);
-                if !classes.contains(&c) {
-                    classes.push(c);
-                }
-            }
-            let mut weights: Vec<f32> = (0..k).map(|_| 0.05 + rng.next_uniform()).collect();
-            let sum: f32 = weights.iter().sum();
-            for w in &mut weights {
-                *w /= sum;
-            }
-            UserProfile::new(classes, weights).expect("valid profile")
-        })
-        .collect()
 }
 
 #[derive(Debug, Serialize)]
@@ -291,18 +241,16 @@ fn main() {
     )
     .expect("cloud");
 
-    let mut rng = XorShiftRng::new(0xF1EE7);
-    let profiles = make_profiles(num_profiles, &mut rng);
-    let rank_cdf = zipf_cdf(num_profiles, RANK_ZIPF_S);
-    let stream: Vec<usize> = (0..num_requests)
-        .map(|_| sample_rank(&rank_cdf, &mut rng))
-        .collect();
+    let mut rng = XorShiftRng::new(DEFAULT_SEED);
+    let load = ZipfLoad::new(ZipfLoadConfig::fleet(CLASSES, num_profiles), &mut rng);
+    let profiles: &[UserProfile] = load.profiles();
+    let stream: Vec<usize> = load.stream(num_requests, &mut rng);
 
     let mut rows = Vec::new();
     rows.push(run_scenario(
         "unbounded",
         &mut cloud,
-        &profiles,
+        profiles,
         &stream,
         None,
         Precision::F32,
@@ -313,7 +261,7 @@ fn main() {
     rows.push(run_scenario(
         "fleet_working",
         &mut cloud,
-        &profiles,
+        profiles,
         &stream,
         Some(WORKING_BUDGET),
         Precision::F32,
@@ -323,7 +271,7 @@ fn main() {
     rows.push(run_scenario(
         "fleet_tight",
         &mut cloud,
-        &profiles,
+        profiles,
         &stream,
         Some(TIGHT_BUDGET),
         Precision::F32,
@@ -333,7 +281,7 @@ fn main() {
     rows.push(run_scenario(
         "fleet_working_int8",
         &mut cloud,
-        &profiles,
+        profiles,
         &stream,
         Some(WORKING_BUDGET),
         Precision::Int8,
@@ -347,8 +295,8 @@ fn main() {
         host_cores,
         classes: CLASSES,
         input_dim: INPUT_DIM,
-        class_zipf_s: CLASS_ZIPF_S,
-        rank_zipf_s: RANK_ZIPF_S,
+        class_zipf_s: load.config().class_zipf_s,
+        rank_zipf_s: load.config().rank_zipf_s,
         rows,
     };
     if smoke_mode() {

@@ -1,0 +1,634 @@
+//! End-to-end serving latency/throughput of the multi-tenant front-end.
+//!
+//! The serving scenario the fleet cache and the batching server were built
+//! for, measured whole: 10^5 distinct user profiles, requests drawn
+//! Zipfian over profile rank (the `loadgen` fleet both `perf_cache` and
+//! this bin share), submitted concurrently to an [`InferenceServer`] whose
+//! workers drain per-plan queues into dynamic batches. Two models bracket
+//! the adaptive controller's job — the wide `serving_mlp`, whose
+//! throughput keeps climbing with batch size, and `vgg_tiny(8)`, which
+//! peaks near batch 8 and regresses beyond (see `BENCH_serving.json`) —
+//! so one fixed batch size cannot be right for both.
+//!
+//! Each model runs one **adaptive** mode and a sweep of **fixed** batch
+//! sizes through the identical closed-loop wave driver; the report
+//! records p50/p95/p99 serve latency (queue dwell + batch execution),
+//! end-to-end throughput, the cache hit rate over the measured window,
+//! and `adaptive_vs_best_fixed` — the acceptance ratio showing the
+//! controller found the knee instead of inheriting a fixed size's
+//! regression. Sampled responses are checked bitwise against direct
+//! [`Engine`] execution of the same profile's mask.
+//!
+//! Emits `results/BENCH_server.json`. Smoke mode (`CAPNN_BENCH_SMOKE=1`)
+//! keeps the 10^5-profile population but runs a downsized MLP and only
+//! the adaptive mode, gating on: zero failed responses, p99 under a
+//! generous bound, measured-window hit rate ≥ 90 %, and argmax
+//! bit-compatibility.
+
+use capnn_bench::loadgen::{ZipfLoad, ZipfLoadConfig, DEFAULT_SEED};
+use capnn_bench::write_results_json;
+use capnn_core::{
+    CloudServer, FleetPlanCache, InferenceServer, PruningConfig, ServeRequest, ServerConfig,
+    SharedFleetCache, UserProfile, Variant,
+};
+use capnn_data::{SyntheticImages, SyntheticImagesConfig, VectorClusters, VectorClustersConfig};
+use capnn_nn::{
+    Engine, ExecStrategy, InferenceRequest, NetworkBuilder, Precision, Trainer, TrainerConfig,
+    VggConfig,
+};
+use capnn_tensor::{Tensor, XorShiftRng};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const NUM_PROFILES: usize = 100_000;
+/// Closed-loop wave size: submit this many, wait for all, repeat. Half the
+/// queue capacity, so admission control never rejects under the benchmark
+/// itself (rejections would censor the latency distribution).
+const WAVE: usize = 256;
+const QUEUE_CAPACITY: usize = 512;
+/// Weight-quantization steps for profile keys — the fleet-wide value.
+const WEIGHT_STEPS: u16 = 16;
+/// Smoke-mode p99 ceiling: generous (CI boxes are noisy); the real
+/// latency story is the full run's percentile table.
+const SMOKE_P99_CEILING_US: f64 = 250_000.0;
+
+fn smoke_mode() -> bool {
+    std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Per-model request input generation.
+enum InputGen {
+    /// Uniform random vectors of the given dimension (MLP serving).
+    Uniform(usize),
+    /// Class-conditioned synthetic images: each request draws an image of
+    /// one of the requesting profile's own classes (CNN serving).
+    Images(SyntheticImages),
+}
+
+impl InputGen {
+    fn sample(&self, profile: &UserProfile, rng: &mut XorShiftRng) -> Tensor {
+        match self {
+            InputGen::Uniform(dim) => Tensor::uniform(&[*dim], -1.0, 1.0, rng),
+            InputGen::Images(images) => {
+                let classes = profile.classes();
+                let class = classes[rng.next_below(classes.len())];
+                images.sample(class, rng)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct BucketRow {
+    batch: usize,
+    ewma_us_per_sample: f64,
+    trials: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ModeRow {
+    mode: String,
+    fixed_batch: Option<usize>,
+    requests: usize,
+    /// End-to-end measured-phase throughput (responses per second of wall
+    /// time, closed-loop waves).
+    throughput_rps: f64,
+    /// Serve latency = queue dwell + batch execution, per response.
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    /// Mean dispatched batch size over the whole run (warmup included).
+    mean_batch: f64,
+    /// The batch size the adaptive controller converged on (fixed modes:
+    /// the pin).
+    converged_batch: usize,
+    /// Plan-cache hit rate over the measured window only (warmup misses
+    /// excluded — steady-state serving is what the fleet sees).
+    window_hit_rate: f64,
+    rejected: u64,
+    failed: u64,
+    /// Adaptive modes: the controller's learned latency curve.
+    buckets: Vec<BucketRow>,
+}
+
+#[derive(Debug, Serialize)]
+struct ModelReport {
+    model: String,
+    classes: usize,
+    distinct_profiles: usize,
+    max_classes_per_profile: usize,
+    /// Canonical masks the sizing pass discovered (the plan population the
+    /// cache actually manages).
+    unique_masks: usize,
+    /// Cache byte budget the serving modes ran under (1.2× the residency a
+    /// warmup-length stream reaches unbounded).
+    budget_bytes: u64,
+    sizing_resident_bytes: u64,
+    modes: Vec<ModeRow>,
+    /// Adaptive throughput over the best fixed-mode throughput — ≥ 0.9
+    /// means the controller found the knee.
+    adaptive_vs_best_fixed: Option<f64>,
+    argmax_bit_compatible: bool,
+    argmax_samples_checked: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    host_cores: usize,
+    num_profiles: usize,
+    wave: usize,
+    queue_capacity: usize,
+    warmup_requests: usize,
+    measured_requests: usize,
+    rank_zipf_s: f64,
+    class_zipf_s: f64,
+    models: Vec<ModelReport>,
+}
+
+struct ModeOutcome {
+    row: ModeRow,
+    throughput_rps: f64,
+}
+
+/// Drives one serving mode: fresh budgeted cache, fresh server, a warmup
+/// phase (populates the cache and, in adaptive mode, trains the
+/// controller), then a measured phase whose latencies, wall time and
+/// cache-stats delta become the row.
+#[allow(clippy::too_many_arguments)]
+fn run_mode(
+    mode: &str,
+    shared: &Arc<SharedFleetCache>,
+    load: &ZipfLoad,
+    gen: &InputGen,
+    budget: u64,
+    fixed_batch: Option<usize>,
+    warmup_n: usize,
+    measured_n: usize,
+    rng: &mut XorShiftRng,
+) -> ModeOutcome {
+    shared.reset_cache(FleetPlanCache::with_budget(WEIGHT_STEPS, Some(budget)).expect("cache"));
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let server = InferenceServer::start_with_cache(
+        Arc::clone(shared),
+        ServerConfig {
+            workers: host_cores.min(4),
+            queue_capacity: QUEUE_CAPACITY,
+            fixed_batch,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+
+    let mut failed = 0u64;
+    let mut drive = |n: usize, lat_us: Option<&mut Vec<f64>>, rng: &mut XorShiftRng| {
+        let mut lat_us = lat_us;
+        let mut remaining = n;
+        while remaining > 0 {
+            let wave = WAVE.min(remaining);
+            remaining -= wave;
+            let handles: Vec<_> = (0..wave)
+                .map(|_| {
+                    let profile = &load.profiles()[load.sample(rng)];
+                    let input = gen.sample(profile, rng);
+                    server
+                        .submit(ServeRequest::new(profile.clone(), input))
+                        .expect("admitted (wave <= capacity)")
+                })
+                .collect();
+            for h in handles {
+                match h.wait() {
+                    Ok(resp) => {
+                        if let Some(lat) = lat_us.as_deref_mut() {
+                            lat.push((resp.dwell + resp.exec).as_secs_f64() * 1e6);
+                        }
+                    }
+                    Err(_) => failed += 1,
+                }
+            }
+        }
+    };
+
+    drive(warmup_n, None, rng);
+    let stats0 = shared.stats();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(measured_n);
+    let t0 = Instant::now();
+    drive(measured_n, Some(&mut lat_us), rng);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats1 = shared.stats();
+
+    let snapshot = server.controller_snapshot(Precision::F32);
+    let sstats = server.shutdown();
+
+    lat_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| {
+        if lat_us.is_empty() {
+            0.0
+        } else {
+            lat_us[((lat_us.len() - 1) as f64 * p) as usize]
+        }
+    };
+    let mean_us = lat_us.iter().sum::<f64>() / lat_us.len().max(1) as f64;
+    let wh = stats1.hits - stats0.hits;
+    let wm = stats1.misses - stats0.misses;
+    let window_hit_rate = wh as f64 / (wh + wm).max(1) as f64;
+    let throughput_rps = lat_us.len() as f64 / elapsed;
+
+    let (converged_batch, buckets) = match &snapshot {
+        Some(s) => (
+            s.converged_batch,
+            s.buckets
+                .iter()
+                .map(|b| BucketRow {
+                    batch: b.batch,
+                    ewma_us_per_sample: b.ewma_ns_per_sample / 1e3,
+                    trials: b.trials,
+                })
+                .collect(),
+        ),
+        None => (fixed_batch.unwrap_or(1), Vec::new()),
+    };
+    let row = ModeRow {
+        mode: mode.into(),
+        fixed_batch,
+        requests: lat_us.len(),
+        throughput_rps,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mean_us,
+        mean_batch: sstats.mean_batch(),
+        converged_batch,
+        window_hit_rate,
+        rejected: sstats.rejected,
+        failed,
+        buckets: if fixed_batch.is_none() {
+            buckets
+        } else {
+            Vec::new()
+        },
+    };
+    eprintln!(
+        "[server] {mode:<10} {:>6} reqs  {:>8.0} rps  p50 {:>8.1} µs  p99 {:>9.1} µs  \
+         batch {:>4.1} (→{})  hit {:>6.2}%",
+        row.requests,
+        row.throughput_rps,
+        row.p50_us,
+        row.p99_us,
+        row.mean_batch,
+        row.converged_batch,
+        row.window_hit_rate * 100.0,
+    );
+    ModeOutcome {
+        row,
+        throughput_rps,
+    }
+}
+
+/// Sizes the cache budget for one model: replay a warmup-length stream
+/// through an unbounded cache, then grant 1.2× the residency it reached —
+/// roomy for the hot mask set, tight enough that cold-tail masks churn.
+fn size_budget(
+    shared: &Arc<SharedFleetCache>,
+    load: &ZipfLoad,
+    stream_len: usize,
+    rng: &mut XorShiftRng,
+) -> (u64, u64, usize) {
+    shared.reset_cache(FleetPlanCache::with_budget(WEIGHT_STEPS, None).expect("cache"));
+    for _ in 0..stream_len {
+        let profile = &load.profiles()[load.sample(rng)];
+        shared
+            .plan_for(profile, Variant::Basic, Precision::F32)
+            .expect("sizing plan");
+    }
+    let resident = shared.resident_bytes();
+    let unique = shared.unique_masks();
+    (resident * 6 / 5, resident, unique)
+}
+
+/// Sampled bit-compatibility: responses served through the batching
+/// server must equal direct [`Engine`] execution of the same profile's
+/// own pruned mask (slack 0 ⇒ the canonical plan IS the profile's plan).
+fn verify_argmax(
+    shared: &Arc<SharedFleetCache>,
+    load: &ZipfLoad,
+    gen: &InputGen,
+    budget: u64,
+    rng: &mut XorShiftRng,
+) -> (bool, usize) {
+    shared.reset_cache(FleetPlanCache::with_budget(WEIGHT_STEPS, Some(budget)).expect("cache"));
+    let server = InferenceServer::start_with_cache(Arc::clone(shared), ServerConfig::default())
+        .expect("server");
+    let check = 8;
+    let picks: Vec<(usize, Tensor)> = (0..check)
+        .map(|_| {
+            let idx = load.sample(rng);
+            let input = gen.sample(&load.profiles()[idx], rng);
+            (idx, input)
+        })
+        .collect();
+    let served: Vec<Tensor> = picks
+        .iter()
+        .map(|(idx, input)| {
+            server
+                .infer(ServeRequest::new(
+                    load.profiles()[*idx].clone(),
+                    input.clone(),
+                ))
+                .expect("served")
+                .output
+        })
+        .collect();
+    server.shutdown();
+    shared.with_cloud(|cloud| {
+        let masks: Vec<_> = picks
+            .iter()
+            .map(|(idx, _)| {
+                cloud
+                    .prune_mask(&load.profiles()[*idx], Variant::Basic)
+                    .expect("mask")
+            })
+            .collect();
+        let mut engine = Engine::new(cloud.network());
+        let mut compatible = true;
+        for (((_, input), mask), served_out) in picks.iter().zip(&masks).zip(&served) {
+            let direct = engine
+                .run(
+                    InferenceRequest::single(input)
+                        .masked(mask)
+                        .strategy(ExecStrategy::CompiledPlan),
+                )
+                .expect("direct")
+                .into_single()
+                .expect("single");
+            if direct.as_slice() != served_out.as_slice() || direct.argmax() != served_out.argmax()
+            {
+                compatible = false;
+                eprintln!("[server] ARGMAX/BITWISE MISMATCH vs direct engine");
+            }
+        }
+        (compatible, check)
+    })
+}
+
+/// Runs the full mode sweep for one model and assembles its report.
+#[allow(clippy::too_many_arguments)]
+fn run_model(
+    name: &str,
+    cloud: CloudServer,
+    load: &ZipfLoad,
+    gen: &InputGen,
+    adaptive_only: bool,
+    warmup_n: usize,
+    measured_n: usize,
+    rng: &mut XorShiftRng,
+) -> ModelReport {
+    eprintln!(
+        "[server] === {name}: {} profiles, {} warmup + {} measured per mode ===",
+        load.profiles().len(),
+        warmup_n,
+        measured_n
+    );
+    let shared = Arc::new(SharedFleetCache::new(
+        cloud,
+        FleetPlanCache::with_budget(WEIGHT_STEPS, None).expect("cache"),
+    ));
+    let (budget, sizing_resident, unique_masks) = size_budget(&shared, load, warmup_n, rng);
+    eprintln!(
+        "[server] {name}: {unique_masks} canonical masks, sizing resident {sizing_resident} B, \
+         budget {budget} B"
+    );
+
+    let mut modes = Vec::new();
+    let adaptive = run_mode(
+        "adaptive", &shared, load, gen, budget, None, warmup_n, measured_n, rng,
+    );
+    let adaptive_rps = adaptive.throughput_rps;
+    modes.push(adaptive.row);
+    let mut best_fixed_rps: Option<f64> = None;
+    if !adaptive_only {
+        for fixed in [1usize, 8, 32] {
+            let outcome = run_mode(
+                &format!("fixed{fixed}"),
+                &shared,
+                load,
+                gen,
+                budget,
+                Some(fixed),
+                warmup_n,
+                measured_n,
+                rng,
+            );
+            best_fixed_rps = Some(best_fixed_rps.unwrap_or(0.0).max(outcome.throughput_rps));
+            modes.push(outcome.row);
+        }
+    }
+    let adaptive_vs_best_fixed = best_fixed_rps.map(|best| adaptive_rps / best);
+    if let Some(ratio) = adaptive_vs_best_fixed {
+        eprintln!(
+            "[server] {name}: adaptive/best-fixed throughput {ratio:.3} (target ≥ 0.9: {})",
+            if ratio >= 0.9 { "met" } else { "MISSED" }
+        );
+    }
+
+    let (argmax_ok, checked) = verify_argmax(&shared, load, gen, budget, rng);
+    ModelReport {
+        model: name.into(),
+        classes: load.config().classes,
+        distinct_profiles: load.profiles().len(),
+        max_classes_per_profile: load.config().max_classes,
+        unique_masks,
+        budget_bytes: budget,
+        sizing_resident_bytes: sizing_resident,
+        modes,
+        adaptive_vs_best_fixed,
+        argmax_bit_compatible: argmax_ok,
+        argmax_samples_checked: checked,
+    }
+}
+
+/// A trained MLP serving cloud. Smoke keeps the fleet shape but shrinks
+/// the network so CI measures the serving machinery, not GEMM time.
+fn mlp_cloud(smoke: bool) -> (CloudServer, usize) {
+    let classes = 16;
+    let dim = if smoke { 24 } else { 256 };
+    let widths: Vec<usize> = if smoke {
+        vec![dim, 64, 48, classes]
+    } else {
+        vec![dim, 512, 256, 128, classes]
+    };
+    let gen = VectorClusters::new(VectorClustersConfig::easy(classes, dim)).expect("gen");
+    let mut net = NetworkBuilder::mlp(&widths, 11).build().expect("builds");
+    let cfg = TrainerConfig {
+        epochs: if smoke { 6 } else { 8 },
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(
+            &mut net,
+            gen.generate(if smoke { 30 } else { 40 }, 1).samples(),
+        )
+        .expect("training");
+    let cloud = CloudServer::new(
+        net,
+        &gen.generate(20, 2),
+        &gen.generate(12, 3),
+        PruningConfig::fast(),
+    )
+    .expect("cloud");
+    (cloud, dim)
+}
+
+/// A trained tiny-VGG serving cloud over synthetic images.
+fn vgg_cloud() -> (CloudServer, SyntheticImages) {
+    let classes = 8;
+    let images = SyntheticImages::new(SyntheticImagesConfig::small(classes)).expect("config");
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(classes), 7)
+        .build()
+        .expect("builds");
+    let cfg = TrainerConfig {
+        epochs: 2,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(&mut net, images.generate(10, 1).samples())
+        .expect("training");
+    let cloud = CloudServer::new(
+        net,
+        &images.generate(8, 2),
+        &images.generate(6, 3),
+        PruningConfig::fast(),
+    )
+    .expect("cloud");
+    (cloud, images)
+}
+
+/// Smoke gates over one model report's adaptive row. Returns `true` on
+/// failure.
+fn smoke_gate(model: &ModelReport) -> bool {
+    let Some(row) = model.modes.iter().find(|m| m.mode == "adaptive") else {
+        eprintln!("[server] smoke gate: no adaptive mode, nothing to check");
+        return false;
+    };
+    let mut failed = false;
+    if row.failed > 0 {
+        eprintln!(
+            "[server] smoke gate FAILED: {} failed responses",
+            row.failed
+        );
+        failed = true;
+    }
+    if row.p99_us > SMOKE_P99_CEILING_US {
+        eprintln!(
+            "[server] smoke gate FAILED: p99 {:.0} µs > {:.0} µs",
+            row.p99_us, SMOKE_P99_CEILING_US
+        );
+        failed = true;
+    }
+    if row.window_hit_rate < 0.90 {
+        eprintln!(
+            "[server] smoke gate FAILED: window hit rate {:.2}% < 90%",
+            row.window_hit_rate * 100.0
+        );
+        failed = true;
+    }
+    if !model.argmax_bit_compatible {
+        eprintln!("[server] smoke gate FAILED: argmax mismatch vs direct engine");
+        failed = true;
+    }
+    if !failed {
+        eprintln!(
+            "[server] smoke gate: 0 failures, p99 {:.0} µs ≤ {:.0} µs, hit {:.2}% ≥ 90%, \
+             argmax OK",
+            row.p99_us,
+            SMOKE_P99_CEILING_US,
+            row.window_hit_rate * 100.0
+        );
+    }
+    failed
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let smoke = smoke_mode();
+    let (warmup_n, measured_n) = if smoke {
+        (4_000, 1_200)
+    } else {
+        (4_000, 12_000)
+    };
+    eprintln!(
+        "[server] {NUM_PROFILES} distinct profiles, waves of {WAVE}, host cores: {host_cores}"
+    );
+
+    let mut rng = XorShiftRng::new(DEFAULT_SEED);
+    let mut models = Vec::new();
+
+    // serving MLP: narrow class sets (1–2) keep wide-model plan bytes
+    // realistic for a budgeted fleet
+    let (cloud, dim) = mlp_cloud(smoke);
+    let mlp_load = ZipfLoad::new(ZipfLoadConfig::fleet(16, NUM_PROFILES).narrow(2), &mut rng);
+    let gen = InputGen::Uniform(dim);
+    models.push(run_model(
+        "serving_mlp",
+        cloud,
+        &mlp_load,
+        &gen,
+        smoke,
+        warmup_n,
+        measured_n,
+        &mut rng,
+    ));
+
+    // tiny VGG: the model whose batch-32 regression the controller must
+    // dodge (full runs only — conv compiles are too slow for CI smoke)
+    if !smoke {
+        let (cloud, images) = vgg_cloud();
+        let vgg_load = ZipfLoad::new(ZipfLoadConfig::fleet(8, NUM_PROFILES), &mut rng);
+        let gen = InputGen::Images(images);
+        models.push(run_model(
+            "vgg_tiny(8)",
+            cloud,
+            &vgg_load,
+            &gen,
+            false,
+            warmup_n,
+            measured_n,
+            &mut rng,
+        ));
+    }
+
+    let all_compatible = models.iter().all(|m| m.argmax_bit_compatible);
+    let all_knees = models
+        .iter()
+        .all(|m| m.adaptive_vs_best_fixed.is_none_or(|r| r >= 0.9));
+    let report = Report {
+        host_cores,
+        num_profiles: NUM_PROFILES,
+        wave: WAVE,
+        queue_capacity: QUEUE_CAPACITY,
+        warmup_requests: warmup_n,
+        measured_requests: measured_n,
+        rank_zipf_s: mlp_load.config().rank_zipf_s,
+        class_zipf_s: mlp_load.config().class_zipf_s,
+        models,
+    };
+    if smoke {
+        eprintln!("[server] smoke mode: skipping results/ write");
+    } else if let Some(path) = write_results_json("BENCH_server", &report) {
+        eprintln!("[server] results written to {}", path.display());
+    }
+
+    let gate_failed = smoke && report.models.iter().any(smoke_gate);
+    if !all_compatible || gate_failed {
+        std::process::exit(1);
+    }
+    if !smoke && !all_knees {
+        eprintln!("[server] adaptive batching missed the 0.9× best-fixed target");
+        std::process::exit(1);
+    }
+}

@@ -13,8 +13,9 @@
 
 use capnn_bench::{write_results_json, write_results_raw};
 use capnn_core::{
-    CloudServer, DriftPolicy, FleetPlanCache, LocalDevice, ModelCache, PersonalizationRequest,
-    PersonalizationSession, PruningConfig, UserProfile, Variant,
+    CapnnError, CloudServer, DriftPolicy, FleetPlanCache, InferenceServer, LocalDevice, ModelCache,
+    PersonalizationRequest, PersonalizationSession, PruningConfig, ServeRequest, ServerConfig,
+    UserProfile, Variant,
 };
 use capnn_data::{SyntheticImages, SyntheticImagesConfig, VectorClusters, VectorClustersConfig};
 use capnn_nn::{
@@ -22,13 +23,50 @@ use capnn_nn::{
 };
 use capnn_tensor::{parallel, Tensor, XorShiftRng};
 use serde::Serialize;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// `CAPNN_BENCH_SMOKE=1` runs a tiny sweep (CI: exercise the bin end to
 /// end, including the bit-compatibility checks), skips writing `results/`,
 /// and gates on the vgg batch-32 scaling (see `smoke_gate`).
 fn smoke_mode() -> bool {
     std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The batch sizes to sweep: `CAPNN_BENCH_BATCHES` (comma-separated, e.g.
+/// `1,3,8,24`) overrides the defaults, so the adaptive controller's knee
+/// can be cross-checked against arbitrary fixed sweeps. Unparsable or zero
+/// entries abort — a silently dropped batch point would skew the report.
+/// Without the override, smoke mode sweeps `[1,4,32]` (the gate checks
+/// batch-32 scaling) and full mode `[1,2,4,8,16,32]`.
+fn batch_list(smoke: bool) -> Vec<usize> {
+    if let Ok(raw) = std::env::var("CAPNN_BENCH_BATCHES") {
+        let mut batches: Vec<usize> = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| match s.parse::<usize>() {
+                Ok(b) if b > 0 => b,
+                _ => {
+                    eprintln!("[serving] CAPNN_BENCH_BATCHES: bad batch size {s:?} in {raw:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect();
+        batches.sort_unstable();
+        batches.dedup();
+        if batches.is_empty() {
+            eprintln!("[serving] CAPNN_BENCH_BATCHES is set but empty: {raw:?}");
+            std::process::exit(2);
+        }
+        eprintln!("[serving] batch list overridden: {batches:?}");
+        return batches;
+    }
+    if smoke {
+        vec![1, 4, 32]
+    } else {
+        vec![1, 2, 4, 8, 16, 32]
+    }
 }
 
 /// Smoke-mode CI gate: on multi-core hosts the conv path must hold a
@@ -520,6 +558,56 @@ fn serving_scenario() {
         session.record(pred);
     }
     let _ = session.check_drift();
+
+    // serving front-end: a short burst through the batching server lands
+    // the server.queue_depth / server.batch_size / server.dwell_ns probes
+    let server = InferenceServer::start(
+        cloud,
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let shared = Arc::clone(server.cache());
+    let mut rng = XorShiftRng::new(41);
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            let user = users[i % users.len()].clone();
+            let x = Tensor::uniform(&[6], -1.0, 1.0, &mut rng);
+            server.submit(ServeRequest::new(user, x)).expect("submit")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("response");
+    }
+    server.shutdown();
+
+    // and a deterministic rejection for server.rejected: capacity 1 with a
+    // batch target the lone queue can never fill before its (long) dwell
+    let strict = InferenceServer::start_with_cache(
+        shared,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            fixed_batch: Some(8),
+            max_dwell: Duration::from_secs(60),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("strict server");
+    let x = Tensor::uniform(&[6], -1.0, 1.0, &mut rng);
+    let admitted = strict
+        .submit(ServeRequest::new(users[0].clone(), x.clone()))
+        .expect("admit");
+    for _ in 0..3 {
+        let err = strict
+            .submit(ServeRequest::new(users[0].clone(), x.clone()))
+            .expect_err("over capacity");
+        assert!(matches!(err, CapnnError::Overloaded(_)), "{err:?}");
+    }
+    strict.shutdown();
+    admitted.wait().expect("drained at shutdown");
 }
 
 fn main() {
@@ -528,11 +616,7 @@ fn main() {
         .unwrap_or(1);
     let default_threads = parallel::max_threads();
     // smoke keeps batch 32 in the sweep: the smoke gate checks its scaling
-    let batches: Vec<usize> = if smoke_mode() {
-        vec![1, 4, 32]
-    } else {
-        vec![1, 2, 4, 8, 16, 32]
-    };
+    let batches = batch_list(smoke_mode());
     let samples_per_point = if smoke_mode() { 64 } else { 256 };
     let max_batch = *batches.iter().max().expect("non-empty");
     eprintln!("[serving] host cores: {host_cores}, pool threads: {default_threads}");
@@ -676,8 +760,17 @@ fn main() {
             }
         }
     }
-    let gate_failed = smoke_mode() && smoke_gate(&report.models, host_cores);
-    let int8_gate_failed = smoke_mode() && int8_smoke_gate(&report.int8);
+    // the gates read batch-32 fields; a CAPNN_BENCH_BATCHES override that
+    // drops 32 leaves them zeroed, so they only run when 32 was swept
+    let has_batch32 = report.batches.contains(&32);
+    if smoke_mode() && !has_batch32 {
+        eprintln!(
+            "[serving] smoke gates SKIPPED: batch 32 not in sweep {:?}",
+            report.batches
+        );
+    }
+    let gate_failed = smoke_mode() && has_batch32 && smoke_gate(&report.models, host_cores);
+    let int8_gate_failed = smoke_mode() && has_batch32 && int8_smoke_gate(&report.int8);
     if !all_compatible || gate_failed || int8_gate_failed {
         std::process::exit(1);
     }

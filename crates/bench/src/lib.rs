@@ -13,6 +13,7 @@
 //! repeated experiment runs skip training.
 
 pub mod experiments;
+pub mod loadgen;
 pub mod report;
 pub mod rig;
 

@@ -1,0 +1,234 @@
+//! Zipfian fleet load generation, shared by the cache and server benches.
+//!
+//! One implementation, one seed policy: `perf_cache` and `perf_server`
+//! must drive the *same* synthetic fleet — a large population of distinct
+//! user profiles whose class sets follow Zipfian class popularity, with
+//! requests drawn Zipfian over profile rank — or their hit rates and
+//! latencies are not comparable. The shapes mirror what SECS reports for
+//! real mobile request streams: a handful of popular classes dominates,
+//! so a handful of class *sets* (and therefore canonical masks) carries
+//! most of the traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use capnn_bench::loadgen::{ZipfLoad, ZipfLoadConfig, DEFAULT_SEED};
+//! use capnn_tensor::XorShiftRng;
+//!
+//! let mut rng = XorShiftRng::new(DEFAULT_SEED);
+//! let load = ZipfLoad::new(ZipfLoadConfig::fleet(16, 1000), &mut rng);
+//! let stream = load.stream(50, &mut rng);
+//! assert_eq!(load.profiles().len(), 1000);
+//! assert!(stream.iter().all(|&i| i < 1000));
+//! ```
+
+use capnn_core::UserProfile;
+use capnn_tensor::XorShiftRng;
+
+/// The one seed every fleet bench starts its request stream from, so runs
+/// are reproducible and cross-bench comparable.
+pub const DEFAULT_SEED: u64 = 0xF1EE7;
+
+/// Shape of a synthetic Zipfian fleet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfLoadConfig {
+    /// Distinct user profiles in the population.
+    pub num_profiles: usize,
+    /// Classes the cloud model serves.
+    pub classes: usize,
+    /// Class-popularity skew: class `c` is drawn ∝ 1/(c+1)^s. The 1.3
+    /// default makes a handful of class sets dominate the mask population.
+    pub class_zipf_s: f64,
+    /// Request skew over profile ranks (classic Zipf, s = 1).
+    pub rank_zipf_s: f64,
+    /// Smallest class-set size a profile may have.
+    pub min_classes: usize,
+    /// Largest class-set size a profile may have.
+    pub max_classes: usize,
+}
+
+impl ZipfLoadConfig {
+    /// The fleet shape `perf_cache` established: 1–4 classes per profile,
+    /// class Zipf 1.3, rank Zipf 1.0.
+    pub fn fleet(classes: usize, num_profiles: usize) -> Self {
+        Self {
+            num_profiles,
+            classes,
+            class_zipf_s: 1.3,
+            rank_zipf_s: 1.0,
+            min_classes: 1,
+            max_classes: 4,
+        }
+    }
+
+    /// Same fleet, smaller class sets (1–2): the shape the server bench
+    /// uses for wide models where 4-class plans would not fit a realistic
+    /// budget.
+    pub fn narrow(mut self, max_classes: usize) -> Self {
+        self.max_classes = max_classes.max(self.min_classes);
+        self
+    }
+}
+
+/// Cumulative Zipf(s) distribution over `n` ranks, normalized to 1.
+pub fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for r in 0..n {
+        acc += 1.0 / ((r + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    for v in &mut cdf {
+        *v /= acc;
+    }
+    cdf
+}
+
+/// Samples a rank from `cdf` by inverse transform (binary search).
+pub fn sample_rank(cdf: &[f64], rng: &mut XorShiftRng) -> usize {
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
+/// A generated fleet: the profile population plus the rank distribution
+/// requests are drawn from.
+#[derive(Debug, Clone)]
+pub struct ZipfLoad {
+    config: ZipfLoadConfig,
+    profiles: Vec<UserProfile>,
+    rank_cdf: Vec<f64>,
+}
+
+impl ZipfLoad {
+    /// Generates the profile population. Profiles have class sets of
+    /// `min_classes..=max_classes` classes drawn with Zipfian class
+    /// popularity and random normalized weights — every profile is its
+    /// own identity even when class sets repeat, exactly the population
+    /// the fleet cache must collapse.
+    pub fn new(config: ZipfLoadConfig, rng: &mut XorShiftRng) -> Self {
+        let class_cdf = zipf_cdf(config.classes, config.class_zipf_s);
+        let span = config.max_classes.max(config.min_classes) - config.min_classes + 1;
+        let profiles = (0..config.num_profiles)
+            .map(|_| {
+                let k = (config.min_classes + rng.next_below(span)).min(config.classes);
+                let mut classes: Vec<usize> = Vec::with_capacity(k);
+                while classes.len() < k {
+                    let c = sample_rank(&class_cdf, rng);
+                    if !classes.contains(&c) {
+                        classes.push(c);
+                    }
+                }
+                let mut weights: Vec<f32> = (0..k).map(|_| 0.05 + rng.next_uniform()).collect();
+                let sum: f32 = weights.iter().sum();
+                for w in &mut weights {
+                    *w /= sum;
+                }
+                UserProfile::new(classes, weights).expect("valid profile")
+            })
+            .collect();
+        let rank_cdf = zipf_cdf(config.num_profiles, config.rank_zipf_s);
+        Self {
+            config,
+            profiles,
+            rank_cdf,
+        }
+    }
+
+    /// The shape this fleet was generated with.
+    pub fn config(&self) -> &ZipfLoadConfig {
+        &self.config
+    }
+
+    /// The profile population, rank order = popularity order.
+    pub fn profiles(&self) -> &[UserProfile] {
+        &self.profiles
+    }
+
+    /// Draws one request: the index of the profile it comes from.
+    pub fn sample(&self, rng: &mut XorShiftRng) -> usize {
+        sample_rank(&self.rank_cdf, rng)
+    }
+
+    /// Draws a request stream of `n` profile indices.
+    pub fn stream(&self, n: usize, rng: &mut XorShiftRng) -> Vec<usize> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Smallest prefix of the (rank-ordered) population carrying at least
+    /// `mass` of the request distribution — the hot set a budget should
+    /// be sized to hold.
+    pub fn hot_prefix(&self, mass: f64) -> usize {
+        self.rank_cdf
+            .partition_point(|&c| c < mass)
+            .saturating_add(1)
+            .min(self.profiles.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_is_normalized_and_monotone() {
+        let cdf = zipf_cdf(100, 1.0);
+        assert!((cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sampling_is_skewed_toward_low_ranks() {
+        let cdf = zipf_cdf(1000, 1.0);
+        let mut rng = XorShiftRng::new(7);
+        let mut low = 0usize;
+        for _ in 0..10_000 {
+            if sample_rank(&cdf, &mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // the top 10 of 1000 ranks carry ~39% of a Zipf(1) stream
+        assert!(low > 2_500, "only {low}/10000 hit the top-10 ranks");
+    }
+
+    #[test]
+    fn profiles_respect_config_bounds() {
+        let mut rng = XorShiftRng::new(DEFAULT_SEED);
+        let cfg = ZipfLoadConfig::fleet(16, 500);
+        let load = ZipfLoad::new(cfg, &mut rng);
+        assert_eq!(load.profiles().len(), 500);
+        for p in load.profiles() {
+            let k = p.classes().len();
+            assert!((1..=4).contains(&k), "class-set size {k}");
+            assert!(p.classes().iter().all(|&c| c < 16));
+        }
+        let narrow = ZipfLoad::new(ZipfLoadConfig::fleet(16, 200).narrow(2), &mut rng);
+        assert!(narrow.profiles().iter().all(|p| p.classes().len() <= 2));
+    }
+
+    #[test]
+    fn same_seed_same_fleet() {
+        let make = || {
+            let mut rng = XorShiftRng::new(DEFAULT_SEED);
+            let load = ZipfLoad::new(ZipfLoadConfig::fleet(8, 300), &mut rng);
+            let stream = load.stream(100, &mut rng);
+            (load.profiles().to_vec(), stream)
+        };
+        let (pa, sa) = make();
+        let (pb, sb) = make();
+        assert_eq!(sa, sb);
+        assert_eq!(pa.len(), pb.len());
+        for (a, b) in pa.iter().zip(&pb) {
+            assert_eq!(a.classes(), b.classes());
+        }
+    }
+
+    #[test]
+    fn hot_prefix_shrinks_with_skew() {
+        let mut rng = XorShiftRng::new(1);
+        let load = ZipfLoad::new(ZipfLoadConfig::fleet(16, 10_000), &mut rng);
+        let hot = load.hot_prefix(0.5);
+        assert!(hot < 1_000, "50% of Zipf(1) mass needs {hot} profiles");
+        assert!(load.hot_prefix(0.999) <= 10_000);
+        assert!(load.hot_prefix(0.5) < load.hot_prefix(0.9));
+    }
+}

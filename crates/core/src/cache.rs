@@ -89,9 +89,9 @@ pub struct CacheStats {
     /// Plans evicted to stay under the byte budget. Always 0 for the
     /// unbudgeted [`ModelCache`].
     pub evictions: u64,
-    /// Bytes of compiled plans resident in the cache, amortized across
-    /// shared panels (see [`CompiledPlan::resident_bytes`]). Always 0 for
-    /// [`ModelCache`], which does not account bytes.
+    /// Bytes of compiled plans resident in the cache; each shared weight
+    /// panel is counted once for as long as any resident plan references
+    /// it. Always 0 for [`ModelCache`], which does not account bytes.
     pub resident_bytes: u64,
 }
 
@@ -195,6 +195,13 @@ struct PlanEntry {
     last_used: u64,
 }
 
+/// Refcount of one shared weight kernel across the cache's resident plans.
+#[derive(Debug, Clone, Copy)]
+struct KernelRef {
+    refs: usize,
+    bytes: u64,
+}
+
 /// Fleet-scale plan cache: canonicalized masks, pooled weight panels, and
 /// byte-budgeted LRU eviction.
 ///
@@ -222,9 +229,10 @@ struct PlanEntry {
 /// Eviction is least-recently-used under a byte budget
 /// (`CAPNN_CACHE_BYTES`, or [`FleetPlanCache::with_budget`]). The budget is
 /// strict: if the just-compiled plan itself cannot fit, it is evicted too
-/// and the request is served uncached. Residency accounting uses
-/// [`CompiledPlan::resident_bytes`], which amortizes each shared panel
-/// across its referents.
+/// and the request is served uncached. Residency is refcounted over the
+/// plans the cache itself holds — each shared panel counts once while any
+/// resident plan references it — so the total is exact, O(1) to read, and
+/// unaffected by plan handles callers still hold after an eviction.
 ///
 /// # Examples
 ///
@@ -243,10 +251,13 @@ pub struct FleetPlanCache {
     mask_slack: usize,
     /// Logical clock driving LRU order.
     tick: u64,
-    /// Running resident estimate: plan bytes at insert time, minus exact
-    /// recounts whenever the budget forces one. Only an upper-ish bound
-    /// between enforcements — [`FleetPlanCache::resident_bytes`] recounts.
-    recorded_bytes: u64,
+    /// Kernel identity (`Arc` pointer) → how many resident plans reference
+    /// it, plus its byte footprint. Maintained on insert/evict.
+    kernel_refs: HashMap<usize, KernelRef>,
+    /// Exact resident bytes: every plan's fixed bytes plus each shared
+    /// kernel counted once while referenced. Incremental, so reads are
+    /// O(1) and stable against plan `Arc`s held outside the cache.
+    resident_exact: u64,
     substitutions: u64,
     stats: CacheStats,
 }
@@ -284,7 +295,8 @@ impl FleetPlanCache {
             budget_bytes,
             mask_slack: 0,
             tick: 0,
-            recorded_bytes: 0,
+            kernel_refs: HashMap::new(),
+            resident_exact: 0,
             substitutions: 0,
             stats: CacheStats::default(),
         })
@@ -323,21 +335,16 @@ impl FleetPlanCache {
         self.substitutions
     }
 
-    /// Hit/miss/eviction/residency statistics. `resident_bytes` here is the
-    /// running accounting value; [`FleetPlanCache::resident_bytes`] recounts
-    /// exactly.
+    /// Hit/miss/eviction/residency statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
 
-    /// Exact resident bytes: a fresh amortized count over every resident
-    /// plan. `O(plans × kernels)` — cheap under a budget, use sparingly on
-    /// an unbounded cache.
+    /// Exact resident bytes: every plan's fixed bytes plus each shared
+    /// kernel counted once. Maintained incrementally, so this is O(1) and
+    /// never exceeds the budget after a [`FleetPlanCache::plan_for`] call.
     pub fn resident_bytes(&self) -> u64 {
-        self.plans
-            .values()
-            .map(|e| e.plan.resident_bytes() as u64)
-            .sum()
+        self.resident_exact
     }
 
     /// Serves one request: memoized mask lookup (or prune + canonicalize),
@@ -374,9 +381,7 @@ impl FleetPlanCache {
         self.stats.misses += 1;
         capnn_telemetry::count("cache.misses", 1);
         let plan = cloud.compile_pooled(&mask, precision)?;
-        self.recorded_bytes = self
-            .recorded_bytes
-            .saturating_add(plan.resident_bytes() as u64);
+        self.account_insert(&plan);
         self.plans.insert(
             (mask, precision),
             PlanEntry {
@@ -395,8 +400,44 @@ impl FleetPlanCache {
         self.masks.clear();
         self.canon.clear();
         self.plans.clear();
-        self.recorded_bytes = 0;
+        self.kernel_refs.clear();
+        self.resident_exact = 0;
         self.stats.resident_bytes = 0;
+    }
+
+    /// Adds a just-compiled plan to the residency ledger: its fixed bytes
+    /// always, each kernel's bytes only on its first resident reference.
+    fn account_insert(&mut self, plan: &CompiledPlan) {
+        self.resident_exact = self
+            .resident_exact
+            .saturating_add(plan.fixed_bytes() as u64);
+        for (id, bytes) in plan.kernel_footprints() {
+            let slot = self.kernel_refs.entry(id).or_insert(KernelRef {
+                refs: 0,
+                bytes: bytes as u64,
+            });
+            if slot.refs == 0 {
+                self.resident_exact = self.resident_exact.saturating_add(slot.bytes);
+            }
+            slot.refs += 1;
+        }
+    }
+
+    /// Removes an evicted plan from the residency ledger, releasing each
+    /// kernel's bytes when its last resident reference drops.
+    fn account_evict(&mut self, plan: &CompiledPlan) {
+        self.resident_exact = self
+            .resident_exact
+            .saturating_sub(plan.fixed_bytes() as u64);
+        for (id, _) in plan.kernel_footprints() {
+            if let Some(slot) = self.kernel_refs.get_mut(&id) {
+                slot.refs -= 1;
+                if slot.refs == 0 {
+                    self.resident_exact = self.resident_exact.saturating_sub(slot.bytes);
+                    self.kernel_refs.remove(&id);
+                }
+            }
+        }
     }
 
     /// Interns `mask` by value; under a nonzero slack, an acceptable
@@ -430,36 +471,26 @@ impl FleetPlanCache {
         canonical
     }
 
-    /// Evicts least-recently-used plans until the resident estimate is
-    /// within budget. Exact recounts happen only when the running estimate
-    /// crosses the budget, so the unbounded path stays O(1) per request.
+    /// Evicts least-recently-used plans until the exact resident total is
+    /// within budget. The incremental ledger makes the check O(1), so the
+    /// unbounded path stays O(1) per request too.
     fn enforce_budget(&mut self) {
-        let Some(budget) = self.budget_bytes else {
-            self.stats.resident_bytes = self.recorded_bytes;
-            return;
-        };
-        if self.recorded_bytes <= budget {
-            self.stats.resident_bytes = self.recorded_bytes;
-            return;
+        if let Some(budget) = self.budget_bytes {
+            while self.resident_exact > budget && !self.plans.is_empty() {
+                let lru = self
+                    .plans
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                let Some(key) = lru else { break };
+                if let Some(entry) = self.plans.remove(&key) {
+                    self.account_evict(&entry.plan);
+                }
+                self.stats.evictions += 1;
+                capnn_telemetry::count("cache.evictions", 1);
+            }
         }
-        // Over the (estimated) budget: recount exactly, then evict LRU-first
-        // until under. The recount after each eviction matters — dropping a
-        // plan shifts panel amortization onto its surviving sharers.
-        let mut resident = self.resident_bytes();
-        while resident > budget && !self.plans.is_empty() {
-            let lru = self
-                .plans
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone());
-            let Some(key) = lru else { break };
-            self.plans.remove(&key);
-            self.stats.evictions += 1;
-            capnn_telemetry::count("cache.evictions", 1);
-            resident = self.resident_bytes();
-        }
-        self.recorded_bytes = resident;
-        self.stats.resident_bytes = resident;
+        self.stats.resident_bytes = self.resident_exact;
     }
 
     fn publish_gauges(&self) {

@@ -17,6 +17,13 @@ pub enum CapnnError {
     Mismatch(String),
     /// The underlying network substrate failed.
     Network(NnError),
+    /// A serving front-end rejected the request under admission control:
+    /// its queues are at capacity. This is backpressure, not failure — the
+    /// caller should retry later or shed the request.
+    Overloaded(String),
+    /// A serving front-end is shutting down (or already gone) and can no
+    /// longer accept or answer requests.
+    Unavailable(String),
     /// An internal invariant was violated — a bug in this crate, not in the
     /// caller's input. Public APIs surface this instead of panicking.
     Internal(String),
@@ -29,6 +36,8 @@ impl fmt::Display for CapnnError {
             CapnnError::Config(m) => write!(f, "invalid pruning configuration: {m}"),
             CapnnError::Mismatch(m) => write!(f, "structural mismatch: {m}"),
             CapnnError::Network(e) => write!(f, "network error: {e}"),
+            CapnnError::Overloaded(m) => write!(f, "server overloaded: {m}"),
+            CapnnError::Unavailable(m) => write!(f, "server unavailable: {m}"),
             CapnnError::Internal(m) => write!(f, "internal invariant violated: {m}"),
         }
     }
@@ -65,6 +74,12 @@ mod tests {
         assert!(CapnnError::Internal("lost".into())
             .to_string()
             .contains("internal invariant"));
+        assert!(CapnnError::Overloaded("queue full".into())
+            .to_string()
+            .contains("overloaded"));
+        assert!(CapnnError::Unavailable("shutting down".into())
+            .to_string()
+            .contains("unavailable"));
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod config;
 mod error;
 mod eval;
 mod protocol;
+mod server;
 mod session;
 mod user;
 
@@ -70,5 +71,9 @@ pub use config::PruningConfig;
 pub use error::CapnnError;
 pub use eval::{ClassAccuracy, DegradationMetric, TailEvaluator};
 pub use protocol::{transfer_cost, TransferCost};
+pub use server::{
+    BucketStat, ControllerConfig, ControllerSnapshot, InferenceServer, ResponseHandle,
+    ServeRequest, ServeResponse, ServerConfig, ServerHandle, ServerStats, SharedFleetCache,
+};
 pub use session::{DriftDecision, DriftPolicy, PersonalizationSession};
 pub use user::UserProfile;

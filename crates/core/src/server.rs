@@ -1,0 +1,1033 @@
+//! Async multi-tenant serving front-end with adaptive cross-user batching.
+//!
+//! This is the piece that turns the kernel stack into a server: concurrent
+//! [`ServeRequest`]s from many users are admitted into per-plan queues
+//! keyed by the [`FleetPlanCache`] canonical plan (ProfileKey → deduped
+//! mask → shared compiled plan), and a std-only worker pool drains those
+//! queues into dynamic batches executed through
+//! [`CompiledPlan::forward_batch_with_scratch`]. Requests from *different*
+//! users batch together whenever their profiles canonicalize to the same
+//! plan — the cross-user amortization the fleet cache was built to expose.
+//!
+//! Three serving behaviours are first-class:
+//!
+//! * **Adaptive batching** — a per-(model, precision)
+//!   [`BatchController`](controller) learns the per-sample-latency-vs-batch
+//!   curve from its own measurements and targets the throughput knee
+//!   (`serving_mlp` → batch 32, `vgg_tiny` → batch 8 on the 1-core
+//!   reference host, per `results/BENCH_serving.json`). A benchmark can pin
+//!   [`ServerConfig::fixed_batch`] to sweep fixed sizes instead.
+//! * **Deadline-aware flush** — no admitted request waits longer than
+//!   [`ServerConfig::max_dwell`] for its batch to fill; overdue queues
+//!   flush with whatever they hold.
+//! * **Admission control & backpressure** — the total queued requests are
+//!   bounded by [`ServerConfig::queue_capacity`]; beyond it
+//!   [`InferenceServer::submit`] returns [`CapnnError::Overloaded`]
+//!   immediately (typed rejection, never a panic or an unbounded buffer).
+//!
+//! The server never panics on the serving path: worker errors travel back
+//! to the caller through the response channel as typed [`CapnnError`]s,
+//! and mutex poisoning (impossible unless a kernel panics) is absorbed by
+//! recovering the inner state.
+//!
+//! # Examples
+//!
+//! See the `server_*` tests in this module, the `server_stress`
+//! integration test, and the `perf_server` bench bin.
+
+mod controller;
+mod queue;
+
+pub use controller::{BucketStat, ControllerConfig, ControllerSnapshot};
+
+use crate::cache::{CacheStats, FleetPlanCache};
+use crate::cloud::{CloudServer, Variant};
+use crate::error::CapnnError;
+use crate::user::UserProfile;
+use capnn_nn::{CompiledPlan, PlanScratch, Precision};
+use capnn_tensor::Tensor;
+use controller::BatchController;
+use queue::{plan_key, Pending, PlanKey, PlanQueue, QueueState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Locks a mutex, absorbing poisoning: a worker that panicked mid-hold
+/// (only possible through a kernel bug) must not wedge the whole server.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Configuration of an [`InferenceServer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Worker threads draining the queues. Each worker executes one batch
+    /// at a time; the batch itself may fan out further over the
+    /// `capnn-tensor` pool.
+    pub workers: usize,
+    /// Admission bound: total requests allowed in queues across all plans.
+    /// Submissions beyond it are rejected with [`CapnnError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Largest batch a worker may drain at once (also the controller's
+    /// largest bucket).
+    pub max_batch: usize,
+    /// Pin every dispatch to this batch size instead of adapting — the
+    /// fixed-sweep mode benchmarks use to cross-check the controller.
+    pub fixed_batch: Option<usize>,
+    /// Deadline-aware flush: the longest an admitted request may wait in
+    /// its queue before the queue is flushed at whatever size it reached.
+    pub max_dwell: Duration,
+    /// Usage-weight quantization steps for the fleet cache's
+    /// [`crate::ProfileKey`] (only used by [`InferenceServer::start`],
+    /// which builds the cache itself).
+    pub weight_steps: u16,
+    /// Plan-cache byte budget for [`InferenceServer::start`]: `None`
+    /// defers to the `CAPNN_CACHE_BYTES` environment variable, `Some(0)`
+    /// forces unbounded, any other value is the budget in bytes.
+    pub cache_budget: Option<u64>,
+    /// Adaptive-controller tuning (its `max_batch` is overridden by
+    /// [`ServerConfig::max_batch`]).
+    pub controller: ControllerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(4);
+        Self {
+            workers,
+            queue_capacity: 1024,
+            max_batch: 32,
+            fixed_batch: None,
+            max_dwell: Duration::from_millis(2),
+            weight_steps: 16,
+            cache_budget: None,
+            controller: ControllerConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn validate(&self) -> Result<(), CapnnError> {
+        if self.workers == 0 {
+            return Err(CapnnError::Config("server needs at least 1 worker".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(CapnnError::Config("queue_capacity must be positive".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(CapnnError::Config("max_batch must be positive".into()));
+        }
+        if let Some(f) = self.fixed_batch {
+            if f == 0 || f > self.max_batch {
+                return Err(CapnnError::Config(format!(
+                    "fixed_batch {f} outside 1..={}",
+                    self.max_batch
+                )));
+            }
+        }
+        if !(self.controller.ewma_alpha > 0.0 && self.controller.ewma_alpha <= 1.0) {
+            return Err(CapnnError::Config(
+                "controller ewma_alpha must be in (0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn controller_config(&self) -> ControllerConfig {
+        ControllerConfig {
+            max_batch: self.max_batch,
+            ..self.controller
+        }
+    }
+}
+
+/// One user's inference request: who (profile), what (input), how
+/// (variant + precision).
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    profile: UserProfile,
+    input: Tensor,
+    variant: Variant,
+    precision: Precision,
+}
+
+impl ServeRequest {
+    /// A request with the default CAP'NN-B variant (mask depends only on
+    /// the class set — the most cache-friendly choice) at f32.
+    pub fn new(profile: UserProfile, input: Tensor) -> Self {
+        Self {
+            profile,
+            input,
+            variant: Variant::Basic,
+            precision: Precision::F32,
+        }
+    }
+
+    /// Selects the pruning variant.
+    pub fn variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Selects the numeric precision of the serving plan.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+}
+
+/// The answer to one [`ServeRequest`], with its batching provenance.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Logits in original class coordinates (pruned classes exact zero).
+    pub output: Tensor,
+    /// Top-1 class of `output`.
+    pub argmax: usize,
+    /// Size of the dynamic batch this request rode in.
+    pub batch_size: usize,
+    /// Time the request waited in its queue before dispatch.
+    pub dwell: Duration,
+    /// Execution time of the whole batch.
+    pub exec: Duration,
+}
+
+/// Waits for one submitted request's response.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<ServeResponse, CapnnError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the worker's typed error, or [`CapnnError::Unavailable`]
+    /// if the server dropped the request without answering (shutdown).
+    pub fn wait(self) -> Result<ServeResponse, CapnnError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(CapnnError::Unavailable("server dropped the request".into())))
+    }
+
+    /// Like [`ResponseHandle::wait`] with a timeout; `Ok(None)` means the
+    /// response has not arrived yet.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ResponseHandle::wait`].
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Option<ServeResponse>, CapnnError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result.map(Some),
+            Err(mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(CapnnError::Unavailable("server dropped the request".into()))
+            }
+        }
+    }
+}
+
+/// Counters of a running server (monotonic over its lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Requests admitted into queues.
+    pub submitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests answered with a typed error.
+    pub failed: u64,
+    /// Dynamic batches dispatched.
+    pub batches: u64,
+}
+
+impl ServerStats {
+    /// Mean dispatched batch size so far (0 when no batch ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.completed + self.failed) as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Thread-safe front door to one cloud's [`FleetPlanCache`]: the cache and
+/// the cloud it compiles through, behind one mutex, shareable across the
+/// worker pool and any number of submitting threads.
+///
+/// One mutex (rather than finer grains) is deliberate: `plan_for` reads
+/// *and* writes the cache's LRU order, byte accounting and stats on every
+/// call, so a single lock is both correct by construction — the
+/// `server_stress` test pounds it from many threads and checks no counter
+/// update is lost and residency never exceeds budget — and cheap, because
+/// a cache hit holds it for well under a microsecond.
+pub struct SharedFleetCache {
+    inner: Mutex<SharedCacheInner>,
+}
+
+struct SharedCacheInner {
+    cache: FleetPlanCache,
+    cloud: CloudServer,
+}
+
+impl SharedFleetCache {
+    /// Wraps a cloud and a fleet cache for concurrent use.
+    pub fn new(cloud: CloudServer, cache: FleetPlanCache) -> Self {
+        Self {
+            inner: Mutex::new(SharedCacheInner { cache, cloud }),
+        }
+    }
+
+    /// Resolves a profile to its canonical compiled plan (see
+    /// [`FleetPlanCache::plan_for`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and compilation errors.
+    pub fn plan_for(
+        &self,
+        profile: &UserProfile,
+        variant: Variant,
+        precision: Precision,
+    ) -> Result<Arc<CompiledPlan>, CapnnError> {
+        let mut inner = lock_recover(&self.inner);
+        let SharedCacheInner { cache, cloud } = &mut *inner;
+        cache.plan_for(cloud, profile, variant, precision)
+    }
+
+    /// Hit/miss/eviction/residency statistics of the wrapped cache.
+    pub fn stats(&self) -> CacheStats {
+        lock_recover(&self.inner).cache.stats()
+    }
+
+    /// Exact resident bytes of the wrapped cache.
+    pub fn resident_bytes(&self) -> u64 {
+        lock_recover(&self.inner).cache.resident_bytes()
+    }
+
+    /// Distinct canonical masks interned so far.
+    pub fn unique_masks(&self) -> usize {
+        lock_recover(&self.inner).cache.unique_masks()
+    }
+
+    /// The wrapped cache's byte budget.
+    pub fn budget_bytes(&self) -> Option<u64> {
+        lock_recover(&self.inner).cache.budget_bytes()
+    }
+
+    /// Swaps in a fresh cache (new budget, zeroed stats), keeping the
+    /// cloud — benches reuse one profiled cloud across scenario rows.
+    pub fn reset_cache(&self, cache: FleetPlanCache) {
+        lock_recover(&self.inner).cache = cache;
+    }
+
+    /// Runs `f` with exclusive access to the wrapped cloud (e.g. to
+    /// compile verification plans against the same network).
+    pub fn with_cloud<R>(&self, f: impl FnOnce(&mut CloudServer) -> R) -> R {
+        f(&mut lock_recover(&self.inner).cloud)
+    }
+}
+
+impl std::fmt::Debug for SharedFleetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedFleetCache").finish_non_exhaustive()
+    }
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    cache: Arc<SharedFleetCache>,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    stats: AtomicStats,
+}
+
+/// A cloneable, `'static` submit-only handle — client threads keep one of
+/// these while the [`InferenceServer`] owns the workers.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// See [`InferenceServer::submit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceServer::submit`].
+    pub fn submit(&self, req: ServeRequest) -> Result<ResponseHandle, CapnnError> {
+        submit_impl(&self.shared, req)
+    }
+
+    /// Submit-and-wait convenience.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceServer::submit`] plus any worker
+    /// error.
+    pub fn infer(&self, req: ServeRequest) -> Result<ServeResponse, CapnnError> {
+        self.submit(req)?.wait()
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle").finish_non_exhaustive()
+    }
+}
+
+/// The serving front-end: admission, per-plan queues, worker pool.
+///
+/// Dropping the server shuts it down gracefully: queues drain, workers
+/// join, every in-flight request is answered.
+pub struct InferenceServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl InferenceServer {
+    /// Starts a server over `cloud`, building its own fleet cache from
+    /// the config's `weight_steps` / `cache_budget`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] for an invalid configuration.
+    pub fn start(cloud: CloudServer, cfg: ServerConfig) -> Result<Self, CapnnError> {
+        let cache = match cfg.cache_budget {
+            None => FleetPlanCache::new(cfg.weight_steps)?,
+            Some(0) => FleetPlanCache::with_budget(cfg.weight_steps, None)?,
+            Some(b) => FleetPlanCache::with_budget(cfg.weight_steps, Some(b))?,
+        };
+        Self::start_with_cache(Arc::new(SharedFleetCache::new(cloud, cache)), cfg)
+    }
+
+    /// Starts a server over an existing shared cache (benches reuse one
+    /// profiled cloud across servers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] for an invalid configuration.
+    pub fn start_with_cache(
+        cache: Arc<SharedFleetCache>,
+        cfg: ServerConfig,
+    ) -> Result<Self, CapnnError> {
+        cfg.validate()?;
+        // Declare the counter/gauge probes up front so a telemetry
+        // snapshot lists them even before the first rejection or drain
+        // (histograms are left to populate from real traffic — a dummy
+        // sample would pollute their quantiles).
+        capnn_telemetry::count("server.rejected", 0);
+        capnn_telemetry::set_gauge("server.queue_depth", 0.0);
+        let shared = Arc::new(Shared {
+            cfg,
+            cache,
+            state: Mutex::new(QueueState::new()),
+            work: Condvar::new(),
+            stats: AtomicStats::default(),
+        });
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("capnn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(|e| CapnnError::Internal(format!("spawning worker: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shared, workers })
+    }
+
+    /// Admits one request: resolves its canonical plan through the fleet
+    /// cache and enqueues it for dynamic batching. Returns immediately
+    /// with a [`ResponseHandle`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CapnnError::Overloaded`] — queues at capacity (backpressure).
+    /// * [`CapnnError::Unavailable`] — server is shutting down.
+    /// * Pruning/compilation errors from plan resolution.
+    pub fn submit(&self, req: ServeRequest) -> Result<ResponseHandle, CapnnError> {
+        submit_impl(&self.shared, req)
+    }
+
+    /// Submit-and-wait convenience.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`InferenceServer::submit`] plus any worker
+    /// error.
+    pub fn infer(&self, req: ServeRequest) -> Result<ServeResponse, CapnnError> {
+        self.submit(req)?.wait()
+    }
+
+    /// A cloneable `'static` submit-only handle for client threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The shared fleet cache this server resolves plans through.
+    pub fn cache(&self) -> &Arc<SharedFleetCache> {
+        &self.shared.cache
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests currently waiting in queues.
+    pub fn queue_depth(&self) -> usize {
+        lock_recover(&self.shared.state).total_queued
+    }
+
+    /// The adaptive controller's learned state for one precision (`None`
+    /// until a request of that precision was dispatched).
+    pub fn controller_snapshot(&self, precision: Precision) -> Option<ControllerSnapshot> {
+        lock_recover(&self.shared.state)
+            .controllers
+            .get(&precision)
+            .map(BatchController::snapshot)
+    }
+
+    /// Graceful shutdown: stops admission, drains every queue (workers
+    /// answer all in-flight requests), joins the workers and returns the
+    /// final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_in_place();
+        self.shared.stats.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        {
+            let mut st = lock_recover(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for w in self.workers.drain(..) {
+            // a worker that panicked already poisoned nothing we rely on;
+            // surface it in tests via the failed counter instead
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+impl std::fmt::Debug for InferenceServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceServer")
+            .field("cfg", &self.shared.cfg)
+            .field("stats", &self.shared.stats.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+fn submit_impl(shared: &Shared, req: ServeRequest) -> Result<ResponseHandle, CapnnError> {
+    // Cheap pre-checks under the queue lock before paying for plan
+    // resolution: a shedding server must reject in O(1).
+    {
+        let st = lock_recover(&shared.state);
+        if st.shutdown {
+            return Err(CapnnError::Unavailable("server is shutting down".into()));
+        }
+        if st.total_queued >= shared.cfg.queue_capacity {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            capnn_telemetry::count("server.rejected", 1);
+            return Err(CapnnError::Overloaded(format!(
+                "queue at capacity ({})",
+                shared.cfg.queue_capacity
+            )));
+        }
+    }
+    let plan = shared
+        .cache
+        .plan_for(&req.profile, req.variant, req.precision)?;
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut st = lock_recover(&shared.state);
+        // Re-check under the same lock that enqueues: the bound is strict.
+        if st.shutdown {
+            return Err(CapnnError::Unavailable("server is shutting down".into()));
+        }
+        if st.total_queued >= shared.cfg.queue_capacity {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            capnn_telemetry::count("server.rejected", 1);
+            return Err(CapnnError::Overloaded(format!(
+                "queue at capacity ({})",
+                shared.cfg.queue_capacity
+            )));
+        }
+        let key = plan_key(&plan);
+        let queue = st.queues.entry(key).or_insert_with(|| PlanQueue::new(plan));
+        queue.pending.push(Pending {
+            input: req.input,
+            respond: tx,
+            submitted: Instant::now(),
+        });
+        st.total_queued += 1;
+        capnn_telemetry::set_gauge("server.queue_depth", st.total_queued as f64);
+    }
+    shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    shared.work.notify_one();
+    Ok(ResponseHandle { rx })
+}
+
+/// One dispatched batch, ready to execute outside the lock.
+struct Job {
+    plan: Arc<CompiledPlan>,
+    precision: Precision,
+    pending: Vec<Pending>,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut scratch = PlanScratch::new();
+    loop {
+        let job = {
+            let mut st = lock_recover(&shared.state);
+            loop {
+                if let Some(job) = take_job(&mut st, &shared.cfg) {
+                    break Some(job);
+                }
+                if st.shutdown && st.total_queued == 0 {
+                    break None;
+                }
+                match next_wakeup(&st, &shared.cfg) {
+                    Some(wait) => {
+                        let (guard, _) = shared
+                            .work
+                            .wait_timeout(st, wait)
+                            .unwrap_or_else(|p| p.into_inner());
+                        st = guard;
+                    }
+                    None => {
+                        st = shared.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                    }
+                }
+            }
+        };
+        let Some(job) = job else { return };
+        execute_job(shared, job, &mut scratch);
+        // a drain may have unblocked a full-batch dispatch for a sibling
+        shared.work.notify_one();
+    }
+}
+
+/// Picks and drains the most dispatchable queue, if any. Priority:
+/// full-batch-ready queues (deepest first — maximum amortization), then
+/// deadline-overdue queues (most overdue first). Under shutdown every
+/// nonempty queue is dispatchable.
+fn take_job(st: &mut QueueState, cfg: &ServerConfig) -> Option<Job> {
+    let now = Instant::now();
+    let shutdown = st.shutdown;
+    let mut full: Option<(PlanKey, usize, usize)> = None; // key, len, target
+    let mut overdue: Option<(PlanKey, Duration, usize)> = None; // key, dwell, target
+    for (&key, q) in st.queues.iter() {
+        if q.pending.is_empty() {
+            continue;
+        }
+        let target = st
+            .controllers
+            .get(&q.precision)
+            .map(BatchController::planned_target)
+            .unwrap_or_else(|| {
+                BatchController::new(cfg.controller_config(), cfg.fixed_batch).planned_target()
+            })
+            .clamp(1, cfg.max_batch);
+        let len = q.pending.len();
+        if len >= target {
+            if full.map(|(_, best, _)| len > best).unwrap_or(true) {
+                full = Some((key, len, target));
+            }
+            continue;
+        }
+        let dwell = now.saturating_duration_since(q.oldest().expect("nonempty"));
+        if (dwell >= cfg.max_dwell || shutdown)
+            && overdue.map(|(_, best, _)| dwell > best).unwrap_or(true)
+        {
+            overdue = Some((key, dwell, target));
+        }
+    }
+    let (key, take) = match (full, overdue) {
+        (Some((key, _, target)), _) => (key, target),
+        // an overdue queue flushes whatever it holds (it is below target)
+        (None, Some((key, _, _))) => (key, cfg.max_batch),
+        (None, None) => return None,
+    };
+    let queue = st.queues.get_mut(&key).expect("picked key exists");
+    let n = take.min(queue.pending.len());
+    let pending: Vec<Pending> = queue.pending.drain(..n).collect();
+    let job = Job {
+        plan: Arc::clone(&queue.plan),
+        precision: queue.precision,
+        pending,
+    };
+    if queue.pending.is_empty() {
+        // drop the entry so the server does not pin evicted plans alive
+        st.queues.remove(&key);
+    }
+    st.total_queued -= n;
+    capnn_telemetry::set_gauge("server.queue_depth", st.total_queued as f64);
+    let ctl = st
+        .controllers
+        .entry(job.precision)
+        .or_insert_with(|| BatchController::new(cfg.controller_config(), cfg.fixed_batch));
+    ctl.on_dispatch();
+    Some(job)
+}
+
+/// Earliest deadline across queues: how long a worker may sleep before
+/// some queue must be dwell-flushed. `None` → all queues empty.
+fn next_wakeup(st: &QueueState, cfg: &ServerConfig) -> Option<Duration> {
+    let now = Instant::now();
+    st.queues
+        .values()
+        .filter_map(PlanQueue::oldest)
+        .map(|oldest| {
+            cfg.max_dwell
+                .saturating_sub(now.saturating_duration_since(oldest))
+        })
+        .min()
+        // never sleep zero in a tight loop; 10 µs re-checks promptly
+        .map(|d| d.max(Duration::from_micros(10)))
+}
+
+fn execute_job(shared: &Shared, job: Job, scratch: &mut PlanScratch) {
+    let n = job.pending.len();
+    let dispatched = Instant::now();
+    let mut inputs = Vec::with_capacity(n);
+    let mut meta = Vec::with_capacity(n);
+    for p in job.pending {
+        inputs.push(p.input);
+        meta.push((p.respond, p.submitted));
+    }
+    let result = job.plan.forward_batch_with_scratch(&inputs, scratch);
+    let exec = dispatched.elapsed();
+    capnn_telemetry::observe("server.batch_size", n as u64);
+    capnn_telemetry::observe_duration("server.batch_ns", exec);
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    match result {
+        Ok(outputs) => {
+            for (out, (respond, submitted)) in outputs.into_iter().zip(meta) {
+                let dwell = dispatched.saturating_duration_since(submitted);
+                capnn_telemetry::observe_duration("server.dwell_ns", dwell);
+                let argmax = out.argmax().unwrap_or(0);
+                // a gone client (dropped handle) is not an error
+                let _ = respond.send(Ok(ServeResponse {
+                    output: out,
+                    argmax,
+                    batch_size: n,
+                    dwell,
+                    exec,
+                }));
+            }
+            shared
+                .stats
+                .completed
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+        Err(e) => {
+            for (respond, _) in meta {
+                let _ = respond.send(Err(CapnnError::Network(e.clone())));
+            }
+            shared.stats.failed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+    let per_sample_ns = exec.as_nanos() as f64 / n as f64;
+    let mut st = lock_recover(&shared.state);
+    let ctl = st.controllers.entry(job.precision).or_insert_with(|| {
+        BatchController::new(shared.cfg.controller_config(), shared.cfg.fixed_batch)
+    });
+    ctl.record(n, per_sample_ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::Variant;
+    use crate::config::PruningConfig;
+    use capnn_data::{VectorClusters, VectorClustersConfig};
+    use capnn_nn::{NetworkBuilder, Trainer, TrainerConfig};
+
+    /// A trained 4-class cloud small enough for unit tests.
+    fn tiny_cloud() -> CloudServer {
+        let gen = VectorClusters::new(VectorClustersConfig::easy(4, 6)).unwrap();
+        let mut net = NetworkBuilder::mlp(&[6, 16, 12, 4], 2).build().unwrap();
+        let cfg = TrainerConfig {
+            epochs: 12,
+            ..TrainerConfig::default()
+        };
+        Trainer::new(cfg, 1)
+            .fit(&mut net, gen.generate(30, 1).samples())
+            .unwrap();
+        CloudServer::new(
+            net,
+            &gen.generate(20, 2),
+            &gen.generate(15, 3),
+            PruningConfig::fast(),
+        )
+        .unwrap()
+    }
+
+    fn profile(classes: Vec<usize>) -> UserProfile {
+        UserProfile::uniform(classes).unwrap()
+    }
+
+    fn input(seed: u64) -> Tensor {
+        let mut rng = capnn_tensor::XorShiftRng::new(seed);
+        Tensor::uniform(&[6], -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = ServerConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(ServerConfig { workers: 0, ..ok }.validate().is_err());
+        assert!(ServerConfig {
+            queue_capacity: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(ServerConfig { max_batch: 0, ..ok }.validate().is_err());
+        assert!(ServerConfig {
+            fixed_batch: Some(64),
+            ..ok
+        }
+        .validate()
+        .is_err());
+        let mut bad_alpha = ok;
+        bad_alpha.controller.ewma_alpha = 0.0;
+        assert!(bad_alpha.validate().is_err());
+    }
+
+    #[test]
+    fn serves_responses_matching_direct_plan_execution() {
+        let cloud = tiny_cloud();
+        let server = InferenceServer::start(
+            cloud,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let users = [
+            profile(vec![0, 1]),
+            profile(vec![1, 2]),
+            profile(vec![2, 3]),
+        ];
+        let mut handles = Vec::new();
+        for i in 0..24u64 {
+            let user = users[(i % 3) as usize].clone();
+            let req = ServeRequest::new(user, input(100 + i));
+            handles.push((i, server.submit(req).unwrap()));
+        }
+        let mut responses = Vec::new();
+        for (i, h) in handles {
+            let resp = h.wait().unwrap();
+            assert!(resp.batch_size >= 1);
+            responses.push((i, resp));
+        }
+        // verify against direct per-profile compile + forward
+        for (i, resp) in &responses {
+            let user = &users[(*i % 3) as usize];
+            let expect = server.cache().with_cloud(|cloud| {
+                let mask = cloud.prune_mask(user, Variant::Basic).unwrap();
+                cloud
+                    .network()
+                    .compile(&mask)
+                    .unwrap()
+                    .forward(&input(100 + i))
+                    .unwrap()
+            });
+            assert_eq!(resp.output.as_slice(), expect.as_slice());
+            assert_eq!(resp.argmax, expect.argmax().unwrap_or(0));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 0);
+        assert!(stats.batches <= 24);
+    }
+
+    #[test]
+    fn cross_user_requests_share_batches() {
+        // same canonical plan (equal class set) → one dynamic batch
+        let cloud = tiny_cloud();
+        let server = InferenceServer::start(
+            cloud,
+            ServerConfig {
+                workers: 1,
+                fixed_batch: Some(8),
+                max_dwell: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // two *distinct users* whose profiles share a ProfileKey
+        let a = UserProfile::new(vec![0, 1], vec![0.5, 0.5]).unwrap();
+        let b = UserProfile::new(vec![1, 0], vec![0.5, 0.5]).unwrap();
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let user = if i % 2 == 0 { a.clone() } else { b.clone() };
+                server
+                    .submit(ServeRequest::new(user, input(7 + i)))
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            let resp = h.wait().unwrap();
+            assert_eq!(
+                resp.batch_size, 8,
+                "cross-user requests on one canonical plan must ride one batch"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_overload_with_typed_error() {
+        let cloud = tiny_cloud();
+        // capacity 1, fixed batch 8, long dwell: the worker cannot
+        // dispatch (queue never reaches 8), so the second submit must be
+        // rejected deterministically.
+        let server = InferenceServer::start(
+            cloud,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 1,
+                fixed_batch: Some(8),
+                max_dwell: Duration::from_secs(5),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let user = profile(vec![0, 1]);
+        let first = server
+            .submit(ServeRequest::new(user.clone(), input(1)))
+            .unwrap();
+        let mut rejections = 0;
+        for i in 0..4u64 {
+            match server.submit(ServeRequest::new(user.clone(), input(2 + i))) {
+                Err(CapnnError::Overloaded(_)) => rejections += 1,
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        assert_eq!(rejections, 4);
+        assert_eq!(server.stats().rejected, 4);
+        // shutdown drains the one admitted request
+        let resp = {
+            let stats = server.shutdown();
+            assert_eq!(stats.completed, 1);
+            first.wait().unwrap()
+        };
+        assert_eq!(resp.batch_size, 1);
+    }
+
+    #[test]
+    fn dwell_deadline_flushes_partial_batches() {
+        let cloud = tiny_cloud();
+        let server = InferenceServer::start(
+            cloud,
+            ServerConfig {
+                workers: 1,
+                fixed_batch: Some(32),
+                max_dwell: Duration::from_millis(5),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let user = profile(vec![0, 1]);
+        let t0 = Instant::now();
+        let resp = server.infer(ServeRequest::new(user, input(3))).unwrap();
+        // a single request cannot fill batch 32 — the deadline flush must
+        // serve it anyway, promptly
+        assert_eq!(resp.batch_size, 1);
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "dwell flush took {:?}",
+            t0.elapsed()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_unavailable() {
+        let cloud = tiny_cloud();
+        let server = InferenceServer::start(cloud, ServerConfig::default()).unwrap();
+        let handle = server.handle();
+        server.shutdown();
+        match handle.submit(ServeRequest::new(profile(vec![0]), input(4))) {
+            Err(CapnnError::Unavailable(_)) => {}
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int8_requests_serve_from_int8_plans() {
+        let cloud = tiny_cloud();
+        let server = InferenceServer::start(cloud, ServerConfig::default()).unwrap();
+        let user = profile(vec![0, 1]);
+        let x = input(9);
+        let resp = server
+            .infer(ServeRequest::new(user.clone(), x.clone()).precision(Precision::Int8))
+            .unwrap();
+        let expect = server.cache().with_cloud(|cloud| {
+            let mask = cloud.prune_mask(&user, Variant::Basic).unwrap();
+            cloud
+                .network()
+                .compile_with_precision(&mask, Precision::Int8)
+                .unwrap()
+                .forward(&x)
+                .unwrap()
+        });
+        assert_eq!(resp.output.as_slice(), expect.as_slice());
+        server.shutdown();
+    }
+
+    #[test]
+    fn mean_batch_math() {
+        let s = ServerStats {
+            completed: 30,
+            failed: 2,
+            batches: 8,
+            ..Default::default()
+        };
+        assert!((s.mean_batch() - 4.0).abs() < 1e-12);
+        assert_eq!(ServerStats::default().mean_batch(), 0.0);
+    }
+}

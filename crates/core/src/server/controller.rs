@@ -1,0 +1,381 @@
+//! Adaptive batch-size controller: converge on the throughput knee.
+//!
+//! `results/BENCH_serving.json` shows why a fixed batch size is wrong: on
+//! the 1-core reference host the weight-bound serving MLP keeps gaining
+//! through batch 32 (2.8×) while the conv-bound vgg_tiny peaks at batch 8
+//! (1.51×) and *regresses* at 16/32. The controller learns the knee per
+//! (model, precision) online: every dispatched batch reports its measured
+//! per-sample execution latency, the controller folds it into an EWMA for
+//! the nearest power-of-two bucket, and the dispatch target is the bucket
+//! with the lowest per-sample cost — i.e. the highest throughput.
+//!
+//! Exploration is explicit and bounded: until every bucket has
+//! `min_trials` measurements the controller sweeps the buckets in
+//! ascending order; afterwards it exploits the argmin but re-probes a
+//! neighbouring bucket every `explore_every`-th dispatch, so a knee that
+//! moves (thermal throttling, a co-tenant stealing cores) is re-found
+//! instead of frozen at the first answer.
+//!
+//! Measurements are also published into the `capnn-telemetry` histograms
+//! (`server.batch_ns` et al.) for observability, but decisions read the
+//! exact per-bucket EWMAs kept here: the telemetry histograms bucket by
+//! powers of two, which cannot separate a 7.7 µs knee from an 8.6 µs
+//! regression.
+
+/// Tuning knobs for the [`BatchController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Largest batch the controller may target (buckets are the powers of
+    /// two up to this, inclusive when it is itself a power of two).
+    pub max_batch: usize,
+    /// Measurements a bucket needs before the controller trusts it; until
+    /// every bucket has this many, dispatches sweep the buckets in order.
+    pub min_trials: u64,
+    /// After exploration, every n-th dispatch probes a neighbour of the
+    /// current best bucket instead of the best itself.
+    pub explore_every: u64,
+    /// EWMA smoothing factor in `(0, 1]` — the weight of the newest
+    /// measurement.
+    pub ewma_alpha: f64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            min_trials: 6,
+            explore_every: 16,
+            ewma_alpha: 0.25,
+        }
+    }
+}
+
+/// One bucket's learned state, for reports and benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketStat {
+    /// The batch size this bucket stands for.
+    pub batch: usize,
+    /// EWMA per-sample execution latency in nanoseconds (0 when untried).
+    pub ewma_ns_per_sample: f64,
+    /// Measurements folded into the EWMA.
+    pub trials: u64,
+}
+
+/// A point-in-time view of a controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerSnapshot {
+    /// Per-bucket learned state, ascending by batch size.
+    pub buckets: Vec<BucketStat>,
+    /// The batch size the controller currently believes is the knee.
+    pub converged_batch: usize,
+    /// Total dispatches the controller has steered.
+    pub dispatches: u64,
+    /// Whether every bucket has reached `min_trials` (exploration done).
+    pub explored: bool,
+}
+
+/// Per-(model, precision) adaptive batch-size controller.
+///
+/// Not thread-safe by itself — the server keeps it inside the queue-state
+/// mutex and calls it under that lock.
+#[derive(Debug)]
+pub(crate) struct BatchController {
+    cfg: ControllerConfig,
+    /// Pinned batch size (benchmark fixed-sweep mode); disables adaptation.
+    fixed: Option<usize>,
+    /// Candidate batch sizes: powers of two up to `max_batch`, plus
+    /// `max_batch` itself when it is not a power of two.
+    buckets: Vec<usize>,
+    ewma_ns: Vec<f64>,
+    trials: Vec<u64>,
+    dispatches: u64,
+    /// Alternates probe direction (up/down) around the best bucket.
+    probe_up: bool,
+}
+
+impl BatchController {
+    pub(crate) fn new(cfg: ControllerConfig, fixed: Option<usize>) -> Self {
+        let mut buckets = Vec::new();
+        let mut b = 1usize;
+        while b <= cfg.max_batch {
+            buckets.push(b);
+            b = b.saturating_mul(2);
+        }
+        if *buckets.last().expect("max_batch >= 1") != cfg.max_batch {
+            buckets.push(cfg.max_batch);
+        }
+        let n = buckets.len();
+        Self {
+            cfg,
+            fixed,
+            buckets,
+            ewma_ns: vec![0.0; n],
+            trials: vec![0; n],
+            dispatches: 0,
+            probe_up: true,
+        }
+    }
+
+    /// The batch size the *next* dispatch should aim for. Pure — calling
+    /// it repeatedly between dispatches returns the same answer; the
+    /// server advances the dispatch counter via
+    /// [`BatchController::on_dispatch`] when a batch actually leaves.
+    pub(crate) fn planned_target(&self) -> usize {
+        if let Some(fixed) = self.fixed {
+            return fixed.min(self.cfg.max_batch).max(1);
+        }
+        // exploration sweep: smallest bucket still short on trials
+        if let Some(i) = self.trials.iter().position(|&t| t < self.cfg.min_trials) {
+            return self.buckets[i];
+        }
+        let best = self.best_index();
+        if self.cfg.explore_every > 0
+            && (self.dispatches + 1).is_multiple_of(self.cfg.explore_every)
+        {
+            let probe = if self.probe_up {
+                (best + 1).min(self.buckets.len() - 1)
+            } else {
+                best.saturating_sub(1)
+            };
+            return self.buckets[probe];
+        }
+        self.buckets[best]
+    }
+
+    /// Advances the dispatch counter (and the probe direction when the
+    /// dispatch was a probe). Call once per batch actually dispatched.
+    pub(crate) fn on_dispatch(&mut self) {
+        self.dispatches += 1;
+        if self.cfg.explore_every > 0 && self.dispatches.is_multiple_of(self.cfg.explore_every) {
+            self.probe_up = !self.probe_up;
+        }
+    }
+
+    /// Folds one measured batch execution into the learner: `batch`
+    /// samples ran in `per_sample_ns` each. Batches land in the nearest
+    /// bucket (log-space), so dwell-flushed partial batches still teach
+    /// the controller about the size that actually ran.
+    pub(crate) fn record(&mut self, batch: usize, per_sample_ns: f64) {
+        if batch == 0 || !per_sample_ns.is_finite() || per_sample_ns <= 0.0 {
+            return;
+        }
+        let i = self.nearest_bucket(batch);
+        if self.trials[i] == 0 {
+            self.ewma_ns[i] = per_sample_ns;
+        } else {
+            let a = self.cfg.ewma_alpha;
+            self.ewma_ns[i] = a * per_sample_ns + (1.0 - a) * self.ewma_ns[i];
+        }
+        self.trials[i] = self.trials[i].saturating_add(1);
+    }
+
+    /// The batch size the controller currently believes is the knee.
+    pub(crate) fn converged_batch(&self) -> usize {
+        self.fixed
+            .unwrap_or_else(|| self.buckets[self.best_index()])
+    }
+
+    pub(crate) fn snapshot(&self) -> ControllerSnapshot {
+        ControllerSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(self.ewma_ns.iter().zip(&self.trials))
+                .map(|(&batch, (&ewma, &trials))| BucketStat {
+                    batch,
+                    ewma_ns_per_sample: ewma,
+                    trials,
+                })
+                .collect(),
+            converged_batch: self.converged_batch(),
+            dispatches: self.dispatches,
+            explored: self.trials.iter().all(|&t| t >= self.cfg.min_trials),
+        }
+    }
+
+    /// Index of the bucket with the lowest per-sample EWMA among tried
+    /// buckets. Near-ties (within 1 %) go to the *smaller* batch — equal
+    /// throughput at lower batching means lower queueing latency.
+    fn best_index(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_ns = f64::INFINITY;
+        for i in 0..self.buckets.len() {
+            if self.trials[i] == 0 {
+                continue;
+            }
+            if self.ewma_ns[i] < best_ns * 0.99 {
+                best = i;
+                best_ns = self.ewma_ns[i];
+            }
+        }
+        if best_ns.is_infinite() {
+            0
+        } else {
+            best
+        }
+    }
+
+    /// Nearest bucket in log space for an observed batch size.
+    fn nearest_bucket(&self, batch: usize) -> usize {
+        let lb = (batch as f64).ln();
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            let d = (lb - (b as f64).ln()).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig {
+            max_batch: 32,
+            min_trials: 3,
+            explore_every: 8,
+            ewma_alpha: 0.3,
+        }
+    }
+
+    /// Feeds the controller a synthetic latency surface: per-sample ns as
+    /// a function of batch size. Dispatch loop mimics a saturated server
+    /// (the planned target is always available in queue).
+    fn converge(curve: impl Fn(usize) -> f64) -> BatchController {
+        let mut c = BatchController::new(cfg(), None);
+        for _ in 0..200 {
+            let b = c.planned_target();
+            c.on_dispatch();
+            c.record(b, curve(b));
+        }
+        c
+    }
+
+    #[test]
+    fn buckets_are_powers_of_two_up_to_max() {
+        let c = BatchController::new(cfg(), None);
+        assert_eq!(c.buckets, vec![1, 2, 4, 8, 16, 32]);
+        let odd = BatchController::new(
+            ControllerConfig {
+                max_batch: 24,
+                ..cfg()
+            },
+            None,
+        );
+        assert_eq!(odd.buckets, vec![1, 2, 4, 8, 16, 24]);
+    }
+
+    #[test]
+    fn fixed_pin_overrides_learning() {
+        let mut c = BatchController::new(cfg(), Some(8));
+        assert_eq!(c.planned_target(), 8);
+        for _ in 0..50 {
+            c.on_dispatch();
+            c.record(32, 1.0); // "evidence" that 32 is great
+        }
+        assert_eq!(c.planned_target(), 8);
+        assert_eq!(c.converged_batch(), 8);
+    }
+
+    #[test]
+    fn converges_to_small_batch_knee_like_vgg() {
+        // vgg_tiny shape from BENCH_serving.json (1-core host): knee at 8,
+        // regression at 16/32.
+        let curve = |b: usize| match b {
+            1 => 11600.0,
+            2 => 8900.0,
+            4 => 7900.0,
+            8 => 7700.0,
+            16 => 8200.0,
+            _ => 8600.0,
+        };
+        let c = converge(curve);
+        assert_eq!(c.converged_batch(), 8, "snapshot: {:?}", c.snapshot());
+    }
+
+    #[test]
+    fn converges_to_large_batch_knee_like_mlp() {
+        // serving_mlp shape: throughput keeps climbing to 32.
+        let curve = |b: usize| match b {
+            1 => 170900.0,
+            2 => 164200.0,
+            4 => 67400.0,
+            8 => 61500.0,
+            16 => 62400.0,
+            _ => 59600.0,
+        };
+        let c = converge(curve);
+        assert_eq!(c.converged_batch(), 32, "snapshot: {:?}", c.snapshot());
+    }
+
+    #[test]
+    fn near_tie_prefers_smaller_batch() {
+        // 0.5% apart: the smaller batch must win (lower queueing latency).
+        let curve = |b: usize| if b >= 16 { 10000.0 } else { 10040.0 };
+        let c = converge(curve);
+        assert_eq!(c.converged_batch(), 1);
+    }
+
+    #[test]
+    fn exploration_sweeps_every_bucket() {
+        let mut c = BatchController::new(cfg(), None);
+        let mut seen = Vec::new();
+        for _ in 0..(6 * 3) {
+            let b = c.planned_target();
+            seen.push(b);
+            c.on_dispatch();
+            c.record(b, 1000.0);
+        }
+        for b in [1, 2, 4, 8, 16, 32] {
+            assert!(seen.contains(&b), "bucket {b} never explored: {seen:?}");
+        }
+        assert!(c.snapshot().explored);
+    }
+
+    #[test]
+    fn partial_batches_land_in_nearest_bucket() {
+        let mut c = BatchController::new(cfg(), None);
+        c.record(3, 500.0); // ln(3/2)=0.41 vs ln(4/3)=0.29 → bucket 4
+        c.record(24, 500.0); // ln(24/16)=0.41 vs ln(32/24)=0.29 → bucket 32
+        let snap = c.snapshot();
+        let by_batch = |b: usize| snap.buckets.iter().find(|s| s.batch == b).unwrap().trials;
+        assert_eq!(by_batch(4), 1);
+        assert_eq!(by_batch(32), 1);
+        assert_eq!(by_batch(16), 0);
+    }
+
+    #[test]
+    fn degenerate_measurements_are_ignored() {
+        let mut c = BatchController::new(cfg(), None);
+        c.record(0, 100.0);
+        c.record(4, f64::NAN);
+        c.record(4, -5.0);
+        assert!(c.snapshot().buckets.iter().all(|b| b.trials == 0));
+    }
+
+    #[test]
+    fn probing_revisits_neighbours_after_convergence() {
+        let curve = |b: usize| match b {
+            8 => 100.0,
+            _ => 200.0,
+        };
+        let mut c = converge(curve);
+        // exploit phase: over explore_every dispatches we must see at
+        // least one non-best target (the neighbour probe)
+        let mut targets = Vec::new();
+        for _ in 0..9 {
+            let b = c.planned_target();
+            targets.push(b);
+            c.on_dispatch();
+            c.record(b, curve(b));
+        }
+        assert!(targets.contains(&8));
+        assert!(targets.iter().any(|&b| b != 8), "{targets:?}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-plan request queues: the data the worker pool drains.
+//!
+//! Requests are admitted into one queue per *canonical plan* — the
+//! [`FleetPlanCache`](crate::FleetPlanCache) collapses ProfileKey → deduped
+//! mask → shared compiled plan, so two users whose profiles canonicalize to
+//! the same plan land in the same queue and ride the same batch. The whole
+//! structure lives inside one mutex; workers hold it only to pick and
+//! drain, never across a batch execution.
+
+use super::controller::BatchController;
+use crate::error::CapnnError;
+use crate::server::ServeResponse;
+use capnn_nn::{CompiledPlan, Precision};
+use capnn_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Queue key: the canonical plan's allocation address. Stable while the
+/// queue holds its `Arc<CompiledPlan>`; a plan evicted from the fleet
+/// cache and recompiled gets a fresh address and therefore a fresh queue,
+/// which is exactly right — the two plans are distinct allocations.
+pub(crate) type PlanKey = usize;
+
+pub(crate) fn plan_key(plan: &Arc<CompiledPlan>) -> PlanKey {
+    Arc::as_ptr(plan) as PlanKey
+}
+
+/// One admitted request waiting for dispatch.
+pub(crate) struct Pending {
+    pub input: Tensor,
+    pub respond: mpsc::Sender<Result<ServeResponse, CapnnError>>,
+    pub submitted: Instant,
+}
+
+/// All requests waiting on one canonical plan.
+pub(crate) struct PlanQueue {
+    pub plan: Arc<CompiledPlan>,
+    pub precision: Precision,
+    pub pending: Vec<Pending>,
+}
+
+impl PlanQueue {
+    pub(crate) fn new(plan: Arc<CompiledPlan>) -> Self {
+        let precision = plan.precision();
+        Self {
+            plan,
+            precision,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Submission time of the oldest pending request.
+    pub(crate) fn oldest(&self) -> Option<Instant> {
+        self.pending.first().map(|p| p.submitted)
+    }
+}
+
+/// The mutex-guarded heart of the server: queues, controllers, shutdown.
+pub(crate) struct QueueState {
+    pub queues: HashMap<PlanKey, PlanQueue>,
+    /// Total pending requests across all queues — the admission bound.
+    pub total_queued: usize,
+    /// One adaptive controller per precision. The server fronts a single
+    /// model, so (model, precision) degenerates to precision here; a
+    /// multi-model deployment runs one server per model.
+    pub controllers: HashMap<Precision, BatchController>,
+    pub shutdown: bool,
+}
+
+impl QueueState {
+    pub(crate) fn new() -> Self {
+        Self {
+            queues: HashMap::new(),
+            total_queued: 0,
+            controllers: HashMap::new(),
+            shutdown: false,
+        }
+    }
+}

@@ -324,6 +324,75 @@ impl<'n> Engine<'n> {
         })
     }
 
+    /// Runs many requests at once, batching across them: requests that
+    /// agree on (strategy, precision, mask) are concatenated into one
+    /// batched execution — the multi-request entry a serving front-end
+    /// uses to amortize kernel launches across users whose profiles
+    /// canonicalize to the same plan. Responses come back in request
+    /// order, each holding its own request's outputs in input order.
+    ///
+    /// Outputs are bitwise identical to running each request through
+    /// [`Engine::run`] individually *when the engine partitions batches
+    /// sample-serially* (every strategy but [`ExecStrategy::Dense`] /
+    /// [`ExecStrategy::MaskedSkip`] under multi-thread pools), and
+    /// argmax-compatible always — grouping never changes the kernels, only
+    /// the batch boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first group whose execution fails (shape mismatch,
+    /// plan compilation rejection), with no partial responses.
+    pub fn run_grouped(
+        &mut self,
+        reqs: &[InferenceRequest<'_>],
+    ) -> Result<Vec<InferenceResponse>, NnError> {
+        // Group by (strategy, precision, mask): linear scan — serving
+        // dispatches group a handful of distinct plans per call.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            let found = groups.iter_mut().find(|(rep, _)| {
+                let r = &reqs[*rep];
+                r.strategy == req.strategy
+                    && r.precision == req.precision
+                    && match (r.mask, req.mask) {
+                        (None, None) => true,
+                        (Some(a), Some(b)) => std::ptr::eq(a, b) || a == b,
+                        _ => false,
+                    }
+            });
+            match found {
+                Some((_, members)) => members.push(i),
+                None => groups.push((i, vec![i])),
+            }
+        }
+        capnn_telemetry::count("engine.grouped_calls", 1);
+        let mut responses: Vec<Option<InferenceResponse>> = (0..reqs.len()).map(|_| None).collect();
+        for (rep, members) in groups {
+            let template = &reqs[rep];
+            let inputs: Vec<Tensor> = members
+                .iter()
+                .flat_map(|&i| reqs[i].inputs.iter().cloned())
+                .collect();
+            capnn_telemetry::observe("engine.group_size", inputs.len() as u64);
+            let mut grouped = InferenceRequest::new(&inputs).strategy(template.strategy);
+            grouped.mask = template.mask;
+            grouped.precision = template.precision;
+            let mut outputs = self.run(grouped)?.into_outputs().into_iter();
+            for &i in &members {
+                let take = reqs[i].inputs.len();
+                responses[i] = Some(InferenceResponse {
+                    outputs: outputs.by_ref().take(take).collect(),
+                    strategy: template.strategy,
+                    precision: template.precision,
+                });
+            }
+        }
+        Ok(responses
+            .into_iter()
+            .map(|r| r.expect("every request assigned to exactly one group"))
+            .collect())
+    }
+
     /// Dense batch path: identical partitioning to the legacy
     /// `forward_batch` (contiguous chunks, one per worker, samples serial
     /// within a chunk), so outputs are bitwise equal for any thread count.
@@ -714,6 +783,107 @@ mod tests {
         assert_eq!(resp.strategy(), ExecStrategy::Dense);
         assert_eq!(resp.argmaxes().len(), 1);
         assert_eq!(resp.argmaxes()[0], net.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn run_grouped_matches_individual_runs() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(67);
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        // a mixed bag: plan f32, plan int8, reference — interleaved
+        let reqs: Vec<InferenceRequest<'_>> = vec![
+            InferenceRequest::single(&inputs[0])
+                .masked(&mask)
+                .strategy(ExecStrategy::CompiledPlan),
+            InferenceRequest::single(&inputs[1])
+                .masked(&mask)
+                .precision(Precision::Int8),
+            InferenceRequest::single(&inputs[2])
+                .masked(&mask)
+                .strategy(ExecStrategy::CompiledPlan),
+            InferenceRequest::single(&inputs[3])
+                .masked(&mask)
+                .strategy(ExecStrategy::Reference),
+            InferenceRequest::single(&inputs[4])
+                .masked(&mask)
+                .precision(Precision::Int8),
+            InferenceRequest::single(&inputs[5])
+                .masked(&mask)
+                .strategy(ExecStrategy::CompiledPlan),
+        ];
+        let individual: Vec<Tensor> = reqs
+            .iter()
+            .map(|r| {
+                let mut fresh = Engine::new(&net);
+                fresh.run(*r).unwrap().into_single().unwrap()
+            })
+            .collect();
+        let grouped = engine.run_grouped(&reqs).unwrap();
+        assert_eq!(grouped.len(), reqs.len());
+        for ((resp, req), expect) in grouped.iter().zip(&reqs).zip(&individual) {
+            assert_eq!(resp.strategy(), req.strategy);
+            assert_eq!(resp.precision(), req.requested_precision());
+            assert_eq!(resp.outputs().len(), 1);
+            assert_eq!(resp.outputs()[0].as_slice(), expect.as_slice());
+        }
+        // the three f32 plan requests shared one compiled plan; int8 a
+        // second — not one plan per request
+        assert_eq!(engine.plans.len(), 2);
+    }
+
+    #[test]
+    fn run_grouped_batches_same_plan_requests_together() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(68);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let reqs: Vec<InferenceRequest<'_>> = inputs
+            .iter()
+            .map(|x| {
+                InferenceRequest::single(x)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::CompiledPlan)
+            })
+            .collect();
+        // bitwise-equal to one direct batched plan execution (one group)
+        let direct = net.compile(&mask).unwrap().forward_batch(&inputs).unwrap();
+        let grouped = engine.run_grouped(&reqs).unwrap();
+        for (resp, expect) in grouped.iter().zip(&direct) {
+            assert_eq!(resp.outputs()[0].as_slice(), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn run_grouped_handles_empty_and_multi_input_requests() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        assert!(engine.run_grouped(&[]).unwrap().is_empty());
+        let mut rng = XorShiftRng::new(69);
+        let a: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let b: Vec<Tensor> = (0..2)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let reqs = vec![InferenceRequest::new(&a), InferenceRequest::new(&b)];
+        let resp = engine.run_grouped(&reqs).unwrap();
+        assert_eq!(resp[0].outputs().len(), 3);
+        assert_eq!(resp[1].outputs().len(), 2);
+        for (out, x) in resp[0]
+            .outputs()
+            .iter()
+            .chain(resp[1].outputs())
+            .zip(a.iter().chain(&b))
+        {
+            assert_eq!(out.argmax(), net.forward(x).unwrap().argmax());
+        }
     }
 
     #[test]

@@ -812,17 +812,37 @@ impl CompiledPlan {
     /// kernel are created or dropped. Cloning the plan's own `Arc` handle
     /// does not affect it (plan clones share the same inner kernels).
     pub fn resident_bytes(&self) -> usize {
-        let fixed = std::mem::size_of::<Self>()
-            + self.steps.capacity() * std::mem::size_of::<PlanStep>()
-            + self.kernels.capacity() * std::mem::size_of::<Arc<Kernel>>()
-            + self.input_dims.capacity() * std::mem::size_of::<usize>()
-            + self.final_map.capacity() * std::mem::size_of::<usize>();
         let mut shared = 0.0f64;
         for kernel in &self.kernels {
             let bytes = std::mem::size_of::<Kernel>() + kernel.heap_bytes();
             shared += bytes as f64 / Arc::strong_count(kernel) as f64;
         }
-        fixed + shared.round() as usize
+        self.fixed_bytes() + shared.round() as usize
+    }
+
+    /// Plan-private heap bytes: the struct plus its step/index buffers,
+    /// excluding the shared weight kernels entirely.
+    pub fn fixed_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.steps.capacity() * std::mem::size_of::<PlanStep>()
+            + self.kernels.capacity() * std::mem::size_of::<Arc<Kernel>>()
+            + self.input_dims.capacity() * std::mem::size_of::<usize>()
+            + self.final_map.capacity() * std::mem::size_of::<usize>()
+    }
+
+    /// Identity and full byte footprint of each weight kernel, for callers
+    /// that amortize shared panels over a *set of plans they own*. Unlike
+    /// [`CompiledPlan::resident_bytes`] — whose `Arc::strong_count` shares
+    /// shift as handles are cloned or dropped anywhere in the process —
+    /// refcounting these identities over a fixed plan set gives an
+    /// accounting that only changes when the set itself changes.
+    pub fn kernel_footprints(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.kernels.iter().map(|k| {
+            (
+                Arc::as_ptr(k) as usize,
+                std::mem::size_of::<Kernel>() + k.heap_bytes(),
+            )
+        })
     }
 
     /// Single-sample inference through the packed plan. Returns the flat

@@ -32,6 +32,11 @@ CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_serving
 # resident bytes <= budget, and cache-served plans argmax-bit-compatible
 # with fresh per-profile compiles.
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_cache
+# perf_server drives the multi-tenant serving front-end with ~1k Zipfian
+# requests and gates on: zero failed requests (no panics anywhere in the
+# queue/worker path), p99 latency ceiling, plan-cache hit rate >= 90%,
+# and served outputs argmax-bit-compatible with direct engine execution.
+CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_server
 
 echo "==> telemetry smoke (CAPNN_TELEMETRY=1: probes on, snapshot to stderr only)"
 # perf_speedup asserts the conv probes (plan.conv_pack_ns histogram +
