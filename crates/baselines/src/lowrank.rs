@@ -259,10 +259,9 @@ pub fn low_rank_compress(net: &Network, fraction: f64) -> Result<(Network, usize
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
-    use capnn_nn::NetworkBuilder;
+    use capnn_nn::{Engine, InferenceRequest, NetworkBuilder};
     use capnn_tensor::XorShiftRng;
 
     #[test]
@@ -333,8 +332,15 @@ mod tests {
         assert_eq!(compressed.num_classes(), 5);
         let mut rng = XorShiftRng::new(9);
         let x = Tensor::uniform(&[32], -1.0, 1.0, &mut rng);
-        let a = net.forward(&x).unwrap();
-        let b = compressed.forward(&x).unwrap();
+        let fwd = |n: &Network, x: &Tensor| {
+            Engine::new(n)
+                .run(InferenceRequest::single(x))
+                .unwrap()
+                .into_single()
+                .unwrap()
+        };
+        let a = fwd(&net, &x);
+        let b = fwd(&compressed, &x);
         assert_eq!(a.len(), b.len());
         // rank-30% of a random matrix is lossy but not wild
         let rel = a.sub(&b).unwrap().norm_sq().sqrt() / a.norm_sq().sqrt().max(1e-6);

@@ -1,0 +1,500 @@
+//! Drift-to-swap pipeline, measured end to end: does the serving
+//! front-end notice class-usage drift from live traffic and hot-swap
+//! plans without a latency cliff or a stale response?
+//!
+//! The scenario: a Zipfian fleet (rank skew 1.5 so the hot users carry
+//! the stream) serves phase A with inputs and labels drawn from each
+//! profile's own deployed classes — monitors see no drift and served
+//! top-1 accuracy is high. At the phase boundary every request shifts by
+//! a fixed class offset: the plans bound before the shift were
+//! specialized away from exactly the classes users now ask about (the
+//! pruning config below keeps only units that always fire for the
+//! profile's classes), so served top-1 accuracy on the shifted inputs
+//! collapses. The background swap worker must re-profile, recompile and
+//! rebind off the request path until accuracy recovers — while p99 stays
+//! within a small factor of phase A's (zero downtime) and the cache
+//! keeps releasing stale plans.
+//!
+//! Reported: phase A/B latency percentiles, time-to-first-swap, early
+//! vs late phase-B top-1 accuracy, swap/noop/failure counters, cache
+//! release and eviction counts, and a staleness probe — after the probe
+//! user's swap, its served output must be bitwise the output of the plan
+//! the fleet cache now resolves for it, and the previously-misclassified
+//! shifted-class input must be classified correctly.
+//!
+//! Emits `results/BENCH_drift.json` in both full and smoke mode. Gates
+//! (enforced in both modes): at least one swap, no failed swaps, no
+//! failed/rejected responses, accuracy recovery (late − early ≥ 0.4 and
+//! late ≥ 0.7), p99(B) ≤ max(3·p99(A), 5 ms), and the staleness probe.
+
+use capnn_bench::loadgen::{ZipfLoad, ZipfLoadConfig, DEFAULT_SEED};
+use capnn_bench::write_results_json;
+use capnn_core::{
+    CloudServer, DriftConfig, DriftPolicy, FleetPlanCache, InferenceServer, PruningConfig,
+    ServeRequest, ServerConfig, SharedFleetCache, UserProfile, Variant,
+};
+use capnn_data::{VectorClusters, VectorClustersConfig};
+use capnn_nn::{NetworkBuilder, Precision, Trainer, TrainerConfig};
+use capnn_tensor::XorShiftRng;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLASSES: usize = 16;
+const INPUT_DIM: usize = 24;
+const NUM_PROFILES: usize = 256;
+const WAVE: usize = 128;
+const QUEUE_CAPACITY: usize = 256;
+const WEIGHT_STEPS: u16 = 16;
+/// Every phase-B label is the user's own class rotated by this offset —
+/// guaranteed drift for every profile whose class set is not shift-closed.
+const LABEL_SHIFT: usize = 5;
+
+fn smoke_mode() -> bool {
+    std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The bench fleet's drift config: deliberate enough that the stale
+/// regime is visible in the accuracy record (a hot user serves ~64
+/// shifted observations before its monitor may flip), fast enough that
+/// the fleet converges well within phase B, and with a short cooldown so
+/// two-class profiles converge through a second swap.
+fn drift_config() -> DriftConfig {
+    DriftConfig {
+        policy: DriftPolicy::builder()
+            .divergence_threshold(0.25)
+            .min_observations(64)
+            .profile_k(2)
+            .build()
+            .expect("policy"),
+        half_life: 128.0,
+        check_interval: 16,
+        cooldown: 64,
+    }
+}
+
+/// A trained 16-class MLP cloud (the `perf_server` smoke shape — the
+/// drift machinery, not GEMM time, is what this bench measures) plus the
+/// cluster generator the bench draws class-conditional inputs from.
+///
+/// The pruning config specializes hard: `t_start = 1.0` keeps only units
+/// that fire on *every* profiling sample of a profile class, and
+/// `epsilon = 1.0` waives the cross-class degradation bound (the default
+/// ε = 3 % bound holds *all* classes near baseline, which would leave a
+/// stale plan accurate on drifted classes and nothing for the swap to
+/// recover). Own-class accuracy stays ≈ 100 % — the kept units are the
+/// ones that carry the profile's classes — while off-profile accuracy
+/// collapses, which is exactly the degraded regime drift detection must
+/// repair.
+fn drift_cloud() -> (CloudServer, VectorClusters) {
+    let gen = VectorClusters::new(VectorClustersConfig::easy(CLASSES, INPUT_DIM)).expect("gen");
+    let mut net = NetworkBuilder::mlp(&[INPUT_DIM, 64, 48, CLASSES], 11)
+        .build()
+        .expect("builds");
+    let cfg = TrainerConfig {
+        epochs: 6,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(&mut net, gen.generate(30, 1).samples())
+        .expect("training");
+    let cloud = CloudServer::new(
+        net,
+        &gen.generate(20, 2),
+        &gen.generate(12, 3),
+        PruningConfig {
+            epsilon: 1.0,
+            t_start: 1.0,
+            step: 0.05,
+            ..PruningConfig::fast()
+        },
+    )
+    .expect("cloud");
+    (cloud, gen)
+}
+
+/// Samples one of the profile's own classes with probability equal to its
+/// deployed weight, so phase-A label streams match the deployed profiles.
+fn own_class(profile: &UserProfile, rng: &mut XorShiftRng) -> usize {
+    let u = rng.next_uniform();
+    let mut acc = 0.0f32;
+    for (&c, &w) in profile.classes().iter().zip(profile.weights()) {
+        acc += w;
+        if u < acc {
+            return c;
+        }
+    }
+    *profile.classes().last().expect("non-empty profile")
+}
+
+#[derive(Debug, Serialize)]
+struct PhaseRow {
+    requests: usize,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    /// Fraction of responses whose served top-1 class equals the request
+    /// label (the input is drawn from the label's cluster).
+    live_rate: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    host_cores: usize,
+    smoke: bool,
+    num_profiles: usize,
+    classes: usize,
+    wave: usize,
+    label_shift: usize,
+    budget_bytes: u64,
+    phase_a: PhaseRow,
+    phase_b: PhaseRow,
+    /// Top-1 accuracy just after the shift (a fixed window, so the dip is
+    /// visible at any run length) vs the last quarter of phase B — the
+    /// recovery the swap pipeline exists to produce.
+    early_live_rate: f64,
+    late_live_rate: f64,
+    time_to_first_swap_ms: Option<f64>,
+    swaps: u64,
+    swap_noops: u64,
+    swap_failed: u64,
+    failed: u64,
+    rejected: u64,
+    cache_released: u64,
+    cache_evictions: u64,
+    staleness_probe_bitwise: bool,
+    probe_top1_recovered: bool,
+}
+
+/// One closed-loop wave: submit `n`, wait for all, record latency and
+/// label-correctness per response.
+struct WaveStats {
+    lat_us: Vec<f64>,
+    live: Vec<bool>,
+    failed: u64,
+}
+
+fn drive_wave(
+    server: &InferenceServer,
+    load: &ZipfLoad,
+    gen: &VectorClusters,
+    n: usize,
+    shift: usize,
+    out: &mut WaveStats,
+    rng: &mut XorShiftRng,
+) {
+    let picks: Vec<(usize, usize)> = (0..n)
+        .map(|_| {
+            let idx = load.sample(rng);
+            let label = (own_class(&load.profiles()[idx], rng) + shift) % CLASSES;
+            (idx, label)
+        })
+        .collect();
+    let handles: Vec<_> = picks
+        .iter()
+        .map(|&(idx, label)| {
+            let input = gen.sample(label, rng);
+            server
+                .submit(
+                    ServeRequest::new(load.profiles()[idx].clone(), input).observed_class(label),
+                )
+                .expect("admitted (wave <= capacity)")
+        })
+        .collect();
+    for (h, &(_, label)) in handles.into_iter().zip(&picks) {
+        match h.wait() {
+            Ok(resp) => {
+                out.lat_us
+                    .push((resp.dwell + resp.exec).as_secs_f64() * 1e6);
+                out.live.push(resp.output.argmax() == Some(label));
+            }
+            Err(_) => out.failed += 1,
+        }
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[((sorted.len() - 1) as f64 * p) as usize]
+    }
+}
+
+fn phase_row(stats: &WaveStats) -> PhaseRow {
+    let mut lat = stats.lat_us.clone();
+    lat.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let live = stats.live.iter().filter(|&&l| l).count();
+    PhaseRow {
+        requests: lat.len(),
+        p50_us: percentile(&lat, 0.50),
+        p95_us: percentile(&lat, 0.95),
+        p99_us: percentile(&lat, 0.99),
+        mean_us: lat.iter().sum::<f64>() / lat.len().max(1) as f64,
+        live_rate: live as f64 / stats.live.len().max(1) as f64,
+    }
+}
+
+/// Rate over a slice of the correctness record.
+fn live_rate(live: &[bool]) -> f64 {
+    live.iter().filter(|&&l| l).count() as f64 / live.len().max(1) as f64
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let smoke = smoke_mode();
+    let (phase_a_n, phase_b_n) = if smoke {
+        (3_000, 6_000)
+    } else {
+        (8_000, 24_000)
+    };
+    eprintln!(
+        "[drift] {NUM_PROFILES} profiles, phase A {phase_a_n} + phase B {phase_b_n} requests, \
+         label shift +{LABEL_SHIFT}, host cores: {host_cores}"
+    );
+
+    let mut rng = XorShiftRng::new(DEFAULT_SEED);
+    let load = ZipfLoad::new(
+        ZipfLoadConfig {
+            num_profiles: NUM_PROFILES,
+            classes: CLASSES,
+            class_zipf_s: 1.3,
+            // heavier rank skew than the serving bench: the hot users must
+            // accumulate enough phase-B observations to swap within the run
+            rank_zipf_s: 1.5,
+            min_classes: 1,
+            max_classes: 2,
+        },
+        &mut rng,
+    );
+
+    // budget: 1.3× the unbounded residency of a phase-A-length replay —
+    // room for the hot set, tight enough that stale plans must go
+    let (cloud, gen) = drift_cloud();
+    let shared = Arc::new(SharedFleetCache::new(
+        cloud,
+        FleetPlanCache::with_budget(WEIGHT_STEPS, None).expect("cache"),
+    ));
+    for _ in 0..phase_a_n {
+        let profile = &load.profiles()[load.sample(&mut rng)];
+        shared
+            .plan_for(profile, Variant::Basic, Precision::F32)
+            .expect("sizing plan");
+    }
+    let budget = shared.resident_bytes() * 13 / 10;
+    shared.reset_cache(
+        FleetPlanCache::with_budget(WEIGHT_STEPS, Some(budget)).expect("budgeted cache"),
+    );
+    eprintln!("[drift] cache budget {budget} B");
+
+    let server = InferenceServer::start_with_cache(
+        Arc::clone(&shared),
+        ServerConfig {
+            workers: host_cores.min(4),
+            queue_capacity: QUEUE_CAPACITY,
+            drift: Some(drift_config()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+
+    // phase A: labels match the deployed profiles — no monitor may trip
+    let mut stats_a = WaveStats {
+        lat_us: Vec::with_capacity(phase_a_n),
+        live: Vec::with_capacity(phase_a_n),
+        failed: 0,
+    };
+    let mut remaining = phase_a_n;
+    while remaining > 0 {
+        let wave = WAVE.min(remaining);
+        remaining -= wave;
+        drive_wave(&server, &load, &gen, wave, 0, &mut stats_a, &mut rng);
+    }
+    let phase_a_swaps = server.stats().swaps;
+
+    // staleness probe setup: a single-class user whose pre-shift plan we
+    // snapshot now, so the post-swap response provably changed plans; the
+    // probe input comes from the *shifted* class's cluster, which the
+    // deployed plan was specialized away from
+    let probe_idx = load
+        .profiles()
+        .iter()
+        .position(|p| p.classes().len() == 1)
+        .unwrap_or(0);
+    let probe_user = load.profiles()[probe_idx].clone();
+    let probe_class = probe_user.classes()[0];
+    let probe_label = (probe_class + LABEL_SHIFT) % CLASSES;
+    let probe_x = gen.sample(probe_label, &mut XorShiftRng::new(0xD21F7));
+    let pre_swap = server
+        .infer(ServeRequest::new(probe_user.clone(), probe_x.clone()))
+        .expect("probe serve")
+        .output;
+
+    // phase B: every request shifts — the bound plans were specialized
+    // away from the shifted classes, so served top-1 accuracy collapses
+    // until the swap pipeline catches up
+    let mut stats_b = WaveStats {
+        lat_us: Vec::with_capacity(phase_b_n),
+        live: Vec::with_capacity(phase_b_n),
+        failed: 0,
+    };
+    let t_shift = Instant::now();
+    let mut first_swap: Option<f64> = None;
+    let mut remaining = phase_b_n;
+    while remaining > 0 {
+        let wave = WAVE.min(remaining);
+        remaining -= wave;
+        drive_wave(
+            &server,
+            &load,
+            &gen,
+            wave,
+            LABEL_SHIFT,
+            &mut stats_b,
+            &mut rng,
+        );
+        if first_swap.is_none() && server.stats().swaps > phase_a_swaps {
+            first_swap = Some(t_shift.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    // staleness probe: keep serving the probe user's shifted traffic until
+    // the served top-1 matches the shifted label, then the response must
+    // be bitwise the plan the fleet cache now resolves for that profile
+    let mut probe_live = false;
+    for i in 0..3_000u64 {
+        let resp = server
+            .infer(
+                ServeRequest::new(probe_user.clone(), probe_x.clone()).observed_class(probe_label),
+            )
+            .expect("probe serve");
+        if resp.output.argmax() == Some(probe_label) {
+            probe_live = true;
+            break;
+        }
+        if i % 500 == 499 {
+            eprintln!(
+                "[drift] probe user still misclassified after {} requests",
+                i + 1
+            );
+        }
+    }
+    let post_swap = server
+        .infer(ServeRequest::new(probe_user.clone(), probe_x.clone()))
+        .expect("probe serve")
+        .output;
+    let resolved = shared
+        .plan_for(&probe_user, Variant::Basic, Precision::F32)
+        .expect("resolved plan")
+        .forward(&probe_x)
+        .expect("forward");
+    let staleness_ok = post_swap.as_slice() == resolved.as_slice()
+        && (!probe_live || pre_swap.as_slice() != post_swap.as_slice());
+
+    let sstats = server.shutdown();
+    let cstats = shared.stats();
+
+    // early = a fixed window right after the shift (the stale regime is
+    // short-lived by design, so a proportional window would dilute it at
+    // longer run lengths); late = the last quarter
+    let quarter = (stats_b.live.len() / 4).max(1);
+    let early_n = quarter.min(1_024);
+    let early_live = live_rate(&stats_b.live[..early_n]);
+    let late_live = live_rate(&stats_b.live[stats_b.live.len() - quarter..]);
+    let row_a = phase_row(&stats_a);
+    let row_b = phase_row(&stats_b);
+    eprintln!(
+        "[drift] phase A: p99 {:>8.1} µs  acc {:>6.2}%   phase B: p99 {:>8.1} µs  acc \
+         {:>6.2}% → {:>6.2}%",
+        row_a.p99_us,
+        row_a.live_rate * 100.0,
+        row_b.p99_us,
+        early_live * 100.0,
+        late_live * 100.0,
+    );
+    eprintln!(
+        "[drift] swaps {} (noop {}, failed {}), first swap {:?} ms after shift, released {}, \
+         evictions {}",
+        sstats.swaps,
+        sstats.swap_noops,
+        sstats.swap_failed,
+        first_swap.map(|ms| ms.round()),
+        cstats.released,
+        cstats.evictions,
+    );
+
+    let report = Report {
+        host_cores,
+        smoke,
+        num_profiles: NUM_PROFILES,
+        classes: CLASSES,
+        wave: WAVE,
+        label_shift: LABEL_SHIFT,
+        budget_bytes: budget,
+        phase_a: row_a,
+        phase_b: row_b,
+        early_live_rate: early_live,
+        late_live_rate: late_live,
+        time_to_first_swap_ms: first_swap,
+        swaps: sstats.swaps,
+        swap_noops: sstats.swap_noops,
+        swap_failed: sstats.swap_failed,
+        failed: stats_a.failed + stats_b.failed,
+        rejected: sstats.rejected,
+        cache_released: cstats.released,
+        cache_evictions: cstats.evictions,
+        staleness_probe_bitwise: staleness_ok,
+        probe_top1_recovered: probe_live,
+    };
+    if let Some(path) = write_results_json("BENCH_drift", &report) {
+        eprintln!("[drift] results written to {}", path.display());
+    }
+
+    // gates — enforced in smoke and full mode alike
+    let p99_ceiling = (3.0 * report.phase_a.p99_us).max(5_000.0);
+    let mut failed_gates = Vec::new();
+    if report.swaps == 0 {
+        failed_gates.push("no hot-swap happened".to_string());
+    }
+    if report.swap_failed > 0 {
+        failed_gates.push(format!("{} failed swaps", report.swap_failed));
+    }
+    if report.failed > 0 || report.rejected > 0 {
+        failed_gates.push(format!(
+            "{} failed / {} rejected responses",
+            report.failed, report.rejected
+        ));
+    }
+    if phase_a_swaps > 0 {
+        failed_gates.push(format!("{phase_a_swaps} swaps before any drift"));
+    }
+    if !report.probe_top1_recovered {
+        failed_gates.push("probe user's shifted input never classified correctly".to_string());
+    }
+    if !report.staleness_probe_bitwise {
+        failed_gates.push("post-swap response not bitwise the resolved plan".to_string());
+    }
+    if report.late_live_rate < 0.7 || report.late_live_rate - report.early_live_rate < 0.4 {
+        failed_gates.push(format!(
+            "top-1 accuracy did not recover: {:.2} → {:.2}",
+            report.early_live_rate, report.late_live_rate
+        ));
+    }
+    if report.phase_b.p99_us > p99_ceiling {
+        failed_gates.push(format!(
+            "phase B p99 {:.0} µs > ceiling {:.0} µs",
+            report.phase_b.p99_us, p99_ceiling
+        ));
+    }
+    if failed_gates.is_empty() {
+        eprintln!("[drift] all gates passed");
+    } else {
+        for g in &failed_gates {
+            eprintln!("[drift] gate FAILED: {g}");
+        }
+        std::process::exit(1);
+    }
+}

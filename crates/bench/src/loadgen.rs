@@ -163,6 +163,88 @@ impl ZipfLoad {
             .saturating_add(1)
             .min(self.profiles.len())
     }
+
+    /// Drifting stream: every `phase_len` requests, the whole rank order
+    /// rotates by `shift`, so the profiles that were hot go cold and a new
+    /// cohort takes over. This is the workload the drift detector exists
+    /// for — within a phase the stream is ordinary Zipf, across phases the
+    /// hot set moves.
+    pub fn stream_drifting(
+        &self,
+        n: usize,
+        phase_len: usize,
+        shift: usize,
+        rng: &mut XorShiftRng,
+    ) -> Vec<usize> {
+        let phase_len = phase_len.max(1);
+        let m = self.profiles.len();
+        (0..n)
+            .map(|i| (self.sample(rng) + (i / phase_len) * shift) % m)
+            .collect()
+    }
+
+    /// Bursty stream: `calm_len` ordinary Zipf draws, then one freshly
+    /// sampled profile repeated `burst_len` times back-to-back — the
+    /// "single user goes viral" shape that stresses batching and makes a
+    /// per-user monitor see a flood of identical observations.
+    pub fn stream_bursty(
+        &self,
+        n: usize,
+        calm_len: usize,
+        burst_len: usize,
+        rng: &mut XorShiftRng,
+    ) -> Vec<usize> {
+        let calm_len = calm_len.max(1);
+        let burst_len = burst_len.max(1);
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            for _ in 0..calm_len {
+                if out.len() == n {
+                    break;
+                }
+                out.push(self.sample(rng));
+            }
+            let burst = self.sample(rng);
+            for _ in 0..burst_len {
+                if out.len() == n {
+                    break;
+                }
+                out.push(burst);
+            }
+        }
+        out
+    }
+
+    /// Adversarially shuffled stream: a plain Zipf stream whose requests
+    /// are Fisher–Yates shuffled inside consecutive windows of `window`
+    /// requests. The multiset of requests is unchanged (aggregate hit
+    /// rates are comparable with [`stream`](Self::stream)), but temporal
+    /// locality inside each window is destroyed — the worst legal
+    /// reordering for an LRU and for batch coalescing.
+    pub fn stream_adversarial(&self, n: usize, window: usize, rng: &mut XorShiftRng) -> Vec<usize> {
+        let window = window.max(1);
+        let mut out = self.stream(n, rng);
+        for chunk in out.chunks_mut(window) {
+            for i in (1..chunk.len()).rev() {
+                chunk.swap(i, rng.next_below(i + 1));
+            }
+        }
+        out
+    }
+
+    /// The profile at `idx` with every class rotated by `shift` modulo the
+    /// model's class count (weights kept). This is the *content* drift that
+    /// pairs with [`stream_drifting`](Self::stream_drifting): the same user
+    /// identity starts asking about different classes.
+    pub fn shifted_profile(&self, idx: usize, shift: usize) -> UserProfile {
+        let base = &self.profiles[idx];
+        let classes: Vec<usize> = base
+            .classes()
+            .iter()
+            .map(|&c| (c + shift) % self.config.classes)
+            .collect();
+        UserProfile::new(classes, base.weights().to_vec()).expect("rotated profile stays valid")
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +302,101 @@ mod tests {
         for (a, b) in pa.iter().zip(&pb) {
             assert_eq!(a.classes(), b.classes());
         }
+    }
+
+    #[test]
+    fn drifting_stream_moves_the_hot_set() {
+        let mut rng = XorShiftRng::new(DEFAULT_SEED);
+        let load = ZipfLoad::new(ZipfLoadConfig::fleet(16, 1_000), &mut rng);
+        let stream = load.stream_drifting(4_000, 2_000, 500, &mut rng);
+        let hot = |s: &[usize]| {
+            let mut counts = vec![0usize; 1_000];
+            for &i in s {
+                counts[i] += 1;
+            }
+            let mut ranked: Vec<usize> = (0..1_000).collect();
+            ranked.sort_by_key(|&i| std::cmp::Reverse(counts[i]));
+            ranked.truncate(10);
+            ranked.sort_unstable();
+            ranked
+        };
+        let early = hot(&stream[..2_000]);
+        let late = hot(&stream[2_000..]);
+        assert_ne!(early, late, "phase shift must move the hot set");
+        // the late hot set is the early one rotated by the shift
+        let rotated: Vec<usize> = {
+            let mut r: Vec<usize> = early.iter().map(|&i| (i + 500) % 1_000).collect();
+            r.sort_unstable();
+            r
+        };
+        let overlap = late.iter().filter(|i| rotated.contains(i)).count();
+        assert!(
+            overlap >= 8,
+            "late hot set should track the rotation, overlap {overlap}/10"
+        );
+    }
+
+    #[test]
+    fn bursty_stream_repeats_the_burst_profile() {
+        let mut rng = XorShiftRng::new(DEFAULT_SEED);
+        let load = ZipfLoad::new(ZipfLoadConfig::fleet(8, 200), &mut rng);
+        let stream = load.stream_bursty(1_000, 50, 25, &mut rng);
+        assert_eq!(stream.len(), 1_000);
+        // every calm+burst period ends with burst_len identical entries
+        let period = 75;
+        for start in (0..stream.len()).step_by(period) {
+            let end = (start + period).min(stream.len());
+            if end - start < period {
+                break;
+            }
+            let burst = &stream[start + 50..end];
+            assert!(
+                burst.iter().all(|&i| i == burst[0]),
+                "burst window not constant"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_shuffle_preserves_the_multiset() {
+        let make = |seed| {
+            let mut rng = XorShiftRng::new(seed);
+            let load = ZipfLoad::new(ZipfLoadConfig::fleet(16, 500), &mut rng);
+            let mut plain_rng = XorShiftRng::new(DEFAULT_SEED);
+            let plain = load.stream(2_000, &mut plain_rng);
+            let mut shuf_rng = XorShiftRng::new(DEFAULT_SEED);
+            let shuffled = load.stream_adversarial(2_000, 64, &mut shuf_rng);
+            (plain, shuffled)
+        };
+        let (plain, shuffled) = make(3);
+        assert_ne!(plain, shuffled, "shuffle should reorder");
+        // the shuffle draws rng *after* generating the base stream, so the
+        // base equals `plain` and each window must be a permutation of it
+        for (p, s) in plain.chunks(64).zip(shuffled.chunks(64)) {
+            let mut p = p.to_vec();
+            let mut s = s.to_vec();
+            p.sort_unstable();
+            s.sort_unstable();
+            assert_eq!(p, s, "window multiset must be preserved");
+        }
+        let (_, again) = make(3);
+        assert_eq!(shuffled, again, "adversarial stream must be deterministic");
+    }
+
+    #[test]
+    fn shifted_profile_rotates_classes_and_keeps_weights() {
+        let mut rng = XorShiftRng::new(DEFAULT_SEED);
+        let load = ZipfLoad::new(ZipfLoadConfig::fleet(16, 50), &mut rng);
+        let base = &load.profiles()[7];
+        let shifted = load.shifted_profile(7, 5);
+        assert_eq!(shifted.classes().len(), base.classes().len());
+        for (s, b) in shifted.classes().iter().zip(base.classes()) {
+            assert_eq!(*s, (b + 5) % 16);
+        }
+        assert_eq!(shifted.weights(), base.weights());
+        // shift by 0 is identity
+        let same = load.shifted_profile(7, 16);
+        assert_eq!(same.classes(), base.classes());
     }
 
     #[test]

@@ -89,6 +89,10 @@ pub struct CacheStats {
     /// Plans evicted to stay under the byte budget. Always 0 for the
     /// unbudgeted [`ModelCache`].
     pub evictions: u64,
+    /// Plans released because a hot-swap [`FleetPlanCache::rebind`] left
+    /// their mask unreferenced — distinct from budget evictions. Always 0
+    /// for [`ModelCache`].
+    pub released: u64,
     /// Bytes of compiled plans resident in the cache; each shared weight
     /// panel is counted once for as long as any resident plan references
     /// it. Always 0 for [`ModelCache`], which does not account bytes.
@@ -200,6 +204,21 @@ struct PlanEntry {
 struct KernelRef {
     refs: usize,
     bytes: u64,
+}
+
+/// Outcome of a [`FleetPlanCache::lookup`]: what the caller must do next to
+/// serve the request. The serving front-end uses this to keep pruning and
+/// compilation outside the cache lock.
+#[derive(Debug)]
+pub(crate) enum PlanLookup {
+    /// A resident plan was found (hit counted, LRU refreshed) — serve it.
+    Hit(Arc<CompiledPlan>),
+    /// The profile's mask is memoized but no plan is resident at this
+    /// precision — compile this mask, then [`FleetPlanCache::admit_plan`].
+    CompileMask(Arc<PruneMask>),
+    /// The profile has never been served — prune a mask, then
+    /// [`FleetPlanCache::admit_mask`].
+    ProfileUnknown,
 }
 
 /// Fleet-scale plan cache: canonicalized masks, pooled weight panels, and
@@ -347,8 +366,20 @@ impl FleetPlanCache {
         self.resident_exact
     }
 
+    /// The weight-quantization grid this cache keys profiles at — callers
+    /// building a [`ProfileKey`] themselves must use the same value.
+    pub fn weight_steps(&self) -> u16 {
+        self.weight_steps
+    }
+
     /// Serves one request: memoized mask lookup (or prune + canonicalize),
     /// then plan lookup (or pooled compile + budget enforcement).
+    ///
+    /// This is the single-caller convenience; the serving front-end splits
+    /// the same sequence into [`lookup`](Self::lookup) /
+    /// [`admit_mask`](Self::admit_mask) / [`resident`](Self::resident) /
+    /// [`admit_plan`](Self::admit_plan) so pruning and compilation run
+    /// outside the cache lock.
     ///
     /// # Errors
     ///
@@ -360,38 +391,162 @@ impl FleetPlanCache {
         variant: Variant,
         precision: Precision,
     ) -> Result<Arc<CompiledPlan>, CapnnError> {
-        self.tick += 1;
         let key = ProfileKey::new(profile, variant, self.weight_steps);
-        let mask = if let Some(m) = self.masks.get(&key) {
-            Arc::clone(m)
-        } else {
-            let fresh = cloud.prune_mask(profile, variant)?;
-            let canonical = self.intern_mask(fresh);
-            self.masks.insert(key, Arc::clone(&canonical));
-            canonical
+        let mask = match self.lookup(&key, precision) {
+            PlanLookup::Hit(plan) => return Ok(plan),
+            PlanLookup::CompileMask(mask) => mask,
+            PlanLookup::ProfileUnknown => {
+                let fresh = cloud.prune_mask(profile, variant)?;
+                let mask = self.admit_mask(key, fresh);
+                // Canonicalization can land on a mask another profile
+                // already compiled for.
+                if let Some(plan) = self.resident(&mask, precision) {
+                    return Ok(plan);
+                }
+                mask
+            }
         };
-        if let Some(entry) = self.plans.get_mut(&(Arc::clone(&mask), precision)) {
-            entry.last_used = self.tick;
-            let plan = Arc::clone(&entry.plan);
-            self.stats.hits += 1;
-            capnn_telemetry::count("cache.hits", 1);
-            self.publish_gauges();
-            return Ok(plan);
+        let plan = cloud.compile_pooled(&mask, precision)?;
+        Ok(self.admit_plan(mask, precision, plan))
+    }
+
+    /// One step of the decomposed [`plan_for`](Self::plan_for): resolves a
+    /// pre-built key against the mask memo and resident plans. Advances the
+    /// LRU clock (once per served request).
+    pub(crate) fn lookup(&mut self, key: &ProfileKey, precision: Precision) -> PlanLookup {
+        self.tick += 1;
+        let Some(mask) = self.masks.get(key).cloned() else {
+            return PlanLookup::ProfileUnknown;
+        };
+        match self.resident(&mask, precision) {
+            Some(plan) => PlanLookup::Hit(plan),
+            None => PlanLookup::CompileMask(mask),
+        }
+    }
+
+    /// Interns a freshly pruned mask and memoizes it for `key`; returns the
+    /// canonical mask to compile against.
+    pub(crate) fn admit_mask(&mut self, key: ProfileKey, fresh: PruneMask) -> Arc<PruneMask> {
+        let canonical = self.intern_mask(fresh);
+        self.masks.insert(key, Arc::clone(&canonical));
+        canonical
+    }
+
+    /// Returns the resident plan for a canonical mask, counting a hit and
+    /// refreshing its LRU stamp, or `None` if it must be compiled.
+    pub(crate) fn resident(
+        &mut self,
+        mask: &Arc<PruneMask>,
+        precision: Precision,
+    ) -> Option<Arc<CompiledPlan>> {
+        let entry = self.plans.get_mut(&(Arc::clone(mask), precision))?;
+        entry.last_used = self.tick;
+        let plan = Arc::clone(&entry.plan);
+        self.stats.hits += 1;
+        capnn_telemetry::count("cache.hits", 1);
+        self.publish_gauges();
+        Some(plan)
+    }
+
+    /// Admits a just-compiled plan, enforcing the byte budget. Counts the
+    /// compile as a miss. If a concurrent caller admitted the same
+    /// (mask, precision) first, the earlier resident plan wins (and counts
+    /// a hit) so every holder of this key serves the same allocation; if
+    /// the mask is no longer canonical (invalidated or rebound while the
+    /// compile ran), the plan is served uncached.
+    pub(crate) fn admit_plan(
+        &mut self,
+        mask: Arc<PruneMask>,
+        precision: Precision,
+        plan: Arc<CompiledPlan>,
+    ) -> Arc<CompiledPlan> {
+        if let Some(existing) = self.resident(&mask, precision) {
+            return existing;
         }
         self.stats.misses += 1;
         capnn_telemetry::count("cache.misses", 1);
-        let plan = cloud.compile_pooled(&mask, precision)?;
-        self.account_insert(&plan);
-        self.plans.insert(
-            (mask, precision),
-            PlanEntry {
-                plan: Arc::clone(&plan),
-                last_used: self.tick,
-            },
-        );
+        let still_canonical = self
+            .canon
+            .get(mask.as_ref())
+            .is_some_and(|c| Arc::ptr_eq(c, &mask));
+        if still_canonical {
+            self.account_insert(&plan);
+            self.plans.insert(
+                (mask, precision),
+                PlanEntry {
+                    plan: Arc::clone(&plan),
+                    last_used: self.tick,
+                },
+            );
+            self.enforce_budget();
+        }
+        self.publish_gauges();
+        plan
+    }
+
+    /// Interns a mask by value (with slack substitution, like the masks the
+    /// request path admits) without binding it to any profile. The
+    /// recompile worker canonicalizes its re-pruned mask first, so a
+    /// no-op swap — drift detected but the mask unchanged — is observable
+    /// *before* compiling anything.
+    pub fn canonicalize(&mut self, mask: PruneMask) -> Arc<PruneMask> {
+        self.intern_mask(mask)
+    }
+
+    /// The canonical mask currently bound to `key`, if the profile has been
+    /// served before.
+    pub fn bound_mask(&self, key: &ProfileKey) -> Option<Arc<PruneMask>> {
+        self.masks.get(key).cloned()
+    }
+
+    /// Atomically rebinds `key` to a new canonical mask and admits the
+    /// plans compiled for it — the hot-swap commit point. Every
+    /// [`lookup`](Self::lookup) after this call resolves to the new plans.
+    ///
+    /// If the old mask is left unreferenced by the memo, its resident plans
+    /// are released (counted in [`CacheStats::released`], not as
+    /// evictions) and the mask is un-interned, so repeated swaps cannot
+    /// grow residency past the budget.
+    ///
+    /// Returns the number of plans released.
+    pub fn rebind(
+        &mut self,
+        key: &ProfileKey,
+        canonical: Arc<PruneMask>,
+        plans: Vec<(Precision, Arc<CompiledPlan>)>,
+    ) -> usize {
+        self.tick += 1;
+        let old = self.masks.insert(key.clone(), Arc::clone(&canonical));
+        for (precision, plan) in plans {
+            self.admit_plan(Arc::clone(&canonical), precision, plan);
+        }
+        let mut released = 0;
+        if let Some(old) = old {
+            let still_bound =
+                Arc::ptr_eq(&old, &canonical) || self.masks.values().any(|m| Arc::ptr_eq(m, &old));
+            if !still_bound {
+                let stale: Vec<(Arc<PruneMask>, Precision)> = self
+                    .plans
+                    .keys()
+                    .filter(|(m, _)| Arc::ptr_eq(m, &old))
+                    .cloned()
+                    .collect();
+                for k in stale {
+                    if let Some(entry) = self.plans.remove(&k) {
+                        self.account_evict(&entry.plan);
+                        released += 1;
+                    }
+                }
+                self.canon.remove(&old);
+                if released > 0 {
+                    self.stats.released += released as u64;
+                    capnn_telemetry::count("cache.swap_released", released as u64);
+                }
+            }
+        }
         self.enforce_budget();
         self.publish_gauges();
-        Ok(plan)
+        released
     }
 
     /// Drops every resident plan and memoized mask (e.g. after the cloud
@@ -815,5 +970,93 @@ mod tests {
         assert_eq!(cache.canonical_substitutions(), 0);
         assert_eq!(cache.unique_masks(), 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn fleet_cache_rebind_swaps_binding_and_releases_stale_plans() {
+        let mut cloud = tiny_cloud();
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let old_plan = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        let key = ProfileKey::new(&a, Variant::Weighted, 16);
+
+        // usage drifted to {2, 3}: re-prune, canonicalize, compile, rebind
+        let shifted = profile(vec![2, 3], vec![0.5, 0.5]);
+        let fresh = cloud.prune_mask(&shifted, Variant::Weighted).unwrap();
+        let canonical = cache.canonicalize(fresh);
+        let new_plan = cloud.compile_pooled(&canonical, Precision::F32).unwrap();
+        let released = cache.rebind(
+            &key,
+            Arc::clone(&canonical),
+            vec![(Precision::F32, Arc::clone(&new_plan))],
+        );
+        assert_eq!(released, 1, "the stale plan must be released");
+        assert_eq!(cache.stats().released, 1);
+        assert_eq!(cache.stats().evictions, 0, "a release is not an eviction");
+
+        // the profile now resolves to the new plan, as a hit
+        let hits_before = cache.stats().hits;
+        let served = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert!(Arc::ptr_eq(&served, &new_plan));
+        assert!(!Arc::ptr_eq(&served, &old_plan));
+        assert_eq!(cache.stats().hits, hits_before + 1);
+        // old mask un-interned, old plan out of residency
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.unique_masks(), 1);
+    }
+
+    #[test]
+    fn fleet_cache_rebind_to_same_mask_is_noop() {
+        let mut cloud = tiny_cloud();
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let plan = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        let key = ProfileKey::new(&a, Variant::Weighted, 16);
+
+        // re-pruning the same usage interns onto the same canonical mask —
+        // a swap worker can detect the no-op before compiling anything
+        let fresh = cloud.prune_mask(&a, Variant::Weighted).unwrap();
+        let canonical = cache.canonicalize(fresh);
+        assert!(Arc::ptr_eq(&cache.bound_mask(&key).unwrap(), &canonical));
+        let released = cache.rebind(&key, canonical, Vec::new());
+        assert_eq!(released, 0);
+        assert_eq!(cache.stats().released, 0);
+        let served = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert!(Arc::ptr_eq(&served, &plan));
+    }
+
+    #[test]
+    fn fleet_cache_rebind_keeps_mask_shared_by_other_profiles() {
+        let mut cloud = tiny_cloud();
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+        let plan = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        let key_a = ProfileKey::new(&a, Variant::Weighted, 16);
+        let old_mask = cache.bound_mask(&key_a).unwrap();
+        // bind a second profile to the same canonical mask
+        let b = profile(vec![2, 3], vec![0.5, 0.5]);
+        let key_b = ProfileKey::new(&b, Variant::Weighted, 16);
+        cache.masks.insert(key_b, Arc::clone(&old_mask));
+
+        let shifted = profile(vec![2, 3], vec![0.5, 0.5]);
+        let fresh = cloud.prune_mask(&shifted, Variant::Weighted).unwrap();
+        let canonical = cache.canonicalize(fresh);
+        let released = cache.rebind(&key_a, canonical, Vec::new());
+        assert_eq!(released, 0, "a mask still bound elsewhere must survive");
+        // the other profile still serves the original plan
+        let pb = cache
+            .plan_for(&mut cloud, &b, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert!(Arc::ptr_eq(&pb, &plan));
     }
 }

@@ -660,7 +660,6 @@ impl LocalDevice {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use capnn_data::{VectorClusters, VectorClustersConfig};
@@ -770,7 +769,7 @@ mod tests {
             let x = gen.sample(class, &mut rng);
             let expected = cloud
                 .network()
-                .forward_masked_reference(&x, &m.mask)
+                .forward_masked_reference_from(0, &x, &m.mask)
                 .unwrap()
                 .argmax()
                 .unwrap();

@@ -72,8 +72,10 @@ pub use error::CapnnError;
 pub use eval::{ClassAccuracy, DegradationMetric, TailEvaluator};
 pub use protocol::{transfer_cost, TransferCost};
 pub use server::{
-    BucketStat, ControllerConfig, ControllerSnapshot, InferenceServer, ResponseHandle,
+    BucketStat, ControllerConfig, ControllerSnapshot, DriftConfig, InferenceServer, ResponseHandle,
     ServeRequest, ServeResponse, ServerConfig, ServerHandle, ServerStats, SharedFleetCache,
 };
-pub use session::{DriftDecision, DriftPolicy, PersonalizationSession};
+pub use session::{
+    DriftDecision, DriftPolicy, DriftPolicyBuilder, PersonalizationSession, StreamingDriftMonitor,
+};
 pub use user::UserProfile;

@@ -24,6 +24,17 @@
 //!   bounded by [`ServerConfig::queue_capacity`]; beyond it
 //!   [`InferenceServer::submit`] returns [`CapnnError::Overloaded`]
 //!   immediately (typed rejection, never a panic or an unbounded buffer).
+//! * **Online drift detection & zero-downtime hot-swap** — with
+//!   [`ServerConfig::drift`] set, every served request feeds a per-profile
+//!   [`StreamingDriftMonitor`] (its explicit
+//!   [`observed_class`](ServeRequest::observed_class) label, or the served
+//!   argmax when unlabeled). When a monitor raises
+//!   [`Repersonalize`](crate::DriftDecision::Repersonalize), a background
+//!   worker re-prunes, recompiles through the fleet cache's panel pool and
+//!   atomically [`rebind`](FleetPlanCache::rebind)s the profile — all off
+//!   the request path. Every request admitted after the rebind executes
+//!   the new plan, in-flight batches drain on the old one, and the stale
+//!   plan's residency is released so the cache stays within budget.
 //!
 //! The server never panics on the serving path: worker errors travel back
 //! to the caller through the response channel as typed [`CapnnError`]s,
@@ -40,14 +51,17 @@ mod queue;
 
 pub use controller::{BucketStat, ControllerConfig, ControllerSnapshot};
 
-use crate::cache::{CacheStats, FleetPlanCache};
+use crate::cache::{CacheStats, FleetPlanCache, PlanLookup, ProfileKey};
 use crate::cloud::{CloudServer, Variant};
 use crate::error::CapnnError;
+use crate::session::{DriftDecision, DriftPolicy, StreamingDriftMonitor};
 use crate::user::UserProfile;
 use capnn_nn::{CompiledPlan, PlanScratch, Precision};
 use capnn_tensor::Tensor;
 use controller::BatchController;
 use queue::{plan_key, Pending, PlanKey, PlanQueue, QueueState};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -57,6 +71,115 @@ use std::time::{Duration, Instant};
 /// (only possible through a kernel bug) must not wedge the whole server.
 fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Configuration of the server's online drift-to-swap pipeline.
+///
+/// When attached via [`ServerConfig::drift`], the server keeps one
+/// [`StreamingDriftMonitor`] per served [`ProfileKey`] and hands
+/// [`Repersonalize`](crate::DriftDecision::Repersonalize) decisions to a
+/// background recompile worker — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Divergence threshold / minimum observations / replacement profile
+    /// size (see [`DriftPolicy`]).
+    pub policy: DriftPolicy,
+    /// Observations over which past usage loses half its weight in the
+    /// monitors' decayed profiles.
+    pub half_life: f64,
+    /// Observations between divergence checks per monitor.
+    pub check_interval: u64,
+    /// Observations a monitor stays silent after a swap (or after a failed
+    /// one), so the fresh plan is judged on its own traffic.
+    pub cooldown: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            policy: DriftPolicy::conservative(),
+            half_life: 256.0,
+            check_interval: 32,
+            cooldown: 256,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Builds the config from the environment, starting from the defaults:
+    /// `CAPNN_DRIFT_THRESHOLD`, `CAPNN_DRIFT_MIN_OBS`,
+    /// `CAPNN_DRIFT_PROFILE_K` (the policy), `CAPNN_DRIFT_HALF_LIFE`,
+    /// `CAPNN_DRIFT_CHECK_INTERVAL`, `CAPNN_DRIFT_COOLDOWN`. Unset or
+    /// blank variables keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] for an unparsable variable (loudly,
+    /// rather than silently serving with a default the operator did not
+    /// ask for) or an invalid resulting configuration.
+    pub fn from_env() -> Result<Self, CapnnError> {
+        let mut cfg = Self::default();
+        let mut policy = DriftPolicy::builder();
+        if let Some(v) = env_parse::<f64>("CAPNN_DRIFT_THRESHOLD")? {
+            policy = policy.divergence_threshold(v);
+        }
+        if let Some(v) = env_parse::<u64>("CAPNN_DRIFT_MIN_OBS")? {
+            policy = policy.min_observations(v);
+        }
+        if let Some(v) = env_parse::<usize>("CAPNN_DRIFT_PROFILE_K")? {
+            policy = policy.profile_k(v);
+        }
+        cfg.policy = policy.build()?;
+        if let Some(v) = env_parse::<f64>("CAPNN_DRIFT_HALF_LIFE")? {
+            cfg.half_life = v;
+        }
+        if let Some(v) = env_parse::<u64>("CAPNN_DRIFT_CHECK_INTERVAL")? {
+            cfg.check_interval = v;
+        }
+        if let Some(v) = env_parse::<u64>("CAPNN_DRIFT_COOLDOWN")? {
+            cfg.cooldown = v;
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Mirrors [`StreamingDriftMonitor::new`]'s checks so an invalid config
+    /// is rejected at server start, not on the first monitored request.
+    fn validate(&self) -> Result<(), CapnnError> {
+        self.policy.validate()?;
+        if !self.half_life.is_finite() || self.half_life < 1.0 {
+            return Err(CapnnError::Config(format!(
+                "drift half-life must be finite and >= 1 observation, got {}",
+                self.half_life
+            )));
+        }
+        if self.check_interval == 0 {
+            return Err(CapnnError::Config(
+                "drift check interval must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn monitor(&self, deployed: UserProfile) -> Result<StreamingDriftMonitor, CapnnError> {
+        StreamingDriftMonitor::new(deployed, self.policy, self.half_life, self.check_interval)
+    }
+}
+
+/// Parses an environment variable, treating unset/blank as absent and an
+/// unparsable value as a loud [`CapnnError::Config`].
+fn env_parse<T: std::str::FromStr>(name: &str) -> Result<Option<T>, CapnnError> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed
+        .parse::<T>()
+        .map(Some)
+        .map_err(|_| CapnnError::Config(format!("{name}={trimmed:?} could not be parsed")))
 }
 
 /// Configuration of an [`InferenceServer`].
@@ -89,6 +212,9 @@ pub struct ServerConfig {
     /// Adaptive-controller tuning (its `max_batch` is overridden by
     /// [`ServerConfig::max_batch`]).
     pub controller: ControllerConfig,
+    /// Online drift detection + plan hot-swap; `None` disables the whole
+    /// pipeline (no monitors, no background worker).
+    pub drift: Option<DriftConfig>,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +232,7 @@ impl Default for ServerConfig {
             weight_steps: 16,
             cache_budget: None,
             controller: ControllerConfig::default(),
+            drift: None,
         }
     }
 }
@@ -134,6 +261,9 @@ impl ServerConfig {
                 "controller ewma_alpha must be in (0, 1]".into(),
             ));
         }
+        if let Some(drift) = &self.drift {
+            drift.validate()?;
+        }
         Ok(())
     }
 
@@ -153,6 +283,7 @@ pub struct ServeRequest {
     input: Tensor,
     variant: Variant,
     precision: Precision,
+    observed_class: Option<usize>,
 }
 
 impl ServeRequest {
@@ -164,6 +295,7 @@ impl ServeRequest {
             input,
             variant: Variant::Basic,
             precision: Precision::F32,
+            observed_class: None,
         }
     }
 
@@ -176,6 +308,15 @@ impl ServeRequest {
     /// Selects the numeric precision of the serving plan.
     pub fn precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Attaches the ground-truth class of this request (e.g. confirmed by
+    /// the client after the fact in a real deployment). With
+    /// [`ServerConfig::drift`] set it feeds the profile's drift monitor;
+    /// without a label the served argmax is fed instead.
+    pub fn observed_class(mut self, class: usize) -> Self {
+        self.observed_class = Some(class);
         self
     }
 }
@@ -244,6 +385,13 @@ pub struct ServerStats {
     pub failed: u64,
     /// Dynamic batches dispatched.
     pub batches: u64,
+    /// Plan hot-swaps committed by the drift pipeline.
+    pub swaps: u64,
+    /// Drift decisions whose re-pruned mask matched the bound one (nothing
+    /// recompiled or rebound).
+    pub swap_noops: u64,
+    /// Drift swaps abandoned because re-pruning or recompilation failed.
+    pub swap_failed: u64,
 }
 
 impl ServerStats {
@@ -264,6 +412,9 @@ struct AtomicStats {
     rejected: AtomicU64,
     failed: AtomicU64,
     batches: AtomicU64,
+    swaps: AtomicU64,
+    swap_noops: AtomicU64,
+    swap_failed: AtomicU64,
 }
 
 impl AtomicStats {
@@ -274,34 +425,36 @@ impl AtomicStats {
             rejected: self.rejected.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            swap_noops: self.swap_noops.load(Ordering::Relaxed),
+            swap_failed: self.swap_failed.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Thread-safe front door to one cloud's [`FleetPlanCache`]: the cache and
-/// the cloud it compiles through, behind one mutex, shareable across the
-/// worker pool and any number of submitting threads.
+/// the cloud it compiles through, shareable across the worker pool and any
+/// number of submitting threads.
 ///
-/// One mutex (rather than finer grains) is deliberate: `plan_for` reads
-/// *and* writes the cache's LRU order, byte accounting and stats on every
-/// call, so a single lock is both correct by construction — the
-/// `server_stress` test pounds it from many threads and checks no counter
-/// update is lost and residency never exceeds budget — and cheap, because
-/// a cache hit holds it for well under a microsecond.
+/// The cache and the cloud sit behind *separate* mutexes, and no code path
+/// holds both at once. This is what lets the drift pipeline's re-pruning
+/// and recompilation (seconds of cloud work) proceed while submitters keep
+/// hitting the cache (sub-microsecond lock holds): `plan_for` resolves
+/// hits under the cache lock alone, takes the cloud lock only for the
+/// prune/compile legs of a miss, and re-enters the cache lock to admit the
+/// result. The `server_stress` test pounds this from many threads and
+/// checks no counter update is lost and residency never exceeds budget.
 pub struct SharedFleetCache {
-    inner: Mutex<SharedCacheInner>,
-}
-
-struct SharedCacheInner {
-    cache: FleetPlanCache,
-    cloud: CloudServer,
+    cache: Mutex<FleetPlanCache>,
+    cloud: Mutex<CloudServer>,
 }
 
 impl SharedFleetCache {
     /// Wraps a cloud and a fleet cache for concurrent use.
     pub fn new(cloud: CloudServer, cache: FleetPlanCache) -> Self {
         Self {
-            inner: Mutex::new(SharedCacheInner { cache, cloud }),
+            cache: Mutex::new(cache),
+            cloud: Mutex::new(cloud),
         }
     }
 
@@ -317,41 +470,86 @@ impl SharedFleetCache {
         variant: Variant,
         precision: Precision,
     ) -> Result<Arc<CompiledPlan>, CapnnError> {
-        let mut inner = lock_recover(&self.inner);
-        let SharedCacheInner { cache, cloud } = &mut *inner;
-        cache.plan_for(cloud, profile, variant, precision)
+        self.plan_for_keyed(profile, variant, precision)
+            .map(|(plan, _)| plan)
+    }
+
+    /// Like [`SharedFleetCache::plan_for`], also returning the
+    /// [`ProfileKey`] the plan is bound under — the identity the drift
+    /// pipeline monitors and rebinds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and compilation errors.
+    pub fn plan_for_keyed(
+        &self,
+        profile: &UserProfile,
+        variant: Variant,
+        precision: Precision,
+    ) -> Result<(Arc<CompiledPlan>, ProfileKey), CapnnError> {
+        let (key, looked_up) = {
+            let mut cache = lock_recover(&self.cache);
+            let key = ProfileKey::new(profile, variant, cache.weight_steps());
+            let looked_up = cache.lookup(&key, precision);
+            (key, looked_up)
+        };
+        let mask = match looked_up {
+            PlanLookup::Hit(plan) => return Ok((plan, key)),
+            PlanLookup::CompileMask(mask) => mask,
+            PlanLookup::ProfileUnknown => {
+                let fresh = lock_recover(&self.cloud).prune_mask(profile, variant)?;
+                let mut cache = lock_recover(&self.cache);
+                let mask = cache.admit_mask(key.clone(), fresh);
+                // canonicalization may land on a mask another profile
+                // already compiled for
+                if let Some(plan) = cache.resident(&mask, precision) {
+                    return Ok((plan, key));
+                }
+                mask
+            }
+        };
+        let plan = lock_recover(&self.cloud).compile_pooled(&mask, precision)?;
+        let plan = lock_recover(&self.cache).admit_plan(mask, precision, plan);
+        Ok((plan, key))
     }
 
     /// Hit/miss/eviction/residency statistics of the wrapped cache.
     pub fn stats(&self) -> CacheStats {
-        lock_recover(&self.inner).cache.stats()
+        lock_recover(&self.cache).stats()
     }
 
     /// Exact resident bytes of the wrapped cache.
     pub fn resident_bytes(&self) -> u64 {
-        lock_recover(&self.inner).cache.resident_bytes()
+        lock_recover(&self.cache).resident_bytes()
     }
 
     /// Distinct canonical masks interned so far.
     pub fn unique_masks(&self) -> usize {
-        lock_recover(&self.inner).cache.unique_masks()
+        lock_recover(&self.cache).unique_masks()
     }
 
     /// The wrapped cache's byte budget.
     pub fn budget_bytes(&self) -> Option<u64> {
-        lock_recover(&self.inner).cache.budget_bytes()
+        lock_recover(&self.cache).budget_bytes()
     }
 
     /// Swaps in a fresh cache (new budget, zeroed stats), keeping the
     /// cloud — benches reuse one profiled cloud across scenario rows.
     pub fn reset_cache(&self, cache: FleetPlanCache) {
-        lock_recover(&self.inner).cache = cache;
+        *lock_recover(&self.cache) = cache;
     }
 
     /// Runs `f` with exclusive access to the wrapped cloud (e.g. to
-    /// compile verification plans against the same network).
+    /// compile verification plans against the same network). Must not be
+    /// nested inside [`SharedFleetCache::with_cache`] or vice versa.
     pub fn with_cloud<R>(&self, f: impl FnOnce(&mut CloudServer) -> R) -> R {
-        f(&mut lock_recover(&self.inner).cloud)
+        f(&mut lock_recover(&self.cloud))
+    }
+
+    /// Runs `f` with exclusive access to the wrapped cache. Must not be
+    /// nested inside [`SharedFleetCache::with_cloud`] or vice versa.
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut FleetPlanCache) -> R) -> R {
+        f(&mut lock_recover(&self.cache))
     }
 }
 
@@ -361,12 +559,47 @@ impl std::fmt::Debug for SharedFleetCache {
     }
 }
 
+/// One profile's drift-tracking state.
+struct MonitorSlot {
+    monitor: StreamingDriftMonitor,
+    /// Pruning variant this profile is served under (part of its key).
+    variant: Variant,
+    /// Every precision this profile has been served at — the swap worker
+    /// recompiles all of them so no precision is left on the stale mask.
+    precisions: Vec<Precision>,
+    /// A swap for this profile is queued or running; further decisions are
+    /// discarded until it settles.
+    in_flight: bool,
+}
+
+/// A drift decision handed to the background recompile worker.
+struct SwapTask {
+    key: ProfileKey,
+    profile: UserProfile,
+    variant: Variant,
+    precisions: Vec<Precision>,
+}
+
+/// Server-side drift state: per-profile monitors plus the channel to the
+/// background recompile worker.
+struct DriftShared {
+    cfg: DriftConfig,
+    /// One monitor per served profile key. A monitor is a decayed count
+    /// map bounded by the profile's recent working set, so this grows with
+    /// the *distinct profile* population, like the mask memo does.
+    monitors: Mutex<HashMap<ProfileKey, MonitorSlot>>,
+    /// Swap-task sender; `None` once shutdown has begun (the worker exits
+    /// when every sender is gone).
+    tx: Mutex<Option<mpsc::Sender<SwapTask>>>,
+}
+
 struct Shared {
     cfg: ServerConfig,
     cache: Arc<SharedFleetCache>,
     state: Mutex<QueueState>,
     work: Condvar,
     stats: AtomicStats,
+    drift: Option<DriftShared>,
 }
 
 /// A cloneable, `'static` submit-only handle — client threads keep one of
@@ -410,6 +643,8 @@ impl std::fmt::Debug for ServerHandle {
 pub struct InferenceServer {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The drift pipeline's background recompile worker, when enabled.
+    swap_worker: Option<JoinHandle<()>>,
 }
 
 impl InferenceServer {
@@ -445,12 +680,26 @@ impl InferenceServer {
         // sample would pollute their quantiles).
         capnn_telemetry::count("server.rejected", 0);
         capnn_telemetry::set_gauge("server.queue_depth", 0.0);
+        let mut swap_rx = None;
+        let drift = cfg.drift.map(|drift_cfg| {
+            capnn_telemetry::count("server.swap_count", 0);
+            capnn_telemetry::count("server.swap_noop", 0);
+            capnn_telemetry::count("server.swap_failed", 0);
+            let (tx, rx) = mpsc::channel();
+            swap_rx = Some(rx);
+            DriftShared {
+                cfg: drift_cfg,
+                monitors: Mutex::new(HashMap::new()),
+                tx: Mutex::new(Some(tx)),
+            }
+        });
         let shared = Arc::new(Shared {
             cfg,
             cache,
             state: Mutex::new(QueueState::new()),
             work: Condvar::new(),
             stats: AtomicStats::default(),
+            drift,
         });
         let workers = (0..cfg.workers)
             .map(|i| {
@@ -461,7 +710,20 @@ impl InferenceServer {
                     .map_err(|e| CapnnError::Internal(format!("spawning worker: {e}")))
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { shared, workers })
+        let swap_worker = swap_rx
+            .map(|rx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("capnn-swap".into())
+                    .spawn(move || swap_loop(&shared, &rx))
+                    .map_err(|e| CapnnError::Internal(format!("spawning swap worker: {e}")))
+            })
+            .transpose()?;
+        Ok(Self {
+            shared,
+            workers,
+            swap_worker,
+        })
     }
 
     /// Admits one request: resolves its canonical plan through the fleet
@@ -537,6 +799,14 @@ impl InferenceServer {
             // surface it in tests via the failed counter instead
             let _ = w.join();
         }
+        // Workers are done, so no more swap tasks can originate; dropping
+        // the sender lets the swap worker finish queued tasks and exit.
+        if let Some(drift) = &self.shared.drift {
+            lock_recover(&drift.tx).take();
+        }
+        if let Some(w) = self.swap_worker.take() {
+            let _ = w.join();
+        }
     }
 }
 
@@ -572,9 +842,7 @@ fn submit_impl(shared: &Shared, req: ServeRequest) -> Result<ResponseHandle, Cap
             )));
         }
     }
-    let plan = shared
-        .cache
-        .plan_for(&req.profile, req.variant, req.precision)?;
+    let (plan, drift_key) = resolve_plan(shared, &req)?;
     let (tx, rx) = mpsc::channel();
     {
         let mut st = lock_recover(&shared.state);
@@ -596,6 +864,7 @@ fn submit_impl(shared: &Shared, req: ServeRequest) -> Result<ResponseHandle, Cap
             input: req.input,
             respond: tx,
             submitted: Instant::now(),
+            drift_key,
         });
         st.total_queued += 1;
         capnn_telemetry::set_gauge("server.queue_depth", st.total_queued as f64);
@@ -603,6 +872,165 @@ fn submit_impl(shared: &Shared, req: ServeRequest) -> Result<ResponseHandle, Cap
     shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
     shared.work.notify_one();
     Ok(ResponseHandle { rx })
+}
+
+/// Resolves the request's plan and, with drift detection on, folds the
+/// request into its profile's monitor. A labeled request is observed here
+/// at admission; an unlabeled one carries its key into the queue so the
+/// served argmax is observed at completion instead (never both).
+fn resolve_plan(
+    shared: &Shared,
+    req: &ServeRequest,
+) -> Result<(Arc<CompiledPlan>, Option<ProfileKey>), CapnnError> {
+    let Some(drift) = &shared.drift else {
+        let plan = shared
+            .cache
+            .plan_for(&req.profile, req.variant, req.precision)?;
+        return Ok((plan, None));
+    };
+    let (plan, key) = shared
+        .cache
+        .plan_for_keyed(&req.profile, req.variant, req.precision)?;
+    let mut task = None;
+    {
+        let mut monitors = lock_recover(&drift.monitors);
+        let slot = match monitors.entry(key.clone()) {
+            Entry::Occupied(e) => e.into_mut(),
+            // The config was validated at server start, so building a
+            // monitor cannot fail here.
+            Entry::Vacant(v) => v.insert(MonitorSlot {
+                monitor: drift.cfg.monitor(req.profile.clone())?,
+                variant: req.variant,
+                precisions: Vec::new(),
+                in_flight: false,
+            }),
+        };
+        if !slot.precisions.contains(&req.precision) {
+            slot.precisions.push(req.precision);
+        }
+        if let Some(class) = req.observed_class {
+            task = observe_slot(slot, &key, class);
+        }
+    }
+    if let Some(task) = task {
+        send_swap_tasks(drift, vec![task]);
+    }
+    let drift_key = req.observed_class.is_none().then_some(key);
+    Ok((plan, drift_key))
+}
+
+/// Folds one observation into a monitor; returns the swap task to queue if
+/// it decided to re-personalize and no swap is already in flight.
+fn observe_slot(slot: &mut MonitorSlot, key: &ProfileKey, class: usize) -> Option<SwapTask> {
+    match slot.monitor.observe(class) {
+        Some(DriftDecision::Repersonalize { profile, .. }) if !slot.in_flight => {
+            slot.in_flight = true;
+            Some(SwapTask {
+                key: key.clone(),
+                profile,
+                variant: slot.variant,
+                precisions: slot.precisions.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Hands swap tasks to the background worker. A send after shutdown (or to
+/// a dead worker) is silently dropped — the monitor stays `in_flight`, and
+/// the server is going away anyway.
+fn send_swap_tasks(drift: &DriftShared, tasks: Vec<SwapTask>) {
+    if tasks.is_empty() {
+        return;
+    }
+    let tx = lock_recover(&drift.tx);
+    if let Some(tx) = tx.as_ref() {
+        for task in tasks {
+            let _ = tx.send(task);
+        }
+    }
+}
+
+/// The background recompile worker: drains drift decisions until every
+/// sender is gone (shutdown).
+fn swap_loop(shared: &Shared, rx: &mpsc::Receiver<SwapTask>) {
+    while let Ok(task) = rx.recv() {
+        run_swap(shared, task);
+    }
+}
+
+/// Executes one drift-to-swap pipeline run off the request path:
+/// re-prune → canonicalize (no-op detection) → recompile every served
+/// precision → atomic rebind (the swap point) → release the monitor.
+fn run_swap(shared: &Shared, task: SwapTask) {
+    let Some(drift) = &shared.drift else { return };
+    let t0 = Instant::now();
+    let fresh = match shared
+        .cache
+        .with_cloud(|cloud| cloud.prune_mask(&task.profile, task.variant))
+    {
+        Ok(mask) => mask,
+        Err(_) => return swap_failed(shared, drift, &task),
+    };
+    let (canonical, noop) = shared.cache.with_cache(|cache| {
+        let canonical = cache.canonicalize(fresh);
+        let noop = cache
+            .bound_mask(&task.key)
+            .is_some_and(|bound| Arc::ptr_eq(&bound, &canonical));
+        (canonical, noop)
+    });
+    if noop {
+        // Usage shifted but the re-pruned mask is the one already bound
+        // (common under CAP'NN-B, where only the class *set* matters):
+        // adopt the new baseline without compiling anything.
+        shared.stats.swap_noops.fetch_add(1, Ordering::Relaxed);
+        capnn_telemetry::count("server.swap_noop", 1);
+        settle_monitor(drift, &task, true);
+        return;
+    }
+    let mut plans = Vec::with_capacity(task.precisions.len());
+    for &precision in &task.precisions {
+        match shared
+            .cache
+            .with_cloud(|cloud| cloud.compile_pooled(&canonical, precision))
+        {
+            Ok(plan) => plans.push((precision, plan)),
+            Err(_) => return swap_failed(shared, drift, &task),
+        }
+    }
+    // The swap point: every request admitted after this call resolves to
+    // the new plans; in-flight batches keep their Arc to the old plan and
+    // drain on it (bounded by queue depth × dwell), whose cache residency
+    // was just released.
+    shared
+        .cache
+        .with_cache(|cache| cache.rebind(&task.key, canonical, plans));
+    shared.stats.swaps.fetch_add(1, Ordering::Relaxed);
+    capnn_telemetry::count("server.swap_count", 1);
+    capnn_telemetry::observe_duration("server.swap_ns", t0.elapsed());
+    settle_monitor(drift, &task, true);
+}
+
+/// Records a failed swap attempt and backs the monitor off.
+fn swap_failed(shared: &Shared, drift: &DriftShared, task: &SwapTask) {
+    shared.stats.swap_failed.fetch_add(1, Ordering::Relaxed);
+    capnn_telemetry::count("server.swap_failed", 1);
+    settle_monitor(drift, task, false);
+}
+
+/// Releases a profile's in-flight flag after its swap settled: on success
+/// the monitor adopts the new profile (cooldown applies), on failure it
+/// defers the next decision by the cooldown without losing its history.
+fn settle_monitor(drift: &DriftShared, task: &SwapTask, adopted: bool) {
+    let mut monitors = lock_recover(&drift.monitors);
+    if let Some(slot) = monitors.get_mut(&task.key) {
+        if adopted {
+            slot.monitor.adopt(task.profile.clone(), drift.cfg.cooldown);
+        } else {
+            slot.monitor.defer(drift.cfg.cooldown);
+        }
+        slot.in_flight = false;
+    }
 }
 
 /// One dispatched batch, ready to execute outside the lock.
@@ -731,19 +1159,25 @@ fn execute_job(shared: &Shared, job: Job, scratch: &mut PlanScratch) {
     let mut meta = Vec::with_capacity(n);
     for p in job.pending {
         inputs.push(p.input);
-        meta.push((p.respond, p.submitted));
+        meta.push((p.respond, p.submitted, p.drift_key));
     }
     let result = job.plan.forward_batch_with_scratch(&inputs, scratch);
     let exec = dispatched.elapsed();
     capnn_telemetry::observe("server.batch_size", n as u64);
     capnn_telemetry::observe_duration("server.batch_ns", exec);
     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    // (profile key, served argmax) pairs to feed the drift monitors after
+    // the responses are on their way.
+    let mut observations: Vec<(ProfileKey, usize)> = Vec::new();
     match result {
         Ok(outputs) => {
-            for (out, (respond, submitted)) in outputs.into_iter().zip(meta) {
+            for (out, (respond, submitted, drift_key)) in outputs.into_iter().zip(meta) {
                 let dwell = dispatched.saturating_duration_since(submitted);
                 capnn_telemetry::observe_duration("server.dwell_ns", dwell);
                 let argmax = out.argmax().unwrap_or(0);
+                if let Some(key) = drift_key {
+                    observations.push((key, argmax));
+                }
                 // a gone client (dropped handle) is not an error
                 let _ = respond.send(Ok(ServeResponse {
                     output: out,
@@ -759,10 +1193,27 @@ fn execute_job(shared: &Shared, job: Job, scratch: &mut PlanScratch) {
                 .fetch_add(n as u64, Ordering::Relaxed);
         }
         Err(e) => {
-            for (respond, _) in meta {
+            for (respond, _, _) in meta {
                 let _ = respond.send(Err(CapnnError::Network(e.clone())));
             }
             shared.stats.failed.fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+    if let Some(drift) = &shared.drift {
+        if !observations.is_empty() {
+            let mut tasks = Vec::new();
+            {
+                let mut monitors = lock_recover(&drift.monitors);
+                for (key, class) in observations {
+                    let Some(slot) = monitors.get_mut(&key) else {
+                        continue;
+                    };
+                    if let Some(task) = observe_slot(slot, &key, class) {
+                        tasks.push(task);
+                    }
+                }
+            }
+            send_swap_tasks(drift, tasks);
         }
     }
     let per_sample_ns = exec.as_nanos() as f64 / n as f64;
@@ -1029,5 +1480,203 @@ mod tests {
         };
         assert!((s.mean_batch() - 4.0).abs() < 1e-12);
         assert_eq!(ServerStats::default().mean_batch(), 0.0);
+    }
+
+    /// A fast-reacting drift config for tests: decide after 16
+    /// observations, check every 8, and never re-trigger (huge cooldown).
+    fn drift_cfg(threshold: f64, profile_k: usize) -> DriftConfig {
+        DriftConfig {
+            policy: DriftPolicy::builder()
+                .divergence_threshold(threshold)
+                .min_observations(16)
+                .profile_k(profile_k)
+                .build()
+                .unwrap(),
+            half_life: 32.0,
+            check_interval: 8,
+            cooldown: 1 << 30,
+        }
+    }
+
+    #[test]
+    fn drift_config_validation() {
+        let ok = ServerConfig::default();
+        let mut with_drift = ok;
+        with_drift.drift = Some(DriftConfig::default());
+        assert!(with_drift.validate().is_ok());
+        let mut bad = ok;
+        bad.drift = Some(DriftConfig {
+            half_life: 0.5,
+            ..DriftConfig::default()
+        });
+        assert!(bad.validate().is_err());
+        let mut bad = ok;
+        bad.drift = Some(DriftConfig {
+            check_interval: 0,
+            ..DriftConfig::default()
+        });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn drift_config_from_env_defaults() {
+        // none of the CAPNN_DRIFT_* variables are set under `cargo test`
+        assert_eq!(DriftConfig::from_env().unwrap(), DriftConfig::default());
+    }
+
+    #[test]
+    fn labeled_drift_triggers_hot_swap_matching_cold_recompile() {
+        let server = InferenceServer::start(
+            tiny_cloud(),
+            ServerConfig {
+                workers: 1,
+                drift: Some(drift_cfg(0.2, 1)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        // deployed for {0, 1}, but every request is labeled class 3
+        let user = profile(vec![0, 1]);
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut i = 0u64;
+        while server.stats().swaps == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "no hot-swap observed; stats {:?}",
+                server.stats()
+            );
+            server
+                .infer(ServeRequest::new(user.clone(), input(100 + i)).observed_class(3))
+                .unwrap();
+            i += 1;
+        }
+        // every request admitted after the swap point executes the plan a
+        // cold recompile for the drifted profile {3} would produce, bitwise
+        let x = input(999);
+        let resp = server
+            .infer(ServeRequest::new(user.clone(), x.clone()))
+            .unwrap();
+        let expect = server.cache().with_cloud(|cloud| {
+            let drifted = UserProfile::uniform(vec![3]).unwrap();
+            let mask = cloud.prune_mask(&drifted, Variant::Basic).unwrap();
+            cloud.network().compile(&mask).unwrap().forward(&x).unwrap()
+        });
+        assert_eq!(resp.output.as_slice(), expect.as_slice());
+        let cache = Arc::clone(server.cache());
+        let stats = server.shutdown();
+        assert_eq!(stats.swaps, 1, "huge cooldown allows exactly one swap");
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.swap_failed, 0);
+        assert!(cache.stats().released >= 1);
+    }
+
+    #[test]
+    fn weight_only_drift_on_basic_variant_is_a_swap_noop() {
+        // Deployed weights 0.9/0.1 vs observed 50/50 diverges (JS ≈ 0.15
+        // bit), but CAP'NN-B masks depend only on the class *set* — the
+        // re-pruned mask is the bound one, so no recompile happens.
+        let server = InferenceServer::start(
+            tiny_cloud(),
+            ServerConfig {
+                workers: 1,
+                drift: Some(drift_cfg(0.1, 2)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let user = UserProfile::new(vec![0, 1], vec![0.9, 0.1]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut i = 0u64;
+        while server.stats().swap_noops == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "no swap no-op observed; stats {:?}",
+                server.stats()
+            );
+            server
+                .infer(
+                    ServeRequest::new(user.clone(), input(200 + i))
+                        .observed_class((i % 2) as usize),
+                )
+                .unwrap();
+            i += 1;
+        }
+        let cache = Arc::clone(server.cache());
+        let stats = server.shutdown();
+        assert_eq!(stats.swaps, 0, "a no-op must not rebind anything");
+        assert_eq!(stats.swap_failed, 0);
+        assert_eq!(cache.stats().released, 0);
+    }
+
+    #[test]
+    fn observed_class_is_inert_without_drift_config() {
+        let server = InferenceServer::start(
+            tiny_cloud(),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let user = profile(vec![0, 1]);
+        for i in 0..24u64 {
+            server
+                .infer(ServeRequest::new(user.clone(), input(300 + i)).observed_class(3))
+                .unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.swaps, 0);
+        assert_eq!(stats.swap_noops, 0);
+    }
+
+    #[test]
+    fn unlabeled_traffic_feeds_served_argmax_to_the_monitor() {
+        // A profile pruned to {2} zeroes every other class logit. An input
+        // whose class-2 logit is negative therefore argmaxes to class 0
+        // (the first exact-zero entry) — a deterministic out-of-profile
+        // prediction stream that must trigger a swap with no labels at all.
+        // Short cooldown: an early check may fire while class 2 still
+        // dominates the decayed mix (a no-op swap); monitoring must resume
+        // and converge on the real {2}→{0} swap.
+        let server = InferenceServer::start(
+            tiny_cloud(),
+            ServerConfig {
+                workers: 1,
+                drift: Some(DriftConfig {
+                    cooldown: 32,
+                    ..drift_cfg(0.2, 1)
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let user = profile(vec![2]);
+        let mut trigger = None;
+        for seed in 0..200u64 {
+            let x = input(400 + seed);
+            let resp = server
+                .infer(ServeRequest::new(user.clone(), x.clone()))
+                .unwrap();
+            if resp.output.as_slice()[2] < 0.0 {
+                trigger = Some(x);
+                break;
+            }
+        }
+        let trigger = trigger.expect("some input should produce a negative class-2 logit");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while server.stats().swaps == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "argmax feed never triggered a swap; stats {:?}",
+                server.stats()
+            );
+            server
+                .infer(ServeRequest::new(user.clone(), trigger.clone()))
+                .unwrap();
+        }
+        let stats = server.shutdown();
+        assert!(stats.swaps >= 1, "prediction drift must rebind");
+        assert_eq!(stats.failed, 0);
     }
 }

@@ -8,6 +8,7 @@
 //! drain, never across a batch execution.
 
 use super::controller::BatchController;
+use crate::cache::ProfileKey;
 use crate::error::CapnnError;
 use crate::server::ServeResponse;
 use capnn_nn::{CompiledPlan, Precision};
@@ -32,6 +33,9 @@ pub(crate) struct Pending {
     pub input: Tensor,
     pub respond: mpsc::Sender<Result<ServeResponse, CapnnError>>,
     pub submitted: Instant,
+    /// When drift detection is on and the request carried no explicit
+    /// label, the profile key whose monitor the served argmax feeds.
+    pub drift_key: Option<ProfileKey>,
 }
 
 /// All requests waiting on one canonical plan.

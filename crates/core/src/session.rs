@@ -18,19 +18,42 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Policy knobs for re-personalization.
+///
+/// Constructed through the validating [`DriftPolicy::builder`] (or the
+/// [`DriftPolicy::conservative`] preset), so an invalid policy is
+/// unrepresentable: the threshold is always within the JS divergence's
+/// `[0, 1]`-bit range and `profile_k` is always positive.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::DriftPolicy;
+///
+/// let policy = DriftPolicy::builder()
+///     .divergence_threshold(0.2)
+///     .min_observations(30)
+///     .profile_k(2)
+///     .build()?;
+/// assert_eq!(policy.min_observations(), 30);
+/// assert!(DriftPolicy::builder().divergence_threshold(1.5).build().is_err());
+/// # Ok::<(), capnn_core::CapnnError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DriftPolicy {
-    /// Jensen–Shannon divergence (bits) above which re-personalization is
-    /// recommended.
-    pub divergence_threshold: f64,
-    /// Minimum number of observed inferences before any decision is made
-    /// (avoids reacting to noise right after deployment).
-    pub min_observations: u64,
-    /// Number of classes the new profile should cover.
-    pub profile_k: usize,
+    divergence_threshold: f64,
+    min_observations: u64,
+    profile_k: usize,
 }
 
 impl DriftPolicy {
+    /// Starts a builder pre-filled with the [`DriftPolicy::conservative`]
+    /// values; `build` validates the final combination.
+    pub fn builder() -> DriftPolicyBuilder {
+        DriftPolicyBuilder {
+            policy: Self::conservative(),
+        }
+    }
+
     /// A conservative default: act on ≥ 0.15 bit of divergence after 50
     /// observations, keeping a 3-class profile.
     pub fn conservative() -> Self {
@@ -41,12 +64,27 @@ impl DriftPolicy {
         }
     }
 
-    /// Validates the policy.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CapnnError::Config`] describing the first violation.
-    pub fn validate(&self) -> Result<(), CapnnError> {
+    /// Jensen–Shannon divergence (bits) above which re-personalization is
+    /// recommended.
+    pub fn divergence_threshold(&self) -> f64 {
+        self.divergence_threshold
+    }
+
+    /// Minimum number of observed inferences before any decision is made
+    /// (avoids reacting to noise right after deployment).
+    pub fn min_observations(&self) -> u64 {
+        self.min_observations
+    }
+
+    /// Number of classes the new profile should cover.
+    pub fn profile_k(&self) -> usize {
+        self.profile_k
+    }
+
+    /// Checks the invariants the builder enforces. Still needed internally:
+    /// a policy can arrive through deserialization, which bypasses the
+    /// builder.
+    pub(crate) fn validate(&self) -> Result<(), CapnnError> {
         if !(0.0..=1.0).contains(&self.divergence_threshold) {
             return Err(CapnnError::Config(format!(
                 "divergence threshold must be in [0, 1] bits, got {}",
@@ -63,6 +101,43 @@ impl DriftPolicy {
 impl Default for DriftPolicy {
     fn default() -> Self {
         Self::conservative()
+    }
+}
+
+/// Validating builder for [`DriftPolicy`]; see [`DriftPolicy::builder`].
+#[derive(Debug, Clone)]
+pub struct DriftPolicyBuilder {
+    policy: DriftPolicy,
+}
+
+impl DriftPolicyBuilder {
+    /// Sets the JS-divergence threshold in bits (`build` checks `[0, 1]`).
+    pub fn divergence_threshold(mut self, bits: f64) -> Self {
+        self.policy.divergence_threshold = bits;
+        self
+    }
+
+    /// Sets the minimum observations before any decision.
+    pub fn min_observations(mut self, n: u64) -> Self {
+        self.policy.min_observations = n;
+        self
+    }
+
+    /// Sets the class count of the replacement profile (`build` checks
+    /// that it is positive).
+    pub fn profile_k(mut self, k: usize) -> Self {
+        self.policy.profile_k = k;
+        self
+    }
+
+    /// Validates and returns the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] describing the first violation.
+    pub fn build(self) -> Result<DriftPolicy, CapnnError> {
+        self.policy.validate()?;
+        Ok(self.policy)
     }
 }
 
@@ -177,28 +252,21 @@ impl PersonalizationSession {
             return DriftDecision::KeepModel { divergence };
         }
         // Build the replacement profile: top-k observed classes, weighted by
-        // observed frequency.
-        let mut by_count: Vec<(usize, u64)> = self.counts.iter().map(|(&c, &n)| (c, n)).collect();
-        by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        by_count.truncate(self.policy.profile_k);
-        let subtotal: u64 = by_count.iter().map(|&(_, n)| n).sum();
-        let classes: Vec<usize> = by_count.iter().map(|&(c, _)| c).collect();
-        let weights: Vec<f32> = by_count
-            .iter()
-            .map(|&(_, n)| n as f32 / subtotal as f32)
-            .collect();
-        match UserProfile::new(classes, weights) {
-            Ok(profile) => {
+        // observed frequency. Fewer distinct classes observed than profile_k
+        // is fine; an empty observation set cannot reach here
+        // (min_observations > 0 implies at least one count).
+        match top_k_profile(
+            self.counts.iter().map(|(&c, &n)| (c, n as f64)),
+            self.policy.profile_k,
+        ) {
+            Some(profile) => {
                 capnn_telemetry::count("drift.repersonalize", 1);
                 DriftDecision::Repersonalize {
                     divergence,
                     profile,
                 }
             }
-            // fewer distinct classes observed than profile_k is fine; an
-            // empty observation set cannot reach here (min_observations > 0
-            // implies at least one count)
-            Err(_) => {
+            None => {
                 capnn_telemetry::count("drift.keep_model", 1);
                 DriftDecision::KeepModel { divergence }
             }
@@ -214,27 +282,231 @@ impl PersonalizationSession {
     /// Jensen–Shannon divergence (bits) between the deployed weights and the
     /// observed frequencies, over the union of their supports.
     pub fn divergence_bits(&self) -> f64 {
-        let total = self.observations().max(1) as f64;
-        let mut support: Vec<usize> = self.counts.keys().copied().collect();
-        for &c in self.deployed.classes() {
-            if !support.contains(&c) {
-                support.push(c);
+        let observed: BTreeMap<usize, f64> =
+            self.counts.iter().map(|(&c, &n)| (c, n as f64)).collect();
+        js_bits(&self.deployed, &observed, self.observations() as f64)
+    }
+}
+
+/// Jensen–Shannon divergence (bits) between a deployed profile's weights and
+/// an observed mass map (`mass / total` per class), over the union of their
+/// supports. Shared by the batch session and the streaming monitor.
+fn js_bits(deployed: &UserProfile, observed: &BTreeMap<usize, f64>, total: f64) -> f64 {
+    let total = total.max(f64::MIN_POSITIVE);
+    let mut support: Vec<usize> = observed.keys().copied().collect();
+    for &c in deployed.classes() {
+        if !support.contains(&c) {
+            support.push(c);
+        }
+    }
+    let p = |c: usize| -> f64 { deployed.weight_of(c).map_or(0.0, |w| w as f64) };
+    let q = |c: usize| -> f64 { observed.get(&c).map_or(0.0, |&m| m / total) };
+    let mut js = 0.0;
+    for &c in &support {
+        let (pi, qi) = (p(c), q(c));
+        let mi = 0.5 * (pi + qi);
+        if pi > 0.0 && mi > 0.0 {
+            js += 0.5 * pi * (pi / mi).log2();
+        }
+        if qi > 0.0 && mi > 0.0 {
+            js += 0.5 * qi * (qi / mi).log2();
+        }
+    }
+    js.max(0.0)
+}
+
+/// Builds a profile from the `k` heaviest observed classes, weighted by their
+/// (possibly decayed) mass. Ties break toward the lower class index so the
+/// result is deterministic. Returns `None` when no class carries mass.
+fn top_k_profile(counts: impl Iterator<Item = (usize, f64)>, k: usize) -> Option<UserProfile> {
+    let mut by_mass: Vec<(usize, f64)> = counts.filter(|&(_, m)| m > 1e-9).collect();
+    by_mass.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    by_mass.truncate(k);
+    let subtotal: f64 = by_mass.iter().map(|&(_, m)| m).sum();
+    if subtotal <= 0.0 {
+        return None;
+    }
+    let classes: Vec<usize> = by_mass.iter().map(|&(c, _)| c).collect();
+    let weights: Vec<f32> = by_mass
+        .iter()
+        .map(|&(_, m)| (m / subtotal) as f32)
+        .collect();
+    UserProfile::new(classes, weights).ok()
+}
+
+/// Streaming drift detector for the serving front-end.
+///
+/// Unlike [`PersonalizationSession`] — which accumulates raw counts and is
+/// checked explicitly by the caller — this monitor folds every observation
+/// into an exponentially-decayed usage profile and raises
+/// [`DriftDecision::Repersonalize`] *from live traffic*: no offline
+/// re-profiling pass, no unbounded memory (stale classes decay out of the
+/// support). The decay half-life bounds how long outdated usage can mask a
+/// genuine shift, and the check interval amortizes the divergence
+/// computation across requests.
+///
+/// After acting on a `Repersonalize` decision the caller invokes
+/// [`adopt`](Self::adopt) with a cooldown, suppressing further decisions
+/// until the new plan has seen enough traffic to be judged fairly.
+///
+/// # Examples
+///
+/// ```
+/// use capnn_core::{DriftPolicy, StreamingDriftMonitor, UserProfile};
+///
+/// let deployed = UserProfile::new(vec![0, 1], vec![0.9, 0.1])?;
+/// let policy = DriftPolicy::builder().min_observations(32).build()?;
+/// let mut monitor = StreamingDriftMonitor::new(deployed, policy, 64.0, 8)?;
+/// let mut drifted = None;
+/// for _ in 0..64 {
+///     if let Some(capnn_core::DriftDecision::Repersonalize { profile, .. }) =
+///         monitor.observe(5)
+///     {
+///         drifted = Some(profile);
+///         break;
+///     }
+/// }
+/// assert_eq!(drifted.expect("drift detected").classes(), &[5]);
+/// # Ok::<(), capnn_core::CapnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingDriftMonitor {
+    deployed: UserProfile,
+    policy: DriftPolicy,
+    /// Per-observation decay factor, `0.5^(1 / half_life)`.
+    decay: f64,
+    check_interval: u64,
+    counts: BTreeMap<usize, f64>,
+    mass: f64,
+    observed: u64,
+    since_check: u64,
+    cooldown_left: u64,
+}
+
+impl StreamingDriftMonitor {
+    /// Starts a monitor for a plan pruned for `deployed`.
+    ///
+    /// `half_life` is the number of observations over which past usage loses
+    /// half its weight; `check_interval` is how many observations pass
+    /// between divergence checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapnnError::Config`] if the policy is invalid, `half_life`
+    /// is not finite and ≥ 1, or `check_interval` is zero.
+    pub fn new(
+        deployed: UserProfile,
+        policy: DriftPolicy,
+        half_life: f64,
+        check_interval: u64,
+    ) -> Result<Self, CapnnError> {
+        policy.validate()?;
+        if !half_life.is_finite() || half_life < 1.0 {
+            return Err(CapnnError::Config(format!(
+                "drift half-life must be finite and >= 1 observation, got {half_life}"
+            )));
+        }
+        if check_interval == 0 {
+            return Err(CapnnError::Config(
+                "drift check interval must be positive".into(),
+            ));
+        }
+        Ok(Self {
+            deployed,
+            policy,
+            decay: 0.5_f64.powf(1.0 / half_life),
+            check_interval,
+            counts: BTreeMap::new(),
+            mass: 0.0,
+            observed: 0,
+            since_check: 0,
+            cooldown_left: 0,
+        })
+    }
+
+    /// The profile the currently bound plan was pruned for.
+    pub fn deployed_profile(&self) -> &UserProfile {
+        &self.deployed
+    }
+
+    /// Observations folded in since the last [`adopt`](Self::adopt) (or
+    /// since creation).
+    pub fn observations(&self) -> u64 {
+        self.observed
+    }
+
+    /// Folds one observed (predicted or labeled) class into the decayed
+    /// usage profile and returns a decision when a check is due.
+    ///
+    /// Returns `None` between checks, during cooldown, and before
+    /// `min_observations` is reached — never
+    /// [`DriftDecision::InsufficientData`]: a streaming caller cannot act on
+    /// it, so silence carries the same information.
+    pub fn observe(&mut self, class: usize) -> Option<DriftDecision> {
+        // Decay the whole support, pruning classes whose mass has become
+        // negligible so the map stays bounded by the *recent* working set.
+        self.counts.retain(|_, m| {
+            *m *= self.decay;
+            *m > 1e-9
+        });
+        self.mass = self.mass * self.decay + 1.0;
+        *self.counts.entry(class).or_insert(0.0) += 1.0;
+        self.observed += 1;
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return None;
+        }
+        self.since_check += 1;
+        if self.observed < self.policy.min_observations || self.since_check < self.check_interval {
+            return None;
+        }
+        self.since_check = 0;
+        let divergence = self.divergence_bits();
+        if divergence < self.policy.divergence_threshold {
+            capnn_telemetry::count("drift.keep_model", 1);
+            return Some(DriftDecision::KeepModel { divergence });
+        }
+        match top_k_profile(
+            self.counts.iter().map(|(&c, &m)| (c, m)),
+            self.policy.profile_k,
+        ) {
+            Some(profile) => {
+                capnn_telemetry::count("drift.repersonalize", 1);
+                Some(DriftDecision::Repersonalize {
+                    divergence,
+                    profile,
+                })
+            }
+            None => {
+                capnn_telemetry::count("drift.keep_model", 1);
+                Some(DriftDecision::KeepModel { divergence })
             }
         }
-        let p = |c: usize| -> f64 { self.deployed.weight_of(c).map_or(0.0, |w| w as f64) };
-        let q = |c: usize| -> f64 { self.counts.get(&c).map_or(0.0, |&n| n as f64 / total) };
-        let mut js = 0.0;
-        for &c in &support {
-            let (pi, qi) = (p(c), q(c));
-            let mi = 0.5 * (pi + qi);
-            if pi > 0.0 && mi > 0.0 {
-                js += 0.5 * pi * (pi / mi).log2();
-            }
-            if qi > 0.0 && mi > 0.0 {
-                js += 0.5 * qi * (qi / mi).log2();
-            }
-        }
-        js.max(0.0)
+    }
+
+    /// Adopts a newly deployed profile, clears the usage history, and
+    /// suppresses decisions for the next `cooldown` observations so the
+    /// fresh plan is judged on its own traffic.
+    pub fn adopt(&mut self, profile: UserProfile, cooldown: u64) {
+        self.deployed = profile;
+        self.counts.clear();
+        self.mass = 0.0;
+        self.observed = 0;
+        self.since_check = 0;
+        self.cooldown_left = cooldown;
+    }
+
+    /// Defers the next check by `observations` without touching the usage
+    /// history — the back-off path when acting on a decision failed.
+    pub fn defer(&mut self, observations: u64) {
+        self.cooldown_left = self.cooldown_left.max(observations);
+        self.since_check = 0;
+    }
+
+    /// Jensen–Shannon divergence (bits) between the deployed weights and
+    /// the decayed observed frequencies.
+    pub fn divergence_bits(&self) -> f64 {
+        js_bits(&self.deployed, &self.counts, self.mass)
     }
 }
 
@@ -242,27 +514,48 @@ impl PersonalizationSession {
 mod tests {
     use super::*;
 
+    fn test_policy() -> DriftPolicy {
+        DriftPolicy::builder()
+            .divergence_threshold(0.1)
+            .min_observations(20)
+            .profile_k(2)
+            .build()
+            .unwrap()
+    }
+
     fn session(classes: Vec<usize>, weights: Vec<f32>) -> PersonalizationSession {
-        PersonalizationSession::new(
-            UserProfile::new(classes, weights).unwrap(),
-            DriftPolicy {
-                divergence_threshold: 0.1,
-                min_observations: 20,
-                profile_k: 2,
-            },
-        )
-        .unwrap()
+        PersonalizationSession::new(UserProfile::new(classes, weights).unwrap(), test_policy())
+            .unwrap()
     }
 
     #[test]
-    fn policy_validation() {
-        assert!(DriftPolicy::conservative().validate().is_ok());
-        let mut p = DriftPolicy::conservative();
-        p.divergence_threshold = 1.5;
-        assert!(p.validate().is_err());
-        let mut p = DriftPolicy::conservative();
-        p.profile_k = 0;
-        assert!(p.validate().is_err());
+    fn policy_builder_validates() {
+        let p = DriftPolicy::builder()
+            .divergence_threshold(0.3)
+            .min_observations(10)
+            .profile_k(4)
+            .build()
+            .unwrap();
+        assert_eq!(p.divergence_threshold(), 0.3);
+        assert_eq!(p.min_observations(), 10);
+        assert_eq!(p.profile_k(), 4);
+        assert!(matches!(
+            DriftPolicy::builder().divergence_threshold(1.5).build(),
+            Err(CapnnError::Config(_))
+        ));
+        assert!(matches!(
+            DriftPolicy::builder().divergence_threshold(-0.1).build(),
+            Err(CapnnError::Config(_))
+        ));
+        assert!(matches!(
+            DriftPolicy::builder().profile_k(0).build(),
+            Err(CapnnError::Config(_))
+        ));
+        // defaults are the conservative preset, which must itself be valid
+        assert_eq!(
+            DriftPolicy::builder().build().unwrap(),
+            DriftPolicy::conservative()
+        );
     }
 
     #[test]
@@ -381,5 +674,169 @@ mod tests {
         let dist = s.observed_distribution();
         let sum: f64 = dist.iter().map(|&(_, p)| p).sum();
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    fn monitor(classes: Vec<usize>, weights: Vec<f32>) -> StreamingDriftMonitor {
+        StreamingDriftMonitor::new(
+            UserProfile::new(classes, weights).unwrap(),
+            test_policy(),
+            64.0,
+            8,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn monitor_rejects_invalid_configuration() {
+        let profile = UserProfile::new(vec![0], vec![1.0]).unwrap();
+        assert!(matches!(
+            StreamingDriftMonitor::new(profile.clone(), test_policy(), 0.5, 8),
+            Err(CapnnError::Config(_))
+        ));
+        assert!(matches!(
+            StreamingDriftMonitor::new(profile.clone(), test_policy(), f64::NAN, 8),
+            Err(CapnnError::Config(_))
+        ));
+        assert!(matches!(
+            StreamingDriftMonitor::new(profile, test_policy(), 64.0, 0),
+            Err(CapnnError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_is_silent_before_min_observations() {
+        let mut m = monitor(vec![0, 1], vec![0.5, 0.5]);
+        for _ in 0..19 {
+            assert_eq!(m.observe(7), None);
+        }
+        assert_eq!(m.observations(), 19);
+    }
+
+    #[test]
+    fn monitor_detects_total_shift() {
+        let mut m = monitor(vec![0, 1], vec![0.9, 0.1]);
+        let mut decision = None;
+        for _ in 0..40 {
+            if let Some(d) = m.observe(7) {
+                decision = Some(d);
+                break;
+            }
+        }
+        match decision.expect("a check should have fired") {
+            DriftDecision::Repersonalize {
+                divergence,
+                profile,
+            } => {
+                assert!(divergence > 0.5, "divergence {divergence}");
+                assert_eq!(profile.classes(), &[7]);
+            }
+            other => panic!("expected Repersonalize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_keeps_model_on_matching_usage() {
+        let mut m = monitor(vec![0, 1], vec![0.75, 0.25]);
+        let mut checks = 0;
+        for i in 0..64 {
+            if let Some(d) = m.observe(if i % 4 == 0 { 1 } else { 0 }) {
+                checks += 1;
+                match d {
+                    DriftDecision::KeepModel { divergence } => {
+                        assert!(divergence < 0.05, "divergence {divergence}")
+                    }
+                    other => panic!("expected KeepModel, got {other:?}"),
+                }
+            }
+        }
+        assert!(checks > 0, "at least one check should have fired");
+    }
+
+    #[test]
+    fn monitor_decay_forgets_old_usage() {
+        // Short half-life: the early class-0 burst should decay out and the
+        // recent class-3 traffic should dominate the replacement profile.
+        let mut m = StreamingDriftMonitor::new(
+            UserProfile::new(vec![0], vec![1.0]).unwrap(),
+            test_policy(),
+            8.0,
+            4,
+        )
+        .unwrap();
+        for _ in 0..40 {
+            m.observe(0);
+        }
+        let mut last = None;
+        for _ in 0..64 {
+            if let Some(d) = m.observe(3) {
+                last = Some(d);
+            }
+        }
+        match last.expect("checks should have fired") {
+            DriftDecision::Repersonalize { profile, .. } => {
+                assert_eq!(profile.classes()[0], 3);
+                assert!(profile.weights()[0] > 0.9, "old usage should have decayed");
+            }
+            other => panic!("expected Repersonalize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monitor_adopt_applies_cooldown() {
+        let mut m = monitor(vec![0, 1], vec![0.9, 0.1]);
+        let mut fired = false;
+        for _ in 0..40 {
+            if m.observe(7).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        m.adopt(UserProfile::new(vec![7], vec![1.0]).unwrap(), 100);
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.deployed_profile().classes(), &[7]);
+        // During cooldown nothing fires, even under totally shifted traffic.
+        for _ in 0..100 {
+            assert_eq!(m.observe(2), None);
+        }
+        // After cooldown, checks resume and catch the new shift.
+        let mut post = None;
+        for _ in 0..40 {
+            if let Some(d) = m.observe(2) {
+                post = Some(d);
+                break;
+            }
+        }
+        assert!(matches!(
+            post.expect("check after cooldown"),
+            DriftDecision::Repersonalize { .. }
+        ));
+    }
+
+    #[test]
+    fn monitor_defer_backs_off_without_clearing_history() {
+        let mut m = monitor(vec![0, 1], vec![0.9, 0.1]);
+        for _ in 0..40 {
+            if m.observe(7).is_some() {
+                break;
+            }
+        }
+        let before = m.observations();
+        m.defer(50);
+        for _ in 0..50 {
+            assert_eq!(m.observe(7), None);
+        }
+        assert_eq!(m.observations(), before + 50);
+        let mut post = None;
+        for _ in 0..16 {
+            if let Some(d) = m.observe(7) {
+                post = Some(d);
+                break;
+            }
+        }
+        assert!(matches!(
+            post.expect("check after defer"),
+            DriftDecision::Repersonalize { .. }
+        ));
     }
 }

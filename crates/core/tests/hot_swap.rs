@@ -1,0 +1,276 @@
+//! Drift-triggered hot-swap, end to end: the plan a server serves after a
+//! background swap must be *bitwise* the plan a cold recompile for the
+//! drifted profile produces — at every precision the user was served at —
+//! and the swap must hold under concurrent submitters on a budgeted cache.
+//!
+//! Two layers:
+//!
+//! * a property test driving labeled drift through a live server for
+//!   randomized (deployed class, drifted class, probe input) cases and
+//!   comparing the post-swap output against `compile_with_precision` on
+//!   the same cloud, for both [`Precision::F32`] and [`Precision::Int8`];
+//! * a threaded stress test where every submitter phase-shifts its labels
+//!   mid-stream, the cache budget stays respected throughout the
+//!   swap churn, and each drifted user ends on the cold-recompile plan.
+
+use capnn_core::{
+    CloudServer, DriftConfig, DriftPolicy, FleetPlanCache, InferenceServer, PruningConfig,
+    ServeRequest, ServerConfig, SharedFleetCache, UserProfile, Variant,
+};
+use capnn_data::{VectorClusters, VectorClustersConfig};
+use capnn_nn::{NetworkBuilder, Precision, Trainer, TrainerConfig};
+use capnn_tensor::{Tensor, XorShiftRng};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLASSES: usize = 4;
+const INPUT_DIM: usize = 6;
+
+/// A trained 4-class cloud, small enough that a swap (prune + compile at
+/// two precisions) completes in milliseconds.
+fn tiny_cloud() -> CloudServer {
+    let gen = VectorClusters::new(VectorClustersConfig::easy(CLASSES, INPUT_DIM)).unwrap();
+    let mut net = NetworkBuilder::mlp(&[INPUT_DIM, 16, 12, CLASSES], 11)
+        .build()
+        .unwrap();
+    let cfg = TrainerConfig {
+        epochs: 5,
+        ..TrainerConfig::default()
+    };
+    Trainer::new(cfg, 1)
+        .fit(&mut net, gen.generate(20, 1).samples())
+        .unwrap();
+    CloudServer::new(
+        net,
+        &gen.generate(12, 2),
+        &gen.generate(8, 3),
+        PruningConfig::fast(),
+    )
+    .unwrap()
+}
+
+fn input(seed: u64) -> Tensor {
+    let mut rng = XorShiftRng::new(seed);
+    Tensor::uniform(&[INPUT_DIM], -1.0, 1.0, &mut rng)
+}
+
+/// Decide after 16 observations, check every 8, swap at most once.
+fn fast_drift(profile_k: usize) -> DriftConfig {
+    DriftConfig {
+        policy: DriftPolicy::builder()
+            .divergence_threshold(0.2)
+            .min_observations(16)
+            .profile_k(profile_k)
+            .build()
+            .unwrap(),
+        half_life: 32.0,
+        check_interval: 8,
+        cooldown: 1 << 30,
+    }
+}
+
+/// Drives labeled requests at both precisions until the server has
+/// hot-swapped, then returns. Panics past `deadline`.
+fn drive_until_swapped(
+    server: &InferenceServer,
+    user: &UserProfile,
+    label: usize,
+    swaps_target: u64,
+    seed_base: u64,
+) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut i = 0u64;
+    while server.stats().swaps < swaps_target {
+        assert!(
+            Instant::now() < deadline,
+            "no hot-swap observed; stats {:?}",
+            server.stats()
+        );
+        let precision = if i.is_multiple_of(2) {
+            Precision::F32
+        } else {
+            Precision::Int8
+        };
+        server
+            .infer(
+                ServeRequest::new(user.clone(), input(seed_base + i))
+                    .precision(precision)
+                    .observed_class(label),
+            )
+            .unwrap();
+        i += 1;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// For any deployed class, drifted class and probe input: once labeled
+    /// traffic triggers a hot-swap, the served output equals a cold
+    /// recompile of the drifted profile's mask — bitwise, at both
+    /// precisions the user was served at (hence argmax-compatible too).
+    #[test]
+    fn hot_swapped_plan_matches_cold_recompile_at_both_precisions(
+        deployed in 0usize..CLASSES,
+        offset in 0usize..(CLASSES - 1),
+        probe_seed in 0u64..1_000,
+    ) {
+        let drifted_class = (deployed + 1 + offset) % CLASSES;
+        let server = InferenceServer::start(
+            tiny_cloud(),
+            ServerConfig {
+                workers: 1,
+                drift: Some(fast_drift(1)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let user = UserProfile::uniform(vec![deployed]).unwrap();
+        drive_until_swapped(&server, &user, drifted_class, 1, 10_000);
+
+        let x = input(probe_seed);
+        let drifted = UserProfile::uniform(vec![drifted_class]).unwrap();
+        for precision in [Precision::F32, Precision::Int8] {
+            let resp = server
+                .infer(ServeRequest::new(user.clone(), x.clone()).precision(precision))
+                .unwrap();
+            let cold = server.cache().with_cloud(|cloud| {
+                let mask = cloud.prune_mask(&drifted, Variant::Basic).unwrap();
+                cloud
+                    .network()
+                    .compile_with_precision(&mask, precision)
+                    .unwrap()
+                    .forward(&x)
+                    .unwrap()
+            });
+            prop_assert_eq!(
+                resp.output.as_slice(),
+                cold.as_slice(),
+                "post-swap output must match cold recompile at {:?}",
+                precision
+            );
+        }
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.swaps, 1);
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(stats.swap_failed, 0);
+    }
+}
+
+#[test]
+fn concurrent_phase_shift_swaps_every_user_within_budget() {
+    // Budget sized to exactly the live mask population (the four
+    // single-class plans at F32): the swap pipeline must release each
+    // user's stale plan or the third swap would blow the budget.
+    let probe = SharedFleetCache::new(tiny_cloud(), FleetPlanCache::with_budget(16, None).unwrap());
+    for c in 0..CLASSES {
+        let p = UserProfile::uniform(vec![c]).unwrap();
+        probe.plan_for(&p, Variant::Basic, Precision::F32).unwrap();
+    }
+    let budget = probe.resident_bytes();
+
+    let threads = 3usize;
+    let server = Arc::new(
+        InferenceServer::start_with_cache(
+            Arc::new(SharedFleetCache::new(
+                tiny_cloud(),
+                FleetPlanCache::with_budget(16, Some(budget)).unwrap(),
+            )),
+            ServerConfig {
+                workers: 2,
+                // moderate cooldown: the first post-shift check often fires
+                // while the decayed top-1 is still the old class (a no-op
+                // swap); the monitor must re-arm and converge on the real one
+                drift: Some(DriftConfig {
+                    cooldown: 48,
+                    ..fast_drift(1)
+                }),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let max_resident = Arc::new(AtomicU64::new(0));
+    let submitters: Vec<_> = (0..threads)
+        .map(|t| {
+            let server = Arc::clone(&server);
+            let max_resident = Arc::clone(&max_resident);
+            std::thread::spawn(move || {
+                let user = UserProfile::uniform(vec![t]).unwrap();
+                // every user drifts toward the last class: no two users
+                // swap into each other's old mask, so each stale
+                // single-class plan must actually be released
+                let target = CLASSES - 1;
+                // phase A: labels agree with the deployed profile — the
+                // monitor must keep the model
+                for i in 0..48u64 {
+                    server
+                        .infer(
+                            ServeRequest::new(user.clone(), input(t as u64 * 1_000 + i))
+                                .observed_class(t),
+                        )
+                        .unwrap();
+                    max_resident.fetch_max(server.cache().resident_bytes(), Ordering::Relaxed);
+                }
+                // phase B: labels shift to `target`; keep submitting until
+                // every thread's monitor has swapped
+                let deadline = Instant::now() + Duration::from_secs(120);
+                let mut i = 0u64;
+                while server.stats().swaps < threads as u64 {
+                    assert!(
+                        Instant::now() < deadline,
+                        "thread {t}: swaps stuck at {:?}",
+                        server.stats()
+                    );
+                    server
+                        .infer(
+                            ServeRequest::new(user.clone(), input(t as u64 * 1_000 + 500 + i))
+                                .observed_class(target),
+                        )
+                        .unwrap();
+                    max_resident.fetch_max(server.cache().resident_bytes(), Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().expect("no submitter panics");
+    }
+
+    // post-swap probe: every user now runs the cold-recompile plan of its
+    // shifted profile, bitwise
+    let x = input(42);
+    for t in 0..threads {
+        let user = UserProfile::uniform(vec![t]).unwrap();
+        let shifted = UserProfile::uniform(vec![CLASSES - 1]).unwrap();
+        let resp = server.infer(ServeRequest::new(user, x.clone())).unwrap();
+        let cold = server.cache().with_cloud(|cloud| {
+            let mask = cloud.prune_mask(&shifted, Variant::Basic).unwrap();
+            cloud.network().compile(&mask).unwrap().forward(&x).unwrap()
+        });
+        assert_eq!(
+            resp.output.as_slice(),
+            cold.as_slice(),
+            "user {t} not on the recompiled plan"
+        );
+    }
+
+    let server = Arc::into_inner(server).expect("all submitters joined");
+    let cache = Arc::clone(server.cache());
+    let stats = server.shutdown();
+    assert!(
+        stats.swaps >= 2,
+        "expected every monitor to swap: {stats:?}"
+    );
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.swap_failed, 0);
+    let max_seen = max_resident.load(Ordering::Relaxed);
+    assert!(
+        max_seen <= budget,
+        "resident bytes peaked at {max_seen} over budget {budget}"
+    );
+    assert!(cache.stats().released >= 2, "stale plans must be released");
+}

@@ -249,7 +249,6 @@ impl NetworkBuilder {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
 
@@ -343,7 +342,7 @@ mod tests {
         let cfg = VggConfig::vgg_tiny(5);
         let net = NetworkBuilder::vgg(&cfg, 3).build().unwrap();
         let out = net
-            .forward(&capnn_tensor::Tensor::ones(&[1, 16, 16]))
+            .forward_impl(&capnn_tensor::Tensor::ones(&[1, 16, 16]))
             .unwrap();
         assert_eq!(out.len(), 5);
     }

@@ -1,13 +1,13 @@
 //! Unified inference API: one request/response pair over every execution
 //! strategy.
 //!
-//! The network grew five forward entrypoints as the reproduction evolved —
-//! plain dense ([`Network::forward`]), compute-skipping masked
-//! ([`Network::forward_masked`]), the zero-after-dense reference
-//! ([`Network::forward_masked_reference`]), the batched variants, and the
-//! mask-compiled plan path ([`crate::CompiledPlan`]). They are all the same
-//! operation — *logits for inputs, under an optional mask* — differing only
-//! in which engine runs it. This module folds them into one surface:
+//! There are four ways to compute *logits for inputs, under an optional
+//! mask* — plain dense, the compute-skipping masked engine
+//! ([`crate::exec`]), the zero-after-dense reference
+//! ([`Network::forward_masked_reference_from`]), and the mask-compiled plan
+//! path ([`crate::CompiledPlan`]). They are all the same operation,
+//! differing only in which engine runs it. This module is the one inference
+//! surface over all of them:
 //!
 //! * [`InferenceRequest`] — the inputs, an optional [`PruneMask`], and an
 //!   [`ExecStrategy`] selecting the engine;
@@ -17,9 +17,10 @@
 //! * [`InferenceResponse`] — the outputs in input order, tagged with the
 //!   strategy that produced them.
 //!
-//! Every strategy is **argmax-bit-compatible** with the legacy entrypoint it
-//! replaces: the engine runs the identical kernels with the identical batch
-//! partitioning, so outputs are bitwise equal to the deprecated methods'.
+//! Every strategy is **argmax-bit-compatible** with every other at equal
+//! semantics: each one runs the identical kernels with the identical batch
+//! partitioning as the engine it routes to, so batching a request can never
+//! perturb a single sample's output.
 //!
 //! # Examples
 //!
@@ -488,7 +489,6 @@ fn collect_chunks(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;
@@ -510,13 +510,13 @@ mod tests {
     }
 
     #[test]
-    fn dense_matches_legacy_forward_bitwise() {
+    fn dense_matches_forward_impl_bitwise() {
         let net = small_cnn();
         let mut engine = Engine::new(&net);
         let mut rng = XorShiftRng::new(61);
         for _ in 0..4 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let legacy = net.forward(&x).unwrap();
+            let legacy = net.forward_impl(&x).unwrap();
             let unified = engine
                 .run(InferenceRequest::single(&x))
                 .unwrap()
@@ -527,14 +527,14 @@ mod tests {
     }
 
     #[test]
-    fn masked_skip_matches_legacy_forward_masked_bitwise() {
+    fn masked_skip_matches_exec_engine_bitwise() {
         let net = small_cnn();
         let mask = pruned_mask(&net);
         let mut engine = Engine::new(&net);
         let mut rng = XorShiftRng::new(62);
         for _ in 0..4 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let legacy = net.forward_masked(&x, &mask).unwrap();
+            let legacy = net.forward_masked_from(0, &x, &mask).unwrap();
             let unified = engine
                 .run(InferenceRequest::single(&x).masked(&mask))
                 .unwrap()
@@ -545,13 +545,13 @@ mod tests {
     }
 
     #[test]
-    fn reference_matches_legacy_reference_bitwise() {
+    fn reference_matches_zero_after_dense_bitwise() {
         let net = small_cnn();
         let mask = pruned_mask(&net);
         let mut engine = Engine::new(&net);
         let mut rng = XorShiftRng::new(63);
         let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-        let legacy = net.forward_masked_reference(&x, &mask).unwrap();
+        let legacy = net.forward_masked_reference_from(0, &x, &mask).unwrap();
         let unified = engine
             .run(
                 InferenceRequest::single(&x)
@@ -729,7 +729,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_legacy_batches_bitwise() {
+    fn batch_matches_per_sample_bitwise() {
         let net = small_cnn();
         let mask = pruned_mask(&net);
         let mut engine = Engine::new(&net);
@@ -737,12 +737,18 @@ mod tests {
         let inputs: Vec<Tensor> = (0..7)
             .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
             .collect();
-        let dense_legacy = net.forward_batch(&inputs).unwrap();
+        let dense_legacy: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| net.forward_impl(x).unwrap())
+            .collect();
         let dense_unified = engine.run(InferenceRequest::new(&inputs)).unwrap();
         for (a, b) in dense_legacy.iter().zip(dense_unified.outputs()) {
             assert_eq!(a.as_slice(), b.as_slice());
         }
-        let masked_legacy = net.forward_masked_batch(&inputs, &mask).unwrap();
+        let masked_legacy: Vec<Tensor> = inputs
+            .iter()
+            .map(|x| net.forward_masked_from(0, x, &mask).unwrap())
+            .collect();
         let masked_unified = engine
             .run(InferenceRequest::new(&inputs).masked(&mask))
             .unwrap();
@@ -756,7 +762,7 @@ mod tests {
         let net = small_cnn();
         let mut engine = Engine::new(&net);
         let x = Tensor::ones(&[1, 4, 4]);
-        let dense = net.forward(&x).unwrap();
+        let dense = net.forward_impl(&x).unwrap();
         let masked = engine
             .run(InferenceRequest::single(&x).strategy(ExecStrategy::MaskedSkip))
             .unwrap()
@@ -882,7 +888,7 @@ mod tests {
             .chain(resp[1].outputs())
             .zip(a.iter().chain(&b))
         {
-            assert_eq!(out.argmax(), net.forward(x).unwrap().argmax());
+            assert_eq!(out.argmax(), net.forward_impl(x).unwrap().argmax());
         }
     }
 

@@ -260,7 +260,6 @@ pub(crate) fn run_masked(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // equivalence tests deliberately exercise legacy entrypoints
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;
@@ -288,7 +287,7 @@ mod tests {
         let mut scratch = ExecScratch::new();
         for _ in 0..4 {
             let x = Tensor::uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
-            let reference = net.forward_masked_reference(&x, &mask).unwrap();
+            let reference = net.forward_masked_reference_from(0, &x, &mask).unwrap();
             let fast = run_masked(&net, 0, &x, &mask, &mut scratch).unwrap();
             assert_close(&fast, &reference, 1e-5);
             assert_eq!(fast.argmax(), reference.argmax());
@@ -301,7 +300,7 @@ mod tests {
         let mask = PruneMask::all_kept(&net);
         let mut rng = XorShiftRng::new(22);
         let x = Tensor::uniform(&[6], -1.0, 1.0, &mut rng);
-        let plain = net.forward(&x).unwrap();
+        let plain = net.forward_impl(&x).unwrap();
         let mut scratch = ExecScratch::new();
         let fast = run_masked(&net, 0, &x, &mask, &mut scratch).unwrap();
         assert_eq!(fast.as_slice(), plain.as_slice());
@@ -332,7 +331,7 @@ mod tests {
         // and the full run matches the reference
         let mut scratch = ExecScratch::new();
         let fast = run_masked(&net, 0, &x, &mask, &mut scratch).unwrap();
-        let reference = net.forward_masked_reference(&x, &mask).unwrap();
+        let reference = net.forward_masked_reference_from(0, &x, &mask).unwrap();
         assert_close(&fast, &reference, 1e-5);
     }
 

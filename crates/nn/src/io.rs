@@ -159,7 +159,6 @@ pub fn plan_from_json(json: &str) -> Result<CompiledPlan, NnError> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;
@@ -179,8 +178,8 @@ mod tests {
         assert_eq!(n, back);
         let x = Tensor::ones(&[1, 8, 8]);
         assert_eq!(
-            n.forward(&x).unwrap().as_slice(),
-            back.forward(&x).unwrap().as_slice()
+            n.forward_impl(&x).unwrap().as_slice(),
+            back.forward_impl(&x).unwrap().as_slice()
         );
     }
 

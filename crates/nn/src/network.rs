@@ -142,19 +142,6 @@ impl Network {
         self.layers.iter().map(Layer::param_count).sum()
     }
 
-    /// Plain forward pass.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if `input` does not match the network's input shape.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::run` with `InferenceRequest::single` (strategy `ExecStrategy::Dense`)"
-    )]
-    pub fn forward(&self, input: &capnn_tensor::Tensor) -> Result<capnn_tensor::Tensor, NnError> {
-        self.forward_impl(input)
-    }
-
     /// The dense forward body shared by [`Network::predict`], the trainer
     /// and the unified [`crate::Engine`]'s dense path.
     pub(crate) fn forward_impl(
@@ -168,33 +155,13 @@ impl Network {
         Ok(x)
     }
 
-    /// Forward pass with a [`PruneMask`]: pruned units are exact zeros in
-    /// every intermediate and the final activation.
-    ///
-    /// Runs the structured compute-skipping engine
-    /// ([`crate::exec`]) — pruned dense rows and conv channels are never
-    /// computed, and pruned inputs are dropped from downstream inner loops.
-    /// The result is value-identical to the zero-after-dense reference
-    /// ([`Network::forward_masked_reference`]).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on shape mismatch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::run` with `InferenceRequest::single(..).masked(..)` \
-                (strategy `ExecStrategy::MaskedSkip`)"
-    )]
-    pub fn forward_masked(
-        &self,
-        input: &capnn_tensor::Tensor,
-        mask: &PruneMask,
-    ) -> Result<capnn_tensor::Tensor, NnError> {
-        self.forward_masked_from(0, input, mask)
-    }
-
-    /// [`Network::forward_masked`] reusing a caller-held [`ExecScratch`]
-    /// so repeated masked forwards are allocation-free after warmup.
+    /// Masked forward through the structured compute-skipping engine
+    /// ([`crate::exec`]), reusing a caller-held [`ExecScratch`] so repeated
+    /// masked forwards are allocation-free after warmup. Pruned dense rows
+    /// and conv channels are never computed, and pruned inputs are dropped
+    /// from downstream inner loops; the result is value-identical to the
+    /// zero-after-dense reference
+    /// ([`Network::forward_masked_reference_from`]).
     ///
     /// # Errors
     ///
@@ -246,27 +213,12 @@ impl Network {
         crate::exec::run_masked(self, start, activation, mask, scratch)
     }
 
-    /// The original zero-after-dense masked forward: every layer runs
-    /// densely, then pruned units' outputs are zeroed. Kept as the semantic
-    /// baseline the compute-skipping engine is property-tested against.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error on shape mismatch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::run` with strategy `ExecStrategy::Reference`"
-    )]
-    pub fn forward_masked_reference(
-        &self,
-        input: &capnn_tensor::Tensor,
-        mask: &PruneMask,
-    ) -> Result<capnn_tensor::Tensor, NnError> {
-        self.forward_masked_reference_from(0, input, mask)
-    }
-
-    /// [`Network::forward_masked_reference`] starting from layer `start`
-    /// (reference counterpart of [`Network::forward_masked_from`]).
+    /// The original zero-after-dense masked forward, starting from layer
+    /// `start` (reference counterpart of [`Network::forward_masked_from`]):
+    /// every layer runs densely, then pruned units' outputs are zeroed.
+    /// Kept as the semantic baseline the compute-skipping engine is
+    /// property-tested against — [`crate::ExecStrategy::Reference`] routes
+    /// here.
     ///
     /// # Errors
     ///
@@ -291,48 +243,6 @@ impl Network {
             }
         }
         Ok(x)
-    }
-
-    /// Batched forward pass: shards `inputs` across the worker pool
-    /// ([`capnn_tensor::parallel`]), each worker running samples serially.
-    /// Outputs are returned in input order and are bitwise identical to
-    /// calling [`Network::forward`] per sample, for any thread count.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first error (by sample order) on shape mismatch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::run` with `InferenceRequest::new` (strategy `ExecStrategy::Dense`)"
-    )]
-    pub fn forward_batch(
-        &self,
-        inputs: &[capnn_tensor::Tensor],
-    ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
-        crate::Engine::new(self)
-            .run(crate::InferenceRequest::new(inputs))
-            .map(crate::InferenceResponse::into_outputs)
-    }
-
-    /// Batched masked forward through the compute-skipping engine; one
-    /// [`ExecScratch`] per worker, outputs in input order.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first error (by sample order) on shape mismatch.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Engine::run` with `InferenceRequest::new(..).masked(..)` \
-                (strategy `ExecStrategy::MaskedSkip`)"
-    )]
-    pub fn forward_masked_batch(
-        &self,
-        inputs: &[capnn_tensor::Tensor],
-        mask: &PruneMask,
-    ) -> Result<Vec<capnn_tensor::Tensor>, NnError> {
-        crate::Engine::new(self)
-            .run(crate::InferenceRequest::new(inputs).masked(mask))
-            .map(crate::InferenceResponse::into_outputs)
     }
 
     /// Forward pass that records the activation at every layer boundary.
@@ -663,10 +573,10 @@ impl fmt::Display for Network {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // legacy entrypoints stay under test until removal
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;
+    use crate::{Engine, InferenceRequest};
     use capnn_tensor::{Tensor, XorShiftRng};
 
     fn small_cnn() -> Network {
@@ -678,14 +588,14 @@ mod tests {
     #[test]
     fn forward_produces_logits() {
         let net = small_cnn();
-        let out = net.forward(&Tensor::ones(&[1, 4, 4])).unwrap();
+        let out = net.forward_impl(&Tensor::ones(&[1, 4, 4])).unwrap();
         assert_eq!(out.len(), 3);
     }
 
     #[test]
     fn forward_rejects_bad_input() {
         let net = small_cnn();
-        assert!(net.forward(&Tensor::ones(&[2, 4, 4])).is_err());
+        assert!(net.forward_impl(&Tensor::ones(&[2, 4, 4])).is_err());
     }
 
     #[test]
@@ -713,13 +623,13 @@ mod tests {
         let net = NetworkBuilder::mlp(&[3, 5, 2], 11).build().unwrap();
         let mut mask = PruneMask::all_kept(&net);
         let x = Tensor::from_vec(vec![0.3, -0.2, 0.9], &[3]).unwrap();
-        let full = net.forward_masked(&x, &mask).unwrap();
-        let plain = net.forward(&x).unwrap();
+        let full = net.forward_masked_from(0, &x, &mask).unwrap();
+        let plain = net.forward_impl(&x).unwrap();
         assert_eq!(full.as_slice(), plain.as_slice());
 
         // prune every hidden unit → output is the last layer's bias
         mask.set_layer(0, vec![false; 5]).unwrap();
-        let out = net.forward_masked(&x, &mask).unwrap();
+        let out = net.forward_masked_from(0, &x, &mask).unwrap();
         let last_bias = match &net.layers()[2] {
             crate::Layer::Dense(d) => d.bias().clone(),
             _ => unreachable!(),
@@ -751,7 +661,7 @@ mod tests {
         mask.prune(tail[0], 7).unwrap();
         for _ in 0..5 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let full = net.forward_masked(&x, &mask).unwrap();
+            let full = net.forward_masked_from(0, &x, &mask).unwrap();
             let trace = net.forward_trace(&x).unwrap();
             let start = tail[0];
             let replay = net
@@ -774,8 +684,8 @@ mod tests {
         mask.prune(prunable[2], 4).unwrap();
         for _ in 0..4 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let fast = net.forward_masked(&x, &mask).unwrap();
-            let reference = net.forward_masked_reference(&x, &mask).unwrap();
+            let fast = net.forward_masked_from(0, &x, &mask).unwrap();
+            let reference = net.forward_masked_reference_from(0, &x, &mask).unwrap();
             for (&a, &b) in fast.as_slice().iter().zip(reference.as_slice()) {
                 assert!((a - b).abs() < 1e-5, "{a} vs {b}");
             }
@@ -790,10 +700,13 @@ mod tests {
         let inputs: Vec<Tensor> = (0..7)
             .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
             .collect();
-        let batched = net.forward_batch(&inputs).unwrap();
+        let batched = Engine::new(&net)
+            .run(InferenceRequest::new(&inputs))
+            .unwrap()
+            .into_outputs();
         assert_eq!(batched.len(), inputs.len());
         for (x, y) in inputs.iter().zip(&batched) {
-            let single = net.forward(x).unwrap();
+            let single = net.forward_impl(x).unwrap();
             assert_eq!(single.as_slice(), y.as_slice());
         }
     }
@@ -807,9 +720,12 @@ mod tests {
         let inputs: Vec<Tensor> = (0..5)
             .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
             .collect();
-        let batched = net.forward_masked_batch(&inputs, &mask).unwrap();
+        let batched = Engine::new(&net)
+            .run(InferenceRequest::new(&inputs).masked(&mask))
+            .unwrap()
+            .into_outputs();
         for (x, y) in inputs.iter().zip(&batched) {
-            let single = net.forward_masked(x, &mask).unwrap();
+            let single = net.forward_masked_from(0, x, &mask).unwrap();
             assert_eq!(single.as_slice(), y.as_slice());
         }
     }
@@ -818,7 +734,9 @@ mod tests {
     fn forward_batch_propagates_errors() {
         let net = small_cnn();
         let inputs = vec![Tensor::ones(&[1, 4, 4]), Tensor::ones(&[2, 4, 4])];
-        assert!(net.forward_batch(&inputs).is_err());
+        assert!(Engine::new(&net)
+            .run(InferenceRequest::new(&inputs))
+            .is_err());
     }
 
     #[test]
@@ -827,7 +745,7 @@ mod tests {
         let x = Tensor::ones(&[1, 4, 4]);
         let trace = net.forward_trace(&x).unwrap();
         assert_eq!(trace.len(), net.len() + 1);
-        let direct = net.forward(&x).unwrap();
+        let direct = net.forward_impl(&x).unwrap();
         assert_eq!(trace.last().unwrap().as_slice(), direct.as_slice());
     }
 
@@ -845,8 +763,8 @@ mod tests {
         assert!(compacted.param_count() < net.param_count());
         for _ in 0..8 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let a = net.forward_masked(&x, &mask).unwrap();
-            let b = compacted.forward(&x).unwrap();
+            let a = net.forward_masked_from(0, &x, &mask).unwrap();
+            let b = compacted.forward_impl(&x).unwrap();
             assert_eq!(a.len(), b.len());
             for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
                 assert!((u - v).abs() < 1e-4, "{u} vs {v}");

@@ -1553,7 +1553,6 @@ fn avg_pool_plane(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // equivalence tests deliberately exercise legacy entrypoints
 mod tests {
     use super::*;
     use crate::builder::NetworkBuilder;
@@ -1580,7 +1579,7 @@ mod tests {
         let mut rng = XorShiftRng::new(3);
         for _ in 0..4 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let plain = net.forward(&x).unwrap();
+            let plain = net.forward_impl(&x).unwrap();
             let planned = plan.forward(&x).unwrap();
             assert_close(planned.as_slice(), plain.as_slice());
         }
@@ -1601,7 +1600,7 @@ mod tests {
         assert!(plan.packed_param_count() < net.param_count());
         for _ in 0..6 {
             let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
-            let reference = net.forward_masked_reference(&x, &mask).unwrap();
+            let reference = net.forward_masked_reference_from(0, &x, &mask).unwrap();
             let planned = plan.forward(&x).unwrap();
             assert_close(planned.as_slice(), reference.as_slice());
             assert_eq!(planned.argmax(), reference.argmax());
@@ -1636,7 +1635,7 @@ mod tests {
         assert!(net.compact(&mask).is_err());
         let plan = net.compile(&mask).unwrap();
         let x = Tensor::from_vec(vec![0.3, -0.2, 0.9], &[3]).unwrap();
-        let reference = net.forward_masked_reference(&x, &mask).unwrap();
+        let reference = net.forward_masked_reference_from(0, &x, &mask).unwrap();
         let planned = plan.forward(&x).unwrap();
         assert_eq!(planned.as_slice(), reference.as_slice());
     }
@@ -1653,7 +1652,7 @@ mod tests {
         let y = plan.forward(&x).unwrap();
         assert_eq!(y.len(), 3);
         assert_eq!(y.as_slice()[1], 0.0);
-        let reference = net.forward_masked_reference(&x, &mask).unwrap();
+        let reference = net.forward_masked_reference_from(0, &x, &mask).unwrap();
         assert_close(y.as_slice(), reference.as_slice());
     }
 

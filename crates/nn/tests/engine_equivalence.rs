@@ -1,11 +1,13 @@
-//! Property-based equivalence between the unified [`Engine`] API and the
-//! legacy per-strategy entrypoints, over randomized network topologies.
+//! Property-based equivalence between the unified [`Engine`] strategies,
+//! over randomized network topologies.
 //!
-//! The unified API is a *refactor*, not a numerics change: every strategy
-//! must be bitwise identical to the entrypoint it replaced, so deployed
-//! devices can migrate without re-certifying their ε guarantees.
+//! The engine is routing, never numerics: every strategy must stay pinned
+//! to the zero-after-dense reference semantics
+//! ([`Network::forward_masked_reference_from`]), batching a request must be
+//! bitwise identical to running its samples one at a time, and the plan
+//! path must be bitwise identical to executing the compiled plan directly —
+//! so deployed devices keep their ε guarantees across engine versions.
 
-#![allow(deprecated)] // the whole point: pin the legacy entrypoints
 use capnn_nn::{
     Engine, ExecStrategy, InferenceRequest, Network, NetworkBuilder, Precision, PruneMask,
 };
@@ -87,54 +89,68 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn dense_strategy_matches_forward(t in topology(), batch in 1usize..5) {
+    fn dense_strategy_matches_reference_and_batches_bitwise(t in topology(), batch in 1usize..5) {
         let net = build(&t);
         let mut rng = XorShiftRng::new(t.seed ^ 0xE1);
         let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
-        let legacy = net.forward_batch(&inputs).expect("legacy batch");
-        let unified = Engine::new(&net)
+        let batched = Engine::new(&net)
             .run(InferenceRequest::new(&inputs))
             .expect("engine")
             .into_outputs();
-        prop_assert_eq!(legacy.len(), unified.len());
-        for (a, b) in legacy.iter().zip(&unified) {
-            prop_assert_eq!(a.as_slice(), b.as_slice());
+        prop_assert_eq!(batched.len(), inputs.len());
+        for (x, b) in inputs.iter().zip(&batched) {
+            // batching never perturbs a sample
+            let single = Engine::new(&net)
+                .run(InferenceRequest::single(x))
+                .expect("engine")
+                .into_single()
+                .expect("single output");
+            prop_assert_eq!(single.as_slice(), b.as_slice());
+            // dense == zero-after-dense reference under an all-kept mask
+            let reference = net
+                .forward_masked_reference_from(0, x, &PruneMask::all_kept(&net))
+                .expect("reference");
+            prop_assert_eq!(reference.as_slice(), b.as_slice());
         }
-        // single-input requests match the scalar entrypoint too
-        let single = Engine::new(&net)
-            .run(InferenceRequest::single(&inputs[0]))
-            .expect("engine")
-            .into_single()
-            .expect("single output");
-        prop_assert_eq!(
-            net.forward(&inputs[0]).expect("legacy").as_slice(),
-            single.as_slice()
-        );
     }
 
     #[test]
-    fn masked_skip_strategy_matches_forward_masked(t in topology(), batch in 1usize..5) {
+    fn masked_skip_strategy_batches_bitwise_and_tracks_reference(
+        t in topology(),
+        batch in 1usize..5,
+    ) {
         let net = build(&t);
         let mut rng = XorShiftRng::new(t.seed ^ 0xE2);
         let mask = random_mask(&net, &mut rng);
         let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
-        let legacy = net.forward_masked_batch(&inputs, &mask).expect("legacy");
-        let unified = Engine::new(&net)
+        let batched = Engine::new(&net)
             .run(InferenceRequest::new(&inputs).masked(&mask))
             .expect("engine")
             .into_outputs();
-        for (a, b) in legacy.iter().zip(&unified) {
-            prop_assert_eq!(a.as_slice(), b.as_slice());
+        for (x, b) in inputs.iter().zip(&batched) {
+            // the skip engine's public per-sample entrypoint, bitwise
+            let single = net.forward_masked_from(0, x, &mask).expect("masked");
+            prop_assert_eq!(single.as_slice(), b.as_slice());
+            // and the serving guarantee against the reference semantics
+            let reference = net
+                .forward_masked_reference_from(0, x, &mask)
+                .expect("reference");
+            for (&u, &v) in b.as_slice().iter().zip(reference.as_slice()) {
+                prop_assert!((u - v).abs() < 1e-5, "{} vs {}", u, v);
+            }
+            prop_assert_eq!(b.argmax(), reference.argmax());
         }
     }
 
     #[test]
-    fn reference_strategy_matches_forward_masked_reference(t in topology()) {
+    fn reference_strategy_matches_zero_after_dense(t in topology()) {
         let net = build(&t);
         let mut rng = XorShiftRng::new(t.seed ^ 0xE3);
         let mask = random_mask(&net, &mut rng);
         let x = input_for(&net, &mut rng);
-        let legacy = net.forward_masked_reference(&x, &mask).expect("legacy");
+        let direct = net
+            .forward_masked_reference_from(0, &x, &mask)
+            .expect("reference");
         let unified = Engine::new(&net)
             .run(
                 InferenceRequest::single(&x)
@@ -144,7 +160,7 @@ proptest! {
             .expect("engine")
             .into_single()
             .expect("single output");
-        prop_assert_eq!(legacy.as_slice(), unified.as_slice());
+        prop_assert_eq!(direct.as_slice(), unified.as_slice());
     }
 
     #[test]

@@ -3,11 +3,9 @@
 //! heavily pruned, single-unit and even fully-pruned layers) and batch
 //! size, `CompiledPlan::forward`/`forward_batch` must agree with
 //! `forward_masked_reference` — elementwise, hence argmax-bit-compatibly.
-#![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
-
 use capnn_nn::{
-    model_size, plan_from_json, plan_to_json, Network, NetworkBuilder, PanelPool, Precision,
-    PruneMask,
+    model_size, plan_from_json, plan_to_json, Engine, InferenceRequest, Network, NetworkBuilder,
+    PanelPool, Precision, PruneMask,
 };
 use capnn_tensor::{Conv2dSpec, Tensor, XorShiftRng};
 use proptest::prelude::*;
@@ -67,6 +65,15 @@ fn input_for(net: &Network, rng: &mut XorShiftRng) -> Tensor {
     Tensor::uniform(net.input_dims(), -1.0, 1.0, rng)
 }
 
+/// Plain dense forward through the unified engine.
+fn dense_forward(net: &Network, x: &Tensor) -> Tensor {
+    Engine::new(net)
+        .run(InferenceRequest::single(x))
+        .expect("dense forward")
+        .into_single()
+        .expect("single output")
+}
+
 /// A random mask over *every* prunable layer (output included). Per layer
 /// the style varies: untouched, ~35% pruned, pruned down to a single unit,
 /// or — when `allow_empty` — fully pruned (a degenerate case the plan must
@@ -107,7 +114,9 @@ proptest! {
         let plan = net.compile(&mask).expect("compiles");
         for _ in 0..3 {
             let x = input_for(&net, &mut rng);
-            let reference = net.forward_masked_reference(&x, &mask).expect("reference");
+            let reference = net
+                .forward_masked_reference_from(0, &x, &mask)
+                .expect("reference");
             let planned = plan.forward(&x).expect("plan");
             prop_assert_eq!(planned.dims(), reference.dims());
             prop_assert_eq!(planned.as_slice(), reference.as_slice());
@@ -122,7 +131,7 @@ proptest! {
         let mut rng = XorShiftRng::new(t.seed ^ 0x2B2B);
         let plan = net.compile(&PruneMask::all_kept(&net)).expect("compiles");
         let x = input_for(&net, &mut rng);
-        let plain = net.forward(&x).expect("forward");
+        let plain = dense_forward(&net, &x);
         let planned = plan.forward(&x).expect("plan");
         prop_assert_eq!(planned.as_slice(), plain.as_slice());
     }
@@ -139,7 +148,9 @@ proptest! {
         for (x, out) in inputs.iter().zip(&batched) {
             let single = plan.forward(x).expect("single");
             prop_assert_eq!(single.as_slice(), out.as_slice());
-            let reference = net.forward_masked_reference(x, &mask).expect("reference");
+            let reference = net
+                .forward_masked_reference_from(0, x, &mask)
+                .expect("reference");
             prop_assert_eq!(out.argmax(), reference.argmax());
         }
     }
@@ -173,7 +184,9 @@ proptest! {
         let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut mrng)).collect();
         let outs = plan.forward_batch(&inputs).expect("batch");
         for (x, out) in inputs.iter().zip(&outs) {
-            let reference = net.forward_masked_reference(x, &mask).expect("reference");
+            let reference = net
+                .forward_masked_reference_from(0, x, &mask)
+                .expect("reference");
             prop_assert_eq!(out.as_slice(), reference.as_slice());
             prop_assert_eq!(out.argmax(), reference.argmax());
         }

@@ -2,9 +2,9 @@
 //! compaction, size accounting and serialization must agree for *any*
 //! well-formed CNN/MLP, not just the shapes the unit tests pick.
 
-#![allow(deprecated)] // properties deliberately pin legacy-entrypoint equivalence
 use capnn_nn::{
-    model_size, network_from_json, network_to_json, Network, NetworkBuilder, PruneMask,
+    model_size, network_from_json, network_to_json, Engine, InferenceRequest, Network,
+    NetworkBuilder, PruneMask,
 };
 use capnn_tensor::{Tensor, XorShiftRng};
 use proptest::prelude::*;
@@ -64,6 +64,15 @@ fn input_for(net: &Network, rng: &mut XorShiftRng) -> Tensor {
     Tensor::uniform(net.input_dims(), -1.0, 1.0, rng)
 }
 
+/// Plain dense forward through the unified engine.
+fn dense_forward(net: &Network, x: &Tensor) -> Tensor {
+    Engine::new(net)
+        .run(InferenceRequest::single(x))
+        .expect("dense forward")
+        .into_single()
+        .expect("single output")
+}
+
 /// A random mask that never empties a layer and never touches the output
 /// layer.
 fn random_mask(net: &Network, rng: &mut XorShiftRng) -> PruneMask {
@@ -88,8 +97,8 @@ proptest! {
         let net = build(&t);
         let mut rng = XorShiftRng::new(t.seed ^ 0xF00D);
         let x = input_for(&net, &mut rng);
-        let a = net.forward(&x).expect("forward");
-        let b = net.forward(&x).expect("forward");
+        let a = dense_forward(&net, &x);
+        let b = dense_forward(&net, &x);
         prop_assert_eq!(a.as_slice(), b.as_slice());
         prop_assert_eq!(a.len(), t.classes);
     }
@@ -101,8 +110,8 @@ proptest! {
         let mask = random_mask(&net, &mut rng);
         let compacted = net.compact(&mask).expect("compacts");
         let x = input_for(&net, &mut rng);
-        let a = net.forward_masked(&x, &mask).expect("masked");
-        let b = compacted.forward(&x).expect("compacted");
+        let a = net.forward_masked_from(0, &x, &mask).expect("masked");
+        let b = dense_forward(&compacted, &x);
         for (&u, &v) in a.as_slice().iter().zip(b.as_slice()) {
             prop_assert!((u - v).abs() < 1e-3, "{} vs {}", u, v);
         }
@@ -126,8 +135,8 @@ proptest! {
         prop_assert_eq!(&net, &back);
         let mut rng = XorShiftRng::new(t.seed ^ 0xD00D);
         let x = input_for(&net, &mut rng);
-        let out_orig = net.forward(&x).expect("forward");
-        let out_back = back.forward(&x).expect("forward");
+        let out_orig = dense_forward(&net, &x);
+        let out_back = dense_forward(&back, &x);
         prop_assert_eq!(out_orig.as_slice(), out_back.as_slice());
     }
 
@@ -149,7 +158,7 @@ proptest! {
         let start = tail_layers.first().copied().unwrap_or(0);
         let x = input_for(&net, &mut rng);
         let trace = net.forward_trace(&x).expect("trace");
-        let full = net.forward_masked(&x, &mask).expect("masked");
+        let full = net.forward_masked_from(0, &x, &mask).expect("masked");
         let replay = net
             .forward_masked_from(start, &trace[start], &mask)
             .expect("replay");
@@ -164,8 +173,10 @@ proptest! {
         let mut rng = XorShiftRng::new(t.seed ^ 0x5EED);
         let mask = random_mask(&net, &mut rng);
         let x = input_for(&net, &mut rng);
-        let fast = net.forward_masked(&x, &mask).expect("engine");
-        let reference = net.forward_masked_reference(&x, &mask).expect("reference");
+        let fast = net.forward_masked_from(0, &x, &mask).expect("engine");
+        let reference = net
+            .forward_masked_reference_from(0, &x, &mask)
+            .expect("reference");
         prop_assert_eq!(fast.dims(), reference.dims());
         for (&u, &v) in fast.as_slice().iter().zip(reference.as_slice()) {
             prop_assert!((u - v).abs() < 1e-5, "{} vs {}", u, v);
@@ -180,8 +191,8 @@ proptest! {
         let mut rng = XorShiftRng::new(t.seed ^ 0xFACE);
         let mask = PruneMask::all_kept(&net);
         let x = input_for(&net, &mut rng);
-        let fast = net.forward_masked(&x, &mask).expect("engine");
-        let plain = net.forward(&x).expect("forward");
+        let fast = net.forward_masked_from(0, &x, &mask).expect("engine");
+        let plain = dense_forward(&net, &x);
         prop_assert_eq!(fast.as_slice(), plain.as_slice());
     }
 
@@ -191,12 +202,18 @@ proptest! {
         let mut rng = XorShiftRng::new(t.seed ^ 0xB00C);
         let mask = random_mask(&net, &mut rng);
         let inputs: Vec<Tensor> = (0..batch).map(|_| input_for(&net, &mut rng)).collect();
-        let plain = net.forward_batch(&inputs).expect("batch");
-        let masked = net.forward_masked_batch(&inputs, &mask).expect("masked batch");
+        let plain = Engine::new(&net)
+            .run(InferenceRequest::new(&inputs))
+            .expect("batch")
+            .into_outputs();
+        let masked = Engine::new(&net)
+            .run(InferenceRequest::new(&inputs).masked(&mask))
+            .expect("masked batch")
+            .into_outputs();
         for (i, x) in inputs.iter().enumerate() {
-            prop_assert_eq!(net.forward(x).expect("fwd").as_slice(), plain[i].as_slice());
+            prop_assert_eq!(dense_forward(&net, x).as_slice(), plain[i].as_slice());
             prop_assert_eq!(
-                net.forward_masked(x, &mask).expect("masked").as_slice(),
+                net.forward_masked_from(0, x, &mask).expect("masked").as_slice(),
                 masked[i].as_slice()
             );
         }

@@ -33,13 +33,10 @@ pub use conv::{
     im2col_strided_into, Conv2dSpec, ConvScratch,
 };
 pub use error::{ShapeError, TensorError};
-#[allow(deprecated)] // re-export the deprecated wrappers until removal
 pub use ops::{
     conv_gemm_into, conv_panels_len, dense_batch_chw_into, dense_batch_into, matmul, matmul_into,
-    matmul_layout, matmul_layout_reference, matmul_layout_threaded, matmul_reference,
-    matmul_threaded, matmul_transpose_a, matmul_transpose_a_reference, matmul_transpose_a_threaded,
-    matmul_transpose_b, matmul_transpose_b_reference, matmul_transpose_b_threaded,
-    pack_conv_panels, pack_dense_panels, MatmulLayout,
+    matmul_layout, matmul_layout_reference, matmul_layout_threaded, matmul_transpose_a,
+    matmul_transpose_b, pack_conv_panels, pack_dense_panels, MatmulLayout,
 };
 pub use pool::{max_pool2d, PoolSpec};
 pub use qops::{

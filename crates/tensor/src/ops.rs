@@ -957,96 +957,6 @@ pub(crate) fn matmul_transpose_a_into(
     );
 }
 
-/// [`matmul`] with an explicit worker count (1 = fully serial).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use `matmul_layout_threaded(a, b, MatmulLayout::Plain, threads)`"
-)]
-pub fn matmul_threaded(a: &Tensor, b: &Tensor, threads: usize) -> Result<Tensor, TensorError> {
-    matmul_layout_threaded(a, b, MatmulLayout::Plain, threads)
-}
-
-/// Single-threaded reference for [`matmul`] (the original i-k-j loop).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use `matmul_layout_reference(a, b, MatmulLayout::Plain)`"
-)]
-pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_layout_reference(a, b, MatmulLayout::Plain)
-}
-
-/// [`matmul_transpose_a`] with an explicit worker count (1 = fully
-/// serial).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul_transpose_a`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use `matmul_layout_threaded(a, b, MatmulLayout::TransposeA, threads)`"
-)]
-pub fn matmul_transpose_a_threaded(
-    a: &Tensor,
-    b: &Tensor,
-    threads: usize,
-) -> Result<Tensor, TensorError> {
-    matmul_layout_threaded(a, b, MatmulLayout::TransposeA, threads)
-}
-
-/// Single-threaded reference for [`matmul_transpose_a`] (the original
-/// k-outer loop).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul_transpose_a`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use `matmul_layout_reference(a, b, MatmulLayout::TransposeA)`"
-)]
-pub fn matmul_transpose_a_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_layout_reference(a, b, MatmulLayout::TransposeA)
-}
-
-/// [`matmul_transpose_b`] with an explicit worker count (1 = fully
-/// serial).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul_transpose_b`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use `matmul_layout_threaded(a, b, MatmulLayout::TransposeB, threads)`"
-)]
-pub fn matmul_transpose_b_threaded(
-    a: &Tensor,
-    b: &Tensor,
-    threads: usize,
-) -> Result<Tensor, TensorError> {
-    matmul_layout_threaded(a, b, MatmulLayout::TransposeB, threads)
-}
-
-/// Single-threaded reference for [`matmul_transpose_b`] (the original
-/// dense dot-product loop, no zero skipping).
-///
-/// # Errors
-///
-/// Same conditions as [`matmul_transpose_b`].
-#[deprecated(
-    since = "0.3.0",
-    note = "use `matmul_layout_reference(a, b, MatmulLayout::TransposeB)`"
-)]
-pub fn matmul_transpose_b_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    matmul_layout_reference(a, b, MatmulLayout::TransposeB)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1255,17 +1165,18 @@ mod tests {
         assert_eq!(out, vec![1.5, -2.0, 1.5, -2.0]);
     }
 
-    /// Sole remaining caller of the `#[deprecated]` wrappers: pins each
-    /// one to the layout driver until the wrappers are removed. Everything
-    /// else in-tree goes through `matmul_layout_*` directly.
+    /// The layout driver is the sole matmul surface: every layout's
+    /// threaded path agrees with its single-threaded reference for any
+    /// worker count, and all three layouts compute the same product when
+    /// fed the appropriately transposed operands.
     #[test]
-    #[allow(deprecated)]
-    fn layout_driver_matches_deprecated_wrappers() {
+    fn layout_driver_covers_all_layouts() {
         let mut rng = XorShiftRng::new(31);
         let a = Tensor::uniform(&[5, 7], -1.0, 1.0, &mut rng);
         let b = Tensor::uniform(&[7, 6], -1.0, 1.0, &mut rng);
         let at = a.transpose().unwrap();
         let bt = b.transpose().unwrap();
+        let plain = matmul(&a, &b).unwrap();
         let cases: [(MatmulLayout, &Tensor, &Tensor); 3] = [
             (MatmulLayout::Plain, &a, &b),
             (MatmulLayout::TransposeA, &at, &b),
@@ -1273,23 +1184,19 @@ mod tests {
         ];
         for (layout, x, y) in cases {
             let reference = matmul_layout_reference(x, y, layout).unwrap();
-            let legacy = match layout {
-                MatmulLayout::Plain => matmul_reference(x, y).unwrap(),
-                MatmulLayout::TransposeA => matmul_transpose_a_reference(x, y).unwrap(),
-                MatmulLayout::TransposeB => matmul_transpose_b_reference(x, y).unwrap(),
-            };
-            assert_eq!(reference.as_slice(), legacy.as_slice(), "{layout:?}");
-            let legacy_threaded = match layout {
-                MatmulLayout::Plain => matmul_threaded(x, y, 2).unwrap(),
-                MatmulLayout::TransposeA => matmul_transpose_a_threaded(x, y, 2).unwrap(),
-                MatmulLayout::TransposeB => matmul_transpose_b_threaded(x, y, 2).unwrap(),
-            };
-            assert_eq!(
-                legacy_threaded.as_slice(),
-                reference.as_slice(),
-                "{layout:?}"
-            );
-            for threads in [1usize, 3] {
+            assert_eq!(reference.dims(), plain.dims(), "{layout:?}");
+            for (i, (&got, &want)) in reference
+                .as_slice()
+                .iter()
+                .zip(plain.as_slice())
+                .enumerate()
+            {
+                assert!(
+                    (got - want).abs() < 1e-5,
+                    "{layout:?} [{i}]: {got} vs {want}"
+                );
+            }
+            for threads in [1usize, 2, 3] {
                 let got = matmul_layout_threaded(x, y, layout, threads).unwrap();
                 assert_eq!(
                     got.as_slice(),

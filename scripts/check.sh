@@ -37,6 +37,12 @@ CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_cache
 # queue/worker path), p99 latency ceiling, plan-cache hit rate >= 90%,
 # and served outputs argmax-bit-compatible with direct engine execution.
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_server
+# perf_drift shifts every user's traffic mid-stream and gates on the
+# drift-to-swap pipeline: at least one hot-swap, no failed swaps or
+# responses, served top-1 accuracy recovery after the shift, phase-B p99 within
+# 3x of phase A (swaps stay off the request path), and a bitwise
+# staleness probe. Writes results/BENCH_drift.json in smoke mode too.
+CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_drift
 
 echo "==> telemetry smoke (CAPNN_TELEMETRY=1: probes on, snapshot to stderr only)"
 # perf_speedup asserts the conv probes (plan.conv_pack_ns histogram +

@@ -387,15 +387,13 @@ fn drift_session_round_trip_with_cloud() {
     let model = cloud
         .personalize(&initial, Variant::Weighted)
         .expect("personalize");
-    let mut session = PersonalizationSession::new(
-        initial,
-        DriftPolicy {
-            divergence_threshold: 0.2,
-            min_observations: 30,
-            profile_k: 2,
-        },
-    )
-    .expect("session");
+    let policy = DriftPolicy::builder()
+        .divergence_threshold(0.2)
+        .min_observations(30)
+        .profile_k(2)
+        .build()
+        .expect("policy");
+    let mut session = PersonalizationSession::new(initial, policy).expect("session");
     let mut device = LocalDevice::deploy(model.network).expect("deploy");
     let mut rng = XorShiftRng::new(21);
     // traffic shifts entirely to classes {5, 6}
