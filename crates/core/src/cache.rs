@@ -22,7 +22,7 @@
 use crate::cloud::{CloudServer, PersonalizedModel, Variant};
 use crate::error::CapnnError;
 use crate::user::UserProfile;
-use capnn_nn::{CompiledPlan, Precision, PruneMask};
+use capnn_nn::{CompiledPlan, Precision, PruneMask, Sparsity};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -214,7 +214,8 @@ pub(crate) enum PlanLookup {
     /// A resident plan was found (hit counted, LRU refreshed) — serve it.
     Hit(Arc<CompiledPlan>),
     /// The profile's mask is memoized but no plan is resident at this
-    /// precision — compile this mask, then [`FleetPlanCache::admit_plan`].
+    /// precision × sparsity tier — compile this mask, then
+    /// [`FleetPlanCache::admit_plan`].
     CompileMask(Arc<PruneMask>),
     /// The profile has never been served — prune a mask, then
     /// [`FleetPlanCache::admit_mask`].
@@ -263,8 +264,10 @@ pub struct FleetPlanCache {
     masks: HashMap<ProfileKey, Arc<PruneMask>>,
     /// Distinct canonical masks, interned by value.
     canon: HashSet<Arc<PruneMask>>,
-    /// Resident compiled plans, keyed by canonical mask + precision.
-    plans: HashMap<(Arc<PruneMask>, Precision), PlanEntry>,
+    /// Resident compiled plans, keyed by canonical mask + precision +
+    /// weight-sparsity tier (a dense and a hybrid N:M plan for the same
+    /// mask are distinct residents sharing panels through the pool).
+    plans: HashMap<(Arc<PruneMask>, Precision, Sparsity), PlanEntry>,
     weight_steps: u16,
     budget_bytes: Option<u64>,
     mask_slack: usize,
@@ -391,8 +394,27 @@ impl FleetPlanCache {
         variant: Variant,
         precision: Precision,
     ) -> Result<Arc<CompiledPlan>, CapnnError> {
+        self.plan_for_sparse(cloud, profile, variant, precision, Sparsity::Dense)
+    }
+
+    /// [`plan_for`](Self::plan_for) at an explicit weight-sparsity tier:
+    /// a hybrid N:M plan is cached under its own
+    /// (mask, precision, sparsity) key, so dense and sparse tiers for the
+    /// same canonical mask coexist and evict independently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pruning and compilation errors.
+    pub fn plan_for_sparse(
+        &mut self,
+        cloud: &mut CloudServer,
+        profile: &UserProfile,
+        variant: Variant,
+        precision: Precision,
+        sparsity: Sparsity,
+    ) -> Result<Arc<CompiledPlan>, CapnnError> {
         let key = ProfileKey::new(profile, variant, self.weight_steps);
-        let mask = match self.lookup(&key, precision) {
+        let mask = match self.lookup(&key, precision, sparsity) {
             PlanLookup::Hit(plan) => return Ok(plan),
             PlanLookup::CompileMask(mask) => mask,
             PlanLookup::ProfileUnknown => {
@@ -400,25 +422,30 @@ impl FleetPlanCache {
                 let mask = self.admit_mask(key, fresh);
                 // Canonicalization can land on a mask another profile
                 // already compiled for.
-                if let Some(plan) = self.resident(&mask, precision) {
+                if let Some(plan) = self.resident(&mask, precision, sparsity) {
                     return Ok(plan);
                 }
                 mask
             }
         };
-        let plan = cloud.compile_pooled(&mask, precision)?;
+        let plan = cloud.compile_pooled_sparse(&mask, precision, sparsity)?;
         Ok(self.admit_plan(mask, precision, plan))
     }
 
     /// One step of the decomposed [`plan_for`](Self::plan_for): resolves a
     /// pre-built key against the mask memo and resident plans. Advances the
     /// LRU clock (once per served request).
-    pub(crate) fn lookup(&mut self, key: &ProfileKey, precision: Precision) -> PlanLookup {
+    pub(crate) fn lookup(
+        &mut self,
+        key: &ProfileKey,
+        precision: Precision,
+        sparsity: Sparsity,
+    ) -> PlanLookup {
         self.tick += 1;
         let Some(mask) = self.masks.get(key).cloned() else {
             return PlanLookup::ProfileUnknown;
         };
-        match self.resident(&mask, precision) {
+        match self.resident(&mask, precision, sparsity) {
             Some(plan) => PlanLookup::Hit(plan),
             None => PlanLookup::CompileMask(mask),
         }
@@ -438,8 +465,11 @@ impl FleetPlanCache {
         &mut self,
         mask: &Arc<PruneMask>,
         precision: Precision,
+        sparsity: Sparsity,
     ) -> Option<Arc<CompiledPlan>> {
-        let entry = self.plans.get_mut(&(Arc::clone(mask), precision))?;
+        let entry = self
+            .plans
+            .get_mut(&(Arc::clone(mask), precision, sparsity))?;
         entry.last_used = self.tick;
         let plan = Arc::clone(&entry.plan);
         self.stats.hits += 1;
@@ -448,9 +478,11 @@ impl FleetPlanCache {
         Some(plan)
     }
 
-    /// Admits a just-compiled plan, enforcing the byte budget. Counts the
+    /// Admits a just-compiled plan, enforcing the byte budget. The plan's
+    /// weight-sparsity tier is read off the plan itself, so the key is
+    /// always (mask, precision, [`CompiledPlan::sparsity`]). Counts the
     /// compile as a miss. If a concurrent caller admitted the same
-    /// (mask, precision) first, the earlier resident plan wins (and counts
+    /// tier first, the earlier resident plan wins (and counts
     /// a hit) so every holder of this key serves the same allocation; if
     /// the mask is no longer canonical (invalidated or rebound while the
     /// compile ran), the plan is served uncached.
@@ -460,7 +492,8 @@ impl FleetPlanCache {
         precision: Precision,
         plan: Arc<CompiledPlan>,
     ) -> Arc<CompiledPlan> {
-        if let Some(existing) = self.resident(&mask, precision) {
+        let sparsity = plan.sparsity();
+        if let Some(existing) = self.resident(&mask, precision, sparsity) {
             return existing;
         }
         self.stats.misses += 1;
@@ -472,7 +505,7 @@ impl FleetPlanCache {
         if still_canonical {
             self.account_insert(&plan);
             self.plans.insert(
-                (mask, precision),
+                (mask, precision, sparsity),
                 PlanEntry {
                     plan: Arc::clone(&plan),
                     last_used: self.tick,
@@ -525,10 +558,10 @@ impl FleetPlanCache {
             let still_bound =
                 Arc::ptr_eq(&old, &canonical) || self.masks.values().any(|m| Arc::ptr_eq(m, &old));
             if !still_bound {
-                let stale: Vec<(Arc<PruneMask>, Precision)> = self
+                let stale: Vec<(Arc<PruneMask>, Precision, Sparsity)> = self
                     .plans
                     .keys()
-                    .filter(|(m, _)| Arc::ptr_eq(m, &old))
+                    .filter(|(m, _, _)| Arc::ptr_eq(m, &old))
                     .cloned()
                     .collect();
                 for k in stale {
@@ -872,6 +905,64 @@ mod tests {
         assert!(cache.resident_bytes() > 0);
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.stats().resident_bytes, cache.resident_bytes());
+    }
+
+    #[test]
+    fn fleet_cache_keys_plans_by_sparsity_tier() {
+        let mut cloud = tiny_cloud();
+        let mut cache = FleetPlanCache::with_budget(16, None).unwrap();
+        let a = profile(vec![0, 1], vec![0.7, 0.3]);
+
+        let dense = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        let hybrid = cache
+            .plan_for_sparse(
+                &mut cloud,
+                &a,
+                Variant::Weighted,
+                Precision::F32,
+                Sparsity::NM(2, 4),
+            )
+            .unwrap();
+        // the same mask at the hybrid tier is its own resident plan…
+        assert!(!Arc::ptr_eq(&dense, &hybrid));
+        assert_eq!(hybrid.sparsity(), Sparsity::NM(2, 4));
+        assert_eq!(cache.len(), 2);
+        // …interned against the same canonical mask
+        assert_eq!(cache.unique_masks(), 1);
+
+        // each tier hits its own key on a repeat request
+        let again = cache
+            .plan_for_sparse(
+                &mut cloud,
+                &a,
+                Variant::Weighted,
+                Precision::F32,
+                Sparsity::NM(2, 4),
+            )
+            .unwrap();
+        assert!(Arc::ptr_eq(&hybrid, &again));
+        let dense_again = cache
+            .plan_for(&mut cloud, &a, Variant::Weighted, Precision::F32)
+            .unwrap();
+        assert!(Arc::ptr_eq(&dense, &dense_again));
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().misses, 2);
+
+        // int8 × NM is a fourth tier under the same mask
+        let q = cache
+            .plan_for_sparse(
+                &mut cloud,
+                &a,
+                Variant::Weighted,
+                Precision::Int8,
+                Sparsity::NM(2, 4),
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&q, &hybrid));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.unique_masks(), 1);
     }
 
     #[test]

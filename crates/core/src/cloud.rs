@@ -17,6 +17,7 @@ use crate::user::UserProfile;
 use capnn_data::Dataset;
 use capnn_nn::{
     model_size, CompiledPlan, Network, PanelPool, ParamCount, PlanScratch, Precision, PruneMask,
+    Sparsity,
 };
 use capnn_profile::{ConfusionMatrix, FiringRateProfiler, FiringRates};
 use serde::{Deserialize, Serialize};
@@ -277,9 +278,33 @@ impl CloudServer {
         mask: &PruneMask,
         precision: Precision,
     ) -> Result<Arc<CompiledPlan>, CapnnError> {
-        Ok(Arc::new(
-            self.net.compile_shared(mask, precision, &self.pool)?,
-        ))
+        self.compile_pooled_sparse(mask, precision, Sparsity::Dense)
+    }
+
+    /// [`CloudServer::compile_pooled`] at an explicit weight-sparsity
+    /// tier: [`Sparsity::NM`] compresses every conv/dense kernel inside
+    /// the mask's kept rows/columns. Sparse kernels intern in the same
+    /// pool under sparsity-tagged keys, so dense and hybrid plans for
+    /// overlapping kept sets coexist without aliasing each other's
+    /// panels.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-compilation errors (including degenerate `N:M`
+    /// patterns).
+    pub fn compile_pooled_sparse(
+        &self,
+        mask: &PruneMask,
+        precision: Precision,
+        sparsity: Sparsity,
+    ) -> Result<Arc<CompiledPlan>, CapnnError> {
+        Ok(Arc::new(CompiledPlan::compile_sparse(
+            &self.net,
+            mask,
+            precision,
+            sparsity,
+            Some(&self.pool),
+        )?))
     }
 
     /// The full (unpruned) model held in the cloud.

@@ -56,7 +56,7 @@ use crate::cloud::{CloudServer, Variant};
 use crate::error::CapnnError;
 use crate::session::{DriftDecision, DriftPolicy, StreamingDriftMonitor};
 use crate::user::UserProfile;
-use capnn_nn::{CompiledPlan, PlanScratch, Precision};
+use capnn_nn::{CompiledPlan, PlanScratch, Precision, Sparsity};
 use capnn_tensor::Tensor;
 use controller::BatchController;
 use queue::{plan_key, Pending, PlanKey, PlanQueue, QueueState};
@@ -283,6 +283,7 @@ pub struct ServeRequest {
     input: Tensor,
     variant: Variant,
     precision: Precision,
+    sparsity: Sparsity,
     observed_class: Option<usize>,
 }
 
@@ -295,6 +296,7 @@ impl ServeRequest {
             input,
             variant: Variant::Basic,
             precision: Precision::F32,
+            sparsity: Sparsity::Dense,
             observed_class: None,
         }
     }
@@ -308,6 +310,14 @@ impl ServeRequest {
     /// Selects the numeric precision of the serving plan.
     pub fn precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Selects the weight-sparsity tier of the serving plan (hybrid N:M
+    /// plans are cached and batched separately from dense ones, under
+    /// the same canonical mask).
+    pub fn sparsity(mut self, sparsity: Sparsity) -> Self {
+        self.sparsity = sparsity;
         self
     }
 
@@ -470,7 +480,7 @@ impl SharedFleetCache {
         variant: Variant,
         precision: Precision,
     ) -> Result<Arc<CompiledPlan>, CapnnError> {
-        self.plan_for_keyed(profile, variant, precision)
+        self.plan_for_keyed(profile, variant, precision, Sparsity::Dense)
             .map(|(plan, _)| plan)
     }
 
@@ -486,11 +496,12 @@ impl SharedFleetCache {
         profile: &UserProfile,
         variant: Variant,
         precision: Precision,
+        sparsity: Sparsity,
     ) -> Result<(Arc<CompiledPlan>, ProfileKey), CapnnError> {
         let (key, looked_up) = {
             let mut cache = lock_recover(&self.cache);
             let key = ProfileKey::new(profile, variant, cache.weight_steps());
-            let looked_up = cache.lookup(&key, precision);
+            let looked_up = cache.lookup(&key, precision, sparsity);
             (key, looked_up)
         };
         let mask = match looked_up {
@@ -502,13 +513,13 @@ impl SharedFleetCache {
                 let mask = cache.admit_mask(key.clone(), fresh);
                 // canonicalization may land on a mask another profile
                 // already compiled for
-                if let Some(plan) = cache.resident(&mask, precision) {
+                if let Some(plan) = cache.resident(&mask, precision, sparsity) {
                     return Ok((plan, key));
                 }
                 mask
             }
         };
-        let plan = lock_recover(&self.cloud).compile_pooled(&mask, precision)?;
+        let plan = lock_recover(&self.cloud).compile_pooled_sparse(&mask, precision, sparsity)?;
         let plan = lock_recover(&self.cache).admit_plan(mask, precision, plan);
         Ok((plan, key))
     }
@@ -564,9 +575,10 @@ struct MonitorSlot {
     monitor: StreamingDriftMonitor,
     /// Pruning variant this profile is served under (part of its key).
     variant: Variant,
-    /// Every precision this profile has been served at — the swap worker
-    /// recompiles all of them so no precision is left on the stale mask.
-    precisions: Vec<Precision>,
+    /// Every precision × sparsity tier this profile has been served at —
+    /// the swap worker recompiles all of them so no tier is left on the
+    /// stale mask.
+    tiers: Vec<(Precision, Sparsity)>,
     /// A swap for this profile is queued or running; further decisions are
     /// discarded until it settles.
     in_flight: bool,
@@ -577,7 +589,7 @@ struct SwapTask {
     key: ProfileKey,
     profile: UserProfile,
     variant: Variant,
-    precisions: Vec<Precision>,
+    tiers: Vec<(Precision, Sparsity)>,
 }
 
 /// Server-side drift state: per-profile monitors plus the channel to the
@@ -885,12 +897,14 @@ fn resolve_plan(
     let Some(drift) = &shared.drift else {
         let plan = shared
             .cache
-            .plan_for(&req.profile, req.variant, req.precision)?;
+            .plan_for_keyed(&req.profile, req.variant, req.precision, req.sparsity)
+            .map(|(plan, _)| plan)?;
         return Ok((plan, None));
     };
-    let (plan, key) = shared
-        .cache
-        .plan_for_keyed(&req.profile, req.variant, req.precision)?;
+    let (plan, key) =
+        shared
+            .cache
+            .plan_for_keyed(&req.profile, req.variant, req.precision, req.sparsity)?;
     let mut task = None;
     {
         let mut monitors = lock_recover(&drift.monitors);
@@ -901,12 +915,12 @@ fn resolve_plan(
             Entry::Vacant(v) => v.insert(MonitorSlot {
                 monitor: drift.cfg.monitor(req.profile.clone())?,
                 variant: req.variant,
-                precisions: Vec::new(),
+                tiers: Vec::new(),
                 in_flight: false,
             }),
         };
-        if !slot.precisions.contains(&req.precision) {
-            slot.precisions.push(req.precision);
+        if !slot.tiers.contains(&(req.precision, req.sparsity)) {
+            slot.tiers.push((req.precision, req.sparsity));
         }
         if let Some(class) = req.observed_class {
             task = observe_slot(slot, &key, class);
@@ -929,7 +943,7 @@ fn observe_slot(slot: &mut MonitorSlot, key: &ProfileKey, class: usize) -> Optio
                 key: key.clone(),
                 profile,
                 variant: slot.variant,
-                precisions: slot.precisions.clone(),
+                tiers: slot.tiers.clone(),
             })
         }
         _ => None,
@@ -988,11 +1002,11 @@ fn run_swap(shared: &Shared, task: SwapTask) {
         settle_monitor(drift, &task, true);
         return;
     }
-    let mut plans = Vec::with_capacity(task.precisions.len());
-    for &precision in &task.precisions {
+    let mut plans = Vec::with_capacity(task.tiers.len());
+    for &(precision, sparsity) in &task.tiers {
         match shared
             .cache
-            .with_cloud(|cloud| cloud.compile_pooled(&canonical, precision))
+            .with_cloud(|cloud| cloud.compile_pooled_sparse(&canonical, precision, sparsity))
         {
             Ok(plan) => plans.push((precision, plan)),
             Err(_) => return swap_failed(shared, drift, &task),
@@ -1333,6 +1347,51 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.rejected, 0);
         assert!(stats.batches <= 24);
+    }
+
+    #[test]
+    fn serves_hybrid_nm_requests_matching_direct_sparse_plan_execution() {
+        let cloud = tiny_cloud();
+        let server = InferenceServer::start(
+            cloud,
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let user = profile(vec![0, 1]);
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let req = ServeRequest::new(user.clone(), input(300 + i)).sparsity(Sparsity::NM(2, 4));
+            handles.push((i, server.submit(req).unwrap()));
+        }
+        // interleave a dense request: same profile, its own cached tier
+        let dense = server
+            .submit(ServeRequest::new(user.clone(), input(299)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        for (i, h) in handles {
+            let resp = h.wait().unwrap();
+            let expect = server.cache().with_cloud(|cloud| {
+                let mask = cloud.prune_mask(&user, Variant::Basic).unwrap();
+                cloud
+                    .compile_pooled_sparse(&mask, Precision::F32, Sparsity::NM(2, 4))
+                    .unwrap()
+                    .forward(&input(300 + i))
+                    .unwrap()
+            });
+            assert_eq!(resp.output.as_slice(), expect.as_slice());
+        }
+        // both tiers are resident under one canonical mask
+        assert_eq!(server.cache().with_cache(|c| c.len()), 2);
+        assert_eq!(server.cache().with_cache(|c| c.unique_masks()), 1);
+        assert_eq!(dense.output.len(), 4);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 9);
+        assert_eq!(stats.failed, 0);
     }
 
     #[test]

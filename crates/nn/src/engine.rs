@@ -46,7 +46,7 @@ use crate::error::NnError;
 use crate::exec::ExecScratch;
 use crate::mask::PruneMask;
 use crate::network::Network;
-use crate::plan::{CompiledPlan, PanelPool, PlanScratch, Precision};
+use crate::plan::{CompiledPlan, PanelPool, PlanScratch, Precision, Sparsity};
 use capnn_tensor::{parallel, Tensor};
 use std::sync::Arc;
 
@@ -96,13 +96,17 @@ impl ExecStrategy {
 /// dense); [`InferenceRequest::strategy`] pins an explicit engine;
 /// [`InferenceRequest::precision`] selects the numeric precision (and
 /// upgrades a still-dense strategy to [`ExecStrategy::CompiledPlan`] for
-/// [`Precision::Int8`], the only engine with int8 kernels).
+/// [`Precision::Int8`], the only engine with int8 kernels);
+/// [`InferenceRequest::sparsity`] selects the weight-sparsity tier (and
+/// upgrades to [`ExecStrategy::CompiledPlan`] likewise — N:M kernels
+/// exist only as compiled plans).
 #[derive(Debug, Clone, Copy)]
 pub struct InferenceRequest<'a> {
     inputs: &'a [Tensor],
     mask: Option<&'a PruneMask>,
     strategy: ExecStrategy,
     precision: Precision,
+    sparsity: Sparsity,
 }
 
 impl<'a> InferenceRequest<'a> {
@@ -113,6 +117,7 @@ impl<'a> InferenceRequest<'a> {
             mask: None,
             strategy: ExecStrategy::Dense,
             precision: Precision::F32,
+            sparsity: Sparsity::Dense,
         }
     }
 
@@ -158,6 +163,24 @@ impl<'a> InferenceRequest<'a> {
         self
     }
 
+    /// Selects the weight-sparsity tier. [`Sparsity::NM`] kernels exist
+    /// only in compiled plans, so (like [`InferenceRequest::precision`])
+    /// a strategy still at one of the defaults is upgraded to
+    /// [`ExecStrategy::CompiledPlan`]; a non-plan strategy pinned *after*
+    /// this call is kept and rejected at [`Engine::run`] time.
+    pub fn sparsity(mut self, sparsity: Sparsity) -> Self {
+        self.sparsity = sparsity;
+        if sparsity != Sparsity::Dense
+            && matches!(
+                self.strategy,
+                ExecStrategy::Dense | ExecStrategy::MaskedSkip
+            )
+        {
+            self.strategy = ExecStrategy::CompiledPlan;
+        }
+        self
+    }
+
     /// The request's inputs.
     pub fn inputs(&self) -> &'a [Tensor] {
         self.inputs
@@ -171,6 +194,11 @@ impl<'a> InferenceRequest<'a> {
     /// The requested numeric precision.
     pub fn requested_precision(&self) -> Precision {
         self.precision
+    }
+
+    /// The requested weight-sparsity tier.
+    pub fn requested_sparsity(&self) -> Sparsity {
+        self.sparsity
     }
 }
 
@@ -243,9 +271,9 @@ pub struct Engine<'n> {
     scratch: ExecScratch,
     plan_scratch: PlanScratch,
     /// Compiled-plan cache in MRU order (front = most recent): each entry
-    /// records the mask and precision it was compiled for. Capped at
-    /// [`PLAN_CACHE_CAP`] entries.
-    plans: Vec<(PruneMask, Precision, Arc<CompiledPlan>)>,
+    /// records the mask, precision and sparsity tier it was compiled for.
+    /// Capped at [`PLAN_CACHE_CAP`] entries.
+    plans: Vec<(PruneMask, Precision, Sparsity, Arc<CompiledPlan>)>,
     /// Packed-panel intern pool shared by every plan this engine
     /// compiles, so plans whose layers keep the same units reference one
     /// panel allocation.
@@ -269,11 +297,12 @@ impl<'n> Engine<'n> {
     /// (serving caches share plans as `Arc<CompiledPlan>` handles).
     pub fn with_plan(net: &'n Network, mask: PruneMask, plan: Arc<CompiledPlan>) -> Self {
         let precision = plan.precision();
+        let sparsity = plan.sparsity();
         Self {
             net,
             scratch: ExecScratch::new(),
             plan_scratch: PlanScratch::new(),
-            plans: vec![(mask, precision, plan)],
+            plans: vec![(mask, precision, sparsity, plan)],
             pool: PanelPool::new(),
         }
     }
@@ -298,6 +327,14 @@ impl<'n> Engine<'n> {
                 req.strategy.name()
             )));
         }
+        if req.sparsity != Sparsity::Dense && req.strategy != ExecStrategy::CompiledPlan {
+            return Err(NnError::Config(format!(
+                "{} inference is only served by the compiled-plan engine, \
+                 not strategy `{}`",
+                req.sparsity.name(),
+                req.strategy.name()
+            )));
+        }
         let span_name = ["engine.", req.strategy.name(), "_ns"].concat();
         let _span = capnn_telemetry::time(&span_name);
         let outputs = match req.strategy {
@@ -312,8 +349,10 @@ impl<'n> Engine<'n> {
             },
             ExecStrategy::CompiledPlan => {
                 let plan = match req.mask {
-                    Some(mask) => self.plan_for(mask, req.precision)?,
-                    None => self.plan_for(&PruneMask::all_kept(self.net), req.precision)?,
+                    Some(mask) => self.plan_for(mask, req.precision, req.sparsity)?,
+                    None => {
+                        self.plan_for(&PruneMask::all_kept(self.net), req.precision, req.sparsity)?
+                    }
                 };
                 plan.forward_batch_with_scratch(req.inputs, &mut self.plan_scratch)
             }
@@ -347,14 +386,15 @@ impl<'n> Engine<'n> {
         &mut self,
         reqs: &[InferenceRequest<'_>],
     ) -> Result<Vec<InferenceResponse>, NnError> {
-        // Group by (strategy, precision, mask): linear scan — serving
-        // dispatches group a handful of distinct plans per call.
+        // Group by (strategy, precision, sparsity, mask): linear scan —
+        // serving dispatches group a handful of distinct plans per call.
         let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
             let found = groups.iter_mut().find(|(rep, _)| {
                 let r = &reqs[*rep];
                 r.strategy == req.strategy
                     && r.precision == req.precision
+                    && r.sparsity == req.sparsity
                     && match (r.mask, req.mask) {
                         (None, None) => true,
                         (Some(a), Some(b)) => std::ptr::eq(a, b) || a == b,
@@ -378,6 +418,7 @@ impl<'n> Engine<'n> {
             let mut grouped = InferenceRequest::new(&inputs).strategy(template.strategy);
             grouped.mask = template.mask;
             grouped.precision = template.precision;
+            grouped.sparsity = template.sparsity;
             let mut outputs = self.run(grouped)?.into_outputs().into_iter();
             for &i in &members {
                 let take = reqs[i].inputs.len();
@@ -442,34 +483,36 @@ impl<'n> Engine<'n> {
             .collect()
     }
 
-    /// Returns the cached plan compiled for an equal (mask, precision)
-    /// pair, moving it to the front of the MRU list; otherwise compiles a
-    /// fresh one through the engine's [`PanelPool`], caches it at the
-    /// front and drops the least-recently-used entry past
-    /// [`PLAN_CACHE_CAP`].
+    /// Returns the cached plan compiled for an equal (mask, precision,
+    /// sparsity) triple, moving it to the front of the MRU list;
+    /// otherwise compiles a fresh one through the engine's
+    /// [`PanelPool`], caches it at the front and drops the
+    /// least-recently-used entry past [`PLAN_CACHE_CAP`].
     fn plan_for(
         &mut self,
         mask: &PruneMask,
         precision: Precision,
+        sparsity: Sparsity,
     ) -> Result<Arc<CompiledPlan>, NnError> {
         if let Some(pos) = self
             .plans
             .iter()
-            .position(|(m, p, _)| m == mask && *p == precision)
+            .position(|(m, p, s, _)| m == mask && *p == precision && *s == sparsity)
         {
             let entry = self.plans.remove(pos);
-            let plan = Arc::clone(&entry.2);
+            let plan = Arc::clone(&entry.3);
             self.plans.insert(0, entry);
             return Ok(plan);
         }
-        let plan = Arc::new(CompiledPlan::compile_shared(
+        let plan = Arc::new(CompiledPlan::compile_sparse(
             self.net,
             mask,
             precision,
+            sparsity,
             Some(&self.pool),
         )?);
         self.plans
-            .insert(0, (mask.clone(), precision, Arc::clone(&plan)));
+            .insert(0, (mask.clone(), precision, sparsity, Arc::clone(&plan)));
         self.plans.truncate(PLAN_CACHE_CAP);
         Ok(plan)
     }
@@ -586,7 +629,11 @@ mod tests {
             assert_eq!(a.as_slice(), b.as_slice());
         }
         // second run with an equal mask hits the cached plan
-        let cached = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let cached = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
         engine
             .run(
                 InferenceRequest::new(&inputs)
@@ -594,7 +641,11 @@ mod tests {
                     .strategy(ExecStrategy::CompiledPlan),
             )
             .unwrap();
-        let after = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let after = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
         assert!(Arc::ptr_eq(&cached, &after));
     }
 
@@ -671,22 +722,157 @@ mod tests {
             .masked(&mask)
             .strategy(ExecStrategy::CompiledPlan);
         engine.run(f32_req).unwrap();
-        let f32_plan = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let f32_plan = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
         assert_eq!(f32_plan.precision(), Precision::F32);
         // switching precision compiles a second entry even though the
         // mask is equal...
         engine.run(f32_req.precision(Precision::Int8)).unwrap();
-        let int8_plan = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let int8_plan = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
         assert!(!Arc::ptr_eq(&f32_plan, &int8_plan));
         assert_eq!(int8_plan.precision(), Precision::Int8);
         // ...and a repeat int8 request hits the cache entry
         engine.run(f32_req.precision(Precision::Int8)).unwrap();
-        let again = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let again = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
         assert!(Arc::ptr_eq(&int8_plan, &again));
         // ...while the f32 plan is still resident (no recompile on switch)
         engine.run(f32_req).unwrap();
-        let back = engine.plans.first().map(|(_, _, p)| Arc::clone(p)).unwrap();
+        let back = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
         assert!(Arc::ptr_eq(&f32_plan, &back));
+        assert_eq!(engine.plans.len(), 2);
+    }
+
+    #[test]
+    fn nm_request_runs_compiled_plan_and_caches_by_sparsity() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let direct =
+            CompiledPlan::compile_sparse(&net, &mask, Precision::F32, Sparsity::NM(2, 4), None)
+                .unwrap();
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(70);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let want = direct.forward_batch(&inputs).unwrap();
+        // sparsity() upgrades the masked default to the plan engine
+        let resp = engine
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .sparsity(Sparsity::NM(2, 4)),
+            )
+            .unwrap();
+        assert_eq!(resp.strategy(), ExecStrategy::CompiledPlan);
+        for (a, b) in want.iter().zip(resp.outputs()) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // a dense-tier request on the same mask compiles a second entry
+        engine
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .strategy(ExecStrategy::CompiledPlan),
+            )
+            .unwrap();
+        assert_eq!(engine.plans.len(), 2);
+        // a repeat N:M request hits its own cache entry
+        let nm_plan = engine
+            .plans
+            .iter()
+            .find(|(_, _, s, _)| *s == Sparsity::NM(2, 4))
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
+        engine
+            .run(
+                InferenceRequest::new(&inputs)
+                    .masked(&mask)
+                    .sparsity(Sparsity::NM(2, 4)),
+            )
+            .unwrap();
+        let front = engine
+            .plans
+            .first()
+            .map(|(_, _, _, p)| Arc::clone(p))
+            .unwrap();
+        assert!(Arc::ptr_eq(&nm_plan, &front));
+        assert_eq!(engine.plans.len(), 2);
+    }
+
+    #[test]
+    fn nm_with_pinned_non_plan_strategy_is_rejected() {
+        let net = small_cnn();
+        let mut engine = Engine::new(&net);
+        let x = Tensor::ones(&[1, 4, 4]);
+        for strategy in [
+            ExecStrategy::Dense,
+            ExecStrategy::MaskedSkip,
+            ExecStrategy::Reference,
+        ] {
+            let err = engine
+                .run(
+                    InferenceRequest::single(&x)
+                        .sparsity(Sparsity::NM(2, 4))
+                        .strategy(strategy),
+                )
+                .unwrap_err();
+            match err {
+                NnError::Config(msg) => assert!(msg.contains("nm2_4"), "{msg}"),
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_grouped_keeps_nm_and_dense_requests_apart() {
+        let net = small_cnn();
+        let mask = pruned_mask(&net);
+        let mut engine = Engine::new(&net);
+        let mut rng = XorShiftRng::new(71);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let reqs: Vec<InferenceRequest<'_>> = vec![
+            InferenceRequest::single(&inputs[0])
+                .masked(&mask)
+                .sparsity(Sparsity::NM(2, 4)),
+            InferenceRequest::single(&inputs[1])
+                .masked(&mask)
+                .strategy(ExecStrategy::CompiledPlan),
+            InferenceRequest::single(&inputs[2])
+                .masked(&mask)
+                .sparsity(Sparsity::NM(2, 4)),
+            InferenceRequest::single(&inputs[3])
+                .masked(&mask)
+                .strategy(ExecStrategy::CompiledPlan),
+        ];
+        let individual: Vec<Tensor> = reqs
+            .iter()
+            .map(|r| {
+                let mut fresh = Engine::new(&net);
+                fresh.run(*r).unwrap().into_single().unwrap()
+            })
+            .collect();
+        let grouped = engine.run_grouped(&reqs).unwrap();
+        for (resp, expect) in grouped.iter().zip(&individual) {
+            assert_eq!(resp.outputs()[0].as_slice(), expect.as_slice());
+        }
+        // two groups → two cached plans, not four
         assert_eq!(engine.plans.len(), 2);
     }
 

@@ -21,8 +21,10 @@ use std::path::Path;
 /// store int8 quantized panels with per-channel scales; 4 — plan GEMM
 /// steps reference a by-value `kernels` table (panels + bias + int8 twin
 /// per entry) instead of embedding their buffers inline, mirroring the
-/// in-memory `Arc`-shared kernel layout.
-pub const FORMAT_VERSION: u32 = 4;
+/// in-memory `Arc`-shared kernel layout; 5 — plans carry a `sparsity`
+/// tag and kernels may store N:M-compressed value+index panels (with
+/// their own int8 twin) instead of dense register tiles.
+pub const FORMAT_VERSION: u32 = 5;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct Envelope<T> {
@@ -208,6 +210,25 @@ mod tests {
     }
 
     #[test]
+    fn nm_plan_roundtrip_preserves_function() {
+        use crate::plan::{CompiledPlan, Precision, Sparsity};
+        let n = net();
+        let mut mask = PruneMask::all_kept(&n);
+        mask.prune(0, 1).unwrap();
+        let plan =
+            CompiledPlan::compile_sparse(&n, &mask, Precision::Int8, Sparsity::NM(2, 4), None)
+                .unwrap();
+        let back = plan_from_json(&plan_to_json(&plan).unwrap()).unwrap();
+        assert_eq!(plan, back);
+        assert_eq!(back.sparsity(), Sparsity::NM(2, 4));
+        let x = Tensor::ones(&[1, 8, 8]);
+        assert_eq!(
+            plan.forward(&x).unwrap().as_slice(),
+            back.forward(&x).unwrap().as_slice()
+        );
+    }
+
+    #[test]
     fn kind_confusion_rejected() {
         let n = net();
         let mask_json = mask_to_json(&PruneMask::all_kept(&n)).unwrap();
@@ -231,7 +252,7 @@ mod tests {
         // An old artifact has a payload schema this build cannot decode.
         // The probe-first parse must reject on the version number alone —
         // exercised here with a payload that would itself fail to decode.
-        for found in [1u32, 2, 3] {
+        for found in [1u32, 2, 3, 4] {
             let json = format!(
                 "{{\"format\":\"capnn-plan\",\"version\":{found},\"payload\":{{\"legacy\":true}}}}"
             );

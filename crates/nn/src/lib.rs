@@ -49,6 +49,6 @@ pub use layer::{Conv2dLayer, Dense, Layer, LayerGrads};
 pub use loss::{cross_entropy_loss, softmax};
 pub use mask::PruneMask;
 pub use network::{Network, PrunableUnit};
-pub use plan::{CompiledPlan, PanelPool, PlanScratch, Precision};
+pub use plan::{CompiledPlan, PanelPool, PlanScratch, Precision, Sparsity};
 pub use size::{model_size, ParamCount};
 pub use train::{evaluate_accuracy, TrainReport, Trainer, TrainerConfig};

@@ -322,7 +322,7 @@ impl Network {
     /// dependent incoming weights of downstream layers dropped.
     ///
     /// The compacted network computes the same function as
-    /// [`Network::forward_masked`] for the given mask (pruned units
+    /// [`Network::forward_masked_with_scratch`] for the given mask (pruned units
     /// contribute nothing either way); this is what the cloud actually ships
     /// to the device.
     ///

@@ -42,10 +42,13 @@ use crate::layer::Layer;
 use crate::mask::PruneMask;
 use crate::network::Network;
 use capnn_tensor::{
-    conv_gemm_i8_into, conv_gemm_into, dense_batch_chw_into, dense_batch_i8_chw_into,
-    dense_batch_i8_into, dense_batch_into, i8_inv_scale, i8_scale, im2col_batch_into, max_abs,
+    conv_gemm_i8_into, conv_gemm_i8w_into, conv_gemm_into, conv_nm_gemm_i8_into, conv_nm_gemm_into,
+    dense_batch_chw_into, dense_batch_i8_chw_into, dense_batch_i8_into, dense_batch_into,
+    dense_nm_batch_chw_into, dense_nm_batch_i8_chw_into, dense_nm_batch_i8_into,
+    dense_nm_batch_into, i8_inv_scale, i8_scale, im2col_batch_into, max_abs, nm_nnz,
     pack_conv_panels, pack_dense_panels, parallel, quantize_conv_panels_i8,
-    quantize_dense_panels_i8, quantize_i8, Conv2dSpec, PoolSpec, Tensor,
+    quantize_dense_panels_i8, quantize_i8, quantize_nm_conv_i8, quantize_nm_dense_i8,
+    select_nm_conv, select_nm_dense, widen_i8_cols_pairs, Conv2dSpec, PoolSpec, Tensor,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -80,6 +83,53 @@ impl Precision {
     }
 }
 
+/// Weight-sparsity tier of a compiled plan's GEMM kernels.
+///
+/// [`Sparsity::NM`] plans keep only the `n` largest-magnitude weights out
+/// of every `m` consecutive reduction positions *within* the class-aware
+/// kept rows/columns, compressing them to value + index panels at compile
+/// time (see `capnn_tensor::select_nm_conv`/`select_nm_dense`). The
+/// hybrid tier composes with both precisions: int8 N:M plans quantize the
+/// compressed values, not the dense panels. Non-GEMM steps are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Sparsity {
+    /// Dense packed panels — the bit-exact default.
+    #[default]
+    Dense,
+    /// Keep the `n` largest of every `m` reduction weights (e.g. 2:4).
+    NM(u8, u8),
+}
+
+impl Sparsity {
+    /// Stable lowercase name, used in telemetry probe names, plan-cache
+    /// keys and reports (`"dense"`, `"nm2_4"`, ...).
+    pub fn name(self) -> String {
+        match self {
+            Sparsity::Dense => "dense".to_string(),
+            Sparsity::NM(n, m) => format!("nm{n}_{m}"),
+        }
+    }
+
+    /// Rejects degenerate patterns (`N:M` requires `0 < n < m`).
+    pub fn validate(self) -> Result<(), NnError> {
+        match self {
+            Sparsity::Dense => Ok(()),
+            Sparsity::NM(n, m) if n > 0 && n < m => Ok(()),
+            Sparsity::NM(n, m) => Err(NnError::Config(format!(
+                "invalid N:M sparsity {n}:{m} (requires 0 < N < M)"
+            ))),
+        }
+    }
+
+    /// Kept weights per reduction line of length `k` under this tier.
+    fn nnz(self, k: usize) -> usize {
+        match self {
+            Sparsity::Dense => k,
+            Sparsity::NM(n, m) => nm_nnz(k, n as usize, m as usize),
+        }
+    }
+}
+
 /// Int8 twin of a step's packed weight panels: the same register-tile
 /// layout as the f32 buffer, quantized with one scale per output
 /// channel (conv) or output column (dense).
@@ -87,6 +137,24 @@ impl Precision {
 struct QuantPanels {
     data: Vec<i8>,
     scales: Vec<f32>,
+}
+
+/// N:M-compressed twin of a GEMM step's weights: kept values plus their
+/// reduction indices (conv: `[out_c][nnz]` rows; dense: per-column-panel
+/// shared patterns, values `[tile][kk][JT]`). When a kernel carries one
+/// of these its dense `panels` buffer is empty and the int8 twin (if
+/// any) lives here, quantized over the compressed values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct NmPanels {
+    values: Vec<f32>,
+    idx: Vec<u32>,
+    /// Kept weights per reduction line (shared by every row/panel).
+    nnz: usize,
+    n: u8,
+    m: u8,
+    /// Uncompressed kept-weight count, for density accounting.
+    dense_len: usize,
+    quant: Option<QuantPanels>,
 }
 
 /// One GEMM step's immutable packed weights: the register-tiled f32
@@ -100,34 +168,60 @@ struct Kernel {
     panels: Tensor,
     bias: Tensor,
     quant: Option<QuantPanels>,
+    /// N:M-compressed twin; `Some` means `panels` is empty and `quant`
+    /// is `None` (an int8 twin lives inside, over compressed values).
+    nm: Option<NmPanels>,
 }
 
 impl Kernel {
     /// Heap bytes owned by this kernel's packed buffers (panels, bias,
-    /// int8 twin), excluding the fixed struct size.
+    /// int8/N:M twins), excluding the fixed struct size.
     fn heap_bytes(&self) -> usize {
         let f32s = (self.panels.len() + self.bias.len()) * std::mem::size_of::<f32>();
-        let quant = self.quant.as_ref().map_or(0, |q| {
-            q.data.len() + q.scales.len() * std::mem::size_of::<f32>()
+        let quant_bytes =
+            |q: &QuantPanels| q.data.len() + q.scales.len() * std::mem::size_of::<f32>();
+        let quant = self.quant.as_ref().map_or(0, quant_bytes);
+        let nm = self.nm.as_ref().map_or(0, |nm| {
+            nm.values.len() * std::mem::size_of::<f32>()
+                + nm.idx.len() * std::mem::size_of::<u32>()
+                + nm.quant.as_ref().map_or(0, quant_bytes)
         });
-        f32s + quant
+        f32s + quant + nm
+    }
+
+    /// True when any of this kernel's weight twins is int8 (dense panels
+    /// or the N:M-compressed values).
+    fn is_int8(&self) -> bool {
+        self.quant.is_some() || self.nm.as_ref().is_some_and(|nm| nm.quant.is_some())
     }
 }
 
 /// Identity of a shareable [`Kernel`] within one network: the layer it
-/// was packed from, the precision, and the exact kept unit ids on both
-/// sides. Keys store the id vectors themselves (not a hash of them), so
-/// a pool can never serve the wrong panels on a hash collision.
+/// was packed from, the precision, the sparsity tier and the exact kept
+/// unit ids on both sides. Keys store the id vectors themselves (not a
+/// hash of them), so a pool can never serve the wrong panels on a hash
+/// collision.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PanelKey {
     layer: usize,
     precision: Precision,
+    sparsity: Sparsity,
     kept_in: Vec<usize>,
     kept_out: Vec<usize>,
 }
 
 /// Dead-`Weak` purge cadence of a [`PanelPool`] (every N inserts).
 const POOL_PURGE_EVERY: u32 = 256;
+
+/// Ceiling (bytes) on the pair-interleaved i16 im2col matrix below which
+/// the int8 conv path pre-widens the whole batch
+/// ([`capnn_tensor::widen_i8_cols_pairs`] + the `i8w` kernel). The
+/// widened matrix is 2× the compact i8 one; past L1-resident sizes that
+/// extra streaming traffic costs more than the per-panel unpack it saves
+/// (measured on the vgg_tiny batch sweep), so larger batches keep the
+/// unpack inside the kernel. Both kernels are bitwise identical, so the
+/// switch is invisible to results.
+const I8_WIDEN_MAX_BYTES: usize = 16 * 1024;
 
 /// Interning pool for packed weight panels, shared across the compiled
 /// plans of **one network**: [`CompiledPlan::compile_shared`] looks every
@@ -195,6 +289,96 @@ fn obtain_kernel(
     match pool {
         Some(pool) => pool.get_or_build(key, build),
         None => build().map(Arc::new),
+    }
+}
+
+/// Shape of the gathered kept-weight matrix handed to
+/// [`build_gemm_kernel`].
+enum GemmShape {
+    /// Row-major `[out_c × krows]` conv weights (im2col reduction rows).
+    Conv { out_c: usize, krows: usize },
+    /// Input-major `[n_in × n_out]` transposed dense weights.
+    Dense { n_in: usize, n_out: usize },
+}
+
+/// Packs one GEMM step's gathered kept weights into a [`Kernel`] — the
+/// single pack/quantize entry shared by the conv and dense compile arms.
+/// [`Sparsity::Dense`] register-tiles the full matrix (plus the int8
+/// twin); [`Sparsity::NM`] compresses to magnitude-selected value+index
+/// panels and quantizes those instead.
+fn build_gemm_kernel(
+    shape: GemmShape,
+    weights: &[f32],
+    bias: Tensor,
+    precision: Precision,
+    sparsity: Sparsity,
+) -> Result<Kernel, NnError> {
+    match sparsity {
+        Sparsity::Dense => {
+            let packed = match shape {
+                GemmShape::Conv { out_c, krows } => {
+                    let _pack = capnn_telemetry::time("plan.conv_pack_ns");
+                    pack_conv_panels(weights, out_c, krows)
+                }
+                GemmShape::Dense { n_in, n_out } => pack_dense_panels(weights, n_in, n_out),
+            };
+            let plen = packed.len();
+            let panels = Tensor::from_vec(packed, &[plen])?;
+            let quant = (precision == Precision::Int8).then(|| {
+                let _q = capnn_telemetry::time("plan.quantize_weights_ns");
+                let (data, scales) = match shape {
+                    GemmShape::Conv { out_c, krows } => {
+                        quantize_conv_panels_i8(weights, out_c, krows)
+                    }
+                    GemmShape::Dense { n_in, n_out } => {
+                        quantize_dense_panels_i8(weights, n_in, n_out)
+                    }
+                };
+                QuantPanels { data, scales }
+            });
+            Ok(Kernel {
+                panels,
+                bias,
+                quant,
+                nm: None,
+            })
+        }
+        Sparsity::NM(n, m) => {
+            let (n, m) = (n as usize, m as usize);
+            let _pack = capnn_telemetry::time("plan.nm_pack_ns");
+            let (values, idx, nnz) = match shape {
+                GemmShape::Conv { out_c, krows } => {
+                    let (v, i) = select_nm_conv(weights, out_c, krows, n, m);
+                    (v, i, nm_nnz(krows, n, m))
+                }
+                GemmShape::Dense { n_in, n_out } => {
+                    let (v, i) = select_nm_dense(weights, n_in, n_out, n, m);
+                    (v, i, nm_nnz(n_in, n, m))
+                }
+            };
+            let quant = (precision == Precision::Int8).then(|| {
+                let _q = capnn_telemetry::time("plan.quantize_weights_ns");
+                let (data, scales) = match shape {
+                    GemmShape::Conv { out_c, .. } => quantize_nm_conv_i8(&values, out_c, nnz),
+                    GemmShape::Dense { n_out, .. } => quantize_nm_dense_i8(&values, n_out, nnz),
+                };
+                QuantPanels { data, scales }
+            });
+            Ok(Kernel {
+                panels: Tensor::zeros(&[0]),
+                bias,
+                quant: None,
+                nm: Some(NmPanels {
+                    values,
+                    idx,
+                    nnz,
+                    n: n as u8,
+                    m: m as u8,
+                    dense_len: weights.len(),
+                    quant,
+                }),
+            })
+        }
     }
 }
 
@@ -332,6 +516,9 @@ pub struct PlanScratch {
     qa: Vec<i8>,
     /// Quantized wide im2col matrix (int8 plans).
     qcols: Vec<i8>,
+    /// Pair-interleaved i16 widening of `qcols`, produced once per batch
+    /// for the dense-panel int8 conv kernel (int8 plans).
+    qcols16: Vec<i16>,
     /// Per-sample activation scales (int8 plans).
     a_scales: Vec<f32>,
     /// Per-column scale broadcast for the conv GEMM (int8 plans).
@@ -368,6 +555,8 @@ impl PlanScratch {
             v.truncate(max_elems);
             v.shrink_to(max_elems);
         }
+        self.qcols16.truncate(max_elems);
+        self.qcols16.shrink_to(max_elems);
         self.calls_since_review = 0;
         self.window_peak = [0; 4];
     }
@@ -390,6 +579,9 @@ impl PlanScratch {
             shrink_oversized(&mut self.cols, cols);
             shrink_oversized(&mut self.qa, i8n);
             shrink_oversized(&mut self.qcols, i8n);
+            // The i16 widening tracks `qcols` element-for-element (plus
+            // at most one padded row), so it shares the int8 peak.
+            shrink_oversized(&mut self.qcols16, i8n);
             shrink_oversized(&mut self.a_scales, sc);
             shrink_oversized(&mut self.c_scales, sc);
             self.calls_since_review = 0;
@@ -462,6 +654,12 @@ pub struct CompiledPlan {
     packed_params: usize,
     /// Numeric precision the plan's GEMM steps execute in.
     precision: Precision,
+    /// Weight-sparsity label: the N:M tier of the plan's sparse GEMM
+    /// kernels ([`Sparsity::Dense`] when every layer is dense). For
+    /// per-layer hybrid plans this is the first non-dense tier — the
+    /// cache/telemetry label, not a per-step dispatch input (each kernel
+    /// carries its own compressed twin).
+    sparsity: Sparsity,
 }
 
 impl CompiledPlan {
@@ -510,10 +708,71 @@ impl CompiledPlan {
         precision: Precision,
         pool: Option<&PanelPool>,
     ) -> Result<Self, NnError> {
+        Self::compile_sparse(net, mask, precision, Sparsity::Dense, pool)
+    }
+
+    /// [`CompiledPlan::compile_shared`] with a uniform weight-sparsity
+    /// tier: [`Sparsity::NM`] compresses every conv/dense kernel to the
+    /// `n` largest-magnitude weights of each `m` consecutive reduction
+    /// positions *within* the mask's kept rows/columns (the hybrid tier
+    /// from the prune-sweep work). Composes with [`Precision::Int8`] —
+    /// the compressed values get the int8 twin.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlan::compile`], plus
+    /// [`NnError::Config`] for a degenerate pattern (`N:M` needs
+    /// `0 < N < M`).
+    pub fn compile_sparse(
+        net: &Network,
+        mask: &PruneMask,
+        precision: Precision,
+        sparsity: Sparsity,
+        pool: Option<&PanelPool>,
+    ) -> Result<Self, NnError> {
+        let layers = vec![sparsity; net.len()];
+        Self::compile_sparse_layers(net, mask, precision, &layers, pool)
+    }
+
+    /// [`CompiledPlan::compile_sparse`] with one sparsity tier **per
+    /// layer** (`layers_sparsity[i]` applies to layer `i`; non-GEMM
+    /// layers ignore theirs). This is the entry the profile-side accuracy
+    /// gate uses to enable N:M only on layers that tolerate it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledPlan::compile_sparse`], plus
+    /// [`NnError::Config`] when `layers_sparsity` does not span the
+    /// network.
+    pub fn compile_sparse_layers(
+        net: &Network,
+        mask: &PruneMask,
+        precision: Precision,
+        layers_sparsity: &[Sparsity],
+        pool: Option<&PanelPool>,
+    ) -> Result<Self, NnError> {
         let _span = capnn_telemetry::time("plan.compile_ns");
         capnn_telemetry::count("plan.compiled", 1);
         if precision == Precision::Int8 {
             capnn_telemetry::count("plan.compiled_int8", 1);
+        }
+        if layers_sparsity.len() != net.len() {
+            return Err(NnError::Config(format!(
+                "sparsity spans {} layers, network has {}",
+                layers_sparsity.len(),
+                net.len()
+            )));
+        }
+        for sp in layers_sparsity {
+            sp.validate()?;
+        }
+        let plan_sparsity = layers_sparsity
+            .iter()
+            .copied()
+            .find(|sp| *sp != Sparsity::Dense)
+            .unwrap_or(Sparsity::Dense);
+        if plan_sparsity != Sparsity::Dense {
+            capnn_telemetry::count("plan.compiled_nm", 1);
         }
         if mask.len() != net.len() {
             return Err(NnError::Config(format!(
@@ -570,14 +829,20 @@ impl CompiledPlan {
                     spec.in_channels = kept.len();
                     spec.out_channels = kept_out.len();
                     let krows = kept.len() * kk;
-                    macs += (kept_out.len() * oh * ow) as u64 * krows as u64;
+                    let sp = layers_sparsity[i];
+                    // MAC/parameter accounting follows the kept weights:
+                    // an N:M kernel multiplies only `nnz` of the `krows`
+                    // reduction rows per output.
+                    let nnz = sp.nnz(krows);
+                    macs += (kept_out.len() * oh * ow) as u64 * nnz as u64;
                     // Count kept parameters only — the zero padding of
                     // partial register-tile panels is a layout artifact,
                     // not model state.
-                    packed_params += kept_out.len() * krows + kept_out.len();
+                    packed_params += kept_out.len() * nnz + kept_out.len();
                     let key = PanelKey {
                         layer: i,
                         precision,
+                        sparsity: sp,
                         kept_in: kept.clone(),
                         kept_out: kept_out.clone(),
                     };
@@ -598,23 +863,16 @@ impl CompiledPlan {
                                 }
                             }
                         }
-                        let packed = {
-                            let _pack = capnn_telemetry::time("plan.conv_pack_ns");
-                            pack_conv_panels(&weights, kept_out.len(), krows)
-                        };
-                        let plen = packed.len();
-                        let panels = Tensor::from_vec(packed, &[plen])?;
-                        let quant = (precision == Precision::Int8).then(|| {
-                            let _q = capnn_telemetry::time("plan.quantize_weights_ns");
-                            let (data, scales) =
-                                quantize_conv_panels_i8(&weights, kept_out.len(), krows);
-                            QuantPanels { data, scales }
-                        });
-                        Ok(Kernel {
-                            panels,
+                        build_gemm_kernel(
+                            GemmShape::Conv {
+                                out_c: kept_out.len(),
+                                krows,
+                            },
+                            &weights,
                             bias,
-                            quant,
-                        })
+                            precision,
+                            sp,
+                        )
                     })?;
                     let kidx = kernels.len();
                     kernels.push(kernel);
@@ -648,8 +906,10 @@ impl CompiledPlan {
                     let in_old = d.in_features();
                     let n_in = kept_cols.len();
                     let n_out = kept_out.len();
-                    macs += (n_out * n_in) as u64;
-                    packed_params += n_in * n_out + n_out;
+                    let sp = layers_sparsity[i];
+                    let nnz = sp.nnz(n_in);
+                    macs += (n_out * nnz) as u64;
+                    packed_params += nnz * n_out + n_out;
                     // Keyed on the pre-expansion kept ids: `kept_cols`
                     // derives deterministically from `kept` and the
                     // layer's (fixed) plane, so equal keys imply equal
@@ -657,6 +917,7 @@ impl CompiledPlan {
                     let key = PanelKey {
                         layer: i,
                         precision,
+                        sparsity: sp,
                         kept_in: kept.clone(),
                         kept_out: kept_out.clone(),
                     };
@@ -677,19 +938,13 @@ impl CompiledPlan {
                                 }
                             }
                         }
-                        let packed = pack_dense_panels(&wt, n_in, n_out);
-                        let len = packed.len();
-                        let panels = Tensor::from_vec(packed, &[len])?;
-                        let quant = (precision == Precision::Int8).then(|| {
-                            let _q = capnn_telemetry::time("plan.quantize_weights_ns");
-                            let (data, scales) = quantize_dense_panels_i8(&wt, n_in, n_out);
-                            QuantPanels { data, scales }
-                        });
-                        Ok(Kernel {
-                            panels,
+                        build_gemm_kernel(
+                            GemmShape::Dense { n_in, n_out },
+                            &wt,
                             bias,
-                            quant,
-                        })
+                            precision,
+                            sp,
+                        )
                     })?;
                     let kidx = kernels.len();
                     kernels.push(kernel);
@@ -762,6 +1017,22 @@ impl CompiledPlan {
         };
         let num_classes = shapes.last().map(|s| s.iter().product()).unwrap_or(0);
 
+        // Fleet-visible density of the compiled N:M kernels: kept
+        // compressed weights over the dense kept-weight count they
+        // replaced (1.0 would mean N:M bought nothing).
+        if capnn_telemetry::enabled() {
+            let (mut nm_kept, mut nm_dense) = (0usize, 0usize);
+            for kernel in &kernels {
+                if let Some(nm) = &kernel.nm {
+                    nm_kept += nm.nnz * kernel.bias.len();
+                    nm_dense += nm.dense_len;
+                }
+            }
+            if nm_dense > 0 {
+                capnn_telemetry::set_gauge("plan.nm_density", nm_kept as f64 / nm_dense as f64);
+            }
+        }
+
         Ok(Self {
             steps,
             kernels,
@@ -771,12 +1042,20 @@ impl CompiledPlan {
             per_sample_macs: macs.max(1),
             packed_params,
             precision,
+            sparsity: plan_sparsity,
         })
     }
 
     /// The numeric precision the plan's GEMM steps execute in.
     pub fn precision(&self) -> Precision {
         self.precision
+    }
+
+    /// The plan's weight-sparsity label ([`Sparsity::Dense`] unless it
+    /// was compiled through [`CompiledPlan::compile_sparse`] with an N:M
+    /// tier on at least one layer).
+    pub fn sparsity(&self) -> Sparsity {
+        self.sparsity
     }
 
     /// The input shape the plan expects.
@@ -975,6 +1254,7 @@ impl CompiledPlan {
         let mut cols = std::mem::take(&mut scratch.cols);
         let mut qa = std::mem::take(&mut scratch.qa);
         let mut qcols = std::mem::take(&mut scratch.qcols);
+        let mut qcols16 = std::mem::take(&mut scratch.qcols16);
         let mut a_scales = std::mem::take(&mut scratch.a_scales);
         let mut c_scales = std::mem::take(&mut scratch.c_scales);
         // Peak element requirements this chunk, per buffer family, for the
@@ -1018,8 +1298,8 @@ impl CompiledPlan {
         // spawned workers never contend on the registry mutex mid-step.
         let telemetry = capnn_telemetry::enabled();
         // (step index, kind, elapsed ns, FLOPs — 0 for non-GEMM steps —
-        // and whether the step ran its int8 kernel).
-        let mut timings: Vec<(usize, &'static str, u64, u64, bool)> = Vec::new();
+        // and whether the step ran its int8 / N:M kernel).
+        let mut timings: Vec<(usize, &'static str, u64, u64, bool, bool)> = Vec::new();
         // Dynamic activation quantization time this chunk (int8 plans).
         let mut quantize_ns: u64 = 0;
         for (si, step) in self.steps.iter().enumerate() {
@@ -1027,7 +1307,10 @@ impl CompiledPlan {
             let mut flops: u64 = 0;
             let step_int8 = step
                 .kernel_index()
-                .is_some_and(|ki| self.kernels[ki].quant.is_some());
+                .is_some_and(|ki| self.kernels[ki].is_int8());
+            let step_nm = step
+                .kernel_index()
+                .is_some_and(|ki| self.kernels[ki].nm.is_some());
             match step {
                 PlanStep::Conv {
                     spec,
@@ -1036,66 +1319,124 @@ impl CompiledPlan {
                     out_hw: (oh, ow),
                     fused_relu,
                 } => {
-                    let Kernel {
-                        panels,
-                        bias,
-                        quant,
-                    } = &*self.kernels[*kernel];
+                    let kern = &*self.kernels[*kernel];
+                    let bias = &kern.bias;
                     let oplane = oh * ow;
                     let krows = spec.in_channels * spec.kernel * spec.kernel;
                     let wide = batch * oplane;
                     grow(&mut nxt, spec.out_channels * wide);
-                    match quant {
-                        Some(q) => {
-                            let q0 = telemetry.then(std::time::Instant::now);
-                            let in_plane = h * w;
-                            let in_len = spec.in_channels * in_plane * batch;
-                            grow(&mut qa, in_len);
-                            grow(&mut a_scales, batch);
-                            quantize_chw_per_sample(
-                                &cur,
-                                batch,
-                                spec.in_channels,
-                                in_plane,
-                                &mut qa,
-                                &mut a_scales,
-                            );
-                            // Wide im2col columns are sample-major within
-                            // each kernel row (column j = b·oplane + p), so
-                            // the per-column scales are a per-sample
-                            // broadcast over each sample's window.
-                            grow(&mut c_scales, wide);
-                            for b in 0..batch {
-                                c_scales[b * oplane..(b + 1) * oplane].fill(a_scales[b]);
+                    // Reduction depth per output: an N:M kernel touches
+                    // only its kept weights.
+                    let red = kern.nm.as_ref().map_or(krows, |nm| nm.nnz);
+                    if step_int8 {
+                        let q0 = telemetry.then(std::time::Instant::now);
+                        let in_plane = h * w;
+                        let in_len = spec.in_channels * in_plane * batch;
+                        grow(&mut qa, in_len);
+                        grow(&mut a_scales, batch);
+                        quantize_chw_per_sample(
+                            &cur,
+                            batch,
+                            spec.in_channels,
+                            in_plane,
+                            &mut qa,
+                            &mut a_scales,
+                        );
+                        // Wide im2col columns are sample-major within
+                        // each kernel row (column j = b·oplane + p), so
+                        // the per-column scales are a per-sample
+                        // broadcast over each sample's window.
+                        grow(&mut c_scales, wide);
+                        for b in 0..batch {
+                            c_scales[b * oplane..(b + 1) * oplane].fill(a_scales[b]);
+                        }
+                        grow(&mut qcols, krows * wide);
+                        if let Some(q0) = q0 {
+                            quantize_ns +=
+                                u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        }
+                        im2col_batch_into(&qa, spec, *h, *w, batch, &mut qcols, inner_threads);
+                        match &kern.nm {
+                            Some(nm) => {
+                                let q = nm.quant.as_ref().expect("int8 plan carries N:M twin");
+                                conv_nm_gemm_i8_into(
+                                    &q.data,
+                                    &q.scales,
+                                    &nm.idx,
+                                    &qcols,
+                                    &c_scales,
+                                    Some(bias.as_slice()),
+                                    &mut nxt,
+                                    spec.out_channels,
+                                    nm.nnz,
+                                    wide,
+                                    *fused_relu,
+                                    inner_threads,
+                                );
                             }
-                            grow(&mut qcols, krows * wide);
-                            if let Some(q0) = q0 {
-                                quantize_ns +=
-                                    u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            None => {
+                                let q = kern.quant.as_ref().expect("int8 plan carries quant twin");
+                                if 2 * krows * wide <= I8_WIDEN_MAX_BYTES {
+                                    // Sign-extend the im2col buffer to i16
+                                    // once per batch; the widened kernel then
+                                    // skips the per-panel/per-worker unpack
+                                    // entirely.
+                                    widen_i8_cols_pairs(&qcols, krows, wide, &mut qcols16);
+                                    conv_gemm_i8w_into(
+                                        &q.data,
+                                        &q.scales,
+                                        &qcols16,
+                                        &c_scales,
+                                        Some(bias.as_slice()),
+                                        &mut nxt,
+                                        spec.out_channels,
+                                        krows,
+                                        wide,
+                                        *fused_relu,
+                                        inner_threads,
+                                    );
+                                } else {
+                                    // Large batches double the im2col
+                                    // footprint when widened and fall out of
+                                    // cache; the in-kernel unpack re-reads
+                                    // the compact i8 matrix instead.
+                                    conv_gemm_i8_into(
+                                        &q.data,
+                                        &q.scales,
+                                        &qcols,
+                                        &c_scales,
+                                        Some(bias.as_slice()),
+                                        &mut nxt,
+                                        spec.out_channels,
+                                        krows,
+                                        wide,
+                                        *fused_relu,
+                                        inner_threads,
+                                    );
+                                }
                             }
-                            im2col_batch_into(&qa, spec, *h, *w, batch, &mut qcols, inner_threads);
-                            conv_gemm_i8_into(
-                                &q.data,
-                                &q.scales,
-                                &qcols,
-                                &c_scales,
+                        }
+                        i8_peak = i8_peak.max(in_len).max(krows * wide);
+                        scale_peak = scale_peak.max(wide);
+                    } else {
+                        grow(&mut cols, krows * wide);
+                        im2col_batch_into(&cur, spec, *h, *w, batch, &mut cols, inner_threads);
+                        cols_peak = cols_peak.max(krows * wide);
+                        match &kern.nm {
+                            Some(nm) => conv_nm_gemm_into(
+                                &nm.values,
+                                &nm.idx,
                                 Some(bias.as_slice()),
+                                &cols,
                                 &mut nxt,
                                 spec.out_channels,
-                                krows,
+                                nm.nnz,
                                 wide,
                                 *fused_relu,
                                 inner_threads,
-                            );
-                            i8_peak = i8_peak.max(in_len).max(krows * wide);
-                            scale_peak = scale_peak.max(wide);
-                        }
-                        None => {
-                            grow(&mut cols, krows * wide);
-                            im2col_batch_into(&cur, spec, *h, *w, batch, &mut cols, inner_threads);
-                            cols_peak = cols_peak.max(krows * wide);
-                            conv_gemm_into(
-                                panels.as_slice(),
+                            ),
+                            None => conv_gemm_into(
+                                kern.panels.as_slice(),
                                 &cols,
                                 Some(bias.as_slice()),
                                 &mut nxt,
@@ -1104,10 +1445,10 @@ impl CompiledPlan {
                                 wide,
                                 *fused_relu,
                                 inner_threads,
-                            );
+                            ),
                         }
                     }
-                    flops = 2 * (spec.out_channels * wide) as u64 * krows as u64;
+                    flops = 2 * (spec.out_channels * wide) as u64 * red as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Chw {
                         channels: spec.out_channels,
@@ -1115,52 +1456,83 @@ impl CompiledPlan {
                     };
                 }
                 PlanStep::DenseFlat { kernel, n_in } => {
-                    let Kernel {
-                        panels,
-                        bias,
-                        quant,
-                    } = &*self.kernels[*kernel];
+                    let kern = &*self.kernels[*kernel];
+                    let bias = &kern.bias;
                     let n_out = bias.len();
                     grow(&mut nxt, batch * n_out);
-                    match quant {
-                        Some(q) => {
-                            let q0 = telemetry.then(std::time::Instant::now);
-                            grow(&mut qa, batch * n_in);
-                            grow(&mut a_scales, batch);
-                            quantize_flat_per_sample(&cur, batch, *n_in, &mut qa, &mut a_scales);
-                            if let Some(q0) = q0 {
-                                quantize_ns +=
-                                    u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                            }
-                            dense_batch_i8_into(
-                                &qa,
-                                &a_scales,
-                                &q.data,
-                                &q.scales,
-                                bias.as_slice(),
-                                &mut nxt,
-                                batch,
-                                *n_in,
-                                n_out,
-                                inner_threads,
-                            );
-                            i8_peak = i8_peak.max(batch * n_in);
-                            scale_peak = scale_peak.max(batch);
+                    let red = kern.nm.as_ref().map_or(*n_in, |nm| nm.nnz);
+                    if step_int8 {
+                        let q0 = telemetry.then(std::time::Instant::now);
+                        grow(&mut qa, batch * n_in);
+                        grow(&mut a_scales, batch);
+                        quantize_flat_per_sample(&cur, batch, *n_in, &mut qa, &mut a_scales);
+                        if let Some(q0) = q0 {
+                            quantize_ns +=
+                                u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                         }
-                        None => {
-                            dense_batch_into(
+                        match &kern.nm {
+                            Some(nm) => {
+                                let q = nm.quant.as_ref().expect("int8 plan carries N:M twin");
+                                dense_nm_batch_i8_into(
+                                    &qa,
+                                    &a_scales,
+                                    &q.data,
+                                    &q.scales,
+                                    &nm.idx,
+                                    bias.as_slice(),
+                                    &mut nxt,
+                                    batch,
+                                    *n_in,
+                                    n_out,
+                                    nm.nnz,
+                                    inner_threads,
+                                );
+                            }
+                            None => {
+                                let q = kern.quant.as_ref().expect("int8 plan carries quant twin");
+                                dense_batch_i8_into(
+                                    &qa,
+                                    &a_scales,
+                                    &q.data,
+                                    &q.scales,
+                                    bias.as_slice(),
+                                    &mut nxt,
+                                    batch,
+                                    *n_in,
+                                    n_out,
+                                    inner_threads,
+                                );
+                            }
+                        }
+                        i8_peak = i8_peak.max(batch * n_in);
+                        scale_peak = scale_peak.max(batch);
+                    } else {
+                        match &kern.nm {
+                            Some(nm) => dense_nm_batch_into(
                                 &cur,
-                                panels.as_slice(),
+                                &nm.values,
+                                &nm.idx,
+                                bias.as_slice(),
+                                &mut nxt,
+                                batch,
+                                *n_in,
+                                n_out,
+                                nm.nnz,
+                                inner_threads,
+                            ),
+                            None => dense_batch_into(
+                                &cur,
+                                kern.panels.as_slice(),
                                 bias.as_slice(),
                                 &mut nxt,
                                 batch,
                                 *n_in,
                                 n_out,
                                 inner_threads,
-                            );
+                            ),
                         }
                     }
-                    flops = 2 * (batch * n_in * n_out) as u64;
+                    flops = 2 * (batch * red * n_out) as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Flat { len: n_out };
                 }
@@ -1169,51 +1541,84 @@ impl CompiledPlan {
                     channels,
                     plane,
                 } => {
-                    let Kernel {
-                        panels,
-                        bias,
-                        quant,
-                    } = &*self.kernels[*kernel];
+                    let kern = &*self.kernels[*kernel];
+                    let bias = &kern.bias;
                     let n_out = bias.len();
                     let n_in = channels * plane;
                     grow(&mut nxt, batch * n_out);
-                    match quant {
-                        Some(q) => {
-                            let q0 = telemetry.then(std::time::Instant::now);
-                            grow(&mut qa, batch * n_in);
-                            grow(&mut a_scales, batch);
-                            quantize_chw_per_sample(
-                                &cur,
-                                batch,
-                                *channels,
-                                *plane,
-                                &mut qa,
-                                &mut a_scales,
-                            );
-                            if let Some(q0) = q0 {
-                                quantize_ns +=
-                                    u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                            }
-                            dense_batch_i8_chw_into(
-                                &qa,
-                                &a_scales,
-                                &q.data,
-                                &q.scales,
-                                bias.as_slice(),
-                                &mut nxt,
-                                batch,
-                                *channels,
-                                *plane,
-                                n_out,
-                                inner_threads,
-                            );
-                            i8_peak = i8_peak.max(batch * n_in);
-                            scale_peak = scale_peak.max(batch);
+                    let red = kern.nm.as_ref().map_or(n_in, |nm| nm.nnz);
+                    if step_int8 {
+                        let q0 = telemetry.then(std::time::Instant::now);
+                        grow(&mut qa, batch * n_in);
+                        grow(&mut a_scales, batch);
+                        quantize_chw_per_sample(
+                            &cur,
+                            batch,
+                            *channels,
+                            *plane,
+                            &mut qa,
+                            &mut a_scales,
+                        );
+                        if let Some(q0) = q0 {
+                            quantize_ns +=
+                                u64::try_from(q0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                         }
-                        None => {
-                            dense_batch_chw_into(
+                        match &kern.nm {
+                            Some(nm) => {
+                                let q = nm.quant.as_ref().expect("int8 plan carries N:M twin");
+                                dense_nm_batch_i8_chw_into(
+                                    &qa,
+                                    &a_scales,
+                                    &q.data,
+                                    &q.scales,
+                                    &nm.idx,
+                                    bias.as_slice(),
+                                    &mut nxt,
+                                    batch,
+                                    *channels,
+                                    *plane,
+                                    n_out,
+                                    nm.nnz,
+                                    inner_threads,
+                                );
+                            }
+                            None => {
+                                let q = kern.quant.as_ref().expect("int8 plan carries quant twin");
+                                dense_batch_i8_chw_into(
+                                    &qa,
+                                    &a_scales,
+                                    &q.data,
+                                    &q.scales,
+                                    bias.as_slice(),
+                                    &mut nxt,
+                                    batch,
+                                    *channels,
+                                    *plane,
+                                    n_out,
+                                    inner_threads,
+                                );
+                            }
+                        }
+                        i8_peak = i8_peak.max(batch * n_in);
+                        scale_peak = scale_peak.max(batch);
+                    } else {
+                        match &kern.nm {
+                            Some(nm) => dense_nm_batch_chw_into(
                                 &cur,
-                                panels.as_slice(),
+                                &nm.values,
+                                &nm.idx,
+                                bias.as_slice(),
+                                &mut nxt,
+                                batch,
+                                *channels,
+                                *plane,
+                                n_out,
+                                nm.nnz,
+                                inner_threads,
+                            ),
+                            None => dense_batch_chw_into(
+                                &cur,
+                                kern.panels.as_slice(),
                                 bias.as_slice(),
                                 &mut nxt,
                                 batch,
@@ -1221,10 +1626,10 @@ impl CompiledPlan {
                                 *plane,
                                 n_out,
                                 inner_threads,
-                            );
+                            ),
                         }
                     }
-                    flops = 2 * (batch * n_in * n_out) as u64;
+                    flops = 2 * (batch * red * n_out) as u64;
                     std::mem::swap(&mut cur, &mut nxt);
                     layout = Layout::Flat { len: n_out };
                 }
@@ -1277,23 +1682,35 @@ impl CompiledPlan {
             f32_peak = f32_peak.max(layout.per_sample_len() * batch);
             if let Some(t0) = t0 {
                 let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                timings.push((si, step.kind(), ns, flops, step_int8));
+                timings.push((si, step.kind(), ns, flops, step_int8, step_nm));
             }
         }
         if telemetry {
             let reg = capnn_telemetry::global();
-            for (si, kind, ns, flops, int8) in timings {
+            for (si, kind, ns, flops, int8, nm) in timings {
                 reg.histogram(&format!("plan.step{si:02}_{kind}_ns"))
                     .record(ns);
                 // Effective throughput gauges: ops/ns is numerically
-                // G(FL)OP/s. Int8 GEMM steps report int8 multiply–adds
-                // under their own probe; f32 conv keeps its gflops gauge.
-                if int8 && flops > 0 && ns > 0 {
-                    reg.gauge(&format!("plan.step{si:02}_{kind}_int8_gops"))
-                        .set(flops as f64 / ns as f64);
-                } else if kind == "conv" && flops > 0 && ns > 0 {
-                    reg.gauge(&format!("plan.step{si:02}_conv_gflops"))
-                        .set(flops as f64 / ns as f64);
+                // G(FL)OP/s. Int8 and N:M GEMM steps report their
+                // multiply–adds (over kept weights only) under their own
+                // probes; f32 dense conv keeps its gflops gauge.
+                if flops > 0 && ns > 0 {
+                    let gops = flops as f64 / ns as f64;
+                    match (int8, nm) {
+                        (true, true) => reg
+                            .gauge(&format!("plan.step{si:02}_{kind}_nm_int8_gops"))
+                            .set(gops),
+                        (true, false) => reg
+                            .gauge(&format!("plan.step{si:02}_{kind}_int8_gops"))
+                            .set(gops),
+                        (false, true) => reg
+                            .gauge(&format!("plan.step{si:02}_{kind}_nm_gflops"))
+                            .set(gops),
+                        (false, false) if kind == "conv" => reg
+                            .gauge(&format!("plan.step{si:02}_conv_gflops"))
+                            .set(gops),
+                        _ => {}
+                    }
                 }
             }
             if quantize_ns > 0 {
@@ -1328,6 +1745,7 @@ impl CompiledPlan {
         scratch.cols = cols;
         scratch.qa = qa;
         scratch.qcols = qcols;
+        scratch.qcols16 = qcols16;
         scratch.a_scales = a_scales;
         scratch.c_scales = c_scales;
         scratch.note_use(f32_peak, cols_peak, i8_peak, scale_peak);
@@ -1350,6 +1768,7 @@ pub(crate) struct PlanWire {
     per_sample_macs: u64,
     packed_params: usize,
     precision: Precision,
+    sparsity: Sparsity,
 }
 
 impl CompiledPlan {
@@ -1364,6 +1783,7 @@ impl CompiledPlan {
             per_sample_macs: self.per_sample_macs,
             packed_params: self.packed_params,
             precision: self.precision,
+            sparsity: self.sparsity,
         }
     }
 
@@ -1394,6 +1814,7 @@ impl CompiledPlan {
             per_sample_macs: wire.per_sample_macs,
             packed_params: wire.packed_params,
             precision: wire.precision,
+            sparsity: wire.sparsity,
         })
     }
 }
@@ -1784,6 +2205,151 @@ mod tests {
             plan.forward(&x).unwrap().as_slice(),
             back.forward(&x).unwrap().as_slice()
         );
+    }
+
+    #[test]
+    fn nm_plan_agrees_with_dense_plan() {
+        let net = small_cnn();
+        let mut mask = PruneMask::all_kept(&net);
+        mask.prune(net.prunable_layers()[1], 2).unwrap();
+        let dense = net.compile(&mask).unwrap();
+        let nm =
+            CompiledPlan::compile_sparse(&net, &mask, Precision::F32, Sparsity::NM(2, 4), None)
+                .unwrap();
+        assert_eq!(dense.sparsity(), Sparsity::Dense);
+        assert_eq!(nm.sparsity(), Sparsity::NM(2, 4));
+        assert_eq!(nm.sparsity().name(), "nm2_4");
+        // compressed kernels cut MACs and stored parameters
+        assert!(nm.per_sample_macs() < dense.per_sample_macs());
+        assert!(nm.packed_param_count() < dense.packed_param_count());
+        let mut rng = XorShiftRng::new(41);
+        let mut agree = 0usize;
+        const N: usize = 64;
+        for _ in 0..N {
+            let x = Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng);
+            if dense.forward(&x).unwrap().argmax() == nm.forward(&x).unwrap().argmax() {
+                agree += 1;
+            }
+        }
+        // Ungated 2:4 on a tiny random net still predicts mostly the
+        // same class; the profile-side gate enforces the tight floor.
+        assert!(
+            agree * 10 >= N * 7,
+            "argmax agreement {agree}/{N} below 70%"
+        );
+    }
+
+    #[test]
+    fn nm_plan_batched_forward_bitwise_matches_per_sample() {
+        for precision in [Precision::F32, Precision::Int8] {
+            let net = small_cnn();
+            let mut mask = PruneMask::all_kept(&net);
+            mask.prune(net.prunable_layers()[0], 1).unwrap();
+            let plan =
+                CompiledPlan::compile_sparse(&net, &mask, precision, Sparsity::NM(2, 4), None)
+                    .unwrap();
+            let mut rng = XorShiftRng::new(43);
+            let inputs: Vec<Tensor> = (0..9)
+                .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+                .collect();
+            let mut scratch = PlanScratch::new();
+            let batched = plan.run_chunk(&inputs, &mut scratch, 1).unwrap();
+            for (x, y) in inputs.iter().zip(&batched) {
+                let single = plan.forward_with_scratch(x, &mut scratch).unwrap();
+                assert_eq!(single.as_slice(), y.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn nm_plan_scratch_reuse_across_batch_sizes_is_bitwise() {
+        // The sparse path's scratch story (qcols16 widening included)
+        // must be stateless: interleaving chunk sizes through one reused
+        // scratch gives the same bits as a fresh scratch every time.
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let plan =
+            CompiledPlan::compile_sparse(&net, &mask, Precision::Int8, Sparsity::NM(4, 8), None)
+                .unwrap();
+        let mut rng = XorShiftRng::new(47);
+        let inputs: Vec<Tensor> = (0..13)
+            .map(|_| Tensor::uniform(&[1, 4, 4], -1.0, 1.0, &mut rng))
+            .collect();
+        let mut reused = PlanScratch::new();
+        for chunk in [7usize, 1, 5, 13, 2] {
+            let got = plan.run_chunk(&inputs[..chunk], &mut reused, 1).unwrap();
+            let want = plan
+                .run_chunk(&inputs[..chunk], &mut PlanScratch::new(), 1)
+                .unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.as_slice(), w.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn nm_kernels_pool_separately_from_dense() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let pool = PanelPool::new();
+        let dense = CompiledPlan::compile_shared(&net, &mask, Precision::F32, Some(&pool)).unwrap();
+        let nm_a = CompiledPlan::compile_sparse(
+            &net,
+            &mask,
+            Precision::F32,
+            Sparsity::NM(2, 4),
+            Some(&pool),
+        )
+        .unwrap();
+        let nm_b = CompiledPlan::compile_sparse(
+            &net,
+            &mask,
+            Precision::F32,
+            Sparsity::NM(2, 4),
+            Some(&pool),
+        )
+        .unwrap();
+        // same tier aliases, different tiers never do
+        for (ka, kb) in nm_a.kernels.iter().zip(&nm_b.kernels) {
+            assert!(Arc::ptr_eq(ka, kb));
+        }
+        for (kd, kn) in dense.kernels.iter().zip(&nm_a.kernels) {
+            assert!(!Arc::ptr_eq(kd, kn));
+        }
+        // N:M kernels carry compressed twins and count them in memory
+        assert!(nm_a.kernels.iter().all(|k| k.nm.is_some()));
+        assert!(nm_a.kernels.iter().all(|k| k.heap_bytes() > 0));
+    }
+
+    #[test]
+    fn degenerate_nm_patterns_rejected() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        for bad in [Sparsity::NM(0, 4), Sparsity::NM(4, 4), Sparsity::NM(5, 4)] {
+            assert!(
+                CompiledPlan::compile_sparse(&net, &mask, Precision::F32, bad, None).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn per_layer_sparsity_span_checked() {
+        let net = small_cnn();
+        let mask = PruneMask::all_kept(&net);
+        let short = vec![Sparsity::Dense; net.len() - 1];
+        assert!(
+            CompiledPlan::compile_sparse_layers(&net, &mask, Precision::F32, &short, None).is_err()
+        );
+        // hybrid per-layer compile works and labels with the non-dense tier
+        let mut layers = vec![Sparsity::Dense; net.len()];
+        layers[0] = Sparsity::NM(2, 4);
+        let plan = CompiledPlan::compile_sparse_layers(&net, &mask, Precision::F32, &layers, None)
+            .unwrap();
+        assert_eq!(plan.sparsity(), Sparsity::NM(2, 4));
+        // only layer 0's kernel is compressed
+        assert!(plan.kernels[0].nm.is_some());
+        assert!(plan.kernels[1..].iter().all(|k| k.nm.is_none()));
     }
 
     #[test]

@@ -26,10 +26,12 @@
 
 mod confusion;
 mod firing;
+mod nm;
 mod quant;
 mod selectivity;
 
 pub use confusion::ConfusionMatrix;
 pub use firing::{FiringRateProfiler, FiringRates, LayerRates};
+pub use nm::{gate_nm_plan, nm_candidate_order, NmGateConfig, NmGateReport};
 pub use quant::{int8_weight_stats, quantize_rates, Int8WeightStats, QuantizedRates};
 pub use selectivity::{layer_selectivity, unit_selectivity, LayerSelectivity, UnitSelectivity};

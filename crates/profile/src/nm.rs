@@ -1,0 +1,333 @@
+//! Accuracy-gated per-layer N:M sparsity selection — the profile-side half
+//! of the hybrid-sparse execution tier.
+//!
+//! The compiled-plan engine can compress any conv/dense kernel to an N:M
+//! pattern *within* the kept rows/columns of a user's prune mask
+//! ([`CompiledPlan::compile_sparse_layers`]). Which layers tolerate that
+//! compression is a per-network question, and this module answers it with
+//! the statistics the cloud already has: class-selectivity summaries of the
+//! firing-rate profiles. Layers whose units fire indiscriminately across
+//! classes compute general features, and magnitude-based N:M selection
+//! perturbs them least; highly class-selective layers concentrate their
+//! discriminative mass in few weights and are tried last. The gate walks
+//! candidates in that order, flips each to the requested pattern, and keeps
+//! the flip only while top-1 agreement with the dense f32 reference stays
+//! at or above a configurable floor.
+
+use crate::firing::FiringRates;
+use crate::selectivity::layer_selectivity;
+use capnn_data::Dataset;
+use capnn_nn::{CompiledPlan, Layer, Network, NnError, Precision, PruneMask, Sparsity};
+use capnn_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Tuning knobs for [`gate_nm_plan`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NmGateConfig {
+    /// Pattern to try on each candidate layer. [`Sparsity::Dense`] makes
+    /// the gate a no-op (useful for sweep baselines).
+    pub pattern: Sparsity,
+    /// Minimum top-1 agreement (fraction, in `[0, 1]`) a candidate plan
+    /// must keep against the dense f32 reference for a flip to stick.
+    pub min_agreement: f32,
+    /// Precision the candidate plans are compiled and evaluated at. Gate
+    /// at the precision you will serve at: int8 quantization noise and
+    /// N:M truncation interact, so gating at f32 and serving int8 would
+    /// overstate the achievable agreement.
+    pub precision: Precision,
+}
+
+impl Default for NmGateConfig {
+    fn default() -> Self {
+        Self {
+            pattern: Sparsity::NM(2, 4),
+            min_agreement: 0.99,
+            precision: Precision::F32,
+        }
+    }
+}
+
+/// Outcome of [`gate_nm_plan`]: the per-layer sparsity vector to hand to
+/// [`CompiledPlan::compile_sparse_layers`], plus provenance for telemetry
+/// and benchmark reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NmGateReport {
+    /// One tier per network layer; non-GEMM layers stay
+    /// [`Sparsity::Dense`].
+    pub layers: Vec<Sparsity>,
+    /// GEMM layer indices the gate managed to flip, in acceptance order.
+    pub enabled: Vec<usize>,
+    /// All GEMM layer indices considered, in trial order (ascending
+    /// class selectivity).
+    pub candidates: Vec<usize>,
+    /// Top-1 agreement of the returned configuration against the dense
+    /// f32 reference over the gating dataset.
+    pub agreement: f32,
+    /// Pattern the gate was run with.
+    pub pattern: Sparsity,
+}
+
+impl NmGateReport {
+    /// Fraction of candidate GEMM layers running the sparse tier.
+    pub fn enabled_fraction(&self) -> f32 {
+        if self.candidates.is_empty() {
+            0.0
+        } else {
+            self.enabled.len() as f32 / self.candidates.len() as f32
+        }
+    }
+}
+
+/// GEMM (conv/dense) layer indices ordered by ascending class selectivity:
+/// layers absent from `rates` (outside the profiled tail — early,
+/// general-feature layers) come first, then profiled layers by rising
+/// `mean_index`, ties broken by layer position.
+pub fn nm_candidate_order(net: &Network, rates: &FiringRates) -> Vec<usize> {
+    let sel = layer_selectivity(rates);
+    let selectivity_of = |li: usize| sel.iter().find(|s| s.layer == li).map(|s| s.mean_index);
+    let mut gemm: Vec<usize> = net
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| matches!(l, Layer::Conv2d(_) | Layer::Dense(_)))
+        .map(|(i, _)| i)
+        .collect();
+    gemm.sort_by(|&a, &b| {
+        let ka = selectivity_of(a).unwrap_or(f32::NEG_INFINITY);
+        let kb = selectivity_of(b).unwrap_or(f32::NEG_INFINITY);
+        ka.partial_cmp(&kb)
+            .unwrap_or(Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    gemm
+}
+
+/// Greedily enables `config.pattern` on GEMM layers of `net` (under
+/// `mask`), in [`nm_candidate_order`], keeping each flip only while top-1
+/// agreement with the dense f32 reference stays at or above
+/// `config.min_agreement` over `dataset`.
+///
+/// The returned [`NmGateReport::agreement`] always describes the returned
+/// `layers` vector (measured, not assumed — an all-dense result at int8
+/// precision reports the int8 baseline agreement, not 1.0).
+///
+/// # Errors
+///
+/// Returns [`NnError::Config`] if `dataset` is empty (agreement over zero
+/// samples would vacuously accept every layer), if the pattern is
+/// degenerate, or if plan compilation fails for `net` + `mask`.
+pub fn gate_nm_plan(
+    net: &Network,
+    mask: &PruneMask,
+    rates: &FiringRates,
+    dataset: &Dataset,
+    config: &NmGateConfig,
+) -> Result<NmGateReport, NnError> {
+    config.pattern.validate()?;
+    if dataset.is_empty() {
+        return Err(NnError::Config(
+            "N:M gate needs a non-empty dataset: agreement over zero samples \
+             would vacuously accept every layer"
+                .into(),
+        ));
+    }
+    let inputs: Vec<Tensor> = dataset.samples().iter().map(|(x, _)| x.clone()).collect();
+    let reference = CompiledPlan::compile(net, mask)?;
+    let ref_top1: Vec<Option<usize>> = reference
+        .forward_batch(&inputs)?
+        .iter()
+        .map(Tensor::argmax)
+        .collect();
+
+    let candidates = nm_candidate_order(net, rates);
+    let mut layers = vec![Sparsity::Dense; net.len()];
+    let mut enabled = Vec::new();
+    // Agreement of the current `layers` state. All-dense f32 matches the
+    // reference by construction; any other precision is measured below.
+    let mut agreement = if config.precision == Precision::F32 {
+        1.0
+    } else {
+        let base = CompiledPlan::compile_with_precision(net, mask, config.precision)?;
+        top1_agreement(&base, &inputs, &ref_top1)?
+    };
+    if config.pattern == Sparsity::Dense {
+        return Ok(NmGateReport {
+            layers,
+            enabled,
+            candidates,
+            agreement,
+            pattern: config.pattern,
+        });
+    }
+    for &li in &candidates {
+        layers[li] = config.pattern;
+        let plan = CompiledPlan::compile_sparse_layers(net, mask, config.precision, &layers, None)?;
+        let agree = top1_agreement(&plan, &inputs, &ref_top1)?;
+        if agree >= config.min_agreement {
+            enabled.push(li);
+            agreement = agree;
+        } else {
+            layers[li] = Sparsity::Dense;
+        }
+    }
+    Ok(NmGateReport {
+        layers,
+        enabled,
+        candidates,
+        agreement,
+        pattern: config.pattern,
+    })
+}
+
+fn top1_agreement(
+    plan: &CompiledPlan,
+    inputs: &[Tensor],
+    ref_top1: &[Option<usize>],
+) -> Result<f32, NnError> {
+    let outs = plan.forward_batch(inputs)?;
+    let matches = outs
+        .iter()
+        .zip(ref_top1)
+        .filter(|(out, want)| out.argmax() == **want)
+        .count();
+    Ok(matches as f32 / ref_top1.len() as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::firing::{FiringRateProfiler, LayerRates};
+    use capnn_nn::NetworkBuilder;
+
+    fn net() -> Network {
+        NetworkBuilder::cnn(&[1, 8, 8], &[(6, 1)], &[16], 4, 11)
+            .build()
+            .unwrap()
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = capnn_tensor::XorShiftRng::new(5);
+        let samples = (0..n)
+            .map(|i| {
+                let x = Tensor::uniform(&[1, 8, 8], -1.0, 1.0, &mut rng);
+                (x, i % 4)
+            })
+            .collect();
+        Dataset::new(samples, 4).unwrap()
+    }
+
+    fn gate_inputs() -> (Network, PruneMask, FiringRates, Dataset) {
+        let n = net();
+        let mask = PruneMask::all_kept(&n);
+        let ds = dataset(24);
+        let rates = FiringRateProfiler::new(4).profile(&n, &ds).unwrap();
+        (n, mask, rates, ds)
+    }
+
+    #[test]
+    fn gate_returns_spanning_layers_and_meets_floor() {
+        let (n, mask, rates, ds) = gate_inputs();
+        let config = NmGateConfig {
+            min_agreement: 0.5,
+            ..NmGateConfig::default()
+        };
+        let report = gate_nm_plan(&n, &mask, &rates, &ds, &config).unwrap();
+        assert_eq!(report.layers.len(), n.len());
+        assert!(report.agreement >= config.min_agreement);
+        assert!(!report.candidates.is_empty());
+        for &li in &report.enabled {
+            assert_eq!(report.layers[li], config.pattern);
+            assert!(report.candidates.contains(&li));
+        }
+        for (li, sp) in report.layers.iter().enumerate() {
+            if !report.enabled.contains(&li) {
+                assert_eq!(*sp, Sparsity::Dense);
+            }
+        }
+        // The gated vector must actually compile.
+        CompiledPlan::compile_sparse_layers(&n, &mask, config.precision, &report.layers, None)
+            .unwrap();
+    }
+
+    #[test]
+    fn impossible_floor_keeps_everything_dense() {
+        let (n, mask, rates, ds) = gate_inputs();
+        let config = NmGateConfig {
+            min_agreement: 1.1,
+            ..NmGateConfig::default()
+        };
+        let report = gate_nm_plan(&n, &mask, &rates, &ds, &config).unwrap();
+        assert!(report.enabled.is_empty());
+        assert!(report.layers.iter().all(|sp| *sp == Sparsity::Dense));
+        assert_eq!(report.agreement, 1.0);
+        assert_eq!(report.enabled_fraction(), 0.0);
+    }
+
+    #[test]
+    fn dense_pattern_is_a_no_op() {
+        let (n, mask, rates, ds) = gate_inputs();
+        let config = NmGateConfig {
+            pattern: Sparsity::Dense,
+            ..NmGateConfig::default()
+        };
+        let report = gate_nm_plan(&n, &mask, &rates, &ds, &config).unwrap();
+        assert!(report.enabled.is_empty());
+        assert!(report.layers.iter().all(|sp| *sp == Sparsity::Dense));
+        assert_eq!(report.agreement, 1.0);
+    }
+
+    #[test]
+    fn empty_dataset_and_degenerate_pattern_rejected() {
+        let (n, mask, rates, _) = gate_inputs();
+        let empty = Dataset::new(Vec::new(), 4).unwrap();
+        assert!(gate_nm_plan(&n, &mask, &rates, &empty, &NmGateConfig::default()).is_err());
+        let ds = dataset(4);
+        let bad = NmGateConfig {
+            pattern: Sparsity::NM(4, 4),
+            ..NmGateConfig::default()
+        };
+        assert!(gate_nm_plan(&n, &mask, &rates, &ds, &bad).is_err());
+    }
+
+    #[test]
+    fn candidate_order_prefers_least_selective_profiled_layers() {
+        let n = net(); // conv at 0, dense at 4 and 6
+        let gemm: Vec<usize> = n
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| matches!(l, Layer::Conv2d(_) | Layer::Dense(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(gemm.len(), 3);
+        // Profile only the two dense layers; make the LAST one fire
+        // uniformly (unselective) and the middle one one-hot (selective).
+        let uniform = LayerRates {
+            layer: gemm[2],
+            rates: Tensor::from_vec(vec![0.5; 8], &[2, 4]).unwrap(),
+        };
+        let onehot = LayerRates {
+            layer: gemm[1],
+            rates: Tensor::from_vec(vec![0.9, 0.0, 0.0, 0.0, 0.0, 0.9, 0.0, 0.0], &[2, 4]).unwrap(),
+        };
+        let rates = FiringRates::from_layers(vec![onehot, uniform], 4);
+        let order = nm_candidate_order(&n, &rates);
+        // Unprofiled conv first, then the uniform (unselective) dense,
+        // then the one-hot (selective) dense.
+        assert_eq!(order, vec![gemm[0], gemm[2], gemm[1]]);
+    }
+
+    #[test]
+    fn int8_gate_reports_measured_baseline_agreement() {
+        let (n, mask, rates, ds) = gate_inputs();
+        let config = NmGateConfig {
+            precision: Precision::Int8,
+            min_agreement: 1.1, // force all-dense so agreement is the baseline
+            ..NmGateConfig::default()
+        };
+        let report = gate_nm_plan(&n, &mask, &rates, &ds, &config).unwrap();
+        assert!(report.enabled.is_empty());
+        assert!((0.0..=1.0).contains(&report.agreement));
+    }
+}

@@ -26,6 +26,7 @@ mod pool;
 mod qops;
 mod rng;
 mod shape;
+mod spops;
 mod tensor;
 
 pub use conv::{
@@ -40,11 +41,18 @@ pub use ops::{
 };
 pub use pool::{max_pool2d, PoolSpec};
 pub use qops::{
-    conv_gemm_i8_into, conv_gemm_i8_reference, dense_batch_i8_chw_into,
+    conv_gemm_i8_into, conv_gemm_i8_reference, conv_gemm_i8w_into, dense_batch_i8_chw_into,
     dense_batch_i8_chw_reference, dense_batch_i8_into, dense_batch_i8_reference, i8_inv_scale,
     i8_scale, max_abs, quantize_conv_panels_i8, quantize_dense_panels_i8, quantize_i8,
-    quantize_slice_i8, I8_QMAX,
+    quantize_slice_i8, widen_i8_cols_pairs, I8_QMAX,
 };
 pub use rng::XorShiftRng;
 pub use shape::Shape;
+pub use spops::{
+    conv_nm_gemm_i8_into, conv_nm_gemm_i8_reference, conv_nm_gemm_into, conv_nm_gemm_reference,
+    dense_nm_batch_chw_into, dense_nm_batch_chw_reference, dense_nm_batch_i8_chw_into,
+    dense_nm_batch_i8_chw_reference, dense_nm_batch_i8_into, dense_nm_batch_i8_reference,
+    dense_nm_batch_into, dense_nm_batch_reference, nm_nnz, quantize_nm_conv_i8,
+    quantize_nm_dense_i8, select_nm_conv, select_nm_dense,
+};
 pub use tensor::Tensor;

@@ -8,8 +8,8 @@
 //! * a generic layout driver ([`matmul_layout`],
 //!   [`matmul_layout_threaded`], [`matmul_layout_reference`]) selecting
 //!   the operand layout via [`MatmulLayout`] — one shape check, one entry
-//!   point per execution flavor (the per-layout `*_reference`/`*_threaded`
-//!   names are `#[deprecated]` wrappers kept for source compatibility);
+//!   point per execution flavor (the old per-layout `*_reference`/
+//!   `*_threaded` wrapper names are gone);
 //! * a single-threaded reference kernel (via
 //!   [`matmul_layout_reference`]) — the original straightforward loops,
 //!   kept as the semantic baseline the optimized kernels are

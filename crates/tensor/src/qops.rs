@@ -173,7 +173,13 @@ pub fn quantize_conv_panels_i8(w: &[f32], out_c: usize, krows: usize) -> (Vec<i8
 /// optimized tiles and the scalar references so every path performs the
 /// identical f32 operations: `acc·(a_scale·w_scale) + bias`.
 #[inline(always)]
-fn dense_i8_epilogue(acc: &[i32], a_scale: f32, w_scales: &[f32], bias: &[f32], dst: &mut [f32]) {
+pub(crate) fn dense_i8_epilogue(
+    acc: &[i32],
+    a_scale: f32,
+    w_scales: &[f32],
+    bias: &[f32],
+    dst: &mut [f32],
+) {
     for (((o, &q), &ws), &b) in dst.iter_mut().zip(acc).zip(w_scales).zip(bias) {
         *o = q as f32 * (a_scale * ws) + b;
     }
@@ -182,7 +188,7 @@ fn dense_i8_epilogue(acc: &[i32], a_scale: f32, w_scales: &[f32], bias: &[f32], 
 /// Packs two adjacent int8 codes into the 32-bit `(lo, hi)` i16-pair
 /// operand `vpmaddwd` consumes after an 8-lane broadcast.
 #[inline(always)]
-fn pack_i8_pair(a0: i8, a1: i8) -> i32 {
+pub(crate) fn pack_i8_pair(a0: i8, a1: i8) -> i32 {
     ((a0 as i16 as u16 as u32) | ((a1 as i16 as u16 as u32) << 16)) as i32
 }
 
@@ -559,7 +565,7 @@ pub fn dense_batch_i8_chw_reference(
 /// and the scalar reference: `acc·(col_scale·w_scale) + bias`, then the
 /// fused ReLU clamp.
 #[inline(always)]
-fn conv_i8_epilogue(
+pub(crate) fn conv_i8_epilogue(
     acc: &[i32],
     w_scale: f32,
     col_scales: &[f32],
@@ -1006,6 +1012,318 @@ pub fn conv_gemm_i8_reference(
     }
 }
 
+/// Sign-extends a quantized im2col matrix (`krows × n` int8) into the
+/// pair-interleaved `i16` layout the widened conv kernel streams:
+/// reduction rows advance in pairs, and pair `k`, column `j` stores rows
+/// `2k` and `2k+1` adjacently at `cols16[(k·n + j)·2 ..][..2]` (the odd
+/// tail row is materialized as 0).
+///
+/// [`conv_gemm_i8_into`] re-derives this interleaving *inside* the
+/// microkernel — two 8-byte loads, a byte-unpack and a widen per column
+/// tile, repeated for every `CONV_MR`-channel panel and every worker.
+/// Calling this once per batch hoists that work out of the
+/// `out_c / CONV_MR` panel loop entirely; [`conv_gemm_i8w_into`] then
+/// replaces the unpack sequence with a single 32-byte load.
+pub fn widen_i8_cols_pairs(cols: &[i8], krows: usize, n: usize, cols16: &mut Vec<i16>) {
+    assert!(cols.len() >= krows * n, "im2col buffer");
+    let npairs = krows.div_ceil(2);
+    cols16.clear();
+    cols16.resize(npairs * n * 2, 0);
+    for k in 0..npairs {
+        let lo = &cols[2 * k * n..2 * k * n + n];
+        let dst = &mut cols16[k * n * 2..(k + 1) * n * 2];
+        if 2 * k + 1 < krows {
+            let hi = &cols[(2 * k + 1) * n..(2 * k + 1) * n + n];
+            for ((d, &a), &b) in dst.chunks_exact_mut(2).zip(lo).zip(hi) {
+                d[0] = a as i16;
+                d[1] = b as i16;
+            }
+        } else {
+            for (d, &a) in dst.chunks_exact_mut(2).zip(lo) {
+                d[0] = a as i16;
+            }
+        }
+    }
+}
+
+/// Panel-packed int8 conv GEMM over a pre-widened im2col matrix: the
+/// fast twin of [`conv_gemm_i8_into`] consuming the
+/// [`widen_i8_cols_pairs`] layout instead of raw `i8` columns. Identical
+/// numeric contract — exact `i32` sums, shared epilogue — so results are
+/// bitwise identical to [`conv_gemm_i8_reference`] over the original
+/// columns. The AVX2 inner loop is one 32-byte load + `vpmaddwd` per
+/// (pair, channel), with the byte-unpack amortized across the whole
+/// batch by the caller.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_gemm_i8w_into(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols16: &[i16],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    out_c: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+    threads: usize,
+) {
+    assert_eq!(
+        panels.len(),
+        crate::ops::conv_panels_len(out_c, krows),
+        "panel buffer"
+    );
+    assert!(
+        cols16.len() >= krows.div_ceil(2) * n * 2,
+        "widened im2col buffer"
+    );
+    assert!(col_scales.len() >= n, "per-column scales");
+    assert!(out.len() >= out_c * n, "output buffer");
+    parallel::parallel_rows_mut(
+        &mut out[..out_c * n],
+        out_c,
+        n,
+        threads,
+        min_rows_per_thread(krows, n),
+        |rows, block| {
+            conv_i8w_rows(
+                panels, w_scales, cols16, col_scales, bias, block, rows.start, rows.end, krows, n,
+                relu,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of [`conv_gemm_i8w_into`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8w_rows(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols16: &[i16],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe {
+            conv_i8w_rows_avx2(
+                panels, w_scales, cols16, col_scales, bias, block, r0, r1, krows, n, relu,
+            )
+        };
+        return;
+    }
+    conv_i8w_rows_impl(
+        panels, w_scales, cols16, col_scales, bias, block, r0, r1, krows, n, relu,
+    );
+}
+
+/// `vpmaddwd` body of [`conv_i8w_rows`]: the [`conv_i8_rows_avx2`]
+/// structure with the per-tile unpack sequence (2 loads + `punpcklbw` +
+/// `pmovsxbw`) collapsed into one aligned-layout 32-byte load from the
+/// pre-widened buffer.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn conv_i8w_rows_avx2(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols16: &[i16],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    use std::arch::x86_64::*;
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    let npairs = krows.div_ceil(2);
+    let mut oc = r0;
+    while oc < r1 {
+        if !(oc.is_multiple_of(CONV_MR) && oc + CONV_MR <= r1) {
+            let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+            conv_i8w_row(
+                panels,
+                cols16,
+                col_scales,
+                bias_at(oc),
+                w_scales[oc],
+                row,
+                oc,
+                krows,
+                n,
+                relu,
+            );
+            oc += 1;
+            continue;
+        }
+        let panel = &panels[(oc / CONV_MR) * krows * CONV_MR..][..krows * CONV_MR];
+        // per-pair broadcast weights for the panel's four channels, built
+        // once and streamed over every column tile
+        let mut wp = vec![0i32; npairs * CONV_MR];
+        for k in 0..npairs {
+            for m in 0..CONV_MR {
+                let w0 = panel[2 * k * CONV_MR + m];
+                let w1 = if 2 * k + 1 < krows {
+                    panel[(2 * k + 1) * CONV_MR + m]
+                } else {
+                    0
+                };
+                wp[k * CONV_MR + m] = pack_i8_pair(w0, w1);
+            }
+        }
+        let mut j0 = 0;
+        while j0 + CONV_NR <= n {
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            let mut acc2 = _mm256_setzero_si256();
+            let mut acc3 = _mm256_setzero_si256();
+            for k in 0..npairs {
+                // SAFETY: j0 + CONV_NR ≤ n and k < npairs, so the 32-byte
+                // load stays inside `cols16` (len ≥ npairs·n·2).
+                let cv =
+                    _mm256_loadu_si256(cols16.as_ptr().add((k * n + j0) * 2) as *const __m256i);
+                let wk = &wp[k * CONV_MR..(k + 1) * CONV_MR];
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[0])));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[1])));
+                acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[2])));
+                acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(cv, _mm256_set1_epi32(wk[3])));
+            }
+            let csc = &col_scales[j0..j0 + CONV_NR];
+            for (m, acc) in [acc0, acc1, acc2, acc3].into_iter().enumerate() {
+                let mut lanes = [0i32; CONV_NR];
+                _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+                conv_i8_epilogue(
+                    &lanes,
+                    w_scales[oc + m],
+                    csc,
+                    bias_at(oc + m),
+                    relu,
+                    &mut block[(oc - r0 + m) * n + j0..(oc - r0 + m) * n + j0 + CONV_NR],
+                );
+            }
+            j0 += CONV_NR;
+        }
+        if j0 < n {
+            // scalar tail: same exact i32 sums on the leftover columns
+            let jn = n - j0;
+            for m in 0..CONV_MR {
+                let mut acc = [0i32; CONV_NR];
+                for k in 0..npairs {
+                    let w0 = wp[k * CONV_MR + m] as i16 as i32;
+                    let w1 = (wp[k * CONV_MR + m] >> 16) as i32;
+                    let prow = &cols16[(k * n + j0) * 2..(k * n + j0 + jn) * 2];
+                    for (o, p) in acc[..jn].iter_mut().zip(prow.chunks_exact(2)) {
+                        *o += w0 * p[0] as i32 + w1 * p[1] as i32;
+                    }
+                }
+                conv_i8_epilogue(
+                    &acc[..jn],
+                    w_scales[oc + m],
+                    &col_scales[j0..j0 + jn],
+                    bias_at(oc + m),
+                    relu,
+                    &mut block[(oc - r0 + m) * n + j0..(oc - r0 + m) * n + j0 + jn],
+                );
+            }
+        }
+        oc += CONV_MR;
+    }
+}
+
+/// Portable body of [`conv_i8w_rows`]: widening `i32` multiplies over the
+/// pair-interleaved buffer, exact sums, shared epilogue — bitwise equal
+/// to the AVX2 body and to the narrow-kernel reference.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8w_rows_impl(
+    panels: &[i8],
+    w_scales: &[f32],
+    cols16: &[i16],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    for oc in r0..r1 {
+        let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+        conv_i8w_row(
+            panels,
+            cols16,
+            col_scales,
+            bias_at(oc),
+            w_scales[oc],
+            row,
+            oc,
+            krows,
+            n,
+            relu,
+        );
+    }
+}
+
+/// Single output-channel path over the widened buffer: reads the packed
+/// panel layout with stride `CONV_MR` and the pair-interleaved columns,
+/// accumulating the same exact `i32` sum as [`conv_i8_row`].
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_i8w_row(
+    panels: &[i8],
+    cols16: &[i16],
+    col_scales: &[f32],
+    bias: f32,
+    w_scale: f32,
+    row: &mut [f32],
+    oc: usize,
+    krows: usize,
+    n: usize,
+    relu: bool,
+) {
+    let base = (oc / CONV_MR) * krows * CONV_MR + oc % CONV_MR;
+    let npairs = krows.div_ceil(2);
+    let mut j0 = 0;
+    while j0 < n {
+        let jn = (n - j0).min(CONV_NR);
+        let mut acc = [0i32; CONV_NR];
+        for k in 0..npairs {
+            let w0 = panels[base + 2 * k * CONV_MR] as i32;
+            let w1 = if 2 * k + 1 < krows {
+                panels[base + (2 * k + 1) * CONV_MR] as i32
+            } else {
+                0
+            };
+            let prow = &cols16[(k * n + j0) * 2..(k * n + j0 + jn) * 2];
+            for (o, p) in acc[..jn].iter_mut().zip(prow.chunks_exact(2)) {
+                *o += w0 * p[0] as i32 + w1 * p[1] as i32;
+            }
+        }
+        conv_i8_epilogue(
+            &acc[..jn],
+            w_scale,
+            &col_scales[j0..j0 + jn],
+            bias,
+            relu,
+            &mut row[j0..j0 + jn],
+        );
+        j0 += CONV_NR;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1303,6 +1621,76 @@ mod tests {
             // step on each operand — loose bound, tight in practice
             let tol = 0.05 * (n_in as f32).sqrt() / I8_QMAX * 4.0 + 1e-4;
             assert!((x - y).abs() < tol.max(0.05), "elem {b}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn widened_conv_i8_matches_narrow_kernel_bitwise() {
+        // pre-widened pair-interleaved kernel == narrow kernel == reference,
+        // across odd/even krows, tail columns and worker splits
+        let mut rng = XorShiftRng::new(31);
+        for (out_c, krows, n) in [
+            (1usize, 1usize, 1usize),
+            (4, 9, 8),
+            (6, 27, 19),
+            (9, 16, 40),
+        ] {
+            let w = Tensor::uniform(&[out_c, krows], -1.0, 1.0, &mut rng);
+            let bias = Tensor::uniform(&[out_c], -0.5, 0.5, &mut rng);
+            let (panels, wsc) = quantize_conv_panels_i8(w.as_slice(), out_c, krows);
+            let cols: Vec<i8> = (0..krows * n)
+                .map(|_| (rng.next_u64() % 255) as i8)
+                .collect();
+            let csc: Vec<f32> = (0..n).map(|_| rng.next_uniform() * 0.01).collect();
+            let mut cols16 = Vec::new();
+            widen_i8_cols_pairs(&cols, krows, n, &mut cols16);
+            let mut narrow = vec![0.0f32; out_c * n];
+            let mut wide = vec![0.0f32; out_c * n];
+            let mut slow = vec![0.0f32; out_c * n];
+            for relu in [false, true] {
+                for threads in [1usize, 3] {
+                    conv_gemm_i8_into(
+                        &panels,
+                        &wsc,
+                        &cols,
+                        &csc,
+                        Some(bias.as_slice()),
+                        &mut narrow,
+                        out_c,
+                        krows,
+                        n,
+                        relu,
+                        threads,
+                    );
+                    conv_gemm_i8w_into(
+                        &panels,
+                        &wsc,
+                        &cols16,
+                        &csc,
+                        Some(bias.as_slice()),
+                        &mut wide,
+                        out_c,
+                        krows,
+                        n,
+                        relu,
+                        threads,
+                    );
+                    conv_gemm_i8_reference(
+                        &panels,
+                        &wsc,
+                        &cols,
+                        &csc,
+                        Some(bias.as_slice()),
+                        &mut slow,
+                        out_c,
+                        krows,
+                        n,
+                        relu,
+                    );
+                    assert_eq!(wide, narrow);
+                    assert_eq!(wide, slow);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,1458 @@
+//! N:M semi-structured sparse GEMM: magnitude-based weight selection,
+//! compressed panel packing and the matching f32/int8 microkernels.
+//!
+//! CAP'NN's channel pruning is *structured*: whole rows/columns drop out,
+//! which is what lets compiled plans run dense GEMM on smaller matrices.
+//! But at low prune ratios the kept matrices are nearly full-size and the
+//! plan's advantage over plain dense execution shrinks. This module adds
+//! the CRISP-style second tier: inside every *kept* row, keep only the
+//! `N` largest-magnitude weights of each aligned group of `M` along the
+//! reduction dimension (2:4 and 4:8 are the intended shapes). The kept
+//! weights compress into contiguous value+index panels, and the kernels
+//! skip the dropped multiplies entirely — an `N/M` MAC ratio at *any*
+//! channel-prune level, which is exactly what recovers speedup in the
+//! low-structured-prune regime.
+//!
+//! Two compressed families, mirroring the dense kernels in
+//! [`crate::ops`]/[`crate::qops`]:
+//!
+//! * **conv**: per-output-channel patterns over the im2col reduction rows.
+//!   Values `[oc][nnz]`, row indices `[oc][nnz]` ascending; every nonzero
+//!   touches a *contiguous* im2col row segment, so the kernels are
+//!   column-vectorized with no gathers. The int8 twin feeds `vpmaddwd` by
+//!   interleaving two gathered rows on the fly (the same byte-unpack
+//!   idiom as the dense int8 conv kernel).
+//! * **dense**: one pattern shared by each `DENSE_JT`-column output panel
+//!   (group ranking by the panel's combined column magnitude), so a kept
+//!   input index loads one activation broadcast for all 8 columns —
+//!   again, no per-column gathers. Values `[t][kk][DENSE_JT]`, indices
+//!   `[t][kk]` ascending.
+//!
+//! Every optimized kernel dispatches at runtime to an AVX2 build and is
+//! **bitwise identical** to its scalar reference: the f32 paths perform
+//! the same mul/add sequence per output element (bias first, then kept
+//! indices ascending — Rust never contracts to FMA), and the int8 paths
+//! accumulate in exact `i32` where order cannot matter. Unlike the dense
+//! f32 kernels there is no zero-skipping anywhere, so equality is `==`
+//! on raw bits, not just value-identical-modulo-zero-signs.
+
+use crate::ops::{min_rows_per_thread, CONV_NR, DENSE_JT, DENSE_SB};
+use crate::parallel;
+#[cfg(target_arch = "x86_64")]
+use crate::qops::pack_i8_pair;
+use crate::qops::{conv_i8_epilogue, dense_i8_epilogue, i8_inv_scale, i8_scale, quantize_i8};
+
+/// Kept weights per reduction line of length `k` under an `n`:`m` pattern:
+/// every full group of `m` keeps `n`, the tail group keeps all of itself
+/// up to `n`. Uniform across lines, which keeps the compressed buffers
+/// rectangular.
+///
+/// # Panics
+///
+/// Panics unless `0 < n < m`.
+pub fn nm_nnz(k: usize, n: usize, m: usize) -> usize {
+    assert!(n > 0 && n < m, "N:M pattern requires 0 < N < M");
+    (k / m) * n + (k % m).min(n)
+}
+
+/// Ranks one group's weights by `score` and appends the kept indices
+/// (top-`n` by descending score, ties broken toward the lower index) to
+/// `kept`, re-sorted ascending.
+fn keep_group(scores: &[(f32, usize)], n: usize, kept: &mut Vec<usize>) {
+    let mut ranked: Vec<(f32, usize)> = scores.to_vec();
+    ranked.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let start = kept.len();
+    kept.extend(ranked.iter().take(n).map(|&(_, i)| i));
+    kept[start..].sort_unstable();
+}
+
+/// Magnitude-based N:M selection over a conv weight matrix `w` (row-major
+/// `[out_c × krows]`, the [`pack_conv_panels`](crate::pack_conv_panels)
+/// input layout): per output channel, each aligned group of `m` reduction
+/// rows keeps its `n` largest-magnitude weights. Returns the compressed
+/// `(values, indices)` pair — `values[oc·nnz + t]` with its reduction row
+/// in `indices[oc·nnz + t]`, ascending per channel — where
+/// `nnz ==` [`nm_nnz`]`(krows, n, m)`.
+///
+/// # Panics
+///
+/// Panics if `w.len() != out_c * krows` or the pattern is invalid.
+pub fn select_nm_conv(
+    w: &[f32],
+    out_c: usize,
+    krows: usize,
+    n: usize,
+    m: usize,
+) -> (Vec<f32>, Vec<u32>) {
+    assert_eq!(w.len(), out_c * krows, "conv weight buffer shape");
+    let nnz = nm_nnz(krows.max(1), n, m).min(krows);
+    let mut values = Vec::with_capacity(out_c * nnz);
+    let mut indices = Vec::with_capacity(out_c * nnz);
+    let mut kept = Vec::with_capacity(nnz);
+    let mut scores = Vec::with_capacity(m);
+    for row in w.chunks_exact(krows.max(1)) {
+        kept.clear();
+        let mut g0 = 0;
+        while g0 < krows {
+            let gn = (krows - g0).min(m);
+            scores.clear();
+            scores.extend((g0..g0 + gn).map(|r| (row[r].abs(), r)));
+            keep_group(&scores, n, &mut kept);
+            g0 += gn;
+        }
+        debug_assert_eq!(kept.len(), nnz);
+        values.extend(kept.iter().map(|&r| row[r]));
+        indices.extend(kept.iter().map(|&r| r as u32));
+    }
+    (values, indices)
+}
+
+/// Magnitude-based N:M selection over a transposed dense weight matrix
+/// `wt` (input-major `[n_in × n_out]`, the
+/// [`pack_dense_panels`](crate::pack_dense_panels) input layout). The
+/// pattern is shared by each `DENSE_JT`-column output panel — groups are
+/// ranked by the summed magnitude across the panel's live columns — so
+/// the kernels broadcast one activation per kept index for the whole
+/// panel. Returns `(values, indices)`: values `[t][kk][DENSE_JT]` (the
+/// last panel's dead columns zero-padded), indices `[t][kk]` ascending,
+/// with `nnz ==` [`nm_nnz`]`(n_in, n, m)` kept inputs per panel.
+///
+/// # Panics
+///
+/// Panics if `wt.len() != n_in * n_out` or the pattern is invalid.
+pub fn select_nm_dense(
+    wt: &[f32],
+    n_in: usize,
+    n_out: usize,
+    n: usize,
+    m: usize,
+) -> (Vec<f32>, Vec<u32>) {
+    assert_eq!(wt.len(), n_in * n_out, "dense weight buffer shape");
+    let nnz = nm_nnz(n_in.max(1), n, m).min(n_in);
+    let tiles = n_out.div_ceil(DENSE_JT);
+    let mut values = vec![0.0f32; tiles * nnz * DENSE_JT];
+    let mut indices = Vec::with_capacity(tiles * nnz);
+    let mut kept = Vec::with_capacity(nnz);
+    let mut scores = Vec::with_capacity(m);
+    for t in 0..tiles {
+        let j0 = t * DENSE_JT;
+        let jn = (n_out - j0).min(DENSE_JT);
+        kept.clear();
+        let mut g0 = 0;
+        while g0 < n_in {
+            let gn = (n_in - g0).min(m);
+            scores.clear();
+            scores.extend((g0..g0 + gn).map(|c| {
+                let mag: f32 = (j0..j0 + jn).map(|j| wt[c * n_out + j].abs()).sum();
+                (mag, c)
+            }));
+            keep_group(&scores, n, &mut kept);
+            g0 += gn;
+        }
+        debug_assert_eq!(kept.len(), nnz);
+        for (kk, &c) in kept.iter().enumerate() {
+            let dst = (t * nnz + kk) * DENSE_JT;
+            for jj in 0..jn {
+                values[dst + jj] = wt[c * n_out + j0 + jj];
+            }
+        }
+        indices.extend(kept.iter().map(|&c| c as u32));
+    }
+    (values, indices)
+}
+
+/// Quantizes compressed conv N:M values (`[out_c][nnz]` from
+/// [`select_nm_conv`]) with one symmetric scale per output channel —
+/// the same convention as
+/// [`quantize_conv_panels_i8`](crate::quantize_conv_panels_i8), computed
+/// over the *kept* weights only.
+pub fn quantize_nm_conv_i8(values: &[f32], out_c: usize, nnz: usize) -> (Vec<i8>, Vec<f32>) {
+    assert_eq!(values.len(), out_c * nnz, "compressed value buffer shape");
+    let mut data = vec![0i8; values.len()];
+    let mut scales = vec![0.0f32; out_c];
+    for (oc, row) in values.chunks_exact(nnz.max(1)).enumerate() {
+        let m = crate::max_abs(row);
+        scales[oc] = i8_scale(m);
+        let inv = i8_inv_scale(m);
+        for (t, &v) in row.iter().enumerate() {
+            data[oc * nnz + t] = quantize_i8(v, inv);
+        }
+    }
+    (data, scales)
+}
+
+/// Quantizes compressed dense N:M values (`[t][kk][DENSE_JT]` from
+/// [`select_nm_dense`]) with one symmetric scale per output column — the
+/// same convention as
+/// [`quantize_dense_panels_i8`](crate::quantize_dense_panels_i8), over
+/// the kept weights only. Padded columns quantize to code 0 with scale 0.
+pub fn quantize_nm_dense_i8(values: &[f32], n_out: usize, nnz: usize) -> (Vec<i8>, Vec<f32>) {
+    let tiles = n_out.div_ceil(DENSE_JT);
+    assert_eq!(
+        values.len(),
+        tiles * nnz * DENSE_JT,
+        "compressed value buffer shape"
+    );
+    let mut data = vec![0i8; values.len()];
+    let mut scales = vec![0.0f32; n_out];
+    for (j, scale) in scales.iter_mut().enumerate() {
+        let (t, jj) = (j / DENSE_JT, j % DENSE_JT);
+        let mut m = 0.0f32;
+        for kk in 0..nnz {
+            m = m.max(values[(t * nnz + kk) * DENSE_JT + jj].abs());
+        }
+        *scale = i8_scale(m);
+        let inv = i8_inv_scale(m);
+        for kk in 0..nnz {
+            let at = (t * nnz + kk) * DENSE_JT + jj;
+            data[at] = quantize_i8(values[at], inv);
+        }
+    }
+    (data, scales)
+}
+
+// --------------------------------------------------------------------------
+// f32 conv N:M kernel
+// --------------------------------------------------------------------------
+
+/// Full column strip width of the f32 N:M conv kernel (two `ymm`
+/// accumulators per output channel).
+const NM_CONV_JW: usize = 16;
+
+/// N:M-compressed conv GEMM with fused bias+ReLU epilogue: the sparse
+/// twin of [`conv_gemm_into`](crate::conv_gemm_into) over the same wide
+/// im2col matrix.
+///
+/// ```text
+/// out[oc][j] = bias[oc] + Σ_t values[oc][t] · cols[idx[oc][t]][j]   (then ReLU)
+/// ```
+///
+/// Accumulation is bias first, then kept rows in ascending index order —
+/// the order [`select_nm_conv`] emits — with no zero-skipping and no FMA
+/// contraction, so results are **bitwise** identical to
+/// [`conv_nm_gemm_reference`] across strip widths and thread counts.
+/// Output rows are partitioned across `threads` workers.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_nm_gemm_into(
+    values: &[f32],
+    idx: &[u32],
+    bias: Option<&[f32]>,
+    cols: &[f32],
+    out: &mut [f32],
+    out_c: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+    threads: usize,
+) {
+    assert_eq!(values.len(), out_c * nnz, "compressed value buffer");
+    assert_eq!(idx.len(), out_c * nnz, "compressed index buffer");
+    assert!(out.len() >= out_c * n, "output buffer");
+    let max_row = idx.iter().copied().max().unwrap_or(0) as usize;
+    assert!(nnz == 0 || cols.len() >= (max_row + 1) * n, "im2col buffer");
+    parallel::parallel_rows_mut(
+        &mut out[..out_c * n],
+        out_c,
+        n,
+        threads,
+        min_rows_per_thread(nnz.max(1), n),
+        |rows, block| {
+            conv_nm_rows(
+                values, idx, bias, cols, block, rows.start, rows.end, nnz, n, relu,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of [`conv_nm_gemm_into`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn conv_nm_rows(
+    values: &[f32],
+    idx: &[u32],
+    bias: Option<&[f32]>,
+    cols: &[f32],
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe { conv_nm_rows_avx2(values, idx, bias, cols, block, r0, r1, nnz, n, relu) };
+        return;
+    }
+    conv_nm_rows_impl(values, idx, bias, cols, block, r0, r1, nnz, n, relu);
+}
+
+/// [`conv_nm_rows_impl`] compiled with the `avx2` target feature: the
+/// identical safe code, auto-vectorized 8 lanes wide. Same mul/add
+/// sequence per output element, so bitwise identical to the baseline.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn conv_nm_rows_avx2(
+    values: &[f32],
+    idx: &[u32],
+    bias: Option<&[f32]>,
+    cols: &[f32],
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    conv_nm_rows_impl(values, idx, bias, cols, block, r0, r1, nnz, n, relu);
+}
+
+/// Portable body of [`conv_nm_rows`]: full [`NM_CONV_JW`]-column strips
+/// keep two 8-lane accumulators live across the whole nonzero walk; tail
+/// columns fall back to one element at a time with the identical
+/// bias-first ascending-index accumulation.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_nm_rows_impl(
+    values: &[f32],
+    idx: &[u32],
+    bias: Option<&[f32]>,
+    cols: &[f32],
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    const HW: usize = NM_CONV_JW / 2;
+    for oc in r0..r1 {
+        let b = bias.map_or(0.0, |b| b[oc]);
+        let vals = &values[oc * nnz..(oc + 1) * nnz];
+        let ids = &idx[oc * nnz..(oc + 1) * nnz];
+        let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+        let mut j0 = 0;
+        while j0 + NM_CONV_JW <= n {
+            let mut acc0 = [b; HW];
+            let mut acc1 = [b; HW];
+            for (&w, &r) in vals.iter().zip(ids) {
+                let crow = &cols[r as usize * n + j0..r as usize * n + j0 + NM_CONV_JW];
+                let (c0, c1) = crow.split_at(HW);
+                for (o, &c) in acc0.iter_mut().zip(c0) {
+                    *o += w * c;
+                }
+                for (o, &c) in acc1.iter_mut().zip(c1) {
+                    *o += w * c;
+                }
+            }
+            if relu {
+                for o in acc0.iter_mut().chain(acc1.iter_mut()) {
+                    *o = o.max(0.0);
+                }
+            }
+            row[j0..j0 + HW].copy_from_slice(&acc0);
+            row[j0 + HW..j0 + NM_CONV_JW].copy_from_slice(&acc1);
+            j0 += NM_CONV_JW;
+        }
+        for (j, o) in row.iter_mut().enumerate().skip(j0) {
+            let mut acc = b;
+            for (&w, &r) in vals.iter().zip(ids) {
+                acc += w * cols[r as usize * n + j];
+            }
+            *o = if relu { acc.max(0.0) } else { acc };
+        }
+    }
+}
+
+/// Scalar reference for [`conv_nm_gemm_into`]: plain serial loops over
+/// the same compressed buffers with the identical per-element operation
+/// sequence. The optimized kernel must match this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_nm_gemm_reference(
+    values: &[f32],
+    idx: &[u32],
+    bias: Option<&[f32]>,
+    cols: &[f32],
+    out: &mut [f32],
+    out_c: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    for oc in 0..out_c {
+        let b = bias.map_or(0.0, |b| b[oc]);
+        for j in 0..n {
+            let mut acc = b;
+            for t in 0..nnz {
+                acc += values[oc * nnz + t] * cols[idx[oc * nnz + t] as usize * n + j];
+            }
+            out[oc * n + j] = if relu { acc.max(0.0) } else { acc };
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// int8 conv N:M kernel
+// --------------------------------------------------------------------------
+
+/// N:M-compressed int8 conv GEMM with the fused dequantize+bias+ReLU
+/// epilogue of [`conv_gemm_i8_into`](crate::conv_gemm_i8_into): exact
+/// `i32` accumulation over the kept rows only, then
+/// `acc·(col_scale·w_scale) + bias` per element.
+///
+/// The AVX2 body walks nonzeros in pairs: the pair's two im2col rows are
+/// gathered with two 8-byte loads and interleaved into 16 `i16` lanes
+/// (one byte-unpack), the weight pair broadcasts as an 8-lane `i32`, and
+/// one `vpmaddwd`+`vpaddd` retires 16 multiplies over an 8-column tile —
+/// the same idiom as the dense int8 conv kernel, applied to *gathered*
+/// row pairs. Integer sums are exact, so every path (AVX2, portable,
+/// [`conv_nm_gemm_i8_reference`]) agrees bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_nm_gemm_i8_into(
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    out_c: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+    threads: usize,
+) {
+    assert_eq!(qvalues.len(), out_c * nnz, "compressed value buffer");
+    assert_eq!(idx.len(), out_c * nnz, "compressed index buffer");
+    assert!(w_scales.len() >= out_c, "per-channel weight scales");
+    assert!(col_scales.len() >= n, "per-column scales");
+    assert!(out.len() >= out_c * n, "output buffer");
+    let max_row = idx.iter().copied().max().unwrap_or(0) as usize;
+    assert!(nnz == 0 || cols.len() >= (max_row + 1) * n, "im2col buffer");
+    parallel::parallel_rows_mut(
+        &mut out[..out_c * n],
+        out_c,
+        n,
+        threads,
+        min_rows_per_thread(nnz.max(1), n),
+        |rows, block| {
+            conv_nm_i8_rows(
+                qvalues, w_scales, idx, cols, col_scales, bias, block, rows.start, rows.end, nnz,
+                n, relu,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of [`conv_nm_gemm_i8_into`].
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn conv_nm_i8_rows(
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe {
+            conv_nm_i8_rows_avx2(
+                qvalues, w_scales, idx, cols, col_scales, bias, block, r0, r1, nnz, n, relu,
+            )
+        };
+        return;
+    }
+    conv_nm_i8_rows_impl(
+        qvalues, w_scales, idx, cols, col_scales, bias, block, r0, r1, nnz, n, relu,
+    );
+}
+
+/// `vpmaddwd` body of [`conv_nm_i8_rows`]; see [`conv_nm_gemm_i8_into`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn conv_nm_i8_rows_avx2(
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    use std::arch::x86_64::*;
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    let npairs = nnz.div_ceil(2);
+    // Per-pair packed weights and row ids, rebuilt per output channel and
+    // reused across every column tile of that channel.
+    let mut wp = vec![0i32; npairs];
+    let mut rp = vec![(0usize, 0usize); npairs];
+    for oc in r0..r1 {
+        let vals = &qvalues[oc * nnz..(oc + 1) * nnz];
+        let ids = &idx[oc * nnz..(oc + 1) * nnz];
+        for k in 0..npairs {
+            let w0 = vals[2 * k];
+            let ra = ids[2 * k] as usize;
+            let (w1, rb) = if 2 * k + 1 < nnz {
+                (vals[2 * k + 1], ids[2 * k + 1] as usize)
+            } else {
+                // odd tail: zero weight, row repeats so the load stays in
+                // bounds and contributes exactly nothing
+                (0, ra)
+            };
+            wp[k] = pack_i8_pair(w0, w1);
+            rp[k] = (ra, rb);
+        }
+        let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+        let mut j0 = 0;
+        while j0 + CONV_NR <= n {
+            let mut acc = _mm256_setzero_si256();
+            for k in 0..npairs {
+                let (ra, rb) = rp[k];
+                // SAFETY: j0 + CONV_NR ≤ n and both rows were bounds-checked
+                // against `cols` by the caller, so the 8-byte loads are in
+                // bounds.
+                let c0 = _mm_loadl_epi64(cols.as_ptr().add(ra * n + j0) as *const __m128i);
+                let c1 = _mm_loadl_epi64(cols.as_ptr().add(rb * n + j0) as *const __m128i);
+                let cv = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(c0, c1));
+                acc = _mm256_add_epi32(acc, _mm256_madd_epi16(cv, _mm256_set1_epi32(wp[k])));
+            }
+            let mut lanes = [0i32; CONV_NR];
+            _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+            conv_i8_epilogue(
+                &lanes,
+                w_scales[oc],
+                &col_scales[j0..j0 + CONV_NR],
+                bias_at(oc),
+                relu,
+                &mut row[j0..j0 + CONV_NR],
+            );
+            j0 += CONV_NR;
+        }
+        if j0 < n {
+            // scalar tail: the same exact i32 sums on the leftover columns
+            let jn = n - j0;
+            let mut acc = [0i32; CONV_NR];
+            for (&w, &r) in vals.iter().zip(ids) {
+                let crow = &cols[r as usize * n + j0..r as usize * n + j0 + jn];
+                for (o, &c) in acc[..jn].iter_mut().zip(crow) {
+                    *o += w as i32 * c as i32;
+                }
+            }
+            conv_i8_epilogue(
+                &acc[..jn],
+                w_scales[oc],
+                &col_scales[j0..j0 + jn],
+                bias_at(oc),
+                relu,
+                &mut row[j0..j0 + jn],
+            );
+        }
+    }
+}
+
+/// Portable body of [`conv_nm_i8_rows`]: widening `i32` multiplies over
+/// 8-column strips; exact sums, so bitwise equal to the AVX2 body and the
+/// reference.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn conv_nm_i8_rows_impl(
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    block: &mut [f32],
+    r0: usize,
+    r1: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    let bias_at = |oc: usize| bias.map_or(0.0, |b| b[oc]);
+    for oc in r0..r1 {
+        let vals = &qvalues[oc * nnz..(oc + 1) * nnz];
+        let ids = &idx[oc * nnz..(oc + 1) * nnz];
+        let row = &mut block[(oc - r0) * n..(oc - r0 + 1) * n];
+        let mut j0 = 0;
+        while j0 < n {
+            let jn = (n - j0).min(CONV_NR);
+            let mut acc = [0i32; CONV_NR];
+            for (&w, &r) in vals.iter().zip(ids) {
+                let w = w as i32;
+                let crow = &cols[r as usize * n + j0..r as usize * n + j0 + jn];
+                for (o, &c) in acc[..jn].iter_mut().zip(crow) {
+                    *o += w * c as i32;
+                }
+            }
+            conv_i8_epilogue(
+                &acc[..jn],
+                w_scales[oc],
+                &col_scales[j0..j0 + jn],
+                bias_at(oc),
+                relu,
+                &mut row[j0..j0 + jn],
+            );
+            j0 += CONV_NR;
+        }
+    }
+}
+
+/// Scalar reference for [`conv_nm_gemm_i8_into`]: serial loops, identical
+/// epilogue expression. The optimized kernel must match this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_nm_gemm_i8_reference(
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    cols: &[i8],
+    col_scales: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    out_c: usize,
+    nnz: usize,
+    n: usize,
+    relu: bool,
+) {
+    for oc in 0..out_c {
+        let b = bias.map_or(0.0, |b| b[oc]);
+        for j in 0..n {
+            let mut acc = 0i32;
+            for t in 0..nnz {
+                acc +=
+                    qvalues[oc * nnz + t] as i32 * cols[idx[oc * nnz + t] as usize * n + j] as i32;
+            }
+            let v = acc as f32 * (col_scales[j] * w_scales[oc]) + b;
+            out[oc * n + j] = if relu { v.max(0.0) } else { v };
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// f32 dense N:M kernel
+// --------------------------------------------------------------------------
+
+/// Per-panel activation base offsets for the dense N:M kernels: the
+/// compressed index list mapped through the activation layout's affine
+/// addressing (element `(b, c)` at `base(c) + b·stride`).
+fn nm_dense_bases(idx: &[u32], base: impl Fn(usize) -> usize) -> Vec<usize> {
+    idx.iter().map(|&c| base(c as usize)).collect()
+}
+
+/// N:M-compressed batched dense layer over a sample-major flat activation
+/// (`batch × n_in`): the sparse twin of
+/// [`dense_batch_into`](crate::dense_batch_into).
+///
+/// ```text
+/// out[b][j] = bias[j] + Σ_kk values[t][kk][jj] · a[b][idx[t][kk]]   (kk ascending)
+/// ```
+///
+/// where `t = j / DENSE_JT`, `jj = j % DENSE_JT`. No zero-skipping on
+/// either path, so results are **bitwise** identical to
+/// [`dense_nm_batch_reference`] for every batch size, tiling and thread
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_into(
+    a: &[f32],
+    values: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_in: usize,
+    n_out: usize,
+    nnz: usize,
+    threads: usize,
+) {
+    let bases = nm_dense_bases(idx, |c| c);
+    dense_nm_dispatch(
+        a, n_in, &bases, values, bias, out, batch, n_out, nnz, threads,
+    );
+}
+
+/// [`dense_nm_batch_into`] over a *channel-major batched* CHW activation
+/// (element `(b, c, p)` at `(c·batch + b)·plane + p`): the sparse twin of
+/// [`dense_batch_chw_into`](crate::dense_batch_chw_into). Bitwise
+/// identical to flattening followed by [`dense_nm_batch_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_chw_into(
+    a: &[f32],
+    values: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    n_out: usize,
+    nnz: usize,
+    threads: usize,
+) {
+    let _ = channels;
+    let bases = nm_dense_bases(idx, |c| {
+        (c / plane.max(1)) * batch * plane + c % plane.max(1)
+    });
+    dense_nm_dispatch(
+        a, plane, &bases, values, bias, out, batch, n_out, nnz, threads,
+    );
+}
+
+/// Shared sample-partitioned entry of the f32 dense N:M kernels.
+#[allow(clippy::too_many_arguments)]
+fn dense_nm_dispatch(
+    a: &[f32],
+    stride: usize,
+    bases: &[usize],
+    values: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_out: usize,
+    nnz: usize,
+    threads: usize,
+) {
+    let tiles = n_out.div_ceil(DENSE_JT);
+    assert_eq!(
+        values.len(),
+        tiles * nnz * DENSE_JT,
+        "compressed value buffer"
+    );
+    assert_eq!(bases.len(), tiles * nnz, "compressed index buffer");
+    assert!(bias.len() >= n_out, "bias buffer");
+    assert!(out.len() >= batch * n_out, "output buffer");
+    parallel::parallel_rows_mut(
+        &mut out[..batch * n_out],
+        batch,
+        n_out,
+        threads,
+        min_rows_per_thread(nnz.max(1), n_out),
+        |rows, block| {
+            dense_nm_rows(
+                a,
+                stride,
+                bases,
+                values,
+                bias,
+                block,
+                rows.start,
+                rows.len(),
+                n_out,
+                nnz,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of the f32 dense N:M kernels.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn dense_nm_rows(
+    a: &[f32],
+    stride: usize,
+    bases: &[usize],
+    values: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe { dense_nm_rows_avx2(a, stride, bases, values, bias, block, row0, nb, n_out, nnz) };
+        return;
+    }
+    dense_nm_rows_impl(a, stride, bases, values, bias, block, row0, nb, n_out, nnz);
+}
+
+/// [`dense_nm_rows_impl`] compiled with the `avx2` target feature: the
+/// identical safe code, auto-vectorized 8 lanes wide — bitwise identical
+/// to the baseline build.
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dense_nm_rows_avx2(
+    a: &[f32],
+    stride: usize,
+    bases: &[usize],
+    values: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    dense_nm_rows_impl(a, stride, bases, values, bias, block, row0, nb, n_out, nnz);
+}
+
+/// Portable body of [`dense_nm_rows`]: the `DENSE_SB × DENSE_JT` register
+/// tile of the dense f32 kernel, walking the panel's compressed index
+/// list instead of every input. Leftover samples run one at a time with
+/// the same multiply-through policy (no zero-skipping), keeping every
+/// path bitwise identical.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dense_nm_rows_impl(
+    a: &[f32],
+    stride: usize,
+    bases: &[usize],
+    values: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    let tiles = n_out.div_ceil(DENSE_JT);
+    for t in 0..tiles {
+        let j0 = t * DENSE_JT;
+        let jn = (n_out - j0).min(DENSE_JT);
+        let pvals = &values[t * nnz * DENSE_JT..(t + 1) * nnz * DENSE_JT];
+        let pbase = &bases[t * nnz..(t + 1) * nnz];
+        let mut s0 = 0;
+        while s0 + DENSE_SB <= nb {
+            let tile0 = (row0 + s0) * stride;
+            let mut acc0 = [0.0f32; DENSE_JT];
+            let mut acc1 = [0.0f32; DENSE_JT];
+            let mut acc2 = [0.0f32; DENSE_JT];
+            let mut acc3 = [0.0f32; DENSE_JT];
+            acc0[..jn].copy_from_slice(&bias[j0..j0 + jn]);
+            acc1[..jn].copy_from_slice(&bias[j0..j0 + jn]);
+            acc2[..jn].copy_from_slice(&bias[j0..j0 + jn]);
+            acc3[..jn].copy_from_slice(&bias[j0..j0 + jn]);
+            for (&base, wrow) in pbase.iter().zip(pvals.chunks_exact(DENSE_JT)) {
+                let wrow: &[f32; DENSE_JT] = wrow.try_into().expect("value row");
+                let a0 = a[base + tile0];
+                let a1 = a[base + tile0 + stride];
+                let a2 = a[base + tile0 + 2 * stride];
+                let a3 = a[base + tile0 + 3 * stride];
+                for (o, &w) in acc0.iter_mut().zip(wrow) {
+                    *o += a0 * w;
+                }
+                for (o, &w) in acc1.iter_mut().zip(wrow) {
+                    *o += a1 * w;
+                }
+                for (o, &w) in acc2.iter_mut().zip(wrow) {
+                    *o += a2 * w;
+                }
+                for (o, &w) in acc3.iter_mut().zip(wrow) {
+                    *o += a3 * w;
+                }
+            }
+            block[s0 * n_out + j0..s0 * n_out + j0 + jn].copy_from_slice(&acc0[..jn]);
+            block[(s0 + 1) * n_out + j0..(s0 + 1) * n_out + j0 + jn].copy_from_slice(&acc1[..jn]);
+            block[(s0 + 2) * n_out + j0..(s0 + 2) * n_out + j0 + jn].copy_from_slice(&acc2[..jn]);
+            block[(s0 + 3) * n_out + j0..(s0 + 3) * n_out + j0 + jn].copy_from_slice(&acc3[..jn]);
+            s0 += DENSE_SB;
+        }
+        while s0 < nb {
+            let tile0 = (row0 + s0) * stride;
+            let mut acc = [0.0f32; DENSE_JT];
+            acc[..jn].copy_from_slice(&bias[j0..j0 + jn]);
+            for (&base, wrow) in pbase.iter().zip(pvals.chunks_exact(DENSE_JT)) {
+                let wrow: &[f32; DENSE_JT] = wrow.try_into().expect("value row");
+                let ac = a[base + tile0];
+                for (o, &w) in acc.iter_mut().zip(wrow) {
+                    *o += ac * w;
+                }
+            }
+            block[s0 * n_out + j0..s0 * n_out + j0 + jn].copy_from_slice(&acc[..jn]);
+            s0 += 1;
+        }
+    }
+}
+
+/// Scalar reference for [`dense_nm_batch_into`]; the kernel must match
+/// this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_reference(
+    a: &[f32],
+    values: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_in: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    for b in 0..batch {
+        for j in 0..n_out {
+            let (t, jj) = (j / DENSE_JT, j % DENSE_JT);
+            let mut acc = bias[j];
+            for kk in 0..nnz {
+                let c = idx[t * nnz + kk] as usize;
+                acc += values[(t * nnz + kk) * DENSE_JT + jj] * a[b * n_in + c];
+            }
+            out[b * n_out + j] = acc;
+        }
+    }
+}
+
+/// Scalar reference for [`dense_nm_batch_chw_into`]; the kernel must
+/// match this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_chw_reference(
+    a: &[f32],
+    values: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    plane: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    for b in 0..batch {
+        for j in 0..n_out {
+            let (t, jj) = (j / DENSE_JT, j % DENSE_JT);
+            let mut acc = bias[j];
+            for kk in 0..nnz {
+                let c = idx[t * nnz + kk] as usize;
+                let at = (c / plane.max(1)) * batch * plane + b * plane + c % plane.max(1);
+                acc += values[(t * nnz + kk) * DENSE_JT + jj] * a[at];
+            }
+            out[b * n_out + j] = acc;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// int8 dense N:M kernel
+// --------------------------------------------------------------------------
+
+/// N:M-compressed batched int8 dense layer over a sample-major quantized
+/// flat activation: the sparse twin of
+/// [`dense_batch_i8_into`](crate::dense_batch_i8_into), with `qvalues`/
+/// `w_scales` from [`quantize_nm_dense_i8`]. Exact `i32` accumulation
+/// over the kept inputs, then the shared dense int8 epilogue
+/// `acc·(a_scale·w_scale) + bias` — bitwise identical to
+/// [`dense_nm_batch_i8_reference`] on every path.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_i8_into(
+    qa: &[i8],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_in: usize,
+    n_out: usize,
+    nnz: usize,
+    threads: usize,
+) {
+    let bases = nm_dense_bases(idx, |c| c);
+    dense_nm_i8_dispatch(
+        qa, n_in, &bases, a_scales, qvalues, w_scales, bias, out, batch, n_out, nnz, threads,
+    );
+}
+
+/// [`dense_nm_batch_i8_into`] over a channel-major batched CHW quantized
+/// activation: the sparse twin of
+/// [`dense_batch_i8_chw_into`](crate::dense_batch_i8_chw_into).
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_i8_chw_into(
+    qa: &[i8],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    channels: usize,
+    plane: usize,
+    n_out: usize,
+    nnz: usize,
+    threads: usize,
+) {
+    let _ = channels;
+    let bases = nm_dense_bases(idx, |c| {
+        (c / plane.max(1)) * batch * plane + c % plane.max(1)
+    });
+    dense_nm_i8_dispatch(
+        qa, plane, &bases, a_scales, qvalues, w_scales, bias, out, batch, n_out, nnz, threads,
+    );
+}
+
+/// Shared sample-partitioned entry of the int8 dense N:M kernels.
+#[allow(clippy::too_many_arguments)]
+fn dense_nm_i8_dispatch(
+    qa: &[i8],
+    stride: usize,
+    bases: &[usize],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_out: usize,
+    nnz: usize,
+    threads: usize,
+) {
+    let tiles = n_out.div_ceil(DENSE_JT);
+    assert_eq!(
+        qvalues.len(),
+        tiles * nnz * DENSE_JT,
+        "compressed value buffer"
+    );
+    assert_eq!(bases.len(), tiles * nnz, "compressed index buffer");
+    assert!(w_scales.len() >= n_out, "per-column weight scales");
+    assert!(a_scales.len() >= batch, "per-sample activation scales");
+    assert!(bias.len() >= n_out, "bias buffer");
+    assert!(out.len() >= batch * n_out, "output buffer");
+    parallel::parallel_rows_mut(
+        &mut out[..batch * n_out],
+        batch,
+        n_out,
+        threads,
+        min_rows_per_thread(nnz.max(1), n_out),
+        |rows, block| {
+            dense_nm_i8_rows(
+                qa,
+                stride,
+                bases,
+                a_scales,
+                qvalues,
+                w_scales,
+                bias,
+                block,
+                rows.start,
+                rows.len(),
+                n_out,
+                nnz,
+            );
+        },
+    );
+}
+
+/// Runtime-dispatched worker body of the int8 dense N:M kernels.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn dense_nm_i8_rows(
+    qa: &[i8],
+    stride: usize,
+    bases: &[usize],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 target feature is present at runtime.
+        unsafe {
+            dense_nm_i8_rows_avx2(
+                qa, stride, bases, a_scales, qvalues, w_scales, bias, block, row0, nb, n_out, nnz,
+            )
+        };
+        return;
+    }
+    dense_nm_i8_rows_impl(
+        qa, stride, bases, a_scales, qvalues, w_scales, bias, block, row0, nb, n_out, nnz,
+    );
+}
+
+/// [`dense_nm_i8_rows_impl`] compiled with the `avx2` target feature:
+/// the widening `i32` multiplies vectorize to `vpmovsxbd`+`vpmulld`
+/// lanes; sums are exact either way, so bitwise identical to baseline.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn dense_nm_i8_rows_avx2(
+    qa: &[i8],
+    stride: usize,
+    bases: &[usize],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    dense_nm_i8_rows_impl(
+        qa, stride, bases, a_scales, qvalues, w_scales, bias, block, row0, nb, n_out, nnz,
+    );
+}
+
+/// Portable body of [`dense_nm_i8_rows`]: one sample at a time, `i32`
+/// accumulators over the panel's compressed index list, shared epilogue.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn dense_nm_i8_rows_impl(
+    qa: &[i8],
+    stride: usize,
+    bases: &[usize],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    block: &mut [f32],
+    row0: usize,
+    nb: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    let tiles = n_out.div_ceil(DENSE_JT);
+    for t in 0..tiles {
+        let j0 = t * DENSE_JT;
+        let jn = (n_out - j0).min(DENSE_JT);
+        let pvals = &qvalues[t * nnz * DENSE_JT..(t + 1) * nnz * DENSE_JT];
+        let pbase = &bases[t * nnz..(t + 1) * nnz];
+        for s in 0..nb {
+            let tile0 = (row0 + s) * stride;
+            let mut acc = [0i32; DENSE_JT];
+            for (&base, wrow) in pbase.iter().zip(pvals.chunks_exact(DENSE_JT)) {
+                let ac = qa[base + tile0] as i32;
+                for (o, &w) in acc.iter_mut().zip(wrow) {
+                    *o += ac * w as i32;
+                }
+            }
+            dense_i8_epilogue(
+                &acc[..jn],
+                a_scales[row0 + s],
+                &w_scales[j0..j0 + jn],
+                &bias[j0..j0 + jn],
+                &mut block[s * n_out + j0..s * n_out + j0 + jn],
+            );
+        }
+    }
+}
+
+/// Scalar reference for [`dense_nm_batch_i8_into`]; the kernel must match
+/// this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_i8_reference(
+    qa: &[i8],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    n_in: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    for b in 0..batch {
+        for j in 0..n_out {
+            let (t, jj) = (j / DENSE_JT, j % DENSE_JT);
+            let mut acc = 0i32;
+            for kk in 0..nnz {
+                let c = idx[t * nnz + kk] as usize;
+                acc += qvalues[(t * nnz + kk) * DENSE_JT + jj] as i32 * qa[b * n_in + c] as i32;
+            }
+            out[b * n_out + j] = acc as f32 * (a_scales[b] * w_scales[j]) + bias[j];
+        }
+    }
+}
+
+/// Scalar reference for [`dense_nm_batch_i8_chw_into`]; the kernel must
+/// match this bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_nm_batch_i8_chw_reference(
+    qa: &[i8],
+    a_scales: &[f32],
+    qvalues: &[i8],
+    w_scales: &[f32],
+    idx: &[u32],
+    bias: &[f32],
+    out: &mut [f32],
+    batch: usize,
+    plane: usize,
+    n_out: usize,
+    nnz: usize,
+) {
+    for b in 0..batch {
+        for j in 0..n_out {
+            let (t, jj) = (j / DENSE_JT, j % DENSE_JT);
+            let mut acc = 0i32;
+            for kk in 0..nnz {
+                let c = idx[t * nnz + kk] as usize;
+                let at = (c / plane.max(1)) * batch * plane + b * plane + c % plane.max(1);
+                acc += qvalues[(t * nnz + kk) * DENSE_JT + jj] as i32 * qa[at] as i32;
+            }
+            out[b * n_out + j] = acc as f32 * (a_scales[b] * w_scales[j]) + bias[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::XorShiftRng;
+
+    #[test]
+    fn nnz_counts_full_and_tail_groups() {
+        assert_eq!(nm_nnz(8, 2, 4), 4);
+        assert_eq!(nm_nnz(9, 2, 4), 5); // tail of 1 keeps 1
+        assert_eq!(nm_nnz(11, 2, 4), 6); // tail of 3 keeps 2
+        assert_eq!(nm_nnz(16, 4, 8), 8);
+        assert_eq!(nm_nnz(3, 2, 4), 2);
+        assert_eq!(nm_nnz(1, 2, 4), 1);
+    }
+
+    #[test]
+    fn conv_selection_keeps_group_top_magnitudes() {
+        // one row, krows = 8, 2:4 → keep the 2 largest |w| of each half
+        let w = [0.1f32, -3.0, 0.2, 2.0, -0.5, 0.4, 0.0, 1.0];
+        let (vals, idx) = select_nm_conv(&w, 1, 8, 2, 4);
+        assert_eq!(idx, vec![1, 3, 4, 7]);
+        assert_eq!(vals, vec![-3.0, 2.0, -0.5, 1.0]);
+    }
+
+    #[test]
+    fn conv_selection_tie_breaks_toward_lower_index() {
+        let w = [1.0f32, 1.0, 1.0, 1.0];
+        let (_, idx) = select_nm_conv(&w, 1, 4, 2, 4);
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn dense_selection_shares_pattern_across_panel_columns() {
+        // n_in = 4, n_out = 2 (one panel), 2:4. Combined magnitudes:
+        // c0: 1+1=2, c1: 5+0=5, c2: 0+4=4, c3: 1+0=1 → keep c1, c2.
+        let wt = [
+            1.0f32, -1.0, // c0
+            5.0, 0.0, // c1
+            0.0, 4.0, // c2
+            -1.0, 0.0, // c3
+        ];
+        let (vals, idx) = select_nm_dense(&wt, 4, 2, 2, 4);
+        assert_eq!(idx, vec![1, 2]);
+        // values padded to DENSE_JT columns
+        assert_eq!(&vals[..2], &[5.0, 0.0]);
+        assert_eq!(&vals[DENSE_JT..DENSE_JT + 2], &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_nm_kernel_matches_reference_bitwise() {
+        let mut rng = XorShiftRng::new(42);
+        for &(out_c, krows, n_cols) in &[(5usize, 12usize, 19usize), (8, 9, 8), (3, 4, 33)] {
+            let w: Vec<f32> = (0..out_c * krows)
+                .map(|_| rng.next_uniform() * 2.0 - 1.0)
+                .collect();
+            let cols: Vec<f32> = (0..krows * n_cols)
+                .map(|_| rng.next_uniform() * 2.0 - 1.0)
+                .collect();
+            let bias: Vec<f32> = (0..out_c).map(|_| rng.next_uniform()).collect();
+            let (vals, idx) = select_nm_conv(&w, out_c, krows, 2, 4);
+            let nnz = nm_nnz(krows, 2, 4);
+            let mut fast = vec![0.0f32; out_c * n_cols];
+            let mut slow = vec![0.0f32; out_c * n_cols];
+            for relu in [false, true] {
+                conv_nm_gemm_into(
+                    &vals,
+                    &idx,
+                    Some(&bias),
+                    &cols,
+                    &mut fast,
+                    out_c,
+                    nnz,
+                    n_cols,
+                    relu,
+                    2,
+                );
+                conv_nm_gemm_reference(
+                    &vals,
+                    &idx,
+                    Some(&bias),
+                    &cols,
+                    &mut slow,
+                    out_c,
+                    nnz,
+                    n_cols,
+                    relu,
+                );
+                assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_nm_i8_kernel_matches_reference_bitwise() {
+        let mut rng = XorShiftRng::new(43);
+        for &(out_c, krows, n_cols) in &[(6usize, 16usize, 21usize), (5, 11, 7)] {
+            let w: Vec<f32> = (0..out_c * krows)
+                .map(|_| rng.next_uniform() * 2.0 - 1.0)
+                .collect();
+            let (vals, idx) = select_nm_conv(&w, out_c, krows, 4, 8);
+            let nnz = nm_nnz(krows, 4, 8);
+            let (qv, wsc) = quantize_nm_conv_i8(&vals, out_c, nnz);
+            let cols: Vec<i8> = (0..krows * n_cols)
+                .map(|_| (rng.next_u64() % 255) as i8)
+                .collect();
+            let csc: Vec<f32> = (0..n_cols).map(|_| rng.next_uniform() * 0.01).collect();
+            let bias: Vec<f32> = (0..out_c).map(|_| rng.next_uniform()).collect();
+            let mut fast = vec![0.0f32; out_c * n_cols];
+            let mut slow = vec![0.0f32; out_c * n_cols];
+            for relu in [false, true] {
+                conv_nm_gemm_i8_into(
+                    &qv,
+                    &wsc,
+                    &idx,
+                    &cols,
+                    &csc,
+                    Some(&bias),
+                    &mut fast,
+                    out_c,
+                    nnz,
+                    n_cols,
+                    relu,
+                    2,
+                );
+                conv_nm_gemm_i8_reference(
+                    &qv,
+                    &wsc,
+                    &idx,
+                    &cols,
+                    &csc,
+                    Some(&bias),
+                    &mut slow,
+                    out_c,
+                    nnz,
+                    n_cols,
+                    relu,
+                );
+                assert_eq!(fast, slow);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_nm_kernels_match_references_bitwise() {
+        let mut rng = XorShiftRng::new(44);
+        for &(batch, n_in, n_out) in &[(6usize, 12usize, 10usize), (1, 9, 17), (5, 8, 8)] {
+            let wt: Vec<f32> = (0..n_in * n_out)
+                .map(|_| rng.next_uniform() * 2.0 - 1.0)
+                .collect();
+            let a: Vec<f32> = (0..batch * n_in)
+                .map(|_| rng.next_uniform() * 2.0 - 1.0)
+                .collect();
+            let bias: Vec<f32> = (0..n_out).map(|_| rng.next_uniform()).collect();
+            let (vals, idx) = select_nm_dense(&wt, n_in, n_out, 2, 4);
+            let nnz = nm_nnz(n_in, 2, 4);
+            let mut fast = vec![0.0f32; batch * n_out];
+            let mut slow = vec![0.0f32; batch * n_out];
+            dense_nm_batch_into(
+                &a, &vals, &idx, &bias, &mut fast, batch, n_in, n_out, nnz, 2,
+            );
+            dense_nm_batch_reference(&a, &vals, &idx, &bias, &mut slow, batch, n_in, n_out, nnz);
+            assert_eq!(fast, slow);
+
+            // int8 twin
+            let (qv, wsc) = quantize_nm_dense_i8(&vals, n_out, nnz);
+            let mut qa = vec![0i8; batch * n_in];
+            let mut asc = vec![0.0f32; batch];
+            for b in 0..batch {
+                asc[b] = crate::quantize_slice_i8(
+                    &a[b * n_in..(b + 1) * n_in],
+                    &mut qa[b * n_in..(b + 1) * n_in],
+                );
+            }
+            dense_nm_batch_i8_into(
+                &qa, &asc, &qv, &wsc, &idx, &bias, &mut fast, batch, n_in, n_out, nnz, 2,
+            );
+            dense_nm_batch_i8_reference(
+                &qa, &asc, &qv, &wsc, &idx, &bias, &mut slow, batch, n_in, n_out, nnz,
+            );
+            assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn dense_nm_chw_matches_flat_flattening() {
+        // CHW entry must equal flattening + flat entry bitwise
+        let mut rng = XorShiftRng::new(45);
+        let (batch, channels, plane, n_out) = (3usize, 4usize, 5usize, 9usize);
+        let n_in = channels * plane;
+        let wt: Vec<f32> = (0..n_in * n_out)
+            .map(|_| rng.next_uniform() * 2.0 - 1.0)
+            .collect();
+        let bias: Vec<f32> = (0..n_out).map(|_| rng.next_uniform()).collect();
+        let (vals, idx) = select_nm_dense(&wt, n_in, n_out, 2, 4);
+        let nnz = nm_nnz(n_in, 2, 4);
+        // channel-major batched CHW activation and its flattened twin
+        let chw: Vec<f32> = (0..n_in * batch)
+            .map(|_| rng.next_uniform() * 2.0 - 1.0)
+            .collect();
+        let mut flat = vec![0.0f32; batch * n_in];
+        for b in 0..batch {
+            for c in 0..channels {
+                for p in 0..plane {
+                    flat[b * n_in + c * plane + p] = chw[(c * batch + b) * plane + p];
+                }
+            }
+        }
+        let mut out_chw = vec![0.0f32; batch * n_out];
+        let mut out_flat = vec![0.0f32; batch * n_out];
+        dense_nm_batch_chw_into(
+            &chw,
+            &vals,
+            &idx,
+            &bias,
+            &mut out_chw,
+            batch,
+            channels,
+            plane,
+            n_out,
+            nnz,
+            1,
+        );
+        dense_nm_batch_into(
+            &flat,
+            &vals,
+            &idx,
+            &bias,
+            &mut out_flat,
+            batch,
+            n_in,
+            n_out,
+            nnz,
+            1,
+        );
+        assert_eq!(out_chw, out_flat);
+    }
+
+    #[test]
+    fn empty_reduction_outputs_bias_only() {
+        // krows = 0: no nonzeros, outputs are the (ReLU'd) bias
+        let bias = [0.5f32, -0.25];
+        let mut out = vec![0.0f32; 2 * 3];
+        conv_nm_gemm_into(&[], &[], Some(&bias), &[], &mut out, 2, 0, 3, true, 1);
+        assert_eq!(out, vec![0.5, 0.5, 0.5, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Property-based equivalence of the N:M semi-structured sparse GEMM
+//! kernels against their scalar references: for any shape, N:M pattern,
+//! batch size and thread count, the packed sparse paths (f32 and int8,
+//! conv and dense, flat and CHW activation layouts) must reproduce the
+//! reference values **bitwise** — the sparse tier's correctness contract
+//! is exact, not approximate, so plan-level argmax agreement reduces to
+//! the selection step alone.
+
+use capnn_tensor::{
+    conv_nm_gemm_i8_into, conv_nm_gemm_i8_reference, conv_nm_gemm_into, conv_nm_gemm_reference,
+    dense_nm_batch_chw_into, dense_nm_batch_chw_reference, dense_nm_batch_i8_chw_into,
+    dense_nm_batch_i8_chw_reference, dense_nm_batch_i8_into, dense_nm_batch_i8_reference,
+    dense_nm_batch_into, dense_nm_batch_reference, i8_scale, nm_nnz, quantize_nm_conv_i8,
+    quantize_nm_dense_i8, quantize_slice_i8, select_nm_conv, select_nm_dense, Tensor, XorShiftRng,
+};
+use proptest::prelude::*;
+
+fn pattern() -> impl Strategy<Value = (usize, usize)> {
+    prop::sample::select(vec![
+        (1usize, 2usize),
+        (2, 4),
+        (4, 8),
+        (1, 4),
+        (3, 4),
+        (2, 8),
+    ])
+}
+
+fn thread_count() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 3, 5])
+}
+
+fn bits(xs: &[f32]) -> Vec<u32> {
+    xs.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Weights with some rows zeroed, mimicking kept-channel pruning upstream
+/// of the N:M selection.
+fn weights(rng: &mut XorShiftRng, rows: usize, cols: usize) -> Vec<f32> {
+    let mut w = Tensor::uniform(&[rows.max(1), cols.max(1)], -1.0, 1.0, rng)
+        .as_slice()
+        .to_vec();
+    w.truncate(rows * cols);
+    for r in 0..rows {
+        if rng.next_u64().is_multiple_of(5) {
+            for c in 0..cols {
+                w[r * cols + c] = 0.0;
+            }
+        }
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conv selection structural invariants: per output channel, exactly
+    /// `nm_nnz` kept positions, indices strictly ascending, each index a
+    /// real reduction row, and every kept value the original weight at
+    /// its index.
+    #[test]
+    fn conv_selection_is_structurally_valid(
+        out_c in 1usize..8,
+        krows in 1usize..40,
+        (n, m) in pattern(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let w = weights(&mut rng, out_c, krows);
+        let (vals, idx) = select_nm_conv(&w, out_c, krows, n, m);
+        let nnz = nm_nnz(krows, n, m).min(krows);
+        prop_assert_eq!(vals.len(), out_c * nnz);
+        prop_assert_eq!(idx.len(), out_c * nnz);
+        for oc in 0..out_c {
+            let row = &idx[oc * nnz..(oc + 1) * nnz];
+            for t in 0..nnz {
+                let r = row[t] as usize;
+                prop_assert!(r < krows);
+                if t > 0 {
+                    prop_assert!(row[t] > row[t - 1], "indices ascending");
+                }
+                prop_assert_eq!(vals[oc * nnz + t], w[oc * krows + r]);
+                // group-local: index t sits in group t·m/n at most
+                prop_assert!(r / m <= (t * m) / n + 1);
+            }
+        }
+    }
+
+    /// f32 conv N:M kernel vs scalar reference, bitwise, across shapes,
+    /// patterns, epilogues and thread counts.
+    #[test]
+    fn conv_nm_f32_matches_reference_bitwise(
+        out_c in 1usize..10,
+        krows in 1usize..28,
+        cols_n in 1usize..40,
+        (n, m) in pattern(),
+        relu in any::<bool>(),
+        with_bias in any::<bool>(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let w = weights(&mut rng, out_c, krows);
+        let (vals, idx) = select_nm_conv(&w, out_c, krows, n, m);
+        let nnz = nm_nnz(krows, n, m).min(krows);
+        let bias: Vec<f32> = Tensor::uniform(&[out_c], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let bias_ref = with_bias.then_some(&bias[..]);
+        let cols = Tensor::uniform(&[krows, cols_n], -1.0, 1.0, &mut rng);
+
+        let mut want = vec![0.0f32; out_c * cols_n];
+        conv_nm_gemm_reference(
+            &vals, &idx, bias_ref, cols.as_slice(), &mut want, out_c, nnz, cols_n, relu,
+        );
+        let mut got = vec![0.0f32; out_c * cols_n];
+        conv_nm_gemm_into(
+            &vals, &idx, bias_ref, cols.as_slice(), &mut got, out_c, nnz, cols_n, relu, threads,
+        );
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// int8 conv N:M kernel vs scalar reference, bitwise: exact i32
+    /// accumulation over gathered rows must agree on every path.
+    #[test]
+    fn conv_nm_i8_matches_reference_bitwise(
+        out_c in 1usize..10,
+        krows in 1usize..28,
+        cols_n in 1usize..40,
+        (n, m) in pattern(),
+        relu in any::<bool>(),
+        with_bias in any::<bool>(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let w = weights(&mut rng, out_c, krows);
+        let (vals, idx) = select_nm_conv(&w, out_c, krows, n, m);
+        let nnz = nm_nnz(krows, n, m).min(krows);
+        let (qvals, w_scales) = quantize_nm_conv_i8(&vals, out_c, nnz);
+        let bias: Vec<f32> = Tensor::uniform(&[out_c], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let bias_ref = with_bias.then_some(&bias[..]);
+        let mut cols = vec![0i8; krows * cols_n];
+        for v in cols.iter_mut() {
+            *v = (rng.next_u64() % 255) as i8;
+        }
+        let col_scales: Vec<f32> = (0..cols_n)
+            .map(|_| i8_scale(1.0 + (rng.next_u64() % 7) as f32))
+            .collect();
+
+        let mut want = vec![0.0f32; out_c * cols_n];
+        conv_nm_gemm_i8_reference(
+            &qvals, &w_scales, &idx, &cols, &col_scales, bias_ref, &mut want, out_c, nnz,
+            cols_n, relu,
+        );
+        let mut got = vec![0.0f32; out_c * cols_n];
+        conv_nm_gemm_i8_into(
+            &qvals, &w_scales, &idx, &cols, &col_scales, bias_ref, &mut got, out_c, nnz,
+            cols_n, relu, threads,
+        );
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// f32 dense N:M kernel, flat layout, vs scalar reference — bitwise
+    /// across batch sizes and thread counts.
+    #[test]
+    fn dense_nm_f32_flat_matches_reference_bitwise(
+        batch in 1usize..20,
+        n_in in 1usize..24,
+        n_out in 1usize..24,
+        (n, m) in pattern(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let wt = weights(&mut rng, n_in, n_out);
+        let (vals, idx) = select_nm_dense(&wt, n_in, n_out, n, m);
+        let nnz = nm_nnz(n_in, n, m).min(n_in);
+        let bias: Vec<f32> = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let a = Tensor::uniform(&[batch, n_in], -2.0, 2.0, &mut rng);
+
+        let mut want = vec![0.0f32; batch * n_out];
+        dense_nm_batch_reference(
+            a.as_slice(), &vals, &idx, &bias, &mut want, batch, n_in, n_out, nnz,
+        );
+        let mut got = vec![0.0f32; batch * n_out];
+        dense_nm_batch_into(
+            a.as_slice(), &vals, &idx, &bias, &mut got, batch, n_in, n_out, nnz, threads,
+        );
+        prop_assert_eq!(bits(&got), bits(&want));
+    }
+
+    /// f32 dense N:M kernel over the channel-major batched CHW layout:
+    /// bitwise vs its reference AND vs flattening + the flat kernel on
+    /// the same logical activations.
+    #[test]
+    fn dense_nm_f32_chw_matches_reference_and_flat_bitwise(
+        batch in 1usize..12,
+        channels in 1usize..5,
+        plane in 1usize..7,
+        n_out in 1usize..20,
+        (n, m) in pattern(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let n_in = channels * plane;
+        let wt = weights(&mut rng, n_in, n_out);
+        let (vals, idx) = select_nm_dense(&wt, n_in, n_out, n, m);
+        let nnz = nm_nnz(n_in, n, m).min(n_in);
+        let bias: Vec<f32> = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let flat = Tensor::uniform(&[batch, n_in], -2.0, 2.0, &mut rng);
+        // channel-major batched CHW: element (b, c, p) at (c·batch + b)·plane + p
+        let mut chw = vec![0.0f32; batch * n_in];
+        for b in 0..batch {
+            for c in 0..n_in {
+                chw[(c / plane) * batch * plane + b * plane + c % plane] =
+                    flat.as_slice()[b * n_in + c];
+            }
+        }
+
+        let mut want = vec![0.0f32; batch * n_out];
+        dense_nm_batch_chw_reference(
+            &chw, &vals, &idx, &bias, &mut want, batch, plane, n_out, nnz,
+        );
+        let mut got = vec![0.0f32; batch * n_out];
+        dense_nm_batch_chw_into(
+            &chw, &vals, &idx, &bias, &mut got, batch, channels, plane, n_out, nnz, threads,
+        );
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        let mut via_flat = vec![0.0f32; batch * n_out];
+        dense_nm_batch_into(
+            flat.as_slice(), &vals, &idx, &bias, &mut via_flat, batch, n_in, n_out, nnz, threads,
+        );
+        prop_assert_eq!(bits(&got), bits(&via_flat));
+    }
+
+    /// int8 dense N:M kernels (flat and CHW) vs their scalar references,
+    /// bitwise, with per-sample activation scales.
+    #[test]
+    fn dense_nm_i8_flat_and_chw_match_reference_bitwise(
+        batch in 1usize..12,
+        channels in 1usize..5,
+        plane in 1usize..7,
+        n_out in 1usize..20,
+        (n, m) in pattern(),
+        threads in thread_count(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = XorShiftRng::new(seed);
+        let n_in = channels * plane;
+        let wt = weights(&mut rng, n_in, n_out);
+        let (vals, idx) = select_nm_dense(&wt, n_in, n_out, n, m);
+        let nnz = nm_nnz(n_in, n, m).min(n_in);
+        let (qvals, w_scales) = quantize_nm_dense_i8(&vals, n_out, nnz);
+        let bias: Vec<f32> = Tensor::uniform(&[n_out], -0.5, 0.5, &mut rng)
+            .as_slice()
+            .to_vec();
+        let acts = Tensor::uniform(&[batch, n_in], -2.0, 2.0, &mut rng);
+        let mut qa = vec![0i8; batch * n_in];
+        let mut a_scales = vec![0.0f32; batch];
+        for b in 0..batch {
+            a_scales[b] = quantize_slice_i8(
+                &acts.as_slice()[b * n_in..(b + 1) * n_in],
+                &mut qa[b * n_in..(b + 1) * n_in],
+            );
+        }
+
+        let mut want = vec![0.0f32; batch * n_out];
+        dense_nm_batch_i8_reference(
+            &qa, &a_scales, &qvals, &w_scales, &idx, &bias, &mut want, batch, n_in, n_out, nnz,
+        );
+        let mut got = vec![0.0f32; batch * n_out];
+        dense_nm_batch_i8_into(
+            &qa, &a_scales, &qvals, &w_scales, &idx, &bias, &mut got, batch, n_in, n_out, nnz,
+            threads,
+        );
+        prop_assert_eq!(bits(&got), bits(&want));
+
+        // same samples rearranged channel-major: (b, c, p) at (c·batch + b)·plane + p
+        let mut qchw = vec![0i8; batch * n_in];
+        for b in 0..batch {
+            for c in 0..n_in {
+                qchw[(c / plane) * batch * plane + b * plane + c % plane] = qa[b * n_in + c];
+            }
+        }
+        let mut want_chw = vec![0.0f32; batch * n_out];
+        dense_nm_batch_i8_chw_reference(
+            &qchw, &a_scales, &qvals, &w_scales, &idx, &bias, &mut want_chw, batch, plane,
+            n_out, nnz,
+        );
+        let mut got_chw = vec![0.0f32; batch * n_out];
+        dense_nm_batch_i8_chw_into(
+            &qchw, &a_scales, &qvals, &w_scales, &idx, &bias, &mut got_chw, batch, channels,
+            plane, n_out, nnz, threads,
+        );
+        prop_assert_eq!(bits(&got_chw), bits(&want_chw));
+        // the two layouts agree with each other on the same logical data
+        prop_assert_eq!(bits(&got_chw), bits(&got));
+    }
+}

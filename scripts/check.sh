@@ -19,13 +19,17 @@ cargo test -q
 
 echo "==> perf bins smoke (CAPNN_BENCH_SMOKE=1: tiny iterations, no results/ write)"
 # perf_speedup gates on int8-plan top-1 argmax agreement vs the f32 plan
-# >= 99% over the 128-sample eval set (the accuracy-delta gate).
+# >= 99% over the 128-sample eval set (the accuracy-delta gate). With
+# --sweep it also walks the hybrid N:M tier across the 0/10/25/50/75%
+# prune grid and gates on the 25% point: the gated 2:4 hybrid plan must
+# be >= 1.0x the dense plan from the same mask, with per-point top-1
+# agreement >= 99% vs the dense f32 plan.
 # perf_serving additionally gates on vgg_tiny batch-32 speedup_vs_batch1
 # >= 1.8x on multi-core hosts (the panel-packed conv engine's regression
 # guard) and on serving_mlp batch-32 int8 speedup vs f32 >= 1.3x on AVX2
 # hosts; runners missing the cores/AVX2 skip those checks with a logged
 # notice.
-CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_speedup
+CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_speedup -- --sweep
 CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_serving
 # perf_cache replays a 10^5-distinct-profile Zipfian stream through the
 # fleet plan cache and gates on the working-budget row: hit rate >= 90%,
@@ -46,8 +50,10 @@ CAPNN_BENCH_SMOKE=1 cargo run --release -p capnn-bench --bin perf_drift
 
 echo "==> telemetry smoke (CAPNN_TELEMETRY=1: probes on, snapshot to stderr only)"
 # perf_speedup asserts the conv probes (plan.conv_pack_ns histogram +
-# per-conv-step *_conv_gflops gauges) land in the snapshot.
-CAPNN_BENCH_SMOKE=1 CAPNN_TELEMETRY=1 cargo run --release -p capnn-bench --bin perf_speedup
+# per-conv-step *_conv_gflops gauges) land in the snapshot, plus the
+# hybrid-tier probes (plan.nm_pack_ns, plan.nm_density, *_nm_gflops and
+# — under --sweep — *_nm_int8_gops).
+CAPNN_BENCH_SMOKE=1 CAPNN_TELEMETRY=1 cargo run --release -p capnn-bench --bin perf_speedup -- --sweep
 CAPNN_BENCH_SMOKE=1 CAPNN_TELEMETRY=1 cargo run --release -p capnn-bench --bin perf_serving
 
 echo "==> all checks passed"
